@@ -1,0 +1,73 @@
+package hope_test
+
+// Ablation benchmarks for the design choices DESIGN.md §4 calls out:
+// what Algorithm 2's UDO bookkeeping costs on workloads that never form
+// cycles (where Algorithm 1 is already correct), and what the two deny
+// flavours cost on the pagination workload.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/bench"
+	"github.com/hope-dist/hope/internal/interval"
+)
+
+// BenchmarkAblationCycleDetectionOverhead runs the acyclic E5 chain
+// under both Control algorithms: the difference is pure UDO overhead.
+func BenchmarkAblationCycleDetectionOverhead(b *testing.B) {
+	for _, alg := range []interval.Algorithm{interval.Algorithm1, interval.Algorithm2} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var last bench.E5Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE5Alg(16, alg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Control), "ctrl-msgs")
+		})
+	}
+}
+
+// BenchmarkAblationRingScaling contrasts ring resolution cost across
+// sizes (Algorithm 2 only; Algorithm 1 does not terminate on rings).
+func BenchmarkAblationRingScaling(b *testing.B) {
+	for _, ring := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("ring=%d", ring), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE3(ring, interval.Algorithm2, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Settled {
+					b.Fatal("ring did not settle")
+				}
+				b.ReportMetric(float64(res.Control)/float64(ring), "ctrl-msgs-per-member")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLatencyModels measures the same workload under the
+// different latency models (constant vs jittered), isolating the cost of
+// per-pair FIFO enforcement under reordering.
+func BenchmarkAblationLatencyModels(b *testing.B) {
+	for _, jitter := range []bool{false, true} {
+		name := "constant"
+		if jitter {
+			name = "jittered"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE6Jitter(8, 0, 500*time.Microsecond, jitter)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Optimistic.Microseconds()), "opt-µs")
+			}
+		})
+	}
+}

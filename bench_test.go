@@ -1,0 +1,214 @@
+package hope_test
+
+// Benchmark harness: one benchmark family per experiment in DESIGN.md §5
+// (E1, E3, E5, E6, E7, E8, E9). Each benchmark iteration runs a complete
+// HOPE system for one parameter cell and reports the experiment's metric
+// via b.ReportMetric, so `go test -bench=. -benchmem` regenerates every
+// row; cmd/hopebench prints the same sweeps as tables.
+//
+// E2 (AID state machine conformance) and E4 (Theorem 5.1) are
+// correctness properties, exercised by the test suite rather than timed.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/bench"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/phold"
+)
+
+// BenchmarkE1RPCLatency sweeps network latency × page size (the
+// prediction-accuracy knob) for the paper's §3.1 report-pagination
+// workload and reports the optimistic saving.
+func BenchmarkE1RPCLatency(b *testing.B) {
+	const reports = 8
+	for _, latency := range []time.Duration{200 * time.Microsecond, 1 * time.Millisecond, 5 * time.Millisecond} {
+		for _, pageSize := range []int{1000, 8, 3} { // never / sometimes / often deny
+			name := fmt.Sprintf("latency=%v/pageSize=%d", latency, pageSize)
+			b.Run(name, func(b *testing.B) {
+				var last bench.E1Result
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunE1(latency, pageSize, reports)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.SavedPercent, "%saved")
+				b.ReportMetric(float64(last.Pessimistic.Microseconds()), "pess-µs")
+				b.ReportMetric(float64(last.Optimistic.Microseconds()), "opt-µs")
+				b.ReportMetric(float64(last.Rollbacks), "rollbacks")
+			})
+		}
+	}
+}
+
+// BenchmarkE3CycleDetection measures Algorithm 2 resolving mutual
+// speculative-affirm rings of growing size (Figures 13–14).
+func BenchmarkE3CycleDetection(b *testing.B) {
+	for _, ring := range []int{2, 3, 4, 6, 8} {
+		b.Run(fmt.Sprintf("ring=%d", ring), func(b *testing.B) {
+			var last bench.E3Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE3(ring, interval.Algorithm2, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Settled {
+					b.Fatal("algorithm 2 failed to cut the cycle")
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Control), "ctrl-msgs")
+			b.ReportMetric(float64(last.Elapsed.Microseconds()), "resolve-µs")
+		})
+	}
+}
+
+// BenchmarkE3Algorithm1Livelock demonstrates the bounded observation of
+// Algorithm 1's livelock on the 2-ring: it burns control traffic without
+// ever settling.
+func BenchmarkE3Algorithm1Livelock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunE3(2, interval.Algorithm1, 30*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Settled {
+			b.Fatal("algorithm 1 unexpectedly settled a cycle")
+		}
+		b.ReportMetric(float64(res.Control), "ctrl-msgs-in-window")
+	}
+}
+
+// BenchmarkE5AffirmComplexity measures control-message totals for chains
+// of nested speculative intervals — the quadratic growth the paper
+// predicts in §6 footnote 2.
+func BenchmarkE5AffirmComplexity(b *testing.B) {
+	for _, chain := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("chain=%d", chain), func(b *testing.B) {
+			var last bench.E5Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE5(chain)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Control), "ctrl-msgs")
+			b.ReportMetric(float64(last.Control)/float64(chain*chain), "ctrl-msgs-per-n²")
+		})
+	}
+}
+
+// BenchmarkE6Pipeline sweeps call-streaming chain depth at perfect and
+// imperfect prediction accuracy.
+func BenchmarkE6Pipeline(b *testing.B) {
+	const latency = 500 * time.Microsecond
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		for _, missEvery := range []int{0, 4} { // perfect, 25% miss
+			name := fmt.Sprintf("depth=%d/missEvery=%d", depth, missEvery)
+			b.Run(name, func(b *testing.B) {
+				var last bench.E6Result
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunE6(depth, missEvery, latency)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.SavedPercent, "%saved")
+				b.ReportMetric(float64(last.Rollbacks), "rollbacks")
+			})
+		}
+	}
+}
+
+// BenchmarkE7Replication sweeps conflicting-write frequency against
+// optimistic local reads.
+func BenchmarkE7Replication(b *testing.B) {
+	const reads = 10
+	for _, conflictEvery := range []int{0, 5, 2} {
+		b.Run(fmt.Sprintf("conflictEvery=%d", conflictEvery), func(b *testing.B) {
+			var last bench.E7Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE7(conflictEvery, reads)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.SavedPercent, "%saved")
+			b.ReportMetric(float64(last.Rollbacks), "rollbacks")
+		})
+	}
+}
+
+// BenchmarkE8TimeWarp compares the dedicated Time Warp kernel against
+// HOPE expressing the same single assumption kind, on identical PHOLD
+// workloads verified against the sequential reference.
+func BenchmarkE8TimeWarp(b *testing.B) {
+	for _, lps := range []int{4, 8} {
+		cfg := phold.Config{LPs: lps, InitialEvents: 2, End: 60, MaxDelay: 8, Seed: 4242}
+		b.Run(fmt.Sprintf("lps=%d", lps), func(b *testing.B) {
+			var last bench.E8Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE8(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Match {
+					b.Fatal("simulators disagree with the sequential reference")
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Events), "events")
+			b.ReportMetric(float64(last.TimeWarp.Microseconds()), "timewarp-µs")
+			b.ReportMetric(float64(last.HOPE.Microseconds()), "hope-µs")
+			b.ReportMetric(float64(last.TWRolls), "tw-rollbacks")
+			b.ReportMetric(float64(last.HOPERolls), "hope-rollbacks")
+		})
+	}
+}
+
+// BenchmarkE10Stencil sweeps the boundary-prediction tolerance for the
+// optimistic Jacobi relaxation (extension experiment; paper [6]).
+func BenchmarkE10Stencil(b *testing.B) {
+	for _, tol := range []float64{0, 0.2} {
+		b.Run(fmt.Sprintf("tolerance=%g", tol), func(b *testing.B) {
+			var last bench.E10Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE10Retry(tol, 500*time.Microsecond, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Rollbacks), "rollbacks")
+			b.ReportMetric(last.MaxError, "max-error")
+		})
+	}
+}
+
+// BenchmarkE9WaitFree shows primitive latency independent of network
+// latency: the per-guess wall time barely moves when the network slows
+// by four orders of magnitude.
+func BenchmarkE9WaitFree(b *testing.B) {
+	const iters = 64
+	for _, latency := range []time.Duration{0, 5 * time.Millisecond} {
+		b.Run(fmt.Sprintf("latency=%v", latency), func(b *testing.B) {
+			var last bench.E9Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunE9(latency, iters)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.GuessTime.Nanoseconds()), "guess-ns")
+			b.ReportMetric(float64(last.Affirm.Nanoseconds()), "affirm-ns")
+		})
+	}
+}

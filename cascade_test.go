@@ -1,0 +1,107 @@
+package hope_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// TestDeepCascade: speculation flows through a line of N relay processes
+// via message tags; denying the root assumption rolls the entire line
+// back and the corrected value propagates end to end.
+func TestDeepCascade(t *testing.T) {
+	const depth = 8
+	sys := hope.New(hope.WithJitterLatency(0, 100*time.Microsecond, 3))
+	defer sys.Shutdown()
+
+	x, _ := sys.NewAID()
+
+	var mu sync.Mutex
+	var tailValues []string
+
+	// Build the line back to front: each relay forwards what it hears.
+	next := hope.PID(0)
+	tail, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		v, _, err := ctx.Recv()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		tailValues = append(tailValues, v.(string))
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn tail: %v", err)
+	}
+	next = tail.PID()
+	relays := make([]*hope.Process, 0, depth)
+	for i := 0; i < depth; i++ {
+		dst := next
+		p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			v, _, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			ctx.Send(dst, v)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("spawn relay %d: %v", i, err)
+		}
+		relays = append(relays, p)
+		next = p.PID()
+	}
+
+	head := next
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		payload := "pessimistic-origin"
+		if ctx.Guess(x) {
+			payload = "speculative-origin"
+		}
+		ctx.Send(head, payload)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn head: %v", err)
+	}
+	if !sys.Settle(30 * time.Second) {
+		t.Fatal("no settle before deny")
+	}
+
+	mu.Lock()
+	if len(tailValues) == 0 || tailValues[0] != "speculative-origin" {
+		mu.Unlock()
+		t.Fatalf("speculation did not traverse the line: %v", tailValues)
+	}
+	mu.Unlock()
+
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Deny(x)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+	if !sys.Settle(30 * time.Second) {
+		t.Fatal("no settle after deny")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if last := tailValues[len(tailValues)-1]; last != "pessimistic-origin" {
+		t.Fatalf("tail kept %q, want the corrected value (all: %v)", last, tailValues)
+	}
+	for i, p := range relays {
+		st := p.Snapshot()
+		if st.Restarts == 0 {
+			t.Fatalf("relay %d never rolled back", i)
+		}
+		if !st.AllDefinite {
+			t.Fatalf("relay %d not definite: %+v", i, st)
+		}
+	}
+	if v := sys.Violations(); v != 0 {
+		t.Fatalf("%d violations in the cascade", v)
+	}
+}

@@ -1,0 +1,205 @@
+package hope_test
+
+// Chaos soak: randomized programs churn guesses, speculative affirms,
+// denials, tainted messages, and speculative spawns under jittered
+// delivery, across several seeds. The assertions are the system-wide
+// invariants, not specific outcomes:
+//
+//  1. the system reaches quiescence once every assumption is decided;
+//  2. every surviving process is definite and its retained guess results
+//     match the assumptions' decided verdicts;
+//  3. processes terminated by rollback are exactly those spawned under
+//     speculation that failed.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(100); seed < 106; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaosRun(t, seed)
+		})
+	}
+}
+
+type chaosOutcome struct {
+	aid    hope.AID
+	result bool
+}
+
+func chaosRun(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	const (
+		nAIDs    = 8
+		nWorkers = 6
+	)
+
+	sys := hope.New(hope.WithJitterLatency(0, 500*time.Microsecond, seed))
+	defer sys.Shutdown()
+
+	aids := make([]hope.AID, nAIDs)
+	verdict := make(map[hope.AID]bool, nAIDs)
+	for i := range aids {
+		x, err := sys.NewAID()
+		if err != nil {
+			t.Fatalf("NewAID: %v", err)
+		}
+		aids[i] = x
+		verdict[x] = rng.Intn(2) == 0
+	}
+
+	// Echo service: workers bounce tainted messages off it.
+	echo, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		for {
+			v, from, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			ctx.Send(from, v)
+		}
+	})
+	if err != nil {
+		t.Fatalf("spawn echo: %v", err)
+	}
+
+	// Workers: random interleavings of guesses, echo round trips, and
+	// speculative child spawns.
+	var mu sync.Mutex
+	outcomes := make(map[int][]chaosOutcome)
+	plans := make([][]int, nWorkers) // op stream per worker: ≥0 = guess aid index, -1 = echo, -2 = spawn
+	for w := range plans {
+		n := 3 + rng.Intn(6)
+		ops := make([]int, n)
+		for i := range ops {
+			switch r := rng.Intn(10); {
+			case r < 6:
+				ops[i] = rng.Intn(nAIDs)
+			case r < 8:
+				ops[i] = -1
+			default:
+				ops[i] = -2
+			}
+		}
+		plans[w] = ops
+	}
+
+	workers := make([]*hope.Process, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		w := w
+		ops := plans[w]
+		p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			var got []chaosOutcome
+			for i, op := range ops {
+				switch {
+				case op >= 0:
+					x := aids[op]
+					ok := ctx.Guess(x)
+					got = append(got, chaosOutcome{aid: x, result: ok})
+				case op == -1:
+					ctx.Send(echo.PID(), fmt.Sprintf("w%d-%d", w, i))
+					if _, _, err := ctx.Recv(); err != nil {
+						return err
+					}
+				case op == -2:
+					ctx.Spawn(func(child *hope.Ctx) error {
+						child.Send(echo.PID(), "child-ping")
+						_, _, err := child.Recv()
+						return err
+					})
+				}
+			}
+			mu.Lock()
+			outcomes[w] = got
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("spawn worker %d: %v", w, err)
+		}
+		workers[w] = p
+	}
+
+	// Deciders fire the verdicts after random small delays.
+	for _, x := range aids {
+		x := x
+		v := verdict[x]
+		delay := time.Duration(rng.Intn(4)) * time.Millisecond
+		if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			time.Sleep(delay)
+			if v {
+				ctx.Affirm(x)
+			} else {
+				ctx.Deny(x)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("spawn decider: %v", err)
+		}
+	}
+
+	if !sys.Settle(60 * time.Second) {
+		t.Fatal("chaos system did not settle")
+	}
+
+	for w, p := range workers {
+		st := p.Snapshot()
+		if !st.Completed {
+			t.Fatalf("worker %d incomplete: %+v", w, st)
+		}
+		if !st.AllDefinite {
+			t.Fatalf("worker %d not definite: %+v", w, st)
+		}
+		mu.Lock()
+		got := outcomes[w]
+		mu.Unlock()
+		guessOps := 0
+		for _, op := range plans[w] {
+			if op >= 0 {
+				guessOps++
+			}
+		}
+		if len(got) != guessOps {
+			t.Fatalf("worker %d recorded %d outcomes, want %d", w, len(got), guessOps)
+		}
+		for i, o := range got {
+			if o.result != verdict[o.aid] {
+				t.Fatalf("worker %d outcome %d: guess(%v)=%v, verdict %v", w, i, o.aid, o.result, verdict[o.aid])
+			}
+		}
+	}
+
+	// Terminated processes must all be speculative children (the echo
+	// service, deciders, and workers are definite roots).
+	for _, p := range sys.Processes() {
+		st := p.Snapshot()
+		if st.Terminated && st.Err == nil {
+			t.Fatalf("terminated process without error: %+v", st)
+		}
+	}
+
+	if v := sys.Violations(); v != 0 {
+		t.Fatalf("%d protocol violations under chaos with single deciders", v)
+	}
+
+	// After quiescence, collection reclaims every assumption.
+	n, err := sys.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if n < nAIDs {
+		t.Fatalf("collected %d assumptions, want at least %d", n, nAIDs)
+	}
+}

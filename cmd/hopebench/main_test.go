@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	err := run([]string{"e99"})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "e99") {
+		t.Fatalf("error %q does not name the bad argument", err)
+	}
+}
+
+func TestSingleExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full sweep")
+	}
+	if err := run([]string{"e5"}); err != nil {
+		t.Fatalf("e5: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+// Command hopetrace runs a HOPE scenario with the structured tracer
+// attached and prints the annotated event flow — the executable
+// counterpart of the paper's Figures 12–14 dependency-graph walkthroughs.
+//
+// Usage:
+//
+//	hopetrace pagination   # the §3.1 Worker/WorryWart example
+//	hopetrace cycle        # the §5.3 mutual speculative-affirm cycle
+//	hopetrace denial       # a guess, a denial, and the rollback fan-out
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hopetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	scenario := "denial"
+	if len(args) > 0 {
+		scenario = args[0]
+	}
+	tracer := trace.NewWriter(os.Stdout)
+	switch scenario {
+	case "pagination":
+		return pagination(tracer)
+	case "cycle":
+		return cycle(tracer)
+	case "denial":
+		return denial(tracer)
+	default:
+		return fmt.Errorf("unknown scenario %q (want pagination, cycle, or denial)", scenario)
+	}
+}
+
+func pagination(tracer trace.Tracer) error {
+	fmt.Println("--- §3.1 pagination: Worker/WorryWart with PartPage and Order ---")
+	eng := core.NewEngine(core.Config{
+		Latency: netsim.Constant(200 * time.Microsecond),
+		Tracer:  tracer,
+	})
+	defer eng.Shutdown()
+	server, err := eng.SpawnRoot(rpc.PrintServer())
+	if err != nil {
+		return err
+	}
+	if _, err := eng.SpawnRoot(rpc.OptimisticWorker(server.PID(), 2, 3, func(r rpc.PageReport) {
+		fmt.Printf("--- worker report: %+v ---\n", r)
+	})); err != nil {
+		return err
+	}
+	if !eng.Settle(30 * time.Second) {
+		return fmt.Errorf("no settle")
+	}
+	return nil
+}
+
+func cycle(tracer trace.Tracer) error {
+	fmt.Println("--- §5.3 interference: A affirms X while depending on Y; B affirms Y while depending on X ---")
+	eng := core.NewEngine(core.Config{Tracer: tracer})
+	defer eng.Shutdown()
+	x, err := eng.NewAID()
+	if err != nil {
+		return err
+	}
+	y, err := eng.NewAID()
+	if err != nil {
+		return err
+	}
+	if _, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		ctx.Guess(y)
+		time.Sleep(2 * time.Millisecond)
+		ctx.Affirm(x)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if _, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		ctx.Guess(x)
+		time.Sleep(2 * time.Millisecond)
+		ctx.Affirm(y)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !eng.Settle(30 * time.Second) {
+		return fmt.Errorf("no settle")
+	}
+	fmt.Println("--- cycle cut: both intervals finalized, X and Y committed ---")
+	return nil
+}
+
+func denial(tracer trace.Tracer) error {
+	fmt.Println("--- guess / tainted send / denial / transitive rollback ---")
+	eng := core.NewEngine(core.Config{Tracer: tracer})
+	defer eng.Shutdown()
+	x, err := eng.NewAID()
+	if err != nil {
+		return err
+	}
+	receiver, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		for {
+			v, _, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("--- receiver consumed %v ---\n", v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		if ctx.Guess(x) {
+			ctx.Send(receiver.PID(), "speculative result")
+		} else {
+			ctx.Send(receiver.PID(), "pessimistic result")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		ctx.Deny(x)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !eng.Settle(30 * time.Second) {
+		return fmt.Errorf("no settle")
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+func TestUnknownScenarioRejected(t *testing.T) {
+	err := run([]string{"nope"})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error %q does not name the bad argument", err)
+	}
+}
+
+func TestScenariosComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scenarios")
+	}
+	for _, fn := range []struct {
+		name string
+		run  func(trace.Tracer) error
+	}{
+		{"denial", denial},
+		{"cycle", cycle},
+		{"pagination", pagination},
+	} {
+		if err := fn.run(trace.Nop); err != nil {
+			t.Fatalf("%s: %v", fn.name, err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package hope_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// This file reproduces the paper's §5.3 interference scenario (Figures
+// 12–14): interval A depends on assumption Y and speculatively affirms X
+// while interval B depends on X and speculatively affirms Y. The
+// interleaved affirms create the dependency cycle X → Y → X.
+//
+// Algorithm 2 (the default) detects the cycle via the UDO sets, removes
+// the intervals' dependencies on its members, finalizes them, and their
+// finalization affirms the cycle members unconditionally (Figure 14).
+// Algorithm 1 (WithoutCycleDetection) "bounces around the cycle forever".
+
+// spawnAffirmRing builds an N-process generalization of Figure 13:
+// process i guesses assumption a[(i+1)%n] and then speculatively affirms
+// a[i]. The delay lets every guess register before any affirm lands,
+// which is the interleaving that closes the ring.
+func spawnAffirmRing(t *testing.T, sys *hope.System, n int) []*hope.Process {
+	t.Helper()
+	aids := make([]hope.AID, n)
+	for i := range aids {
+		x, err := sys.NewAID()
+		if err != nil {
+			t.Fatalf("NewAID: %v", err)
+		}
+		aids[i] = x
+	}
+	procs := make([]*hope.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			ctx.Guess(aids[(i+1)%n])
+			time.Sleep(2 * time.Millisecond) // let all guesses register
+			ctx.Affirm(aids[i])
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("spawn ring member %d: %v", i, err)
+		}
+		procs[i] = p
+	}
+	return procs
+}
+
+// TestCycleDetectionAlgorithm2: with cycle detection, every ring member
+// finalizes and the optimistic work is retained.
+func TestCycleDetectionAlgorithm2(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		n := n
+		t.Run(fmt.Sprintf("ring=%d", n), func(t *testing.T) {
+			sys := hope.New()
+			defer sys.Shutdown()
+			procs := spawnAffirmRing(t, sys, n)
+			if !sys.Settle(20 * time.Second) {
+				t.Fatal("system did not settle")
+			}
+			for i, p := range procs {
+				st := p.Snapshot()
+				if !st.Completed {
+					t.Fatalf("member %d did not complete: %+v", i, st)
+				}
+				if !st.AllDefinite {
+					t.Fatalf("member %d not definite — cycle not cut: %+v", i, st)
+				}
+				if st.Restarts != 0 {
+					t.Fatalf("member %d rolled back %d times — mutual affirms must commit", i, st.Restarts)
+				}
+			}
+		})
+	}
+}
+
+// TestCycleLivelockAlgorithm1: without cycle detection the ring members
+// never finalize (the paper's "bounce forever"). The test bounds the
+// observation window: after the system has had ample time, the intervals
+// are still speculative and control traffic keeps growing.
+func TestCycleLivelockAlgorithm1(t *testing.T) {
+	sys := hope.New(
+		hope.WithoutCycleDetection(),
+		// Slow the bounce down so the livelock does not saturate a CPU
+		// while we watch it.
+		hope.WithConstantLatency(200*time.Microsecond),
+	)
+	defer sys.Shutdown()
+	procs := spawnAffirmRing(t, sys, 2)
+
+	time.Sleep(50 * time.Millisecond)
+	early := sys.Stats()
+	time.Sleep(100 * time.Millisecond)
+	late := sys.Stats()
+
+	for i, p := range procs {
+		if st := p.Snapshot(); st.AllDefinite {
+			t.Fatalf("member %d finalized under algorithm 1 — cycle should livelock: %+v", i, st)
+		}
+	}
+	if late.Replace <= early.Replace {
+		t.Fatalf("replace traffic stopped growing (early=%d late=%d) — expected endless bouncing",
+			early.Replace, late.Replace)
+	}
+}
+
+// TestCycleSelfAffirm: the degenerate 1-ring — a process guesses X and
+// then affirms X within the speculative interval, making X conditional on
+// itself. Algorithm 2 treats it like any dependency ring: the
+// self-condition is cut and X commits as true. (At the Control level this
+// exercises the Replace-with-self path of ApplyReplace.)
+func TestCycleSelfAffirm(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	x, err := sys.NewAID()
+	if err != nil {
+		t.Fatalf("NewAID: %v", err)
+	}
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		if ctx.Guess(x) {
+			ctx.Affirm(x)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(20 * time.Second) {
+		t.Fatal("self-affirm ring did not settle")
+	}
+	st := p.Snapshot()
+	if !st.Completed {
+		t.Fatalf("process did not complete: %+v", st)
+	}
+	if !st.AllDefinite {
+		t.Fatalf("self-cycle not cut — intervals still speculative: %+v", st)
+	}
+	if st.Restarts != 0 {
+		t.Fatalf("self-affirm caused %d rollbacks, want 0", st.Restarts)
+	}
+
+	// The committed X behaves as affirmed for later guessers.
+	q, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		if !ctx.Guess(x) {
+			t.Error("guess of self-affirmed assumption returned false")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn guesser: %v", err)
+	}
+	if !sys.Settle(20 * time.Second) {
+		t.Fatal("no settle after follow-up guess")
+	}
+	if st := q.Snapshot(); !st.AllDefinite {
+		t.Fatalf("follow-up guesser left speculative: %+v", st)
+	}
+}
+
+// TestCycleWithEventualDenial: a cycle cut by Algorithm 2 must still
+// respect a denial arriving for one of its members... except that a
+// member of a mutual-affirm cycle has, by construction, been affirmed —
+// denying it afterwards is the paper's "conflicting affirm and deny"
+// user error. What CAN happen is denial of an assumption one of the
+// affirmers also depends on; the affirmer then rolls back and its
+// speculative affirm is retracted.
+func TestCycleAffirmerRolledBack(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	x, _ := sys.NewAID()
+	y, _ := sys.NewAID()
+	w, _ := sys.NewAID() // the assumption that will fail
+
+	// A depends on W and Y, affirms X: the affirm is conditional on both.
+	a, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		if ctx.Guess(w) {
+			ctx.Guess(y)
+			time.Sleep(2 * time.Millisecond)
+			ctx.Affirm(x)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn a: %v", err)
+	}
+	// B depends on X, affirms Y — closing the X→Y→X cycle through A.
+	b, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Guess(x)
+		time.Sleep(2 * time.Millisecond)
+		ctx.Affirm(y)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn b: %v", err)
+	}
+
+	time.Sleep(10 * time.Millisecond) // let the cycle form
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Deny(w)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+
+	if !sys.Settle(20 * time.Second) {
+		t.Fatal("no settle")
+	}
+
+	ast := a.Snapshot()
+	if ast.Restarts == 0 {
+		t.Fatalf("a never rolled back despite W denied: %+v", ast)
+	}
+	if !ast.Completed {
+		t.Fatalf("a did not complete: %+v", ast)
+	}
+	// B guessed X; whether X survives depends on the interleaving (the
+	// cycle may have been cut — committing X — before W's denial landed,
+	// or A's retraction may have left X undecided). Either way B must
+	// not be left wedged mid-protocol: its process must have completed.
+	if bst := b.Snapshot(); !bst.Completed {
+		t.Fatalf("b did not complete: %+v", bst)
+	}
+}

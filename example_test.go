@@ -1,0 +1,123 @@
+package hope_test
+
+import (
+	"fmt"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// The basic optimistic round trip: speculate on an assumption, verify it
+// in parallel, keep the speculative work when it is affirmed.
+func Example() {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	cacheFresh, _ := sys.NewAID()
+
+	done := make(chan string, 1)
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		answer := "(unknown)"
+		if ctx.Guess(cacheFresh) {
+			answer = "served from cache" // speculative, instant
+		} else {
+			answer = "recomputed" // only after a denial
+		}
+		done <- answer
+		return nil
+	})
+
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Affirm(cacheFresh) // the verifier agrees
+		return nil
+	})
+
+	sys.Settle(5 * time.Second)
+	fmt.Println(<-done)
+	// Output: served from cache
+}
+
+// Denial rolls the guesser back: the same program with a deny commits
+// the pessimistic branch instead.
+func Example_denial() {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	cacheFresh, _ := sys.NewAID()
+
+	results := make(chan string, 2) // speculative try + corrected rerun
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		if ctx.Guess(cacheFresh) {
+			results <- "served from cache"
+		} else {
+			results <- "recomputed"
+		}
+		return nil
+	})
+
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		time.Sleep(time.Millisecond)
+		ctx.Deny(cacheFresh)
+		return nil
+	})
+
+	sys.Settle(5 * time.Second)
+	var last string
+	for {
+		select {
+		case last = <-results:
+			continue
+		default:
+		}
+		break
+	}
+	fmt.Println(last)
+	// Output: recomputed
+}
+
+// Speculation crosses process boundaries through message tags: denying
+// the assumption rolls back the sender and the receiver.
+func ExampleCtx_Send() {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	x, _ := sys.NewAID()
+	received := make(chan string, 2)
+
+	consumer, _ := sys.Spawn(func(ctx *hope.Ctx) error {
+		v, _, err := ctx.Recv()
+		if err != nil {
+			return err
+		}
+		received <- v.(string)
+		return nil
+	})
+
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		if ctx.Guess(x) {
+			ctx.Send(consumer.PID(), "speculative value")
+		} else {
+			ctx.Send(consumer.PID(), "definite value")
+		}
+		return nil
+	})
+
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		time.Sleep(time.Millisecond)
+		ctx.Deny(x)
+		return nil
+	})
+
+	sys.Settle(5 * time.Second)
+	var last string
+	for {
+		select {
+		case last = <-received:
+			continue
+		default:
+		}
+		break
+	}
+	fmt.Println(last)
+	// Output: definite value
+}

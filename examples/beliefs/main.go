@@ -1,0 +1,80 @@
+// Beliefs: truth maintenance on HOPE (the paper's §6 future-work
+// direction, Doyle's TMS [12]).
+//
+// Beliefs are assumptions; justifications are speculative processes that
+// guess their antecedents and affirm their consequent; contradictions are
+// denials. Belief revision — retracting everything supported by a
+// withdrawn premise — is nothing but HOPE's rollback fan-out.
+//
+//	go run ./examples/beliefs
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+	"github.com/hope-dist/hope/tms"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := hope.New()
+	defer sys.Shutdown()
+	n := tms.New(sys)
+
+	// A little weather theory:
+	//   barometer-falling ⊢ storm-coming
+	//   storm-coming ⊢ cancel-picnic
+	//   (storm-coming, boat-out) ⊢ secure-boat
+	for _, b := range []string{
+		"barometer-falling", "storm-coming", "cancel-picnic",
+		"boat-out", "secure-boat",
+	} {
+		if err := n.Declare(b); err != nil {
+			return err
+		}
+	}
+	if err := n.Justify("storm-coming", "barometer-falling"); err != nil {
+		return err
+	}
+	if err := n.Justify("cancel-picnic", "storm-coming"); err != nil {
+		return err
+	}
+	if err := n.Justify("secure-boat", "storm-coming", "boat-out"); err != nil {
+		return err
+	}
+
+	show := func(label string) error {
+		if !sys.Settle(20 * time.Second) {
+			return fmt.Errorf("network did not settle")
+		}
+		fmt.Printf("%s\n", label)
+		for _, bs := range n.Snapshot() {
+			fmt.Printf("  %-18s %s\n", bs.Name, bs.Status)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if err := show("initially (nothing asserted):"); err != nil {
+		return err
+	}
+
+	if err := n.Premise("barometer-falling"); err != nil {
+		return err
+	}
+	if err := n.Premise("boat-out"); err != nil {
+		return err
+	}
+	if err := show("after asserting barometer-falling and boat-out:"); err != nil {
+		return err
+	}
+	return nil
+}

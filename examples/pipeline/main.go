@@ -1,0 +1,100 @@
+// Pipeline: call streaming over a chain of dependent RPCs (§3.1 /
+// Bacon & Strom [1]).
+//
+// Each call's argument is the previous call's result, so a synchronous
+// client pays depth × RTT. The optimistic client predicts each result
+// and issues every call immediately; WorryWart processes verify the
+// predictions in parallel, and a misprediction rolls the client back to
+// the offending stage only.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/stream"
+)
+
+const (
+	depth   = 10
+	latency = 1 * time.Millisecond
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	step := func(v int) int { return v*3 + 1 }
+	fmt.Printf("chain of %d dependent calls, server %v away\n\n", depth, latency)
+
+	type mode struct {
+		label      string
+		optimistic bool
+		mispredict func(int) bool
+	}
+	for _, m := range []mode{
+		{"synchronous", false, nil},
+		{"optimistic, all predictions right", true, nil},
+		{"optimistic, stage 5 mispredicted", true, func(s int) bool { return s == 5 }},
+	} {
+		elapsed, rollbacks, result, err := runChain(m.optimistic, step, m.mispredict)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.label, err)
+		}
+		fmt.Printf("%-36s result=%-8d user-visible=%9v rollbacks=%d\n",
+			m.label, result, elapsed.Round(time.Microsecond), rollbacks)
+	}
+	return nil
+}
+
+func runChain(optimistic bool, step stream.StepFn, mispredict func(int) bool) (time.Duration, int, int, error) {
+	eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+	defer eng.Shutdown()
+
+	server, err := eng.SpawnRoot(stream.Server(step))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	chain := stream.Chain{Server: server.PID(), Depth: depth, Step: step, Mispredict: mispredict}
+
+	var mu sync.Mutex
+	var result int
+	var lastDone time.Time
+	start := time.Now()
+	client, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		run := chain.RunPessimistic
+		if optimistic {
+			run = chain.RunOptimistic
+		}
+		v, err := run(ctx, 1)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		result = v
+		lastDone = time.Now()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if !eng.Settle(30 * time.Second) {
+		return 0, 0, 0, fmt.Errorf("did not settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if want := chain.Expected(1); result != want {
+		return 0, 0, 0, fmt.Errorf("result %d, want %d", result, want)
+	}
+	return lastDone.Sub(start), client.Snapshot().Restarts, result, nil
+}

@@ -1,0 +1,77 @@
+// Quickstart: the smallest complete HOPE program.
+//
+// A worker guesses an assumption and speculates down the optimistic
+// branch; a checker decides the assumption a little later. Run it twice
+// mentally: when the checker affirms, the speculative branch is simply
+// retained; when it denies, the worker transparently rolls back to the
+// guess and re-executes the pessimistic branch.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	// The assumption: "the nightly build is green". Created up front so
+	// the checker can be wired before anyone guesses (the paper's
+	// aid_init idiom).
+	buildGreen, err := sys.NewAID()
+	if err != nil {
+		return err
+	}
+
+	// The worker optimistically assumes the build is green and prepares
+	// the release notes without waiting for CI.
+	worker, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		if ctx.Guess(buildGreen) {
+			fmt.Println("worker: assuming the build is green — drafting release notes")
+			fmt.Println("worker: release notes ready (speculative until CI confirms)")
+		} else {
+			fmt.Println("worker: build is red — filing a fix instead")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// The checker is CI: it verifies the assumption in parallel.
+	verdict := len(os.Args) <= 1 || os.Args[1] != "deny"
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		time.Sleep(2 * time.Millisecond) // the slow remote check
+		if verdict {
+			fmt.Println("checker: build verified green — affirming")
+			ctx.Affirm(buildGreen)
+		} else {
+			fmt.Println("checker: build is red — denying")
+			ctx.Deny(buildGreen)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if !sys.Settle(10 * time.Second) {
+		return fmt.Errorf("system did not settle")
+	}
+	st := worker.Snapshot()
+	fmt.Printf("worker finished: rollbacks=%d, committed=%v\n", st.Restarts, st.AllDefinite)
+	fmt.Println("run with argument 'deny' to watch the rollback path")
+	return nil
+}

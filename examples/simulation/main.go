@@ -1,0 +1,60 @@
+// Simulation: optimistic discrete-event simulation two ways (paper §2).
+//
+// Time Warp hard-codes one optimistic assumption — events arrive in
+// timestamp order — with hand-built state saving and anti-messages. On
+// HOPE the same assumption is just one guess per event, and rollback,
+// message cancellation, and re-derivation come from the runtime. Both
+// engines run the same PHOLD workload and must commit exactly the result
+// of a sequential reference simulator.
+//
+//	go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/des"
+	"github.com/hope-dist/hope/internal/phold"
+	"github.com/hope-dist/hope/internal/timewarp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := phold.Config{LPs: 4, InitialEvents: 2, End: 60, MaxDelay: 8, Seed: 2026}
+
+	ref := phold.Sequential(cfg)
+	fmt.Printf("PHOLD: %d LPs, horizon %d — sequential reference commits %d events\n\n",
+		cfg.LPs, cfg.End, ref.Processed)
+
+	twRes, twStats := timewarp.New(cfg).Run()
+	fmt.Printf("%-22s %4d events in %10v, %3d rollbacks, %4d anti-messages — match=%v\n",
+		"time warp kernel:", twStats.Committed, twStats.Elapsed.Round(time.Microsecond),
+		twStats.Rollbacks, twStats.AntiMessages, twRes.Equal(ref))
+
+	eng := core.NewEngine(core.Config{})
+	defer eng.Shutdown()
+	start := time.Now()
+	cluster, err := des.NewCluster(eng, cfg)
+	if err != nil {
+		return err
+	}
+	if !eng.Settle(60 * time.Second) {
+		return fmt.Errorf("HOPE simulation did not settle")
+	}
+	hopeRes := cluster.Result()
+	fmt.Printf("%-22s %4d events in %10v, %3d rollbacks, anti-messages: none needed — match=%v\n",
+		"HOPE (general):", hopeRes.Processed, time.Since(start).Round(time.Microsecond),
+		cluster.Rollbacks(), hopeRes.Equal(ref))
+
+	fmt.Println("\nsame committed result; the dedicated kernel is faster, the HOPE version is ~40")
+	fmt.Println("lines of LP logic with rollback and message cancellation inherited from the runtime")
+	return nil
+}

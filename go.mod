@@ -1,0 +1,3 @@
+module github.com/hope-dist/hope
+
+go 1.24

@@ -1,0 +1,147 @@
+package bench
+
+// Smoke tests for the experiment harness: each runner must produce sane
+// rows on minimal configurations, guarding the harness against rot
+// independently of the root-level benchmarks.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/phold"
+)
+
+func TestRunE1Smoke(t *testing.T) {
+	res, err := RunE1(200*time.Microsecond, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pessimistic <= 0 || res.Optimistic <= 0 {
+		t.Fatalf("degenerate timings: %+v", res)
+	}
+	if res.Optimistic >= res.Pessimistic {
+		t.Fatalf("optimism lost on perfect predictions: %+v", res)
+	}
+	if res.Rollbacks != 0 {
+		t.Fatalf("rollbacks on perfect predictions: %+v", res)
+	}
+}
+
+func TestRunE3Smoke(t *testing.T) {
+	res, err := RunE3(2, interval.Algorithm2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled {
+		t.Fatalf("algorithm 2 did not settle the 2-ring: %+v", res)
+	}
+	if res.Control == 0 {
+		t.Fatal("no control traffic recorded")
+	}
+}
+
+func TestRunE3LivelockWindow(t *testing.T) {
+	res, err := RunE3(2, interval.Algorithm1, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Settled {
+		t.Fatalf("algorithm 1 settled a cycle: %+v", res)
+	}
+}
+
+func TestRunE5QuadraticShape(t *testing.T) {
+	small, err := RunE5(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunE5(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quadratic growth: doubling the chain should far more than double
+	// the messages (24 → 80 in the closed form).
+	if big.Control < 3*small.Control {
+		t.Fatalf("growth not quadratic: %d -> %d", small.Control, big.Control)
+	}
+}
+
+func TestRunE6Smoke(t *testing.T) {
+	res, err := RunE6(2, 0, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimistic >= res.Pessimistic {
+		t.Fatalf("no pipeline win at depth 2: %+v", res)
+	}
+}
+
+func TestRunE7Smoke(t *testing.T) {
+	res, err := RunE7(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollbacks != 0 {
+		t.Fatalf("conflict-free reads rolled back: %+v", res)
+	}
+	if res.Optimistic >= res.Pessimistic {
+		t.Fatalf("local reads not faster: %+v", res)
+	}
+}
+
+func TestRunE8Smoke(t *testing.T) {
+	cfg := phold.Config{LPs: 2, InitialEvents: 1, End: 30, MaxDelay: 5, Seed: 9}
+	res, err := RunE8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Fatalf("engines disagree with the reference: %+v", res)
+	}
+	if res.Events == 0 {
+		t.Fatal("degenerate workload")
+	}
+}
+
+func TestRunE9Smoke(t *testing.T) {
+	res, err := RunE9(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuessTime <= 0 {
+		t.Fatalf("no guess timing: %+v", res)
+	}
+	// Wait-freedom: a guess must not cost anywhere near a network round
+	// trip even under 5ms latency.
+	slow, err := RunE9(5*time.Millisecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.GuessTime > time.Millisecond {
+		t.Fatalf("guess scaled with network latency: %v", slow.GuessTime)
+	}
+}
+
+func TestRunE10Smoke(t *testing.T) {
+	res, err := RunE10Retry(0, 100*time.Microsecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError != 0 {
+		t.Fatalf("exact tolerance committed error %v", res.MaxError)
+	}
+}
+
+func TestRunE11Smoke(t *testing.T) {
+	res, err := RunE11(2, true, 300*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FinalOK {
+		t.Fatalf("lost updates detected: %+v", res)
+	}
+	if res.Locked <= 0 || res.Optimistic <= 0 {
+		t.Fatalf("degenerate timings: %+v", res)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hope-dist/hope/internal/aid"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/vpm"
+)
+
+// This file implements assumption garbage collection — the paper's §5.2
+// remark that "reference counting can garbage collect old AID processes".
+//
+// Instead of reference counts (which would require tracking every AID
+// value held by user code), collection archives: at a quiescent point,
+// every AID process whose assumption has reached a final state is
+// probed, killed, and its verdict recorded in the engine. Future guesses
+// of an archived assumption are answered locally — True behaves like the
+// Replace-with-null its AID process would have sent, False like its
+// Rollback — so archiving is observationally equivalent while the
+// goroutine and mailbox are reclaimed.
+
+// probeTimeout bounds how long Collect waits for one AID's state reply.
+const probeTimeout = 5 * time.Second
+
+// Collect reclaims AID processes whose assumptions have reached a final
+// state, archiving their verdicts. Call it at a quiescent point (after a
+// successful Settle): collecting while control traffic is in flight
+// could strand a registration mid-protocol.
+//
+// It returns the number of assumption processes reclaimed.
+func (e *Engine) Collect() (int, error) {
+	e.mu.Lock()
+	candidates := make([]ids.AID, 0, len(e.aids))
+	for a := range e.aids {
+		candidates = append(candidates, a)
+	}
+	e.mu.Unlock()
+
+	collected := 0
+	for _, a := range candidates {
+		st, err := e.probeAID(a)
+		if err != nil {
+			return collected, err
+		}
+		if !st.Final() {
+			continue
+		}
+		e.mu.Lock()
+		e.archive[a] = st == aid.True
+		delete(e.aids, a)
+		e.mu.Unlock()
+		e.machine.Kill(a.PID())
+		collected++
+	}
+	return collected, nil
+}
+
+// Archived reports whether x has been collected, and its final verdict.
+func (e *Engine) Archived(x ids.AID) (verdict, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.archive[x]
+	return v, ok
+}
+
+// archiveInvalidates reports whether any tag member is an archived-false
+// assumption — such a message is causally invalid, exactly like one
+// tagged with a locally known denied AID.
+func (e *Engine) archiveInvalidates(tags []ids.AID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range tags {
+		if v, ok := e.archive[a]; ok && !v {
+			return true
+		}
+	}
+	return false
+}
+
+// probeAID asks one AID process for its current state with an
+// engine-internal Probe message via a transient prober process.
+func (e *Engine) probeAID(a ids.AID) (aid.State, error) {
+	reply := make(chan aid.State, 1)
+	proc, err := e.machine.Spawn(func(p *vpm.Proc) {
+		p.Send(msg.Probe(p.PID(), a))
+		for {
+			m, err := p.Recv()
+			if err != nil {
+				return
+			}
+			if m.Kind == msg.KindData && m.AID == a {
+				if st, ok := m.Payload.(aid.State); ok {
+					reply <- st
+				}
+				return
+			}
+		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("collect: spawn prober: %w", err)
+	}
+	defer e.machine.Kill(proc.PID())
+
+	select {
+	case st := <-reply:
+		return st, nil
+	case <-time.After(probeTimeout):
+		return 0, fmt.Errorf("collect: probe of %s timed out", a)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+// This file implements journal compaction — the replay-based counterpart
+// of the paper's checkpoint removal in finalize (Figure 11: "remove the
+// checkpoint of the process state created when A was started").
+//
+// Rollback in this implementation re-executes the body from its start,
+// replaying the journal. For a long-lived process that is mostly
+// definite (a server whose clients' assumptions keep resolving), that
+// replay grows without bound. Compact lets a process that is currently
+// fully definite store a user-provided state snapshot, drop its entire
+// journal and all but its current interval, and resume future replays
+// from the snapshot: rollback cost becomes proportional to the
+// *speculative suffix*, not the process's lifetime.
+//
+// The snapshot contract mirrors the journal's: the body must be able to
+// reconstruct its position from the snapshot alone. The Loop harness
+// (loop.go) packages that contract safely; direct use of Compact/Base is
+// for bodies with a single structural loop head.
+
+// Compact attempts to compact the process's history: if the body is
+// executing live (not replaying) and every interval is definite, the
+// journal and the definite interval prefix are dropped and save()'s
+// value becomes the resume base handed to future re-executions via
+// Base. It reports whether compaction happened.
+//
+// save runs under the process lock and must not call Ctx methods.
+func (c *Ctx) Compact(save func() any) bool {
+	p := c.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.checkInterruptLocked()
+
+	if c.replayingLocked() {
+		// Mid-replay the journal suffix is still needed; the base that
+		// was current when these entries were recorded is already set.
+		return false
+	}
+	if !p.history.AllDefinite() {
+		return false
+	}
+
+	p.base = save()
+	p.hasBase = true
+	p.jnl.Truncate(0)
+	c.cursor = 0
+
+	// Drop every interval but the current one; rebase its journal index.
+	last := p.history.Last()
+	kept := p.history.Len() - 1
+	if kept > 0 {
+		// Rebuild the history with only the live tail record.
+		fresh := interval.NewHistory()
+		fresh.Append(last)
+		p.history = fresh
+	}
+	last.JournalIndex = 0
+	p.curIdx = p.history.Position(last.ID)
+
+	p.eng.tracer.Emit(trace.Event{
+		Kind: trace.Info, PID: p.proc.PID(), Interval: last.ID,
+		Detail: fmt.Sprintf("compacted: dropped %d definite intervals", kept),
+	})
+	return true
+}
+
+// Base returns the most recent compaction snapshot, if any. A body that
+// uses Compact must consult Base at its start: when ok is true the body
+// must resume from the snapshot instead of its initial state (the
+// journal no longer contains the interactions that produced it).
+func (c *Ctx) Base() (snapshot any, ok bool) {
+	p := c.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.checkInterruptLocked()
+	return p.base, p.hasBase
+}
+
+// LoopConfig parameterizes Loop.
+type LoopConfig[S any] struct {
+	// Init produces the initial state.
+	Init func() S
+	// Clone snapshots the state for compaction; it must return an
+	// independent copy (returning the argument is fine for value types).
+	Clone func(S) S
+	// Handle consumes one message, returning the next state. A non-nil
+	// error ends the process.
+	Handle func(ctx *Ctx, state S, payload any, from ids.PID) (S, error)
+	// CompactEvery attempts compaction after every n handled messages;
+	// 0 disables compaction.
+	CompactEvery int
+}
+
+// Loop builds a process body around a message-handling state machine
+// with automatic compaction. Because Loop owns the body's interaction
+// sequence, the compaction contract holds by construction: on
+// re-execution the state is restored from the snapshot and replay
+// continues from exactly the matching point. Compaction attempts are not
+// journalled — they are pure performance decisions, and attempts during
+// replay are no-ops — so replayed executions need not align with the
+// original's compaction points.
+func Loop[S any](cfg LoopConfig[S]) Body {
+	return func(ctx *Ctx) error {
+		var state S
+		if base, ok := ctx.Base(); ok {
+			restored, ok := base.(S)
+			if !ok {
+				return fmt.Errorf("core: loop base snapshot has type %T, want %T", base, state)
+			}
+			state = restored
+		} else {
+			state = cfg.Init()
+		}
+		handled := 0
+		for {
+			payload, from, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			state, err = cfg.Handle(ctx, state, payload, from)
+			if err != nil {
+				return err
+			}
+			handled++
+			if cfg.CompactEvery > 0 && handled%cfg.CompactEvery == 0 {
+				snapshot := state
+				ctx.Compact(func() any { return cfg.Clone(snapshot) })
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// counterLoop builds a Loop body that sums integer payloads and reports
+// each new total to sink.
+func counterLoop(compactEvery int, sink func(total int)) Body {
+	return Loop(LoopConfig[int]{
+		Init:  func() int { return 0 },
+		Clone: func(s int) int { return s },
+		Handle: func(ctx *Ctx, state int, payload any, from ids.PID) (int, error) {
+			if v, ok := payload.(int); ok {
+				state += v
+				sink(state)
+			}
+			return state, nil
+		},
+		CompactEvery: compactEvery,
+	})
+}
+
+// TestLoopCompactsJournal: a definite server's journal stays bounded.
+func TestLoopCompactsJournal(t *testing.T) {
+	eng := newTestEngine(t, Config{})
+
+	var mu sync.Mutex
+	var last int
+	server, err := eng.SpawnRoot(counterLoop(4, func(total int) {
+		mu.Lock()
+		last = total
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatalf("spawn server: %v", err)
+	}
+
+	const sends = 40
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		for i := 1; i <= sends; i++ {
+			ctx.Send(server.PID(), i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn sender: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+
+	mu.Lock()
+	got := last
+	mu.Unlock()
+	if want := sends * (sends + 1) / 2; got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+	// Without compaction the journal would hold ~40 receive entries;
+	// with CompactEvery=4 it must stay below one compaction window.
+	if n := server.JournalLen(); n > 8 {
+		t.Fatalf("journal length = %d after compaction, want bounded", n)
+	}
+}
+
+// TestLoopStateSurvivesCompactionAndRollback: a server compacted away
+// its early journal, then a speculative client makes it roll back; the
+// restored state must include everything before the compaction.
+func TestLoopStateSurvivesCompactionAndRollback(t *testing.T) {
+	eng := newTestEngine(t, Config{})
+	x, _ := eng.NewAID()
+
+	var mu sync.Mutex
+	var totals []int
+	server, err := eng.SpawnRoot(counterLoop(2, func(total int) {
+		mu.Lock()
+		totals = append(totals, total)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatalf("spawn server: %v", err)
+	}
+
+	// Definite prefix: establish state and trigger compaction.
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		for i := 0; i < 6; i++ {
+			ctx.Send(server.PID(), 10)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn prefix sender: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after prefix")
+	}
+	if n := server.JournalLen(); n > 4 {
+		t.Fatalf("journal not compacted: %d entries", n)
+	}
+
+	// Speculative suffix: a guessing client taints the server, then the
+	// assumption is denied — the server replays from its snapshot.
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		if ctx.Guess(x) {
+			ctx.Send(server.PID(), 1000)
+		} else {
+			ctx.Send(server.PID(), 7)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn speculator: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after speculation")
+	}
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		ctx.Deny(x)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after deny")
+	}
+
+	st := server.Snapshot()
+	if st.Restarts == 0 {
+		t.Fatal("server never rolled back")
+	}
+	if !st.AllDefinite {
+		t.Fatalf("server not definite: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(totals) == 0 {
+		t.Fatal("no totals recorded")
+	}
+	// Final committed total: 6×10 from before compaction + the corrected
+	// 7 — state from before the compaction must have survived the
+	// rollback/replay cycle.
+	if last := totals[len(totals)-1]; last != 67 {
+		t.Fatalf("final total = %d, want 67 (totals: %v)", last, totals)
+	}
+}
+
+// TestCompactRefusedWhileSpeculative: Compact is a no-op when any
+// interval is still speculative.
+func TestCompactRefusedWhileSpeculative(t *testing.T) {
+	eng := newTestEngine(t, Config{})
+	x, _ := eng.NewAID()
+
+	var mu sync.Mutex
+	var compacted bool
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		ctx.Guess(x) // now speculative
+		ok := ctx.Compact(func() any { return "snapshot" })
+		mu.Lock()
+		compacted = ok
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if compacted {
+		t.Fatal("compaction succeeded inside speculation")
+	}
+}
+
+// TestCompactBaseRoundTrip: direct Compact/Base use in a hand-rolled
+// loop-structured body.
+func TestCompactBaseRoundTrip(t *testing.T) {
+	eng := newTestEngine(t, Config{})
+
+	type snap struct{ Seen int }
+	var mu sync.Mutex
+	var lastSeen int
+	server, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		seen := 0
+		if base, ok := ctx.Base(); ok {
+			seen = base.(snap).Seen
+		}
+		for {
+			if _, _, err := ctx.Recv(); err != nil {
+				return err
+			}
+			seen++
+			mu.Lock()
+			lastSeen = seen
+			mu.Unlock()
+			s := snap{Seen: seen}
+			ctx.Compact(func() any { return s })
+		}
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		for i := 0; i < 5; i++ {
+			ctx.Send(server.PID(), "ping")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn pinger: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if lastSeen != 5 {
+		t.Fatalf("seen = %d, want 5", lastSeen)
+	}
+	if n := server.JournalLen(); n > 1 {
+		t.Fatalf("journal length = %d, want ≤1 after per-message compaction", n)
+	}
+}

@@ -1,0 +1,267 @@
+// Package core implements the HOPE engine: it binds the virtual process
+// machine, the replay journal, the interval histories, and the AID
+// processes into the wait-free algorithm of the paper's Section 5.
+//
+// A user process is a deterministic body function driven through a Ctx.
+// All HOPE primitives perform only local bookkeeping plus asynchronous
+// sends — no primitive ever waits for a remote reply (the paper's central
+// design criterion). Rollback is realized by journal truncation and body
+// re-execution with replay; see internal/journal and DESIGN.md §2.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hope-dist/hope/internal/aid"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/vpm"
+)
+
+// Body is a HOPE user-process body. Bodies must be deterministic given
+// the interactions performed through ctx (the journal replays them after
+// a rollback); outside nondeterminism must go through Ctx.Record.
+type Body func(ctx *Ctx) error
+
+// ErrTerminated is reported by processes whose speculative root interval
+// was rolled back (the process "should never have existed").
+var ErrTerminated = errors.New("core: process terminated by rollback of speculative root")
+
+// ErrShutdown is reported for processes still running at engine shutdown.
+var ErrShutdown = errors.New("core: engine shut down")
+
+// Engine hosts a HOPE system: user processes, AID processes, and the
+// transport between them.
+type Engine struct {
+	machine *vpm.Machine
+	alg     interval.Algorithm
+	tracer  trace.Tracer
+	epochs  ids.EpochAllocator
+
+	// violations counts protocol violations observed at runtime:
+	// conflicting affirm/deny (the paper's "user error") and the
+	// documented premature-commit residual (DESIGN.md §4.9).
+	violations atomic.Int64
+
+	mu      sync.Mutex
+	procs   map[ids.PID]*Process
+	aids    map[ids.AID]*vpm.Proc
+	archive map[ids.AID]bool // collected assumptions → final verdict
+	closing bool
+
+	runners sync.WaitGroup
+}
+
+// Config parameterizes a new engine.
+type Config struct {
+	// Latency is the transport latency model (nil = zero latency).
+	Latency netsim.LatencyModel
+	// Algorithm selects Control's variant; the zero value means
+	// Algorithm2 (cycle detection on), the production default.
+	Algorithm interval.Algorithm
+	// Tracer receives runtime events (nil = discard).
+	Tracer trace.Tracer
+}
+
+// NewEngine constructs an engine and its transport.
+func NewEngine(cfg Config) *Engine {
+	alg := cfg.Algorithm
+	if alg == 0 {
+		alg = interval.Algorithm2
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = trace.Nop
+	}
+	e := &Engine{
+		machine: vpm.New(netsim.New(cfg.Latency)),
+		alg:     alg,
+		procs:   make(map[ids.PID]*Process),
+		aids:    make(map[ids.AID]*vpm.Proc),
+		archive: make(map[ids.AID]bool),
+	}
+	e.tracer = violationCounter{inner: tr, count: &e.violations}
+	return e
+}
+
+// violationCounter tallies violation events on their way to the
+// configured tracer, giving tracer-less callers an integrity signal.
+type violationCounter struct {
+	inner trace.Tracer
+	count *atomic.Int64
+}
+
+// Emit implements trace.Tracer.
+func (t violationCounter) Emit(e trace.Event) {
+	if e.Kind == trace.Violation {
+		t.count.Add(1)
+	}
+	t.inner.Emit(e)
+}
+
+// Violations returns how many protocol violations the runtime has
+// observed: conflicting affirm/deny (the paper's "user error") or the
+// premature-commit residual documented in DESIGN.md §4.9. A nonzero
+// count means some committed state may not satisfy Theorem 5.1.
+func (e *Engine) Violations() int64 {
+	return e.violations.Load()
+}
+
+// Net exposes the transport, mainly for message-count experiments.
+func (e *Engine) Net() *netsim.Net { return e.machine.Net() }
+
+// Algorithm returns the Control variant in use.
+func (e *Engine) Algorithm() interval.Algorithm { return e.alg }
+
+// Tracer returns the engine's tracer.
+func (e *Engine) Tracer() trace.Tracer { return e.tracer }
+
+// SpawnRoot starts a definite (non-speculative) top-level user process.
+func (e *Engine) SpawnRoot(body Body) (*Process, error) {
+	return e.spawn(body, nil)
+}
+
+// NewAID spawns a fresh AID process and returns its identifier. Exposed
+// on the engine so that assumptions can be created before the processes
+// that use them (the paper's aid_init).
+func (e *Engine) NewAID() (ids.AID, error) {
+	proc, err := e.machine.Spawn(aid.Run(e.tracer))
+	if err != nil {
+		return ids.NilAID, fmt.Errorf("spawn aid: %w", err)
+	}
+	a := ids.AID(proc.PID())
+	e.mu.Lock()
+	e.aids[a] = proc
+	e.mu.Unlock()
+	return a, nil
+}
+
+// spawn creates a user process whose root interval depends on birthIDO
+// (nil for a definite root).
+func (e *Engine) spawn(body Body, birthIDO []ids.AID) (*Process, error) {
+	e.mu.Lock()
+	if e.closing {
+		e.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	e.mu.Unlock()
+
+	p := newProcess(e, body, birthIDO)
+	proc, err := e.machine.Spawn(p.dispatch)
+	if err != nil {
+		return nil, fmt.Errorf("spawn user process: %w", err)
+	}
+	p.bind(proc)
+
+	e.mu.Lock()
+	e.procs[p.PID()] = p
+	e.mu.Unlock()
+
+	e.runners.Add(1)
+	go func() {
+		defer e.runners.Done()
+		p.run()
+	}()
+	return p, nil
+}
+
+// Process returns the live process with the given PID, or nil.
+func (e *Engine) Process(pid ids.PID) *Process {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.procs[pid]
+}
+
+// Processes returns a snapshot of all user processes ever spawned and
+// still tracked.
+func (e *Engine) Processes() []*Process {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Process, 0, len(e.procs))
+	for _, p := range e.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Shutdown terminates every process and closes the transport. It is safe
+// to call once; processes observe ErrShutdown if still running.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	if e.closing {
+		e.mu.Unlock()
+		return
+	}
+	e.closing = true
+	procs := make([]*Process, 0, len(e.procs))
+	for _, p := range e.procs {
+		procs = append(procs, p)
+	}
+	e.mu.Unlock()
+
+	for _, p := range procs {
+		p.shutdown()
+	}
+	e.runners.Wait()
+	e.machine.Shutdown()
+}
+
+// Settle blocks until the system is quiescent — no in-flight transport
+// messages, every mailbox drained, every user process parked (completed,
+// waiting in Recv, or terminated) — or the timeout elapses. It returns
+// true on quiescence. Tests and benchmarks use it as the "run to
+// completion" barrier; it does not guarantee every interval is definite
+// (an unresolved assumption legitimately leaves speculation pending).
+func (e *Engine) Settle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	for {
+		// Poll rather than block on transport drain: a livelocked system
+		// (e.g. Algorithm 1 on a dependency cycle) never drains, and
+		// Settle must still honour its timeout.
+		if e.machine.Net().Inflight() == 0 && e.quiet() {
+			stable++
+			if stable >= 3 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// quiet reports whether every mailbox is empty and every process parked.
+func (e *Engine) quiet() bool {
+	e.mu.Lock()
+	procs := make([]*Process, 0, len(e.procs))
+	for _, p := range e.procs {
+		procs = append(procs, p)
+	}
+	aids := make([]*vpm.Proc, 0, len(e.aids))
+	for _, ap := range e.aids {
+		aids = append(aids, ap)
+	}
+	e.mu.Unlock()
+
+	for _, ap := range aids {
+		if ap.Box().Len() > 0 {
+			return false
+		}
+	}
+	for _, p := range procs {
+		if !p.parked() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,574 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/mailbox"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/sets"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/vpm"
+)
+
+// rollbackPanic unwinds a body goroutine for re-execution after rollback.
+type rollbackPanic struct{}
+
+// terminatePanic unwinds a body goroutine for good (root rollback or
+// engine shutdown).
+type terminatePanic struct{}
+
+var (
+	errRolledBack    = errors.New("core: rolled back")
+	errTerminatedSig = errors.New("core: terminate signal")
+)
+
+// Process is one HOPE user process: a deterministic body plus the HOPElib
+// state attached to it (interval history, dependency sets, journal).
+type Process struct {
+	eng      *Engine
+	body     Body
+	birthIDO []ids.AID
+
+	proc *vpm.Proc // set by bind before any goroutine starts
+
+	mu       sync.Mutex
+	history  *interval.History
+	jnl      *journal.Journal
+	seq      uint32
+	dataQ    *mailbox.Box
+	dead     *sets.AIDSet // assumptions known to be denied
+	curIdx   int          // history position of the current interval
+	pending  bool         // rollback performed, body must re-execute
+	term     bool         // terminated: never runs again
+	complete bool         // body returned (may still be speculative)
+	runErr   error
+	restarts int
+	recving  bool // body parked inside Recv
+
+	// base is the latest compaction snapshot (see compact.go): the
+	// state a re-execution resumes from instead of replaying the
+	// process's whole life.
+	base    any
+	hasBase bool
+
+	restartCh chan struct{}
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	ready     chan struct{} // closed once bind has installed proc + root
+}
+
+func newProcess(eng *Engine, body Body, birthIDO []ids.AID) *Process {
+	return &Process{
+		eng:       eng,
+		body:      body,
+		birthIDO:  birthIDO,
+		history:   interval.NewHistory(),
+		jnl:       &journal.Journal{},
+		dataQ:     mailbox.New(),
+		dead:      sets.NewAIDSet(),
+		restartCh: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		ready:     make(chan struct{}),
+	}
+}
+
+// bind attaches the vpm identity and creates the root interval. A process
+// spawned by a speculative parent inherits the parent's IDO as its root
+// dependency set: it is a causal descendant of those assumptions.
+func (p *Process) bind(proc *vpm.Proc) {
+	p.proc = proc
+	p.mu.Lock()
+	root := p.newIntervalLocked(interval.Root, 0, p.birthIDO, ids.NilAID)
+	p.curIdx = p.history.Position(root.ID)
+	p.mu.Unlock()
+	close(p.ready)
+}
+
+// PID returns the process identifier.
+func (p *Process) PID() ids.PID { return p.proc.PID() }
+
+// newIntervalLocked appends a fresh interval whose IDO is the predecessor
+// interval's live IDO plus extra, registers it with every AID it depends
+// on (a Guess message each; the paper's DOM bookkeeping), and returns it.
+// An interval born with an empty IDO is definite from the start.
+func (p *Process) newIntervalLocked(kind interval.OpenKind, journalIndex int, extra []ids.AID, guessAID ids.AID) *interval.Record {
+	id := ids.IntervalID{Proc: p.proc.PID(), Seq: p.seq, Epoch: p.eng.epochs.Next()}
+	p.seq++
+	rec := interval.NewRecord(id, kind, journalIndex)
+	rec.GuessAID = guessAID
+	if pred := p.history.Last(); pred != nil {
+		rec.IDO = pred.IDO.Clone()
+		// Unconfirmed cycle cuts are still live dependencies from the
+		// successor's point of view: its speculation rests on them until
+		// they are confirmed or revived (DESIGN.md §4).
+		for _, a := range pred.Cut.Slice() {
+			rec.IDO.Add(a)
+		}
+	}
+	for _, a := range extra {
+		rec.IDO.Add(a)
+	}
+	if rec.IDO.Empty() {
+		rec.Definite = true
+	}
+	p.history.Append(rec)
+	for _, a := range rec.IDO.Slice() {
+		p.send(msg.Guess(p.proc.PID(), rec.ID, a))
+	}
+	return rec
+}
+
+// send transmits m asynchronously, stamping the sender PID.
+func (p *Process) send(m *msg.Message) {
+	p.proc.Send(m)
+}
+
+// dispatch is the vpm body: the HOPElib message loop intercepting control
+// messages (paper Figure 3) and routing user data to the Recv queue.
+func (p *Process) dispatch(proc *vpm.Proc) {
+	<-p.ready // wait for bind: proc handle and root interval installed
+	for {
+		m, err := proc.Recv()
+		if err != nil {
+			return // mailbox closed: engine shutdown
+		}
+		switch m.Kind {
+		case msg.KindData:
+			p.handleData(m)
+		case msg.KindReplace:
+			p.handleReplace(m)
+		case msg.KindRollback:
+			p.handleRollback(m)
+		case msg.KindRevive:
+			p.handleRevive(m)
+		case msg.KindCutAck:
+			p.handleCutAck(m)
+		default:
+			p.eng.tracer.Emit(trace.Event{
+				Kind: trace.Violation, PID: proc.PID(),
+				Detail: "user process received " + m.Kind.String(),
+			})
+		}
+	}
+}
+
+// handleData enqueues a user message unless the process is terminated or
+// the message's tag names an assumption already known to be denied (such
+// a message is causally invalid and its sender has been rolled back).
+func (p *Process) handleData(m *msg.Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return
+	}
+	if p.dead.Intersects(m.Tag) || p.eng.archiveInvalidates(m.Tag) {
+		p.eng.tracer.Emit(trace.Event{
+			Kind: trace.Info, PID: p.proc.PID(),
+			Detail: fmt.Sprintf("dropped data message from %s with denied tag %v payload=%v", m.From, m.Tag, m.Payload),
+		})
+		return
+	}
+	p.dataQ.Put(m)
+}
+
+// handleReplace applies a Replace message to the target interval (paper
+// Figure 10 / Figure 15 depending on the configured algorithm).
+func (p *Process) handleReplace(m *msg.Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec := p.history.Get(m.IID)
+	if rec == nil || rec.Definite || p.term {
+		return // stale target: the paper's "if target in history" guard
+	}
+	res := interval.ApplyReplace(p.eng.alg, rec, m.AID, m.IDO)
+	for _, y := range res.NewDeps {
+		// Complete the DOM addition: register this interval with every
+		// AID that replaced the sender (Figure 10).
+		p.send(msg.Guess(p.proc.PID(), rec.ID, y))
+	}
+	for _, y := range res.NewCuts {
+		// A provisional cycle cut: ask the cut AID to confirm it is
+		// still conditionally affirmed (DESIGN.md §4).
+		p.eng.tracer.Emit(trace.Event{
+			Kind: trace.Info, PID: p.proc.PID(), Interval: rec.ID, AID: y,
+			Detail: "cycle cut pending confirmation",
+		})
+		p.send(msg.CutProbe(p.proc.PID(), rec.ID, y))
+	}
+	if res.Finalize {
+		p.finalizeLocked(rec)
+	}
+}
+
+// handleCutAck retires a confirmed cycle cut; the interval finalizes if
+// nothing else holds it.
+func (p *Process) handleCutAck(m *msg.Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return
+	}
+	rec := p.history.Get(m.IID)
+	if rec == nil || rec.Definite {
+		return
+	}
+	rec.Cut.Remove(m.AID)
+	if rec.Finalizable() {
+		p.finalizeLocked(rec)
+	}
+}
+
+// finalizeLocked makes rec definite (paper Figure 11): its speculative
+// affirms become unconditional and its buffered denies fire.
+func (p *Process) finalizeLocked(rec *interval.Record) {
+	rec.Definite = true
+	p.eng.tracer.Emit(trace.Event{
+		Kind: trace.Finalize, PID: p.proc.PID(), Interval: rec.ID,
+	})
+	for _, y := range rec.IHA.Slice() {
+		p.send(msg.Affirm(p.proc.PID(), rec.ID, y, nil))
+	}
+	for _, y := range rec.IHD.Slice() {
+		p.send(msg.Deny(p.proc.PID(), rec.ID, y))
+	}
+}
+
+// handleRevive re-establishes a direct dependency on an AID whose
+// conditional affirm was retracted: whatever resolution of it the target
+// interval performed — Replace substitution or a stale-UDO discard — came
+// through the voided chain. A definite target is the narrow premature
+// commit race this mechanism cannot repair; it is traced for visibility
+// (see DESIGN.md §4).
+func (p *Process) handleRevive(m *msg.Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return
+	}
+	rec := p.history.Get(m.IID)
+	if rec == nil {
+		return // stale target
+	}
+	if rec.Definite {
+		p.eng.tracer.Emit(trace.Event{
+			Kind: trace.Violation, PID: p.proc.PID(), Interval: rec.ID, AID: m.AID,
+			Detail: "revive of definite interval: premature commit through a retracted chain",
+		})
+		return
+	}
+	rec.UDO.Remove(m.AID)
+	rec.Cut.Remove(m.AID)
+	if rec.IDO.Add(m.AID) {
+		p.send(msg.Guess(p.proc.PID(), rec.ID, m.AID))
+		// The interval's speculative basis grew. Conditional affirms it
+		// issued earlier advertised the old, smaller basis; refresh them
+		// so dependents that replaced those assumptions acquire the new
+		// dependency too (one hop of the commit-basis-growth propagation;
+		// see DESIGN.md §4).
+		if !rec.IHA.Empty() {
+			basis := rec.IDO.Slice()
+			for _, y := range rec.IHA.Slice() {
+				p.send(msg.Affirm(p.proc.PID(), rec.ID, y, basis))
+			}
+		}
+	}
+}
+
+// handleRollback rolls back the target interval and everything after it.
+func (p *Process) handleRollback(m *msg.Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return
+	}
+	rec := p.history.Get(m.IID)
+	if rec == nil {
+		return // stale: already rolled back deeper
+	}
+	if rec.Definite {
+		p.eng.tracer.Emit(trace.Event{
+			Kind: trace.Violation, PID: p.proc.PID(), Interval: rec.ID, AID: m.AID,
+			Detail: "rollback of definite interval (conflicting affirm/deny upstream)",
+		})
+		return
+	}
+	if m.AID.Valid() {
+		p.dead.Add(m.AID)
+	}
+	p.rollbackLocked(rec)
+}
+
+// rollbackLocked implements the paper's rollback (Figure 11) on top of
+// journal truncation:
+//
+//   - every discarded interval's speculative affirms are retracted;
+//   - the journal is cut just before the entry that opened the target
+//     interval, so re-execution re-runs the opening primitive live: the
+//     interval returns to "Begin" in Figure 9's state machine. A re-run
+//     guess of a *denied* AID returns false (the dead-AID set); a re-run
+//     guess whose interval was only rolled back transitively — some
+//     other assumption it had come to depend on was denied — guesses
+//     afresh, as the paper's interval state machine requires;
+//   - received messages from the discarded suffix that remain causally
+//     valid (no denied AID in their tag) are requeued in their original
+//     order; assumptions created in the suffix are orphaned and their
+//     AID processes killed;
+//   - the body goroutine is signalled to unwind and re-execute.
+//
+// Rollback of a speculative root terminates the process.
+func (p *Process) rollbackLocked(rec *interval.Record) {
+	if rec.Kind == interval.Root {
+		p.eng.tracer.Emit(trace.Event{
+			Kind: trace.Terminate, PID: p.proc.PID(), Interval: rec.ID,
+		})
+		if p.runErr == nil {
+			// Even a body that already returned is retroactively undone:
+			// its entire existence was speculation that failed.
+			p.runErr = ErrTerminated
+		}
+		p.terminateLocked()
+		return
+	}
+
+	pos := p.history.Position(rec.ID)
+	removed := p.history.TruncateFrom(pos)
+	for i := len(removed) - 1; i >= 0; i-- {
+		r := removed[i]
+		for _, y := range r.IHA.Slice() {
+			p.send(msg.Retract(p.proc.PID(), r.ID, y))
+		}
+	}
+
+	discarded := p.jnl.Truncate(rec.JournalIndex)
+
+	// Requeue surviving receives and deny assumptions created in the
+	// discarded suffix. A message whose tag names a denied assumption is
+	// causally invalid — its sender has been rolled back — and is gone
+	// for good; everything else is re-delivered in original order.
+	//
+	// Orphaned assumptions are denied rather than garbage collected:
+	// other processes may have come to depend on them (directly through
+	// tags or indirectly through Replace chains), and the only way to
+	// release every such dependent is the denial's rollback fan-out. The
+	// re-execution draws fresh identifiers, so nothing ever affirms an
+	// orphan.
+	var requeue []*msg.Message
+	for _, e := range discarded {
+		switch e.Kind {
+		case journal.KindRecv, journal.KindTryRecv:
+			if e.Msg == nil {
+				continue // a TryRecv miss
+			}
+			if p.dead.Intersects(e.Msg.Tag) {
+				p.eng.tracer.Emit(trace.Event{
+					Kind: trace.Info, PID: p.proc.PID(),
+					Detail: fmt.Sprintf("requeue-dropped message from %s with denied tag %v payload=%v", e.Msg.From, e.Msg.Tag, e.Msg.Payload),
+				})
+				continue
+			}
+			requeue = append(requeue, e.Msg)
+		case journal.KindAidInit:
+			p.dead.Add(e.AID)
+			p.send(msg.Deny(p.proc.PID(), rec.ID, e.AID))
+		}
+	}
+
+	p.curIdx = p.history.Len() - 1
+
+	// Purge queued-but-unreceived messages that are now known invalid,
+	// then put surviving journalled messages back at the front so they
+	// are re-received in their original order.
+	p.dataQ.Purge(func(m *msg.Message) bool {
+		return p.dead.Intersects(m.Tag)
+	})
+	p.dataQ.Requeue(requeue)
+
+	p.pending = true
+	p.restarts++
+	p.eng.tracer.Emit(trace.Event{
+		Kind: trace.Rollback, PID: p.proc.PID(), Interval: rec.ID,
+		Detail: fmt.Sprintf("history=%d journal=%d requeued=%d", p.history.Len(), p.jnl.Len(), len(requeue)),
+	})
+	p.dataQ.Interrupt()
+	select {
+	case p.restartCh <- struct{}{}:
+	default:
+	}
+}
+
+// terminateLocked marks the process dead and wakes its body.
+func (p *Process) terminateLocked() {
+	p.term = true
+	p.dataQ.Interrupt()
+	p.stopOnce.Do(func() { close(p.stopCh) })
+}
+
+// shutdown is called by the engine: terminate and unblock the runner.
+func (p *Process) shutdown() {
+	p.mu.Lock()
+	p.terminateLocked()
+	p.mu.Unlock()
+}
+
+// run is the runner loop: execute the body, restart on rollback, park on
+// completion until a further rollback or termination.
+func (p *Process) run() {
+	for {
+		p.mu.Lock()
+		if p.term {
+			if p.runErr == nil {
+				p.runErr = ErrTerminated
+			}
+			p.mu.Unlock()
+			return
+		}
+		p.pending = false
+		p.complete = false
+		// Drain any stale restart token from a rollback already covered
+		// by this re-execution.
+		select {
+		case <-p.restartCh:
+		default:
+		}
+		p.mu.Unlock()
+
+		err := p.execute()
+		switch {
+		case errors.Is(err, errRolledBack):
+			p.eng.tracer.Emit(trace.Event{Kind: trace.Restart, PID: p.proc.PID()})
+			continue
+		case errors.Is(err, errTerminatedSig):
+			p.mu.Lock()
+			if p.runErr == nil {
+				p.runErr = ErrTerminated
+			}
+			p.mu.Unlock()
+			return
+		}
+
+		p.mu.Lock()
+		p.complete = true
+		p.runErr = err
+		p.mu.Unlock()
+
+		select {
+		case <-p.restartCh:
+			p.eng.tracer.Emit(trace.Event{Kind: trace.Restart, PID: p.proc.PID()})
+			continue
+		case <-p.stopCh:
+			return
+		}
+	}
+}
+
+// execute runs the body once, translating unwinding panics into errors.
+func (p *Process) execute() (err error) {
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+		case rollbackPanic:
+			err = errRolledBack
+		case terminatePanic:
+			err = errTerminatedSig
+		case *journal.DivergenceError:
+			err = r
+		default:
+			err = fmt.Errorf("core: process body panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	ctx := &Ctx{p: p}
+	return p.body(ctx)
+}
+
+// parked reports whether the process is currently at rest: terminated,
+// completed, or blocked in Recv with nothing queued.
+func (p *Process) parked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return true
+	}
+	if p.pending {
+		return false
+	}
+	if p.proc.Box().Len() > 0 {
+		return false
+	}
+	if p.complete {
+		return true
+	}
+	return p.recving && p.dataQ.Len() == 0
+}
+
+// Status is a consistent snapshot of a process's externally observable
+// state, used by tests and the experiment harness.
+type Status struct {
+	PID         ids.PID
+	Completed   bool
+	Terminated  bool
+	Err         error
+	Restarts    int
+	Intervals   int
+	AllDefinite bool
+	DeadAIDs    []ids.AID
+}
+
+// Snapshot returns the process status under the process lock.
+func (p *Process) Snapshot() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Status{
+		PID:         p.proc.PID(),
+		Completed:   p.complete,
+		Terminated:  p.term,
+		Err:         p.runErr,
+		Restarts:    p.restarts,
+		Intervals:   p.history.Len(),
+		AllDefinite: p.history.AllDefinite(),
+		DeadAIDs:    p.dead.Slice(),
+	}
+}
+
+// JournalLen returns the current length of the replay journal (tests and
+// capacity monitoring).
+func (p *Process) JournalLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jnl.Len()
+}
+
+// HistorySnapshot returns a copy of the interval records' identifiers,
+// kinds, and definiteness, oldest first.
+func (p *Process) HistorySnapshot() []IntervalInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]IntervalInfo, 0, p.history.Len())
+	for _, r := range p.history.Slice() {
+		out = append(out, IntervalInfo{
+			ID:       r.ID,
+			Kind:     r.Kind,
+			GuessAID: r.GuessAID,
+			Definite: r.Definite,
+			IDO:      r.IDO.Slice(),
+			UDO:      r.UDO.Slice(),
+		})
+	}
+	return out
+}
+
+// IntervalInfo describes one interval in a history snapshot.
+type IntervalInfo struct {
+	ID       ids.IntervalID
+	Kind     interval.OpenKind
+	GuessAID ids.AID
+	Definite bool
+	IDO      []ids.AID
+	UDO      []ids.AID
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/netsim"
+)
+
+// This file exercises the retract/revive machinery of DESIGN.md §4.9
+// deterministically: a conditional affirm is withdrawn by its affirmer's
+// rollback, and every dependent — including those that had resolved the
+// assumption through the voided chain — ends up with the re-decided
+// verdict.
+
+// TestRetractThenDenyReachesDependents: B resolved X via A's conditional
+// affirm (conditional on Y); Y is denied, so A rolls back, retracts the
+// affirm, re-executes, and denies X — and B must take the pessimistic
+// branch despite having replaced X away earlier.
+func TestRetractThenDenyReachesDependents(t *testing.T) {
+	eng := newTestEngine(t, Config{Latency: netsim.Constant(100 * time.Microsecond)})
+
+	x, _ := eng.NewAID()
+	y, _ := eng.NewAID()
+
+	var mu sync.Mutex
+	var bBranches []string
+
+	// B guesses X before anything is affirmed.
+	b, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		branch := "pessimistic"
+		if ctx.Guess(x) {
+			branch = "optimistic"
+		}
+		mu.Lock()
+		bBranches = append(bBranches, branch)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn b: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after b")
+	}
+
+	// A affirms X conditionally on Y; re-executed after Y's denial it
+	// denies X instead.
+	a, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		if ctx.Guess(y) {
+			ctx.Affirm(x)
+		} else {
+			ctx.Deny(x)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn a: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after a")
+	}
+
+	// B is still speculative (X is Maybe, conditional on Y), as is A.
+	if st := b.Snapshot(); st.AllDefinite {
+		t.Fatalf("b definite while X is conditional: %+v", st)
+	}
+
+	// Deny Y: A rolls back, the affirm of X is retracted, B is revived
+	// onto X, A's re-execution denies X, and B goes pessimistic.
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		ctx.Deny(y)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after denying y")
+	}
+
+	ast, bst := a.Snapshot(), b.Snapshot()
+	if ast.Restarts == 0 {
+		t.Fatalf("a never rolled back: %+v", ast)
+	}
+	if bst.Restarts == 0 {
+		t.Fatalf("b never rolled back despite the retracted chain: %+v", bst)
+	}
+	if !ast.AllDefinite || !bst.AllDefinite {
+		t.Fatalf("not definite: a=%+v b=%+v", ast, bst)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bBranches) == 0 || bBranches[len(bBranches)-1] != "pessimistic" {
+		t.Fatalf("b branches = %v, want final pessimistic", bBranches)
+	}
+	if eng.Violations() != 0 {
+		t.Fatalf("%d violations in the deterministic retract scenario", eng.Violations())
+	}
+}
+
+// TestRetractThenReaffirm: the same shape but the re-decision is another
+// affirm (this time definite because Y's guess returned false and no new
+// speculation remains) — B's optimistic branch must commit.
+func TestRetractThenReaffirm(t *testing.T) {
+	eng := newTestEngine(t, Config{Latency: netsim.Constant(100 * time.Microsecond)})
+
+	x, _ := eng.NewAID()
+	y, _ := eng.NewAID()
+
+	var mu sync.Mutex
+	var bBranch string
+	b, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		branch := "pessimistic"
+		if ctx.Guess(x) {
+			branch = "optimistic"
+		}
+		mu.Lock()
+		bBranch = branch
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn b: %v", err)
+	}
+
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		ctx.Guess(y)  // speculation that will fail
+		ctx.Affirm(x) // conditional on y the first time; definite on rerun
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn a: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after a")
+	}
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		ctx.Deny(y)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle after denying y")
+	}
+
+	bst := b.Snapshot()
+	if !bst.AllDefinite {
+		t.Fatalf("b not definite: %+v", bst)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if bBranch != "optimistic" {
+		t.Fatalf("b branch = %q, want optimistic (x re-affirmed definitively)", bBranch)
+	}
+	if eng.Violations() != 0 {
+		t.Fatalf("%d violations", eng.Violations())
+	}
+}

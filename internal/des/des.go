@@ -1,0 +1,186 @@
+// Package des realizes optimistic discrete-event simulation on HOPE,
+// demonstrating the paper's §2 claim: Time Warp's single built-in
+// assumption ("messages arrive in timestamp order") is just one
+// expressible HOPE assumption. Each logical process guesses, per event,
+// that no earlier-ordered event will arrive later; a straggler denies
+// that guess, and HOPE's generic dependency tracking and rollback replace
+// Time Warp's hand-built state saving and anti-messages.
+//
+// The anti-message machinery comes for free: events emitted while
+// processing under a guess are tagged with it, so denying the guess
+// invalidates them at every receiver.
+package des
+
+import (
+	"sync"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/phold"
+)
+
+// guard pairs a processed event's order key with the assumption that
+// processing it was safe.
+type guard struct {
+	key phold.Key
+	aid ids.AID
+}
+
+// LPResult is reported by an LP each time it goes idle; the values
+// reported at quiescence are the committed ones.
+type LPResult struct {
+	Index     int
+	State     uint64
+	Processed int
+}
+
+// LP returns the HOPE process body for logical process index. peers maps
+// LP index to PID (filled before any event flows; see Cluster). done is
+// called every time the LP goes idle with its current (possibly still
+// speculative) result — the call at quiescence is final.
+func LP(cfg phold.Config, index int, peers func(int) ids.PID, done func(LPResult)) core.Body {
+	return func(ctx *core.Ctx) error {
+		state := cfg.InitialState(index)
+		var pending phold.Heap
+		var guards []guard
+		processed := 0
+
+		// arrive files one event, denying the violated order guess if the
+		// event is a straggler. The deny unwinds this body at the next
+		// primitive; re-execution replays up to the violated guess, which
+		// then returns false.
+		arrive := func(ev phold.Event) {
+			for _, g := range guards {
+				if ev.Key().Less(g.key) {
+					ctx.Deny(g.aid)
+					break
+				}
+			}
+			pending.Push(ev)
+		}
+
+		for {
+			// Drain arrivals without blocking.
+			for {
+				payload, _, ok := ctx.TryRecv()
+				if !ok {
+					break
+				}
+				if ev, isEv := payload.(phold.Event); isEv {
+					arrive(ev)
+				}
+			}
+
+			// Process the lowest-ordered pending event under an order
+			// guess.
+			if pending.Len() > 0 {
+				ev := pending.Pop()
+				a := ctx.AidInit()
+				if ctx.Guess(a) {
+					guards = append(guards, guard{key: ev.Key(), aid: a})
+					var children []phold.Event
+					state, children = cfg.Step(state, ev)
+					processed++
+					for _, ch := range children {
+						ctx.Send(peers(ch.To), ch)
+					}
+				} else {
+					// Rolled back: a straggler ordered before ev exists
+					// and will be re-received; ev goes back in the queue.
+					pending.Push(ev)
+				}
+				continue
+			}
+
+			// Idle: report and block for more work. Stragglers arriving
+			// later roll us back through the journal, so reporting here
+			// is safe — the last report before quiescence wins.
+			done(LPResult{Index: index, State: state, Processed: processed})
+			payload, _, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			if ev, isEv := payload.(phold.Event); isEv {
+				arrive(ev)
+			}
+		}
+	}
+}
+
+// Cluster wires up a full HOPE DES run: one LP process per PHOLD LP plus
+// a seeder that injects the initial events.
+type Cluster struct {
+	cfg phold.Config
+	lps []*core.Process
+
+	mu   sync.Mutex
+	pids []ids.PID
+	res  []LPResult
+}
+
+// NewCluster spawns the LPs and the event seeder on eng.
+func NewCluster(eng *core.Engine, cfg phold.Config) (*Cluster, error) {
+	c := &Cluster{
+		cfg:  cfg,
+		pids: make([]ids.PID, cfg.LPs),
+		res:  make([]LPResult, cfg.LPs),
+	}
+	done := func(r LPResult) {
+		c.mu.Lock()
+		c.res[r.Index] = r
+		c.mu.Unlock()
+	}
+	peers := func(i int) ids.PID {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.pids[i]
+	}
+
+	for i := 0; i < cfg.LPs; i++ {
+		p, err := eng.SpawnRoot(LP(cfg, i, peers, done))
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.pids[i] = p.PID()
+		c.mu.Unlock()
+		c.lps = append(c.lps, p)
+	}
+
+	// Seed initial events from a definite injector process. It spawns
+	// after every LP, so peers is fully populated before any event flows.
+	if _, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		for i := 0; i < cfg.LPs; i++ {
+			for _, ev := range cfg.InitialEventsFor(i) {
+				ctx.Send(peers(i), ev)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Result gathers the committed result. Call only after the engine has
+// settled.
+func (c *Cluster) Result() phold.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := phold.Result{States: make([]uint64, c.cfg.LPs)}
+	for _, r := range c.res {
+		out.States[r.Index] = r.State
+		out.Processed += r.Processed
+	}
+	return out
+}
+
+// Rollbacks sums the LPs' restart counts (each restart is one rollback
+// episode).
+func (c *Cluster) Rollbacks() int {
+	total := 0
+	for _, p := range c.lps {
+		total += p.Snapshot().Restarts
+	}
+	return total
+}

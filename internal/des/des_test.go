@@ -1,0 +1,93 @@
+package des
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/phold"
+	"github.com/hope-dist/hope/internal/timewarp"
+)
+
+const settleTimeout = 60 * time.Second
+
+// runHOPE executes the PHOLD configuration on the HOPE DES cluster.
+func runHOPE(t *testing.T, cfg phold.Config, latency netsim.LatencyModel) (phold.Result, int) {
+	t.Helper()
+	eng := core.NewEngine(core.Config{Latency: latency})
+	defer eng.Shutdown()
+	cluster, err := NewCluster(eng, cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("HOPE DES did not settle")
+	}
+	return cluster.Result(), cluster.Rollbacks()
+}
+
+// TestHOPEMatchesSequential: the HOPE simulation commits exactly the
+// sequential reference result.
+func TestHOPEMatchesSequential(t *testing.T) {
+	cfg := phold.Config{LPs: 3, InitialEvents: 2, End: 40, MaxDelay: 7, Seed: 12345}
+	want := phold.Sequential(cfg)
+	if want.Processed == 0 {
+		t.Fatal("degenerate workload")
+	}
+
+	got, _ := runHOPE(t, cfg, nil)
+	if !got.Equal(want) {
+		t.Fatalf("HOPE result %+v != sequential %+v", got, want)
+	}
+}
+
+// TestHOPEMatchesSequentialWithJitter: message reordering across LP pairs
+// provokes stragglers; rollbacks must repair them exactly.
+func TestHOPEMatchesSequentialWithJitter(t *testing.T) {
+	cfg := phold.Config{LPs: 3, InitialEvents: 2, End: 60, MaxDelay: 9, Seed: 999}
+	want := phold.Sequential(cfg)
+
+	got, rollbacks := runHOPE(t, cfg, netsim.NewUniform(0, 300*time.Microsecond, 42))
+	if !got.Equal(want) {
+		t.Fatalf("HOPE result %+v != sequential %+v (rollbacks=%d)", got, want, rollbacks)
+	}
+	t.Logf("committed=%d rollbacks=%d", got.Processed, rollbacks)
+}
+
+// TestTimeWarpMatchesSequential: the baseline kernel also reproduces the
+// reference exactly.
+func TestTimeWarpMatchesSequential(t *testing.T) {
+	cfg := phold.Config{LPs: 4, InitialEvents: 3, End: 80, MaxDelay: 6, Seed: 777}
+	want := phold.Sequential(cfg)
+
+	res, st := timewarp.New(cfg).Run()
+	if !res.Equal(want) {
+		t.Fatalf("timewarp result %+v != sequential %+v (stats %+v)", res, want, st)
+	}
+	t.Logf("committed=%d rollbacks=%d undone=%d antis=%d", st.Committed, st.Rollbacks, st.Undone, st.AntiMessages)
+}
+
+// TestTimeWarpRepeatable: repeated runs commit the same result despite
+// scheduling differences.
+func TestTimeWarpRepeatable(t *testing.T) {
+	cfg := phold.Config{LPs: 4, InitialEvents: 2, End: 50, MaxDelay: 5, Seed: 31337}
+	want := phold.Sequential(cfg)
+	for i := 0; i < 5; i++ {
+		res, _ := timewarp.New(cfg).Run()
+		if !res.Equal(want) {
+			t.Fatalf("run %d: %+v != %+v", i, res, want)
+		}
+	}
+}
+
+// TestHOPEAndTimeWarpAgree: both optimistic simulators commit identical
+// results on the same workload — HOPE expresses Time Warp's assumption.
+func TestHOPEAndTimeWarpAgree(t *testing.T) {
+	cfg := phold.Config{LPs: 3, InitialEvents: 2, End: 50, MaxDelay: 8, Seed: 2026}
+	twRes, _ := timewarp.New(cfg).Run()
+	hopeRes, _ := runHOPE(t, cfg, nil)
+	if !twRes.Equal(hopeRes) {
+		t.Fatalf("timewarp %+v != hope %+v", twRes, hopeRes)
+	}
+}

@@ -1,0 +1,100 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPIDBasics(t *testing.T) {
+	if NilPID.Valid() {
+		t.Fatal("NilPID is valid")
+	}
+	if !PID(1).Valid() {
+		t.Fatal("PID 1 invalid")
+	}
+	if NilPID.String() != "pid:nil" {
+		t.Fatalf("NilPID string = %q", NilPID.String())
+	}
+	if PID(7).String() != "pid:7" {
+		t.Fatalf("PID string = %q", PID(7).String())
+	}
+}
+
+func TestAIDBasics(t *testing.T) {
+	if NilAID.Valid() {
+		t.Fatal("NilAID is valid")
+	}
+	if !AID(1).Valid() {
+		t.Fatal("AID 1 invalid")
+	}
+	if NilAID.String() != "aid:nil" {
+		t.Fatalf("NilAID string = %q", NilAID.String())
+	}
+	if AID(7).String() != "aid:7" {
+		t.Fatalf("AID string = %q", AID(7).String())
+	}
+	if AID(9).PID() != PID(9) {
+		t.Fatal("AID/PID identity broken")
+	}
+}
+
+func TestIntervalIDBasics(t *testing.T) {
+	if NilInterval.Valid() {
+		t.Fatal("NilInterval is valid")
+	}
+	i := IntervalID{Proc: 2, Seq: 3, Epoch: 4}
+	if !i.Valid() {
+		t.Fatal("interval invalid")
+	}
+	if i.String() != "iid:2/3.4" {
+		t.Fatalf("String = %q", i.String())
+	}
+	if NilInterval.String() != "iid:nil" {
+		t.Fatalf("nil String = %q", NilInterval.String())
+	}
+	// Epochs distinguish re-creations at the same position.
+	j := i
+	j.Epoch++
+	if i == j {
+		t.Fatal("epochs not part of identity")
+	}
+}
+
+func TestPIDAllocatorUnique(t *testing.T) {
+	var alloc PIDAllocator
+	const goroutines, each = 8, 500
+	var mu sync.Mutex
+	seen := make(map[PID]bool, goroutines*each)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]PID, 0, each)
+			for i := 0; i < each; i++ {
+				local = append(local, alloc.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, p := range local {
+				if !p.Valid() {
+					t.Error("allocator issued NilPID")
+				}
+				if seen[p] {
+					t.Errorf("duplicate PID %v", p)
+				}
+				seen[p] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEpochAllocatorNeverZero(t *testing.T) {
+	var alloc EpochAllocator
+	for i := 0; i < 100; i++ {
+		if alloc.Next() == 0 {
+			t.Fatal("allocator issued epoch 0")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package interval
+
+// Exhaustive enumeration of ApplyReplace over every small configuration.
+// The fuzz and quick targets sample this space; this test covers it
+// completely for a 4-AID universe: every disjoint assignment of the
+// universe to IDO/UDO/none, every sender, every replacement subset
+// (including self-replacement), under both algorithms. Roughly 10k cases.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+func TestApplyReplaceExhaustive(t *testing.T) {
+	universe := []ids.AID{1, 2, 3, 4}
+
+	// assignment[i] ∈ {0: absent, 1: IDO, 2: UDO}
+	var assignments [][]int
+	var build func(prefix []int)
+	build = func(prefix []int) {
+		if len(prefix) == len(universe) {
+			assignments = append(assignments, append([]int{}, prefix...))
+			return
+		}
+		for v := 0; v <= 2; v++ {
+			build(append(prefix, v))
+		}
+	}
+	build(nil)
+
+	for _, alg := range []Algorithm{Algorithm1, Algorithm2} {
+		for _, asg := range assignments {
+			if alg == Algorithm1 {
+				// Algorithm 1 has no UDO; skip assignments that need one.
+				hasUDO := false
+				for _, v := range asg {
+					if v == 2 {
+						hasUDO = true
+					}
+				}
+				if hasUDO {
+					continue
+				}
+			}
+			for _, from := range universe {
+				for mask := 0; mask < 1<<len(universe); mask++ {
+					rec := NewRecord(ids.IntervalID{Proc: 1, Seq: 1, Epoch: 1}, Guessed, 0)
+					for i, v := range asg {
+						switch v {
+						case 1:
+							rec.IDO.Add(universe[i])
+						case 2:
+							rec.UDO.Add(universe[i])
+						}
+					}
+					var repl []ids.AID
+					for j, y := range universe {
+						if mask&(1<<j) != 0 {
+							repl = append(repl, y)
+						}
+					}
+
+					name := fmt.Sprintf("%s asg=%v from=%v repl=%v", alg, asg, from, repl)
+					idoBefore := rec.IDO.Clone()
+					udoBefore := rec.UDO.Clone()
+
+					res := ApplyReplace(alg, rec, from, repl)
+
+					// 1. Sender never survives in IDO.
+					if rec.IDO.Contains(from) {
+						t.Fatalf("%s: sender in IDO", name)
+					}
+					// 2. Sender never reported as new.
+					for _, y := range res.NewDeps {
+						if y == from {
+							t.Fatalf("%s: sender in NewDeps", name)
+						}
+						if !rec.IDO.Contains(y) {
+							t.Fatalf("%s: NewDeps %v not in IDO", name, y)
+						}
+						if idoBefore.Contains(y) {
+							t.Fatalf("%s: NewDeps %v pre-existed", name, y)
+						}
+					}
+					// 3. Every non-self replacement lands somewhere: IDO
+					//    (kept or added) or Cut (UDO hit).
+					for _, y := range repl {
+						if y == from {
+							continue
+						}
+						if !rec.IDO.Contains(y) && !rec.Cut.Contains(y) {
+							t.Fatalf("%s: replacement %v vanished", name, y)
+						}
+					}
+					// 4. Cuts arise only from UDO membership.
+					for _, y := range res.NewCuts {
+						if !udoBefore.Contains(y) {
+							t.Fatalf("%s: cut %v was not in UDO", name, y)
+						}
+						if !rec.Cut.Contains(y) {
+							t.Fatalf("%s: NewCuts %v not in Cut", name, y)
+						}
+					}
+					// 5. IDO stays disjoint from UDO and Cut.
+					for _, y := range rec.IDO.Slice() {
+						if rec.UDO.Contains(y) || rec.Cut.Contains(y) {
+							t.Fatalf("%s: %v in IDO and UDO/Cut", name, y)
+						}
+					}
+					// 6. Finalize ⇔ empty IDO and Cut.
+					if res.Finalize != (rec.IDO.Empty() && rec.Cut.Empty()) {
+						t.Fatalf("%s: Finalize=%v IDO=%s Cut=%s", name, res.Finalize, rec.IDO, rec.Cut)
+					}
+					// 7. Algorithm-specific bookkeeping of the sender.
+					selfRepl := false
+					for _, y := range repl {
+						if y == from {
+							selfRepl = true
+						}
+					}
+					switch alg {
+					case Algorithm1:
+						if !rec.UDO.Empty() || !rec.Cut.Empty() {
+							t.Fatalf("%s: algorithm 1 tracked UDO/Cut", name)
+						}
+					case Algorithm2:
+						if !rec.UDO.Contains(from) && !selfRepl {
+							t.Fatalf("%s: sender not retired to UDO", name)
+						}
+					}
+					// 8. IDO members not mentioned by the message survive.
+					for _, y := range idoBefore.Slice() {
+						if y == from {
+							continue
+						}
+						if !rec.IDO.Contains(y) {
+							t.Fatalf("%s: unrelated dep %v dropped", name, y)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package interval
+
+// Fuzz targets for the Control bookkeeping. The fuzzer drives random
+// Replace streams through ApplyReplace and checks the structural
+// invariants that the engine's correctness rests on.
+
+import (
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// decodeReplaceStream turns fuzz bytes into a sequence of Replace
+// operations over a small AID universe. Each operation consumes one
+// header byte (from-AID, replacement count) plus one byte per
+// replacement.
+func decodeReplaceStream(data []byte) (ops []struct {
+	from ids.AID
+	repl []ids.AID
+}) {
+	const universe = 13
+	for len(data) > 0 {
+		h := data[0]
+		data = data[1:]
+		from := ids.AID(h%universe) + 1
+		n := int(h/universe) % 4
+		if n > len(data) {
+			n = len(data)
+		}
+		repl := make([]ids.AID, 0, n)
+		for _, b := range data[:n] {
+			repl = append(repl, ids.AID(b%universe)+1)
+		}
+		data = data[n:]
+		ops = append(ops, struct {
+			from ids.AID
+			repl []ids.AID
+		}{from, repl})
+	}
+	return ops
+}
+
+// FuzzApplyReplace checks, for arbitrary Replace streams and both
+// algorithms:
+//
+//   - IDO, UDO and Cut stay pairwise disjoint (an assumption is depended
+//     on, retired, or provisionally cut — never two at once);
+//   - Finalize is reported exactly when IDO and Cut are empty;
+//   - NewDeps are exactly the AIDs that joined IDO, and NewCuts the ones
+//     that joined Cut;
+//   - under Algorithm 1 the UDO and Cut sets stay empty.
+func FuzzApplyReplace(f *testing.F) {
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x30, 0x05, 0x07, 0x1a, 0x30, 0x05})
+	f.Add([]byte{0xff, 0x00, 0x00, 0x00, 0x81, 0x44})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, alg := range []Algorithm{Algorithm1, Algorithm2} {
+			rec := NewRecord(ids.IntervalID{Proc: 1, Seq: 1, Epoch: 1}, Guessed, 0)
+			// Seed a plausible starting IDO so Replaces have targets.
+			rec.IDO.Add(1)
+			rec.IDO.Add(2)
+			rec.IDO.Add(3)
+
+			for _, op := range decodeReplaceStream(data) {
+				before := rec.IDO.Clone()
+				beforeCut := rec.Cut.Clone()
+
+				res := ApplyReplace(alg, rec, op.from, op.repl)
+
+				if alg == Algorithm1 {
+					if !rec.UDO.Empty() || !rec.Cut.Empty() {
+						t.Fatalf("algorithm 1 grew UDO=%s Cut=%s", rec.UDO, rec.Cut)
+					}
+				}
+				for _, a := range rec.IDO.Slice() {
+					if rec.UDO.Contains(a) {
+						t.Fatalf("%v in both IDO and UDO", a)
+					}
+					if rec.Cut.Contains(a) {
+						t.Fatalf("%v in both IDO and Cut", a)
+					}
+				}
+				if res.Finalize != (rec.IDO.Empty() && rec.Cut.Empty()) {
+					t.Fatalf("Finalize=%v with IDO=%s Cut=%s", res.Finalize, rec.IDO, rec.Cut)
+				}
+				for _, a := range res.NewDeps {
+					if !rec.IDO.Contains(a) {
+						t.Fatalf("NewDeps reported %v not in IDO", a)
+					}
+					if before.Contains(a) {
+						t.Fatalf("NewDeps reported pre-existing dep %v", a)
+					}
+				}
+				for _, a := range res.NewCuts {
+					if !rec.Cut.Contains(a) {
+						t.Fatalf("NewCuts reported %v not in Cut", a)
+					}
+					if beforeCut.Contains(a) {
+						t.Fatalf("NewCuts reported pre-existing cut %v", a)
+					}
+				}
+				if rec.IDO.Contains(op.from) {
+					t.Fatalf("replaced AID %v still in IDO", op.from)
+				}
+				for _, y := range res.NewDeps {
+					if y == op.from {
+						t.Fatalf("self-replacement of %v reported as a new dep", op.from)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzHistoryTruncate checks that TruncateFrom keeps the index map and
+// record slice consistent under arbitrary append/truncate interleavings.
+func FuzzHistoryTruncate(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0x80, 0})
+	f.Add([]byte{0x10, 0x20, 0x90})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewHistory()
+		var next uint32
+		var live []ids.IntervalID
+		for _, b := range data {
+			if b < 0x80 {
+				next++
+				id := ids.IntervalID{Proc: 7, Seq: next, Epoch: 1}
+				h.Append(NewRecord(id, Implicit, int(next)))
+				live = append(live, id)
+				continue
+			}
+			if len(live) == 0 {
+				if h.TruncateFrom(0) != nil {
+					t.Fatal("truncating an empty history returned records")
+				}
+				continue
+			}
+			i := int(b-0x80) % len(live)
+			removed := h.TruncateFrom(i)
+			if len(removed) != len(live)-i {
+				t.Fatalf("removed %d records, want %d", len(removed), len(live)-i)
+			}
+			live = live[:i]
+		}
+		if h.Len() != len(live) {
+			t.Fatalf("Len=%d, want %d", h.Len(), len(live))
+		}
+		for i, id := range live {
+			if h.Position(id) != i {
+				t.Fatalf("Position(%v)=%d, want %d", id, h.Position(id), i)
+			}
+			if h.At(i).ID != id {
+				t.Fatalf("At(%d)=%v, want %v", i, h.At(i).ID, id)
+			}
+		}
+		if next > 0 {
+			gone := ids.IntervalID{Proc: 7, Seq: next + 1, Epoch: 1}
+			if h.Get(gone) != nil {
+				t.Fatal("Get invented a record")
+			}
+		}
+	})
+}

@@ -1,0 +1,323 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+func iid(seq uint32) ids.IntervalID {
+	return ids.IntervalID{Proc: 1, Seq: seq, Epoch: uint32(seq) + 1}
+}
+
+func record(seq uint32, ido ...ids.AID) *Record {
+	r := NewRecord(iid(seq), Guessed, int(seq))
+	for _, a := range ido {
+		r.IDO.Add(a)
+	}
+	return r
+}
+
+// --- ApplyReplace, Algorithm 1 (Figure 10) ---
+
+func TestReplaceEmptySetRemovesSender(t *testing.T) {
+	r := record(0, 10, 11)
+	res := ApplyReplace(Algorithm1, r, 10, nil)
+	if res.Finalize {
+		t.Fatal("finalized with a dependency left")
+	}
+	if r.IDO.Contains(10) || !r.IDO.Contains(11) {
+		t.Fatalf("IDO = %s", r.IDO)
+	}
+	if len(res.NewDeps) != 0 {
+		t.Fatalf("NewDeps = %v", res.NewDeps)
+	}
+}
+
+func TestReplaceEmptySetFinalizesWhenLast(t *testing.T) {
+	r := record(0, 10)
+	res := ApplyReplace(Algorithm1, r, 10, nil)
+	if !res.Finalize {
+		t.Fatal("did not request finalize")
+	}
+	if !r.IDO.Empty() {
+		t.Fatalf("IDO = %s", r.IDO)
+	}
+}
+
+func TestReplaceSubstitutesAndReportsNewDeps(t *testing.T) {
+	r := record(0, 10, 11)
+	res := ApplyReplace(Algorithm1, r, 10, []ids.AID{12, 13, 11})
+	if res.Finalize {
+		t.Fatal("unexpected finalize")
+	}
+	// 12 and 13 are new (Guess registrations owed); 11 was present.
+	if len(res.NewDeps) != 2 || res.NewDeps[0] != 12 || res.NewDeps[1] != 13 {
+		t.Fatalf("NewDeps = %v", res.NewDeps)
+	}
+	for _, want := range []ids.AID{11, 12, 13} {
+		if !r.IDO.Contains(want) {
+			t.Fatalf("IDO missing %s: %s", want, r.IDO)
+		}
+	}
+	if r.IDO.Contains(10) {
+		t.Fatalf("sender retained: %s", r.IDO)
+	}
+}
+
+func TestReplaceSelfReferencingSet(t *testing.T) {
+	// The replacement may contain the sender itself (a self-dependent
+	// speculative affirm); the sender is still removed afterwards.
+	r := record(0, 10)
+	res := ApplyReplace(Algorithm1, r, 10, []ids.AID{10, 12})
+	if r.IDO.Contains(10) {
+		t.Fatalf("sender retained: %s", r.IDO)
+	}
+	if !r.IDO.Contains(12) {
+		t.Fatalf("IDO = %s", r.IDO)
+	}
+	_ = res
+}
+
+func TestAlgorithm1DoesNotTrackUDO(t *testing.T) {
+	r := record(0, 10)
+	ApplyReplace(Algorithm1, r, 10, []ids.AID{12})
+	if !r.UDO.Empty() {
+		t.Fatalf("algorithm 1 populated UDO: %s", r.UDO)
+	}
+}
+
+// --- ApplyReplace, Algorithm 2 (Figure 15) ---
+
+func TestAlgorithm2RecordsUDO(t *testing.T) {
+	r := record(0, 10)
+	ApplyReplace(Algorithm2, r, 10, []ids.AID{12})
+	if !r.UDO.Contains(10) {
+		t.Fatalf("UDO missing sender: %s", r.UDO)
+	}
+}
+
+func TestAlgorithm2CutsCycle(t *testing.T) {
+	r := record(0, 10)
+	// First hop: 10 → {11}.
+	res := ApplyReplace(Algorithm2, r, 10, []ids.AID{11})
+	if len(res.NewCuts) != 0 {
+		t.Fatal("premature cycle cut")
+	}
+	// Second hop: 11 → {10}: 10 is in UDO — the ring closed.
+	res = ApplyReplace(Algorithm2, r, 11, []ids.AID{10})
+	if len(res.NewCuts) != 1 || res.NewCuts[0] != 10 {
+		t.Fatalf("NewCuts = %v, want [aid:10]", res.NewCuts)
+	}
+	// The cut is provisional: finalization waits for confirmation.
+	if res.Finalize {
+		t.Fatal("finalized before the cut was confirmed")
+	}
+	if !r.IDO.Empty() {
+		t.Fatalf("IDO = %s, want empty", r.IDO)
+	}
+	r.Cut.Remove(10) // the CutAck arrives
+	if !r.Finalizable() {
+		t.Fatal("not finalizable after cut confirmation")
+	}
+	if len(res.NewDeps) != 0 {
+		t.Fatalf("NewDeps = %v", res.NewDeps)
+	}
+}
+
+func TestAlgorithm2ThreeRing(t *testing.T) {
+	r := record(0, 10)
+	if res := ApplyReplace(Algorithm2, r, 10, []ids.AID{11}); len(res.NewCuts) != 0 || res.Finalize {
+		t.Fatalf("hop1: %+v", res)
+	}
+	if res := ApplyReplace(Algorithm2, r, 11, []ids.AID{12}); len(res.NewCuts) != 0 || res.Finalize {
+		t.Fatalf("hop2: %+v", res)
+	}
+	res := ApplyReplace(Algorithm2, r, 12, []ids.AID{10})
+	if len(res.NewCuts) != 1 || res.Finalize {
+		t.Fatalf("hop3: %+v (want provisional cut, no finalize)", res)
+	}
+	r.Cut.Remove(10)
+	if !r.Finalizable() {
+		t.Fatal("not finalizable after confirmation")
+	}
+}
+
+func TestAlgorithm2MixedCycleAndFreshDep(t *testing.T) {
+	r := record(0, 10)
+	ApplyReplace(Algorithm2, r, 10, []ids.AID{11})
+	// 11 → {10 (cycle), 20 (fresh)}: cycle cut but 20 is a real new dep.
+	res := ApplyReplace(Algorithm2, r, 11, []ids.AID{10, 20})
+	if len(res.NewCuts) != 1 {
+		t.Fatal("cycle not cut")
+	}
+	if res.Finalize {
+		t.Fatal("finalized despite fresh dependency")
+	}
+	if len(res.NewDeps) != 1 || res.NewDeps[0] != 20 {
+		t.Fatalf("NewDeps = %v", res.NewDeps)
+	}
+}
+
+// Algorithm 1 on the same ring never terminates: the interval swaps one
+// cycle member for the next forever ("bounces around the cycle", §5.3).
+func TestAlgorithm1BouncesOnCycle(t *testing.T) {
+	r := record(0, 10)
+	from, next := ids.AID(10), ids.AID(11)
+	for i := 0; i < 100; i++ {
+		res := ApplyReplace(Algorithm1, r, from, []ids.AID{next})
+		if res.Finalize {
+			t.Fatalf("algorithm 1 terminated a cycle at hop %d", i)
+		}
+		from, next = next, from
+	}
+	if r.IDO.Empty() {
+		t.Fatal("IDO emptied")
+	}
+}
+
+// --- History ---
+
+func TestHistoryAppendGetPosition(t *testing.T) {
+	h := NewHistory()
+	r0, r1 := record(0), record(1)
+	h.Append(r0)
+	h.Append(r1)
+	if h.Len() != 2 || h.Last() != r1 || h.At(0) != r0 {
+		t.Fatal("basic accessors wrong")
+	}
+	if h.Get(r0.ID) != r0 {
+		t.Fatal("Get by ID failed")
+	}
+	if h.Position(r1.ID) != 1 {
+		t.Fatalf("Position = %d", h.Position(r1.ID))
+	}
+	// Unknown or stale-epoch IDs are not in the history.
+	stale := r0.ID
+	stale.Epoch++
+	if h.Get(stale) != nil {
+		t.Fatal("stale epoch resolved to a live record")
+	}
+	if h.Position(stale) != -1 {
+		t.Fatal("stale Position != -1")
+	}
+}
+
+func TestHistoryTruncateFrom(t *testing.T) {
+	h := NewHistory()
+	var recs []*Record
+	for i := uint32(0); i < 4; i++ {
+		r := record(i)
+		recs = append(recs, r)
+		h.Append(r)
+	}
+	removed := h.TruncateFrom(2)
+	if len(removed) != 2 || removed[0] != recs[2] || removed[1] != recs[3] {
+		t.Fatalf("removed = %v", removed)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if h.Get(recs[2].ID) != nil {
+		t.Fatal("removed record still resolvable")
+	}
+	// Appending after truncation reuses positions correctly.
+	r4 := record(9)
+	h.Append(r4)
+	if h.Position(r4.ID) != 2 {
+		t.Fatalf("position after re-append = %d", h.Position(r4.ID))
+	}
+}
+
+func TestHistoryTruncateOutOfRange(t *testing.T) {
+	h := NewHistory()
+	h.Append(record(0))
+	if got := h.TruncateFrom(5); got != nil {
+		t.Fatalf("TruncateFrom(5) = %v", got)
+	}
+	if got := h.TruncateFrom(-1); got != nil {
+		t.Fatalf("TruncateFrom(-1) = %v", got)
+	}
+	if h.Len() != 1 {
+		t.Fatal("out-of-range truncate modified history")
+	}
+}
+
+func TestHistoryAllDefinite(t *testing.T) {
+	h := NewHistory()
+	r0, r1 := record(0), record(1)
+	r0.Definite = true
+	h.Append(r0)
+	h.Append(r1)
+	if h.AllDefinite() {
+		t.Fatal("speculative record missed")
+	}
+	r1.Definite = true
+	if !h.AllDefinite() {
+		t.Fatal("all definite not detected")
+	}
+}
+
+func TestRecordBasics(t *testing.T) {
+	r := record(0)
+	if !r.Speculative() {
+		t.Fatal("fresh record not speculative")
+	}
+	r.Definite = true
+	if r.Speculative() {
+		t.Fatal("definite record still speculative")
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	if Algorithm1.String() != "algorithm1" || Algorithm2.String() != "algorithm2" {
+		t.Fatal("algorithm strings wrong")
+	}
+	kinds := map[OpenKind]string{Root: "root", Guessed: "guess", Implicit: "implicit"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("OpenKind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Property: under any random Replace sequence, Algorithm 2 maintains the
+// invariants (a) IDO ∩ UDO covers no sender just processed, (b) a record
+// never finalizes while cuts are pending, and (c) NewDeps were genuinely
+// absent before the call.
+func TestApplyReplaceQuickInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		r := record(0, 10)
+		for _, op := range ops {
+			from := ids.AID(op&0x7) + 8
+			var repl []ids.AID
+			for j := 0; j < int(op>>3)&0x3; j++ {
+				repl = append(repl, ids.AID((int(op)>>(5+2*j))&0x7)+8)
+			}
+			before := r.IDO.Clone()
+			res := ApplyReplace(Algorithm2, r, from, repl)
+			if r.IDO.Contains(from) {
+				return false // sender must always be removed
+			}
+			if !r.UDO.Contains(from) {
+				return false // sender must be retired into UDO
+			}
+			for _, y := range res.NewDeps {
+				if before.Contains(y) {
+					return false // reported new but was present
+				}
+			}
+			if res.Finalize && !r.Cut.Empty() {
+				return false // finalize with unconfirmed cuts
+			}
+			if res.Finalize != r.Finalizable() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package journal implements the deterministic record/replay log that
+// realizes checkpointing and rollback for HOPE user processes.
+//
+// The paper's prototype checkpointed whole UNIX processes ([7]); this
+// implementation instead journals every nondeterministic interaction a
+// process body performs — guess results, message receives, sends, spawns,
+// assumption creation, and explicitly recorded values — and re-executes
+// the body from the start on rollback, replaying the journalled prefix.
+// The observable semantics match the paper's: the process resumes in the
+// state immediately preceding the rolled-back interval, with the guess
+// that opened it now returning false. See DESIGN.md §2.
+package journal
+
+import (
+	"fmt"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+// Kind enumerates journal entry kinds.
+type Kind int
+
+const (
+	// KindGuess records a guess primitive and its (current) result.
+	KindGuess Kind = iota + 1
+	// KindRecv records a received user message.
+	KindRecv
+	// KindSend records a sent user message (suppressed on replay).
+	KindSend
+	// KindSpawn records a child process creation.
+	KindSpawn
+	// KindAidInit records creation of a fresh assumption identifier.
+	KindAidInit
+	// KindNote records an arbitrary user value (Ctx.Record), letting
+	// bodies capture outside nondeterminism deterministically.
+	KindNote
+	// KindAffirm records an affirm primitive (suppressed on replay).
+	KindAffirm
+	// KindDeny records a deny primitive (suppressed on replay).
+	KindDeny
+	// KindFreeOf records a free_of primitive and its result.
+	KindFreeOf
+	// KindTryRecv records a non-blocking receive attempt: Result reports
+	// whether a message was available, Msg holds it when so.
+	KindTryRecv
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindGuess:
+		return "guess"
+	case KindRecv:
+		return "recv"
+	case KindSend:
+		return "send"
+	case KindSpawn:
+		return "spawn"
+	case KindAidInit:
+		return "aidinit"
+	case KindNote:
+		return "note"
+	case KindAffirm:
+		return "affirm"
+	case KindDeny:
+		return "deny"
+	case KindFreeOf:
+		return "freeof"
+	case KindTryRecv:
+		return "tryrecv"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Entry is one journalled interaction.
+type Entry struct {
+	Kind Kind
+
+	// AID is the guessed assumption (KindGuess) or the created one
+	// (KindAidInit).
+	AID ids.AID
+
+	// Result is the recorded guess outcome (KindGuess). Rollback rewrites
+	// it from true to false before re-execution.
+	Result bool
+
+	// Interval is the interval opened by this entry: every guess opens an
+	// interval, and a receive that introduces new tag dependencies opens
+	// an implicit one. NilInterval otherwise.
+	Interval ids.IntervalID
+
+	// Msg is the received message (KindRecv) or the sent one (KindSend).
+	Msg *msg.Message
+
+	// Child is the spawned process (KindSpawn).
+	Child ids.PID
+
+	// Note is the recorded user value (KindNote).
+	Note any
+}
+
+// String renders a compact description for traces and errors.
+func (e *Entry) String() string {
+	switch e.Kind {
+	case KindGuess:
+		return fmt.Sprintf("guess(%s)=%v %s", e.AID, e.Result, e.Interval)
+	case KindRecv:
+		return fmt.Sprintf("recv %s", e.Msg)
+	case KindSend:
+		return fmt.Sprintf("send %s", e.Msg)
+	case KindSpawn:
+		return fmt.Sprintf("spawn %s", e.Child)
+	case KindAidInit:
+		return fmt.Sprintf("aidinit %s", e.AID)
+	case KindNote:
+		return fmt.Sprintf("note %v", e.Note)
+	case KindAffirm:
+		return fmt.Sprintf("affirm(%s)", e.AID)
+	case KindDeny:
+		return fmt.Sprintf("deny(%s)", e.AID)
+	case KindFreeOf:
+		return fmt.Sprintf("freeof(%s)=%v", e.AID, e.Result)
+	case KindTryRecv:
+		return fmt.Sprintf("tryrecv hit=%v %s", e.Result, e.Msg)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// Journal is an append-only log with truncation. It is not synchronized;
+// the owning process engine guards it with the process lock.
+type Journal struct {
+	entries []*Entry
+}
+
+// Len returns the number of entries.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Append adds e and returns its index.
+func (j *Journal) Append(e *Entry) int {
+	j.entries = append(j.entries, e)
+	return len(j.entries) - 1
+}
+
+// At returns the entry at index i.
+func (j *Journal) At(i int) *Entry { return j.entries[i] }
+
+// Truncate discards entries at index n and beyond, returning the
+// discarded suffix (in original order) so rollback can requeue surviving
+// received messages.
+func (j *Journal) Truncate(n int) []*Entry {
+	if n >= len(j.entries) {
+		return nil
+	}
+	cut := j.entries[n:]
+	discarded := make([]*Entry, len(cut))
+	copy(discarded, cut)
+	j.entries = j.entries[:n]
+	return discarded
+}
+
+// DivergenceError reports that a re-executing process body performed a
+// different interaction than the journal recorded — i.e. the body is not
+// deterministic, which HOPE's replay-based rollback requires.
+type DivergenceError struct {
+	Index int
+	Want  *Entry
+	Got   string
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("journal: replay divergence at entry %d: journal has %s, body performed %s (process bodies must be deterministic)",
+		e.Index, e.Want, e.Got)
+}

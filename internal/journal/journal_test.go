@@ -1,0 +1,136 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+func TestAppendAtLen(t *testing.T) {
+	var j Journal
+	if j.Len() != 0 {
+		t.Fatal("new journal not empty")
+	}
+	i0 := j.Append(&Entry{Kind: KindGuess, AID: 1, Result: true})
+	i1 := j.Append(&Entry{Kind: KindSend})
+	if i0 != 0 || i1 != 1 || j.Len() != 2 {
+		t.Fatalf("indices %d,%d len %d", i0, i1, j.Len())
+	}
+	if j.At(0).Kind != KindGuess || j.At(1).Kind != KindSend {
+		t.Fatal("At returned wrong entries")
+	}
+}
+
+func TestTruncateReturnsSuffixInOrder(t *testing.T) {
+	var j Journal
+	for i := 0; i < 5; i++ {
+		j.Append(&Entry{Kind: KindNote, Note: i})
+	}
+	cut := j.Truncate(2)
+	if j.Len() != 2 {
+		t.Fatalf("len after truncate = %d", j.Len())
+	}
+	if len(cut) != 3 {
+		t.Fatalf("discarded %d entries, want 3", len(cut))
+	}
+	for i, e := range cut {
+		if e.Note != i+2 {
+			t.Fatalf("discarded order wrong: %v", cut)
+		}
+	}
+}
+
+func TestTruncateBeyondEndIsNoop(t *testing.T) {
+	var j Journal
+	j.Append(&Entry{Kind: KindNote})
+	if cut := j.Truncate(5); cut != nil {
+		t.Fatalf("truncate beyond end returned %v", cut)
+	}
+	if j.Len() != 1 {
+		t.Fatal("truncate beyond end modified journal")
+	}
+}
+
+func TestTruncateToZeroEmptiesJournal(t *testing.T) {
+	var j Journal
+	j.Append(&Entry{Kind: KindNote, Note: "a"})
+	j.Append(&Entry{Kind: KindNote, Note: "b"})
+	cut := j.Truncate(0)
+	if j.Len() != 0 || len(cut) != 2 {
+		t.Fatalf("len=%d cut=%d", j.Len(), len(cut))
+	}
+}
+
+func TestTruncateSuffixIsCopy(t *testing.T) {
+	var j Journal
+	j.Append(&Entry{Kind: KindNote, Note: 1})
+	j.Append(&Entry{Kind: KindNote, Note: 2})
+	cut := j.Truncate(1)
+	j.Append(&Entry{Kind: KindNote, Note: 3})
+	if cut[0].Note != 2 {
+		t.Fatalf("discarded suffix aliased by later append: %v", cut[0])
+	}
+}
+
+func TestEntryStrings(t *testing.T) {
+	iid := ids.IntervalID{Proc: 3, Seq: 1, Epoch: 9}
+	m := msg.Data(1, 2, iid, nil, "payload")
+	for _, tt := range []struct {
+		e    *Entry
+		want string
+	}{
+		{&Entry{Kind: KindGuess, AID: 4, Result: true, Interval: iid}, "guess(aid:4)=true"},
+		{&Entry{Kind: KindRecv, Msg: m}, "recv"},
+		{&Entry{Kind: KindSend, Msg: m}, "send"},
+		{&Entry{Kind: KindSpawn, Child: 8}, "spawn pid:8"},
+		{&Entry{Kind: KindAidInit, AID: 4}, "aidinit aid:4"},
+		{&Entry{Kind: KindNote, Note: 7}, "note 7"},
+		{&Entry{Kind: KindAffirm, AID: 4}, "affirm(aid:4)"},
+		{&Entry{Kind: KindDeny, AID: 4}, "deny(aid:4)"},
+		{&Entry{Kind: KindFreeOf, AID: 4, Result: true}, "freeof(aid:4)=true"},
+		{&Entry{Kind: KindTryRecv, Result: false}, "tryrecv hit=false"},
+	} {
+		if got := tt.e.String(); !strings.Contains(got, tt.want) {
+			t.Errorf("String(%v) = %q, want containing %q", tt.e.Kind, got, tt.want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindGuess:   "guess",
+		KindRecv:    "recv",
+		KindSend:    "send",
+		KindSpawn:   "spawn",
+		KindAidInit: "aidinit",
+		KindNote:    "note",
+		KindAffirm:  "affirm",
+		KindDeny:    "deny",
+		KindFreeOf:  "freeof",
+		KindTryRecv: "tryrecv",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestDivergenceErrorMessage(t *testing.T) {
+	err := &DivergenceError{
+		Index: 3,
+		Want:  &Entry{Kind: KindGuess, AID: 7, Result: true},
+		Got:   "send(to=pid:5)",
+	}
+	s := err.Error()
+	for _, frag := range []string{"entry 3", "guess(aid:7)=true", "send(to=pid:5)", "deterministic"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("error %q missing %q", s, frag)
+		}
+	}
+}

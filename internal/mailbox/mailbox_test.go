@@ -1,0 +1,241 @@
+package mailbox
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+func mk(seq int) *msg.Message {
+	return &msg.Message{Kind: msg.KindData, From: 1, To: 2, Payload: seq}
+}
+
+func tagged(seq int, tag ...ids.AID) *msg.Message {
+	m := mk(seq)
+	m.Tag = tag
+	return m
+}
+
+func TestFIFOOrder(t *testing.T) {
+	b := New()
+	for i := 0; i < 5; i++ {
+		b.Put(mk(i))
+	}
+	for i := 0; i < 5; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if m.Payload != i {
+			t.Fatalf("got %v, want %d", m.Payload, i)
+		}
+	}
+}
+
+func TestRecvBlocksUntilPut(t *testing.T) {
+	b := New()
+	got := make(chan *msg.Message, 1)
+	go func() {
+		m, err := b.Recv()
+		if err != nil {
+			t.Error(err)
+		}
+		got <- m
+	}()
+	time.Sleep(time.Millisecond)
+	b.Put(mk(42))
+	select {
+	case m := <-got:
+		if m.Payload != 42 {
+			t.Fatalf("got %v", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never woke")
+	}
+}
+
+func TestRequeuePrependsInOrder(t *testing.T) {
+	b := New()
+	b.Put(mk(10))
+	b.Requeue([]*msg.Message{mk(1), mk(2)})
+	want := []int{1, 2, 10}
+	for _, w := range want {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if m.Payload != w {
+			t.Fatalf("got %v, want %d", m.Payload, w)
+		}
+	}
+}
+
+func TestRequeueEmptyIsNoop(t *testing.T) {
+	b := New()
+	b.Requeue(nil)
+	if b.Len() != 0 {
+		t.Fatal("empty requeue changed length")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	b := New()
+	b.Put(tagged(0, 7))
+	b.Put(tagged(1))
+	b.Put(tagged(2, 7, 9))
+	removed := b.Purge(func(m *msg.Message) bool {
+		for _, a := range m.Tag {
+			if a == 7 {
+				return true
+			}
+		}
+		return false
+	})
+	if removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	m, _ := b.TryRecv()
+	if m == nil || m.Payload != 1 {
+		t.Fatalf("survivor = %v, want payload 1", m)
+	}
+}
+
+func TestInterruptWakesReceiver(t *testing.T) {
+	b := New()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errCh <- err
+	}()
+	time.Sleep(time.Millisecond)
+	b.Interrupt()
+	select {
+	case err := <-errCh:
+		if err != ErrInterrupted {
+			t.Fatalf("err = %v, want ErrInterrupted", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Interrupt did not wake receiver")
+	}
+}
+
+func TestInterruptFlagConsumedOnce(t *testing.T) {
+	b := New()
+	b.Interrupt()
+	if _, err := b.Recv(); err != ErrInterrupted {
+		t.Fatalf("first Recv err = %v", err)
+	}
+	b.Put(mk(1))
+	m, err := b.Recv()
+	if err != nil || m.Payload != 1 {
+		t.Fatalf("second Recv = %v, %v", m, err)
+	}
+}
+
+func TestCloseDrainsThenErrClosed(t *testing.T) {
+	b := New()
+	b.Put(mk(1))
+	b.Close()
+	if m, err := b.Recv(); err != nil || m.Payload != 1 {
+		t.Fatalf("drain Recv = %v, %v", m, err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	b.Put(mk(2)) // dropped
+	if b.Len() != 0 {
+		t.Fatal("Put after Close was queued")
+	}
+}
+
+func TestCloseWakesBlockedReceiver(t *testing.T) {
+	b := New()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errCh <- err
+	}()
+	time.Sleep(time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errCh:
+		if err != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake receiver")
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	b := New()
+	if _, ok := b.TryRecv(); ok {
+		t.Fatal("TryRecv on empty returned ok")
+	}
+	b.Put(mk(5))
+	m, ok := b.TryRecv()
+	if !ok || m.Payload != 5 {
+		t.Fatalf("TryRecv = %v, %v", m, ok)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var b Box
+	b.Put(mk(1))
+	m, err := b.Recv()
+	if err != nil || m.Payload != 1 {
+		t.Fatalf("zero-value Box: %v, %v", m, err)
+	}
+}
+
+// TestConcurrentProducersConsumers: no loss, no duplication.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	b := New()
+	const producers, perProducer = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Put(mk(p*perProducer + i))
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				m, err := b.Recv()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if seen[m.Payload.(int)] {
+					t.Error("duplicate delivery")
+				}
+				seen[m.Payload.(int)] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == producers*perProducer {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	cg.Wait()
+}

@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+func data(from, to ids.PID, payload any) *msg.Message {
+	return &msg.Message{Kind: msg.KindData, From: from, To: to, Payload: payload}
+}
+
+// sink collects delivered messages.
+type sink struct {
+	mu   sync.Mutex
+	msgs []*msg.Message
+}
+
+func (s *sink) handler() Handler {
+	return func(m *msg.Message) {
+		s.mu.Lock()
+		s.msgs = append(s.msgs, m)
+		s.mu.Unlock()
+	}
+}
+
+func (s *sink) payloads() []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]any, len(s.msgs))
+	for i, m := range s.msgs {
+		out[i] = m.Payload
+	}
+	return out
+}
+
+func TestZeroLatencySynchronousDelivery(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	var s sink
+	n.Register(2, s.handler())
+	n.Send(data(1, 2, "hello"))
+	// Zero latency delivers before Send returns.
+	got := s.payloads()
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("payloads = %v", got)
+	}
+}
+
+func TestPerPairFIFOUnderJitter(t *testing.T) {
+	n := New(NewUniform(0, 300*time.Microsecond, 7))
+	defer n.Close()
+	var s sink
+	n.Register(2, s.handler())
+	const count = 50
+	for i := 0; i < count; i++ {
+		n.Send(data(1, 2, i))
+	}
+	n.Drain()
+	got := s.payloads()
+	if len(got) != count {
+		t.Fatalf("delivered %d, want %d", len(got), count)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered within pair: position %d has %v", i, v)
+		}
+	}
+}
+
+func TestDeadLetterCounted(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	n.Send(data(1, 99, "lost"))
+	if st := n.Stats(); st.Dead != 1 {
+		t.Fatalf("dead = %d, want 1", st.Dead)
+	}
+}
+
+func TestUnregisterMakesDeadLetters(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	var s sink
+	n.Register(2, s.handler())
+	n.Send(data(1, 2, 1))
+	n.Unregister(2)
+	n.Send(data(1, 2, 2))
+	if got := s.payloads(); len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	if st := n.Stats(); st.Dead != 1 {
+		t.Fatalf("dead = %d, want 1", st.Dead)
+	}
+}
+
+func TestStatsByKind(t *testing.T) {
+	n := New(nil)
+	defer n.Close()
+	var s sink
+	n.Register(5, s.handler())
+	n.Send(msg.Guess(1, ids.IntervalID{Proc: 1, Seq: 0, Epoch: 1}, ids.AID(5)))
+	n.Send(msg.Affirm(1, ids.IntervalID{Proc: 1, Seq: 0, Epoch: 1}, ids.AID(5), nil))
+	n.Send(msg.Deny(1, ids.IntervalID{Proc: 1, Seq: 0, Epoch: 1}, ids.AID(5)))
+	n.Send(data(1, 5, "x"))
+	st := n.Stats()
+	if st.Guess != 1 || st.Affirm != 1 || st.Deny != 1 || st.Data != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Total() != 4 {
+		t.Fatalf("total = %d, want 4", st.Total())
+	}
+	if st.Control() != 3 {
+		t.Fatalf("control = %d, want 3", st.Control())
+	}
+}
+
+func TestSendAfterCloseDropped(t *testing.T) {
+	n := New(nil)
+	var s sink
+	n.Register(2, s.handler())
+	n.Close()
+	n.Send(data(1, 2, "late"))
+	if got := s.payloads(); len(got) != 0 {
+		t.Fatalf("delivered after close: %v", got)
+	}
+}
+
+func TestDrainWaitsForLatentMessages(t *testing.T) {
+	n := New(Constant(2 * time.Millisecond))
+	defer n.Close()
+	var s sink
+	n.Register(2, s.handler())
+	n.Send(data(1, 2, "slow"))
+	if got := s.payloads(); len(got) != 0 {
+		t.Fatal("latent message delivered immediately")
+	}
+	n.Drain()
+	if got := s.payloads(); len(got) != 1 {
+		t.Fatalf("after drain: %v", got)
+	}
+}
+
+func TestConstantLatencyDelays(t *testing.T) {
+	const d = 3 * time.Millisecond
+	n := New(Constant(d))
+	defer n.Close()
+	done := make(chan time.Time, 1)
+	n.Register(2, func(*msg.Message) { done <- time.Now() })
+	start := time.Now()
+	n.Send(data(1, 2, "x"))
+	arrived := <-done
+	if got := arrived.Sub(start); got < d {
+		t.Fatalf("delivered after %v, want >= %v", got, d)
+	}
+}
+
+func TestUniformModelBounds(t *testing.T) {
+	u := NewUniform(time.Millisecond, 2*time.Millisecond, 42)
+	for i := 0; i < 100; i++ {
+		d := u.Delay(1, 2)
+		if d < time.Millisecond || d > 2*time.Millisecond {
+			t.Fatalf("delay %v out of bounds", d)
+		}
+	}
+	degenerate := NewUniform(time.Millisecond, time.Millisecond, 1)
+	if d := degenerate.Delay(1, 2); d != time.Millisecond {
+		t.Fatalf("degenerate delay = %v", d)
+	}
+}
+
+func TestSitesModel(t *testing.T) {
+	s := NewSites(time.Millisecond, 10*time.Millisecond)
+	s.Place(1, 0)
+	s.Place(2, 0)
+	s.Place(3, 1)
+	if d := s.Delay(1, 2); d != time.Millisecond {
+		t.Fatalf("intra-site = %v", d)
+	}
+	if d := s.Delay(1, 3); d != 10*time.Millisecond {
+		t.Fatalf("inter-site = %v", d)
+	}
+	// Unplaced PIDs (AID processes) are local.
+	if d := s.Delay(1, 99); d != time.Millisecond {
+		t.Fatalf("unplaced = %v", d)
+	}
+}
+
+func TestOverrideModel(t *testing.T) {
+	o := NewOverride(Constant(time.Millisecond))
+	o.SetPair(1, 2, 5*time.Millisecond)
+	if d := o.Delay(1, 2); d != 5*time.Millisecond {
+		t.Fatalf("override = %v", d)
+	}
+	if d := o.Delay(2, 1); d != time.Millisecond {
+		t.Fatalf("reverse direction = %v (override must be directed)", d)
+	}
+	if d := o.Delay(3, 4); d != time.Millisecond {
+		t.Fatalf("base = %v", d)
+	}
+}
+
+func TestAsymmetricModel(t *testing.T) {
+	a := Asymmetric{Base: Constant(time.Millisecond), Extra: 2 * time.Millisecond}
+	if d := a.Delay(1, 2); d != 3*time.Millisecond {
+		t.Fatalf("delay = %v", d)
+	}
+}
+
+// TestConcurrentSendsAllDelivered: concurrency-safety of the transport.
+func TestConcurrentSendsAllDelivered(t *testing.T) {
+	n := New(NewUniform(0, 100*time.Microsecond, 9))
+	defer n.Close()
+	var s sink
+	n.Register(1, s.handler())
+	const senders, each = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < senders; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				n.Send(data(ids.PID(p+10), 1, p*each+i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	n.Drain()
+	if got := s.payloads(); len(got) != senders*each {
+		t.Fatalf("delivered %d, want %d", len(got), senders*each)
+	}
+}
+
+func TestLogNormalModel(t *testing.T) {
+	l := NewLogNormal(time.Millisecond, 0.5, 42)
+	var total time.Duration
+	max := time.Duration(0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d := l.Delay(1, 2)
+		if d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := total / n
+	// Log-normal with median 1ms, sigma 0.5: mean ≈ 1.13ms, and the
+	// tail must reach beyond the median.
+	if mean < 500*time.Microsecond || mean > 3*time.Millisecond {
+		t.Fatalf("mean = %v, implausible for median 1ms", mean)
+	}
+	if max < 2*time.Millisecond {
+		t.Fatalf("max = %v, no tail observed", max)
+	}
+}
+
+func TestLogNormalDeterministicSeed(t *testing.T) {
+	a := NewLogNormal(time.Millisecond, 1, 7)
+	b := NewLogNormal(time.Millisecond, 1, 7)
+	for i := 0; i < 50; i++ {
+		if a.Delay(1, 2) != b.Delay(1, 2) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

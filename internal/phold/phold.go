@@ -1,0 +1,199 @@
+// Package phold defines the discrete-event-simulation workload shared by
+// the Time Warp baseline (internal/timewarp) and the HOPE realization
+// (internal/des), plus a sequential reference simulator that provides
+// ground truth for both.
+//
+// The workload is a PHOLD-style hot-potato model: logical processes (LPs)
+// bounce timestamped events among each other; processing an event mutates
+// the LP state and schedules a successor event at a future virtual time
+// on a pseudo-random LP. Everything is a pure function of the event
+// stream, so optimistic executions can be checked exactly against the
+// sequential reference.
+//
+// Determinism across schedulers relies on a total event order: events are
+// processed in (At, UID) order, where UID is derived deterministically
+// from the parent event's UID — independent of scheduling — via a
+// splitmix64 step.
+package phold
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// VT is virtual (simulation) time.
+type VT int64
+
+// Event is one scheduled occurrence.
+type Event struct {
+	// At is the virtual time the event fires.
+	At VT
+	// To is the index of the LP that processes it.
+	To int
+	// UID is the schedule-independent unique identifier; (At, UID) is
+	// the total processing order and UID matches anti-messages.
+	UID uint64
+	// Data is the event payload.
+	Data int
+}
+
+// Key returns the total-order key of an event.
+func (e Event) Key() Key { return Key{At: e.At, UID: e.UID} }
+
+// Key orders events totally: by virtual time, then UID.
+type Key struct {
+	At  VT
+	UID uint64
+}
+
+// Less reports whether k orders before o.
+func (k Key) Less(o Key) bool {
+	if k.At != o.At {
+		return k.At < o.At
+	}
+	return k.UID < o.UID
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return fmt.Sprintf("(%d,%x)", k.At, k.UID) }
+
+// splitmix64 is the SplitMix64 mixing step: a fast, high-quality
+// deterministic hash used to derive child UIDs and pseudo-randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Config parameterizes a PHOLD run.
+type Config struct {
+	// LPs is the number of logical processes.
+	LPs int
+	// InitialEvents is the number of seed events per LP.
+	InitialEvents int
+	// End is the virtual-time horizon: events after End are not
+	// generated or processed.
+	End VT
+	// MaxDelay bounds the virtual-time increment of generated events
+	// (delays are in [1, MaxDelay]).
+	MaxDelay VT
+	// Seed perturbs the deterministic event stream.
+	Seed uint64
+}
+
+// Step processes one event against an LP state, returning the new state
+// and the (at most one) successor event. It is a pure function: both
+// simulators and the reference call exactly this.
+func (c Config) Step(state uint64, ev Event) (uint64, []Event) {
+	mix := splitmix64(state ^ ev.UID)
+	newState := mix
+	childAt := ev.At + 1 + VT(mix%uint64(c.MaxDelay))
+	if childAt > c.End {
+		return newState, nil
+	}
+	child := Event{
+		At:   childAt,
+		To:   int(splitmix64(mix) % uint64(c.LPs)),
+		UID:  splitmix64(ev.UID + 1),
+		Data: int(mix % 1000),
+	}
+	return newState, []Event{child}
+}
+
+// InitialState returns LP i's starting state.
+func (c Config) InitialState(i int) uint64 {
+	return splitmix64(c.Seed ^ uint64(i)*0x5851f42d4c957f2d)
+}
+
+// InitialEventsFor returns LP i's seed events.
+func (c Config) InitialEventsFor(i int) []Event {
+	out := make([]Event, 0, c.InitialEvents)
+	for k := 0; k < c.InitialEvents; k++ {
+		uid := splitmix64(c.Seed ^ uint64(i*1000003+k))
+		at := VT(1 + uid%uint64(c.MaxDelay))
+		if at > c.End {
+			continue
+		}
+		out = append(out, Event{At: at, To: i, UID: uid, Data: k})
+	}
+	return out
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Processed is the number of committed (retained) event executions.
+	Processed int
+	// States is the final state of each LP.
+	States []uint64
+}
+
+// Equal reports whether two results match exactly.
+func (r Result) Equal(o Result) bool {
+	if r.Processed != o.Processed || len(r.States) != len(o.States) {
+		return false
+	}
+	for i := range r.States {
+		if r.States[i] != o.States[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// eventHeap is a min-heap over event keys.
+type eventHeap []Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].Key().Less(h[j].Key()) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e Event)      { heap.Push(h, e) }
+func (h *eventHeap) pop() Event        { return heap.Pop(h).(Event) }
+
+// Heap is an exported min-ordered event queue for simulator
+// implementations that need local pending sets.
+type Heap struct{ h eventHeap }
+
+// Push inserts an event.
+func (q *Heap) Push(e Event) { q.h.push(e) }
+
+// Pop removes and returns the minimum event.
+func (q *Heap) Pop() Event { return q.h.pop() }
+
+// Min returns the minimum event without removing it.
+func (q *Heap) Min() Event { return q.h[0] }
+
+// Len returns the number of queued events.
+func (q *Heap) Len() int { return q.h.Len() }
+
+// Sequential runs the reference simulation: a single global queue
+// processed in strict (At, UID) order. Its Result is ground truth for
+// the optimistic simulators.
+func Sequential(cfg Config) Result {
+	states := make([]uint64, cfg.LPs)
+	for i := range states {
+		states[i] = cfg.InitialState(i)
+	}
+	var q Heap
+	for i := 0; i < cfg.LPs; i++ {
+		for _, e := range cfg.InitialEventsFor(i) {
+			q.Push(e)
+		}
+	}
+	processed := 0
+	for q.Len() > 0 {
+		ev := q.Pop()
+		if ev.At > cfg.End {
+			continue
+		}
+		var children []Event
+		states[ev.To], children = cfg.Step(states[ev.To], ev)
+		processed++
+		for _, ch := range children {
+			q.Push(ch)
+		}
+	}
+	return Result{Processed: processed, States: states}
+}

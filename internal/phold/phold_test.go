@@ -1,0 +1,158 @@
+package phold
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var cfg = Config{LPs: 4, InitialEvents: 3, End: 100, MaxDelay: 7, Seed: 99}
+
+func TestSequentialDeterministic(t *testing.T) {
+	a := Sequential(cfg)
+	b := Sequential(cfg)
+	if !a.Equal(b) {
+		t.Fatal("sequential reference not deterministic")
+	}
+	if a.Processed == 0 {
+		t.Fatal("degenerate workload")
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	other := cfg
+	other.Seed++
+	if Sequential(cfg).Equal(Sequential(other)) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestHorizonMonotonicity(t *testing.T) {
+	short := cfg
+	short.End = 50
+	long := cfg
+	long.End = 150
+	if Sequential(short).Processed >= Sequential(long).Processed {
+		t.Fatal("longer horizon processed fewer events")
+	}
+}
+
+func TestStepPure(t *testing.T) {
+	ev := Event{At: 3, To: 1, UID: 12345, Data: 7}
+	s1, c1 := cfg.Step(42, ev)
+	s2, c2 := cfg.Step(42, ev)
+	if s1 != s2 || len(c1) != len(c2) {
+		t.Fatal("Step is not a pure function")
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("Step children differ across calls")
+		}
+	}
+}
+
+func TestStepRespectsHorizon(t *testing.T) {
+	ev := Event{At: cfg.End, To: 0, UID: 7}
+	_, children := cfg.Step(1, ev)
+	for _, ch := range children {
+		if ch.At > cfg.End {
+			t.Fatalf("child at %d beyond horizon %d", ch.At, cfg.End)
+		}
+	}
+	// An event at the horizon always generates nothing (delay ≥ 1).
+	if len(children) != 0 {
+		t.Fatalf("event at horizon produced children: %v", children)
+	}
+}
+
+func TestStepChildInBounds(t *testing.T) {
+	f := func(state, uid uint64, at uint16) bool {
+		ev := Event{At: VT(at % uint16(cfg.End)), To: 0, UID: uid}
+		_, children := cfg.Step(state, ev)
+		for _, ch := range children {
+			if ch.To < 0 || ch.To >= cfg.LPs {
+				return false
+			}
+			if ch.At <= ev.At || ch.At > cfg.End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOrderingTotal(t *testing.T) {
+	a := Key{At: 1, UID: 5}
+	b := Key{At: 1, UID: 6}
+	c := Key{At: 2, UID: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("UID tiebreak broken")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatal("At ordering broken")
+	}
+	if a.Less(a) {
+		t.Fatal("irreflexivity broken")
+	}
+}
+
+func TestHeapPopsInKeyOrder(t *testing.T) {
+	var h Heap
+	evs := []Event{
+		{At: 5, UID: 1}, {At: 1, UID: 9}, {At: 1, UID: 2}, {At: 3, UID: 7},
+	}
+	for _, e := range evs {
+		h.Push(e)
+	}
+	var prev *Event
+	for h.Len() > 0 {
+		e := h.Pop()
+		if prev != nil && e.Key().Less(prev.Key()) {
+			t.Fatalf("heap order violated: %v after %v", e, *prev)
+		}
+		prev = &e
+	}
+}
+
+func TestInitialEventsWithinHorizon(t *testing.T) {
+	for i := 0; i < cfg.LPs; i++ {
+		for _, e := range cfg.InitialEventsFor(i) {
+			if e.At < 1 || e.At > cfg.End {
+				t.Fatalf("initial event at %d outside (0,%d]", e.At, cfg.End)
+			}
+			if e.To != i {
+				t.Fatalf("initial event for LP %d addressed to %d", i, e.To)
+			}
+		}
+	}
+}
+
+func TestInitialUIDsDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < cfg.LPs; i++ {
+		for _, e := range cfg.InitialEventsFor(i) {
+			if seen[e.UID] {
+				t.Fatalf("duplicate initial UID %x", e.UID)
+			}
+			seen[e.UID] = true
+		}
+	}
+}
+
+func TestResultEqual(t *testing.T) {
+	a := Result{Processed: 2, States: []uint64{1, 2}}
+	if !a.Equal(Result{Processed: 2, States: []uint64{1, 2}}) {
+		t.Fatal("equal results reported unequal")
+	}
+	if a.Equal(Result{Processed: 3, States: []uint64{1, 2}}) {
+		t.Fatal("count mismatch missed")
+	}
+	if a.Equal(Result{Processed: 2, States: []uint64{1, 3}}) {
+		t.Fatal("state mismatch missed")
+	}
+	if a.Equal(Result{Processed: 2, States: []uint64{1}}) {
+		t.Fatal("length mismatch missed")
+	}
+}

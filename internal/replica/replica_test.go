@@ -1,0 +1,239 @@
+package replica
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	idpkg "github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/netsim"
+)
+
+const settleTimeout = 20 * time.Second
+
+// deploy spawns a primary (site 0) and one backup (site 1) with the given
+// local/remote latencies. The client created later should be placed at
+// site 1, colocated with the backup.
+func deploy(t *testing.T, local, remote time.Duration) (*core.Engine, Client, *netsim.Sites) {
+	t.Helper()
+	sites := netsim.NewSites(local, remote)
+	eng := core.NewEngine(core.Config{Latency: sites})
+	t.Cleanup(eng.Shutdown)
+
+	backup, err := eng.SpawnRoot(Backup())
+	if err != nil {
+		t.Fatalf("spawn backup: %v", err)
+	}
+	primary, err := eng.SpawnRoot(Primary([]idpkg.PID{backup.PID()}))
+	if err != nil {
+		t.Fatalf("spawn primary: %v", err)
+	}
+	sites.Place(primary.PID(), 0)
+	sites.Place(backup.PID(), 1)
+	return eng, Client{Primary: primary.PID(), Backup: backup.PID()}, sites
+}
+
+type intCell struct {
+	mu sync.Mutex
+	v  *int
+}
+
+func (c *intCell) set(v int) {
+	c.mu.Lock()
+	c.v = &v
+	c.mu.Unlock()
+}
+
+func (c *intCell) get() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.v == nil {
+		return 0, false
+	}
+	return *c.v, true
+}
+
+// TestOptimisticReadFresh: when replication has caught up, the optimistic
+// read returns the local value without rollback.
+func TestOptimisticReadFresh(t *testing.T) {
+	eng, client, sites := deploy(t, 10*time.Microsecond, 500*time.Microsecond)
+
+	var cell intCell
+	reader, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		if err := client.Put(ctx, "k", 42, 0); err != nil {
+			return err
+		}
+		// Give replication time to land: poll the backup until it has
+		// version 1 (synchronous reads, still deterministic in effect).
+		for seq := 1; ; seq++ {
+			resp, err := client.getFrom(ctx, client.Backup, "k", seq)
+			if err != nil {
+				return err
+			}
+			if resp.Ver >= 1 {
+				break
+			}
+		}
+		v, err := client.GetOptimistic(ctx, "k", 1000)
+		if err != nil {
+			return err
+		}
+		cell.set(v)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn reader: %v", err)
+	}
+	sites.Place(reader.PID(), 1)
+
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	v, ok := cell.get()
+	if !ok {
+		t.Fatal("reader never finished")
+	}
+	if v != 42 {
+		t.Fatalf("read %d, want 42", v)
+	}
+	st := reader.Snapshot()
+	if st.Restarts != 0 {
+		t.Fatalf("fresh read rolled back %d times", st.Restarts)
+	}
+	if !st.AllDefinite {
+		t.Fatalf("reader not definite: %+v", st)
+	}
+}
+
+// TestOptimisticReadStale: a read racing ahead of replication is denied
+// and the client ends up with the primary's value.
+func TestOptimisticReadStale(t *testing.T) {
+	// Build the deployment by hand so the replication link can lag far
+	// behind the put acknowledgement, making staleness deterministic.
+	const (
+		local  = 10 * time.Microsecond
+		remote = 500 * time.Microsecond
+	)
+	sites := netsim.NewSites(local, remote)
+	lagged := netsim.NewOverride(sites)
+	eng := core.NewEngine(core.Config{Latency: lagged})
+	t.Cleanup(eng.Shutdown)
+
+	backup, err := eng.SpawnRoot(Backup())
+	if err != nil {
+		t.Fatalf("spawn backup: %v", err)
+	}
+	primary, err := eng.SpawnRoot(Primary([]idpkg.PID{backup.PID()}))
+	if err != nil {
+		t.Fatalf("spawn primary: %v", err)
+	}
+	sites.Place(primary.PID(), 0)
+	sites.Place(backup.PID(), 1)
+	// Replication lags: 20× the put round trip.
+	lagged.SetPair(primary.PID(), backup.PID(), 20*time.Millisecond)
+	client := Client{Primary: primary.PID(), Backup: backup.PID()}
+
+	var cell intCell
+	reader, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		if err := client.Put(ctx, "k", 7, 0); err != nil {
+			return err
+		}
+		if err := client.Put(ctx, "k", 99, 1); err != nil {
+			return err
+		}
+		// Both acks are in; replication is still in flight, so the local
+		// read is stale and the verifier must deny.
+		v, err := client.GetOptimistic(ctx, "k", 1000)
+		if err != nil {
+			return err
+		}
+		cell.set(v)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn reader: %v", err)
+	}
+	sites.Place(reader.PID(), 1)
+
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	v, ok := cell.get()
+	if !ok {
+		t.Fatal("reader never finished")
+	}
+	if v != 99 {
+		t.Fatalf("read %d, want 99 (the committed value)", v)
+	}
+	st := reader.Snapshot()
+	if st.Restarts == 0 {
+		t.Fatal("stale read was never rolled back")
+	}
+	if !st.AllDefinite {
+		t.Fatalf("reader not definite: %+v", st)
+	}
+}
+
+// TestOptimisticReadLatency: fresh optimistic reads complete at local
+// latency, far below the remote round trip a pessimistic read costs.
+func TestOptimisticReadLatency(t *testing.T) {
+	const (
+		local  = 20 * time.Microsecond
+		remote = 2 * time.Millisecond
+		reads  = 5
+	)
+	run := func(t *testing.T, optimistic bool) time.Duration {
+		t.Helper()
+		eng, client, sites := deploy(t, local, remote)
+		var done intCell
+		var start time.Time
+		reader, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+			if err := client.Put(ctx, "k", 1, 0); err != nil {
+				return err
+			}
+			for seq := 1; ; seq++ { // wait for replication
+				resp, err := client.getFrom(ctx, client.Backup, "k", seq)
+				if err != nil {
+					return err
+				}
+				if resp.Ver >= 1 {
+					break
+				}
+			}
+			start = time.Now()
+			for i := 0; i < reads; i++ {
+				var err error
+				if optimistic {
+					_, err = client.GetOptimistic(ctx, "k", 1000+i)
+				} else {
+					_, err = client.Get(ctx, "k", 1000+i)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			done.set(int(time.Since(start).Microseconds()))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("spawn reader: %v", err)
+		}
+		sites.Place(reader.PID(), 1)
+		if !eng.Settle(settleTimeout) {
+			t.Fatal("no settle")
+		}
+		us, ok := done.get()
+		if !ok {
+			t.Fatal("reader never finished")
+		}
+		return time.Duration(us) * time.Microsecond
+	}
+
+	pess := run(t, false)
+	opt := run(t, true)
+	t.Logf("pessimistic=%v optimistic=%v", pess, opt)
+	if opt >= pess {
+		t.Fatalf("optimistic reads (%v) not faster than pessimistic (%v)", opt, pess)
+	}
+}

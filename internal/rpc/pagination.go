@@ -1,0 +1,209 @@
+package rpc
+
+import (
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// This file implements the paper's running example (§3.1, Figures 1–2):
+// a report writer that prints a summary total to a remote print server,
+// must start a new page if the total overflowed the current page, and
+// then prints a trailer.
+//
+// Three workers are provided:
+//
+//   - PessimisticWorker — Figure 1: synchronous round trips.
+//   - OptimisticWorker — Figure 2 verbatim: per report, a WorryWart
+//     performs the total print concurrently, guards ordering with the
+//     Order assumption (free_of), and decides PartPage. Faithful to the
+//     paper's single-report fragment; when reports are pipelined, prints
+//     from different processes may legitimately interleave differently
+//     than a sequential run (the paper does not define cross-report
+//     ordering).
+//   - StreamedWorker — the call-streaming variant in which one sender
+//     issues every print, so FIFO delivery pins the page layout to the
+//     sequential one exactly; used by the experiments that compare
+//     layouts and measure latency at varying prediction accuracy.
+
+// Print server methods.
+const (
+	// MethodPrint appends a line and returns the new line number.
+	MethodPrint = "print"
+	// MethodNewPage starts a new page (line 0).
+	MethodNewPage = "newpage"
+)
+
+// PrintServer returns a Server body with print/newpage semantics over a
+// line counter. Lines grow without bound until an explicit newpage —
+// overflowing a page is the caller's business to detect, which is
+// precisely what the Worker speculates about.
+func PrintServer() core.Body {
+	handlers := map[string]Handler{
+		MethodPrint: func(line, _ int) (int, int) {
+			line++
+			return line, line
+		},
+		MethodNewPage: func(_, _ int) (int, int) {
+			return 0, 0
+		},
+	}
+	return Server(handlers, 0)
+}
+
+// PageReport is the outcome of one Worker run.
+type PageReport struct {
+	// NewPageCalls counts explicit newpage requests the Worker issued.
+	NewPageCalls int
+	// Totals is how many summary totals were printed.
+	Totals int
+}
+
+// PessimisticWorker returns Figure 1's Worker: for each of n reports it
+// prints the total, waits for the line number, starts a new page if the
+// total reached the page boundary, and prints the trailer — two or three
+// synchronous round trips per report.
+func PessimisticWorker(server ids.PID, pageSize, n int, done func(PageReport)) core.Body {
+	return func(ctx *core.Ctx) error {
+		var rep PageReport
+		seq := 0
+		for i := 0; i < n; i++ {
+			line, err := Call(ctx, server, MethodPrint, 0, seq)
+			seq++
+			if err != nil {
+				return err
+			}
+			rep.Totals++
+			if line >= pageSize {
+				if _, err := Call(ctx, server, MethodNewPage, 0, seq); err != nil {
+					return err
+				}
+				seq++
+				rep.NewPageCalls++
+			}
+			if _, err := Call(ctx, server, MethodPrint, 0, seq); err != nil { // trailer
+				return err
+			}
+			seq++
+		}
+		done(rep)
+		return nil
+	}
+}
+
+// OptimisticWorker returns Figure 2's Worker/WorryWart pair: the Worker
+// assumes the total did not land on the page boundary (PartPage) and
+// streams the trailer print immediately, guarded by the Order assumption;
+// the WorryWart concurrently performs the total print, asserts it is free
+// of Order (detecting trailer-before-total causality violations), and
+// decides PartPage from the returned line number. The PartPage denial is
+// deferred (footnote 1): a decision read from a still-speculative line
+// count must be revocable.
+func OptimisticWorker(server ids.PID, pageSize, n int, done func(PageReport)) core.Body {
+	return func(ctx *core.Ctx) error {
+		var rep PageReport
+		seq := 0
+		for i := 0; i < n; i++ {
+			partPage := ctx.AidInit()
+			order := ctx.AidInit()
+			printSeq := seq
+			seq++
+
+			// WorryWart: executes S1 (the total print) and verifies.
+			ctx.Spawn(func(w *core.Ctx) error {
+				line, err := Call(w, server, MethodPrint, 0, printSeq)
+				if err != nil {
+					return err
+				}
+				if !w.FreeOf(order) {
+					// Causality violation: the trailer overtook the
+					// total. order is denied; everything dependent on it
+					// — including the server's premature trailer — rolls
+					// back, and this WorryWart re-executes.
+					return nil
+				}
+				if line < pageSize {
+					w.Affirm(partPage)
+				} else {
+					w.DenyDeferred(partPage)
+				}
+				return nil
+			})
+			rep.Totals++
+
+			// S2: assume no page overflow.
+			if !ctx.Guess(partPage) {
+				if _, err := Call(ctx, server, MethodNewPage, 0, seq); err != nil {
+					return err
+				}
+				seq++
+				rep.NewPageCalls++
+			}
+
+			// S3: the trailer print, dependent on the Order assumption so
+			// that overtaking the WorryWart's total print is detectable.
+			ctx.Guess(order)
+			ctx.Send(server, Request{Method: MethodPrint, Seq: seq})
+			seq++
+		}
+		done(rep)
+		return nil
+	}
+}
+
+// StreamedWorker pipelines n reports with every print issued by the
+// Worker itself: per-pair FIFO delivery then guarantees the server sees
+// prints in program order, so the resulting page layout is byte-for-byte
+// the sequential one while the Worker still never waits. Each total's
+// reply is routed to a per-report WorryWart (the request's ReplyTo) that
+// decides PartPage; denial rolls the Worker back to the guess, where it
+// inserts the newpage and re-streams the rest.
+func StreamedWorker(server ids.PID, pageSize, n int, done func(PageReport)) core.Body {
+	return func(ctx *core.Ctx) error {
+		var rep PageReport
+		seq := 0
+		for i := 0; i < n; i++ {
+			partPage := ctx.AidInit()
+			printSeq := seq
+			seq++
+
+			// The verifier only receives the total's line number.
+			ww := ctx.Spawn(func(w *core.Ctx) error {
+				for {
+					payload, _, err := w.Recv()
+					if err != nil {
+						return err
+					}
+					resp, ok := payload.(Response)
+					if !ok || resp.Seq != printSeq {
+						continue
+					}
+					if resp.Result < pageSize {
+						w.Affirm(partPage)
+					} else {
+						w.DenyDeferred(partPage)
+					}
+					return nil
+				}
+			})
+
+			// S1: the total print, reply routed to the WorryWart.
+			ctx.Send(server, Request{ReplyTo: ww, Method: MethodPrint, Seq: printSeq})
+			rep.Totals++
+
+			// S2: assume no overflow; on denial, re-execution lands here
+			// and streams the newpage before everything that follows.
+			if !ctx.Guess(partPage) {
+				ctx.Send(server, Request{Method: MethodNewPage, Seq: seq})
+				seq++
+				rep.NewPageCalls++
+			}
+
+			// S3: the trailer print. Same sender as S1, so it can never
+			// overtake it; no Order assumption is needed.
+			ctx.Send(server, Request{Method: MethodPrint, Seq: seq})
+			seq++
+		}
+		done(rep)
+		return nil
+	}
+}

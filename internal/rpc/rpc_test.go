@@ -1,0 +1,286 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/netsim"
+)
+
+const settleTimeout = 10 * time.Second
+
+func newEngine(t *testing.T, latency netsim.LatencyModel) *core.Engine {
+	t.Helper()
+	eng := core.NewEngine(core.Config{Latency: latency})
+	t.Cleanup(eng.Shutdown)
+	return eng
+}
+
+type reportSink struct {
+	mu   sync.Mutex
+	last *PageReport
+}
+
+func (s *reportSink) put(r PageReport) {
+	s.mu.Lock()
+	s.last = &r
+	s.mu.Unlock()
+}
+
+func (s *reportSink) get() *PageReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+func TestSynchronousCall(t *testing.T) {
+	eng := newEngine(t, nil)
+	server, err := eng.SpawnRoot(Server(map[string]Handler{
+		"add": func(state, arg int) (int, int) {
+			state += arg
+			return state, state
+		},
+	}, 0))
+	if err != nil {
+		t.Fatalf("spawn server: %v", err)
+	}
+
+	var got []int
+	var mu sync.Mutex
+	if _, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		for i, arg := range []int{5, 7, 1} {
+			v, err := Call(ctx, server.PID(), "add", arg, i)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			got = append(got, v)
+			mu.Unlock()
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn client: %v", err)
+	}
+
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{5, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOptimisticCallCorrectPrediction(t *testing.T) {
+	eng := newEngine(t, netsim.Constant(200*time.Microsecond))
+	server, err := eng.SpawnRoot(Server(map[string]Handler{
+		"double": func(state, arg int) (int, int) { return state, 2 * arg },
+	}, 0))
+	if err != nil {
+		t.Fatalf("spawn server: %v", err)
+	}
+
+	var mu sync.Mutex
+	var result int
+	client, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		v, err := CallOptimistic(ctx, server.PID(), "double", 21, 0,
+			func(_ string, arg int) int { return 2 * arg })
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		result = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn client: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if result != 42 {
+		t.Fatalf("result = %d, want 42", result)
+	}
+	st := client.Snapshot()
+	if st.Restarts != 0 {
+		t.Fatalf("client rolled back %d times on a correct prediction", st.Restarts)
+	}
+	if !st.AllDefinite {
+		t.Fatalf("client history not definite: %+v", st)
+	}
+}
+
+func TestOptimisticCallWrongPrediction(t *testing.T) {
+	eng := newEngine(t, netsim.Constant(100*time.Microsecond))
+	server, err := eng.SpawnRoot(Server(map[string]Handler{
+		"double": func(state, arg int) (int, int) { return state, 2 * arg },
+	}, 0))
+	if err != nil {
+		t.Fatalf("spawn server: %v", err)
+	}
+
+	var mu sync.Mutex
+	var results []int
+	client, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		v, err := CallOptimistic(ctx, server.PID(), "double", 21, 0,
+			func(_ string, _ int) int { return -1 }) // always wrong
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results = append(results, v)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn client: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) == 0 {
+		t.Fatal("client never finished a call")
+	}
+	if final := results[len(results)-1]; final != 42 {
+		t.Fatalf("final result = %d, want 42 (all: %v)", final, results)
+	}
+	st := client.Snapshot()
+	if st.Restarts == 0 {
+		t.Fatal("client never rolled back despite wrong prediction")
+	}
+	if !st.AllDefinite {
+		t.Fatalf("client history not definite: %+v", st)
+	}
+}
+
+// runPagination runs one worker against a fresh print server and returns
+// its report.
+func runPagination(t *testing.T, latency time.Duration, build func(server ids.PID, sink *reportSink) core.Body) PageReport {
+	t.Helper()
+	eng := newEngine(t, netsim.Constant(latency))
+	server, err := eng.SpawnRoot(PrintServer())
+	if err != nil {
+		t.Fatalf("spawn server: %v", err)
+	}
+	var sink reportSink
+	if _, err := eng.SpawnRoot(build(server.PID(), &sink)); err != nil {
+		t.Fatalf("spawn worker: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	rep := sink.get()
+	if rep == nil {
+		t.Fatal("worker never completed")
+	}
+	return *rep
+}
+
+// TestPaginationStreamedEquivalence: the streamed Worker must produce
+// exactly the pessimistic page layout — same newpage count — because a
+// single sender pins the print order.
+func TestPaginationStreamedEquivalence(t *testing.T) {
+	const (
+		pageSize = 4
+		reports  = 10
+	)
+	pess := runPagination(t, 50*time.Microsecond, func(server ids.PID, sink *reportSink) core.Body {
+		return PessimisticWorker(server, pageSize, reports, sink.put)
+	})
+	opt := runPagination(t, 50*time.Microsecond, func(server ids.PID, sink *reportSink) core.Body {
+		return StreamedWorker(server, pageSize, reports, sink.put)
+	})
+
+	if pess.Totals != reports || opt.Totals != reports {
+		t.Fatalf("totals: pessimistic=%d streamed=%d, want %d", pess.Totals, opt.Totals, reports)
+	}
+	if pess.NewPageCalls == 0 {
+		t.Fatal("degenerate workload: pessimistic run never overflowed a page")
+	}
+	if pess.NewPageCalls != opt.NewPageCalls {
+		t.Fatalf("newpage calls differ: pessimistic=%d streamed=%d", pess.NewPageCalls, opt.NewPageCalls)
+	}
+}
+
+// TestPaginationFigure2Equivalence: the paper's per-report Worker matches
+// the pessimistic layout for the single-report fragment the paper
+// actually shows (cross-report interleaving is unspecified by the paper).
+func TestPaginationFigure2Equivalence(t *testing.T) {
+	for _, pageSize := range []int{1, 2, 8} {
+		pess := runPagination(t, 50*time.Microsecond, func(server ids.PID, sink *reportSink) core.Body {
+			return PessimisticWorker(server, pageSize, 1, sink.put)
+		})
+		opt := runPagination(t, 50*time.Microsecond, func(server ids.PID, sink *reportSink) core.Body {
+			return OptimisticWorker(server, pageSize, 1, sink.put)
+		})
+		if pess.NewPageCalls != opt.NewPageCalls {
+			t.Fatalf("pageSize=%d: newpage calls differ: pessimistic=%d optimistic=%d",
+				pageSize, pess.NewPageCalls, opt.NewPageCalls)
+		}
+	}
+}
+
+// TestPaginationLatencyWin: with significant network latency and always
+// correct predictions, the optimistic Worker's *user-visible* completion
+// (the paper's measured RPC latency win) is much faster; commitment of
+// the speculation (all intervals definite) trails behind as bookkeeping.
+func TestPaginationLatencyWin(t *testing.T) {
+	const (
+		pageSize = 50 // no overflow within the run: predictions always right
+		reports  = 8
+		latency  = 2 * time.Millisecond
+	)
+	run := func(t *testing.T, optimistic bool) (complete, committed time.Duration) {
+		t.Helper()
+		eng := newEngine(t, netsim.Constant(latency))
+		server, err := eng.SpawnRoot(PrintServer())
+		if err != nil {
+			t.Fatalf("spawn server: %v", err)
+		}
+		var sink reportSink
+		body := PessimisticWorker(server.PID(), pageSize, reports, sink.put)
+		if optimistic {
+			body = StreamedWorker(server.PID(), pageSize, reports, sink.put)
+		}
+		start := time.Now()
+		if _, err := eng.SpawnRoot(body); err != nil {
+			t.Fatalf("spawn worker: %v", err)
+		}
+		deadline := time.Now().Add(settleTimeout)
+		for sink.get() == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("worker never completed")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		complete = time.Since(start)
+		if !eng.Settle(settleTimeout) {
+			t.Fatal("no settle")
+		}
+		committed = time.Since(start)
+		return complete, committed
+	}
+
+	pess, pessCommit := run(t, false)
+	opt, optCommit := run(t, true)
+	t.Logf("completion: pessimistic=%v optimistic=%v (%.0f%% saved); commit: %v vs %v",
+		pess, opt, 100*(1-opt.Seconds()/pess.Seconds()), pessCommit, optCommit)
+	if opt >= pess {
+		t.Fatalf("optimistic completion (%v) not faster than pessimistic (%v)", opt, pess)
+	}
+}

@@ -1,0 +1,96 @@
+package scicomp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// Cluster wires the partitions of one relaxation run onto an engine.
+type Cluster struct {
+	cfg   Config
+	procs []*core.Process
+
+	mu   sync.Mutex
+	pids []ids.PID
+	res  [][]float64
+}
+
+// NewCluster spawns the workers.
+func NewCluster(eng *core.Engine, cfg Config) (*Cluster, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		pids: make([]ids.PID, cfg.Workers),
+		res:  make([][]float64, cfg.Workers),
+	}
+	peers := func(i int) ids.PID {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.pids[i]
+	}
+	done := func(r Result) {
+		c.mu.Lock()
+		c.res[r.Worker] = r.Values
+		c.mu.Unlock()
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		p, err := eng.SpawnRoot(Worker(cfg, w, peers, done))
+		if err != nil {
+			return nil, fmt.Errorf("scicomp: spawn worker %d: %w", w, err)
+		}
+		c.mu.Lock()
+		c.pids[w] = p.PID()
+		c.mu.Unlock()
+		c.procs = append(c.procs, p)
+	}
+	return c, nil
+}
+
+// Result returns the committed values; call after the engine settles.
+func (c *Cluster) Result() ([][]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]float64, len(c.res))
+	for w, vals := range c.res {
+		if vals == nil {
+			return nil, fmt.Errorf("scicomp: worker %d never finished", w)
+		}
+		out[w] = vals
+	}
+	return out, nil
+}
+
+// Rollbacks sums the workers' restart counts.
+func (c *Cluster) Rollbacks() int {
+	total := 0
+	for _, p := range c.procs {
+		total += p.Snapshot().Restarts
+	}
+	return total
+}
+
+// Run executes a full optimistic relaxation on a fresh engine and
+// returns the result, total rollbacks, and wall time.
+func Run(cfg Config, latency core.Config) ([][]float64, int, time.Duration, error) {
+	eng := core.NewEngine(latency)
+	defer eng.Shutdown()
+	start := time.Now()
+	cluster, err := NewCluster(eng, cfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if !eng.Settle(120 * time.Second) {
+		return nil, 0, 0, fmt.Errorf("scicomp: run did not settle")
+	}
+	res, err := cluster.Result()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, cluster.Rollbacks(), time.Since(start), nil
+}

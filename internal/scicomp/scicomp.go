@@ -1,0 +1,301 @@
+// Package scicomp applies HOPE to scientific programming, the
+// application studied in "Optimistic Programming in PVM" [6]: an
+// iterative stencil computation (1-D Jacobi relaxation) partitioned
+// across workers that exchange boundary values every iteration.
+//
+// The synchronous version waits one message round trip per iteration.
+// The optimistic version predicts each neighbour boundary as its last
+// known value and guesses the prediction is within tolerance of the
+// actual; computation pipelines ahead while actual boundaries arrive
+// behind, and a prediction that misses tolerance is denied — rolling the
+// worker back to that iteration to recompute with the actual value.
+//
+// With tolerance 0 the committed result is bit-identical to the
+// synchronous computation (every wrong prediction is recomputed); with a
+// positive tolerance the committed result is a bounded-staleness
+// relaxation, trading a per-step error of at most the tolerance for
+// latency hiding — the trade [6] makes.
+package scicomp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// Config describes one relaxation run.
+type Config struct {
+	// Workers is the number of partitions.
+	Workers int
+	// CellsPerWorker is each partition's interior size.
+	CellsPerWorker int
+	// Iterations is the number of Jacobi sweeps.
+	Iterations int
+	// Tolerance is the accepted boundary prediction error; 0 demands
+	// exact agreement.
+	Tolerance float64
+	// Window bounds how many iterations a worker may run ahead of its
+	// unverified boundary predictions.
+	Window int
+	// Progress, when non-nil, observes each worker's phase transitions
+	// (testing/debugging hook; called outside the process lock).
+	Progress func(worker, iter int, phase string)
+}
+
+// note reports a phase transition to the Progress hook.
+func (c Config) note(worker, iter int, phase string) {
+	if c.Progress != nil {
+		c.Progress(worker, iter, phase)
+	}
+}
+
+// initial returns worker w's starting values: a deterministic bumpy
+// profile that smooths out under relaxation.
+func (c Config) initial(w int) []float64 {
+	vals := make([]float64, c.CellsPerWorker)
+	for i := range vals {
+		g := float64(w*c.CellsPerWorker + i)
+		vals[i] = math.Sin(g/3) + 0.5*math.Cos(g/7)
+	}
+	return vals
+}
+
+// step performs one Jacobi sweep over vals with the given neighbour
+// boundaries (fixed 0 at the global edges).
+func step(vals []float64, left, right float64) []float64 {
+	out := make([]float64, len(vals))
+	for i := range vals {
+		lo := left
+		if i > 0 {
+			lo = vals[i-1]
+		}
+		hi := right
+		if i < len(vals)-1 {
+			hi = vals[i+1]
+		}
+		out[i] = (lo + hi) / 2
+	}
+	return out
+}
+
+// Sequential computes the reference result: all partitions advanced in
+// lockstep with exact boundaries.
+func Sequential(cfg Config) [][]float64 {
+	vals := make([][]float64, cfg.Workers)
+	for w := range vals {
+		vals[w] = cfg.initial(w)
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		next := make([][]float64, cfg.Workers)
+		for w := range vals {
+			left, right := 0.0, 0.0
+			if w > 0 {
+				left = vals[w-1][len(vals[w-1])-1]
+			}
+			if w < cfg.Workers-1 {
+				right = vals[w+1][0]
+			}
+			next[w] = step(vals[w], left, right)
+		}
+		vals = next
+	}
+	return vals
+}
+
+// boundary is the value exchanged between neighbouring workers.
+type boundary struct {
+	Iter  int
+	From  int // worker index of the sender
+	Value float64
+}
+
+// Result carries one worker's final values.
+type Result struct {
+	Worker    int
+	Values    []float64
+	Rollbacks int // filled by the harness from the process snapshot
+}
+
+// verification is one outstanding boundary prediction.
+type verification struct {
+	iter      int
+	from      int
+	predicted float64
+	aid       ids.AID
+}
+
+// Worker returns the HOPE body for partition w. peers maps worker index
+// to PID; done reports the final values each time the worker finishes
+// (the report at quiescence is committed).
+//
+// Per iteration and neighbour the worker guesses "my last known boundary
+// is within tolerance of the actual". A denial rolls the worker back to
+// that guess; the retained assumption identifier then answers false
+// (it is in the dead set), and the pessimistic branch blocks for the
+// actual boundary before recomputing — so with tolerance 0 the committed
+// result is bit-identical to the synchronous computation.
+func Worker(cfg Config, w int, peers func(int) ids.PID, done func(Result)) core.Body {
+	return func(ctx *core.Ctx) error {
+		vals := cfg.initial(w)
+
+		// actual[side][iter] buffers every received boundary, claimed by
+		// the iteration that needs it — boundaries may arrive before the
+		// prediction that will want them.
+		actualL := make(map[int]float64)
+		actualR := make(map[int]float64)
+
+		// Best known boundary per side for prediction. The initial
+		// profiles are globally known, so iteration 0 predicts exactly.
+		predL, predR := 0.0, 0.0
+		if w > 0 {
+			n := cfg.initial(w - 1)
+			predL = n[len(n)-1]
+		}
+		if w < cfg.Workers-1 {
+			predR = cfg.initial(w + 1)[0]
+		}
+
+		var pending []verification
+
+		// verify resolves a matching outstanding prediction and buffers
+		// the actual for the iteration that will claim it.
+		verify := func(b boundary) {
+			for i, v := range pending {
+				if v.from != b.From || v.iter != b.Iter {
+					continue
+				}
+				if math.Abs(v.predicted-b.Value) <= cfg.Tolerance {
+					ctx.Affirm(v.aid)
+				} else {
+					ctx.Deny(v.aid)
+				}
+				pending = append(pending[:i], pending[i+1:]...)
+				break
+			}
+			if b.From == w-1 {
+				actualL[b.Iter] = b.Value
+				predL = b.Value
+			} else {
+				actualR[b.Iter] = b.Value
+				predR = b.Value
+			}
+		}
+
+		consume := func(payload any) error {
+			b, ok := payload.(boundary)
+			if !ok {
+				return fmt.Errorf("scicomp worker %d: unexpected payload %T", w, payload)
+			}
+			cfg.note(w, b.Iter, fmt.Sprintf("consume from=%d val=%.6f", b.From, b.Value))
+			verify(b)
+			return nil
+		}
+
+		recvOne := func() error {
+			payload, _, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			return consume(payload)
+		}
+
+		// resolve produces the boundary value worker w uses for
+		// iteration it on the given side. If the actual has already
+		// arrived it is used directly — no speculation. Otherwise the
+		// best known value is guessed to hold; a denial rolls back to
+		// the guess, which then returns false, and the pessimistic
+		// branch blocks until the actual arrives.
+		resolve := func(it, from int, arrived map[int]float64, predicted float64) (float64, error) {
+			if v, ok := arrived[it]; ok {
+				return v, nil
+			}
+			a := ctx.AidInit()
+			if ctx.Guess(a) {
+				pending = append(pending, verification{iter: it, from: from, predicted: predicted, aid: a})
+				return predicted, nil
+			}
+			for {
+				if v, ok := arrived[it]; ok {
+					return v, nil
+				}
+				cfg.note(w, it, "actual-wait")
+				if err := recvOne(); err != nil {
+					return 0, err
+				}
+			}
+		}
+
+		for it := 0; it < cfg.Iterations; it++ {
+			// Drain arrivals without blocking.
+			for {
+				payload, _, ok := ctx.TryRecv()
+				if !ok {
+					break
+				}
+				if err := consume(payload); err != nil {
+					return err
+				}
+			}
+			// Bound the speculation window.
+			for len(pending) >= cfg.Window {
+				cfg.note(w, it, fmt.Sprintf("window-wait pending=%v", pending))
+				if err := recvOne(); err != nil {
+					return err
+				}
+			}
+
+			// Share this iteration's edges before speculating onward.
+			if w > 0 {
+				cfg.note(w, it, "send-left")
+				ctx.Send(peers(w-1), boundary{Iter: it, From: w, Value: vals[0]})
+			}
+			if w < cfg.Workers-1 {
+				cfg.note(w, it, "send-right")
+				ctx.Send(peers(w+1), boundary{Iter: it, From: w, Value: vals[len(vals)-1]})
+			}
+
+			left, right := 0.0, 0.0
+			if w > 0 {
+				v, err := resolve(it, w-1, actualL, predL)
+				if err != nil {
+					return err
+				}
+				left = v
+			}
+			if w < cfg.Workers-1 {
+				v, err := resolve(it, w+1, actualR, predR)
+				if err != nil {
+					return err
+				}
+				right = v
+			}
+			vals = step(vals, left, right)
+		}
+
+		// Resolve every outstanding prediction before reporting.
+		for len(pending) > 0 {
+			cfg.note(w, cfg.Iterations, fmt.Sprintf("drain-wait pending=%v", pending))
+			if err := recvOne(); err != nil {
+				return err
+			}
+		}
+		done(Result{Worker: w, Values: vals})
+		return nil
+	}
+}
+
+// MaxError returns the largest absolute cell difference between two
+// results.
+func MaxError(a, b [][]float64) float64 {
+	worst := 0.0
+	for w := range a {
+		for i := range a[w] {
+			if d := math.Abs(a[w][i] - b[w][i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

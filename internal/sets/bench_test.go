@@ -1,0 +1,96 @@
+package sets
+
+import (
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// Dependency sets are tiny in practice (a handful of live assumptions per
+// interval), so the benchmarks use small sizes matching real workloads as
+// well as a large size to expose accidental quadratic behaviour.
+
+func benchSizes() []struct {
+	name string
+	n    int
+} {
+	return []struct {
+		name string
+		n    int
+	}{{"small", 4}, {"medium", 32}, {"large", 1024}}
+}
+
+func BenchmarkAIDSetAddRemove(b *testing.B) {
+	for _, sz := range benchSizes() {
+		b.Run(sz.name, func(b *testing.B) {
+			s := NewAIDSet()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < sz.n; j++ {
+					s.Add(ids.AID(j))
+				}
+				for j := 0; j < sz.n; j++ {
+					s.Remove(ids.AID(j))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAIDSetClone(b *testing.B) {
+	for _, sz := range benchSizes() {
+		b.Run(sz.name, func(b *testing.B) {
+			s := NewAIDSet()
+			for j := 0; j < sz.n; j++ {
+				s.Add(ids.AID(j))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Clone()
+			}
+		})
+	}
+}
+
+func BenchmarkAIDSetIntersects(b *testing.B) {
+	for _, sz := range benchSizes() {
+		b.Run(sz.name, func(b *testing.B) {
+			s := NewAIDSet()
+			probe := make([]ids.AID, sz.n)
+			for j := 0; j < sz.n; j++ {
+				s.Add(ids.AID(j))
+				probe[j] = ids.AID(j + sz.n) // disjoint: worst case scan
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.Intersects(probe) {
+					b.Fatal("disjoint sets intersected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIntervalSetAddRemove(b *testing.B) {
+	for _, sz := range benchSizes() {
+		b.Run(sz.name, func(b *testing.B) {
+			s := NewIntervalSet()
+			iids := make([]ids.IntervalID, sz.n)
+			for j := range iids {
+				iids[j] = ids.IntervalID{Proc: 1, Seq: uint32(j + 1), Epoch: 1}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range iids {
+					s.Add(id)
+				}
+				for _, id := range iids {
+					s.Remove(id)
+				}
+			}
+		})
+	}
+}

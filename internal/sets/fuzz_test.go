@@ -1,0 +1,90 @@
+package sets
+
+// Fuzz target cross-checking AIDSet against a reference model (map +
+// insertion-order slice). The set underpins every dependency-tracking
+// decision in the engine, so its order-preserving semantics must hold for
+// arbitrary operation streams.
+
+import (
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// refSet is the obvious (slow) model of an insertion-ordered set.
+type refSet struct {
+	present map[ids.AID]bool
+	order   []ids.AID
+}
+
+func newRefSet() *refSet { return &refSet{present: make(map[ids.AID]bool)} }
+
+func (r *refSet) add(a ids.AID) bool {
+	if r.present[a] {
+		return false
+	}
+	r.present[a] = true
+	r.order = append(r.order, a)
+	return true
+}
+
+func (r *refSet) remove(a ids.AID) bool {
+	if !r.present[a] {
+		return false
+	}
+	delete(r.present, a)
+	for i, x := range r.order {
+		if x == a {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// FuzzAIDSetModel interprets each input byte as an operation on a small
+// AID universe and checks AIDSet against the model after every step.
+func FuzzAIDSetModel(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x00, 0x81, 0xc0})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x82, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewAIDSet()
+		ref := newRefSet()
+		for _, b := range data {
+			a := ids.AID(b&0x0f) + 1
+			switch {
+			case b&0xc0 == 0x80:
+				if got, want := s.Remove(a), ref.remove(a); got != want {
+					t.Fatalf("Remove(%v)=%v, model says %v", a, got, want)
+				}
+			case b&0xc0 == 0xc0:
+				s.Clear()
+				ref = newRefSet()
+			default:
+				if got, want := s.Add(a), ref.add(a); got != want {
+					t.Fatalf("Add(%v)=%v, model says %v", a, got, want)
+				}
+			}
+
+			if s.Len() != len(ref.order) {
+				t.Fatalf("Len=%d, model has %d", s.Len(), len(ref.order))
+			}
+			got := s.Slice()
+			for i, want := range ref.order {
+				if got[i] != want {
+					t.Fatalf("Slice[%d]=%v, model says %v (got %v, want %v)",
+						i, got[i], want, got, ref.order)
+				}
+			}
+			for a := ids.AID(1); a <= 16; a++ {
+				if s.Contains(a) != ref.present[a] {
+					t.Fatalf("Contains(%v)=%v, model says %v", a, s.Contains(a), ref.present[a])
+				}
+			}
+			if !s.Equal(s.Clone()) {
+				t.Fatal("set != its own clone")
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package sets
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+func TestAIDSetBasics(t *testing.T) {
+	s := NewAIDSet()
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	if !s.Add(1) {
+		t.Fatal("first Add reported not-new")
+	}
+	if s.Add(1) {
+		t.Fatal("duplicate Add reported new")
+	}
+	if !s.Contains(1) || s.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Remove(1) {
+		t.Fatal("Remove reported absent")
+	}
+	if s.Remove(1) {
+		t.Fatal("second Remove reported present")
+	}
+	if !s.Empty() {
+		t.Fatal("set not empty after removal")
+	}
+}
+
+func TestAIDSetInsertionOrder(t *testing.T) {
+	s := NewAIDSet(5, 3, 9, 3, 1)
+	got := s.Slice()
+	want := []ids.AID{5, 3, 9, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+	s.Remove(3)
+	got = s.Slice()
+	want = []ids.AID{5, 9, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after remove: Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAIDSetCloneIndependence(t *testing.T) {
+	s := NewAIDSet(1, 2, 3)
+	c := s.Clone()
+	c.Add(4)
+	s.Remove(1)
+	if s.Contains(4) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Contains(1) {
+		t.Fatal("mutating original affected clone")
+	}
+}
+
+func TestAIDSetSliceIsCopy(t *testing.T) {
+	s := NewAIDSet(1, 2, 3)
+	sl := s.Slice()
+	sl[0] = 99
+	if s.Contains(99) || !s.Contains(1) {
+		t.Fatal("Slice aliases internal storage")
+	}
+}
+
+func TestAIDSetIntersects(t *testing.T) {
+	s := NewAIDSet(1, 2, 3)
+	if !s.Intersects([]ids.AID{9, 2}) {
+		t.Fatal("missed intersection")
+	}
+	if s.Intersects([]ids.AID{9, 8}) {
+		t.Fatal("phantom intersection")
+	}
+	if s.Intersects(nil) {
+		t.Fatal("intersection with empty slice")
+	}
+}
+
+func TestAIDSetEqual(t *testing.T) {
+	a := NewAIDSet(1, 2, 3)
+	b := NewAIDSet(3, 2, 1) // different order, same members
+	if !a.Equal(b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	b.Add(4)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+}
+
+func TestAIDSetString(t *testing.T) {
+	s := NewAIDSet(7, 3)
+	if got := s.String(); got != "{aid:3 aid:7}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NewAIDSet().String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestAIDSetClear(t *testing.T) {
+	s := NewAIDSet(1, 2)
+	s.Clear()
+	if !s.Empty() || s.Contains(1) {
+		t.Fatal("Clear left residue")
+	}
+	s.Add(5)
+	if s.Len() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+}
+
+// Property: after any sequence of adds and removes, Contains agrees with
+// a reference map and Slice has no duplicates.
+func TestAIDSetQuickAgainstMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := NewAIDSet()
+		ref := make(map[ids.AID]bool)
+		for _, op := range ops {
+			a := ids.AID(op&0x3f) + 1 // small domain forces collisions
+			if op < 0 {
+				got := s.Remove(a)
+				want := ref[a]
+				delete(ref, a)
+				if got != want {
+					return false
+				}
+			} else {
+				got := s.Add(a)
+				want := !ref[a]
+				ref[a] = true
+				if got != want {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		seen := make(map[ids.AID]bool)
+		for _, a := range s.Slice() {
+			if seen[a] || !ref[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is always Equal and stays independent.
+func TestAIDSetQuickClone(t *testing.T) {
+	f := func(members []uint8, extra uint8) bool {
+		s := NewAIDSet()
+		for _, m := range members {
+			s.Add(ids.AID(m) + 1)
+		}
+		c := s.Clone()
+		if !s.Equal(c) {
+			return false
+		}
+		c.Add(ids.AID(extra) + 300)
+		return !s.Contains(ids.AID(extra) + 300)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetBasics(t *testing.T) {
+	i1 := ids.IntervalID{Proc: 1, Seq: 0, Epoch: 1}
+	i2 := ids.IntervalID{Proc: 1, Seq: 0, Epoch: 2} // same position, new epoch
+	s := NewIntervalSet()
+	if !s.Add(i1) || s.Add(i1) {
+		t.Fatal("Add/duplicate semantics wrong")
+	}
+	if !s.Add(i2) {
+		t.Fatal("distinct epoch treated as duplicate")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Remove(i1) || s.Contains(i1) || !s.Contains(i2) {
+		t.Fatal("Remove semantics wrong")
+	}
+}
+
+func TestIntervalSetOrderAndClone(t *testing.T) {
+	mk := func(seq uint32) ids.IntervalID { return ids.IntervalID{Proc: 7, Seq: seq, Epoch: 1} }
+	s := NewIntervalSet(mk(3), mk(1), mk(2))
+	got := s.Slice()
+	if got[0] != mk(3) || got[1] != mk(1) || got[2] != mk(2) {
+		t.Fatalf("order not preserved: %v", got)
+	}
+	c := s.Clone()
+	c.Clear()
+	if s.Len() != 3 {
+		t.Fatal("Clear on clone affected original")
+	}
+}
+
+func TestIntervalSetQuickAgainstMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := NewIntervalSet()
+		ref := make(map[ids.IntervalID]bool)
+		for _, op := range ops {
+			id := ids.IntervalID{Proc: 1, Seq: uint32(op & 0x1f), Epoch: 1}
+			if op < 0 {
+				got := s.Remove(id)
+				want := ref[id]
+				delete(ref, id)
+				if got != want {
+					return false
+				}
+			} else {
+				got := s.Add(id)
+				want := !ref[id]
+				ref[id] = true
+				if got != want {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package stream generalizes the paper's call-streaming transformation
+// (Bacon & Strom [1], realized with HOPE in §3.1) to pipelines of
+// dependent RPCs: call i+1's argument is call i's result. Synchronously
+// the chain costs depth × RTT; optimistically every call is issued
+// immediately against the predicted result of its predecessor, collapsing
+// the critical path to roughly one RTT when predictions hold.
+package stream
+
+import (
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/rpc"
+)
+
+// StepMethod is the server method pipelines call.
+const StepMethod = "step"
+
+// StepFn computes one pipeline stage's true result.
+type StepFn func(arg int) int
+
+// Server returns a stateless pipeline server applying step.
+func Server(step StepFn) core.Body {
+	return rpc.Server(map[string]rpc.Handler{
+		StepMethod: func(state, arg int) (int, int) {
+			return state, step(arg)
+		},
+	}, 0)
+}
+
+// Chain describes a pipeline run.
+type Chain struct {
+	// Server is the remote stage executor.
+	Server ids.PID
+	// Depth is the number of dependent calls.
+	Depth int
+	// Step mirrors the server's step function; the client predicts each
+	// stage's result with it.
+	Step StepFn
+	// Mispredict marks stages whose prediction should be deliberately
+	// wrong (the accuracy knob in the experiments). May be nil.
+	Mispredict func(stage int) bool
+}
+
+// prediction returns the client's guess for a stage result.
+func (c Chain) prediction(stage, arg int) int {
+	v := c.Step(arg)
+	if c.Mispredict != nil && c.Mispredict(stage) {
+		return v + 1 // deliberately wrong, detectably so
+	}
+	return v
+}
+
+// RunPessimistic executes the chain with synchronous calls.
+func (c Chain) RunPessimistic(ctx *core.Ctx, seed int) (int, error) {
+	v := seed
+	for i := 0; i < c.Depth; i++ {
+		r, err := rpc.Call(ctx, c.Server, StepMethod, v, i)
+		if err != nil {
+			return 0, err
+		}
+		v = r
+	}
+	return v, nil
+}
+
+// RunOptimistic executes the chain with call streaming: each stage
+// returns its predicted result immediately and verification proceeds in
+// parallel. A misprediction at stage i rolls the client back to stage i;
+// the re-execution continues from the actual result.
+func (c Chain) RunOptimistic(ctx *core.Ctx, seed int) (int, error) {
+	v := seed
+	for i := 0; i < c.Depth; i++ {
+		stage := i
+		r, err := rpc.CallOptimistic(ctx, c.Server, StepMethod, v, i,
+			func(_ string, arg int) int { return c.prediction(stage, arg) })
+		if err != nil {
+			return 0, err
+		}
+		v = r
+	}
+	return v, nil
+}
+
+// Expected computes the true chain result without any messaging.
+func (c Chain) Expected(seed int) int {
+	v := seed
+	for i := 0; i < c.Depth; i++ {
+		v = c.Step(v)
+	}
+	return v
+}

@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/netsim"
+)
+
+const settleTimeout = 20 * time.Second
+
+type resultCell struct {
+	mu sync.Mutex
+	v  *int
+}
+
+func (r *resultCell) set(v int) {
+	r.mu.Lock()
+	r.v = &v
+	r.mu.Unlock()
+}
+
+func (r *resultCell) get() (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.v == nil {
+		return 0, false
+	}
+	return *r.v, true
+}
+
+func runChain(t *testing.T, depth int, mispredict func(int) bool, optimistic bool, latency time.Duration) (int, core.Status, time.Duration) {
+	t.Helper()
+	eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+	t.Cleanup(eng.Shutdown)
+
+	step := func(v int) int { return v*3 + 1 }
+	server, err := eng.SpawnRoot(Server(step))
+	if err != nil {
+		t.Fatalf("spawn server: %v", err)
+	}
+	chain := Chain{Server: server.PID(), Depth: depth, Step: step, Mispredict: mispredict}
+
+	var cell resultCell
+	start := time.Now()
+	client, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		run := chain.RunPessimistic
+		if optimistic {
+			run = chain.RunOptimistic
+		}
+		v, err := run(ctx, 1)
+		if err != nil {
+			return err
+		}
+		cell.set(v)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn client: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	elapsed := time.Since(start)
+	v, ok := cell.get()
+	if !ok {
+		t.Fatal("client never finished")
+	}
+	return v, client.Snapshot(), elapsed
+}
+
+func TestChainAllCorrect(t *testing.T) {
+	depth := 6
+	step := func(v int) int { return v*3 + 1 }
+	chain := Chain{Depth: depth, Step: step}
+	want := chain.Expected(1)
+
+	v, st, _ := runChain(t, depth, nil, true, 100*time.Microsecond)
+	if v != want {
+		t.Fatalf("result = %d, want %d", v, want)
+	}
+	if st.Restarts != 0 {
+		t.Fatalf("client rolled back %d times with perfect predictions", st.Restarts)
+	}
+	if !st.AllDefinite {
+		t.Fatalf("client not definite: %+v", st)
+	}
+}
+
+func TestChainWithMispredictions(t *testing.T) {
+	depth := 6
+	step := func(v int) int { return v*3 + 1 }
+	chain := Chain{Depth: depth, Step: step}
+	want := chain.Expected(1)
+
+	miss := func(stage int) bool { return stage == 2 || stage == 4 }
+	v, st, _ := runChain(t, depth, miss, true, 100*time.Microsecond)
+	if v != want {
+		t.Fatalf("result = %d, want %d (mispredictions must not corrupt the result)", v, want)
+	}
+	if st.Restarts == 0 {
+		t.Fatal("client never rolled back despite mispredictions")
+	}
+	if !st.AllDefinite {
+		t.Fatalf("client not definite: %+v", st)
+	}
+}
+
+func TestChainMatchesPessimistic(t *testing.T) {
+	depth := 5
+	vOpt, _, _ := runChain(t, depth, nil, true, 50*time.Microsecond)
+	vPess, _, _ := runChain(t, depth, nil, false, 50*time.Microsecond)
+	if vOpt != vPess {
+		t.Fatalf("optimistic=%d pessimistic=%d", vOpt, vPess)
+	}
+}

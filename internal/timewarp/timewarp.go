@@ -1,0 +1,344 @@
+// Package timewarp implements a compact Time Warp optimistic simulation
+// kernel (Jefferson [14]) as the comparison baseline the paper positions
+// HOPE against (§2): Time Warp permits exactly one kind of optimistic
+// assumption — that events arrive in timestamp order — with rollback via
+// state restoration and anti-messages.
+//
+// The kernel runs one goroutine per logical process, communicating
+// through unbounded queues (event traffic in an optimistic simulator is
+// inherently bursty; bounding the queues would deadlock rollback storms,
+// so growth is bounded by the workload's event population instead).
+// Quiescence detection replaces continuous GVT: the run ends when no
+// messages are in flight and every LP is idle, at which point all
+// remaining speculation is trivially committed. Fossil collection is a
+// per-LP cap on saved history, safe here because state saving is O(1)
+// per event.
+package timewarp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hope-dist/hope/internal/phold"
+)
+
+// message wraps an event with its anti-message sign.
+type message struct {
+	ev   phold.Event
+	anti bool
+}
+
+// processedRecord remembers everything needed to undo one event.
+type processedRecord struct {
+	ev          phold.Event
+	stateBefore uint64
+	emitted     []phold.Event
+}
+
+// Stats aggregates a run's dynamic behaviour.
+type Stats struct {
+	// Committed is the number of event executions retained at the end.
+	Committed int
+	// Rollbacks counts rollback episodes across all LPs.
+	Rollbacks int
+	// Undone counts event executions discarded by rollbacks.
+	Undone int
+	// AntiMessages counts anti-messages sent.
+	AntiMessages int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// lp is one logical process.
+type lp struct {
+	k *Kernel
+
+	index   int
+	state   uint64
+	inbox   *msgQueue
+	pending phold.Heap
+	// dangling holds anti-messages whose positive copy has not arrived,
+	// keyed by full event identity: a re-emission after rollback can
+	// reuse a UID with different At/To/Data, so UID alone is ambiguous.
+	dangling map[phold.Event]int
+
+	processed []processedRecord
+
+	rollbacks int
+	undone    int
+	antis     int
+
+	idle atomic.Bool
+}
+
+// msgQueue is an unbounded, closeable message queue (see the package
+// comment for why it is not a bounded channel).
+type msgQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []message
+	closed bool
+}
+
+func newMsgQueue() *msgQueue {
+	q := &msgQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *msgQueue) put(m message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *msgQueue) take() (message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return message{}, false
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true
+}
+
+func (q *msgQueue) tryTake() (message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return message{}, false
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true
+}
+
+func (q *msgQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Kernel runs one PHOLD configuration under Time Warp.
+type Kernel struct {
+	cfg phold.Config
+	lps []*lp
+
+	inflight atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// New constructs a kernel for cfg.
+func New(cfg phold.Config) *Kernel {
+	k := &Kernel{cfg: cfg}
+	k.lps = make([]*lp, cfg.LPs)
+	for i := range k.lps {
+		k.lps[i] = &lp{
+			k:        k,
+			index:    i,
+			state:    cfg.InitialState(i),
+			inbox:    newMsgQueue(),
+			dangling: make(map[phold.Event]int),
+		}
+	}
+	return k
+}
+
+// send routes a message, tracking it for quiescence detection.
+func (k *Kernel) send(m message) {
+	k.inflight.Add(1)
+	k.lps[m.ev.To].inbox.put(m)
+}
+
+// Run executes the simulation to quiescence and returns the committed
+// result plus dynamic statistics.
+func (k *Kernel) Run() (phold.Result, Stats) {
+	start := time.Now()
+	for _, l := range k.lps {
+		for _, e := range k.cfg.InitialEventsFor(l.index) {
+			k.send(message{ev: e})
+		}
+	}
+	for _, l := range k.lps {
+		k.wg.Add(1)
+		go func(l *lp) {
+			defer k.wg.Done()
+			l.run()
+		}(l)
+	}
+
+	// Quiescence: no in-flight messages and every LP parked, observed
+	// stably. With zero in flight and all LPs idle no further event can
+	// be produced, so the state is final.
+	stable := 0
+	for stable < 3 {
+		time.Sleep(100 * time.Microsecond)
+		if k.inflight.Load() == 0 && k.allIdle() {
+			stable++
+		} else {
+			stable = 0
+		}
+	}
+	for _, l := range k.lps {
+		l.inbox.close()
+	}
+	k.wg.Wait()
+
+	res := phold.Result{States: make([]uint64, len(k.lps))}
+	var st Stats
+	for i, l := range k.lps {
+		res.States[i] = l.state
+		res.Processed += len(l.processed)
+		st.Rollbacks += l.rollbacks
+		st.Undone += l.undone
+		st.AntiMessages += l.antis
+	}
+	st.Committed = res.Processed
+	st.Elapsed = time.Since(start)
+	return res, st
+}
+
+func (k *Kernel) allIdle() bool {
+	for _, l := range k.lps {
+		if !l.idle.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the LP main loop: drain arrivals, process the lowest-key
+// pending event, park when nothing is processable.
+func (l *lp) run() {
+	for {
+		for {
+			m, ok := l.inbox.tryTake()
+			if !ok {
+				break
+			}
+			l.k.inflight.Add(-1)
+			l.arrive(m)
+		}
+
+		if l.pending.Len() > 0 {
+			ev := l.pending.Pop()
+			if _, isAnti := l.dangling[ev]; isAnti {
+				// Annihilate with a waiting anti-message.
+				l.annihilate(ev)
+				continue
+			}
+			l.process(ev)
+			continue
+		}
+
+		l.idle.Store(true)
+		m, ok := l.inbox.take()
+		l.idle.Store(false)
+		if !ok {
+			return
+		}
+		l.k.inflight.Add(-1)
+		l.arrive(m)
+	}
+}
+
+// arrive files one incoming message: a straggler forces a rollback, an
+// anti-message annihilates its positive copy (rolling back first if the
+// copy was already processed).
+func (l *lp) arrive(m message) {
+	if m.anti {
+		// If the positive copy was processed, undo back past it.
+		for i, p := range l.processed {
+			if p.ev == m.ev {
+				l.rollbackToIndex(i)
+				break
+			}
+		}
+		l.dangling[m.ev]++
+		// Annihilate immediately if the positive copy is pending.
+		l.annihilatePending(m.ev)
+		return
+	}
+
+	// Straggler: an event ordering before something already processed.
+	if n := len(l.processed); n > 0 && m.ev.Key().Less(l.processed[n-1].ev.Key()) {
+		for i, p := range l.processed {
+			if m.ev.Key().Less(p.ev.Key()) {
+				l.rollbackToIndex(i)
+				break
+			}
+		}
+	}
+	l.pending.Push(m.ev)
+	l.annihilatePending(m.ev)
+}
+
+// annihilatePending removes a pending event matching a dangling
+// anti-message, if both are present.
+func (l *lp) annihilatePending(ev phold.Event) {
+	if l.dangling[ev] == 0 {
+		return
+	}
+	// Scan pending for the positive copy.
+	var rest []phold.Event
+	found := false
+	for l.pending.Len() > 0 {
+		e := l.pending.Pop()
+		if !found && e == ev {
+			found = true
+			continue
+		}
+		rest = append(rest, e)
+	}
+	for _, e := range rest {
+		l.pending.Push(e)
+	}
+	if found {
+		l.annihilate(ev)
+	}
+}
+
+func (l *lp) annihilate(ev phold.Event) {
+	if l.dangling[ev] <= 1 {
+		delete(l.dangling, ev)
+	} else {
+		l.dangling[ev]--
+	}
+}
+
+// rollbackToIndex undoes processed[i:] newest-first: state is restored,
+// undone events return to pending, and every emitted message is chased
+// with an anti-message.
+func (l *lp) rollbackToIndex(i int) {
+	l.rollbacks++
+	for n := len(l.processed) - 1; n >= i; n-- {
+		p := l.processed[n]
+		l.state = p.stateBefore
+		l.pending.Push(p.ev)
+		for _, em := range p.emitted {
+			l.k.send(message{ev: em, anti: true})
+			l.antis++
+		}
+		l.undone++
+	}
+	l.processed = l.processed[:i]
+}
+
+// process executes one event optimistically.
+func (l *lp) process(ev phold.Event) {
+	rec := processedRecord{ev: ev, stateBefore: l.state}
+	var children []phold.Event
+	l.state, children = l.k.cfg.Step(l.state, ev)
+	for _, ch := range children {
+		rec.emitted = append(rec.emitted, ch)
+		l.k.send(message{ev: ch})
+	}
+	l.processed = append(l.processed, rec)
+}

@@ -1,0 +1,175 @@
+// Package trace provides structured event tracing for the HOPE runtime.
+// The theorem-validation tests use a Recorder to observe primitive calls,
+// AID state transitions, finalizations, and rollbacks; cmd/hopetrace uses
+// a Writer to print annotated message flows (the executable counterpart
+// of the paper's Figures 12–14).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// Kind enumerates traced event kinds.
+type Kind int
+
+const (
+	// Primitive records a user call to a HOPE primitive.
+	Primitive Kind = iota + 1
+	// AIDState records an AID process state transition.
+	AIDState
+	// Finalize records an interval becoming definite.
+	Finalize
+	// Rollback records an interval being rolled back.
+	Rollback
+	// Restart records a process body re-execution beginning.
+	Restart
+	// Terminate records a process terminated by rollback of its root.
+	Terminate
+	// Violation records a protocol violation (e.g. affirm of a denied
+	// AID), which the paper marks "abort — user error".
+	Violation
+	// Info records free-form runtime detail.
+	Info
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Primitive:
+		return "prim"
+	case AIDState:
+		return "aid"
+	case Finalize:
+		return "finalize"
+	case Rollback:
+		return "rollback"
+	case Restart:
+		return "restart"
+	case Terminate:
+		return "terminate"
+	case Violation:
+		return "violation"
+	case Info:
+		return "info"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	Kind     Kind
+	PID      ids.PID        // process where the event happened
+	AID      ids.AID        // subject assumption, if any
+	Interval ids.IntervalID // subject interval, if any
+	Detail   string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%s] %s", e.Kind, e.PID)
+	if e.Interval.Valid() {
+		s += " " + e.Interval.String()
+	}
+	if e.AID.Valid() {
+		s += " " + e.AID.String()
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Tracer consumes events. Implementations must be safe for concurrent
+// use; the runtime emits from many goroutines.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Nop discards all events.
+var Nop Tracer = nopTracer{}
+
+type nopTracer struct{}
+
+func (nopTracer) Emit(Event) {}
+
+// Recorder accumulates events in memory.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of all recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns recorded events of the given kind.
+func (r *Recorder) Filter(k Kind) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of kind k were recorded.
+func (r *Recorder) Count(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Writer prints each event to an io.Writer as it arrives.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriter returns a tracer printing to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Emit implements Tracer.
+func (t *Writer) Emit(e Event) {
+	t.mu.Lock()
+	fmt.Fprintln(t.w, e.String())
+	t.mu.Unlock()
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Emit implements Tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}

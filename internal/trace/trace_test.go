@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+func TestRecorderCollectsAndFilters(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: Primitive, PID: 1, Detail: "guess"})
+	r.Emit(Event{Kind: Rollback, PID: 1})
+	r.Emit(Event{Kind: Primitive, PID: 2, Detail: "affirm"})
+
+	if got := len(r.Events()); got != 3 {
+		t.Fatalf("events = %d", got)
+	}
+	if got := r.Count(Primitive); got != 2 {
+		t.Fatalf("Count(Primitive) = %d", got)
+	}
+	prims := r.Filter(Primitive)
+	if len(prims) != 2 || prims[0].Detail != "guess" {
+		t.Fatalf("Filter = %v", prims)
+	}
+	if got := r.Count(Finalize); got != 0 {
+		t.Fatalf("Count(Finalize) = %d", got)
+	}
+}
+
+func TestRecorderEventsIsSnapshot(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: Info})
+	snap := r.Events()
+	r.Emit(Event{Kind: Info})
+	if len(snap) != 1 {
+		t.Fatal("snapshot grew after later emit")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{Kind: Info})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(Info); got != 800 {
+		t.Fatalf("count = %d, want 800", got)
+	}
+}
+
+func TestWriterFormatsEvents(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	w := NewWriter(syncWriter{&mu, &sb})
+	w.Emit(Event{
+		Kind:     Rollback,
+		PID:      ids.PID(4),
+		AID:      ids.AID(7),
+		Interval: ids.IntervalID{Proc: 4, Seq: 1, Epoch: 2},
+		Detail:   "because",
+	})
+	mu.Lock()
+	out := sb.String()
+	mu.Unlock()
+	for _, frag := range []string{"[rollback]", "pid:4", "aid:7", "iid:4/1.2", "because"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output %q missing %q", out, frag)
+		}
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	sb *strings.Builder
+}
+
+func (w syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	m := Multi{a, b}
+	m.Emit(Event{Kind: Finalize})
+	if a.Count(Finalize) != 1 || b.Count(Finalize) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	Nop.Emit(Event{Kind: Violation}) // must not panic
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Primitive: "prim",
+		AIDState:  "aid",
+		Finalize:  "finalize",
+		Rollback:  "rollback",
+		Restart:   "restart",
+		Terminate: "terminate",
+		Violation: "violation",
+		Info:      "info",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package vpm implements the virtual process machine — the substitute for
+// the paper's PVM substrate. Processes are goroutines with mailboxes,
+// identified by PIDs, exchanging asynchronous messages over a simulated
+// network (internal/netsim). Both HOPE user processes and AID processes
+// run as vpm processes.
+package vpm
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/mailbox"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/netsim"
+)
+
+// Body is a process body. It runs in its own goroutine and should return
+// when its mailbox closes (Recv returns mailbox.ErrClosed) or its work is
+// done.
+type Body func(p *Proc)
+
+// Machine hosts a set of processes over one transport.
+type Machine struct {
+	net   *netsim.Net
+	alloc ids.PIDAllocator
+
+	// OnPanic, when set before any Spawn, observes panics escaping
+	// process bodies (after recovery). The default writes the panic and
+	// stack to stderr. A panicking body's process is cleaned up like any
+	// exiting process; the rest of the machine keeps running.
+	OnPanic func(pid ids.PID, recovered any, stack []byte)
+
+	mu     sync.Mutex
+	procs  map[ids.PID]*Proc
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New creates a machine over the given transport. The transport must not
+// be shared with another machine.
+func New(net *netsim.Net) *Machine {
+	return &Machine{
+		net:   net,
+		procs: make(map[ids.PID]*Proc),
+	}
+}
+
+// Net returns the machine's transport (for statistics and draining).
+func (m *Machine) Net() *netsim.Net { return m.net }
+
+// Proc is a process handle: a PID plus its mailbox.
+type Proc struct {
+	pid     ids.PID
+	box     *mailbox.Box
+	machine *Machine
+	done    chan struct{}
+}
+
+// Spawn creates a process running body and returns its handle. The body
+// goroutine is tracked; Machine.Shutdown waits for it.
+func (m *Machine) Spawn(body Body) (*Proc, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("vpm: spawn on closed machine")
+	}
+	p := &Proc{
+		pid:     m.alloc.Next(),
+		box:     mailbox.New(),
+		machine: m,
+		done:    make(chan struct{}),
+	}
+	m.procs[p.pid] = p
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.net.Register(p.pid, p.box.Put)
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := debug.Stack()
+				if m.OnPanic != nil {
+					m.OnPanic(p.pid, r, stack)
+				} else {
+					fmt.Fprintf(os.Stderr, "vpm: process %s body panicked: %v\n%s", p.pid, r, stack)
+				}
+			}
+			m.net.Unregister(p.pid)
+			p.box.Close()
+			m.mu.Lock()
+			delete(m.procs, p.pid)
+			m.mu.Unlock()
+			close(p.done)
+			m.wg.Done()
+		}()
+		body(p)
+	}()
+	return p, nil
+}
+
+// Lookup returns the live process with the given PID, or nil.
+func (m *Machine) Lookup(pid ids.PID) *Proc {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.procs[pid]
+}
+
+// Kill closes pid's mailbox, causing its body to observe ErrClosed at the
+// next Recv and exit. Killing an unknown PID is a no-op.
+func (m *Machine) Kill(pid ids.PID) {
+	m.mu.Lock()
+	p := m.procs[pid]
+	m.mu.Unlock()
+	if p != nil {
+		p.box.Close()
+	}
+}
+
+// Shutdown closes every process mailbox and waits for all bodies to exit,
+// then closes the transport.
+func (m *Machine) Shutdown() {
+	m.mu.Lock()
+	m.closed = true
+	procs := make([]*Proc, 0, len(m.procs))
+	for _, p := range m.procs {
+		procs = append(procs, p)
+	}
+	m.mu.Unlock()
+	for _, p := range procs {
+		p.box.Close()
+	}
+	m.wg.Wait()
+	m.net.Close()
+}
+
+// PID returns the process identifier.
+func (p *Proc) PID() ids.PID { return p.pid }
+
+// Box returns the process mailbox. The HOPE library layers its own
+// dispatcher on top of it.
+func (p *Proc) Box() *mailbox.Box { return p.box }
+
+// Done is closed when the process body has exited.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Send transmits m asynchronously. It stamps m.From with this process's
+// PID if unset.
+func (p *Proc) Send(m *msg.Message) {
+	if m.From == ids.NilPID {
+		m.From = p.pid
+	}
+	p.machine.net.Send(m)
+}
+
+// Recv blocks for the next message. It returns mailbox.ErrClosed once the
+// process has been killed and its queue drained.
+func (p *Proc) Recv() (*msg.Message, error) {
+	return p.box.Recv()
+}

@@ -1,0 +1,229 @@
+package vpm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/mailbox"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/netsim"
+)
+
+func newMachine() *Machine {
+	return New(netsim.New(nil))
+}
+
+func TestSpawnAssignsDistinctPIDs(t *testing.T) {
+	m := newMachine()
+	defer m.Shutdown()
+	seen := make(map[ids.PID]bool)
+	for i := 0; i < 10; i++ {
+		p, err := m.Spawn(func(p *Proc) { _, _ = p.Recv() }) // park until shutdown
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		if seen[p.PID()] {
+			t.Fatalf("duplicate PID %v", p.PID())
+		}
+		seen[p.PID()] = true
+	}
+}
+
+func TestSendRecvBetweenProcesses(t *testing.T) {
+	m := newMachine()
+	defer m.Shutdown()
+
+	got := make(chan any, 1)
+	recv, err := m.Spawn(func(p *Proc) {
+		mm, err := p.Recv()
+		if err != nil {
+			return
+		}
+		got <- mm.Payload
+	})
+	if err != nil {
+		t.Fatalf("spawn receiver: %v", err)
+	}
+
+	if _, err := m.Spawn(func(p *Proc) {
+		p.Send(&msg.Message{Kind: msg.KindData, To: recv.PID(), Payload: "hi"})
+	}); err != nil {
+		t.Fatalf("spawn sender: %v", err)
+	}
+
+	select {
+	case v := <-got:
+		if v != "hi" {
+			t.Fatalf("payload = %v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestSendStampsFrom(t *testing.T) {
+	m := newMachine()
+	defer m.Shutdown()
+	from := make(chan ids.PID, 1)
+	recv, _ := m.Spawn(func(p *Proc) {
+		mm, err := p.Recv()
+		if err != nil {
+			return
+		}
+		from <- mm.From
+	})
+	sender, _ := m.Spawn(func(p *Proc) {
+		p.Send(&msg.Message{Kind: msg.KindData, To: recv.PID()})
+	})
+	select {
+	case f := <-from:
+		if f != sender.PID() {
+			t.Fatalf("from = %v, want %v", f, sender.PID())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestKillClosesMailbox(t *testing.T) {
+	m := newMachine()
+	defer m.Shutdown()
+	exited := make(chan error, 1)
+	p, _ := m.Spawn(func(p *Proc) {
+		_, err := p.Recv()
+		exited <- err
+	})
+	m.Kill(p.PID())
+	select {
+	case err := <-exited:
+		if err != mailbox.ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("kill did not unblock the body")
+	}
+	select {
+	case <-p.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done never closed")
+	}
+	if m.Lookup(p.PID()) != nil {
+		t.Fatal("killed process still registered")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	m := newMachine()
+	defer m.Shutdown()
+	started := make(chan struct{})
+	p, _ := m.Spawn(func(p *Proc) {
+		close(started)
+		_, _ = p.Recv() // park until shutdown
+	})
+	<-started
+	if m.Lookup(p.PID()) != p {
+		t.Fatal("Lookup failed")
+	}
+	if m.Lookup(9999) != nil {
+		t.Fatal("Lookup invented a process")
+	}
+}
+
+func TestShutdownTerminatesEverything(t *testing.T) {
+	m := newMachine()
+	const n = 5
+	var exited sync.WaitGroup
+	exited.Add(n)
+	for i := 0; i < n; i++ {
+		if _, err := m.Spawn(func(p *Proc) {
+			defer exited.Done()
+			for {
+				if _, err := p.Recv(); err != nil {
+					return
+				}
+			}
+		}); err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+	}
+	m.Shutdown()
+	done := make(chan struct{})
+	go func() { exited.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("bodies still running after Shutdown")
+	}
+	if _, err := m.Spawn(func(p *Proc) {}); err == nil {
+		t.Fatal("spawn after shutdown succeeded")
+	}
+}
+
+func TestDeadLetterAfterExit(t *testing.T) {
+	m := newMachine()
+	defer m.Shutdown()
+	p, _ := m.Spawn(func(p *Proc) {}) // exits immediately
+	<-p.Done()
+	m.Net().Send(&msg.Message{Kind: msg.KindData, From: 1, To: p.PID()})
+	if st := m.Net().Stats(); st.Dead != 1 {
+		t.Fatalf("dead = %d, want 1", st.Dead)
+	}
+}
+
+// TestBodyPanicIsolated: a panicking body takes down only its own
+// process; the machine and its siblings keep running.
+func TestBodyPanicIsolated(t *testing.T) {
+	m := newMachine()
+	defer m.Shutdown()
+
+	var mu sync.Mutex
+	var caught any
+	m.OnPanic = func(pid ids.PID, r any, stack []byte) {
+		mu.Lock()
+		caught = r
+		mu.Unlock()
+	}
+
+	p, err := m.Spawn(func(p *Proc) { panic("kaboom") })
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	select {
+	case <-p.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("panicking process never finished")
+	}
+	mu.Lock()
+	if caught != "kaboom" {
+		t.Fatalf("caught = %v", caught)
+	}
+	mu.Unlock()
+
+	// Siblings still work.
+	got := make(chan any, 1)
+	recv, err := m.Spawn(func(p *Proc) {
+		mm, err := p.Recv()
+		if err != nil {
+			return
+		}
+		got <- mm.Payload
+	})
+	if err != nil {
+		t.Fatalf("spawn sibling: %v", err)
+	}
+	if _, err := m.Spawn(func(p *Proc) {
+		p.Send(&msg.Message{Kind: msg.KindData, To: recv.PID(), Payload: "alive"})
+	}); err != nil {
+		t.Fatalf("spawn sender: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != "alive" {
+			t.Fatalf("payload = %v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("machine dead after sibling panic")
+	}
+}

@@ -1,0 +1,47 @@
+package occ_test
+
+import (
+	"fmt"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+	"github.com/hope-dist/hope/occ"
+)
+
+// Two lock-free transactions race to increment one counter; backward
+// validation serializes them and the loser transparently retries.
+func Example() {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	store, _ := sys.Spawn(occ.Store())
+	client := occ.Client{Store: store.PID()}
+
+	for i := 0; i < 2; i++ {
+		sys.Spawn(func(ctx *hope.Ctx) error {
+			seq := 0
+			return client.Run(ctx, &seq, func(tx *occ.Txn) error {
+				v, _, err := tx.Get("counter")
+				if err != nil {
+					return err
+				}
+				tx.Set("counter", v+1)
+				return nil
+			})
+		})
+	}
+	sys.Settle(10 * time.Second)
+
+	done := make(chan int, 1)
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		seq := 0
+		return client.Run(ctx, &seq, func(tx *occ.Txn) error {
+			v, _, err := tx.Get("counter")
+			done <- v
+			return err
+		})
+	})
+	sys.Settle(10 * time.Second)
+	fmt.Println("counter:", <-done)
+	// Output: counter: 2
+}

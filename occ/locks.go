@@ -1,0 +1,165 @@
+package occ
+
+// The pessimistic baseline the paper's §1 framing implies: two-phase
+// locking against a lock-server process. Each transaction acquires every
+// lock up front (in sorted order, so the baseline itself cannot
+// deadlock), executes, and releases — paying a lock round trip before
+// any work can start, which is exactly the latency optimism removes.
+
+import (
+	"fmt"
+	"sort"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// Lock-server wire types.
+type (
+	// AcquireReq asks for exclusive locks on a sorted key set. The
+	// server replies with AcquireResp when every lock is held.
+	AcquireReq struct {
+		ReplyTo hope.PID
+		Keys    []string
+		Seq     int
+	}
+	// AcquireResp grants the locks.
+	AcquireResp struct {
+		Seq int
+	}
+	// ReleaseReq releases locks held by the sender.
+	ReleaseReq struct {
+		From hope.PID
+		Keys []string
+	}
+)
+
+// waiter is one queued acquisition.
+type waiter struct {
+	replyTo hope.PID
+	keys    []string
+	seq     int
+}
+
+// LockServer returns a lock-server body: exclusive locks with FIFO
+// queuing per request (a request waits until all its keys are free).
+func LockServer() hope.Body {
+	return func(ctx *hope.Ctx) error {
+		held := make(map[string]hope.PID)
+		var queue []waiter
+
+		free := func(keys []string) bool {
+			for _, k := range keys {
+				if _, taken := held[k]; taken {
+					return false
+				}
+			}
+			return true
+		}
+		grant := func(w waiter) {
+			for _, k := range w.keys {
+				held[k] = w.replyTo
+			}
+			ctx.Send(w.replyTo, AcquireResp{Seq: w.seq})
+		}
+		pump := func() {
+			for {
+				progressed := false
+				for i, w := range queue {
+					if free(w.keys) {
+						grant(w)
+						queue = append(queue[:i], queue[i+1:]...)
+						progressed = true
+						break
+					}
+				}
+				if !progressed {
+					return
+				}
+			}
+		}
+
+		for {
+			payload, _, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			switch req := payload.(type) {
+			case AcquireReq:
+				w := waiter{replyTo: req.ReplyTo, keys: req.Keys, seq: req.Seq}
+				if free(w.keys) && len(queue) == 0 {
+					grant(w)
+				} else {
+					queue = append(queue, w)
+				}
+			case ReleaseReq:
+				for _, k := range req.Keys {
+					if held[k] == req.From {
+						delete(held, k)
+					}
+				}
+				pump()
+			default:
+				return fmt.Errorf("occ lock server: unexpected payload %T", payload)
+			}
+		}
+	}
+}
+
+// LockedClient runs transactions under two-phase locking: the
+// pessimistic baseline for the experiments.
+type LockedClient struct {
+	// Store is the data store (reads/writes go there as usual).
+	Store hope.PID
+	// Locks is the lock server.
+	Locks hope.PID
+}
+
+// Run executes body with every key in keys exclusively locked for the
+// duration. Unlike the optimistic client, the caller waits a full lock
+// round trip before the body can begin.
+func (c LockedClient) Run(ctx *hope.Ctx, seq *int, keys []string, body func(tx *Txn) error) error {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+
+	*seq++
+	lockSeq := *seq
+	ctx.Send(c.Locks, AcquireReq{ReplyTo: ctx.PID(), Keys: sorted, Seq: lockSeq})
+	for {
+		payload, _, err := ctx.Recv()
+		if err != nil {
+			return err
+		}
+		if resp, ok := payload.(AcquireResp); ok && resp.Seq == lockSeq {
+			break
+		}
+	}
+	defer ctx.Send(c.Locks, ReleaseReq{From: ctx.PID(), Keys: sorted})
+
+	tx := &Txn{
+		ctx:     ctx,
+		store:   c.Store,
+		seq:     seq,
+		readSet: make(map[string]bool),
+		writes:  make(map[string]int),
+	}
+	if err := body(tx); err != nil {
+		return err
+	}
+	if len(tx.writes) == 0 {
+		return nil
+	}
+
+	// Locks guarantee no conflict; commit definitively via the same
+	// validation path (it trivially passes: our read keys are locked).
+	assume := ctx.AidInit()
+	ctx.Send(c.Store, CommitReq{
+		StartID:  1 << 30, // locked: nothing after our begin can conflict
+		ReadKeys: tx.readKeys,
+		Writes:   tx.writes,
+		Assume:   assume,
+	})
+	if !ctx.Guess(assume) {
+		return fmt.Errorf("occ: locked transaction failed validation (lock server broken?)")
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+// Package occ implements optimistic concurrency control — the paper's
+// own flagship example of optimism (§1: "assume that locks will be
+// granted, process the transaction, and post hoc verify"; Kung &
+// Robinson [17]) — on HOPE.
+//
+// Transactions execute against a store process without taking locks,
+// buffering writes locally. At commit the client *guesses* the
+// transaction will validate and continues immediately; the store
+// performs classic backward validation (the read set against the write
+// sets of transactions committed since this one began) and affirms or
+// denies the assumption. A denial rolls the client back to the commit
+// point — along with everything computed from the doomed transaction —
+// and the transaction re-executes against fresh state.
+//
+// HOPE supplies what OCC implementations normally build by hand: the
+// client-side continuation speculation, the cascading abort of dependent
+// work, and the retry loop's state restoration.
+package occ
+
+import (
+	"fmt"
+	"sort"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// Wire types.
+type (
+	// BeginReq opens a transaction: the store answers with the current
+	// commit sequence number, the snapshot point for validation.
+	BeginReq struct {
+		ReplyTo hope.PID
+		Seq     int
+	}
+	// BeginResp carries the snapshot point.
+	BeginResp struct {
+		Seq     int
+		StartID int
+	}
+	// ReadReq reads one key.
+	ReadReq struct {
+		ReplyTo hope.PID
+		Key     string
+		Seq     int
+	}
+	// ReadResp answers a ReadReq.
+	ReadResp struct {
+		Seq   int
+		Value int
+		Found bool
+	}
+	// CommitReq asks the store to validate and atomically apply the
+	// transaction. The verdict arrives as an affirm or deny of Assume.
+	CommitReq struct {
+		StartID  int
+		ReadKeys []string
+		Writes   map[string]int
+		Assume   hope.AID
+	}
+)
+
+// committed is one validation-history entry.
+type committed struct {
+	id     int
+	writes []string
+}
+
+// Store returns the store process body: a serialized validator and
+// applier over an in-memory key/value map. Because it is a single HOPE
+// process, validation+apply is atomic per transaction, and because
+// requests are tagged messages, speculative clients make the store
+// speculative in turn — HOPE unwinds it if their assumptions fail.
+func Store() hope.Body {
+	return func(ctx *hope.Ctx) error {
+		data := make(map[string]int)
+		var history []committed
+		nextID := 1
+
+		for {
+			payload, _, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			switch req := payload.(type) {
+			case BeginReq:
+				ctx.Send(req.ReplyTo, BeginResp{Seq: req.Seq, StartID: nextID - 1})
+			case ReadReq:
+				v, ok := data[req.Key]
+				ctx.Send(req.ReplyTo, ReadResp{Seq: req.Seq, Value: v, Found: ok})
+			case CommitReq:
+				if conflicts(history, req.StartID, req.ReadKeys) {
+					ctx.Deny(req.Assume)
+					continue
+				}
+				keys := make([]string, 0, len(req.Writes))
+				for k, v := range req.Writes {
+					data[k] = v
+					keys = append(keys, k)
+				}
+				sort.Strings(keys) // deterministic history for replay
+				history = append(history, committed{id: nextID, writes: keys})
+				nextID++
+				ctx.Affirm(req.Assume)
+			default:
+				return fmt.Errorf("occ store: unexpected payload %T", payload)
+			}
+		}
+	}
+}
+
+// conflicts reports whether any transaction committed after startID
+// wrote a key the candidate read — Kung & Robinson's backward validation.
+func conflicts(history []committed, startID int, readKeys []string) bool {
+	reads := make(map[string]bool, len(readKeys))
+	for _, k := range readKeys {
+		reads[k] = true
+	}
+	for _, c := range history {
+		if c.id <= startID {
+			continue
+		}
+		for _, w := range c.writes {
+			if reads[w] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Txn is one transaction attempt's handle. Reads go to the store;
+// writes buffer locally until commit.
+type Txn struct {
+	ctx     *hope.Ctx
+	store   hope.PID
+	seq     *int
+	startID int
+
+	readKeys []string
+	readSet  map[string]bool
+	writes   map[string]int
+}
+
+// Get reads a key, first from the local write buffer, then the store.
+func (t *Txn) Get(key string) (int, bool, error) {
+	if v, ok := t.writes[key]; ok {
+		return v, true, nil
+	}
+	if !t.readSet[key] {
+		t.readSet[key] = true
+		t.readKeys = append(t.readKeys, key)
+	}
+	*t.seq++
+	seq := *t.seq
+	t.ctx.Send(t.store, ReadReq{ReplyTo: t.ctx.PID(), Key: key, Seq: seq})
+	for {
+		payload, _, err := t.ctx.Recv()
+		if err != nil {
+			return 0, false, err
+		}
+		if resp, ok := payload.(ReadResp); ok && resp.Seq == seq {
+			return resp.Value, resp.Found, nil
+		}
+	}
+}
+
+// Set buffers a write.
+func (t *Txn) Set(key string, value int) {
+	t.writes[key] = value
+}
+
+// Client runs transactions against one store.
+type Client struct {
+	// Store is the store process.
+	Store hope.PID
+	// MaxAttempts bounds the retry loop (0 = 16).
+	MaxAttempts int
+}
+
+// ErrTooManyConflicts is returned when a transaction keeps failing
+// validation.
+var ErrTooManyConflicts = fmt.Errorf("occ: transaction exceeded its conflict retries")
+
+// Run executes body as an optimistic transaction: it returns as soon as
+// the commit request is *sent*, with the caller speculating that
+// validation will succeed. A conflict denies that assumption, HOPE rolls
+// the caller back here (with everything computed downstream), and the
+// transaction re-executes against fresh state.
+//
+// seq is the caller's message-sequence cursor; Run advances it.
+func (c Client) Run(ctx *hope.Ctx, seq *int, body func(tx *Txn) error) error {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 16
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		// Begin: fetch the snapshot point.
+		*seq++
+		beginSeq := *seq
+		ctx.Send(c.Store, BeginReq{ReplyTo: ctx.PID(), Seq: beginSeq})
+		var startID int
+		for {
+			payload, _, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			if resp, ok := payload.(BeginResp); ok && resp.Seq == beginSeq {
+				startID = resp.StartID
+				break
+			}
+		}
+
+		tx := &Txn{
+			ctx:     ctx,
+			store:   c.Store,
+			seq:     seq,
+			startID: startID,
+			readSet: make(map[string]bool),
+			writes:  make(map[string]int),
+		}
+		if err := body(tx); err != nil {
+			return err
+		}
+
+		// Read-only transactions validate trivially: nothing to apply,
+		// and backward validation of an empty write set cannot help or
+		// hurt anyone.
+		if len(tx.writes) == 0 {
+			return nil
+		}
+
+		// Optimistic commit: assume validation succeeds and return
+		// immediately; the store's verdict affirms or denies.
+		assume := ctx.AidInit()
+		ctx.Send(c.Store, CommitReq{
+			StartID:  startID,
+			ReadKeys: tx.readKeys,
+			Writes:   tx.writes,
+			Assume:   assume,
+		})
+		if ctx.Guess(assume) {
+			return nil
+		}
+		// Validation failed: retry against fresh state.
+	}
+	return ErrTooManyConflicts
+}

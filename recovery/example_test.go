@@ -1,0 +1,48 @@
+package recovery_test
+
+import (
+	"fmt"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+	"github.com/hope-dist/hope/recovery"
+)
+
+// A recovery block: the primary's result is used speculatively while
+// the acceptance test runs; its rejection rolls the caller back onto the
+// alternate.
+func Example() {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	block := recovery.Block{
+		Test: func(r int) bool { return r >= 0 }, // reject negatives
+		Routines: []recovery.Routine{
+			func() (int, error) { return -1, nil }, // buggy primary
+			func() (int, error) { return 7, nil },  // alternate
+		},
+	}
+
+	done := make(chan int, 8) // the block may report more than once across retries
+	sys.Spawn(func(ctx *hope.Ctx) error {
+		v, err := block.Run(ctx)
+		if err != nil {
+			return err
+		}
+		done <- v
+		return nil
+	})
+	sys.Settle(10 * time.Second)
+
+	var last int
+	for {
+		select {
+		case last = <-done:
+			continue
+		default:
+		}
+		break
+	}
+	fmt.Println("accepted:", last)
+	// Output: accepted: 7
+}

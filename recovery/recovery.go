@@ -1,0 +1,74 @@
+// Package recovery realizes the paper's §6 software-fault-tolerance
+// direction ("Language Support for the Application-Oriented Fault
+// Tolerance Paradigm" [18]) as recovery blocks on HOPE.
+//
+// A recovery block runs a primary routine and optimistically assumes its
+// result passes the acceptance test; downstream computation proceeds on
+// the primary's result immediately while the acceptance test runs in a
+// verifier process. A failed test denies the assumption: HOPE rolls the
+// consumer back to the block, which then runs the next alternate — no
+// hand-written checkpointing, exactly the paradigm the paradigm papers
+// had to build manually.
+package recovery
+
+import (
+	"errors"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// Routine computes a candidate result. Routines must be deterministic
+// (they may be re-executed during replay).
+type Routine func() (int, error)
+
+// AcceptanceTest judges a candidate result. It runs inside a verifier
+// process and may be expensive; the block's consumer does not wait for
+// it.
+type AcceptanceTest func(result int) bool
+
+// ErrExhausted is returned when every alternate fails the acceptance
+// test.
+var ErrExhausted = errors.New("recovery: all alternates failed the acceptance test")
+
+// Block is a recovery block: a primary routine with ordered alternates
+// and an acceptance test.
+type Block struct {
+	// Test accepts or rejects a candidate result.
+	Test AcceptanceTest
+	// Routines are tried in order: primary first, then alternates.
+	Routines []Routine
+}
+
+// Run executes the block optimistically: the first routine's result is
+// returned immediately, speculatively; the acceptance test verifies it
+// in parallel. Rejection rolls the caller back here and the next
+// alternate runs. When every routine has been rejected, ErrExhausted is
+// returned (definitively — the failure itself is not speculative).
+func (b Block) Run(ctx *hope.Ctx) (int, error) {
+	for _, routine := range b.Routines {
+		result, err := routine()
+		if err != nil {
+			// A routine that cannot even produce a candidate is skipped
+			// without speculation, like an acceptance failure would.
+			continue
+		}
+
+		accepted := ctx.AidInit()
+		test := b.Test
+		ctx.Spawn(func(v *hope.Ctx) error {
+			if test(result) {
+				v.Affirm(accepted)
+			} else {
+				v.Deny(accepted)
+			}
+			return nil
+		})
+
+		if ctx.Guess(accepted) {
+			return result, nil
+		}
+		// Rolled back: the acceptance test rejected this candidate; try
+		// the next alternate.
+	}
+	return 0, ErrExhausted
+}

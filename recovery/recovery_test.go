@@ -1,0 +1,179 @@
+package recovery
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+const settleTimeout = 20 * time.Second
+
+type resultCell struct {
+	mu  sync.Mutex
+	v   *int
+	err error
+}
+
+func (c *resultCell) set(v int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v, c.err = &v, err
+}
+
+func (c *resultCell) get(t *testing.T) (int, error) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.v == nil {
+		t.Fatal("block never finished")
+	}
+	return *c.v, c.err
+}
+
+// runBlock executes a block in a fresh engine and returns the final
+// result plus the consumer's rollback count.
+func runBlock(t *testing.T, b Block) (int, error, int) {
+	t.Helper()
+	sys := hope.New(hope.WithConstantLatency(50 * time.Microsecond))
+	t.Cleanup(sys.Shutdown)
+
+	var cell resultCell
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		v, err := b.Run(ctx)
+		cell.set(v, err)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	v, e := cell.get(t)
+	return v, e, p.Snapshot().Restarts
+}
+
+func TestPrimaryAccepted(t *testing.T) {
+	b := Block{
+		Test:     func(r int) bool { return r > 0 },
+		Routines: []Routine{func() (int, error) { return 42, nil }},
+	}
+	v, err, rollbacks := runBlock(t, b)
+	if err != nil || v != 42 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if rollbacks != 0 {
+		t.Fatalf("accepted primary rolled back %d times", rollbacks)
+	}
+}
+
+func TestAlternateAfterRejection(t *testing.T) {
+	b := Block{
+		Test: func(r int) bool { return r%2 == 0 }, // wants even
+		Routines: []Routine{
+			func() (int, error) { return 7, nil },  // rejected
+			func() (int, error) { return 11, nil }, // rejected
+			func() (int, error) { return 12, nil }, // accepted
+		},
+	}
+	v, err, rollbacks := runBlock(t, b)
+	if err != nil || v != 12 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if rollbacks < 2 {
+		t.Fatalf("rollbacks = %d, want at least 2 (one per rejection)", rollbacks)
+	}
+}
+
+func TestErroringRoutineSkippedWithoutSpeculation(t *testing.T) {
+	b := Block{
+		Test: func(r int) bool { return true },
+		Routines: []Routine{
+			func() (int, error) { return 0, errors.New("primary crashed") },
+			func() (int, error) { return 5, nil },
+		},
+	}
+	v, err, rollbacks := runBlock(t, b)
+	if err != nil || v != 5 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if rollbacks != 0 {
+		t.Fatalf("error skip should not speculate: %d rollbacks", rollbacks)
+	}
+}
+
+func TestAllAlternatesExhausted(t *testing.T) {
+	b := Block{
+		Test: func(r int) bool { return false },
+		Routines: []Routine{
+			func() (int, error) { return 1, nil },
+			func() (int, error) { return 2, nil },
+		},
+	}
+	_, err, rollbacks := runBlock(t, b)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if rollbacks < 2 {
+		t.Fatalf("rollbacks = %d, want 2", rollbacks)
+	}
+}
+
+func TestNoRoutines(t *testing.T) {
+	_, err, _ := runBlock(t, Block{Test: func(int) bool { return true }})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+// TestDownstreamSpeculation: a consumer that acts on the speculative
+// result is rolled back along with it and re-acts on the alternate.
+func TestDownstreamSpeculation(t *testing.T) {
+	sys := hope.New(hope.WithConstantLatency(50 * time.Microsecond))
+	t.Cleanup(sys.Shutdown)
+
+	var mu sync.Mutex
+	var actedOn []int
+
+	b := Block{
+		Test: func(r int) bool { return r >= 10 },
+		Routines: []Routine{
+			func() (int, error) { return 3, nil },  // rejected
+			func() (int, error) { return 30, nil }, // accepted
+		},
+	}
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		v, err := b.Run(ctx)
+		if err != nil {
+			return err
+		}
+		// Downstream speculative action: recorded per execution.
+		mu.Lock()
+		actedOn = append(actedOn, v)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(actedOn) < 2 {
+		t.Fatalf("acted on %v, want speculative then corrected", actedOn)
+	}
+	if first := actedOn[0]; first != 3 {
+		t.Fatalf("first (speculative) action on %d, want 3", first)
+	}
+	if last := actedOn[len(actedOn)-1]; last != 30 {
+		t.Fatalf("final action on %d, want 30", last)
+	}
+	if st := p.Snapshot(); !st.AllDefinite {
+		t.Fatalf("consumer not definite: %+v", st)
+	}
+}

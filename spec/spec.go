@@ -1,0 +1,112 @@
+// Package spec provides generic speculation combinators over HOPE —
+// reusable shapes for the guess/verify/rollback pattern the paper's
+// workloads write by hand.
+//
+// Each combinator encapsulates one speculation idiom:
+//
+//   - Value: continue with a predicted value while a slow computation
+//     verifies it (the §3.1 latency-hiding pattern, generalized from
+//     RPC to any computation);
+//   - FirstOf: race alternatives, speculating that the preferred one
+//     passes its check (the recovery-block pattern with a value);
+//   - When: gate downstream work on an assumption decided elsewhere.
+package spec
+
+import (
+	hope "github.com/hope-dist/hope"
+)
+
+// Compute produces a value inside a (possibly spawned) HOPE process.
+// It must be deterministic with respect to its Ctx interactions.
+type Compute[T comparable] func(ctx *hope.Ctx) (T, error)
+
+// Value returns predicted immediately and speculates that compute will
+// agree; compute runs in a spawned verifier process. If it disagrees,
+// the caller is rolled back to this call — with everything derived from
+// the wrong value — and Value re-runs compute synchronously for the
+// real answer.
+//
+// compute executes once per outcome path (speculative verification, and
+// again on the pessimistic path after a rollback), so it must be
+// idempotent with respect to externally visible effects; computations
+// whose effects must apply exactly once should go through an
+// effect-deduplicating service instead (see internal/rpc's CallID
+// pattern).
+func Value[T comparable](ctx *hope.Ctx, predicted T, compute Compute[T]) (T, error) {
+	x := ctx.AidInit()
+
+	ctx.Spawn(func(v *hope.Ctx) error {
+		actual, err := compute(v)
+		if err != nil {
+			return err
+		}
+		if actual == predicted {
+			v.Affirm(x)
+		} else {
+			v.Deny(x)
+		}
+		return nil
+	})
+
+	if ctx.Guess(x) {
+		return predicted, nil
+	}
+	// The prediction was wrong; compute the real value in-line.
+	return compute(ctx)
+}
+
+// Check verifies a candidate value.
+type Check[T any] func(ctx *hope.Ctx, candidate T) (bool, error)
+
+// FirstOf returns the first candidate (in order) whose check passes,
+// optimistically: each candidate is returned speculatively while its
+// check runs in a verifier process, and a failing check rolls the caller
+// back to try the next. It generalizes recovery blocks to values.
+func FirstOf[T any](ctx *hope.Ctx, check Check[T], candidates ...T) (T, error) {
+	var zero T
+	for _, candidate := range candidates {
+		candidate := candidate
+		x := ctx.AidInit()
+		ctx.Spawn(func(v *hope.Ctx) error {
+			ok, err := check(v, candidate)
+			if err != nil {
+				return err
+			}
+			if ok {
+				v.Affirm(x)
+			} else {
+				v.Deny(x)
+			}
+			return nil
+		})
+		if ctx.Guess(x) {
+			return candidate, nil
+		}
+	}
+	return zero, ErrNoCandidate
+}
+
+// ErrNoCandidate is returned by FirstOf when every candidate's check
+// failed.
+var ErrNoCandidate = errNoCandidate{}
+
+type errNoCandidate struct{}
+
+func (errNoCandidate) Error() string { return "spec: every candidate failed its check" }
+
+// When speculates that an assumption decided elsewhere will hold: it
+// runs onTrue immediately and keeps its effects if x is affirmed, or
+// rolls them back and runs onFalse if x is denied. It is a structured
+// form of the paper's if-guess idiom.
+func When(ctx *hope.Ctx, x hope.AID, onTrue, onFalse func(ctx *hope.Ctx) error) error {
+	if ctx.Guess(x) {
+		if onTrue == nil {
+			return nil
+		}
+		return onTrue(ctx)
+	}
+	if onFalse == nil {
+		return nil
+	}
+	return onFalse(ctx)
+}

@@ -1,0 +1,231 @@
+package spec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+const settleTimeout = 20 * time.Second
+
+// slowDouble simulates an expensive verification: it doubles after a
+// delay, counting invocations.
+func slowDouble(calls *int32, mu *sync.Mutex, n int) Compute[int] {
+	return func(ctx *hope.Ctx) (int, error) {
+		mu.Lock()
+		*calls++
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return 2 * n, nil
+	}
+}
+
+func TestValueCorrectPrediction(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	var mu sync.Mutex
+	var calls int32
+	var got int
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		v, err := Value(ctx, 84, slowDouble(&calls, &mu, 42))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 84 {
+		t.Fatalf("got %d, want 84", got)
+	}
+	st := p.Snapshot()
+	if st.Restarts != 0 {
+		t.Fatalf("correct prediction rolled back %d times", st.Restarts)
+	}
+	if !st.AllDefinite {
+		t.Fatalf("not committed: %+v", st)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1 (verification only)", calls)
+	}
+}
+
+func TestValueWrongPrediction(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	var mu sync.Mutex
+	var calls int32
+	var results []int
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		v, err := Value(ctx, 99, slowDouble(&calls, &mu, 42)) // wrong
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results = append(results, v)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) == 0 {
+		t.Fatal("never finished")
+	}
+	if final := results[len(results)-1]; final != 84 {
+		t.Fatalf("final = %d, want 84 (results %v)", final, results)
+	}
+	if st := p.Snapshot(); st.Restarts == 0 {
+		t.Fatal("wrong prediction never rolled back")
+	}
+}
+
+func TestFirstOfPicksFirstPassing(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	check := func(ctx *hope.Ctx, v string) (bool, error) {
+		time.Sleep(time.Millisecond)
+		return v != "bad-primary" && v != "bad-secondary", nil
+	}
+
+	var mu sync.Mutex
+	var got string
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		v, err := FirstOf(ctx, check, "bad-primary", "bad-secondary", "good-fallback")
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != "good-fallback" {
+		t.Fatalf("got %q", got)
+	}
+	if st := p.Snapshot(); st.Restarts < 2 {
+		t.Fatalf("expected two rejection rollbacks, got %d", st.Restarts)
+	}
+}
+
+func TestFirstOfExhausted(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	check := func(ctx *hope.Ctx, v int) (bool, error) { return false, nil }
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		_, err := FirstOf(ctx, check, 1, 2, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	if st := p.Snapshot(); !errors.Is(st.Err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate", st.Err)
+	}
+}
+
+func TestWhenBranches(t *testing.T) {
+	for _, affirmIt := range []bool{true, false} {
+		sys := hope.New()
+		x, _ := sys.NewAID()
+
+		var mu sync.Mutex
+		var branch string
+		if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			return When(ctx, x,
+				func(*hope.Ctx) error {
+					mu.Lock()
+					branch = "true"
+					mu.Unlock()
+					return nil
+				},
+				func(*hope.Ctx) error {
+					mu.Lock()
+					branch = "false"
+					mu.Unlock()
+					return nil
+				})
+		}); err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			if affirmIt {
+				ctx.Affirm(x)
+			} else {
+				ctx.Deny(x)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("spawn decider: %v", err)
+		}
+		if !sys.Settle(settleTimeout) {
+			t.Fatal("no settle")
+		}
+		mu.Lock()
+		want := "false"
+		if affirmIt {
+			want = "true"
+		}
+		if branch != want {
+			t.Fatalf("affirm=%v: branch = %q, want %q", affirmIt, branch, want)
+		}
+		mu.Unlock()
+		sys.Shutdown()
+	}
+}
+
+func TestWhenNilBranches(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+	x, _ := sys.NewAID()
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		return When(ctx, x, nil, nil)
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Deny(x)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	if st := p.Snapshot(); st.Err != nil {
+		t.Fatalf("nil branches errored: %v", st.Err)
+	}
+}

@@ -1,0 +1,256 @@
+package hope_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// This file encodes the paper's Theorem 5.1 as an executable property:
+//
+//	finalize(B) occurs iff affirm(X) is applied to all of the AIDs
+//	X ∈ B.IDO by intervals that eventually become definite.
+//
+// Randomized programs (seeded) make assumptions, exchange tainted
+// messages, and transitively affirm derived assumptions; afterwards the
+// observable consequences of the theorem are checked:
+//
+//  1. a process's retained (final) branch for every guess matches the
+//     assumption's decided truth value;
+//  2. every process ends definite once every assumption is decided and
+//     the dependency graph is acyclic;
+//  3. an assumption speculatively affirmed by a process is finally True
+//     iff the affirming process's own assumptions all held — and False
+//     when the process re-executed and denied it (Lemma 5.3 made
+//     observable).
+
+// guessOutcome is one retained guess result.
+type guessOutcome struct {
+	aid    hope.AID
+	result bool
+}
+
+// outcomeBoard collects each process's final retained outcome sequence.
+type outcomeBoard struct {
+	mu  sync.Mutex
+	seq map[int][]guessOutcome
+}
+
+func newBoard() *outcomeBoard {
+	return &outcomeBoard{seq: make(map[int][]guessOutcome)}
+}
+
+func (b *outcomeBoard) store(who int, outcomes []guessOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq[who] = outcomes
+}
+
+func (b *outcomeBoard) get(who int) []guessOutcome {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq[who]
+}
+
+func TestTheorem51RandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runTheoremProgram(t, seed)
+		})
+	}
+}
+
+func runTheoremProgram(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	const (
+		numAIDs     = 6
+		numGuessers = 4
+		maxGuesses  = 4
+	)
+
+	sys := hope.New(hope.WithJitterLatency(0, 200*time.Microsecond, seed))
+	defer sys.Shutdown()
+
+	// Base assumptions and their planned verdicts.
+	baseAIDs := make([]hope.AID, numAIDs)
+	verdict := make(map[hope.AID]bool, numAIDs)
+	for i := range baseAIDs {
+		x, err := sys.NewAID()
+		if err != nil {
+			t.Fatalf("NewAID: %v", err)
+		}
+		baseAIDs[i] = x
+		verdict[x] = rng.Intn(100) < 60 // 60% affirmed
+	}
+
+	// Derived assumptions: guesser g speculatively affirms derived[g]
+	// when its own guesses hold, denies it after rolling back otherwise.
+	derived := make([]hope.AID, numGuessers)
+	for g := range derived {
+		x, err := sys.NewAID()
+		if err != nil {
+			t.Fatalf("NewAID: %v", err)
+		}
+		derived[g] = x
+	}
+
+	// A sink accumulates tainted messages from every guesser so that
+	// implicit guesses and cascading rollbacks are exercised.
+	sink, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		for {
+			if _, _, err := ctx.Recv(); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("spawn sink: %v", err)
+	}
+
+	board := newBoard()
+	guessers := make([]*hope.Process, numGuessers)
+	type plan struct {
+		guesses []hope.AID
+		partner hope.AID // derived AID of the previous guesser, guessed last
+	}
+	plans := make([]plan, numGuessers)
+	for g := 0; g < numGuessers; g++ {
+		n := 1 + rng.Intn(maxGuesses)
+		pl := plan{partner: derived[(g+numGuessers-1)%numGuessers]}
+		for i := 0; i < n; i++ {
+			pl.guesses = append(pl.guesses, baseAIDs[rng.Intn(numAIDs)])
+		}
+		plans[g] = pl
+	}
+
+	for g := 0; g < numGuessers; g++ {
+		g := g
+		pl := plans[g]
+		proc, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			var outcomes []guessOutcome
+			all := true
+			for _, x := range pl.guesses {
+				ok := ctx.Guess(x)
+				outcomes = append(outcomes, guessOutcome{aid: x, result: ok})
+				all = all && ok
+				ctx.Send(sink.PID(), "tainted")
+			}
+			if all {
+				ctx.Affirm(derived[g])
+			} else {
+				ctx.Deny(derived[g])
+			}
+			// Guess the previous guesser's derived assumption last, so
+			// its outcome reflects the Lemma 5.3 transitivity chain.
+			ok := ctx.Guess(pl.partner)
+			outcomes = append(outcomes, guessOutcome{aid: pl.partner, result: ok})
+			board.store(g, outcomes)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("spawn guesser %d: %v", g, err)
+		}
+		guessers[g] = proc
+	}
+
+	// Deciders issue the planned verdicts after a short delay so guesses
+	// race ahead speculatively. Delays are drawn up front: bodies must
+	// not share the test's rng.
+	for _, x := range baseAIDs {
+		x := x
+		v := verdict[x]
+		delay := time.Duration(rng.Intn(3)) * time.Millisecond
+		if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+			time.Sleep(delay)
+			if v {
+				ctx.Affirm(x)
+			} else {
+				ctx.Deny(x)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("spawn decider: %v", err)
+		}
+	}
+
+	if !sys.Settle(30 * time.Second) {
+		t.Fatal("system did not settle")
+	}
+
+	// Expected truth of the derived assumptions: all of the affirming
+	// guesser's base assumptions held.
+	derivedTruth := make(map[hope.AID]bool, numGuessers)
+	for g := 0; g < numGuessers; g++ {
+		all := true
+		for _, x := range plans[g].guesses {
+			all = all && verdict[x]
+		}
+		derivedTruth[derived[g]] = all
+	}
+	truth := func(x hope.AID) bool {
+		if v, ok := verdict[x]; ok {
+			return v
+		}
+		return derivedTruth[x]
+	}
+
+	for g, proc := range guessers {
+		st := proc.Snapshot()
+		if !st.Completed {
+			t.Fatalf("guesser %d did not complete: %+v", g, st)
+		}
+		if !st.AllDefinite {
+			t.Fatalf("guesser %d not definite after all verdicts: %+v", g, st)
+		}
+		outcomes := board.get(g)
+		if len(outcomes) != len(plans[g].guesses)+1 {
+			t.Fatalf("guesser %d recorded %d outcomes, want %d", g, len(outcomes), len(plans[g].guesses)+1)
+		}
+		for i, o := range outcomes {
+			if o.result != truth(o.aid) {
+				t.Fatalf("guesser %d outcome %d: guess(%v) retained %v, truth is %v (seed %d)",
+					g, i, o.aid, o.result, truth(o.aid), seed)
+			}
+		}
+	}
+
+	if st := sink.Snapshot(); !st.AllDefinite {
+		t.Fatalf("sink not definite: %+v", st)
+	}
+	if v := sys.Violations(); v != 0 {
+		t.Fatalf("%d protocol violations in a single-decider program", v)
+	}
+}
+
+// TestTheorem51NeverFinalizeUndecided: an interval whose assumption is
+// never decided must never finalize (the "only if" direction).
+func TestTheorem51NeverFinalizeUndecided(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	x, _ := sys.NewAID()
+	p, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Guess(x)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(5 * time.Second) {
+		t.Fatal("no settle")
+	}
+	st := p.Snapshot()
+	if !st.Completed {
+		t.Fatalf("process did not complete: %+v", st)
+	}
+	if st.AllDefinite {
+		t.Fatal("interval finalized although its assumption was never affirmed")
+	}
+}

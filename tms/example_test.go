@@ -1,0 +1,36 @@
+package tms_test
+
+import (
+	"fmt"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+	"github.com/hope-dist/hope/tms"
+)
+
+// A two-step inference chain: asserting the premise brings the derived
+// beliefs in; HOPE's dependency tracking is the truth maintenance.
+func Example() {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	n := tms.New(sys)
+	for _, b := range []string{"rain", "wet-grass", "slippery"} {
+		if err := n.Declare(b); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	n.Justify("wet-grass", "rain")
+	n.Justify("slippery", "wet-grass")
+	n.Premise("rain")
+
+	sys.Settle(10 * time.Second)
+	for _, bs := range n.Snapshot() {
+		fmt.Printf("%s: %s\n", bs.Name, bs.Status)
+	}
+	// Output:
+	// rain: IN
+	// slippery: IN
+	// wet-grass: IN
+}

@@ -1,0 +1,235 @@
+// Package tms realizes the paper's §6 future-work direction: applying
+// HOPE to truth maintenance systems (Doyle [12]).
+//
+// The mapping is direct and is the point of the exercise:
+//
+//   - a *belief* is an assumption identifier;
+//   - a *premise* is a definite affirm;
+//   - a *justification* "antecedents ⊢ consequent" is a process that
+//     guesses every antecedent and then affirms the consequent — HOPE
+//     makes the affirm conditional on the antecedents automatically
+//     (the paper's speculative-affirm transitivity, Lemma 5.3);
+//   - a *contradiction* denies a belief, and HOPE's rollback machinery
+//     performs belief revision: every belief whose support chain passes
+//     through the denied one is retracted, and justification processes
+//     re-execute to re-derive what still holds.
+//
+// No truth-maintenance bookkeeping is written here at all — dependency
+// tracking, retraction, and re-derivation are entirely HOPE's.
+package tms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// Status is a belief's resolution.
+type Status int
+
+const (
+	// Unknown — the belief's assumption is still unresolved.
+	Unknown Status = iota
+	// In — the belief is believed (its assumption committed true).
+	In
+	// Out — the belief was retracted (its assumption denied).
+	Out
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case In:
+		return "IN"
+	case Out:
+		return "OUT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Network is a justification network over HOPE.
+type Network struct {
+	sys *hope.System
+
+	mu        sync.Mutex
+	beliefs   map[string]hope.AID
+	names     map[hope.AID]string
+	status    map[string]Status
+	observers map[string]*hope.Process
+}
+
+// New creates an empty network on the system.
+func New(sys *hope.System) *Network {
+	return &Network{
+		sys:       sys,
+		beliefs:   make(map[string]hope.AID),
+		names:     make(map[hope.AID]string),
+		status:    make(map[string]Status),
+		observers: make(map[string]*hope.Process),
+	}
+}
+
+// Declare registers a belief and starts its observer. Declaring twice is
+// an error (beliefs are single-assignment, like assumptions).
+func (n *Network) Declare(name string) error {
+	n.mu.Lock()
+	if _, dup := n.beliefs[name]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("tms: belief %q already declared", name)
+	}
+	n.mu.Unlock()
+
+	x, err := n.sys.NewAID()
+	if err != nil {
+		return fmt.Errorf("tms: declare %q: %w", name, err)
+	}
+
+	n.mu.Lock()
+	n.beliefs[name] = x
+	n.names[x] = name
+	n.status[name] = Unknown
+	n.mu.Unlock()
+
+	// The observer process guesses the belief: when the guess commits
+	// (its interval finalizes) the belief is IN; when it is rolled back
+	// with a denial the pessimistic branch records OUT. Re-executions
+	// overwrite, and Status only trusts the record once the observer's
+	// speculation has committed — an eager In from an undecided belief
+	// reads as Unknown.
+	obs, err := n.sys.Spawn(func(ctx *hope.Ctx) error {
+		st := Out
+		if ctx.Guess(x) {
+			st = In
+		}
+		n.mu.Lock()
+		n.status[name] = st
+		n.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("tms: observer for %q: %w", name, err)
+	}
+	n.mu.Lock()
+	n.observers[name] = obs
+	n.mu.Unlock()
+	return nil
+}
+
+// aidOf resolves a belief name.
+func (n *Network) aidOf(name string) (hope.AID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	x, ok := n.beliefs[name]
+	if !ok {
+		return hope.NilAID, fmt.Errorf("tms: unknown belief %q", name)
+	}
+	return x, nil
+}
+
+// Premise asserts a belief unconditionally.
+func (n *Network) Premise(name string) error {
+	x, err := n.aidOf(name)
+	if err != nil {
+		return err
+	}
+	_, err = n.sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Affirm(x)
+		return nil
+	})
+	return err
+}
+
+// Contradict denies a belief: HOPE retracts every belief supported
+// through it.
+func (n *Network) Contradict(name string) error {
+	x, err := n.aidOf(name)
+	if err != nil {
+		return err
+	}
+	_, err = n.sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Deny(x)
+		return nil
+	})
+	return err
+}
+
+// Justify installs the justification antecedents ⊢ consequent: a process
+// that guesses every antecedent and speculatively affirms the
+// consequent. If any antecedent is later denied, HOPE rolls the process
+// back, the speculative affirm is retracted, and the re-execution takes
+// the pessimistic branch — denying the consequent for this justification.
+//
+// Note the single-decider discipline: each belief must be decided by
+// exactly one premise, one contradiction, or one justification
+// (conflicting affirm/deny is the paper's "user error").
+func (n *Network) Justify(consequent string, antecedents ...string) error {
+	c, err := n.aidOf(consequent)
+	if err != nil {
+		return err
+	}
+	as := make([]hope.AID, len(antecedents))
+	for i, a := range antecedents {
+		x, err := n.aidOf(a)
+		if err != nil {
+			return err
+		}
+		as[i] = x
+	}
+
+	_, err = n.sys.Spawn(func(ctx *hope.Ctx) error {
+		holds := true
+		for _, a := range as {
+			holds = holds && ctx.Guess(a)
+		}
+		if holds {
+			ctx.Affirm(c) // conditional on every antecedent
+		} else {
+			ctx.Deny(c) // definitive: an antecedent failed
+		}
+		return nil
+	})
+	return err
+}
+
+// Status reports a belief's resolution as of the last quiescent point
+// (call Engine.Settle first). A belief whose observer is still
+// speculative — the assumption has not been decided — is Unknown.
+func (n *Network) Status(name string) Status {
+	n.mu.Lock()
+	obs := n.observers[name]
+	st := n.status[name]
+	n.mu.Unlock()
+	if obs == nil {
+		return Unknown
+	}
+	snap := obs.Snapshot()
+	if !snap.Completed || !snap.AllDefinite {
+		return Unknown
+	}
+	return st
+}
+
+// Snapshot returns all beliefs and statuses, sorted by name.
+func (n *Network) Snapshot() []BeliefStatus {
+	n.mu.Lock()
+	names := make([]string, 0, len(n.status))
+	for name := range n.status {
+		names = append(names, name)
+	}
+	n.mu.Unlock()
+	sort.Strings(names)
+	out := make([]BeliefStatus, 0, len(names))
+	for _, name := range names {
+		out = append(out, BeliefStatus{Name: name, Status: n.Status(name)})
+	}
+	return out
+}
+
+// BeliefStatus pairs a belief with its resolution.
+type BeliefStatus struct {
+	Name   string
+	Status Status
+}

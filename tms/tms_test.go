@@ -1,0 +1,207 @@
+package tms
+
+import (
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+const settleTimeout = 20 * time.Second
+
+func network(t *testing.T, beliefs ...string) (*hope.System, *Network) {
+	t.Helper()
+	sys := hope.New(hope.WithConstantLatency(50 * time.Microsecond))
+	t.Cleanup(sys.Shutdown)
+	n := New(sys)
+	for _, b := range beliefs {
+		if err := n.Declare(b); err != nil {
+			t.Fatalf("declare %q: %v", b, err)
+		}
+	}
+	return sys, n
+}
+
+func settle(t *testing.T, sys *hope.System) {
+	t.Helper()
+	if !sys.Settle(settleTimeout) {
+		t.Fatal("network did not settle")
+	}
+}
+
+func wantStatus(t *testing.T, n *Network, name string, want Status) {
+	t.Helper()
+	if got := n.Status(name); got != want {
+		t.Fatalf("belief %q = %v, want %v (snapshot: %v)", name, got, want, n.Snapshot())
+	}
+}
+
+func TestPremiseChain(t *testing.T) {
+	eng, n := network(t, "a", "b", "c")
+	if err := n.Justify("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Justify("c", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Premise("a"); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	wantStatus(t, n, "a", In)
+	wantStatus(t, n, "b", In)
+	wantStatus(t, n, "c", In)
+}
+
+func TestContradictionRetractsSupportChain(t *testing.T) {
+	eng, n := network(t, "a", "b", "c")
+	if err := n.Justify("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Justify("c", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Contradict("a"); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	wantStatus(t, n, "a", Out)
+	wantStatus(t, n, "b", Out)
+	wantStatus(t, n, "c", Out)
+}
+
+func TestConjunctiveJustification(t *testing.T) {
+	eng, n := network(t, "p", "q", "r")
+	if err := n.Justify("r", "p", "q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Premise("p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Contradict("q"); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	wantStatus(t, n, "p", In)
+	wantStatus(t, n, "q", Out)
+	wantStatus(t, n, "r", Out) // one failed antecedent retracts r
+}
+
+func TestDiamondDerivation(t *testing.T) {
+	// a ⊢ b, a ⊢ c, (b,c) ⊢ d: affirm a, everything comes in.
+	eng, n := network(t, "a", "b", "c", "d")
+	if err := n.Justify("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Justify("c", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Justify("d", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Premise("a"); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	for _, b := range []string{"a", "b", "c", "d"} {
+		wantStatus(t, n, b, In)
+	}
+}
+
+func TestDiamondRevision(t *testing.T) {
+	eng, n := network(t, "a", "b", "c", "d")
+	if err := n.Justify("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Justify("c", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Justify("d", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Contradict("a"); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	for _, b := range []string{"a", "b", "c", "d"} {
+		wantStatus(t, n, b, Out)
+	}
+}
+
+func TestUndecidedStaysUnknown(t *testing.T) {
+	eng, n := network(t, "floating", "dependent")
+	if err := n.Justify("dependent", "floating"); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	wantStatus(t, n, "floating", Unknown)
+	wantStatus(t, n, "dependent", Unknown)
+}
+
+func TestDeepChainRevision(t *testing.T) {
+	// b0 ⊢ b1 ⊢ ... ⊢ b7; contradict the root.
+	names := []string{"b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7"}
+	eng, n := network(t, names...)
+	for i := 1; i < len(names); i++ {
+		if err := n.Justify(names[i], names[i-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Contradict(names[0]); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	for _, b := range names {
+		wantStatus(t, n, b, Out)
+	}
+}
+
+func TestIndependentSubgraphsUnaffected(t *testing.T) {
+	eng, n := network(t, "x", "y", "p", "q")
+	if err := n.Justify("y", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Justify("q", "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Premise("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Contradict("p"); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, eng)
+	wantStatus(t, n, "x", In)
+	wantStatus(t, n, "y", In)
+	wantStatus(t, n, "p", Out)
+	wantStatus(t, n, "q", Out)
+}
+
+func TestDuplicateDeclareRejected(t *testing.T) {
+	_, n := network(t, "a")
+	if err := n.Declare("a"); err == nil {
+		t.Fatal("duplicate declare accepted")
+	}
+}
+
+func TestUnknownBeliefRejected(t *testing.T) {
+	_, n := network(t, "a")
+	if err := n.Premise("ghost"); err == nil {
+		t.Fatal("premise on unknown belief accepted")
+	}
+	if err := n.Justify("ghost", "a"); err == nil {
+		t.Fatal("justify unknown consequent accepted")
+	}
+	if err := n.Justify("a", "ghost"); err == nil {
+		t.Fatal("justify unknown antecedent accepted")
+	}
+	if err := n.Contradict("ghost"); err == nil {
+		t.Fatal("contradict unknown belief accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if In.String() != "IN" || Out.String() != "OUT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("status strings wrong")
+	}
+}

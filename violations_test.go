@@ -1,0 +1,70 @@
+package hope_test
+
+import (
+	"testing"
+	"time"
+
+	hope "github.com/hope-dist/hope"
+)
+
+// TestViolationsCountUserErrors: conflicting affirm/deny — the paper's
+// "user error" — is surfaced through the violations counter.
+func TestViolationsCountUserErrors(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+
+	x, _ := sys.NewAID()
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Affirm(x)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !sys.Settle(10 * time.Second) {
+		t.Fatal("no settle")
+	}
+	if v := sys.Violations(); v != 0 {
+		t.Fatalf("violations before conflict: %d", v)
+	}
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Deny(x) // conflicts with the earlier affirm
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+	if !sys.Settle(10 * time.Second) {
+		t.Fatal("no settle")
+	}
+	if v := sys.Violations(); v == 0 {
+		t.Fatal("conflicting affirm/deny not counted as a violation")
+	}
+}
+
+// TestViolationsZeroOnCleanRuns: ordinary optimistic programs never trip
+// the counter.
+func TestViolationsZeroOnCleanRuns(t *testing.T) {
+	sys := hope.New()
+	defer sys.Shutdown()
+	x, _ := sys.NewAID()
+	y, _ := sys.NewAID()
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Guess(x)
+		ctx.Guess(y)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if _, err := sys.Spawn(func(ctx *hope.Ctx) error {
+		ctx.Affirm(x)
+		ctx.Deny(y)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn decider: %v", err)
+	}
+	if !sys.Settle(10 * time.Second) {
+		t.Fatal("no settle")
+	}
+	if v := sys.Violations(); v != 0 {
+		t.Fatalf("clean run produced %d violations", v)
+	}
+}
