@@ -1,0 +1,23 @@
+.PHONY: check build test race bench wire
+
+# The tier-1 gate: vet, build, full test suite, and the race detector
+# on the concurrency-heavy packages.
+check:
+	sh scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/
+
+bench:
+	go test -bench=. -benchmem
+
+# Distributed pagination benchmark: two OS processes over loopback TCP.
+wire:
+	go run ./cmd/hopebench wire --pagesize 1000 --reports 64
+	go run ./cmd/hopebench wire --pagesize 3 --reports 64 --drop

@@ -1,0 +1,370 @@
+package main
+
+// The wire experiment is the distributed counterpart of E1: the same
+// RPC-pagination workload, but the print server lives in a separate OS
+// process (cmd/hoped) reached over real loopback TCP instead of a
+// simulated latency model. It reports user-visible latency, commit
+// latency, throughput, and the transport's own wire statistics, and
+// cross-checks the server's final line counter against a sequential
+// replay — the layout must be byte-for-byte sequential even when
+// --drop severs every connection mid-run.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+func init() {
+	wire.RegisterPayload(rpc.Request{})
+	wire.RegisterPayload(rpc.Response{})
+}
+
+// wireResult is one distributed run, serialized to --json (BENCH_wire.json).
+type wireResult struct {
+	Transport     string         `json:"transport"`
+	Nodes         int            `json:"nodes"`
+	PageSize      int            `json:"page_size"`
+	Reports       int            `json:"reports"`
+	ForcedDrops   int            `json:"forced_drops"`
+	PessimisticNS int64          `json:"pessimistic_ns"`
+	OptimisticNS  int64          `json:"optimistic_ns"`
+	CommitNS      int64          `json:"commit_ns"`
+	SavedPercent  float64        `json:"saved_percent"`
+	Rollbacks     int            `json:"rollbacks"`
+	ReportsPerSec float64        `json:"reports_per_sec"`
+	FinalLineOK   bool           `json:"final_line_ok"`
+	Wire          wire.WireStats `json:"wire"`
+}
+
+func wireExperiment(args []string) error {
+	fs := flag.NewFlagSet("wire", flag.ContinueOnError)
+	hopedPath := fs.String("hoped", "", "path to the hoped binary (default: $PATH, then `go build`)")
+	pageSize := fs.Int("pagesize", 3, "page size (smaller ⇒ more mispredictions)")
+	reports := fs.Int("reports", 64, "reports per run")
+	drop := fs.Bool("drop", false, "sever every TCP connection repeatedly mid-run")
+	jsonOut := fs.String("json", "", "also write the result as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Println("WIRE — distributed RPC pagination over loopback TCP (2 OS processes)")
+	fmt.Printf("workload: %d reports, pageSize %d, print server in a hoped child process\n",
+		*reports, *pageSize)
+
+	bin, cleanup, err := resolveHoped(*hopedPath)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	res, err := runWireBench(bin, *pageSize, *reports, *drop)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-12s %12s %12s %12s %7s %9s %11s\n",
+		"transport", "pessimistic", "optimistic", "commit", "saved", "rollbacks", "reports/s")
+	fmt.Printf("%-12s %12v %12v %12v %6.1f%% %9d %11.0f\n",
+		res.Transport,
+		time.Duration(res.PessimisticNS).Round(time.Microsecond),
+		time.Duration(res.OptimisticNS).Round(time.Microsecond),
+		time.Duration(res.CommitNS).Round(time.Microsecond),
+		res.SavedPercent, res.Rollbacks, res.ReportsPerSec)
+	fmt.Printf("wire: %v\n", res.Wire)
+	if res.ForcedDrops > 0 {
+		fmt.Printf("survived %d forced connection drops (reconnects=%d resends=%d), layout intact=%v\n",
+			res.ForcedDrops, res.Wire.Reconnects, res.Wire.Resends, res.FinalLineOK)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// resolveHoped finds or builds the hoped binary: explicit flag, $PATH,
+// then `go build ./cmd/hoped` into a temp dir (requires running from
+// the repository root).
+func resolveHoped(explicit string) (bin string, cleanup func(), err error) {
+	cleanup = func() {}
+	if explicit != "" {
+		return explicit, cleanup, nil
+	}
+	if p, err := exec.LookPath("hoped"); err == nil {
+		return p, cleanup, nil
+	}
+	dir, err := os.MkdirTemp("", "hopebench-wire-*")
+	if err != nil {
+		return "", cleanup, err
+	}
+	cleanup = func() { os.RemoveAll(dir) }
+	bin = filepath.Join(dir, "hoped")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hoped")
+	if out, err := build.CombinedOutput(); err != nil {
+		cleanup()
+		return "", func() {}, fmt.Errorf("building hoped (pass --hoped or run from the repo root): %v\n%s", err, out)
+	}
+	return bin, cleanup, nil
+}
+
+// runWireBench spawns a hoped print-server node, connects a local wire
+// node to it, and runs the pessimistic and streamed workers back to
+// back against the same live server.
+func runWireBench(hopedBin string, pageSize, reports int, drop bool) (wireResult, error) {
+	res := wireResult{Transport: "tcp-loopback", Nodes: 2, PageSize: pageSize, Reports: reports}
+
+	// Bind the client node first so the child can be told where node 0
+	// lives; its own address arrives via the READY line.
+	node, err := wire.NewNode(wire.NodeConfig{ID: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		return res, err
+	}
+	defer node.Close()
+
+	child := exec.Command(hopedBin,
+		"--node", "1", "--listen", "127.0.0.1:0", "--serve", "printserver",
+		"--peer", "0="+node.Addr())
+	child.Stderr = os.Stderr
+	stdout, err := child.StdoutPipe()
+	if err != nil {
+		return res, err
+	}
+	if err := child.Start(); err != nil {
+		return res, err
+	}
+	defer func() {
+		child.Process.Signal(os.Interrupt)
+		child.Wait()
+	}()
+
+	serverAddr, serverPID, err := awaitReady(stdout)
+	if err != nil {
+		return res, err
+	}
+	node.SetPeer(1, serverAddr)
+	if wire.NodeOf(serverPID) != 1 {
+		return res, fmt.Errorf("server PID %v not in node 1's namespace", serverPID)
+	}
+
+	eng := core.NewEngine(core.Config{Transport: node, PIDBase: wire.PIDBase(0)})
+	defer eng.Shutdown()
+
+	// Phase 1: pessimistic baseline — synchronous round trips over TCP.
+	elapsed, _, _, err := runWorker(eng, node, rpc.PessimisticWorker, serverPID, pageSize, reports, nil)
+	if err != nil {
+		return res, fmt.Errorf("pessimistic: %w", err)
+	}
+	res.PessimisticNS = elapsed.Nanoseconds()
+
+	// Reset the server's line counter so both runs start on a fresh page.
+	if err := callOnce(eng, serverPID, rpc.MethodNewPage); err != nil {
+		return res, err
+	}
+
+	// Phase 2: optimistic streamed worker, optionally under connection
+	// chaos. Dropping the client node's connections severs both
+	// directions — accepted server→client conns live in the same set.
+	var chaos func()
+	if drop {
+		res.ForcedDrops = 5
+		chaos = func() {
+			for i := 0; i < res.ForcedDrops; i++ {
+				time.Sleep(3 * time.Millisecond)
+				node.DropConnections()
+			}
+		}
+	}
+	elapsed, commit, rollbacks, err := runWorker(eng, node, rpc.StreamedWorker, serverPID, pageSize, reports, chaos)
+	if err != nil {
+		return res, fmt.Errorf("optimistic: %w", err)
+	}
+	res.OptimisticNS = elapsed.Nanoseconds()
+	res.CommitNS = commit.Nanoseconds()
+	res.Rollbacks = rollbacks
+	res.SavedPercent = 100 * (1 - float64(res.OptimisticNS)/float64(res.PessimisticNS))
+	res.ReportsPerSec = float64(reports) / elapsed.Seconds()
+
+	// Ground truth: the server's committed line counter must equal a
+	// sequential replay of run 2 (+1 for the probe's own print).
+	want := expectedFinalLine(pageSize, reports) + 1
+	line, err := probeLine(eng, serverPID)
+	if err != nil {
+		return res, err
+	}
+	res.FinalLineOK = line == want
+	if !res.FinalLineOK {
+		return res, fmt.Errorf("server final line = %d, want %d: prints lost, duplicated, or reordered", line, want)
+	}
+	if eng.Violations() != 0 {
+		return res, fmt.Errorf("%d protocol violations", eng.Violations())
+	}
+	res.Wire = node.WireStats()
+	return res, nil
+}
+
+// expectedFinalLine replays the pagination workload sequentially.
+func expectedFinalLine(pageSize, n int) int {
+	line := 0
+	for i := 0; i < n; i++ {
+		line++ // total
+		if line >= pageSize {
+			line = 0 // newpage
+		}
+		line++ // trailer
+	}
+	return line
+}
+
+type workerFn func(server ids.PID, pageSize, n int, done func(rpc.PageReport)) core.Body
+
+// runWorker spawns one worker against the remote server and waits for
+// distributed quiescence: sink fired, the worker's whole history
+// definite, and no unacknowledged frames on the local node.
+func runWorker(eng *core.Engine, node *wire.Node, mk workerFn, server ids.PID, pageSize, reports int, chaos func()) (elapsed, commit time.Duration, rollbacks int, err error) {
+	var mu sync.Mutex
+	var lastDone time.Time
+	var rep rpc.PageReport
+	done := 0
+	sink := func(r rpc.PageReport) {
+		mu.Lock()
+		lastDone, rep, done = time.Now(), r, done+1
+		mu.Unlock()
+	}
+	var chaosWG sync.WaitGroup
+	if chaos != nil {
+		chaosWG.Add(1)
+		go func() { defer chaosWG.Done(); chaos() }()
+	}
+	start := time.Now()
+	worker, err := eng.SpawnRoot(mk(server, pageSize, reports, sink))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	chaosWG.Wait()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := worker.Snapshot()
+		mu.Lock()
+		completed := done > 0
+		mu.Unlock()
+		if completed && st.AllDefinite && st.Completed && node.Inflight() == 0 {
+			commit = time.Since(start)
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, 0, fmt.Errorf("no quiescence: worker=%+v inflight=%d", st, node.Inflight())
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if rep.Totals != reports {
+		return 0, 0, 0, fmt.Errorf("printed %d totals, want %d", rep.Totals, reports)
+	}
+	return lastDone.Sub(start), commit, worker.Snapshot().Restarts, nil
+}
+
+// callOnce issues one synchronous RPC from a throwaway definite process.
+func callOnce(eng *core.Engine, server ids.PID, method string) error {
+	_, err := probeCall(eng, server, method)
+	return err
+}
+
+// probeLine prints one line pessimistically and returns the resulting
+// line number — a full round trip, so it also barriers on the server
+// having consumed everything sent before it.
+func probeLine(eng *core.Engine, server ids.PID) (int, error) {
+	return probeCall(eng, server, rpc.MethodPrint)
+}
+
+func probeCall(eng *core.Engine, server ids.PID, method string) (int, error) {
+	got := make(chan int, 1)
+	errc := make(chan error, 1)
+	_, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		line, err := rpc.Call(ctx, server, method, 0, 1<<20)
+		if err != nil {
+			errc <- err
+			return err
+		}
+		got <- line
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case line := <-got:
+		return line, nil
+	case err := <-errc:
+		return 0, err
+	case <-time.After(30 * time.Second):
+		return 0, fmt.Errorf("probe call to %v timed out", server)
+	}
+}
+
+// awaitReady parses the child's "HOPED READY node=… addr=… pid=…" line.
+func awaitReady(r io.Reader) (addr string, pid ids.PID, err error) {
+	type ready struct {
+		addr string
+		pid  ids.PID
+		err  error
+	}
+	ch := make(chan ready, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "HOPED READY") {
+				continue
+			}
+			var r ready
+			for _, f := range strings.Fields(line) {
+				if v, ok := strings.CutPrefix(f, "addr="); ok {
+					r.addr = v
+				}
+				if v, ok := strings.CutPrefix(f, "pid="); ok {
+					n, err := strconv.ParseUint(v, 10, 64)
+					if err != nil {
+						r.err = fmt.Errorf("bad pid in READY line %q: %v", line, err)
+					}
+					r.pid = ids.PID(n)
+				}
+			}
+			if r.addr == "" && r.err == nil {
+				r.err = fmt.Errorf("no addr in READY line %q", line)
+			}
+			ch <- r
+			return
+		}
+		ch <- ready{err: fmt.Errorf("hoped exited before READY: %v", sc.Err())}
+	}()
+	select {
+	case r := <-ch:
+		return r.addr, r.pid, r.err
+	case <-time.After(15 * time.Second):
+		return "", 0, fmt.Errorf("timed out waiting for hoped READY line")
+	}
+}

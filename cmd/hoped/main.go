@@ -1,0 +1,127 @@
+// Command hoped runs one HOPE node as a standalone OS process: a wire
+// transport listening on TCP plus an engine whose PIDs live in the
+// node's namespace. Peers are static — every other node is named up
+// front by ID and address (late peers can be omitted and added by
+// restarting; the transport queues until the address is known only when
+// set via --peer 0=... at startup).
+//
+// Usage:
+//
+//	hoped --node 1 --listen 127.0.0.1:7101 --peer 0=127.0.0.1:7100
+//
+// On startup hoped prints one machine-parseable line to stdout:
+//
+//	HOPED READY node=1 addr=127.0.0.1:7101 pid=281474976710657
+//
+// where addr is the resolved listen address (useful with --listen :0)
+// and pid is the PID of the root service process (--serve), which
+// remote workers address directly: under the wire transport a PID is
+// the routing address. It then serves until SIGINT/SIGTERM, printing
+// transport statistics on the way out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+func init() {
+	// Every payload type that crosses the wire must be registered on
+	// both sides; hoped speaks the rpc vocabulary.
+	wire.RegisterPayload(rpc.Request{})
+	wire.RegisterPayload(rpc.Response{})
+}
+
+// peerMap collects repeated --peer N=host:port flags.
+type peerMap map[int]string
+
+func (p peerMap) String() string {
+	parts := make([]string, 0, len(p))
+	for id, addr := range p {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, addr))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (p peerMap) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want N=host:port, got %q", v)
+	}
+	n, err := strconv.Atoi(id)
+	if err != nil {
+		return fmt.Errorf("bad node id %q: %v", id, err)
+	}
+	if n < 0 || n >= wire.MaxNodes {
+		return fmt.Errorf("node id %d out of range [0,%d)", n, wire.MaxNodes)
+	}
+	p[n] = addr
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hoped:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hoped", flag.ContinueOnError)
+	node := fs.Int("node", 1, "this node's ID (upper 16 bits of every local PID)")
+	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address")
+	serve := fs.String("serve", "printserver", "root service to host (printserver|none)")
+	peers := peerMap{}
+	fs.Var(peers, "peer", "peer address as N=host:port (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node < 0 || *node >= wire.MaxNodes {
+		return fmt.Errorf("--node %d out of range [0,%d)", *node, wire.MaxNodes)
+	}
+
+	n, err := wire.NewNode(wire.NodeConfig{ID: *node, Listen: *listen, Peers: peers})
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+
+	eng := core.NewEngine(core.Config{Transport: n, PIDBase: wire.PIDBase(*node)})
+	defer eng.Shutdown()
+
+	rootPID := uint64(0)
+	switch *serve {
+	case "printserver":
+		p, err := eng.SpawnRoot(rpc.PrintServer())
+		if err != nil {
+			return err
+		}
+		rootPID = uint64(p.PID())
+	case "none":
+	default:
+		return fmt.Errorf("unknown --serve %q (want printserver|none)", *serve)
+	}
+
+	// The READY line is the contract with whoever spawned us (see
+	// cmd/hopebench's wire mode): resolved address and service PID.
+	fmt.Printf("HOPED READY node=%d addr=%s pid=%d\n", *node, n.Addr(), rootPID)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	fmt.Fprintf(os.Stderr, "hoped: node %d shutting down; net %v; wire %v\n",
+		*node, n.Stats(), n.WireStats())
+	return nil
+}

@@ -48,8 +48,8 @@ func run(args []string) error {
 func pagination(tracer trace.Tracer) error {
 	fmt.Println("--- §3.1 pagination: Worker/WorryWart with PartPage and Order ---")
 	eng := core.NewEngine(core.Config{
-		Latency: netsim.Constant(200 * time.Microsecond),
-		Tracer:  tracer,
+		Transport: netsim.New(netsim.Constant(200 * time.Microsecond)),
+		Tracer:    tracer,
 	})
 	defer eng.Shutdown()
 	server, err := eng.SpawnRoot(rpc.PrintServer())

@@ -57,7 +57,7 @@ func run() error {
 }
 
 func runWorker(label string, build func(*core.Process, func(rpc.PageReport)) core.Body) (time.Duration, rpc.PageReport, error) {
-	eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(netsim.Constant(latency))})
 	defer eng.Shutdown()
 
 	server, err := eng.SpawnRoot(rpc.PrintServer())

@@ -57,7 +57,7 @@ func run() error {
 }
 
 func runChain(optimistic bool, step stream.StepFn, mispredict func(int) bool) (time.Duration, int, int, error) {
-	eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(netsim.Constant(latency))})
 	defer eng.Shutdown()
 
 	server, err := eng.SpawnRoot(stream.Server(step))

@@ -32,7 +32,7 @@ func main() {
 func run() error {
 	sites := netsim.NewSites(0 /* local */, time.Millisecond /* remote */)
 	lagged := netsim.NewOverride(sites)
-	eng := core.NewEngine(core.Config{Latency: lagged})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(lagged)})
 	defer eng.Shutdown()
 
 	backup, err := eng.SpawnRoot(replica.Backup())

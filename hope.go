@@ -42,6 +42,7 @@ import (
 	"github.com/hope-dist/hope/internal/interval"
 	"github.com/hope-dist/hope/internal/netsim"
 	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/transport"
 )
 
 // Re-exported identifier and runtime types. AIDs identify optimistic
@@ -66,8 +67,12 @@ type (
 	Tracer = trace.Tracer
 	// LatencyModel computes simulated network delays.
 	LatencyModel = netsim.LatencyModel
+	// Transport carries HOPE messages between processes; see
+	// internal/transport for the contract and internal/wire for the
+	// TCP implementation.
+	Transport = transport.Transport
 	// NetStats are cumulative transport message counts.
-	NetStats = netsim.Stats
+	NetStats = transport.Stats
 )
 
 // NilAID is the zero assumption identifier; Guess(NilAID) creates a
@@ -85,6 +90,8 @@ type Option interface {
 
 type options struct {
 	latency   netsim.LatencyModel
+	transport transport.Transport
+	pidBase   ids.PID
 	algorithm interval.Algorithm
 	tracer    trace.Tracer
 }
@@ -120,6 +127,24 @@ func WithoutCycleDetection() Option {
 	return algorithmOption{alg: interval.Algorithm1}
 }
 
+type transportOption struct{ t transport.Transport }
+
+func (o transportOption) apply(opts *options) { opts.transport = o.t }
+
+// WithTransport installs an explicit transport — typically a wire.Node so
+// the System becomes one node of a distributed deployment. It overrides
+// any latency option.
+func WithTransport(t Transport) Option { return transportOption{t: t} }
+
+type pidBaseOption struct{ base ids.PID }
+
+func (o pidBaseOption) apply(opts *options) { opts.pidBase = o.base }
+
+// WithPIDBase places this System's PID namespace above base so PIDs are
+// globally unique across the nodes of a distributed deployment (pair with
+// WithTransport; see wire.PIDBase).
+func WithPIDBase(base PID) Option { return pidBaseOption{base: base} }
+
 type tracerOption struct{ t trace.Tracer }
 
 func (o tracerOption) apply(opts *options) { opts.tracer = o.t }
@@ -139,8 +164,13 @@ func New(opts ...Option) *System {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
+	tp := o.transport
+	if tp == nil && o.latency != nil {
+		tp = netsim.New(o.latency)
+	}
 	return &System{eng: core.NewEngine(core.Config{
-		Latency:   o.latency,
+		Transport: tp,
+		PIDBase:   o.pidBase,
 		Algorithm: o.algorithm,
 		Tracer:    o.tracer,
 	})}

@@ -48,7 +48,7 @@ func RunE1(latency time.Duration, pageSize, reports int) (E1Result, error) {
 	res := E1Result{Latency: latency, PageSize: pageSize, Reports: reports}
 
 	runWorker := func(optimistic bool) (completion, commit time.Duration, rollbacks int, err error) {
-		eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+		eng := core.NewEngine(core.Config{Transport: netsim.New(netsim.Constant(latency))})
 		defer eng.Shutdown()
 		server, err := eng.SpawnRoot(rpc.PrintServer())
 		if err != nil {
@@ -115,7 +115,7 @@ func RunE3(ring int, alg interval.Algorithm, window time.Duration) (E3Result, er
 	res := E3Result{Ring: ring, Algorithm: alg}
 	eng := core.NewEngine(core.Config{
 		Algorithm: alg,
-		Latency:   netsim.Constant(50 * time.Microsecond),
+		Transport: netsim.New(netsim.Constant(50 * time.Microsecond)),
 	})
 	defer eng.Shutdown()
 
@@ -264,7 +264,7 @@ func RunE6Jitter(depth, missEvery int, latency time.Duration, jitter bool) (E6Re
 		if jitter {
 			model = netsim.NewUniform(latency/2, latency, 7)
 		}
-		eng := core.NewEngine(core.Config{Latency: model})
+		eng := core.NewEngine(core.Config{Transport: netsim.New(model)})
 		defer eng.Shutdown()
 		server, err := eng.SpawnRoot(stream.Server(step))
 		if err != nil {
@@ -349,7 +349,7 @@ func RunE7(conflictEvery, reads int) (E7Result, error) {
 	run := func(optimistic bool) (time.Duration, int, error) {
 		sites := netsim.NewSites(local, remote)
 		lagged := netsim.NewOverride(sites)
-		eng := core.NewEngine(core.Config{Latency: lagged})
+		eng := core.NewEngine(core.Config{Transport: netsim.New(lagged)})
 		defer eng.Shutdown()
 
 		backup, err := eng.SpawnRoot(replica.Backup())
@@ -498,7 +498,7 @@ type E9Result struct {
 // waits for a remote reply.
 func RunE9(latency time.Duration, iters int) (E9Result, error) {
 	res := E9Result{Latency: latency}
-	eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(netsim.Constant(latency))})
 	defer eng.Shutdown()
 
 	aids := make([]ids.AID, iters)
@@ -593,7 +593,7 @@ func RunE10(tolerance float64, latency time.Duration) (E10Result, error) {
 		Window:         4,
 	}
 	want := scicomp.Sequential(cfg)
-	got, rollbacks, elapsed, err := scicomp.Run(cfg, core.Config{Latency: netsim.Constant(latency)})
+	got, rollbacks, elapsed, err := scicomp.Run(cfg, core.Config{Transport: netsim.New(netsim.Constant(latency))})
 	if err != nil {
 		return res, err
 	}
@@ -637,7 +637,7 @@ func RunE11(writers int, highContention bool, latency time.Duration) (E11Result,
 	}
 
 	run := func(optimistic bool) (time.Duration, int, bool, error) {
-		eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+		eng := core.NewEngine(core.Config{Transport: netsim.New(netsim.Constant(latency))})
 		defer eng.Shutdown()
 		// The bench drives the public API surface through the internal
 		// engine it already manages; occ only needs the PIDs.

@@ -19,8 +19,8 @@ import (
 	"github.com/hope-dist/hope/internal/aid"
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/interval"
-	"github.com/hope-dist/hope/internal/netsim"
 	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/transport"
 	"github.com/hope-dist/hope/internal/vpm"
 )
 
@@ -60,8 +60,17 @@ type Engine struct {
 
 // Config parameterizes a new engine.
 type Config struct {
-	// Latency is the transport latency model (nil = zero latency).
-	Latency netsim.LatencyModel
+	// Transport carries the engine's messages. Nil means a synchronous
+	// in-process transport (transport.NewLocal); simulations pass a
+	// netsim.Net, distributed nodes a wire.Node. The engine takes
+	// ownership: Shutdown closes it, so a Transport (and hence a Config
+	// holding one) must not be reused across engines.
+	Transport transport.Transport
+	// PIDBase, when nonzero, is the exclusive lower bound of the PID
+	// namespace this engine allocates from. Distributed deployments give
+	// each node a disjoint base (wire.PIDBase) so every PID is globally
+	// unique and identifies its owning node.
+	PIDBase ids.PID
 	// Algorithm selects Control's variant; the zero value means
 	// Algorithm2 (cycle detection on), the production default.
 	Algorithm interval.Algorithm
@@ -69,7 +78,7 @@ type Config struct {
 	Tracer trace.Tracer
 }
 
-// NewEngine constructs an engine and its transport.
+// NewEngine constructs an engine over its transport.
 func NewEngine(cfg Config) *Engine {
 	alg := cfg.Algorithm
 	if alg == 0 {
@@ -79,12 +88,19 @@ func NewEngine(cfg Config) *Engine {
 	if tr == nil {
 		tr = trace.Nop
 	}
+	net := cfg.Transport
+	if net == nil {
+		net = transport.NewLocal()
+	}
 	e := &Engine{
-		machine: vpm.New(netsim.New(cfg.Latency)),
+		machine: vpm.New(net),
 		alg:     alg,
 		procs:   make(map[ids.PID]*Process),
 		aids:    make(map[ids.AID]*vpm.Proc),
 		archive: make(map[ids.AID]bool),
+	}
+	if cfg.PIDBase != 0 {
+		e.machine.SkipPIDs(cfg.PIDBase)
 	}
 	e.tracer = violationCounter{inner: tr, count: &e.violations}
 	return e
@@ -114,7 +130,7 @@ func (e *Engine) Violations() int64 {
 }
 
 // Net exposes the transport, mainly for message-count experiments.
-func (e *Engine) Net() *netsim.Net { return e.machine.Net() }
+func (e *Engine) Net() transport.Transport { return e.machine.Net() }
 
 // Algorithm returns the Control variant in use.
 func (e *Engine) Algorithm() interval.Algorithm { return e.alg }

@@ -19,7 +19,7 @@ import (
 // affirm, re-executes, and denies X — and B must take the pessimistic
 // branch despite having replaced X away earlier.
 func TestRetractThenDenyReachesDependents(t *testing.T) {
-	eng := newTestEngine(t, Config{Latency: netsim.Constant(100 * time.Microsecond)})
+	eng := newTestEngine(t, Config{Transport: netsim.New(netsim.Constant(100 * time.Microsecond))})
 
 	x, _ := eng.NewAID()
 	y, _ := eng.NewAID()
@@ -103,7 +103,7 @@ func TestRetractThenDenyReachesDependents(t *testing.T) {
 // affirm (this time definite because Y's guess returned false and no new
 // speculation remains) — B's optimistic branch must commit.
 func TestRetractThenReaffirm(t *testing.T) {
-	eng := newTestEngine(t, Config{Latency: netsim.Constant(100 * time.Microsecond)})
+	eng := newTestEngine(t, Config{Transport: netsim.New(netsim.Constant(100 * time.Microsecond))})
 
 	x, _ := eng.NewAID()
 	y, _ := eng.NewAID()

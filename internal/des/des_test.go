@@ -15,7 +15,7 @@ const settleTimeout = 60 * time.Second
 // runHOPE executes the PHOLD configuration on the HOPE DES cluster.
 func runHOPE(t *testing.T, cfg phold.Config, latency netsim.LatencyModel) (phold.Result, int) {
 	t.Helper()
-	eng := core.NewEngine(core.Config{Latency: latency})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(latency)})
 	defer eng.Shutdown()
 	cluster, err := NewCluster(eng, cfg)
 	if err != nil {

@@ -91,6 +91,22 @@ func (a *PIDAllocator) Next() PID {
 	return PID(a.next.Add(1))
 }
 
+// Skip advances the allocator so every subsequently issued PID is greater
+// than base. It never moves the allocator backwards; concurrent Skip and
+// Next calls are safe. Distributed deployments use disjoint bases per
+// node so locally allocated PIDs are globally unique.
+func (a *PIDAllocator) Skip(base PID) {
+	for {
+		cur := a.next.Load()
+		if cur >= uint64(base) {
+			return
+		}
+		if a.next.CompareAndSwap(cur, uint64(base)) {
+			return
+		}
+	}
+}
+
 // EpochAllocator hands out interval epochs. It is safe for concurrent use.
 // The zero value is ready to use and starts at epoch 1, so the zero
 // IntervalID (epoch 0) is never issued.

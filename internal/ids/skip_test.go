@@ -1,0 +1,51 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPIDAllocatorSkip covers the namespace-partition primitive used by
+// distributed nodes: after Skip(base), every issued PID is > base, and
+// Skip never moves the allocator backwards.
+func TestPIDAllocatorSkip(t *testing.T) {
+	var a PIDAllocator
+	a.Skip(1 << 48)
+	if got := a.Next(); got != PID(1<<48)+1 {
+		t.Fatalf("first PID after Skip = %v, want %v", got, PID(1<<48)+1)
+	}
+	a.Skip(10) // backwards: no-op
+	if got := a.Next(); got != PID(1<<48)+2 {
+		t.Fatalf("Skip moved allocator backwards: next = %v", got)
+	}
+}
+
+func TestPIDAllocatorSkipConcurrent(t *testing.T) {
+	var a PIDAllocator
+	const base = 1 << 20
+	var wg sync.WaitGroup
+	issued := make([][]PID, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a.Skip(base)
+			for i := 0; i < 100; i++ {
+				issued[g] = append(issued[g], a.Next())
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[PID]bool{}
+	for _, pids := range issued {
+		for _, p := range pids {
+			if p <= base {
+				t.Fatalf("PID %v issued at or below base %d", p, base)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate PID %v", p)
+			}
+			seen[p] = true
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKindStringRoundTrip pins String ⇄ KindFromString as exact inverses
+// over every kind, and GoString to the Go constant names — the wire
+// codec and trace tooling both rely on these names being stable.
+func TestKindStringRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate String %q", s)
+		}
+		seen[s] = true
+		back, ok := KindFromString(s)
+		if !ok || back != k {
+			t.Errorf("KindFromString(%q) = %v,%v; want %v", s, back, ok, k)
+		}
+		want := "msg.Kind" + s
+		if gs := k.GoString(); gs != want {
+			t.Errorf("GoString(%v) = %q, want %q", k, gs, want)
+		}
+		if fmt.Sprintf("%#v", k) != want {
+			t.Errorf("%%#v of %v = %q, want %q", k, fmt.Sprintf("%#v", k), want)
+		}
+	}
+	if len(seen) != len(Kinds) {
+		t.Fatalf("expected %d distinct kinds, got %d", len(Kinds), len(seen))
+	}
+}
+
+func TestKindFromStringRejects(t *testing.T) {
+	for _, s := range []string{"", "guess", "Kind(3)", "Dataa"} {
+		if k, ok := KindFromString(s); ok {
+			t.Errorf("KindFromString(%q) accepted as %v", s, k)
+		}
+	}
+	if got := Kind(99).GoString(); got != "msg.Kind(99)" {
+		t.Errorf("invalid-kind GoString = %q", got)
+	}
+}

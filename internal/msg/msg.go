@@ -60,6 +60,35 @@ const (
 	KindRevive
 )
 
+// Kinds lists every message kind, in wire order. Codec and trace tests
+// range over it so a newly added kind cannot be forgotten.
+var Kinds = []Kind{
+	KindGuess, KindAffirm, KindDeny, KindReplace, KindRollback,
+	KindRetract, KindData, KindProbe, KindCutProbe, KindCutAck, KindRevive,
+}
+
+// Valid reports whether k is a defined message kind.
+func (k Kind) Valid() bool { return k >= KindGuess && k <= KindRevive }
+
+// KindFromString parses the String form of a kind ("Guess", "Affirm",
+// ...). It is the inverse of Kind.String for all valid kinds.
+func KindFromString(s string) (Kind, bool) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// GoString implements fmt.GoStringer, rendering the Go constant name.
+func (k Kind) GoString() string {
+	if k.Valid() {
+		return "msg.Kind" + k.String()
+	}
+	return fmt.Sprintf("msg.Kind(%d)", int(k))
+}
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {

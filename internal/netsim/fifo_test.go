@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+// TestPerPairFIFOProperty is the transport invariant HOPE assumes of the
+// PVM network layer (and that internal/wire must also uphold): messages
+// between one (sender, receiver) pair are delivered in send order, under
+// concurrent senders and randomized latency models that would otherwise
+// happily reorder them.
+func TestPerPairFIFOProperty(t *testing.T) {
+	models := map[string]LatencyModel{
+		"zero":      Zero,
+		"constant":  Constant(200 * time.Microsecond),
+		"uniform":   NewUniform(0, 2*time.Millisecond, 42),
+		"lognormal": NewLogNormal(300*time.Microsecond, 1.5, 43),
+		"asymmetric": Asymmetric{
+			Base:  NewUniform(0, time.Millisecond, 44),
+			Extra: 100 * time.Microsecond,
+		},
+	}
+	for name, model := range models {
+		model := model
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			n := New(model)
+			defer n.Close()
+
+			const senders, receivers, perPair = 6, 3, 120
+			type rx struct {
+				from ids.PID
+				n    int
+			}
+			got := make([][]rx, receivers)
+			var mu sync.Mutex
+			for r := 0; r < receivers; r++ {
+				r := r
+				n.Register(ids.PID(100+r), func(m *msg.Message) {
+					mu.Lock()
+					got[r] = append(got[r], rx{from: m.From, n: m.Payload.(int)})
+					mu.Unlock()
+				})
+			}
+
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					from := ids.PID(s + 1)
+					for i := 0; i < perPair; i++ {
+						to := ids.PID(100 + i%receivers)
+						n.Send(&msg.Message{Kind: msg.KindData, From: from, To: to, Payload: i})
+					}
+				}(s)
+			}
+			wg.Wait()
+			n.Drain()
+
+			mu.Lock()
+			defer mu.Unlock()
+			total := 0
+			next := map[[2]ids.PID]int{}
+			for r := 0; r < receivers; r++ {
+				to := ids.PID(100 + r)
+				for _, m := range got[r] {
+					key := [2]ids.PID{m.from, to}
+					// Sender s sends payload i to receiver i%receivers, so
+					// pair (s, r) must observe r, r+receivers, r+2·receivers…
+					want, started := next[key]
+					if !started {
+						want = r
+					}
+					if m.n != want {
+						t.Fatalf("pair %v->%v: got %d, want %d (reordered)", m.from, to, m.n, want)
+					}
+					next[key] = m.n + receivers
+					total++
+				}
+			}
+			if total != senders*perPair {
+				t.Fatalf("delivered %d, want %d (lost messages)", total, senders*perPair)
+			}
+		})
+	}
+}

@@ -10,21 +10,20 @@
 package netsim
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/transport"
 )
 
 // Handler consumes a delivered message. Handlers must be quick and
 // non-blocking (typically a mailbox enqueue); they may be invoked from the
 // sender's goroutine (zero latency) or a timer goroutine (with latency).
-type Handler func(*msg.Message)
+type Handler = transport.Handler
 
 // LatencyModel computes the one-way delay for a message between two
 // processes. Implementations must be safe for concurrent use.
@@ -191,38 +190,14 @@ func (o *Override) Delay(from, to ids.PID) time.Duration {
 	return o.Base.Delay(from, to)
 }
 
-// Stats holds cumulative message counts by kind.
-type Stats struct {
-	Guess    uint64
-	Affirm   uint64
-	Deny     uint64
-	Replace  uint64
-	Rollback uint64
-	Retract  uint64
-	Data     uint64
-	Probe    uint64 // engine-internal GC probes
-	Dead     uint64 // delivered to an unregistered PID
-}
+// Stats holds cumulative message counts by kind. It is the shared
+// transport.Stats type; netsim keeps the alias for its historical name.
+type Stats = transport.Stats
 
-// Total returns the number of delivered protocol messages (excluding
-// dead letters and GC probes).
-func (s Stats) Total() uint64 {
-	return s.Guess + s.Affirm + s.Deny + s.Replace + s.Rollback + s.Retract + s.Data
-}
-
-// Control returns the number of HOPE bookkeeping messages (everything
-// except Data).
-func (s Stats) Control() uint64 { return s.Total() - s.Data }
-
-// String implements fmt.Stringer.
-func (s Stats) String() string {
-	return fmt.Sprintf("guess=%d affirm=%d deny=%d replace=%d rollback=%d retract=%d data=%d dead=%d",
-		s.Guess, s.Affirm, s.Deny, s.Replace, s.Rollback, s.Retract, s.Data, s.Dead)
-}
-
-// Net is the transport. It routes messages to registered per-PID handlers
-// after the latency model's delay, preserving per-(sender,receiver) FIFO
-// order. The zero value is not usable; construct with New.
+// Net is the simulated transport, implementing transport.Transport. It
+// routes messages to registered per-PID handlers after the latency
+// model's delay, preserving per-(sender,receiver) FIFO order. The zero
+// value is not usable; construct with New.
 type Net struct {
 	latency LatencyModel
 
@@ -233,8 +208,10 @@ type Net struct {
 	closed   bool
 	inflight int // accepted but not yet delivered messages
 
-	counts [16]atomic.Uint64 // indexed by msg.Kind; 0 = dead letters
+	counts transport.Counters // indexed by msg.Kind; 0 = dead letters
 }
+
+var _ transport.Transport = (*Net)(nil)
 
 type pairKey struct {
 	from, to ids.PID
@@ -356,10 +333,10 @@ func (n *Net) deliver(m *msg.Message) {
 	h := n.handlers[m.To]
 	n.mu.Unlock()
 	if h == nil {
-		n.counts[0].Add(1)
+		n.counts.Observe(0)
 		return
 	}
-	n.counts[int(m.Kind)].Add(1)
+	n.counts.Observe(m.Kind)
 	h(m)
 }
 
@@ -392,16 +369,4 @@ func (n *Net) Close() {
 }
 
 // Stats returns a snapshot of the cumulative delivery counters.
-func (n *Net) Stats() Stats {
-	return Stats{
-		Dead:     n.counts[0].Load(),
-		Guess:    n.counts[int(msg.KindGuess)].Load(),
-		Affirm:   n.counts[int(msg.KindAffirm)].Load(),
-		Deny:     n.counts[int(msg.KindDeny)].Load(),
-		Replace:  n.counts[int(msg.KindReplace)].Load(),
-		Rollback: n.counts[int(msg.KindRollback)].Load(),
-		Retract:  n.counts[int(msg.KindRetract)].Load(),
-		Data:     n.counts[int(msg.KindData)].Load(),
-		Probe:    n.counts[int(msg.KindProbe)].Load(),
-	}
-}
+func (n *Net) Stats() Stats { return n.counts.Snapshot() }

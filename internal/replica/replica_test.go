@@ -18,7 +18,7 @@ const settleTimeout = 20 * time.Second
 func deploy(t *testing.T, local, remote time.Duration) (*core.Engine, Client, *netsim.Sites) {
 	t.Helper()
 	sites := netsim.NewSites(local, remote)
-	eng := core.NewEngine(core.Config{Latency: sites})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(sites)})
 	t.Cleanup(eng.Shutdown)
 
 	backup, err := eng.SpawnRoot(Backup())
@@ -117,7 +117,7 @@ func TestOptimisticReadStale(t *testing.T) {
 	)
 	sites := netsim.NewSites(local, remote)
 	lagged := netsim.NewOverride(sites)
-	eng := core.NewEngine(core.Config{Latency: lagged})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(lagged)})
 	t.Cleanup(eng.Shutdown)
 
 	backup, err := eng.SpawnRoot(Backup())

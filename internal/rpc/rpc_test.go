@@ -14,7 +14,7 @@ const settleTimeout = 10 * time.Second
 
 func newEngine(t *testing.T, latency netsim.LatencyModel) *core.Engine {
 	t.Helper()
-	eng := core.NewEngine(core.Config{Latency: latency})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(latency)})
 	t.Cleanup(eng.Shutdown)
 	return eng
 }

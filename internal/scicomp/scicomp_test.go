@@ -13,10 +13,12 @@ import (
 // the documented residual commit race (DESIGN.md §4.9: premature commit
 // through a retracted chain, ~1/1000 under adversarial interleaving).
 // Two consecutive stalls would indicate a regression and fail the test.
-func runWithRetry(t *testing.T, cfg Config, latency core.Config) ([][]float64, int) {
+// Each attempt builds a fresh core.Config: the engine owns and closes
+// its transport on Shutdown, so one cannot be reused across runs.
+func runWithRetry(t *testing.T, cfg Config, mkLatency func() core.Config) ([][]float64, int) {
 	t.Helper()
 	for attempt := 0; ; attempt++ {
-		got, rollbacks, _, err := Run(cfg, latency)
+		got, rollbacks, _, err := Run(cfg, mkLatency())
 		if err == nil {
 			return got, rollbacks
 		}
@@ -64,7 +66,9 @@ func TestExactToleranceMatchesSequential(t *testing.T) {
 		{"jitter", netsim.NewUniform(0, 200*time.Microsecond, 11)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			got, rollbacks := runWithRetry(t, cfg, core.Config{Latency: tc.latency})
+			got, rollbacks := runWithRetry(t, cfg, func() core.Config {
+				return core.Config{Transport: netsim.New(tc.latency)}
+			})
 			if e := MaxError(got, want); e != 0 {
 				t.Fatalf("max error %v, want exact match (rollbacks=%d)", e, rollbacks)
 			}
@@ -79,7 +83,9 @@ func TestBoundedStaleness(t *testing.T) {
 	cfg := Config{Workers: 3, CellsPerWorker: 6, Iterations: 15, Tolerance: 0.05, Window: 4}
 	want := Sequential(cfg)
 
-	got, _ := runWithRetry(t, cfg, core.Config{Latency: netsim.Constant(100 * time.Microsecond)})
+	got, _ := runWithRetry(t, cfg, func() core.Config {
+		return core.Config{Transport: netsim.New(netsim.Constant(100 * time.Microsecond))}
+	})
 	// Per-step boundary error ≤ tol; the relaxation operator is a
 	// contraction, so the accumulated error is at most tol × iterations.
 	bound := cfg.Tolerance * float64(cfg.Iterations)
@@ -93,7 +99,9 @@ func TestBoundedStaleness(t *testing.T) {
 func TestLoosePredictionsRollBack(t *testing.T) {
 	cfg := Config{Workers: 4, CellsPerWorker: 5, Iterations: 10, Tolerance: 0, Window: 2}
 	want := Sequential(cfg)
-	got, rollbacks := runWithRetry(t, cfg, core.Config{Latency: netsim.Constant(200 * time.Microsecond)})
+	got, rollbacks := runWithRetry(t, cfg, func() core.Config {
+		return core.Config{Transport: netsim.New(netsim.Constant(200 * time.Microsecond))}
+	})
 	if e := MaxError(got, want); e != 0 {
 		t.Fatalf("max error %v", e)
 	}

@@ -32,7 +32,7 @@ func TestSoakResidualCommitRace(t *testing.T) {
 		case 2:
 			latency = netsim.NewUniform(0, 200*time.Microsecond, int64(round))
 		}
-		eng := core.NewEngine(core.Config{Latency: latency})
+		eng := core.NewEngine(core.Config{Transport: netsim.New(latency)})
 		cluster, err := NewCluster(eng, cfg)
 		if err != nil {
 			t.Fatal(err)

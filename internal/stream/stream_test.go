@@ -33,7 +33,7 @@ func (r *resultCell) get() (int, bool) {
 
 func runChain(t *testing.T, depth int, mispredict func(int) bool, optimistic bool, latency time.Duration) (int, core.Status, time.Duration) {
 	t.Helper()
-	eng := core.NewEngine(core.Config{Latency: netsim.Constant(latency)})
+	eng := core.NewEngine(core.Config{Transport: netsim.New(netsim.Constant(latency))})
 	t.Cleanup(eng.Shutdown)
 
 	step := func(v int) int { return v*3 + 1 }

@@ -34,6 +34,9 @@ const (
 	Violation
 	// Info records free-form runtime detail.
 	Info
+	// Transport records transport-level events — connections established
+	// or lost, reconnect attempts, resent frames (internal/wire).
+	Transport
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +58,8 @@ func (k Kind) String() string {
 		return "violation"
 	case Info:
 		return "info"
+	case Transport:
+		return "transport"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

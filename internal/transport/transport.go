@@ -1,0 +1,176 @@
+// Package transport defines the interface between the HOPE runtime and
+// whatever carries its messages. The engine (internal/core) and the
+// virtual process machine (internal/vpm) speak only to this interface;
+// internal/netsim implements it with an in-process simulated network and
+// internal/wire implements it with real TCP connections between OS
+// processes.
+//
+// Every implementation must provide the two properties HOPE's Algorithm 2
+// assumes of the PVM network layer (paper §5, DESIGN.md §2):
+//
+//   - reliable delivery: an accepted message is eventually delivered to
+//     the destination's handler (or counted as a dead letter if no
+//     handler is registered);
+//   - per-pair FIFO: messages from one sender PID to one receiver PID are
+//     delivered in send order.
+//
+// Nothing is assumed about ordering across pairs, and delivery may happen
+// on any goroutine — handlers must be quick and non-blocking (typically a
+// mailbox enqueue).
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+// Handler consumes a delivered message. Handlers may be invoked from the
+// sender's goroutine (synchronous implementations), a timer goroutine
+// (simulated latency), or a socket read loop (wire transport).
+type Handler func(*msg.Message)
+
+// Transport routes messages to registered per-PID handlers.
+type Transport interface {
+	// Register installs the delivery handler for pid, replacing any
+	// previous handler.
+	Register(pid ids.PID, h Handler)
+	// Unregister removes pid's handler; subsequent deliveries to pid
+	// become dead letters (counted, dropped).
+	Unregister(pid ids.PID)
+	// Send enqueues m for asynchronous delivery. Send never blocks on the
+	// receiver; sends on a closed transport are dropped.
+	Send(m *msg.Message)
+	// Inflight returns the number of accepted-but-undelivered messages
+	// this transport instance knows about. For a distributed transport
+	// this covers the local side only (queued and unacknowledged sends);
+	// messages still inside a remote peer are invisible.
+	Inflight() int
+	// Drain blocks until Inflight reaches zero.
+	Drain()
+	// Close stops accepting new sends and releases transport resources.
+	Close()
+	// Stats returns a snapshot of cumulative delivery counters.
+	Stats() Stats
+}
+
+// Stats holds cumulative delivered-message counts by kind.
+type Stats struct {
+	Guess    uint64
+	Affirm   uint64
+	Deny     uint64
+	Replace  uint64
+	Rollback uint64
+	Retract  uint64
+	Data     uint64
+	Probe    uint64 // engine-internal GC probes
+	Dead     uint64 // delivered to an unregistered PID
+}
+
+// Total returns the number of delivered protocol messages (excluding
+// dead letters and GC probes).
+func (s Stats) Total() uint64 {
+	return s.Guess + s.Affirm + s.Deny + s.Replace + s.Rollback + s.Retract + s.Data
+}
+
+// Control returns the number of HOPE bookkeeping messages (everything
+// except Data).
+func (s Stats) Control() uint64 { return s.Total() - s.Data }
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("guess=%d affirm=%d deny=%d replace=%d rollback=%d retract=%d data=%d dead=%d",
+		s.Guess, s.Affirm, s.Deny, s.Replace, s.Rollback, s.Retract, s.Data, s.Dead)
+}
+
+// Counters is the shared per-kind delivery counter block used by
+// implementations; index 0 counts dead letters.
+type Counters [16]atomic.Uint64
+
+// Observe counts one delivered message of kind k (0 = dead letter).
+func (c *Counters) Observe(k msg.Kind) { c[int(k)].Add(1) }
+
+// Snapshot converts the counters into a Stats value.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Dead:     c[0].Load(),
+		Guess:    c[int(msg.KindGuess)].Load(),
+		Affirm:   c[int(msg.KindAffirm)].Load(),
+		Deny:     c[int(msg.KindDeny)].Load(),
+		Replace:  c[int(msg.KindReplace)].Load(),
+		Rollback: c[int(msg.KindRollback)].Load(),
+		Retract:  c[int(msg.KindRetract)].Load(),
+		Data:     c[int(msg.KindData)].Load(),
+		Probe:    c[int(msg.KindProbe)].Load(),
+	}
+}
+
+// Local is the trivial in-process transport: synchronous delivery in the
+// sender's goroutine, no latency, no loss. It is the engine's default and
+// is equivalent to netsim with the Zero latency model. The zero value is
+// not usable; construct with NewLocal.
+type Local struct {
+	mu       sync.RWMutex
+	handlers map[ids.PID]Handler
+	closed   bool
+
+	counts Counters
+}
+
+// NewLocal constructs a Local transport.
+func NewLocal() *Local {
+	return &Local{handlers: make(map[ids.PID]Handler)}
+}
+
+// Register implements Transport.
+func (l *Local) Register(pid ids.PID, h Handler) {
+	l.mu.Lock()
+	l.handlers[pid] = h
+	l.mu.Unlock()
+}
+
+// Unregister implements Transport.
+func (l *Local) Unregister(pid ids.PID) {
+	l.mu.Lock()
+	delete(l.handlers, pid)
+	l.mu.Unlock()
+}
+
+// Send implements Transport: the handler runs before Send returns.
+func (l *Local) Send(m *msg.Message) {
+	l.mu.RLock()
+	h := l.handlers[m.To]
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed {
+		return
+	}
+	if h == nil {
+		l.counts.Observe(0)
+		return
+	}
+	l.counts.Observe(m.Kind)
+	h(m)
+}
+
+// Inflight implements Transport; synchronous delivery means nothing is
+// ever in flight.
+func (l *Local) Inflight() int { return 0 }
+
+// Drain implements Transport (a no-op for synchronous delivery).
+func (l *Local) Drain() {}
+
+// Close implements Transport.
+func (l *Local) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+}
+
+// Stats implements Transport.
+func (l *Local) Stats() Stats { return l.counts.Snapshot() }
+
+var _ Transport = (*Local)(nil)

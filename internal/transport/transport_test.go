@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+func TestLocalDelivery(t *testing.T) {
+	l := NewLocal()
+	defer l.Close()
+	var got []*msg.Message
+	l.Register(1, func(m *msg.Message) { got = append(got, m) })
+
+	l.Send(&msg.Message{Kind: msg.KindData, From: 2, To: 1, Payload: "hi"})
+	if len(got) != 1 || got[0].Payload != "hi" {
+		t.Fatalf("synchronous delivery failed: %v", got)
+	}
+	l.Send(&msg.Message{Kind: msg.KindGuess, From: 2, To: 9, AID: 9}) // no handler
+	st := l.Stats()
+	if st.Data != 1 || st.Dead != 1 {
+		t.Fatalf("stats = %v, want data=1 dead=1", st)
+	}
+	l.Unregister(1)
+	l.Send(&msg.Message{Kind: msg.KindData, From: 2, To: 1})
+	if l.Stats().Dead != 2 {
+		t.Fatal("unregistered PID should dead-letter")
+	}
+	if l.Inflight() != 0 {
+		t.Fatal("Local transport can never have in-flight messages")
+	}
+	l.Drain() // must not block
+
+	l.Close()
+	l.Send(&msg.Message{Kind: msg.KindData, From: 2, To: 1})
+	if len(got) != 1 {
+		t.Fatal("send on closed transport delivered")
+	}
+}
+
+func TestStatsAggregates(t *testing.T) {
+	var c Counters
+	for _, k := range msg.Kinds {
+		c.Observe(k)
+	}
+	c.Observe(0) // dead letter
+	st := c.Snapshot()
+	if st.Total() != 7 { // Guess..Retract + Data; probes and cut traffic excluded
+		t.Fatalf("Total = %d, want 7 (%v)", st.Total(), st)
+	}
+	if st.Control() != 6 {
+		t.Fatalf("Control = %d, want 6", st.Control())
+	}
+	if st.Dead != 1 || st.Probe != 1 {
+		t.Fatalf("dead/probe miscounted: %v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -14,7 +14,7 @@ import (
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/mailbox"
 	"github.com/hope-dist/hope/internal/msg"
-	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/transport"
 )
 
 // Body is a process body. It runs in its own goroutine and should return
@@ -24,7 +24,7 @@ type Body func(p *Proc)
 
 // Machine hosts a set of processes over one transport.
 type Machine struct {
-	net   *netsim.Net
+	net   transport.Transport
 	alloc ids.PIDAllocator
 
 	// OnPanic, when set before any Spawn, observes panics escaping
@@ -40,9 +40,11 @@ type Machine struct {
 	wg sync.WaitGroup
 }
 
-// New creates a machine over the given transport. The transport must not
-// be shared with another machine.
-func New(net *netsim.Net) *Machine {
+// New creates a machine over the given transport. A simulated transport
+// must not be shared with another machine; a distributed transport
+// (internal/wire) is shared with remote machines by design, one machine
+// per node.
+func New(net transport.Transport) *Machine {
 	return &Machine{
 		net:   net,
 		procs: make(map[ids.PID]*Proc),
@@ -50,7 +52,13 @@ func New(net *netsim.Net) *Machine {
 }
 
 // Net returns the machine's transport (for statistics and draining).
-func (m *Machine) Net() *netsim.Net { return m.net }
+func (m *Machine) Net() transport.Transport { return m.net }
+
+// SkipPIDs advances the PID allocator so every PID this machine issues is
+// greater than base. Distributed deployments give each node a disjoint
+// PID namespace this way (see internal/wire), so a PID identifies its
+// owning node.
+func (m *Machine) SkipPIDs(base ids.PID) { m.alloc.Skip(base) }
 
 // Proc is a process handle: a PID plus its mailbox.
 type Proc struct {

@@ -1,0 +1,267 @@
+// Package wire is the real-network transport for HOPE: it carries the
+// full message vocabulary of the paper's Table 1 (plus the executable
+// extensions — Retract, Data, and the cycle-cut probes) over persistent
+// TCP connections between OS processes, while preserving the two
+// properties Algorithm 2 assumes of the PVM network layer: reliable
+// delivery and per-pair FIFO ordering. See DESIGN.md § Transport.
+//
+// A deployment is a set of Nodes, one per OS process. Every node owns a
+// disjoint PID namespace (PIDBase/NodeOf), so a PID is enough to route a
+// message to its owning node; the engine stays unaware that some PIDs
+// are remote.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+// codecVersion is the first byte of every encoded message; bump it when
+// the layout changes so mixed-version deployments fail loudly instead of
+// misparsing.
+const codecVersion = 1
+
+// Decode hard limits: a malformed or hostile length prefix must not make
+// the decoder allocate unbounded memory.
+const (
+	maxSetLen     = 1 << 20 // elements per IDO/Tag set
+	maxPayloadLen = 1 << 24 // bytes of encoded payload
+)
+
+// payloadEnvelope wraps a Data payload so gob can encode the interface
+// value (gob requires a struct around an `any` field).
+type payloadEnvelope struct {
+	V any
+}
+
+// RegisterPayload makes a concrete payload type transmissible inside
+// Data messages. It must be called (on both ends, with the same types)
+// before a message carrying that type is encoded or decoded; it wraps
+// gob.Register, so registration is global and idempotent.
+func RegisterPayload(v any) { gob.Register(v) }
+
+func init() {
+	// The scalar payloads used throughout the runtime and tests.
+	RegisterPayload(int(0))
+	RegisterPayload(int64(0))
+	RegisterPayload(uint64(0))
+	RegisterPayload(float64(0))
+	RegisterPayload(string(""))
+	RegisterPayload(bool(false))
+	RegisterPayload([]byte(nil))
+}
+
+// EncodeMessage renders m in the length-free binary wire layout:
+//
+//	version  uint8
+//	kind     uint8
+//	from,to  uvarint
+//	iid      proc uvarint, seq uvarint, epoch uvarint
+//	aid      uvarint
+//	ido      count uvarint, then count uvarints
+//	tag      count uvarint, then count uvarints
+//	payload  0x00 (absent) | 0x01 + len uvarint + gob(payloadEnvelope)
+//
+// Framing (the length prefix) is the connection's concern, not the
+// codec's. Encoding fails only if the payload's concrete type was never
+// RegisterPayload'ed.
+func EncodeMessage(m *msg.Message) ([]byte, error) {
+	return AppendMessage(make([]byte, 0, 64), m)
+}
+
+// AppendMessage appends m's encoding to buf and returns the result.
+func AppendMessage(buf []byte, m *msg.Message) ([]byte, error) {
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("wire: encode: invalid kind %d", int(m.Kind))
+	}
+	buf = append(buf, codecVersion, byte(m.Kind))
+	buf = binary.AppendUvarint(buf, uint64(m.From))
+	buf = binary.AppendUvarint(buf, uint64(m.To))
+	buf = binary.AppendUvarint(buf, uint64(m.IID.Proc))
+	buf = binary.AppendUvarint(buf, uint64(m.IID.Seq))
+	buf = binary.AppendUvarint(buf, uint64(m.IID.Epoch))
+	buf = binary.AppendUvarint(buf, uint64(m.AID))
+	buf, err := appendAIDSet(buf, m.IDO)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = appendAIDSet(buf, m.Tag)
+	if err != nil {
+		return nil, err
+	}
+	if m.Payload == nil {
+		return append(buf, 0), nil
+	}
+	var pb bytes.Buffer
+	if err := gob.NewEncoder(&pb).Encode(payloadEnvelope{V: m.Payload}); err != nil {
+		return nil, fmt.Errorf("wire: encode payload %T: %w", m.Payload, err)
+	}
+	if pb.Len() > maxPayloadLen {
+		return nil, fmt.Errorf("wire: encode: payload %d bytes exceeds limit %d", pb.Len(), maxPayloadLen)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(pb.Len()))
+	return append(buf, pb.Bytes()...), nil
+}
+
+func appendAIDSet(buf []byte, set []ids.AID) ([]byte, error) {
+	if len(set) > maxSetLen {
+		return nil, fmt.Errorf("wire: encode: AID set of %d exceeds limit %d", len(set), maxSetLen)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(set)))
+	for _, a := range set {
+		buf = binary.AppendUvarint(buf, uint64(a))
+	}
+	return buf, nil
+}
+
+// DecodeMessage parses one encoded message. The input must contain
+// exactly one message: trailing bytes are an error, as each transport
+// frame carries a single message. Decoding never panics on malformed
+// input and never allocates more than the declared limits.
+func DecodeMessage(data []byte) (*msg.Message, error) {
+	d := decoder{buf: data}
+	ver, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("wire: decode: codec version %d, want %d", ver, codecVersion)
+	}
+	kindB, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	m := &msg.Message{Kind: msg.Kind(kindB)}
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("wire: decode: invalid kind %d", kindB)
+	}
+	from, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	to, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.From, m.To = ids.PID(from), ids.PID(to)
+	proc, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if seq > 0xFFFFFFFF {
+		return nil, fmt.Errorf("wire: decode: interval seq %d overflows uint32", seq)
+	}
+	epoch, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if epoch > 0xFFFFFFFF {
+		return nil, fmt.Errorf("wire: decode: interval epoch %d overflows uint32", epoch)
+	}
+	m.IID = ids.IntervalID{Proc: ids.PID(proc), Seq: uint32(seq), Epoch: uint32(epoch)}
+	aidV, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.AID = ids.AID(aidV)
+	if m.IDO, err = d.aidSet(); err != nil {
+		return nil, err
+	}
+	if m.Tag, err = d.aidSet(); err != nil {
+		return nil, err
+	}
+	flag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		plen, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if plen > maxPayloadLen {
+			return nil, fmt.Errorf("wire: decode: payload %d bytes exceeds limit %d", plen, maxPayloadLen)
+		}
+		pb, err := d.take(int(plen))
+		if err != nil {
+			return nil, err
+		}
+		var env payloadEnvelope
+		if err := gob.NewDecoder(bytes.NewReader(pb)).Decode(&env); err != nil {
+			return nil, fmt.Errorf("wire: decode payload: %w", err)
+		}
+		m.Payload = env.V
+	default:
+		return nil, fmt.Errorf("wire: decode: bad payload flag %d", flag)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: decode: %d trailing bytes", len(d.buf))
+	}
+	return m, nil
+}
+
+// decoder is a bounds-checked cursor over an encoded message.
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) byte() (byte, error) {
+	if len(d.buf) == 0 {
+		return 0, fmt.Errorf("wire: decode: truncated")
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: decode: bad uvarint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || n > len(d.buf) {
+		return nil, fmt.Errorf("wire: decode: truncated (%d of %d bytes)", len(d.buf), n)
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+func (d *decoder) aidSet() ([]ids.AID, error) {
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if count > maxSetLen {
+		return nil, fmt.Errorf("wire: decode: AID set of %d exceeds limit %d", count, maxSetLen)
+	}
+	set := make([]ids.AID, count)
+	for i := range set {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		set[i] = ids.AID(v)
+	}
+	return set, nil
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+// sampleMessages returns round-trip inputs covering every kind with
+// every field shape the runtime produces: empty and large IDO/Tag sets,
+// nil and typed payloads, zero and maximal identifiers.
+func sampleMessages() []*msg.Message {
+	bigSet := make([]ids.AID, 4096)
+	for i := range bigSet {
+		bigSet[i] = ids.AID(i*i + 1)
+	}
+	iid := ids.IntervalID{Proc: 3, Seq: 17, Epoch: 4}
+	var out []*msg.Message
+	for _, k := range msg.Kinds {
+		out = append(out,
+			&msg.Message{Kind: k, From: 1, To: 2},
+			&msg.Message{Kind: k, From: 7, To: 9, IID: iid, AID: 12},
+			&msg.Message{Kind: k, From: 7, To: 9, IID: iid, AID: 12, IDO: []ids.AID{5}},
+			&msg.Message{Kind: k, From: 7, To: 9, IID: iid, AID: 12, IDO: bigSet, Tag: bigSet[:100]},
+			&msg.Message{
+				Kind: k,
+				From: ids.PID(1<<63 + 12345),
+				To:   ids.PID(1<<48 + 1),
+				IID:  ids.IntervalID{Proc: 1<<48 + 1, Seq: 0xFFFFFFFF, Epoch: 0xFFFFFFFF},
+				AID:  ids.AID(1<<52 + 9),
+			},
+		)
+	}
+	out = append(out,
+		&msg.Message{Kind: msg.KindData, From: 1, To: 2, Tag: []ids.AID{3, 4}, Payload: "hello"},
+		&msg.Message{Kind: msg.KindData, From: 1, To: 2, Payload: int(42)},
+		&msg.Message{Kind: msg.KindData, From: 1, To: 2, Payload: uint64(1) << 60},
+		&msg.Message{Kind: msg.KindData, From: 1, To: 2, Payload: float64(3.25)},
+		&msg.Message{Kind: msg.KindData, From: 1, To: 2, Payload: true},
+		&msg.Message{Kind: msg.KindData, From: 1, To: 2, Payload: []byte{0, 1, 2, 255}},
+	)
+	return out
+}
+
+// messagesEqual compares two messages treating nil and empty AID sets as
+// the same (the codec does not distinguish them).
+func messagesEqual(a, b *msg.Message) bool {
+	if a.Kind != b.Kind || a.From != b.From || a.To != b.To || a.IID != b.IID || a.AID != b.AID {
+		return false
+	}
+	setEq := func(x, y []ids.AID) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return setEq(a.IDO, b.IDO) && setEq(a.Tag, b.Tag) && reflect.DeepEqual(a.Payload, b.Payload)
+}
+
+func TestCodecRoundTripEveryKind(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %v: %v", m, err)
+		}
+		got, err := DecodeMessage(data)
+		if err != nil {
+			t.Fatalf("decode %v: %v", m, err)
+		}
+		if !messagesEqual(m, got) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", m, got)
+		}
+	}
+}
+
+func TestCodecRoundTripRPCPayloads(t *testing.T) {
+	type fakeReq struct {
+		Method string
+		Arg    int
+		Seq    int
+		CallID uint64
+	}
+	RegisterPayload(fakeReq{})
+	m := &msg.Message{
+		Kind: msg.KindData, From: 5, To: 6,
+		IID:     ids.IntervalID{Proc: 5, Seq: 1, Epoch: 1},
+		Tag:     []ids.AID{10, 11},
+		Payload: fakeReq{Method: "print", Arg: 3, Seq: 9, CallID: 77},
+	}
+	data, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeMessage(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !messagesEqual(m, got) {
+		t.Fatalf("struct payload mismatch: %#v vs %#v", m.Payload, got.Payload)
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	valid, err := EncodeMessage(&msg.Message{Kind: msg.KindGuess, From: 1, To: 2, AID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad version":    append([]byte{99}, valid[1:]...),
+		"bad kind":       {codecVersion, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0},
+		"truncated":      valid[:len(valid)-3],
+		"trailing bytes": append(append([]byte{}, valid...), 1, 2, 3),
+		"bad flag":       append(append([]byte{}, valid[:len(valid)-1]...), 7),
+	}
+	for name, data := range cases {
+		if _, err := DecodeMessage(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+	// Unencodable kind and oversized set must fail on the encode side.
+	if _, err := EncodeMessage(&msg.Message{Kind: msg.Kind(99)}); err == nil {
+		t.Error("encode accepted invalid kind")
+	}
+	huge := make([]ids.AID, maxSetLen+1)
+	if _, err := EncodeMessage(&msg.Message{Kind: msg.KindAffirm, From: 1, To: 2, IDO: huge}); err == nil {
+		t.Error("encode accepted oversized IDO set")
+	}
+	type unregistered struct{ X chan int }
+	if _, err := EncodeMessage(&msg.Message{Kind: msg.KindData, From: 1, To: 2, Payload: unregistered{}}); err == nil {
+		t.Error("encode accepted unencodable payload")
+	}
+}
+
+// TestKindTableClosed pins the codec's kind range to msg.Kinds: adding a
+// kind without extending the table (and the wire tests) must fail here.
+func TestKindTableClosed(t *testing.T) {
+	for _, k := range msg.Kinds {
+		if !k.Valid() {
+			t.Errorf("kind %d listed in msg.Kinds but not Valid", int(k))
+		}
+	}
+	if msg.Kind(0).Valid() || msg.Kind(len(msg.Kinds)+1).Valid() {
+		t.Error("Valid accepts kinds outside msg.Kinds")
+	}
+}

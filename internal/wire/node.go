@@ -1,0 +1,886 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+// PID namespacing: the top 16 bits of a PID name the node that allocated
+// it, so routing needs no directory — the PID is the address.
+const nodeShift = 48
+
+// MaxNodes is the number of distinct node IDs the PID namespace can hold.
+const MaxNodes = 1 << 16
+
+// PIDBase returns the exclusive lower bound of node's PID namespace.
+// Pass it to core.Config.PIDBase (or hope.WithPIDBase) on that node.
+func PIDBase(node int) ids.PID { return ids.PID(uint64(node) << nodeShift) }
+
+// NodeOf returns the ID of the node that owns pid.
+func NodeOf(pid ids.PID) int { return int(uint64(pid) >> nodeShift) }
+
+// Frame types on a wire connection. Connections are unidirectional for
+// message flow: the dialer sends hello + msg frames, the acceptor sends
+// helloAck + ack frames back on the same connection.
+const (
+	frameHello    = 1 // dialer → acceptor: version, sender node ID
+	frameHelloAck = 2 // acceptor → dialer: highest delivered seq (resume point)
+	frameMsg      = 3 // dialer → acceptor: seq + encoded message
+	frameAck      = 4 // acceptor → dialer: highest delivered seq
+)
+
+// maxFrame bounds a frame read so a corrupt length prefix cannot force a
+// huge allocation.
+const maxFrame = 1 << 26
+
+// Reconnect/ack tuning.
+const (
+	dialTimeout      = 5 * time.Second
+	handshakeTimeout = 10 * time.Second
+	backoffInitial   = 10 * time.Millisecond
+	backoffMax       = 2 * time.Second
+	ackEvery         = 32                    // ack at least every N delivered frames
+	ackFlushInterval = 20 * time.Millisecond // idle ack flush period
+)
+
+// NodeConfig parameterizes a Node.
+type NodeConfig struct {
+	// ID is this node's index in [0, MaxNodes). It determines the PID
+	// namespace the colocated engine must allocate from (PIDBase).
+	ID int
+	// Listen is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// port; see Node.Addr).
+	Listen string
+	// Peers statically maps node IDs to addresses. Entries may also be
+	// added later with SetPeer (e.g. once a peer's ephemeral port is
+	// known). The node's own entry is ignored.
+	Peers map[int]string
+	// Tracer receives trace.Transport events (nil = discard).
+	Tracer trace.Tracer
+}
+
+// Node is a TCP transport endpoint implementing transport.Transport.
+// Messages to PIDs registered locally are delivered synchronously;
+// messages to PIDs owned by other nodes are sequenced, framed, and
+// written over a persistent per-peer connection. Connection loss is
+// survived by reconnecting with exponential backoff and resending every
+// unacknowledged frame; the receiver discards duplicates by sequence
+// number, so each message is delivered exactly once and per-pair FIFO
+// order is preserved end to end.
+type Node struct {
+	id     int
+	tracer trace.Tracer
+	ln     net.Listener
+
+	mu       sync.Mutex
+	idle     *sync.Cond // signalled when inflight returns to zero
+	handlers map[ids.PID]transport.Handler
+	peers    map[int]*peer
+	inbound  map[int]*inbound
+	conns    map[net.Conn]struct{} // every live conn, for Drop/Close
+	closed   bool
+	inflight int // frames accepted for remote delivery, not yet acked
+
+	counts transport.Counters // delivered messages by kind; 0 = dead letters
+	sent   transport.Counters // messages accepted for sending by kind
+
+	bytesIn, bytesOut     atomic.Uint64
+	framesOut, framesIn   atomic.Uint64
+	resends, reconnects   atomic.Uint64
+	acksSent, acksRecv    atomic.Uint64
+	encodeErr, decodeErr  atomic.Uint64
+	duplicates, dialFails atomic.Uint64
+}
+
+var _ transport.Transport = (*Node)(nil)
+
+// WireStats is a snapshot of the transport-level counters (message
+// delivery counts by kind live in transport.Stats; see Node.Stats).
+type WireStats struct {
+	BytesIn, BytesOut   uint64
+	FramesIn, FramesOut uint64
+	Resends             uint64 // frames rewritten after a reconnect
+	Reconnects          uint64 // successful connection (re)establishments
+	AcksSent, AcksRecv  uint64
+	EncodeErrors        uint64
+	DecodeErrors        uint64
+	Duplicates          uint64 // frames discarded by the receiver's dedup
+	DialFailures        uint64
+}
+
+// String implements fmt.Stringer.
+func (s WireStats) String() string {
+	return fmt.Sprintf("in=%dB/%df out=%dB/%df resends=%d reconnects=%d acks=%d/%d dup=%d dialfail=%d",
+		s.BytesIn, s.FramesIn, s.BytesOut, s.FramesOut, s.Resends, s.Reconnects,
+		s.AcksSent, s.AcksRecv, s.Duplicates, s.DialFailures)
+}
+
+// inbound is the receive-side state for one remote sender node. It
+// persists across that sender's connections: delivered is the resume
+// point reported in helloAck, and the dedup bar for resent frames.
+type inbound struct {
+	mu        sync.Mutex
+	delivered uint64 // highest contiguous seq delivered
+	acked     uint64 // highest seq acked back to the sender
+}
+
+// outFrame is one sequenced, already-encoded message awaiting ack.
+type outFrame struct {
+	seq  uint64
+	data []byte
+}
+
+// peer is the send side toward one remote node: a resend queue of
+// unacknowledged frames plus the goroutine that dials, handshakes, and
+// pumps writes.
+type peer struct {
+	n  *Node
+	id int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	addr    string
+	queue   []outFrame // unacked frames, ascending seq
+	cursor  int        // index into queue of the next frame to write
+	nextSeq uint64
+	conn    net.Conn
+	gen     uint64 // connection generation, guards stale readers
+	closed  bool
+}
+
+// NewNode binds cfg.Listen and starts serving. The returned node is
+// ready to Register handlers and Send; outbound connections are dialed
+// lazily on first use and redialed forever (with backoff) on failure.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID < 0 || cfg.ID >= MaxNodes {
+		return nil, fmt.Errorf("wire: node ID %d out of range [0,%d)", cfg.ID, MaxNodes)
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", cfg.Listen, err)
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = trace.Nop
+	}
+	n := &Node{
+		id:       cfg.ID,
+		tracer:   tr,
+		ln:       ln,
+		handlers: make(map[ids.PID]transport.Handler),
+		peers:    make(map[int]*peer),
+		inbound:  make(map[int]*inbound),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	n.idle = sync.NewCond(&n.mu)
+	for id, addr := range cfg.Peers {
+		if id != cfg.ID {
+			n.SetPeer(id, addr)
+		}
+	}
+	go n.acceptLoop()
+	n.event("wire: node %d listening on %s", n.id, ln.Addr())
+	return n, nil
+}
+
+// ID returns this node's index.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the bound listen address (resolves ":0" to the real port).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetPeer maps a node ID to its address. Safe to call at any time; a
+// peer whose sends were queued before its address was known starts
+// dialing as soon as the address arrives.
+func (n *Node) SetPeer(id int, addr string) {
+	p := n.peer(id)
+	p.mu.Lock()
+	p.addr = addr
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// peer returns (creating if needed) the send-side state for node id.
+func (n *Node) peer(id int) *peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.peers[id]
+	if p == nil {
+		p = &peer{n: n, id: id}
+		p.cond = sync.NewCond(&p.mu)
+		n.peers[id] = p
+		go p.run()
+	}
+	return p
+}
+
+// event emits a trace.Transport event.
+func (n *Node) event(format string, args ...any) {
+	n.tracer.Emit(trace.Event{Kind: trace.Transport, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Register implements transport.Transport.
+func (n *Node) Register(pid ids.PID, h transport.Handler) {
+	n.mu.Lock()
+	n.handlers[pid] = h
+	n.mu.Unlock()
+}
+
+// Unregister implements transport.Transport.
+func (n *Node) Unregister(pid ids.PID) {
+	n.mu.Lock()
+	delete(n.handlers, pid)
+	n.mu.Unlock()
+}
+
+// Send implements transport.Transport. Local destinations are delivered
+// synchronously (the engine's default zero-latency semantics); remote
+// destinations are encoded once, sequenced, and queued on the owning
+// peer's resend queue. Send never blocks on the network.
+func (n *Node) Send(m *msg.Message) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	h := n.handlers[m.To]
+	n.mu.Unlock()
+
+	if h != nil {
+		n.sent.Observe(m.Kind)
+		n.counts.Observe(m.Kind)
+		h(m)
+		return
+	}
+	if !m.To.Valid() {
+		n.counts.Observe(0)
+		return
+	}
+	owner := NodeOf(m.To)
+	if owner == n.id {
+		// Locally owned PID with no handler: dead letter, like netsim.
+		n.sent.Observe(m.Kind)
+		n.counts.Observe(0)
+		return
+	}
+
+	data, err := EncodeMessage(m)
+	if err != nil {
+		n.encodeErr.Add(1)
+		n.event("wire: node %d dropped unencodable %s to node %d: %v", n.id, m.Kind, owner, err)
+		return
+	}
+	n.sent.Observe(m.Kind)
+	p := n.peer(owner)
+
+	n.mu.Lock()
+	n.inflight++
+	n.mu.Unlock()
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		n.retire(1)
+		return
+	}
+	p.nextSeq++
+	p.queue = append(p.queue, outFrame{seq: p.nextSeq, data: data})
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// retire retires k in-flight frames, waking Drain when none remain.
+func (n *Node) retire(k int) {
+	if k == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.inflight -= k
+	if n.inflight == 0 {
+		n.idle.Broadcast()
+	}
+	n.mu.Unlock()
+}
+
+// Inflight implements transport.Transport: frames accepted for remote
+// delivery and not yet acknowledged by their peer. (Messages queued
+// inside remote nodes are not visible; distributed quiescence is an
+// application-level property.)
+func (n *Node) Inflight() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inflight
+}
+
+// Drain implements transport.Transport: it blocks until every frame
+// accepted so far has been acknowledged by its destination node.
+func (n *Node) Drain() {
+	n.mu.Lock()
+	for n.inflight > 0 {
+		n.idle.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// Close implements transport.Transport: it stops the listener, closes
+// every connection, stops every peer goroutine, and discards any frames
+// still queued (counting them out of Inflight so Drain cannot hang).
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	n.ln.Close()
+	dropped := 0
+	for _, p := range peers {
+		p.mu.Lock()
+		p.closed = true
+		dropped += len(p.queue)
+		p.queue = nil
+		p.cursor = 0
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.retire(dropped)
+	n.event("wire: node %d closed (%d undelivered frames dropped)", n.id, dropped)
+}
+
+// DropConnections forcibly closes every live connection (inbound and
+// outbound) without closing the node. Peers reconnect with backoff and
+// resend unacknowledged frames; no message is lost or reordered. Tests
+// and chaos drills use it to exercise the reconnect path.
+func (n *Node) DropConnections() int {
+	n.mu.Lock()
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.event("wire: node %d force-dropped %d connections", n.id, len(conns))
+	return len(conns)
+}
+
+// Stats implements transport.Transport: messages delivered to local
+// handlers by kind (the same semantics as netsim).
+func (n *Node) Stats() transport.Stats { return n.counts.Snapshot() }
+
+// SentStats returns messages accepted for sending by kind.
+func (n *Node) SentStats() transport.Stats { return n.sent.Snapshot() }
+
+// WireStats returns the transport-level counters.
+func (n *Node) WireStats() WireStats {
+	return WireStats{
+		BytesIn: n.bytesIn.Load(), BytesOut: n.bytesOut.Load(),
+		FramesIn: n.framesIn.Load(), FramesOut: n.framesOut.Load(),
+		Resends: n.resends.Load(), Reconnects: n.reconnects.Load(),
+		AcksSent: n.acksSent.Load(), AcksRecv: n.acksRecv.Load(),
+		EncodeErrors: n.encodeErr.Load(), DecodeErrors: n.decodeErr.Load(),
+		Duplicates: n.duplicates.Load(), DialFailures: n.dialFails.Load(),
+	}
+}
+
+// track adds c to the live-connection set; it reports false (and closes
+// c) if the node is already closed.
+func (n *Node) track(c net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		c.Close()
+		return false
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrack(c net.Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+	c.Close()
+}
+
+// deliver hands an inbound message to its registered handler.
+func (n *Node) deliver(m *msg.Message) {
+	n.mu.Lock()
+	h := n.handlers[m.To]
+	n.mu.Unlock()
+	if h == nil {
+		n.counts.Observe(0)
+		return
+	}
+	n.counts.Observe(m.Kind)
+	h(m)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+// writeFrame writes one length-prefixed frame: uint32 length, type byte,
+// payload. It counts bytes out.
+func (n *Node) writeFrame(w io.Writer, ftype byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = ftype
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	n.bytesOut.Add(uint64(5 + len(payload)))
+	return nil
+}
+
+// readFrame reads one frame, enforcing the size cap and counting bytes.
+func (n *Node) readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > maxFrame {
+		return 0, nil, fmt.Errorf("wire: frame size %d out of range", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	n.bytesIn.Add(uint64(4 + size))
+	return body[0], body[1:], nil
+}
+
+func seqPayload(seq uint64) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64)
+	return binary.AppendUvarint(buf, seq)
+}
+
+func parseSeq(b []byte) (uint64, error) {
+	v, nn := binary.Uvarint(b)
+	if nn <= 0 {
+		return 0, errors.New("wire: bad seq varint")
+	}
+	return v, nil
+}
+
+// ---------------------------------------------------------------------------
+// Accept side
+
+func (n *Node) acceptLoop() {
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			// Listener broke for good; nothing to accept anymore.
+			n.event("wire: node %d accept failed: %v", n.id, err)
+			return
+		}
+		if !n.track(c) {
+			return
+		}
+		go n.serveConn(c)
+	}
+}
+
+// serveConn is the receive loop for one inbound connection: handshake,
+// then sequenced message frames, with acks written back on the same
+// connection (from both the read loop and an idle-flush ticker; writes
+// are serialized by a per-connection mutex).
+func (n *Node) serveConn(c net.Conn) {
+	defer n.untrack(c)
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+
+	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	ftype, body, err := n.readFrame(br)
+	if err != nil || ftype != frameHello || len(body) < 2 || body[0] != codecVersion {
+		n.event("wire: node %d rejected connection from %s: bad hello (%v)", n.id, c.RemoteAddr(), err)
+		return
+	}
+	from64, err := parseSeq(body[1:])
+	if err != nil || from64 >= MaxNodes {
+		n.event("wire: node %d rejected connection from %s: bad node id", n.id, c.RemoteAddr())
+		return
+	}
+	from := int(from64)
+	c.SetReadDeadline(time.Time{})
+
+	n.mu.Lock()
+	in := n.inbound[from]
+	if in == nil {
+		in = &inbound{}
+		n.inbound[from] = in
+	}
+	n.mu.Unlock()
+
+	// Tell the sender where to resume. A write mutex serializes the
+	// helloAck and all later acks against the idle-flush goroutine.
+	var wmu sync.Mutex
+	in.mu.Lock()
+	resume := in.delivered
+	in.acked = resume
+	in.mu.Unlock()
+	wmu.Lock()
+	err = n.writeFrame(c, frameHelloAck, seqPayload(resume))
+	wmu.Unlock()
+	if err != nil {
+		return
+	}
+	n.event("wire: node %d accepted node %d from %s (resume seq=%d)", n.id, from, c.RemoteAddr(), resume)
+
+	sendAck := func() {
+		in.mu.Lock()
+		seq := in.delivered
+		stale := seq == in.acked
+		if !stale {
+			in.acked = seq
+		}
+		in.mu.Unlock()
+		if stale {
+			return
+		}
+		wmu.Lock()
+		werr := n.writeFrame(c, frameAck, seqPayload(seq))
+		wmu.Unlock()
+		if werr == nil {
+			n.acksSent.Add(1)
+		}
+	}
+
+	// Idle flush: frames that arrive and then go quiet still get acked
+	// promptly, so the sender's resend queue (and Drain) empties.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		t := time.NewTicker(ackFlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sendAck()
+			}
+		}
+	}()
+
+	for {
+		ftype, body, err := n.readFrame(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				n.event("wire: node %d lost connection from node %d: %v", n.id, from, err)
+			}
+			return
+		}
+		if ftype != frameMsg {
+			n.event("wire: node %d got unexpected frame type %d from node %d", n.id, ftype, from)
+			return
+		}
+		seq, nn := binary.Uvarint(body)
+		if nn <= 0 {
+			n.decodeErr.Add(1)
+			return
+		}
+		n.framesIn.Add(1)
+
+		in.mu.Lock()
+		switch {
+		case seq <= in.delivered:
+			// Duplicate of an already-delivered frame (resent after a
+			// reconnect that raced an ack). Discard.
+			in.mu.Unlock()
+			n.duplicates.Add(1)
+			continue
+		case seq != in.delivered+1:
+			// A gap violates the contiguous-resend contract; drop the
+			// connection so the sender re-handshakes from our ack.
+			in.mu.Unlock()
+			n.event("wire: node %d seq gap from node %d: got %d after %d", n.id, from, seq, in.delivered)
+			return
+		}
+		in.delivered = seq
+		pending := in.delivered - in.acked
+		in.mu.Unlock()
+
+		m, derr := DecodeMessage(body[nn:])
+		if derr != nil {
+			// The frame is consumed (and will be acked) either way; a
+			// payload this node cannot decode would never become decodable
+			// by replaying it.
+			n.decodeErr.Add(1)
+			n.event("wire: node %d undecodable frame seq=%d from node %d: %v", n.id, seq, from, derr)
+		} else {
+			n.deliver(m)
+		}
+		if pending >= ackEvery {
+			sendAck()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dial side
+
+// run is the peer's connection-owner goroutine: it dials (waiting for an
+// address if necessary), handshakes, prunes the resend queue to the
+// receiver's resume point, replays the rest, and then pumps new frames
+// until the connection dies — forever, with exponential backoff and
+// jitter between attempts.
+func (p *peer) run() {
+	rng := rand.New(rand.NewSource(int64(p.id)<<16 ^ time.Now().UnixNano()))
+	backoff := backoffInitial
+	for {
+		p.mu.Lock()
+		for p.addr == "" && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		addr := p.addr
+		p.mu.Unlock()
+
+		conn, err := p.dial(addr)
+		if err != nil {
+			p.n.dialFails.Add(1)
+			p.n.event("wire: node %d dial node %d (%s) failed: %v (retry in %v)", p.n.id, p.id, addr, err, backoff)
+			if p.sleep(jitter(rng, backoff)) {
+				return
+			}
+			backoff *= 2
+			if backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		backoff = backoffInitial
+		p.pump(conn)
+		p.n.untrack(conn)
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// sleep waits d, returning true if the peer closed meanwhile.
+func (p *peer) sleep(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		if remain > 5*time.Millisecond {
+			remain = 5 * time.Millisecond
+		}
+		time.Sleep(remain)
+	}
+}
+
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	// ±50% jitter decorrelates reconnect storms across peers.
+	half := int64(d) / 2
+	return time.Duration(half + rng.Int63n(int64(d)))
+}
+
+// dial establishes and handshakes one connection.
+func (p *peer) dial(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if !p.n.track(conn) {
+		return nil, net.ErrClosed
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	hello := append([]byte{codecVersion}, seqPayload(uint64(p.n.id))...)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := p.n.writeFrame(conn, frameHello, hello); err != nil {
+		p.n.untrack(conn)
+		return nil, err
+	}
+	ftype, body, err := p.n.readFrame(conn)
+	if err != nil || ftype != frameHelloAck {
+		p.n.untrack(conn)
+		return nil, fmt.Errorf("wire: bad helloAck (type=%d err=%v)", ftype, err)
+	}
+	acked, err := parseSeq(body)
+	if err != nil {
+		p.n.untrack(conn)
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+
+	p.mu.Lock()
+	retired := p.pruneLocked(acked)
+	resend := len(p.queue)
+	p.cursor = 0
+	p.conn = conn
+	p.gen++
+	gen := p.gen
+	p.mu.Unlock()
+
+	p.n.retire(retired)
+	p.n.reconnects.Add(1)
+	if resend > 0 {
+		p.n.resends.Add(uint64(resend))
+	}
+	p.n.event("wire: node %d connected to node %d at %s (acked=%d resending=%d)", p.n.id, p.id, addr, acked, resend)
+
+	go p.readAcks(conn, gen)
+	return conn, nil
+}
+
+// pruneLocked drops acknowledged frames from the head of the queue and
+// returns how many were retired. Callers hold p.mu.
+func (p *peer) pruneLocked(acked uint64) int {
+	k := 0
+	for k < len(p.queue) && p.queue[k].seq <= acked {
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+	p.queue = p.queue[k:]
+	p.cursor -= k
+	if p.cursor < 0 {
+		p.cursor = 0
+	}
+	return k
+}
+
+// readAcks consumes ack frames on a dialed connection, pruning the
+// resend queue. When the connection dies it detaches it so the pump
+// reconnects.
+func (p *peer) readAcks(conn net.Conn, gen uint64) {
+	br := bufio.NewReader(conn)
+	for {
+		ftype, body, err := p.n.readFrame(br)
+		if err != nil {
+			break
+		}
+		if ftype != frameAck {
+			break
+		}
+		acked, err := parseSeq(body)
+		if err != nil {
+			break
+		}
+		p.n.acksRecv.Add(1)
+		p.mu.Lock()
+		retired := p.pruneLocked(acked)
+		p.mu.Unlock()
+		p.n.retire(retired)
+	}
+	conn.Close()
+	p.mu.Lock()
+	if p.gen == gen && p.conn == conn {
+		p.conn = nil
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// pump writes queued frames to conn until it fails or is replaced. It
+// batches: everything queued is written, then flushed once.
+func (p *peer) pump(conn net.Conn) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		p.mu.Lock()
+		for p.cursor >= len(p.queue) && !p.closed && p.conn == conn {
+			p.cond.Wait()
+		}
+		if p.closed || p.conn != conn {
+			p.mu.Unlock()
+			return
+		}
+		batch := make([]outFrame, len(p.queue)-p.cursor)
+		copy(batch, p.queue[p.cursor:])
+		p.cursor = len(p.queue)
+		p.mu.Unlock()
+
+		for _, f := range batch {
+			payload := append(seqPayload(f.seq), f.data...)
+			if err := p.n.writeFrame(bw, frameMsg, payload); err != nil {
+				p.detach(conn)
+				return
+			}
+			p.n.framesOut.Add(1)
+		}
+		if err := bw.Flush(); err != nil {
+			p.detach(conn)
+			return
+		}
+	}
+}
+
+// detach marks conn dead so run() reconnects; unwritten and unacked
+// frames stay queued for the next connection.
+func (p *peer) detach(conn net.Conn) {
+	conn.Close()
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the tier-1 gate plus the race-sensitive packages.
+# Run from the repository root (or via `make check`).
+set -eu
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race (core, netsim, wire)'
+go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/
+
+echo 'check: OK'
