@@ -18,13 +18,16 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
 	"github.com/hope-dist/hope/internal/rpc"
 	"github.com/hope-dist/hope/internal/wire"
 )
@@ -49,6 +52,20 @@ type wireResult struct {
 	ReportsPerSec float64        `json:"reports_per_sec"`
 	FinalLineOK   bool           `json:"final_line_ok"`
 	Wire          wire.WireStats `json:"wire"`
+	Flood         []floodResult  `json:"flood,omitempty"`
+}
+
+// floodResult measures raw one-way transport throughput: frames blasted
+// from one wire node to another over loopback TCP, with and without
+// write coalescing, plus the sender-process allocation cost per frame.
+type floodResult struct {
+	Batched         bool    `json:"batched"`
+	Frames          int     `json:"frames"`
+	FramesPerSec    float64 `json:"frames_per_sec"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+	Flushes         uint64  `json:"flushes"`
+	FramesPerFlush  float64 `json:"frames_per_flush"`
 }
 
 func wireExperiment(args []string) error {
@@ -57,6 +74,8 @@ func wireExperiment(args []string) error {
 	pageSize := fs.Int("pagesize", 3, "page size (smaller ⇒ more mispredictions)")
 	reports := fs.Int("reports", 64, "reports per run")
 	drop := fs.Bool("drop", false, "sever every TCP connection repeatedly mid-run")
+	flood := fs.Int("flood", 20000, "frames for the batched-vs-unbatched flood comparison (0 = skip)")
+	flushDelay := fs.Duration("flush-delay", 0, "flush linger for the batched flood run")
 	jsonOut := fs.String("json", "", "also write the result as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +108,28 @@ func wireExperiment(args []string) error {
 	if res.ForcedDrops > 0 {
 		fmt.Printf("survived %d forced connection drops (reconnects=%d resends=%d), layout intact=%v\n",
 			res.ForcedDrops, res.Wire.Reconnects, res.Wire.Resends, res.FinalLineOK)
+	}
+
+	if *flood > 0 {
+		fmt.Printf("\nflood: %d control frames one-way over loopback TCP, batched vs unbatched\n", *flood)
+		fmt.Printf("%-10s %12s %12s %12s %10s %13s\n",
+			"mode", "frames/s", "allocs/op", "B/op", "flushes", "frames/flush")
+		for _, batched := range []bool{false, true} {
+			fr, err := runFlood(*flood, batched, *flushDelay)
+			if err != nil {
+				return fmt.Errorf("flood (batched=%v): %w", batched, err)
+			}
+			res.Flood = append(res.Flood, fr)
+			mode := "unbatched"
+			if batched {
+				mode = "batched"
+			}
+			fmt.Printf("%-10s %12.0f %12.2f %12.1f %10d %13.1f\n",
+				mode, fr.FramesPerSec, fr.AllocsPerOp, fr.AllocBytesPerOp, fr.Flushes, fr.FramesPerFlush)
+		}
+		b, u := res.Flood[1], res.Flood[0]
+		fmt.Printf("batching: %.1f× frames/s, %.1f× fewer allocs/op\n",
+			b.FramesPerSec/u.FramesPerSec, u.AllocsPerOp/b.AllocsPerOp)
 	}
 
 	if *jsonOut != "" {
@@ -323,6 +364,73 @@ func probeCall(eng *core.Engine, server ids.PID, method string) (int, error) {
 	case <-time.After(30 * time.Second):
 		return 0, fmt.Errorf("probe call to %v timed out", server)
 	}
+}
+
+// runFlood blasts identical control frames one-way between two
+// in-process wire nodes over loopback TCP and measures sender-side
+// throughput and per-frame allocation. batched=false replicates the
+// PR 1 behaviour — every frame flushed with its own syscall — so the
+// pair quantifies exactly what write coalescing and buffer pooling buy.
+func runFlood(frames int, batched bool, flushDelay time.Duration) (floodResult, error) {
+	res := floodResult{Batched: batched, Frames: frames}
+	cfg := wire.NodeConfig{ID: 0, Listen: "127.0.0.1:0", Unbatched: !batched}
+	if batched {
+		cfg.FlushDelay = flushDelay
+	}
+	src, err := wire.NewNode(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer src.Close()
+	dst, err := wire.NewNode(wire.NodeConfig{ID: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		return res, err
+	}
+	defer dst.Close()
+	src.SetPeer(1, dst.Addr())
+
+	var delivered atomic.Int64
+	to := wire.PIDBase(1) + 1
+	dst.Register(to, func(*msg.Message) { delivered.Add(1) })
+	m := &msg.Message{Kind: msg.KindAffirm, From: wire.PIDBase(0) + 1, To: to, AID: 7}
+
+	// Warm up the connection and the encode pools before measuring.
+	for i := 0; i < 64; i++ {
+		src.Send(m)
+	}
+	if !src.DrainFor(10 * time.Second) {
+		return res, fmt.Errorf("flood warm-up did not drain")
+	}
+	base := delivered.Load()
+	ws0 := src.WireStats()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		src.Send(m)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for delivered.Load()-base < int64(frames) || src.Inflight() > 0 {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("flood stalled: delivered %d/%d, inflight %d",
+				delivered.Load()-base, frames, src.Inflight())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	ws := src.WireStats()
+	res.FramesPerSec = float64(frames) / elapsed.Seconds()
+	res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(frames)
+	res.AllocBytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(frames)
+	res.Flushes = ws.Flushes - ws0.Flushes
+	if res.Flushes > 0 {
+		res.FramesPerFlush = float64(frames) / float64(res.Flushes)
+	}
+	return res, nil
 }
 
 // awaitReady parses the child's "HOPED READY node=… addr=… pid=…" line.

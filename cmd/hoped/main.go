@@ -29,9 +29,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/transport"
 	"github.com/hope-dist/hope/internal/wire"
 )
 
@@ -82,6 +85,12 @@ func run(args []string) error {
 	node := fs.Int("node", 1, "this node's ID (upper 16 bits of every local PID)")
 	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address")
 	serve := fs.String("serve", "printserver", "root service to host (printserver|none)")
+	flushDelay := fs.Duration("flush-delay", 0, "linger this long before flushing coalesced frames (trade latency for batch size)")
+	queueFrames := fs.Int("queue-frames", 0, "per-peer resend queue cap in frames (0 = default 65536, negative = unlimited)")
+	queueBytes := fs.Int("queue-bytes", 0, "per-peer resend queue cap in bytes (0 = default 64MiB, negative = unlimited)")
+	unbatched := fs.Bool("unbatched", false, "flush every frame with its own syscall (benchmark baseline; leave off)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "max wait for unacked frames on shutdown before dropping them")
+	traceTail := fs.Int("trace-tail", 0, "retain the last N transport trace events and dump them on shutdown (0 = off)")
 	peers := peerMap{}
 	fs.Var(peers, "peer", "peer address as N=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -91,7 +100,21 @@ func run(args []string) error {
 		return fmt.Errorf("--node %d out of range [0,%d)", *node, wire.MaxNodes)
 	}
 
-	n, err := wire.NewNode(wire.NodeConfig{ID: *node, Listen: *listen, Peers: peers})
+	// A capped recorder keeps the tail of the transport's event stream
+	// without growing forever — a hoped process may run for weeks.
+	var rec *trace.Recorder
+	var tracer trace.Tracer
+	if *traceTail > 0 {
+		rec = trace.NewRecorderCap(*traceTail)
+		tracer = rec
+	}
+
+	n, err := wire.NewNode(wire.NodeConfig{
+		ID: *node, Listen: *listen, Peers: peers, Tracer: tracer,
+		Queue:      transport.QueueLimits{MaxFrames: *queueFrames, MaxBytes: *queueBytes},
+		FlushDelay: *flushDelay,
+		Unbatched:  *unbatched,
+	})
 	if err != nil {
 		return err
 	}
@@ -121,7 +144,21 @@ func run(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
+	// Bounded-drain shutdown: give in-flight frames a chance to be
+	// acked, but never hang on an unreachable peer — after the deadline
+	// whatever is still queued is dropped by Close.
+	if !n.DrainFor(*drainTimeout) {
+		fmt.Fprintf(os.Stderr, "hoped: node %d shutdown drain timed out after %v with %d frames unacked (dropping)\n",
+			*node, *drainTimeout, n.Inflight())
+	}
 	fmt.Fprintf(os.Stderr, "hoped: node %d shutting down; net %v; wire %v\n",
 		*node, n.Stats(), n.WireStats())
+	if rec != nil {
+		events := rec.Events()
+		fmt.Fprintf(os.Stderr, "hoped: last %d of %d transport events:\n", len(events), rec.Total())
+		for _, e := range events {
+			fmt.Fprintln(os.Stderr, e.String())
+		}
+	}
 	return nil
 }

@@ -102,37 +102,75 @@ type nopTracer struct{}
 
 func (nopTracer) Emit(Event) {}
 
-// Recorder accumulates events in memory.
+// Recorder accumulates events in memory. An uncapped Recorder keeps
+// everything — right for tests that assert on a whole run, wrong for a
+// long-running node, where it is an unbounded leak; construct those
+// with NewRecorderCap, which retains only the most recent events in a
+// fixed ring.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
+	cap    int    // >0: ring capacity; 0: unbounded
+	start  int    // ring head when len(events) == cap
+	total  uint64 // events ever emitted, including evicted ones
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty unbounded recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewRecorderCap returns a recorder that retains at most cap events,
+// evicting the oldest as new ones arrive. cap <= 0 means unbounded.
+func NewRecorderCap(cap int) *Recorder {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Recorder{cap: cap}
+}
 
 // Emit implements Tracer.
 func (r *Recorder) Emit(e Event) {
 	r.mu.Lock()
-	r.events = append(r.events, e)
+	r.total++
+	if r.cap > 0 && len(r.events) == r.cap {
+		r.events[r.start] = e
+		r.start++
+		if r.start == r.cap {
+			r.start = 0
+		}
+	} else {
+		r.events = append(r.events, e)
+	}
 	r.mu.Unlock()
 }
 
-// Events returns a snapshot of all recorded events.
+// Total returns the number of events ever emitted, including any the
+// ring has evicted.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events the ring has evicted.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.events))
+}
+
+// Events returns a snapshot of the retained events, oldest first.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	return out
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	return append(out, r.events[:r.start]...)
 }
 
-// Filter returns recorded events of the given kind.
+// Filter returns retained events of the given kind, oldest first.
 func (r *Recorder) Filter(k Kind) []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var out []Event
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if e.Kind == k {
 			out = append(out, e)
 		}
@@ -140,7 +178,7 @@ func (r *Recorder) Filter(k Kind) []Event {
 	return out
 }
 
-// Count returns how many events of kind k were recorded.
+// Count returns how many retained events are of kind k.
 func (r *Recorder) Count(k Kind) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -119,3 +119,73 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestRecorderCapRingBuffer(t *testing.T) {
+	r := NewRecorderCap(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: Info, PID: ids.PID(i)})
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// Oldest first, and only the most recent four survive.
+	for i, e := range events {
+		if want := ids.PID(6 + i); e.PID != want {
+			t.Fatalf("events[%d].PID = %v, want %v", i, e.PID, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	if r.Count(Info) != 4 {
+		t.Fatalf("Count = %d, want 4 (retained only)", r.Count(Info))
+	}
+}
+
+func TestRecorderCapFilterWrap(t *testing.T) {
+	r := NewRecorderCap(3)
+	kinds := []Kind{Info, Rollback, Info, Finalize, Rollback}
+	for i, k := range kinds {
+		r.Emit(Event{Kind: k, PID: ids.PID(i)})
+	}
+	// Ring now holds events 2,3,4 (Info, Finalize, Rollback).
+	got := r.Filter(Rollback)
+	if len(got) != 1 || got[0].PID != 4 {
+		t.Fatalf("Filter(Rollback) = %v, want the PID-4 event only", got)
+	}
+}
+
+func TestRecorderCapZeroMeansUnbounded(t *testing.T) {
+	r := NewRecorderCap(0)
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Kind: Info})
+	}
+	if len(r.Events()) != 100 || r.Dropped() != 0 {
+		t.Fatalf("cap 0 should be unbounded: kept %d, dropped %d", len(r.Events()), r.Dropped())
+	}
+}
+
+func TestRecorderCapConcurrent(t *testing.T) {
+	r := NewRecorderCap(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{Kind: Info})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 16 {
+		t.Fatalf("retained %d, want 16", got)
+	}
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+}

@@ -57,6 +57,49 @@ type Transport interface {
 	Stats() Stats
 }
 
+// Default per-peer outbound queue bounds, applied when a QueueLimits
+// field is zero. They are deliberately generous: the cap exists to keep
+// a node's memory finite while a peer is unreachable, not to throttle a
+// healthy link.
+const (
+	DefaultMaxQueueFrames = 1 << 16  // 65536 queued frames per peer
+	DefaultMaxQueueBytes  = 64 << 20 // 64 MiB of encoded payload per peer
+)
+
+// QueueLimits bounds a transport's per-peer outbound (resend) queue.
+// A zero field means the package default; a negative field means
+// unlimited. When a send would exceed either bound the transport drops
+// the new message fail-fast (counted, traced) rather than blocking the
+// caller or growing without bound — Send stays wait-free no matter what
+// the remote end does.
+type QueueLimits struct {
+	MaxFrames int // queued-but-unacknowledged frames per peer
+	MaxBytes  int // encoded bytes across those frames
+}
+
+// Norm resolves zero fields to the package defaults.
+func (q QueueLimits) Norm() QueueLimits {
+	if q.MaxFrames == 0 {
+		q.MaxFrames = DefaultMaxQueueFrames
+	}
+	if q.MaxBytes == 0 {
+		q.MaxBytes = DefaultMaxQueueBytes
+	}
+	return q
+}
+
+// Allows reports whether a queue already normalized by Norm may grow to
+// frames frames and bytes bytes.
+func (q QueueLimits) Allows(frames, bytes int) bool {
+	if q.MaxFrames > 0 && frames > q.MaxFrames {
+		return false
+	}
+	if q.MaxBytes > 0 && bytes > q.MaxBytes {
+		return false
+	}
+	return true
+}
+
 // Stats holds cumulative delivered-message counts by kind.
 type Stats struct {
 	Guess    uint64

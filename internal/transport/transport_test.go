@@ -58,3 +58,27 @@ func TestStatsAggregates(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+func TestQueueLimitsNormAndAllows(t *testing.T) {
+	// Zero fields resolve to the package defaults.
+	q := QueueLimits{}.Norm()
+	if q.MaxFrames != DefaultMaxQueueFrames || q.MaxBytes != DefaultMaxQueueBytes {
+		t.Fatalf("Norm() = %+v, want defaults", q)
+	}
+	// Negative fields survive Norm and mean unlimited.
+	u := QueueLimits{MaxFrames: -1, MaxBytes: -1}.Norm()
+	if u.MaxFrames != -1 || u.MaxBytes != -1 {
+		t.Fatalf("Norm() clobbered unlimited: %+v", u)
+	}
+	if !u.Allows(1<<30, 1<<40) {
+		t.Fatal("unlimited limits rejected a huge queue")
+	}
+	// Explicit caps bind exactly at the boundary.
+	c := QueueLimits{MaxFrames: 4, MaxBytes: 100}.Norm()
+	if !c.Allows(4, 100) {
+		t.Fatal("cap rejected a queue exactly at its bounds")
+	}
+	if c.Allows(5, 100) || c.Allows(4, 101) {
+		t.Fatal("cap allowed a queue past its bounds")
+	}
+}

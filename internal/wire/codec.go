@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/msg"
@@ -38,6 +39,40 @@ const (
 type payloadEnvelope struct {
 	V any
 }
+
+// encodeBuf is a pooled encode buffer. The send path encodes every
+// outbound message into one, keeps it queued until the frame is
+// acknowledged, then recycles it, so steady-state sends allocate
+// nothing for control messages. The box (rather than a bare []byte)
+// keeps Pool round trips allocation-free.
+type encodeBuf struct{ b []byte }
+
+// maxPooledEncodeBuf caps what the pool retains: a rare huge payload
+// must not pin its buffer forever.
+const maxPooledEncodeBuf = 64 << 10
+
+var encodeBufPool = sync.Pool{New: func() any { return &encodeBuf{b: make([]byte, 0, 512)} }}
+
+// getEncodeBuf returns an empty pooled encode buffer.
+func getEncodeBuf() *encodeBuf {
+	eb := encodeBufPool.Get().(*encodeBuf)
+	eb.b = eb.b[:0]
+	return eb
+}
+
+// putEncodeBuf recycles eb. The caller must no longer reference eb.b.
+func putEncodeBuf(eb *encodeBuf) {
+	if cap(eb.b) > maxPooledEncodeBuf {
+		return
+	}
+	encodeBufPool.Put(eb)
+}
+
+// gobBufPool recycles the scratch buffer gob payload encoding renders
+// into before it is length-prefixed and appended to the frame. The gob
+// encoder itself cannot be pooled: each encoder emits its type
+// descriptors once per stream, and every frame must be self-contained.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // RegisterPayload makes a concrete payload type transmissible inside
 // Data messages. It must be called (on both ends, with the same types)
@@ -97,8 +132,10 @@ func AppendMessage(buf []byte, m *msg.Message) ([]byte, error) {
 	if m.Payload == nil {
 		return append(buf, 0), nil
 	}
-	var pb bytes.Buffer
-	if err := gob.NewEncoder(&pb).Encode(payloadEnvelope{V: m.Payload}); err != nil {
+	pb := gobBufPool.Get().(*bytes.Buffer)
+	pb.Reset()
+	defer gobBufPool.Put(pb)
+	if err := gob.NewEncoder(pb).Encode(payloadEnvelope{V: m.Payload}); err != nil {
 		return nil, fmt.Errorf("wire: encode payload %T: %w", m.Payload, err)
 	}
 	if pb.Len() > maxPayloadLen {

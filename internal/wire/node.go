@@ -70,6 +70,23 @@ type NodeConfig struct {
 	Peers map[int]string
 	// Tracer receives trace.Transport events (nil = discard).
 	Tracer trace.Tracer
+	// Queue bounds each peer's resend queue. Zero fields take the
+	// transport defaults (64Ki frames / 64 MiB); negative fields mean
+	// unlimited. When a send would exceed either bound the frame is
+	// dropped fail-fast — counted in WireStats.QueueFull and announced
+	// on the trace stream — so Send never blocks and node memory stays
+	// bounded no matter how long a peer is unreachable.
+	Queue transport.QueueLimits
+	// FlushDelay, when positive, lets the per-peer writer linger up to
+	// this long after draining the queue before flushing the buffered
+	// frames, coalescing more frames per syscall at the cost of that
+	// much added latency. Zero flushes as soon as the queue is empty
+	// (frames queued while a flush is in progress still coalesce).
+	FlushDelay time.Duration
+	// Unbatched disables write coalescing entirely: every frame is
+	// flushed (one syscall) on its own. It exists so benchmarks can
+	// measure what batching buys; leave it false in real deployments.
+	Unbatched bool
 }
 
 // Node is a TCP transport endpoint implementing transport.Transport.
@@ -81,9 +98,12 @@ type NodeConfig struct {
 // number, so each message is delivered exactly once and per-pair FIFO
 // order is preserved end to end.
 type Node struct {
-	id     int
-	tracer trace.Tracer
-	ln     net.Listener
+	id         int
+	tracer     trace.Tracer
+	ln         net.Listener
+	queue      transport.QueueLimits // normalized per-peer bounds
+	flushDelay time.Duration
+	unbatched  bool
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight returns to zero
@@ -91,6 +111,7 @@ type Node struct {
 	peers    map[int]*peer
 	inbound  map[int]*inbound
 	conns    map[net.Conn]struct{} // every live conn, for Drop/Close
+	ackFlush map[net.Conn]func()   // per-inbound-conn pending-ack flushers
 	closed   bool
 	inflight int // frames accepted for remote delivery, not yet acked
 
@@ -103,6 +124,7 @@ type Node struct {
 	acksSent, acksRecv    atomic.Uint64
 	encodeErr, decodeErr  atomic.Uint64
 	duplicates, dialFails atomic.Uint64
+	queueFull, flushes    atomic.Uint64
 }
 
 var _ transport.Transport = (*Node)(nil)
@@ -119,13 +141,18 @@ type WireStats struct {
 	DecodeErrors        uint64
 	Duplicates          uint64 // frames discarded by the receiver's dedup
 	DialFailures        uint64
+	QueueFull           uint64 // frames dropped: peer resend queue at its cap
+	Flushes             uint64 // coalesced write flushes (FramesOut/Flushes = batch size)
+	QueuedFrames        uint64 // gauge: frames currently queued across peers
+	QueuedBytes         uint64 // gauge: encoded bytes currently queued across peers
 }
 
 // String implements fmt.Stringer.
 func (s WireStats) String() string {
-	return fmt.Sprintf("in=%dB/%df out=%dB/%df resends=%d reconnects=%d acks=%d/%d dup=%d dialfail=%d",
+	return fmt.Sprintf("in=%dB/%df out=%dB/%df resends=%d reconnects=%d acks=%d/%d dup=%d dialfail=%d qfull=%d flushes=%d queued=%df/%dB",
 		s.BytesIn, s.FramesIn, s.BytesOut, s.FramesOut, s.Resends, s.Reconnects,
-		s.AcksSent, s.AcksRecv, s.Duplicates, s.DialFailures)
+		s.AcksSent, s.AcksRecv, s.Duplicates, s.DialFailures, s.QueueFull, s.Flushes,
+		s.QueuedFrames, s.QueuedBytes)
 }
 
 // inbound is the receive-side state for one remote sender node. It
@@ -137,10 +164,12 @@ type inbound struct {
 	acked     uint64 // highest seq acked back to the sender
 }
 
-// outFrame is one sequenced, already-encoded message awaiting ack.
+// outFrame is one sequenced, already-encoded message awaiting ack. Its
+// buffer comes from the codec's encode pool and is recycled when the
+// frame retires (unless the pump has it pinned for writing).
 type outFrame struct {
-	seq  uint64
-	data []byte
+	seq uint64
+	buf *encodeBuf
 }
 
 // peer is the send side toward one remote node: a resend queue of
@@ -150,15 +179,35 @@ type peer struct {
 	n  *Node
 	id int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	addr    string
-	queue   []outFrame // unacked frames, ascending seq
-	cursor  int        // index into queue of the next frame to write
-	nextSeq uint64
-	conn    net.Conn
-	gen     uint64 // connection generation, guards stale readers
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	addr       string
+	queue      []outFrame // unacked frames, ascending seq
+	queueBytes int        // sum of len(buf.b) across queue
+	cursor     int        // index into queue of the next frame to write
+	nextSeq    uint64
+	conn       net.Conn
+	gen        uint64 // connection generation, guards stale readers
+	closed     bool
+	full       bool // inside a queue-overflow episode (one trace event each)
+
+	// pinLo..pinHi (inclusive, 0 = none) is the seq range the pump is
+	// writing outside the lock. Frames retired while pinned are removed
+	// from the queue but their buffers are left to the GC instead of the
+	// pool: recycling a buffer mid-write would hand it to a concurrent
+	// encode and corrupt the bytes on the socket.
+	pinLo, pinHi uint64
+}
+
+// releaseLocked recycles the buffers of retired frames, skipping any the
+// pump currently has pinned. Callers hold p.mu.
+func (p *peer) releaseLocked(frames []outFrame) {
+	for _, f := range frames {
+		if p.pinHi != 0 && f.seq >= p.pinLo && f.seq <= p.pinHi {
+			continue
+		}
+		putEncodeBuf(f.buf)
+	}
 }
 
 // NewNode binds cfg.Listen and starts serving. The returned node is
@@ -177,13 +226,17 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		tr = trace.Nop
 	}
 	n := &Node{
-		id:       cfg.ID,
-		tracer:   tr,
-		ln:       ln,
-		handlers: make(map[ids.PID]transport.Handler),
-		peers:    make(map[int]*peer),
-		inbound:  make(map[int]*inbound),
-		conns:    make(map[net.Conn]struct{}),
+		id:         cfg.ID,
+		tracer:     tr,
+		ln:         ln,
+		queue:      cfg.Queue.Norm(),
+		flushDelay: cfg.FlushDelay,
+		unbatched:  cfg.Unbatched,
+		handlers:   make(map[ids.PID]transport.Handler),
+		peers:      make(map[int]*peer),
+		inbound:    make(map[int]*inbound),
+		conns:      make(map[net.Conn]struct{}),
+		ackFlush:   make(map[net.Conn]func()),
 	}
 	n.idle = sync.NewCond(&n.mu)
 	for id, addr := range cfg.Peers {
@@ -277,12 +330,15 @@ func (n *Node) Send(m *msg.Message) {
 		return
 	}
 
-	data, err := EncodeMessage(m)
+	eb := getEncodeBuf()
+	data, err := AppendMessage(eb.b[:0], m)
 	if err != nil {
+		putEncodeBuf(eb)
 		n.encodeErr.Add(1)
 		n.event("wire: node %d dropped unencodable %s to node %d: %v", n.id, m.Kind, owner, err)
 		return
 	}
+	eb.b = data
 	n.sent.Observe(m.Kind)
 	p := n.peer(owner)
 
@@ -293,11 +349,31 @@ func (n *Node) Send(m *msg.Message) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		putEncodeBuf(eb)
 		n.retire(1)
 		return
 	}
+	if !n.queue.Allows(len(p.queue)+1, p.queueBytes+len(data)) {
+		// Overflow policy: fail fast. The new frame is dropped (never a
+		// queued one — that would tear a hole in the seq stream), the
+		// caller is not blocked, and the drop is visible in
+		// WireStats.QueueFull plus one trace event per overflow episode.
+		firstOfEpisode := !p.full
+		p.full = true
+		frames, bytes := len(p.queue), p.queueBytes
+		p.mu.Unlock()
+		putEncodeBuf(eb)
+		n.queueFull.Add(1)
+		n.retire(1)
+		if firstOfEpisode {
+			n.event("wire: node %d queue to node %d full (%d frames / %d bytes): dropping new sends",
+				n.id, owner, frames, bytes)
+		}
+		return
+	}
 	p.nextSeq++
-	p.queue = append(p.queue, outFrame{seq: p.nextSeq, data: data})
+	p.queue = append(p.queue, outFrame{seq: p.nextSeq, buf: eb})
+	p.queueBytes += len(data)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -335,6 +411,27 @@ func (n *Node) Drain() {
 	n.mu.Unlock()
 }
 
+// DrainFor is Drain with a deadline: it blocks until every accepted
+// frame is acknowledged or d elapses, and reports whether the node
+// drained. Use it on shutdown paths that must not hang on an
+// unreachable peer; Drain alone waits forever for frames queued toward
+// a node that never comes back.
+func (n *Node) DrainFor(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		n.mu.Lock()
+		n.idle.Broadcast()
+		n.mu.Unlock()
+	})
+	defer timer.Stop()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.inflight > 0 && time.Now().Before(deadline) {
+		n.idle.Wait()
+	}
+	return n.inflight == 0
+}
+
 // Close implements transport.Transport: it stops the listener, closes
 // every connection, stops every peer goroutine, and discards any frames
 // still queued (counting them out of Inflight so Drain cannot hang).
@@ -353,15 +450,28 @@ func (n *Node) Close() {
 	for c := range n.conns {
 		conns = append(conns, c)
 	}
+	flushers := make([]func(), 0, len(n.ackFlush))
+	for _, f := range n.ackFlush {
+		flushers = append(flushers, f)
+	}
 	n.mu.Unlock()
 
 	n.ln.Close()
+	// Graceful-teardown ack flush: tell every sender how far we got
+	// before severing its connection, so delivered frames do not linger
+	// in remote resend queues (blocking the peer's Drain) or come back
+	// as duplicates after a reconnect.
+	for _, flush := range flushers {
+		flush()
+	}
 	dropped := 0
 	for _, p := range peers {
 		p.mu.Lock()
 		p.closed = true
 		dropped += len(p.queue)
+		p.releaseLocked(p.queue)
 		p.queue = nil
+		p.queueBytes = 0
 		p.cursor = 0
 		if p.conn != nil {
 			p.conn.Close()
@@ -402,16 +512,31 @@ func (n *Node) Stats() transport.Stats { return n.counts.Snapshot() }
 // SentStats returns messages accepted for sending by kind.
 func (n *Node) SentStats() transport.Stats { return n.sent.Snapshot() }
 
-// WireStats returns the transport-level counters.
+// WireStats returns the transport-level counters plus a point-in-time
+// gauge of the outbound queues.
 func (n *Node) WireStats() WireStats {
-	return WireStats{
+	s := WireStats{
 		BytesIn: n.bytesIn.Load(), BytesOut: n.bytesOut.Load(),
 		FramesIn: n.framesIn.Load(), FramesOut: n.framesOut.Load(),
 		Resends: n.resends.Load(), Reconnects: n.reconnects.Load(),
 		AcksSent: n.acksSent.Load(), AcksRecv: n.acksRecv.Load(),
 		EncodeErrors: n.encodeErr.Load(), DecodeErrors: n.decodeErr.Load(),
 		Duplicates: n.duplicates.Load(), DialFailures: n.dialFails.Load(),
+		QueueFull: n.queueFull.Load(), Flushes: n.flushes.Load(),
 	}
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		s.QueuedFrames += uint64(len(p.queue))
+		s.QueuedBytes += uint64(p.queueBytes)
+		p.mu.Unlock()
+	}
+	return s
 }
 
 // track adds c to the live-connection set; it reports false (and closes
@@ -468,8 +593,32 @@ func (n *Node) writeFrame(w io.Writer, ftype byte, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one frame, enforcing the size cap and counting bytes.
-func (n *Node) readFrame(r io.Reader) (byte, []byte, error) {
+// writeMsgFrame writes one msg frame — length prefix, type byte, seq
+// varint, encoded message — with no intermediate allocation. The writer
+// is the pump's bufio.Writer, so consecutive frames coalesce into one
+// flush.
+func (n *Node) writeMsgFrame(w io.Writer, seq uint64, data []byte) error {
+	var hdr [5 + binary.MaxVarintLen64]byte
+	sn := binary.PutUvarint(hdr[5:], seq)
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+sn+len(data)))
+	hdr[4] = frameMsg
+	if _, err := w.Write(hdr[:5+sn]); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	n.bytesOut.Add(uint64(5 + sn + len(data)))
+	return nil
+}
+
+// readFrame reads one frame into *scratch (growing it as needed — the
+// returned payload aliases it), enforcing the size cap and counting
+// bytes. Each reader owns its scratch buffer; reusing it across calls
+// makes the steady-state receive path allocation-free. The payload is
+// only valid until the next readFrame on the same scratch, and nothing
+// DecodeMessage returns aliases it.
+func (n *Node) readFrame(r io.Reader, scratch *[]byte) (byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -478,7 +627,12 @@ func (n *Node) readFrame(r io.Reader) (byte, []byte, error) {
 	if size == 0 || size > maxFrame {
 		return 0, nil, fmt.Errorf("wire: frame size %d out of range", size)
 	}
-	body := make([]byte, size)
+	body := *scratch
+	if uint32(cap(body)) < size {
+		body = make([]byte, size)
+		*scratch = body
+	}
+	body = body[:size]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, err
 	}
@@ -537,9 +691,10 @@ func (n *Node) serveConn(c net.Conn) {
 		tc.SetNoDelay(true)
 	}
 	br := bufio.NewReaderSize(c, 64<<10)
+	var scratch []byte // reused for every frame on this connection
 
 	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
-	ftype, body, err := n.readFrame(br)
+	ftype, body, err := n.readFrame(br, &scratch)
 	if err != nil || ftype != frameHello || len(body) < 2 || body[0] != codecVersion {
 		n.event("wire: node %d rejected connection from %s: bad hello (%v)", n.id, c.RemoteAddr(), err)
 		return
@@ -594,6 +749,22 @@ func (n *Node) serveConn(c net.Conn) {
 		}
 	}
 
+	// Teardown flush: whatever was delivered but not yet acked when the
+	// connection dies (or the node shuts down) gets one best-effort
+	// final ack, so a graceful close does not strand a tail of frames in
+	// the sender's resend queue to come back as duplicates after the
+	// next handshake. Registering the flusher lets Node.Close run it
+	// while the connection is still writable.
+	defer sendAck()
+	n.mu.Lock()
+	n.ackFlush[c] = sendAck
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.ackFlush, c)
+		n.mu.Unlock()
+	}()
+
 	// Idle flush: frames that arrive and then go quiet still get acked
 	// promptly, so the sender's resend queue (and Drain) empties.
 	done := make(chan struct{})
@@ -612,7 +783,7 @@ func (n *Node) serveConn(c net.Conn) {
 	}()
 
 	for {
-		ftype, body, err := n.readFrame(br)
+		ftype, body, err := n.readFrame(br, &scratch)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				n.event("wire: node %d lost connection from node %d: %v", n.id, from, err)
@@ -758,7 +929,8 @@ func (p *peer) dial(addr string) (net.Conn, error) {
 		p.n.untrack(conn)
 		return nil, err
 	}
-	ftype, body, err := p.n.readFrame(conn)
+	var scratch []byte
+	ftype, body, err := p.n.readFrame(conn, &scratch)
 	if err != nil || ftype != frameHelloAck {
 		p.n.untrack(conn)
 		return nil, fmt.Errorf("wire: bad helloAck (type=%d err=%v)", ftype, err)
@@ -790,20 +962,27 @@ func (p *peer) dial(addr string) (net.Conn, error) {
 	return conn, nil
 }
 
-// pruneLocked drops acknowledged frames from the head of the queue and
-// returns how many were retired. Callers hold p.mu.
+// pruneLocked drops acknowledged frames from the head of the queue,
+// recycles their encode buffers, and returns how many were retired.
+// Callers hold p.mu.
 func (p *peer) pruneLocked(acked uint64) int {
 	k := 0
 	for k < len(p.queue) && p.queue[k].seq <= acked {
+		p.queueBytes -= len(p.queue[k].buf.b)
 		k++
 	}
 	if k == 0 {
 		return 0
 	}
+	p.releaseLocked(p.queue[:k])
 	p.queue = p.queue[k:]
 	p.cursor -= k
 	if p.cursor < 0 {
 		p.cursor = 0
+	}
+	if p.full {
+		// Space freed: the next overflow is a new episode (new event).
+		p.full = false
 	}
 	return k
 }
@@ -813,8 +992,9 @@ func (p *peer) pruneLocked(acked uint64) int {
 // reconnects.
 func (p *peer) readAcks(conn net.Conn, gen uint64) {
 	br := bufio.NewReader(conn)
+	var scratch []byte // ack frames are tiny; one buffer serves them all
 	for {
-		ftype, body, err := p.n.readFrame(br)
+		ftype, body, err := p.n.readFrame(br, &scratch)
 		if err != nil {
 			break
 		}
@@ -841,43 +1021,86 @@ func (p *peer) readAcks(conn net.Conn, gen uint64) {
 }
 
 // pump writes queued frames to conn until it fails or is replaced. It
-// batches: everything queued is written, then flushed once.
+// coalesces: everything queued at wake-up — plus anything that arrives
+// while the batch is being written — goes into one buffered write,
+// flushed with a single syscall. With FlushDelay set it lingers that
+// long once per flush to gather stragglers; in unbatched mode it
+// flushes every frame individually (the one-syscall-per-frame baseline
+// benchmarks compare against).
 func (p *peer) pump(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	var batch []outFrame // reused round to round; entries are pinned while written
+	lingered := false
 	for {
 		p.mu.Lock()
+		p.pinLo, p.pinHi = 0, 0
 		for p.cursor >= len(p.queue) && !p.closed && p.conn == conn {
+			lingered = false
 			p.cond.Wait()
 		}
 		if p.closed || p.conn != conn {
 			p.mu.Unlock()
 			return
 		}
-		batch := make([]outFrame, len(p.queue)-p.cursor)
-		copy(batch, p.queue[p.cursor:])
+		// Copy the pending window and pin its seq range: acks may retire
+		// these frames while we write outside the lock, and a retired
+		// buffer must not be recycled mid-write (see releaseLocked).
+		batch = append(batch[:0], p.queue[p.cursor:]...)
 		p.cursor = len(p.queue)
+		p.pinLo, p.pinHi = batch[0].seq, batch[len(batch)-1].seq
 		p.mu.Unlock()
 
 		for _, f := range batch {
-			payload := append(seqPayload(f.seq), f.data...)
-			if err := p.n.writeFrame(bw, frameMsg, payload); err != nil {
+			if err := p.n.writeMsgFrame(bw, f.seq, f.buf.b); err != nil {
 				p.detach(conn)
 				return
 			}
 			p.n.framesOut.Add(1)
+			if p.n.unbatched {
+				if err := bw.Flush(); err != nil {
+					p.detach(conn)
+					return
+				}
+				p.n.flushes.Add(1)
+			}
 		}
+		if p.n.unbatched {
+			continue
+		}
+		if p.moreQueued(conn) {
+			continue // keep filling the buffer instead of flushing early
+		}
+		if d := p.n.flushDelay; d > 0 && !lingered {
+			lingered = true
+			time.Sleep(d)
+			if p.moreQueued(conn) {
+				continue
+			}
+		}
+		lingered = false
 		if err := bw.Flush(); err != nil {
 			p.detach(conn)
 			return
 		}
+		p.n.flushes.Add(1)
 	}
 }
 
+// moreQueued reports whether unwritten frames are waiting and conn is
+// still current.
+func (p *peer) moreQueued(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cursor < len(p.queue) && !p.closed && p.conn == conn
+}
+
 // detach marks conn dead so run() reconnects; unwritten and unacked
-// frames stay queued for the next connection.
+// frames stay queued for the next connection. Only the pump calls it,
+// so it also releases the pump's pin.
 func (p *peer) detach(conn net.Conn) {
 	conn.Close()
 	p.mu.Lock()
+	p.pinLo, p.pinHi = 0, 0
 	if p.conn == conn {
 		p.conn = nil
 	}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -289,6 +290,185 @@ func TestNodeCloseUnblocksDrain(t *testing.T) {
 	}
 }
 
+// TestNodeSendBoundedQueueRace hammers Send from many goroutines at a
+// peer that never comes up. The per-peer queue must cap exactly at the
+// configured frame bound, every overflow must be counted in QueueFull,
+// no Send may block, and the overflow must be announced on the trace
+// stream. Run under -race this also exercises the cap accounting
+// against concurrent senders.
+func TestNodeSendBoundedQueueRace(t *testing.T) {
+	const capFrames = 64
+	const senders, perSender = 8, 400
+	rec := trace.NewRecorder()
+	a, err := NewNode(NodeConfig{
+		ID: 0, Listen: "127.0.0.1:0", Tracer: rec,
+		Queue: transport.QueueLimits{MaxFrames: capFrames, MaxBytes: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	// Dead peer: the address is a port nothing listens on, so nothing is
+	// ever written or acked and the queue can only grow.
+	dead, err := NewNode(NodeConfig{ID: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	dead.Close()
+	a.SetPeer(1, deadAddr)
+
+	dst := PIDBase(1) + 1
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			from := PIDBase(0) + ids.PID(s+1)
+			for i := 0; i < perSender; i++ {
+				a.Send(&msg.Message{Kind: msg.KindData, From: from, To: dst, Payload: i})
+			}
+		}(s)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("sends took %v: Send blocked on a dead peer", elapsed)
+	}
+
+	total := uint64(senders * perSender)
+	ws := a.WireStats()
+	if ws.QueuedFrames != capFrames {
+		t.Fatalf("queued frames = %d, want exactly the cap %d", ws.QueuedFrames, capFrames)
+	}
+	if a.Inflight() != capFrames {
+		t.Fatalf("inflight = %d, want %d", a.Inflight(), capFrames)
+	}
+	if ws.QueueFull != total-capFrames {
+		t.Fatalf("QueueFull = %d, want %d (every send beyond the cap, no more, no less)",
+			ws.QueueFull, total-capFrames)
+	}
+	overflow := false
+	for _, e := range rec.Filter(trace.Transport) {
+		if strings.Contains(e.Detail, "full") {
+			overflow = true
+		}
+	}
+	if !overflow {
+		t.Fatal("queue overflow not announced on the trace stream")
+	}
+
+	// Shutdown with the peer still dead must not hang.
+	done := make(chan struct{})
+	go func() { a.Drain(); close(done) }()
+	a.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not unblock on Close with a dead peer")
+	}
+}
+
+// TestNodeSendBoundedQueueBytes caps the queue by bytes instead of
+// frames: queued payload must never exceed the bound.
+func TestNodeSendBoundedQueueBytes(t *testing.T) {
+	const capBytes = 4096
+	a, err := NewNode(NodeConfig{
+		ID: 0, Listen: "127.0.0.1:0",
+		Queue: transport.QueueLimits{MaxFrames: -1, MaxBytes: capBytes},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	payload := make([]byte, 256)
+	for i := 0; i < 200; i++ {
+		a.Send(&msg.Message{Kind: msg.KindData, From: 1, To: PIDBase(1) + 1, Payload: payload})
+	}
+	ws := a.WireStats()
+	if ws.QueuedBytes > capBytes {
+		t.Fatalf("queued bytes = %d, exceeds cap %d", ws.QueuedBytes, capBytes)
+	}
+	if ws.QueueFull == 0 {
+		t.Fatal("no drops counted despite overflowing the byte cap")
+	}
+	if ws.QueuedFrames == 0 {
+		t.Fatal("cap rejected everything; the queue should hold frames up to the bound")
+	}
+}
+
+// TestNodeDrainForDeadPeer pins the shutdown-deadline path: Drain would
+// wait forever on a peer that never acks, DrainFor must give up on time
+// and report it.
+func TestNodeDrainForDeadPeer(t *testing.T) {
+	a, err := NewNode(NodeConfig{ID: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	dead, err := NewNode(NodeConfig{ID: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	dead.Close()
+	a.SetPeer(1, deadAddr)
+
+	a.Send(&msg.Message{Kind: msg.KindData, From: 1, To: PIDBase(1) + 1, Payload: "stranded"})
+	start := time.Now()
+	if a.DrainFor(100 * time.Millisecond) {
+		t.Fatal("DrainFor claimed success with a dead peer holding a frame")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("DrainFor took %v, want ~100ms", elapsed)
+	}
+	if a.Inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1", a.Inflight())
+	}
+}
+
+// TestNodeGracefulCloseAcksTail sends a short burst (well under
+// ackEvery) and closes the receiver right after delivery: the teardown
+// ack flush must empty the sender's resend queue so its Drain returns
+// without waiting on a peer that no longer exists.
+func TestNodeGracefulCloseAcksTail(t *testing.T) {
+	a, b := newPair(t, nil)
+	delivered := make(chan struct{}, 8)
+	dst := PIDBase(1) + 1
+	b.Register(dst, func(*msg.Message) { delivered <- struct{}{} })
+
+	// Warm up: the first dial replays anything queued before the
+	// connection existed and counts it as resends, so take a baseline.
+	a.Send(&msg.Message{Kind: msg.KindData, From: PIDBase(0) + 1, To: dst, Payload: -1})
+	select {
+	case <-delivered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("warm-up delivery timed out")
+	}
+	a.Drain()
+	base := a.WireStats().Resends
+
+	const burst = 3 // < ackEvery: only the idle or teardown flush can ack it
+	for i := 0; i < burst; i++ {
+		a.Send(&msg.Message{Kind: msg.KindData, From: PIDBase(0) + 1, To: dst, Payload: i})
+	}
+	for i := 0; i < burst; i++ {
+		select {
+		case <-delivered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	b.Close()
+	if !a.DrainFor(5 * time.Second) {
+		t.Fatalf("sender did not drain after receiver's graceful close; stats %v", a.WireStats())
+	}
+	if ws := a.WireStats(); ws.Resends != base {
+		t.Fatalf("graceful close forced %d spurious resends", ws.Resends-base)
+	}
+}
+
 func BenchmarkCodecEncode(b *testing.B) {
 	m := &msg.Message{
 		Kind: msg.KindAffirm, From: 3, To: 9,
@@ -323,6 +503,38 @@ func BenchmarkCodecDecode(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkNodeFlood measures one-way send throughput and per-send
+// allocation over loopback TCP, with and without write coalescing.
+func benchmarkNodeFlood(b *testing.B, unbatched bool) {
+	src, err := NewNode(NodeConfig{ID: 0, Listen: "127.0.0.1:0", Unbatched: unbatched})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := NewNode(NodeConfig{ID: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	defer dst.Close()
+	src.SetPeer(1, dst.Addr())
+
+	to := PIDBase(1) + 1
+	dst.Register(to, func(*msg.Message) {})
+	m := &msg.Message{Kind: msg.KindAffirm, From: PIDBase(0) + 1, To: to, AID: 7}
+	src.Send(m)
+	src.Drain() // connection + pools warm before the clock starts
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(m)
+	}
+	src.Drain()
+}
+
+func BenchmarkNodeFloodBatched(b *testing.B)   { benchmarkNodeFlood(b, false) }
+func BenchmarkNodeFloodUnbatched(b *testing.B) { benchmarkNodeFlood(b, true) }
 
 func BenchmarkNodeLoopbackRoundTrip(b *testing.B) {
 	a, err := NewNode(NodeConfig{ID: 0, Listen: "127.0.0.1:0"})

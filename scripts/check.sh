@@ -15,4 +15,16 @@ go test ./...
 echo '== go test -race (core, netsim, wire)'
 go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/
 
+echo '== wire fuzz corpus replay'
+# Replays the seed corpus plus any regression inputs under testdata/fuzz
+# without fuzzing (no -fuzz flag): cheap, deterministic, catches codec and
+# frame-reader regressions pinned by past crashes.
+go test -run 'Fuzz' -count=1 ./internal/wire/
+
+echo '== hopebench wire smoke'
+# Two-process TCP round trip plus the in-process flood comparison; fails
+# if the child never reaches READY, a page is lost, or the run does not
+# reach quiescence.
+go run ./cmd/hopebench wire --pagesize 100 --reports 8 --flood 5000
+
 echo 'check: OK'
