@@ -6,10 +6,12 @@
 //
 //	hopebench [e1|e3|e5|e6|e7|e8|e9|ablation]...
 //	hopebench wire [--pagesize N] [--reports N] [--drop] [--json FILE]
+//	hopebench wal [--records N] [--size B] [--json FILE]
 //
 // The wire experiment runs the pagination workload across two real OS
-// processes over loopback TCP (spawning cmd/hoped); it is never part of
-// the default sweep.
+// processes over loopback TCP (spawning cmd/hoped); the wal experiment
+// prices the durability layer's append and recovery paths per fsync
+// policy. Neither is part of the default sweep.
 package main
 
 import (
@@ -30,10 +32,14 @@ func main() {
 }
 
 func run(args []string) error {
-	// wire takes its own flags and spawns a child process, so it is
-	// dispatched separately and excluded from the default sweep.
+	// wire and wal take their own flags (and wire spawns a child
+	// process), so they are dispatched separately and excluded from the
+	// default sweep.
 	if len(args) > 0 && args[0] == "wire" {
 		return wireExperiment(args[1:])
+	}
+	if len(args) > 0 && args[0] == "wal" {
+		return walExperiment(args[1:])
 	}
 	all := map[string]func() error{
 		"e1": e1, "e3": e3, "e5": e5, "e6": e6, "e7": e7, "e8": e8, "e9": e9,

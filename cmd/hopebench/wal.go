@@ -1,0 +1,165 @@
+// The wal experiment prices durability: raw append throughput and
+// latency of the segmented write-ahead log (internal/wal) under each
+// fsync policy, plus the recovery-scan rate when the log is reopened —
+// the two numbers that bound what --data-dir costs a hoped node at
+// runtime and at boot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/hope-dist/hope/internal/wal"
+)
+
+// walResult is one policy's run, serialized to --json (BENCH_wal.json).
+type walResult struct {
+	Policy        string  `json:"policy"`
+	Records       int     `json:"records"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	P50NS         int64   `json:"p50_append_ns"`
+	P99NS         int64   `json:"p99_append_ns"`
+	Syncs         uint64  `json:"syncs"`
+	Rotations     uint64  `json:"rotations"`
+	ReplayNS      int64   `json:"replay_ns"`
+	ReplayPerSec  float64 `json:"replay_records_per_sec"`
+	Torn          uint64  `json:"torn_truncations"`
+}
+
+type walReport struct {
+	Benchmark string      `json:"benchmark"`
+	Setup     string      `json:"setup"`
+	Command   string      `json:"command"`
+	Date      string      `json:"date"`
+	Runs      []walResult `json:"runs"`
+}
+
+func walExperiment(args []string) error {
+	fs := flag.NewFlagSet("wal", flag.ContinueOnError)
+	records := fs.Int("records", 5000, "records to append per policy")
+	size := fs.Int("size", 256, "payload bytes per record (a typical journalled frame)")
+	segBytes := fs.Int64("segment-bytes", 4<<20, "segment rotation threshold")
+	jsonOut := fs.String("json", "", "also write the results as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Println("WAL — append and recovery cost per fsync policy (internal/wal)")
+	fmt.Printf("workload: %d appends × %dB, %dMiB segments; then reopen and replay\n",
+		*records, *size, *segBytes>>20)
+	fmt.Printf("%-10s %12s %10s %12s %12s %7s %14s\n",
+		"policy", "appends/s", "MB/s", "p50-append", "p99-append", "syncs", "replay-rec/s")
+
+	report := walReport{
+		Benchmark: "WAL append throughput/latency + recovery scan, cmd/hopebench wal",
+		Setup: fmt.Sprintf("%d appends of %dB per policy into a fresh log (%dMiB segments), "+
+			"Sync barrier at the end, then a reopen replay scan", *records, *size, *segBytes>>20),
+		Command: "hopebench wal [--records N] [--size B] --json ...",
+		Date:    time.Now().Format("2006-01-02"),
+	}
+	for _, pol := range []wal.Policy{wal.SyncAlways, wal.SyncInterval, wal.SyncNone} {
+		res, err := runWALBench(pol, *records, *size, *segBytes)
+		if err != nil {
+			return fmt.Errorf("policy %v: %w", pol, err)
+		}
+		report.Runs = append(report.Runs, res)
+		fmt.Printf("%-10s %12.0f %10.1f %12v %12v %7d %14.0f\n",
+			res.Policy, res.AppendsPerSec, res.MBPerSec,
+			time.Duration(res.P50NS).Round(time.Microsecond),
+			time.Duration(res.P99NS).Round(time.Microsecond),
+			res.Syncs, res.ReplayPerSec)
+	}
+	fmt.Println("always pays one fsync per append; interval amortizes them into group commits;")
+	fmt.Println("none defers all durability to Sync/Close and is unsafe across power loss.")
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// runWALBench appends into a fresh log under one policy, forces a final
+// durability barrier so the policies are comparable (interval and none
+// would otherwise leave a buffered tail), and reopens the directory to
+// time the recovery scan a hoped boot would perform.
+func runWALBench(pol wal.Policy, records, size int, segBytes int64) (walResult, error) {
+	dir, err := os.MkdirTemp("", "hopebench-wal-")
+	if err != nil {
+		return walResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	log, err := wal.Open(wal.Options{Dir: dir, Policy: pol, SegmentBytes: segBytes})
+	if err != nil {
+		return walResult{}, err
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	lat := make([]time.Duration, records)
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		t0 := time.Now()
+		if _, err := log.Append(payload); err != nil {
+			log.Close()
+			return walResult{}, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	if err := log.Sync(); err != nil {
+		log.Close()
+		return walResult{}, err
+	}
+	elapsed := time.Since(start)
+	m := log.Metrics()
+	if err := log.Close(); err != nil {
+		return walResult{}, err
+	}
+
+	var replayed uint64
+	reopened, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNone,
+		OnRecord: func(uint64, []byte) error { replayed++; return nil }})
+	if err != nil {
+		return walResult{}, err
+	}
+	rm := reopened.Metrics()
+	if err := reopened.Close(); err != nil {
+		return walResult{}, err
+	}
+	if replayed != uint64(records) {
+		return walResult{}, fmt.Errorf("replay saw %d records, appended %d", replayed, records)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	secs := elapsed.Seconds()
+	return walResult{
+		Policy:        pol.String(),
+		Records:       records,
+		PayloadBytes:  size,
+		ElapsedNS:     elapsed.Nanoseconds(),
+		AppendsPerSec: float64(records) / secs,
+		MBPerSec:      float64(records*size) / secs / (1 << 20),
+		P50NS:         lat[records/2].Nanoseconds(),
+		P99NS:         lat[records*99/100].Nanoseconds(),
+		Syncs:         m.Syncs,
+		Rotations:     m.Rotations,
+		ReplayNS:      rm.RecoveryTime.Nanoseconds(),
+		ReplayPerSec:  float64(rm.RecoveredRecords) / rm.RecoveryTime.Seconds(),
+		Torn:          rm.TornTruncations,
+	}, nil
+}

@@ -18,6 +18,15 @@
 // remote workers address directly: under the wire transport a PID is
 // the routing address. It then serves until SIGINT/SIGTERM, printing
 // transport statistics on the way out.
+//
+// With --data-dir the node is durable: every wire frame and journal
+// mutation is logged to a WAL in that directory, and a restart replays
+// the log — resuming the transport's sequence space, restoring each
+// root process to its pre-crash speculative state, and re-injecting
+// delivered-but-unconsumed messages. A recovering boot prints, before
+// READY:
+//
+//	HOPED RECOVERED node=1 records=412 procs=1 redeliver=3 resend=0 unacked=2 torn=0 in 1.2ms
 package main
 
 import (
@@ -32,9 +41,11 @@ import (
 	"time"
 
 	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/durable"
 	"github.com/hope-dist/hope/internal/rpc"
 	"github.com/hope-dist/hope/internal/trace"
 	"github.com/hope-dist/hope/internal/transport"
+	"github.com/hope-dist/hope/internal/wal"
 	"github.com/hope-dist/hope/internal/wire"
 )
 
@@ -91,6 +102,8 @@ func run(args []string) error {
 	unbatched := fs.Bool("unbatched", false, "flush every frame with its own syscall (benchmark baseline; leave off)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "max wait for unacked frames on shutdown before dropping them")
 	traceTail := fs.Int("trace-tail", 0, "retain the last N transport trace events and dump them on shutdown (0 = off)")
+	dataDir := fs.String("data-dir", "", "WAL directory; enables crash recovery (empty = volatile node)")
+	fsync := fs.String("fsync", "interval", "WAL sync policy with --data-dir: always|interval|none")
 	peers := peerMap{}
 	fs.Var(peers, "peer", "peer address as N=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -109,18 +122,57 @@ func run(args []string) error {
 		tracer = rec
 	}
 
-	n, err := wire.NewNode(wire.NodeConfig{
+	// Durability: one WAL under --data-dir records wire and engine state;
+	// reopening it replays the log into the resume values both layers
+	// accept. A volatile node (no --data-dir) skips all of this.
+	var store *durable.Store
+	var recov *durable.Recovered
+	var recovEmpty bool
+	var recovLine string
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		store, recov, err = durable.Open(*dataDir, *node, policy, tracer)
+		if err != nil {
+			return err
+		}
+		// Snapshot the summary now: the engine claims (and drains) the
+		// Restore map when the root process respawns below.
+		recovEmpty, recovLine = recov.Empty(), recov.String()
+		defer func() {
+			if err := store.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "hoped: node %d WAL close: %v\n", *node, err)
+			}
+		}()
+	}
+
+	wcfg := wire.NodeConfig{
 		ID: *node, Listen: *listen, Peers: peers, Tracer: tracer,
 		Queue:      transport.QueueLimits{MaxFrames: *queueFrames, MaxBytes: *queueBytes},
 		FlushDelay: *flushDelay,
 		Unbatched:  *unbatched,
-	})
+	}
+	ecfg := core.Config{PIDBase: wire.PIDBase(*node), Tracer: tracer}
+	if store != nil {
+		wcfg.Durable, wcfg.Resume = store, recov.Resume
+		ecfg.Persist, ecfg.Restore = store, recov.Restore
+		// Hold inbound delivery until recovery has re-injected the
+		// delivered-but-unconsumed backlog; otherwise a fast-redialing
+		// peer's resent frames (newer sequence numbers) arrive first and
+		// FIFO order inverts across the restart.
+		wcfg.HoldInbound = true
+	}
+
+	n, err := wire.NewNode(wcfg)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
 
-	eng := core.NewEngine(core.Config{Transport: n, PIDBase: wire.PIDBase(*node)})
+	ecfg.Transport = n
+	eng := core.NewEngine(ecfg)
 	defer eng.Shutdown()
 
 	rootPID := uint64(0)
@@ -136,23 +188,53 @@ func run(args []string) error {
 		return fmt.Errorf("unknown --serve %q (want printserver|none)", *serve)
 	}
 
+	// Recovery repairs, strictly after the roots exist so redelivered
+	// messages find their handlers: re-enqueue journalled sends whose
+	// frames died with the crash, then re-inject delivered-but-unconsumed
+	// inbound messages in arrival order.
+	if store != nil {
+		if !recovEmpty {
+			for _, m := range recov.Resend {
+				n.Send(m)
+			}
+			for _, m := range recov.Redeliver {
+				n.Redeliver(m)
+			}
+			fmt.Printf("HOPED RECOVERED node=%d %s\n", *node, recovLine)
+		}
+		n.ReleaseInbound()
+	}
+
 	// The READY line is the contract with whoever spawned us (see
 	// cmd/hopebench's wire mode): resolved address and service PID.
 	fmt.Printf("HOPED READY node=%d addr=%s pid=%d\n", *node, n.Addr(), rootPID)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "hoped: node %d caught %v, draining (again to force exit)\n", *node, got)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "hoped: node %d caught %v during shutdown, forcing exit\n", *node, s)
+		os.Exit(1)
+	}()
 
 	// Bounded-drain shutdown: give in-flight frames a chance to be
 	// acked, but never hang on an unreachable peer — after the deadline
-	// whatever is still queued is dropped by Close.
+	// whatever is still queued is dropped by Close (and, on a durable
+	// node, survives in the WAL for the next boot to resend).
 	if !n.DrainFor(*drainTimeout) {
 		fmt.Fprintf(os.Stderr, "hoped: node %d shutdown drain timed out after %v with %d frames unacked (dropping)\n",
 			*node, *drainTimeout, n.Inflight())
 	}
 	fmt.Fprintf(os.Stderr, "hoped: node %d shutting down; net %v; wire %v\n",
 		*node, n.Stats(), n.WireStats())
+	if store != nil {
+		if errs := store.EncodeErrors(); errs > 0 {
+			fmt.Fprintf(os.Stderr, "hoped: node %d had %d WAL encode failures (affected processes restart fresh)\n",
+				*node, errs)
+		}
+	}
 	if rec != nil {
 		events := rec.Events()
 		fmt.Fprintf(os.Stderr, "hoped: last %d of %d transport events:\n", len(events), rec.Total())

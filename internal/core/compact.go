@@ -48,13 +48,26 @@ func (c *Ctx) Compact(save func() any) bool {
 		return false
 	}
 
-	p.base = save()
+	snapshot := save()
+	last := p.history.Last()
+	if per := p.eng.persist; per != nil {
+		// The WAL must accept the snapshot before any in-memory state is
+		// dropped: an unencodable snapshot would otherwise leave recovery
+		// with neither journal nor base.
+		if err := per.Compact(p.proc.PID(), last.ID, snapshot); err != nil {
+			p.eng.tracer.Emit(trace.Event{
+				Kind: trace.Info, PID: p.proc.PID(), Interval: last.ID,
+				Detail: "compaction aborted: " + err.Error(),
+			})
+			return false
+		}
+	}
+	p.base = snapshot
 	p.hasBase = true
 	p.jnl.Truncate(0)
 	c.cursor = 0
 
 	// Drop every interval but the current one; rebase its journal index.
-	last := p.history.Last()
 	kept := p.history.Len() - 1
 	if kept > 0 {
 		// Rebuild the history with only the live tail record.

@@ -94,7 +94,7 @@ func (c *Ctx) aidInitLocked() ids.AID {
 	if err != nil {
 		panic(terminatePanic{}) // engine shutting down
 	}
-	p.jnl.Append(&journal.Entry{Kind: journal.KindAidInit, AID: a})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindAidInit, AID: a})
 	c.cursor = p.jnl.Len()
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Primitive, PID: p.proc.PID(), AID: a, Detail: "aid_init",
@@ -138,7 +138,7 @@ func (c *Ctx) GuessNew(x ids.AID) (ids.AID, bool) {
 		// assumption GC: answer without speculation or a round trip,
 		// exactly as the AID process's Rollback / Replace-null would.
 		rec := p.newIntervalLocked(interval.Guessed, p.jnl.Len(), nil, x)
-		p.jnl.Append(&journal.Entry{Kind: journal.KindGuess, AID: x, Result: verdict, Interval: rec.ID})
+		p.appendJournalLocked(&journal.Entry{Kind: journal.KindGuess, AID: x, Result: verdict, Interval: rec.ID})
 		c.cursor = p.jnl.Len()
 		p.curIdx = p.history.Position(rec.ID)
 		p.eng.tracer.Emit(trace.Event{
@@ -149,7 +149,7 @@ func (c *Ctx) GuessNew(x ids.AID) (ids.AID, bool) {
 	}
 
 	rec := p.newIntervalLocked(interval.Guessed, p.jnl.Len(), []ids.AID{x}, x)
-	p.jnl.Append(&journal.Entry{Kind: journal.KindGuess, AID: x, Result: true, Interval: rec.ID})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindGuess, AID: x, Result: true, Interval: rec.ID})
 	c.cursor = p.jnl.Len()
 	p.curIdx = p.history.Position(rec.ID)
 	p.eng.tracer.Emit(trace.Event{
@@ -180,9 +180,10 @@ func (c *Ctx) Affirm(x ids.AID) {
 		p.send(msg.Affirm(p.proc.PID(), cur.ID, x, nil))
 	} else {
 		cur.IHA.Add(x)
+		p.persistIntervalState(cur)
 		p.send(msg.Affirm(p.proc.PID(), cur.ID, x, basis))
 	}
-	p.jnl.Append(&journal.Entry{Kind: journal.KindAffirm, AID: x})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindAffirm, AID: x})
 	c.cursor = p.jnl.Len()
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Primitive, PID: p.proc.PID(), AID: x, Interval: cur.ID,
@@ -207,7 +208,7 @@ func (c *Ctx) Deny(x ids.AID) {
 	}
 
 	c.denyLocked(x)
-	p.jnl.Append(&journal.Entry{Kind: journal.KindDeny, AID: x})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindDeny, AID: x})
 	c.cursor = p.jnl.Len()
 }
 
@@ -215,6 +216,7 @@ func (c *Ctx) denyLocked(x ids.AID) {
 	p := c.p
 	cur := p.history.At(p.curIdx)
 	cur.IHD.Add(x)
+	p.persistIntervalState(cur)
 	p.send(msg.Deny(p.proc.PID(), cur.ID, x))
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Primitive, PID: p.proc.PID(), AID: x, Interval: cur.ID,
@@ -246,10 +248,11 @@ func (c *Ctx) DenyDeferred(x ids.AID) {
 
 	cur, _, definite := c.basisLocked()
 	cur.IHD.Add(x)
+	p.persistIntervalState(cur)
 	if definite {
 		p.send(msg.Deny(p.proc.PID(), cur.ID, x))
 	} // else: fires at finalize (Figure 11)
-	p.jnl.Append(&journal.Entry{Kind: journal.KindDeny, AID: x})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindDeny, AID: x})
 	c.cursor = p.jnl.Len()
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Primitive, PID: p.proc.PID(), AID: x, Interval: cur.ID,
@@ -292,10 +295,11 @@ func (c *Ctx) FreeOf(x ids.AID) bool {
 			p.send(msg.Affirm(p.proc.PID(), cur.ID, x, nil))
 		} else {
 			cur.IHA.Add(x)
+			p.persistIntervalState(cur)
 			p.send(msg.Affirm(p.proc.PID(), cur.ID, x, basis))
 		}
 	}
-	p.jnl.Append(&journal.Entry{Kind: journal.KindFreeOf, AID: x, Result: result})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindFreeOf, AID: x, Result: result})
 	c.cursor = p.jnl.Len()
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Primitive, PID: p.proc.PID(), AID: x, Interval: cur.ID,
@@ -324,7 +328,7 @@ func (c *Ctx) Send(to ids.PID, payload any) {
 
 	cur, basis, _ := c.basisLocked()
 	m := msg.Data(p.proc.PID(), to, cur.ID, basis, payload)
-	p.jnl.Append(&journal.Entry{Kind: journal.KindSend, Msg: m})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindSend, Msg: m})
 	c.cursor = p.jnl.Len()
 	p.send(m)
 }
@@ -391,6 +395,7 @@ func (c *Ctx) postRecv(m *msg.Message, rerr error) (*msg.Message, bool) {
 		return nil, false // spurious interrupt, already handled
 	}
 	if p.dead.Intersects(m.Tag) || p.eng.archiveInvalidates(m.Tag) {
+		p.persistConsumed(m)
 		return nil, false // invalidated while queued
 	}
 
@@ -409,14 +414,14 @@ func (c *Ctx) postRecv(m *msg.Message, rerr error) (*msg.Message, bool) {
 	if len(newDeps) > 0 {
 		rec := p.newIntervalLocked(interval.Implicit, p.jnl.Len(), newDeps, ids.NilAID)
 		entry.Interval = rec.ID
-		p.jnl.Append(entry)
+		p.appendJournalLocked(entry)
 		p.curIdx = p.history.Position(rec.ID)
 		p.eng.tracer.Emit(trace.Event{
 			Kind: trace.Primitive, PID: p.proc.PID(), Interval: rec.ID,
 			Detail: fmt.Sprintf("implicit guess on %d tag AIDs", len(newDeps)),
 		})
 	} else {
-		p.jnl.Append(entry)
+		p.appendJournalLocked(entry)
 	}
 	c.cursor = p.jnl.Len()
 	return m, true
@@ -447,11 +452,12 @@ func (c *Ctx) TryRecv() (payload any, from ids.PID, ok bool) {
 	for {
 		got, any := p.dataQ.TryRecv()
 		if !any {
-			p.jnl.Append(&journal.Entry{Kind: journal.KindTryRecv, Result: false})
+			p.appendJournalLocked(&journal.Entry{Kind: journal.KindTryRecv, Result: false})
 			c.cursor = p.jnl.Len()
 			return nil, ids.NilPID, false
 		}
 		if p.dead.Intersects(got.Tag) || p.eng.archiveInvalidates(got.Tag) {
+			p.persistConsumed(got)
 			continue // invalidated while queued; try the next one
 		}
 		m = got
@@ -473,10 +479,10 @@ func (c *Ctx) TryRecv() (payload any, from ids.PID, ok bool) {
 	if len(newDeps) > 0 {
 		rec := p.newIntervalLocked(interval.Implicit, p.jnl.Len(), newDeps, ids.NilAID)
 		entry.Interval = rec.ID
-		p.jnl.Append(entry)
+		p.appendJournalLocked(entry)
 		p.curIdx = p.history.Position(rec.ID)
 	} else {
-		p.jnl.Append(entry)
+		p.appendJournalLocked(entry)
 	}
 	c.cursor = p.jnl.Len()
 	return m.Payload, m.From, true
@@ -503,7 +509,7 @@ func (c *Ctx) Spawn(body Body) ids.PID {
 	if err != nil {
 		panic(terminatePanic{})
 	}
-	p.jnl.Append(&journal.Entry{Kind: journal.KindSpawn, Child: child.PID()})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindSpawn, Child: child.PID()})
 	c.cursor = p.jnl.Len()
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Primitive, PID: p.proc.PID(), Interval: cur.ID,
@@ -528,7 +534,7 @@ func (c *Ctx) Record(f func() any) any {
 		return e.Note
 	}
 	v := f()
-	p.jnl.Append(&journal.Entry{Kind: journal.KindNote, Note: v})
+	p.appendJournalLocked(&journal.Entry{Kind: journal.KindNote, Note: v})
 	c.cursor = p.jnl.Len()
 	return v
 }

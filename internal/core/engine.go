@@ -43,6 +43,8 @@ type Engine struct {
 	alg     interval.Algorithm
 	tracer  trace.Tracer
 	epochs  ids.EpochAllocator
+	persist Persister
+	restore map[ids.PID]*Restored
 
 	// violations counts protocol violations observed at runtime:
 	// conflicting affirm/deny (the paper's "user error") and the
@@ -76,6 +78,13 @@ type Config struct {
 	Algorithm interval.Algorithm
 	// Tracer receives runtime events (nil = discard).
 	Tracer trace.Tracer
+	// Persist, when non-nil, receives the write-ahead-log callbacks that
+	// make user-process state crash-recoverable (see Persister).
+	Persist Persister
+	// Restore maps PIDs to pre-crash state recovered from a WAL. The
+	// first spawn that draws a mapped PID is rebuilt from it instead of
+	// starting fresh; see Restored for the determinism requirement.
+	Restore map[ids.PID]*Restored
 }
 
 // NewEngine constructs an engine over its transport.
@@ -95,6 +104,8 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{
 		machine: vpm.New(net),
 		alg:     alg,
+		persist: cfg.Persist,
+		restore: cfg.Restore,
 		procs:   make(map[ids.PID]*Process),
 		aids:    make(map[ids.AID]*vpm.Proc),
 		archive: make(map[ids.AID]bool),
@@ -102,6 +113,21 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.PIDBase != 0 {
 		e.machine.SkipPIDs(cfg.PIDBase)
 	}
+	// Intervals opened after a restore must never collide with a restored
+	// interval's (Seq, Epoch): skip the epoch space past everything the
+	// recovered histories carry.
+	var maxEpoch uint32
+	for _, r := range cfg.Restore {
+		if r.MaxEpoch > maxEpoch {
+			maxEpoch = r.MaxEpoch
+		}
+		for _, ri := range r.Intervals {
+			if ri.ID.Epoch > maxEpoch {
+				maxEpoch = ri.ID.Epoch
+			}
+		}
+	}
+	e.epochs.Skip(maxEpoch)
 	e.tracer = violationCounter{inner: tr, count: &e.violations}
 	return e
 }

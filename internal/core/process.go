@@ -80,12 +80,19 @@ func newProcess(eng *Engine, body Body, birthIDO []ids.AID) *Process {
 
 // bind attaches the vpm identity and creates the root interval. A process
 // spawned by a speculative parent inherits the parent's IDO as its root
-// dependency set: it is a causal descendant of those assumptions.
+// dependency set: it is a causal descendant of those assumptions. When the
+// engine holds recovered pre-crash state for this PID, the process is
+// rebuilt from it instead (see restore.go).
 func (p *Process) bind(proc *vpm.Proc) {
 	p.proc = proc
+	r := p.eng.takeRestored(proc.PID())
 	p.mu.Lock()
-	root := p.newIntervalLocked(interval.Root, 0, p.birthIDO, ids.NilAID)
-	p.curIdx = p.history.Position(root.ID)
+	if r != nil && len(r.Intervals) > 0 {
+		p.restoreLocked(r)
+	} else {
+		root := p.newIntervalLocked(interval.Root, 0, p.birthIDO, ids.NilAID)
+		p.curIdx = p.history.Position(root.ID)
+	}
 	p.mu.Unlock()
 	close(p.ready)
 }
@@ -118,6 +125,7 @@ func (p *Process) newIntervalLocked(kind interval.OpenKind, journalIndex int, ex
 		rec.Definite = true
 	}
 	p.history.Append(rec)
+	p.persistIntervalOpen(rec)
 	for _, a := range rec.IDO.Slice() {
 		p.send(msg.Guess(p.proc.PID(), rec.ID, a))
 	}
@@ -143,17 +151,22 @@ func (p *Process) dispatch(proc *vpm.Proc) {
 			p.handleData(m)
 		case msg.KindReplace:
 			p.handleReplace(m)
+			p.persistConsumed(m)
 		case msg.KindRollback:
 			p.handleRollback(m)
+			p.persistConsumed(m)
 		case msg.KindRevive:
 			p.handleRevive(m)
+			p.persistConsumed(m)
 		case msg.KindCutAck:
 			p.handleCutAck(m)
+			p.persistConsumed(m)
 		default:
 			p.eng.tracer.Emit(trace.Event{
 				Kind: trace.Violation, PID: proc.PID(),
 				Detail: "user process received " + m.Kind.String(),
 			})
+			p.persistConsumed(m)
 		}
 	}
 }
@@ -165,6 +178,7 @@ func (p *Process) handleData(m *msg.Message) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.term {
+		p.persistConsumed(m)
 		return
 	}
 	if p.dead.Intersects(m.Tag) || p.eng.archiveInvalidates(m.Tag) {
@@ -172,6 +186,7 @@ func (p *Process) handleData(m *msg.Message) {
 			Kind: trace.Info, PID: p.proc.PID(),
 			Detail: fmt.Sprintf("dropped data message from %s with denied tag %v payload=%v", m.From, m.Tag, m.Payload),
 		})
+		p.persistConsumed(m)
 		return
 	}
 	p.dataQ.Put(m)
@@ -187,6 +202,7 @@ func (p *Process) handleReplace(m *msg.Message) {
 		return // stale target: the paper's "if target in history" guard
 	}
 	res := interval.ApplyReplace(p.eng.alg, rec, m.AID, m.IDO)
+	p.persistIntervalState(rec)
 	for _, y := range res.NewDeps {
 		// Complete the DOM addition: register this interval with every
 		// AID that replaced the sender (Figure 10).
@@ -219,6 +235,7 @@ func (p *Process) handleCutAck(m *msg.Message) {
 		return
 	}
 	rec.Cut.Remove(m.AID)
+	p.persistIntervalState(rec)
 	if rec.Finalizable() {
 		p.finalizeLocked(rec)
 	}
@@ -228,6 +245,7 @@ func (p *Process) handleCutAck(m *msg.Message) {
 // affirms become unconditional and its buffered denies fire.
 func (p *Process) finalizeLocked(rec *interval.Record) {
 	rec.Definite = true
+	p.persistFinalize(rec.ID)
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Finalize, PID: p.proc.PID(), Interval: rec.ID,
 	})
@@ -264,7 +282,9 @@ func (p *Process) handleRevive(m *msg.Message) {
 	}
 	rec.UDO.Remove(m.AID)
 	rec.Cut.Remove(m.AID)
-	if rec.IDO.Add(m.AID) {
+	added := rec.IDO.Add(m.AID)
+	p.persistIntervalState(rec)
+	if added {
 		p.send(msg.Guess(p.proc.PID(), rec.ID, m.AID))
 		// The interval's speculative basis grew. Conditional affirms it
 		// issued earlier advertised the old, smaller basis; refresh them
@@ -300,6 +320,7 @@ func (p *Process) handleRollback(m *msg.Message) {
 	}
 	if m.AID.Valid() {
 		p.dead.Add(m.AID)
+		p.persistDeadAID(m.AID)
 	}
 	p.rollbackLocked(rec)
 }
@@ -332,6 +353,7 @@ func (p *Process) rollbackLocked(rec *interval.Record) {
 			// its entire existence was speculation that failed.
 			p.runErr = ErrTerminated
 		}
+		p.persistRollback(rec.ID)
 		p.terminateLocked()
 		return
 	}
@@ -346,6 +368,7 @@ func (p *Process) rollbackLocked(rec *interval.Record) {
 	}
 
 	discarded := p.jnl.Truncate(rec.JournalIndex)
+	p.persistRollback(rec.ID)
 
 	// Requeue surviving receives and deny assumptions created in the
 	// discarded suffix. A message whose tag names a denied assumption is
@@ -370,11 +393,13 @@ func (p *Process) rollbackLocked(rec *interval.Record) {
 					Kind: trace.Info, PID: p.proc.PID(),
 					Detail: fmt.Sprintf("requeue-dropped message from %s with denied tag %v payload=%v", e.Msg.From, e.Msg.Tag, e.Msg.Payload),
 				})
+				p.persistConsumed(e.Msg)
 				continue
 			}
 			requeue = append(requeue, e.Msg)
 		case journal.KindAidInit:
 			p.dead.Add(e.AID)
+			p.persistDeadAID(e.AID)
 			p.send(msg.Deny(p.proc.PID(), rec.ID, e.AID))
 		}
 	}
@@ -385,7 +410,11 @@ func (p *Process) rollbackLocked(rec *interval.Record) {
 	// then put surviving journalled messages back at the front so they
 	// are re-received in their original order.
 	p.dataQ.Purge(func(m *msg.Message) bool {
-		return p.dead.Intersects(m.Tag)
+		if p.dead.Intersects(m.Tag) {
+			p.persistConsumed(m)
+			return true
+		}
+		return false
 	})
 	p.dataQ.Requeue(requeue)
 

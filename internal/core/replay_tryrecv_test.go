@@ -1,0 +1,55 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReplayTryRecvMiss: a journalled TryRecv miss (KindTryRecv with
+// Result=false, no message) must replay as a miss after rollback, even
+// though the replay path has no message to return — regression coverage
+// for the empty-mailbox replay branch.
+func TestReplayTryRecvMiss(t *testing.T) {
+	eng := newTestEngine(t, Config{})
+	x, err := eng.NewAID()
+	if err != nil {
+		t.Fatalf("NewAID: %v", err)
+	}
+
+	var mu sync.Mutex
+	var outcomes []bool
+
+	p, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		_, _, ok := ctx.TryRecv() // nothing was ever sent here: always a miss
+		mu.Lock()
+		outcomes = append(outcomes, ok)
+		mu.Unlock()
+		ctx.Guess(x) // denied below → rollback → the miss replays
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if _, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		ctx.Deny(x)
+		return nil
+	}); err != nil {
+		t.Fatalf("spawn denier: %v", err)
+	}
+	if !eng.Settle(settleTimeout) {
+		t.Fatal("no settle")
+	}
+	if st := p.Snapshot(); st.Restarts == 0 {
+		t.Fatal("process never rolled back")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(outcomes) < 2 {
+		t.Fatalf("body ran %d times, want at least 2", len(outcomes))
+	}
+	for i, ok := range outcomes {
+		if ok {
+			t.Fatalf("run %d: TryRecv returned ok=true, want replayed miss", i)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+// restoreLocked rebuilds this process from recovered pre-crash state
+// instead of opening a fresh root interval. Called from bind with p.mu
+// held, before the runner or dispatch goroutines start.
+//
+// Reconstruction re-installs the interval history, replay journal, dead
+// set, and compaction base verbatim, then re-fires the control-plane
+// sends whose loss a crash cannot otherwise repair: registrations and
+// finalize fan-out are not journalled, and under group commit a send may
+// die in the gap between its interval mutation reaching the WAL and its
+// wire frame doing so. Re-firing is safe because every control message is
+// idempotent at its AID (Guess re-adds to DOM, a duplicate unconditional
+// Affirm/Deny of a resolved AID is ignored), and bounded because
+// compaction keeps restored histories short.
+//
+// None of these re-fires are persisted as interval records again — the
+// WAL already holds this state; only the outbound frames (FrameQueued)
+// are logged, as for any send.
+func (p *Process) restoreLocked(r *Restored) {
+	pid := p.proc.PID()
+	for _, ri := range r.Intervals {
+		rec := interval.NewRecord(ri.ID, ri.Kind, ri.JournalIndex)
+		rec.GuessAID = ri.GuessAID
+		rec.Definite = ri.Definite
+		for _, a := range ri.IDO {
+			rec.IDO.Add(a)
+		}
+		for _, a := range ri.UDO {
+			rec.UDO.Add(a)
+		}
+		for _, a := range ri.Cut {
+			rec.Cut.Add(a)
+		}
+		for _, a := range ri.IHA {
+			rec.IHA.Add(a)
+		}
+		for _, a := range ri.IHD {
+			rec.IHD.Add(a)
+		}
+		p.history.Append(rec)
+	}
+	for _, e := range r.Entries {
+		p.jnl.Append(e)
+	}
+	for _, a := range r.Dead {
+		p.dead.Add(a)
+	}
+	p.base, p.hasBase = r.Base, r.HasBase
+	p.seq = r.NextSeq
+	p.curIdx = p.history.Len() - 1
+
+	for _, rec := range p.history.Slice() {
+		if rec.Definite {
+			// Finalize fan-out may have been cut short by the crash;
+			// repeat it. Dependents that already saw it ignore the copy.
+			for _, y := range rec.IHA.Slice() {
+				p.send(msg.Affirm(pid, rec.ID, y, nil))
+			}
+			for _, y := range rec.IHD.Slice() {
+				p.send(msg.Deny(pid, rec.ID, y))
+			}
+			continue
+		}
+		for _, a := range rec.IDO.Slice() {
+			p.send(msg.Guess(pid, rec.ID, a))
+		}
+		for _, a := range rec.Cut.Slice() {
+			p.send(msg.CutProbe(pid, rec.ID, a))
+		}
+		if rec.Finalizable() {
+			// The interval emptied its IDO before the crash but the
+			// finalize marker never reached the WAL: finish the job.
+			p.finalizeLocked(rec)
+		}
+	}
+
+	p.eng.tracer.Emit(trace.Event{
+		Kind: trace.Restart, PID: pid,
+		Detail: fmt.Sprintf("restored from WAL: %d intervals, %d journal entries, %d dead AIDs, base=%v",
+			p.history.Len(), p.jnl.Len(), p.dead.Len(), p.hasBase),
+	})
+
+	if r.Terminated {
+		if p.runErr == nil {
+			p.runErr = ErrTerminated
+		}
+		p.terminateLocked()
+	}
+}

@@ -1,0 +1,337 @@
+package durable
+
+import (
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/wal"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+const testSelf = 0
+
+func openStore(t *testing.T, dir string) (*Store, *Recovered) {
+	t.Helper()
+	s, rec, err := Open(dir, testSelf, wal.SyncAlways, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+// localPID/remotePID build PIDs owned by this node and by node 1.
+func localPID(i uint64) ids.PID  { return wire.PIDBase(testSelf) + ids.PID(i) }
+func remotePID(i uint64) ids.PID { return wire.PIDBase(1) + ids.PID(i) }
+
+func encode(t *testing.T, m *msg.Message) []byte {
+	t.Helper()
+	b, err := wire.EncodeMessage(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return b
+}
+
+func TestWireStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openStore(t, dir)
+	if !rec.Empty() {
+		t.Fatalf("fresh dir not empty: %s", rec)
+	}
+
+	// Queue five frames to peer 1, ack through 3.
+	for seq := uint64(1); seq <= 5; seq++ {
+		m := msg.Data(localPID(1), remotePID(1), ids.IntervalID{}, nil, int(seq))
+		s.FrameQueued(1, seq, encode(t, m))
+	}
+	s.AckAdvanced(1, 3)
+
+	// Accept three inbound frames from peer 1; consume the second.
+	for seq := uint64(1); seq <= 3; seq++ {
+		m := msg.Data(remotePID(1), localPID(1), ids.IntervalID{}, nil, int(100+seq))
+		if err := s.Delivered(1, seq, encode(t, m)); err != nil {
+			t.Fatalf("Delivered: %v", err)
+		}
+	}
+	s.Consumed(1, 2)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	pr, ok := rec.Resume.Peers[1]
+	if !ok {
+		t.Fatalf("no resume state for peer 1")
+	}
+	if pr.NextSeq != 5 {
+		t.Fatalf("NextSeq = %d, want 5", pr.NextSeq)
+	}
+	if len(pr.Frames) != 2 || pr.Frames[0].Seq != 4 || pr.Frames[1].Seq != 5 {
+		t.Fatalf("unacked frames = %+v, want seqs 4,5", pr.Frames)
+	}
+	if got := rec.Resume.Delivered[1]; got != 3 {
+		t.Fatalf("delivered watermark = %d, want 3", got)
+	}
+	if len(rec.Redeliver) != 2 {
+		t.Fatalf("redeliver = %d messages, want 2 (seq 2 was consumed)", len(rec.Redeliver))
+	}
+	if rec.Redeliver[0].SrcSeq != 1 || rec.Redeliver[1].SrcSeq != 3 {
+		t.Fatalf("redeliver seqs = %d,%d want 1,3", rec.Redeliver[0].SrcSeq, rec.Redeliver[1].SrcSeq)
+	}
+	if rec.Redeliver[0].Payload != 101 {
+		t.Fatalf("redeliver payload = %v, want 101", rec.Redeliver[0].Payload)
+	}
+}
+
+func TestEngineStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	pid := localPID(7)
+	x, y := ids.AID(remotePID(9)), ids.AID(remotePID(10))
+
+	root := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 0, Epoch: 1}, interval.Root, 0)
+	s.IntervalOpen(pid, root)
+
+	guessed := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 1, Epoch: 2}, interval.Guessed, 1)
+	guessed.GuessAID = x
+	guessed.IDO.Add(x)
+	s.IntervalOpen(pid, guessed)
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindGuess, AID: x, Result: true, Interval: guessed.ID})
+
+	// A remote receive, a note, and a TryRecv miss.
+	in := msg.Data(remotePID(2), pid, ids.IntervalID{}, nil, "req")
+	in.SrcNode, in.SrcSeq = 1, 44
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindRecv, Msg: in})
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindNote, Note: int64(99)})
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindTryRecv, Result: false})
+
+	guessed.IHA.Add(y)
+	s.IntervalState(pid, guessed)
+	s.IntervalFinalize(pid, guessed.ID)
+	s.DeadAID(pid, y)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	r := rec.Restore[pid]
+	if r == nil {
+		t.Fatalf("no restored state for %s", pid)
+	}
+	if len(r.Intervals) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(r.Intervals))
+	}
+	g := r.Intervals[1]
+	if g.GuessAID != x || len(g.IDO) != 1 || g.IDO[0] != x {
+		t.Fatalf("guessed interval = %+v, want GuessAID/IDO = %s", g, x)
+	}
+	if !g.Definite || len(g.IHA) != 1 || g.IHA[0] != y {
+		t.Fatalf("interval state not round-tripped: %+v", g)
+	}
+	if len(r.Entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(r.Entries))
+	}
+	if e := r.Entries[1]; e.Msg == nil || e.Msg.SrcSeq != 44 || e.Msg.Payload != "req" {
+		t.Fatalf("recv entry lost provenance or payload: %+v", e)
+	}
+	if e := r.Entries[2]; e.Note != int64(99) {
+		t.Fatalf("note = %v (%T), want int64 99", e.Note, e.Note)
+	}
+	if e := r.Entries[3]; e.Kind != journal.KindTryRecv || e.Result || e.Msg != nil {
+		t.Fatalf("tryrecv miss entry mangled: %+v", e)
+	}
+	if len(r.Dead) != 1 || r.Dead[0] != y {
+		t.Fatalf("dead = %v, want [%s]", r.Dead, y)
+	}
+	if r.NextSeq != 2 {
+		t.Fatalf("NextSeq = %d, want 2", r.NextSeq)
+	}
+	if r.MaxEpoch != 2 {
+		t.Fatalf("MaxEpoch = %d, want 2", r.MaxEpoch)
+	}
+	// The journalled receive marks wire frame (1,44) consumed even though
+	// no Delivered record exists for it here; nothing to redeliver.
+	if len(rec.Redeliver) != 0 {
+		t.Fatalf("unexpected redeliveries: %v", rec.Redeliver)
+	}
+}
+
+func TestRollbackRestoresConsumedMarkers(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	pid := localPID(3)
+
+	root := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 0, Epoch: 1}, interval.Root, 0)
+	s.IntervalOpen(pid, root)
+
+	in := msg.Data(remotePID(2), pid, ids.IntervalID{}, []ids.AID{ids.AID(remotePID(5))}, "spec")
+	if err := s.Delivered(1, 9, encode(t, in)); err != nil {
+		t.Fatalf("Delivered: %v", err)
+	}
+	in.SrcNode, in.SrcSeq = 1, 9
+
+	// Receiving it opened a speculative interval; then that interval rolls
+	// back, requeueing the message — it must become redeliverable again.
+	spec := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 1, Epoch: 2}, interval.Implicit, 0)
+	spec.IDO.Add(ids.AID(remotePID(5)))
+	s.IntervalOpen(pid, spec)
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindGuess, AID: ids.AID(remotePID(5)), Result: true, Interval: spec.ID})
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindRecv, Msg: in})
+	s.Rollback(pid, spec.ID)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	r := rec.Restore[pid]
+	if r == nil || len(r.Intervals) != 1 || len(r.Entries) != 0 {
+		t.Fatalf("rollback not applied: %+v", r)
+	}
+	if len(rec.Redeliver) != 1 || rec.Redeliver[0].SrcSeq != 9 {
+		t.Fatalf("requeued message not redeliverable: %v", rec.Redeliver)
+	}
+}
+
+func TestRootRollbackTerminates(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	pid := localPID(4)
+	root := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 0, Epoch: 1}, interval.Root, 0)
+	root.IDO.Add(ids.AID(remotePID(6)))
+	s.IntervalOpen(pid, root)
+	s.Rollback(pid, root.ID)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	r := rec.Restore[pid]
+	if r == nil || !r.Terminated {
+		t.Fatalf("root rollback should restore as terminated: %+v", r)
+	}
+}
+
+func TestSendFramePairing(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	pid := localPID(5)
+	root := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 0, Epoch: 1}, interval.Root, 0)
+	s.IntervalOpen(pid, root)
+
+	// First send: journalled AND queued. Second: journalled only (the
+	// crash hit between journal append and enqueue).
+	m1 := msg.Data(pid, remotePID(1), root.ID, nil, "one")
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindSend, Msg: m1})
+	s.FrameQueued(1, 1, encode(t, m1))
+	m2 := msg.Data(pid, remotePID(1), root.ID, nil, "two")
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindSend, Msg: m2})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	if len(rec.Resend) != 1 || rec.Resend[0].Payload != "two" {
+		t.Fatalf("resend = %v, want exactly the unqueued send", rec.Resend)
+	}
+	s2.Close()
+
+	// After the repair is also journal-and-queued, nothing is pending.
+	s3, _ := openStore(t, dir)
+	s3.FrameQueued(1, 2, encode(t, m2))
+	if err := s3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s4, rec := openStore(t, dir)
+	defer s4.Close()
+	if len(rec.Resend) != 0 {
+		t.Fatalf("resend after repair = %v, want none", rec.Resend)
+	}
+}
+
+func TestCompactReplacesJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	pid := localPID(6)
+	root := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 0, Epoch: 1}, interval.Root, 0)
+	s.IntervalOpen(pid, root)
+	cur := interval.NewRecord(ids.IntervalID{Proc: pid, Seq: 1, Epoch: 2}, interval.Guessed, 1)
+	s.IntervalOpen(pid, cur)
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindNote, Note: "pre-compact"})
+	if err := s.Compact(pid, cur.ID, int(42)); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.JournalAppend(pid, &journal.Entry{Kind: journal.KindNote, Note: "post-compact"})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	r := rec.Restore[pid]
+	if r == nil {
+		t.Fatalf("no restored state")
+	}
+	if !r.HasBase || r.Base != 42 {
+		t.Fatalf("base = %v/%v, want 42/true", r.Base, r.HasBase)
+	}
+	if len(r.Intervals) != 1 || r.Intervals[0].ID != cur.ID || r.Intervals[0].JournalIndex != 0 {
+		t.Fatalf("intervals after compact = %+v", r.Intervals)
+	}
+	if len(r.Entries) != 1 || r.Entries[0].Note != "post-compact" {
+		t.Fatalf("entries after compact = %+v", r.Entries)
+	}
+}
+
+// unencodable defeats gob (function values cannot be encoded), forcing
+// the poison path.
+type unencodable struct{ F func() }
+
+func TestPoisonDropsProcess(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	good, bad := localPID(8), localPID(9)
+	s.IntervalOpen(good, interval.NewRecord(ids.IntervalID{Proc: good, Seq: 0, Epoch: 1}, interval.Root, 0))
+	s.IntervalOpen(bad, interval.NewRecord(ids.IntervalID{Proc: bad, Seq: 0, Epoch: 2}, interval.Root, 0))
+	s.JournalAppend(bad, &journal.Entry{Kind: journal.KindNote, Note: unencodable{F: func() {}}})
+	if s.EncodeErrors() == 0 {
+		t.Fatalf("encode failure not counted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	if rec.Restore[bad] != nil {
+		t.Fatalf("poisoned process must not be restored")
+	}
+	if rec.Restore[good] == nil {
+		t.Fatalf("healthy process lost alongside poisoned one")
+	}
+}
+
+func TestSyncNoneSkipsBarriers(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, testSelf, wal.SyncNone, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	s.FrameQueued(1, 1, []byte{0})
+	if err := s.SyncForWrite(); err != nil {
+		t.Fatalf("SyncForWrite: %v", err)
+	}
+	if err := s.SyncForAck(); err != nil {
+		t.Fatalf("SyncForAck: %v", err)
+	}
+	if got := s.Stats().Syncs; got != 0 {
+		t.Fatalf("SyncNone issued %d syncs", got)
+	}
+}

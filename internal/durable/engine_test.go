@@ -1,0 +1,86 @@
+package durable
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+)
+
+// TestEngineRestoreRoundTrip drives a real engine against a Store, kills
+// it, and restores a second engine from the recovered WAL: the replayed
+// body must observe its first run's journalled values, not recompute.
+func TestEngineRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	var mu sync.Mutex
+	var got []any
+	note := func(v any) { mu.Lock(); got = append(got, v); mu.Unlock() }
+
+	// run is what Record would capture if executed live: the second
+	// engine passes 2, but replay must yield the journalled 1.
+	body := func(run int64) core.Body {
+		return func(ctx *core.Ctx) error {
+			v := ctx.Record(func() any { return run }).(int64)
+			x, ok := ctx.GuessNew(ids.NilAID)
+			note(v)
+			note(x.Valid() && ok)
+			_, _, err := ctx.Recv() // park until shutdown
+			return err
+		}
+	}
+
+	s, rec := openStore(t, dir)
+	if !rec.Empty() {
+		t.Fatalf("fresh dir not empty: %s", rec)
+	}
+	eng := core.NewEngine(core.Config{Persist: s})
+	p, err := eng.SpawnRoot(body(1))
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !eng.Settle(10 * time.Second) {
+		t.Fatal("no settle")
+	}
+	pid := p.PID()
+	eng.Shutdown()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec2 := openStore(t, dir)
+	defer s2.Close()
+	r := rec2.Restore[pid]
+	if r == nil {
+		t.Fatalf("no restored state for %s; restore=%v", pid, rec2.Restore)
+	}
+	if len(r.Intervals) != 2 {
+		t.Fatalf("restored %d intervals, want root+guessed", len(r.Intervals))
+	}
+	eng2 := core.NewEngine(core.Config{Persist: s2, Restore: rec2.Restore})
+	defer eng2.Shutdown()
+	p2, err := eng2.SpawnRoot(body(2))
+	if err != nil {
+		t.Fatalf("respawn: %v", err)
+	}
+	if p2.PID() != pid {
+		t.Fatalf("respawn drew %s, want deterministic %s", p2.PID(), pid)
+	}
+	if !eng2.Settle(10 * time.Second) {
+		t.Fatal("no settle after restore")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []any{int64(1), true, int64(1), true}
+	if len(got) != len(want) {
+		t.Fatalf("observations = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("observation %d = %v, want %v (journal not replayed)", i, got[i], want[i])
+		}
+	}
+}

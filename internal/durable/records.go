@@ -1,0 +1,321 @@
+// Package durable makes a hoped node crash-recoverable. It implements
+// both persistence surfaces the runtime defines — wire.DurableHooks for
+// the transport and core.Persister for the engine — over a single
+// internal/wal log, and replays that log at boot into the resume state
+// the two layers accept (wire.Resume, core.Restored).
+//
+// One log, two layers: interleaving transport and engine records in a
+// single append-only stream is what makes the cross-layer invariants
+// checkable by prefix durability alone. A journal entry always precedes
+// the wire frame its send produced; a delivered frame always precedes
+// the journal entry that consumed it. After a torn tail is truncated,
+// every surviving record's prerequisites therefore also survive. See
+// DESIGN.md §8 for the full crash-consistency argument.
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// Record type tags: the first byte of every WAL payload. Values are part
+// of the on-disk format; never renumber, only append.
+const (
+	recPeerSend      = 1  // peer, seq, frame — outbound frame admitted to a resend queue
+	recPeerAck       = 2  // peer, acked — cumulative ack watermark advanced
+	recDelivered     = 3  // from, seq, frame — inbound frame accepted
+	recConsumed      = 4  // from, seq — delivered message retired without a journal entry
+	recJournal       = 5  // pid, entry — process journal append
+	recIntervalOpen  = 6  // pid, interval — interval opened
+	recIntervalState = 7  // pid, interval — interval dependency sets mutated
+	recFinalize      = 8  // pid, iid — interval became definite
+	recRollback      = 9  // pid, iid — interval and successors discarded
+	recDeadAID       = 10 // pid, aid — assumption learned denied
+	recCompact       = 11 // pid, iid, gob(base) — journal compacted to a snapshot
+	recPoison        = 12 // pid, reason — persistence failed; drop pid from recovery
+)
+
+// anyEnv wraps interface values (journal notes, compaction snapshots) so
+// gob can encode them; concrete types must be registered, exactly as for
+// wire payloads (wire.RegisterPayload).
+type anyEnv struct{ V any }
+
+func appendUv(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendIID(b []byte, id ids.IntervalID) []byte {
+	b = appendUv(b, uint64(id.Proc))
+	b = appendUv(b, uint64(id.Seq))
+	return appendUv(b, uint64(id.Epoch))
+}
+
+func appendAIDs(b []byte, set []ids.AID) []byte {
+	b = appendUv(b, uint64(len(set)))
+	for _, a := range set {
+		b = appendUv(b, uint64(a))
+	}
+	return b
+}
+
+// Journal entry flag bits.
+const (
+	entResult = 1 << iota
+	entHasMsg
+	entHasNote
+)
+
+// appendEntry encodes a journal entry. The embedded message reuses the
+// wire codec (so payload registration rules match the transport) plus the
+// SrcNode/SrcSeq provenance the wire layout deliberately omits.
+func appendEntry(b []byte, e *journal.Entry) ([]byte, error) {
+	b = appendUv(b, uint64(e.Kind))
+	b = appendUv(b, uint64(e.AID))
+	var flags byte
+	if e.Result {
+		flags |= entResult
+	}
+	if e.Msg != nil {
+		flags |= entHasMsg
+	}
+	if e.Note != nil {
+		flags |= entHasNote
+	}
+	b = append(b, flags)
+	b = appendIID(b, e.Interval)
+	b = appendUv(b, uint64(e.Child))
+	if e.Msg != nil {
+		b = appendUv(b, uint64(e.Msg.SrcNode))
+		b = appendUv(b, e.Msg.SrcSeq)
+		mark := len(b)
+		b = appendUv(b, 0) // patched below
+		enc, err := wire.AppendMessage(b, e.Msg)
+		if err != nil {
+			return b, err
+		}
+		// Patch the length prefix: re-append with the real size. Uvarint
+		// width may change, so rebuild the tail (messages are small).
+		body := append([]byte(nil), enc[mark+1:]...)
+		b = appendUv(enc[:mark], uint64(len(body)))
+		b = append(b, body...)
+	}
+	if e.Note != nil {
+		var nb bytes.Buffer
+		if err := gob.NewEncoder(&nb).Encode(anyEnv{V: e.Note}); err != nil {
+			return b, fmt.Errorf("durable: encode note %T: %w", e.Note, err)
+		}
+		b = append(b, nb.Bytes()...) // last field: rest of record
+	}
+	return b, nil
+}
+
+// appendAny gob-encodes an interface value (compaction snapshot) as the
+// final field of a record.
+func appendAny(b []byte, v any) ([]byte, error) {
+	var nb bytes.Buffer
+	if err := gob.NewEncoder(&nb).Encode(anyEnv{V: v}); err != nil {
+		return b, fmt.Errorf("durable: encode snapshot %T: %w", v, err)
+	}
+	return append(b, nb.Bytes()...), nil
+}
+
+// appendInterval encodes an interval record in flat form.
+func appendInterval(b []byte, ri core.RestoredInterval) []byte {
+	b = appendIID(b, ri.ID)
+	b = appendUv(b, uint64(ri.Kind))
+	b = appendUv(b, uint64(ri.JournalIndex))
+	b = appendUv(b, uint64(ri.GuessAID))
+	var def byte
+	if ri.Definite {
+		def = 1
+	}
+	b = append(b, def)
+	b = appendAIDs(b, ri.IDO)
+	b = appendAIDs(b, ri.UDO)
+	b = appendAIDs(b, ri.Cut)
+	b = appendAIDs(b, ri.IHA)
+	b = appendAIDs(b, ri.IHD)
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// reader is a bounds-checked cursor over one record payload.
+type reader struct{ buf []byte }
+
+func (r *reader) uv() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("durable: bad uvarint")
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if len(r.buf) == 0 {
+		return 0, fmt.Errorf("durable: truncated record")
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || n > len(r.buf) {
+		return nil, fmt.Errorf("durable: truncated record (%d of %d bytes)", len(r.buf), n)
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b, nil
+}
+
+func (r *reader) iid() (ids.IntervalID, error) {
+	proc, err := r.uv()
+	if err != nil {
+		return ids.NilInterval, err
+	}
+	seq, err := r.uv()
+	if err != nil {
+		return ids.NilInterval, err
+	}
+	epoch, err := r.uv()
+	if err != nil {
+		return ids.NilInterval, err
+	}
+	return ids.IntervalID{Proc: ids.PID(proc), Seq: uint32(seq), Epoch: uint32(epoch)}, nil
+}
+
+func (r *reader) aids() ([]ids.AID, error) {
+	n, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(r.buf)) {
+		return nil, fmt.Errorf("durable: AID set of %d exceeds record size", n)
+	}
+	set := make([]ids.AID, n)
+	for i := range set {
+		v, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		set[i] = ids.AID(v)
+	}
+	return set, nil
+}
+
+func (r *reader) entry() (*journal.Entry, error) {
+	kind, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	aid, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	iid, err := r.iid()
+	if err != nil {
+		return nil, err
+	}
+	child, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	e := &journal.Entry{
+		Kind:     journal.Kind(kind),
+		AID:      ids.AID(aid),
+		Result:   flags&entResult != 0,
+		Interval: iid,
+		Child:    ids.PID(child),
+	}
+	if flags&entHasMsg != 0 {
+		srcNode, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		srcSeq, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		mlen, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		mb, err := r.take(int(mlen))
+		if err != nil {
+			return nil, err
+		}
+		m, err := wire.DecodeMessage(mb)
+		if err != nil {
+			return nil, fmt.Errorf("durable: journalled message: %w", err)
+		}
+		m.SrcNode, m.SrcSeq = int(srcNode), srcSeq
+		e.Msg = m
+	}
+	if flags&entHasNote != 0 {
+		var env anyEnv
+		if err := gob.NewDecoder(bytes.NewReader(r.buf)).Decode(&env); err != nil {
+			return nil, fmt.Errorf("durable: journalled note: %w", err)
+		}
+		r.buf = nil
+		e.Note = env.V
+	}
+	return e, nil
+}
+
+func (r *reader) interval() (core.RestoredInterval, error) {
+	var ri core.RestoredInterval
+	iid, err := r.iid()
+	if err != nil {
+		return ri, err
+	}
+	ri.ID = iid
+	kind, err := r.uv()
+	if err != nil {
+		return ri, err
+	}
+	ji, err := r.uv()
+	if err != nil {
+		return ri, err
+	}
+	ga, err := r.uv()
+	if err != nil {
+		return ri, err
+	}
+	def, err := r.byte()
+	if err != nil {
+		return ri, err
+	}
+	ri.Kind, ri.JournalIndex, ri.GuessAID, ri.Definite = interval.OpenKind(kind), int(ji), ids.AID(ga), def != 0
+	if ri.IDO, err = r.aids(); err != nil {
+		return ri, err
+	}
+	if ri.UDO, err = r.aids(); err != nil {
+		return ri, err
+	}
+	if ri.Cut, err = r.aids(); err != nil {
+		return ri, err
+	}
+	if ri.IHA, err = r.aids(); err != nil {
+		return ri, err
+	}
+	if ri.IHD, err = r.aids(); err != nil {
+		return ri, err
+	}
+	return ri, nil
+}

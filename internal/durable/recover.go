@@ -1,0 +1,442 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// Recovered is everything Open rebuilt from the WAL. A node boots by
+// passing Resume to wire.NewNode, Restore to core.NewEngine, then — after
+// the engine has spawned its root processes — re-sending Resend through
+// the node and re-injecting Redeliver via Node.Redeliver.
+type Recovered struct {
+	// Resume is the transport's pre-crash send/receive state.
+	Resume *wire.Resume
+	// Restore maps each recovered user process to its pre-crash state.
+	Restore map[ids.PID]*core.Restored
+	// Redeliver holds delivered-but-unconsumed inbound messages in their
+	// original arrival order, SrcNode/SrcSeq stamped.
+	Redeliver []*msg.Message
+	// Resend holds journalled sends whose frames never reached a resend
+	// queue (the crash hit between the journal append and the enqueue).
+	Resend []*msg.Message
+	// Skipped counts recovered inbound frames dropped because they no
+	// longer decode (codec drift across the restart).
+	Skipped int
+
+	// Records, Truncations, Duration mirror the WAL scan metrics.
+	Records     uint64
+	Truncations uint64
+	Duration    time.Duration
+}
+
+// Empty reports whether the WAL held no state (first boot).
+func (r *Recovered) Empty() bool {
+	return len(r.Restore) == 0 && len(r.Redeliver) == 0 && len(r.Resend) == 0 &&
+		(r.Resume == nil || (len(r.Resume.Peers) == 0 && len(r.Resume.Delivered) == 0))
+}
+
+// String summarizes the recovery for the boot log.
+func (r *Recovered) String() string {
+	frames := 0
+	if r.Resume != nil {
+		for _, p := range r.Resume.Peers {
+			frames += len(p.Frames)
+		}
+	}
+	return fmt.Sprintf("records=%d procs=%d redeliver=%d resend=%d unacked=%d torn=%d in %v",
+		r.Records, len(r.Restore), len(r.Redeliver), len(r.Resend), frames,
+		r.Truncations, r.Duration.Round(time.Microsecond))
+}
+
+// inKey identifies one delivered inbound frame.
+type inKey struct {
+	from int
+	seq  uint64
+}
+
+// inMsg is one delivered inbound frame awaiting consumption.
+type inMsg struct {
+	inKey
+	frame    []byte
+	consumed bool
+}
+
+// rPeer accumulates send-side state toward one peer.
+type rPeer struct {
+	lastSeq uint64
+	frames  []wire.ResumeFrame // unacked, ascending by seq
+}
+
+// rProc accumulates one process's engine state.
+type rProc struct {
+	intervals  []core.RestoredInterval
+	entries    []*journal.Entry
+	dead       map[ids.AID]struct{}
+	deadOrder  []ids.AID
+	base       any
+	hasBase    bool
+	maxSeq     uint32
+	maxEpoch   uint32
+	terminated bool
+	poisoned   bool
+
+	// Send/frame pairing: LSN of the last journalled remote send vs. the
+	// last KindData frame enqueued by this process. Journal-append happens
+	// before enqueue under the process lock, so at most the single last
+	// send can be missing its frame after a torn-tail truncation.
+	lastSendLSN  uint64
+	lastSend     *journal.Entry
+	lastFrameLSN uint64
+}
+
+// recoverState folds the WAL record stream, in LSN order, into the
+// resume state. Every application mirrors the live mutation the record
+// describes; see each record tag's comment in records.go.
+type recoverState struct {
+	self    int
+	peers   map[int]*rPeer
+	watermk map[int]uint64
+	inbox   []*inMsg
+	inboxBy map[inKey]*inMsg
+	procs   map[ids.PID]*rProc
+	skipped int
+}
+
+func newRecoverState(self int) *recoverState {
+	return &recoverState{
+		self:    self,
+		peers:   make(map[int]*rPeer),
+		watermk: make(map[int]uint64),
+		inboxBy: make(map[inKey]*inMsg),
+		procs:   make(map[ids.PID]*rProc),
+	}
+}
+
+func (rs *recoverState) proc(pid ids.PID) *rProc {
+	p := rs.procs[pid]
+	if p == nil {
+		p = &rProc{dead: make(map[ids.AID]struct{})}
+		rs.procs[pid] = p
+	}
+	return p
+}
+
+// apply consumes one WAL record. payload aliases the scanner's read
+// buffer: anything retained must be copied.
+func (rs *recoverState) apply(lsn uint64, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("durable: empty record")
+	}
+	r := &reader{buf: payload[1:]}
+	switch payload[0] {
+	case recPeerSend:
+		peer, err := r.uv()
+		if err != nil {
+			return err
+		}
+		seq, err := r.uv()
+		if err != nil {
+			return err
+		}
+		frame := append([]byte(nil), r.buf...)
+		p := rs.peers[int(peer)]
+		if p == nil {
+			p = &rPeer{}
+			rs.peers[int(peer)] = p
+		}
+		if seq > p.lastSeq {
+			p.lastSeq = seq
+		}
+		p.frames = append(p.frames, wire.ResumeFrame{Seq: seq, Frame: frame})
+		// Pairing: a KindData frame from a local process retires that
+		// process's pending journalled send.
+		if m, err := wire.DecodeMessage(frame); err == nil &&
+			m.Kind == msg.KindData && wire.NodeOf(m.From) == rs.self {
+			rs.proc(m.From).lastFrameLSN = lsn
+		}
+
+	case recPeerAck:
+		peer, err := r.uv()
+		if err != nil {
+			return err
+		}
+		acked, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if p := rs.peers[int(peer)]; p != nil {
+			keep := p.frames[:0]
+			for _, f := range p.frames {
+				if f.Seq > acked {
+					keep = append(keep, f)
+				}
+			}
+			p.frames = keep
+		}
+
+	case recDelivered:
+		from, err := r.uv()
+		if err != nil {
+			return err
+		}
+		seq, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if seq > rs.watermk[int(from)] {
+			rs.watermk[int(from)] = seq
+		}
+		im := &inMsg{
+			inKey: inKey{from: int(from), seq: seq},
+			frame: append([]byte(nil), r.buf...),
+		}
+		rs.inbox = append(rs.inbox, im)
+		rs.inboxBy[im.inKey] = im
+
+	case recConsumed:
+		from, err := r.uv()
+		if err != nil {
+			return err
+		}
+		seq, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if im := rs.inboxBy[inKey{from: int(from), seq: seq}]; im != nil {
+			im.consumed = true
+		}
+
+	case recJournal:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		e, err := r.entry()
+		if err != nil {
+			return err
+		}
+		p := rs.proc(ids.PID(pid))
+		p.entries = append(p.entries, e)
+		if e.Msg != nil && e.Msg.SrcSeq != 0 &&
+			(e.Kind == journal.KindRecv || e.Kind == journal.KindTryRecv) {
+			if im := rs.inboxBy[inKey{from: e.Msg.SrcNode, seq: e.Msg.SrcSeq}]; im != nil {
+				im.consumed = true
+			}
+		}
+		if e.Kind == journal.KindSend && e.Msg != nil && wire.NodeOf(e.Msg.To) != rs.self {
+			p.lastSendLSN, p.lastSend = lsn, e
+		}
+
+	case recIntervalOpen:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		ri, err := r.interval()
+		if err != nil {
+			return err
+		}
+		p := rs.proc(ids.PID(pid))
+		p.intervals = append(p.intervals, ri)
+		if ri.ID.Seq > p.maxSeq {
+			p.maxSeq = ri.ID.Seq
+		}
+		if ri.ID.Epoch > p.maxEpoch {
+			p.maxEpoch = ri.ID.Epoch
+		}
+
+	case recIntervalState:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		ri, err := r.interval()
+		if err != nil {
+			return err
+		}
+		p := rs.proc(ids.PID(pid))
+		for i := len(p.intervals) - 1; i >= 0; i-- {
+			if p.intervals[i].ID == ri.ID {
+				p.intervals[i] = ri
+				break
+			}
+		}
+
+	case recFinalize:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		iid, err := r.iid()
+		if err != nil {
+			return err
+		}
+		p := rs.proc(ids.PID(pid))
+		for i := len(p.intervals) - 1; i >= 0; i-- {
+			if p.intervals[i].ID == iid {
+				p.intervals[i].Definite = true
+				break
+			}
+		}
+
+	case recRollback:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		iid, err := r.iid()
+		if err != nil {
+			return err
+		}
+		rs.rollback(ids.PID(pid), iid)
+
+	case recDeadAID:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		a, err := r.uv()
+		if err != nil {
+			return err
+		}
+		p := rs.proc(ids.PID(pid))
+		if _, dup := p.dead[ids.AID(a)]; !dup {
+			p.dead[ids.AID(a)] = struct{}{}
+			p.deadOrder = append(p.deadOrder, ids.AID(a))
+		}
+
+	case recCompact:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		iid, err := r.iid()
+		if err != nil {
+			return err
+		}
+		var env anyEnv
+		if err := gob.NewDecoder(bytes.NewReader(r.buf)).Decode(&env); err != nil {
+			return fmt.Errorf("durable: compaction snapshot: %w", err)
+		}
+		p := rs.proc(ids.PID(pid))
+		p.entries = nil
+		for i := range p.intervals {
+			if p.intervals[i].ID == iid {
+				kept := p.intervals[i]
+				kept.JournalIndex = 0
+				p.intervals = []core.RestoredInterval{kept}
+				break
+			}
+		}
+		p.base, p.hasBase = env.V, true
+
+	case recPoison:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		rs.proc(ids.PID(pid)).poisoned = true
+
+	default:
+		return fmt.Errorf("durable: unknown record type %d", payload[0])
+	}
+	return nil
+}
+
+// rollback mirrors Process.rollbackLocked: truncate history from iid,
+// truncate the journal to iid's journal index, and release the consumed
+// markers of discarded receives (the live rollback requeued those
+// messages; any that were then dropped or re-received appear as later
+// Consumed or journal records).
+func (rs *recoverState) rollback(pid ids.PID, iid ids.IntervalID) {
+	p := rs.proc(pid)
+	pos := -1
+	for i := range p.intervals {
+		if p.intervals[i].ID == iid {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return
+	}
+	if pos == 0 {
+		// Rolling back the root terminates the process; its state stays
+		// as-is and the restore spawns it directly into the dead state.
+		p.terminated = true
+		return
+	}
+	ji := p.intervals[pos].JournalIndex
+	p.intervals = p.intervals[:pos]
+	if ji < len(p.entries) {
+		for _, e := range p.entries[ji:] {
+			if e.Msg == nil || e.Msg.SrcSeq == 0 {
+				continue
+			}
+			if e.Kind != journal.KindRecv && e.Kind != journal.KindTryRecv {
+				continue
+			}
+			if im := rs.inboxBy[inKey{from: e.Msg.SrcNode, seq: e.Msg.SrcSeq}]; im != nil {
+				im.consumed = false
+			}
+		}
+		p.entries = p.entries[:ji]
+	}
+}
+
+// finish converts the folded state into the boot-time resume values.
+func (rs *recoverState) finish() (*Recovered, error) {
+	rec := &Recovered{
+		Resume:  &wire.Resume{Peers: make(map[int]wire.ResumePeer), Delivered: rs.watermk},
+		Restore: make(map[ids.PID]*core.Restored),
+	}
+	for id, p := range rs.peers {
+		rec.Resume.Peers[id] = wire.ResumePeer{NextSeq: p.lastSeq, Frames: p.frames}
+	}
+	for pid, p := range rs.procs {
+		if p.poisoned || len(p.intervals) == 0 {
+			continue
+		}
+		r := &core.Restored{
+			Intervals:  p.intervals,
+			Entries:    p.entries,
+			Dead:       p.deadOrder,
+			Base:       p.base,
+			HasBase:    p.hasBase,
+			NextSeq:    p.maxSeq + 1,
+			MaxEpoch:   p.maxEpoch,
+			Terminated: p.terminated,
+		}
+		rec.Restore[pid] = r
+		if p.lastSend != nil && p.lastSendLSN > p.lastFrameLSN && !p.terminated {
+			// The journal says this send happened but its frame never hit
+			// a resend queue: the crash (or a queue overflow) swallowed
+			// it. Replay will treat the send as already performed, so the
+			// only repair is to enqueue the frame now.
+			rec.Resend = append(rec.Resend, p.lastSend.Msg)
+		}
+	}
+	for _, im := range rs.inbox {
+		if im.consumed {
+			continue
+		}
+		m, err := wire.DecodeMessage(im.frame)
+		if err != nil {
+			rs.skipped++
+			continue
+		}
+		m.SrcNode, m.SrcSeq = im.from, im.seq
+		rec.Redeliver = append(rec.Redeliver, m)
+	}
+	rec.Skipped = rs.skipped
+	return rec, nil
+}

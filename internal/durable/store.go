@@ -1,0 +1,297 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/wal"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// Store is the durable state of one hoped node. It satisfies both
+// wire.DurableHooks and core.Persister over a single WAL, so transport
+// and engine records interleave in one totally ordered stream.
+type Store struct {
+	log    *wal.Log
+	policy wal.Policy
+	tracer trace.Tracer
+
+	mu  sync.Mutex // serializes encode-scratch reuse; leaf lock
+	buf []byte
+
+	encodeErrs atomic.Uint64
+	poisoned   sync.Map // ids.PID → struct{}: pids whose persistence failed
+}
+
+// Open opens (creating if necessary) the node's WAL under dir, replays it,
+// and returns the store ready for appends plus everything the runtime
+// needs to resume: wire state, engine state, and pending redeliveries.
+// nodeID is this node's wire ID (it distinguishes local from remote PIDs
+// during send/frame pairing). tracer may be nil.
+func Open(dir string, nodeID int, policy wal.Policy, tracer trace.Tracer) (*Store, *Recovered, error) {
+	if tracer == nil {
+		tracer = trace.Nop
+	}
+	rs := newRecoverState(nodeID)
+	log, err := wal.Open(wal.Options{
+		Dir:      dir,
+		Policy:   policy,
+		OnRecord: rs.apply,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := rs.finish()
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	m := log.Metrics()
+	rec.Records = m.RecoveredRecords
+	rec.Truncations = m.TornTruncations
+	rec.Duration = m.RecoveryTime
+	return &Store{log: log, policy: policy, tracer: tracer}, rec, nil
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error { return s.log.Close() }
+
+// Log exposes the underlying WAL (metrics, tests).
+func (s *Store) Log() *wal.Log { return s.log }
+
+// EncodeErrors reports how many records failed to encode (and were
+// therefore lost; the affected process is poisoned out of recovery).
+func (s *Store) EncodeErrors() uint64 { return s.encodeErrs.Load() }
+
+// append encodes one record with build and appends it to the WAL. The
+// scratch buffer is reused across calls; build must fully overwrite it.
+func (s *Store) append(build func(b []byte) ([]byte, error)) error {
+	s.mu.Lock()
+	b, err := build(append(s.buf[:0], 0)) // placeholder for the type tag set by build
+	if err == nil {
+		s.buf = b
+		_, err = s.log.Append(b)
+	} else if b != nil {
+		s.buf = b
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// appendTagged is append for records whose encoding cannot fail.
+func (s *Store) appendTagged(tag byte, build func(b []byte) []byte) error {
+	return s.append(func(b []byte) ([]byte, error) {
+		b[0] = tag
+		return build(b), nil
+	})
+}
+
+// fail traces and counts a persistence failure.
+func (s *Store) fail(what string, err error) {
+	s.encodeErrs.Add(1)
+	s.tracer.Emit(trace.Event{Kind: trace.Transport,
+		Detail: fmt.Sprintf("durable: %s failed: %v", what, err)})
+}
+
+// poison drops pid from any future recovery: its durable state is no
+// longer complete, so restoring it would be worse than restarting fresh.
+func (s *Store) poison(pid ids.PID, reason string) {
+	if _, dup := s.poisoned.LoadOrStore(pid, struct{}{}); dup {
+		return
+	}
+	s.encodeErrs.Add(1)
+	s.tracer.Emit(trace.Event{Kind: trace.Transport,
+		Detail: fmt.Sprintf("durable: %s poisoned, will restart fresh after a crash: %s", pid, reason)})
+	if err := s.appendTagged(recPoison, func(b []byte) []byte {
+		b = appendUv(b, uint64(pid))
+		return append(b, reason...)
+	}); err != nil {
+		s.fail("poison record", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// wire.DurableHooks
+
+// FrameQueued implements wire.DurableHooks.
+func (s *Store) FrameQueued(peer int, seq uint64, frame []byte) {
+	err := s.appendTagged(recPeerSend, func(b []byte) []byte {
+		b = appendUv(b, uint64(peer))
+		b = appendUv(b, seq)
+		return append(b, frame...)
+	})
+	if err != nil {
+		s.fail("FrameQueued", err)
+	}
+}
+
+// AckAdvanced implements wire.DurableHooks.
+func (s *Store) AckAdvanced(peer int, acked uint64) {
+	err := s.appendTagged(recPeerAck, func(b []byte) []byte {
+		b = appendUv(b, uint64(peer))
+		return appendUv(b, acked)
+	})
+	if err != nil {
+		s.fail("AckAdvanced", err)
+	}
+}
+
+// Delivered implements wire.DurableHooks. Unlike the other hooks its
+// error propagates: the transport refuses the frame, so the sender keeps
+// it queued and redelivers once the log accepts writes again.
+func (s *Store) Delivered(from int, seq uint64, frame []byte) error {
+	return s.appendTagged(recDelivered, func(b []byte) []byte {
+		b = appendUv(b, uint64(from))
+		b = appendUv(b, seq)
+		return append(b, frame...)
+	})
+}
+
+// Consumed implements wire.DurableHooks (the from/seq form used by the
+// transport for dead letters and undecodable frames).
+func (s *Store) Consumed(from int, seq uint64) {
+	err := s.appendTagged(recConsumed, func(b []byte) []byte {
+		b = appendUv(b, uint64(from))
+		return appendUv(b, seq)
+	})
+	if err != nil {
+		s.fail("Consumed", err)
+	}
+}
+
+// SyncForWrite implements wire.DurableHooks: barrier before queued frames
+// reach a socket (their sequence numbers become unforgettable).
+func (s *Store) SyncForWrite() error { return s.barrier() }
+
+// SyncForAck implements wire.DurableHooks: barrier before an ack frame is
+// written (the peer may then forget everything at or below it).
+func (s *Store) SyncForAck() error { return s.barrier() }
+
+// barrier forces appended records to stable storage. Under SyncNone the
+// barrier is a no-op: the node trades crash safety for speed, explicitly.
+func (s *Store) barrier() error {
+	if s.policy == wal.SyncNone {
+		return nil
+	}
+	return s.log.Sync()
+}
+
+// Stats implements wire.DurableHooks.
+func (s *Store) Stats() wire.DurableStats {
+	m := s.log.Metrics()
+	return wire.DurableStats{
+		Appends:          m.Appends,
+		Syncs:            m.Syncs,
+		TornTruncations:  m.TornTruncations,
+		RecoveredRecords: m.RecoveredRecords,
+		RecoveryTime:     m.RecoveryTime,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// core.Persister
+
+// JournalAppend implements core.Persister.
+func (s *Store) JournalAppend(pid ids.PID, e *journal.Entry) {
+	err := s.append(func(b []byte) ([]byte, error) {
+		b[0] = recJournal
+		b = appendUv(b, uint64(pid))
+		return appendEntry(b, e)
+	})
+	if err != nil {
+		s.poison(pid, err.Error())
+	}
+}
+
+// IntervalOpen implements core.Persister.
+func (s *Store) IntervalOpen(pid ids.PID, rec *interval.Record) {
+	s.intervalRecord(recIntervalOpen, pid, rec)
+}
+
+// IntervalState implements core.Persister.
+func (s *Store) IntervalState(pid ids.PID, rec *interval.Record) {
+	s.intervalRecord(recIntervalState, pid, rec)
+}
+
+func (s *Store) intervalRecord(tag byte, pid ids.PID, rec *interval.Record) {
+	err := s.appendTagged(tag, func(b []byte) []byte {
+		b = appendUv(b, uint64(pid))
+		return appendInterval(b, flatten(rec))
+	})
+	if err != nil {
+		s.poison(pid, err.Error())
+	}
+}
+
+// flatten snapshots a live interval record into encodable form. Caller
+// holds the process lock, so the sets are stable for the duration.
+func flatten(rec *interval.Record) core.RestoredInterval {
+	return core.RestoredInterval{
+		ID:           rec.ID,
+		Kind:         rec.Kind,
+		JournalIndex: rec.JournalIndex,
+		GuessAID:     rec.GuessAID,
+		Definite:     rec.Definite,
+		IDO:          rec.IDO.Slice(),
+		UDO:          rec.UDO.Slice(),
+		Cut:          rec.Cut.Slice(),
+		IHA:          rec.IHA.Slice(),
+		IHD:          rec.IHD.Slice(),
+	}
+}
+
+// IntervalFinalize implements core.Persister.
+func (s *Store) IntervalFinalize(pid ids.PID, iid ids.IntervalID) {
+	s.iidRecord(recFinalize, pid, iid, "IntervalFinalize")
+}
+
+// Rollback implements core.Persister.
+func (s *Store) Rollback(pid ids.PID, iid ids.IntervalID) {
+	s.iidRecord(recRollback, pid, iid, "Rollback")
+}
+
+func (s *Store) iidRecord(tag byte, pid ids.PID, iid ids.IntervalID, what string) {
+	err := s.appendTagged(tag, func(b []byte) []byte {
+		b = appendUv(b, uint64(pid))
+		return appendIID(b, iid)
+	})
+	if err != nil {
+		s.poison(pid, what+": "+err.Error())
+	}
+}
+
+// DeadAID implements core.Persister.
+func (s *Store) DeadAID(pid ids.PID, a ids.AID) {
+	err := s.appendTagged(recDeadAID, func(b []byte) []byte {
+		b = appendUv(b, uint64(pid))
+		return appendUv(b, uint64(a))
+	})
+	if err != nil {
+		s.poison(pid, "DeadAID: "+err.Error())
+	}
+}
+
+// Compact implements core.Persister. The snapshot is gob-encoded before
+// anything is written; an unencodable snapshot aborts the compaction
+// (the engine keeps its journal) instead of corrupting recovery.
+func (s *Store) Compact(pid ids.PID, iid ids.IntervalID, base any) error {
+	return s.append(func(b []byte) ([]byte, error) {
+		b[0] = recCompact
+		b = appendUv(b, uint64(pid))
+		b = appendIID(b, iid)
+		return appendAny(b, base)
+	})
+}
+
+// MessageConsumed implements core.Persister: retire a remote-origin
+// message the engine discarded without entering any journal.
+func (s *Store) MessageConsumed(m *msg.Message) {
+	s.Consumed(m.SrcNode, m.SrcSeq)
+}

@@ -118,3 +118,19 @@ type EpochAllocator struct {
 func (a *EpochAllocator) Next() uint32 {
 	return a.next.Add(1)
 }
+
+// Skip advances the allocator so every subsequently issued epoch is
+// greater than base. Recovery uses it so intervals created after a
+// restart never reuse an epoch that a restored (pre-crash) interval
+// already carries. It never moves the allocator backwards.
+func (a *EpochAllocator) Skip(base uint32) {
+	for {
+		cur := a.next.Load()
+		if cur >= base {
+			return
+		}
+		if a.next.CompareAndSwap(cur, base) {
+			return
+		}
+	}
+}

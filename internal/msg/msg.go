@@ -152,6 +152,16 @@ type Message struct {
 
 	// Payload is the user content of a Data message.
 	Payload any
+
+	// SrcNode/SrcSeq record receive-side wire provenance: the peer node a
+	// message arrived from and its per-peer wire sequence number. They are
+	// stamped by the receiving wire.Node after decoding and are NOT
+	// encoded on the wire. SrcSeq == 0 means the message was local (or
+	// simulated) — wire sequence numbers start at 1. The durable layer
+	// uses them to pair journalled receives with delivered frames during
+	// crash recovery.
+	SrcNode int
+	SrcSeq  uint64
 }
 
 // String renders a compact single-line description, used by traces.

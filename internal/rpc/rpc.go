@@ -13,12 +13,19 @@
 package rpc
 
 import (
+	"encoding/gob"
 	"fmt"
 	"sync/atomic"
 
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/ids"
 )
+
+func init() {
+	// A Server's compaction snapshot (ServerState) is persisted by the
+	// durable layer via gob when the node runs with a WAL.
+	gob.Register(ServerState{})
+}
 
 // callIDs issues process-wide unique call identifiers. Uniqueness is all
 // that matters; the values are journaled via Ctx.Record so re-executions
@@ -54,16 +61,18 @@ type Response struct {
 // Handler computes a server operation: state in, (state, result) out.
 type Handler func(state, arg int) (newState, result int)
 
-// serverState is a Server's journal-compactable state.
-type serverState struct {
-	value int
-	cache map[uint64]int // CallID → result, for dedup
+// ServerState is a Server's journal-compactable state. Its fields are
+// exported so the durable layer can gob-encode compaction snapshots into
+// the write-ahead log and restore them after a crash.
+type ServerState struct {
+	Value int
+	Cache map[uint64]int // CallID → result, for dedup
 }
 
-func (s serverState) clone() serverState {
-	c := serverState{value: s.value, cache: make(map[uint64]int, len(s.cache))}
-	for k, v := range s.cache {
-		c.cache[k] = v
+func (s ServerState) clone() ServerState {
+	c := ServerState{Value: s.Value, Cache: make(map[uint64]int, len(s.Cache))}
+	for k, v := range s.Cache {
+		c.Cache[k] = v
 	}
 	return c
 }
@@ -77,23 +86,23 @@ func (s serverState) clone() serverState {
 // replay journal, so rollback cost stays proportional to the speculative
 // suffix no matter how long the server lives.
 func Server(handlers map[string]Handler, initial int) core.Body {
-	return core.Loop(core.LoopConfig[serverState]{
-		Init:  func() serverState { return serverState{value: initial, cache: make(map[uint64]int)} },
-		Clone: serverState.clone,
-		Handle: func(ctx *core.Ctx, state serverState, payload any, _ ids.PID) (serverState, error) {
+	return core.Loop(core.LoopConfig[ServerState]{
+		Init:  func() ServerState { return ServerState{Value: initial, Cache: make(map[uint64]int)} },
+		Clone: ServerState.clone,
+		Handle: func(ctx *core.Ctx, state ServerState, payload any, _ ids.PID) (ServerState, error) {
 			req, ok := payload.(Request)
 			if !ok {
 				return state, fmt.Errorf("rpc server: unexpected payload %T", payload)
 			}
-			result, seen := state.cache[req.CallID]
+			result, seen := state.Cache[req.CallID]
 			if req.CallID == 0 || !seen {
 				h, ok := handlers[req.Method]
 				if !ok {
 					return state, fmt.Errorf("rpc server: unknown method %q", req.Method)
 				}
-				state.value, result = h(state.value, req.Arg)
+				state.Value, result = h(state.Value, req.Arg)
 				if req.CallID != 0 {
-					state.cache[req.CallID] = result
+					state.Cache[req.CallID] = result
 				}
 			}
 			if req.ReplyTo.Valid() {

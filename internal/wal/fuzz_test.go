@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSegment assembles raw segment bytes from payloads, for fuzz seeds.
+func buildSegment(first uint64, payloads ...[]byte) []byte {
+	var b []byte
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.BigEndian.PutUint64(hdr[8:], first)
+	b = append(b, hdr[:]...)
+	for _, p := range payloads {
+		var frame [frameSize]byte
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(p)))
+		binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(p, castagnoli))
+		b = append(b, frame[:]...)
+		b = append(b, p...)
+	}
+	return b
+}
+
+// FuzzWALRecord feeds arbitrary bytes to the segment scanner as the
+// contents of the first segment file. Recovery must never panic or
+// error, every surviving record must round-trip its checksum, and the
+// log must remain appendable afterwards.
+func FuzzWALRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(buildSegment(0))
+	f.Add(buildSegment(0, []byte("a"), []byte("bb"), []byte("ccc")))
+	f.Add(buildSegment(0, []byte("hello world"))[:headerSize+frameSize+5]) // torn payload
+	f.Add(append(buildSegment(0, []byte("x")), 0xde, 0xad))                // trailing junk
+	bad := buildSegment(0, []byte("flip"))
+	bad[len(bad)-1] ^= 0x01
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "0000000000000000.wal"), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		var lsns []uint64
+		l, err := Open(Options{Dir: dir, Policy: SyncNone, OnRecord: func(lsn uint64, p []byte) error {
+			lsns = append(lsns, lsn)
+			if len(p) > MaxRecord {
+				t.Fatalf("oversize record survived scan: %d", len(p))
+			}
+			return nil
+		}})
+		if err != nil {
+			t.Fatalf("Open on arbitrary bytes: %v", err)
+		}
+		for i, lsn := range lsns {
+			if lsn != uint64(i) {
+				t.Fatalf("non-contiguous lsn %d at %d", lsn, i)
+			}
+		}
+		if l.NextLSN() != uint64(len(lsns)) {
+			t.Fatalf("NextLSN %d after %d records", l.NextLSN(), len(lsns))
+		}
+		if _, err := l.Append([]byte("probe")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		// Second recovery sees everything the first kept, plus the probe.
+		n := 0
+		l2, err := Open(Options{Dir: dir, Policy: SyncNone, OnRecord: func(uint64, []byte) error { n++; return nil }})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if n != len(lsns)+1 {
+			t.Fatalf("second recovery: %d records, want %d", n, len(lsns)+1)
+		}
+		l2.Close()
+	})
+}

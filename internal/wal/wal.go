@@ -1,0 +1,570 @@
+// Package wal implements the segmented, checksummed, append-only
+// write-ahead log that gives hoped nodes crash durability. The log knows
+// nothing about HOPE: records are opaque byte slices, identified by a
+// monotonically increasing LSN (the record's index since the log was first
+// created). Package durable defines the record schema layered on top.
+//
+// # Disk format
+//
+// A log is a directory of segment files named %016x.wal, where the hex
+// number is the LSN of the segment's first record. Each segment starts
+// with a 16-byte header — the 8-byte magic "HOPEWAL1" followed by the
+// first LSN as a big-endian u64 — and then a sequence of records:
+//
+//	u32 payload length | u32 CRC-32C (Castagnoli) of payload | payload
+//
+// All integers are big-endian. A record is valid only if its full frame
+// is present and the checksum matches; recovery stops at the first
+// invalid byte, truncates the segment there, and discards any later
+// segments (a torn tail can only be at the point writing stopped, so
+// anything after it was never acknowledged as durable).
+//
+// # Fsync policies
+//
+//   - SyncAlways:   fsync after every Append. Safest, slowest.
+//   - SyncInterval: group commit — appends buffer in memory and a
+//     background ticker fsyncs every Options.Interval. Callers that need
+//     a durability barrier (e.g. before acking a peer) call Sync, which
+//     always performs a real fsync regardless of policy.
+//   - SyncNone:     never fsync except on Sync/Close. For benchmarks.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	magic      = "HOPEWAL1"
+	headerSize = 16
+	frameSize  = 8 // u32 length + u32 crc
+	// MaxRecord bounds a single record payload. Matches the wire layer's
+	// frame cap: anything bigger is corruption, not data.
+	MaxRecord = 1 << 26
+
+	defaultSegmentBytes = int64(64 << 20)
+	defaultInterval     = 2 * time.Millisecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appended records are fsynced to stable storage.
+type Policy int
+
+const (
+	// SyncInterval is the default: group commit on a background ticker.
+	SyncInterval Policy = iota
+	// SyncAlways fsyncs every append before it returns.
+	SyncAlways
+	// SyncNone never fsyncs on its own; only Sync/Close do.
+	SyncNone
+)
+
+// ParsePolicy maps the hoped flag spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always|interval|none)", s)
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory; created if absent.
+	Dir string
+	// SegmentBytes rotates to a new segment once the active one exceeds
+	// this size. Default 64 MiB.
+	SegmentBytes int64
+	// Policy is the fsync policy. Default SyncInterval.
+	Policy Policy
+	// Interval is the group-commit period for SyncInterval. Default 2ms.
+	Interval time.Duration
+	// OnRecord, when non-nil, is invoked for every valid record found
+	// during Open's recovery scan, in LSN order. An error aborts Open.
+	OnRecord func(lsn uint64, payload []byte) error
+}
+
+// Metrics is a point-in-time snapshot of the log's counters.
+type Metrics struct {
+	Appends     uint64 // records appended this run
+	AppendBytes uint64 // payload bytes appended this run
+	Syncs       uint64 // fsyncs issued
+	Rotations   uint64 // segment rotations
+	Prunes      uint64 // segments deleted by Prune
+
+	TornTruncations  uint64        // torn-tail truncations during Open
+	RecoveredRecords uint64        // valid records scanned by Open
+	RecoveredBytes   uint64        // payload bytes scanned by Open
+	RecoveryTime     time.Duration // wall time of the Open scan
+}
+
+type segment struct {
+	path  string
+	first uint64 // LSN of the segment's first record
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	segSize  int64 // bytes written to the active segment (incl. header)
+	segments []segment
+	nextLSN  uint64
+	dirty    bool // unsynced appends present
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	appends     atomic.Uint64
+	appendBytes atomic.Uint64
+	syncs       atomic.Uint64
+	rotations   atomic.Uint64
+	prunes      atomic.Uint64
+
+	tornTruncations  uint64
+	recoveredRecords uint64
+	recoveredBytes   uint64
+	recoveryTime     time.Duration
+}
+
+// Open opens (creating if necessary) the log in opts.Dir, scans every
+// segment validating records, truncates any torn tail, and leaves the log
+// positioned for appending. If opts.OnRecord is set it receives each
+// valid record during the scan.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defaultInterval
+	}
+	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+
+	l := &Log{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	start := time.Now()
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	l.recoveryTime = time.Since(start)
+
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		go l.groupCommit()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// listSegments returns the segment files sorted by first LSN.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 16, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// scan validates every segment in order, invoking OnRecord for each valid
+// record, truncating the first torn record and dropping everything after.
+func (l *Log) scan() error {
+	segs, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	lsn := uint64(0)
+	if len(segs) > 0 {
+		lsn = segs[0].first
+	}
+	torn := false
+	for _, seg := range segs {
+		if torn || seg.first != lsn {
+			// Unreachable segment: either follows a torn tail or has a
+			// gap in LSN space. Never acknowledged durable; drop it.
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: drop segment: %w", err)
+			}
+			l.tornTruncations++
+			continue
+		}
+		validEnd, n, err := l.scanSegment(seg, lsn)
+		if err != nil {
+			return err
+		}
+		lsn += n
+		fi, statErr := os.Stat(seg.path)
+		if statErr != nil {
+			return fmt.Errorf("wal: %w", statErr)
+		}
+		if validEnd < headerSize {
+			// The segment header itself is torn: the file holds nothing
+			// durable and cannot be appended to. Drop it entirely.
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: drop torn segment: %w", err)
+			}
+			l.tornTruncations++
+			torn = true
+			continue
+		}
+		if fi.Size() > validEnd {
+			// Torn tail: truncate to the last valid record boundary. The
+			// segment itself (its valid prefix) is kept; every later
+			// segment is unreachable and dropped above.
+			if err := os.Truncate(seg.path, validEnd); err != nil {
+				return fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			l.tornTruncations++
+			torn = true
+		}
+		l.segments = append(l.segments, seg)
+	}
+	l.nextLSN = lsn
+	return nil
+}
+
+// scanSegment validates one segment, returning the byte offset just past
+// the last valid record and the number of valid records.
+func (l *Log) scanSegment(seg segment, lsn uint64) (validEnd int64, n uint64, err error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, 0, nil // header torn: whole segment invalid
+	}
+	if string(hdr[:8]) != magic || binary.BigEndian.Uint64(hdr[8:]) != seg.first {
+		return 0, 0, nil
+	}
+	validEnd = headerSize
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	var frame [frameSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return validEnd, n, nil // clean EOF or torn frame header
+		}
+		size := binary.BigEndian.Uint32(frame[:4])
+		sum := binary.BigEndian.Uint32(frame[4:])
+		if size > MaxRecord {
+			return validEnd, n, nil
+		}
+		if cap(payload) < int(size) {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return validEnd, n, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return validEnd, n, nil
+		}
+		if l.opts.OnRecord != nil {
+			if err := l.opts.OnRecord(lsn+n, payload); err != nil {
+				return 0, 0, fmt.Errorf("wal: replay lsn %d: %w", lsn+n, err)
+			}
+		}
+		validEnd += frameSize + int64(size)
+		n++
+		l.recoveredRecords++
+		l.recoveredBytes += uint64(size)
+	}
+}
+
+// openActive opens the last segment for appending, creating the first
+// segment if the directory is empty.
+func (l *Log) openActive() error {
+	if len(l.segments) == 0 {
+		return l.newSegment()
+	}
+	seg := l.segments[len(l.segments)-1]
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.segSize = fi.Size()
+	l.bw = bufio.NewWriterSize(f, 1<<16)
+	return nil
+}
+
+// newSegment rotates to a fresh segment starting at nextLSN. Caller holds
+// l.mu (or is Open, single-threaded).
+func (l *Log) newSegment() error {
+	path := filepath.Join(l.opts.Dir, fmt.Sprintf("%016x.wal", l.nextLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.BigEndian.PutUint64(hdr[8:], l.nextLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Make the new file durable in the directory before we rely on it:
+	// the header write plus a directory fsync, so a crash right after
+	// rotation cannot lose the file name.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 1<<16)
+	l.segSize = headerSize
+	l.segments = append(l.segments, segment{path: path, first: l.nextLSN})
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append writes one record and returns its LSN. Durability depends on the
+// policy: with SyncAlways the record is on stable storage when Append
+// returns; otherwise call Sync for a barrier.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record %d bytes exceeds max %d", len(payload), MaxRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: closed")
+	}
+	var frame [frameSize]byte
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := l.bw.Write(frame[:]); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.segSize += frameSize + int64(len(payload))
+	l.dirty = true
+	l.appends.Add(1)
+	l.appendBytes.Add(uint64(len(payload)))
+
+	if l.opts.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync flushes buffered appends and fsyncs the active segment. It is a
+// durability barrier under every policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: closed")
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.dirty = false
+	l.syncs.Add(1)
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.rotations.Add(1)
+	return l.newSegment()
+}
+
+// Prune deletes every segment whose records all have LSN < keepFrom. The
+// active segment is never deleted. Safe to call concurrently with Append.
+func (l *Log) Prune(keepFrom uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: closed")
+	}
+	kept := l.segments[:0]
+	for i, seg := range l.segments {
+		// A segment is disposable if the NEXT segment starts at or below
+		// keepFrom (then every record here is < keepFrom) and it is not
+		// the active segment.
+		if i+1 < len(l.segments) && l.segments[i+1].first <= keepFrom {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: prune: %w", err)
+			}
+			l.prunes.Add(1)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+	return nil
+}
+
+// groupCommit is the SyncInterval background fsync loop.
+func (l *Log) groupCommit() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.syncLocked() // best effort; Append/Sync surface errors
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close syncs and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	return err
+}
+
+// NextLSN returns the LSN the next Append will be assigned.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segments)
+}
+
+// Metrics returns a snapshot of the log's counters.
+func (l *Log) Metrics() Metrics {
+	l.mu.Lock()
+	torn, recs, rbytes, rt := l.tornTruncations, l.recoveredRecords, l.recoveredBytes, l.recoveryTime
+	l.mu.Unlock()
+	return Metrics{
+		Appends:          l.appends.Load(),
+		AppendBytes:      l.appendBytes.Load(),
+		Syncs:            l.syncs.Load(),
+		Rotations:        l.rotations.Load(),
+		Prunes:           l.prunes.Load(),
+		TornTruncations:  torn,
+		RecoveredRecords: recs,
+		RecoveredBytes:   rbytes,
+		RecoveryTime:     rt,
+	}
+}

@@ -1,0 +1,350 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testPayload returns a deterministic payload for record i of length
+// 1..max bytes, so torn-tail tests can compute exact record boundaries.
+func testPayload(i, max int) []byte {
+	n := (i*7)%max + 1
+	b := make([]byte, n)
+	for j := range b {
+		b[j] = byte(i*31 + j)
+	}
+	return b
+}
+
+func openT(t *testing.T, opts Options) *Log {
+	t.Helper()
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n, max int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(testPayload(i, max))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("Append %d: lsn = %d", i, lsn)
+		}
+	}
+}
+
+// replayAll reopens dir and returns the payloads seen by the scan.
+func replayAll(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	var got [][]byte
+	next := uint64(0)
+	l, err := Open(Options{Dir: dir, OnRecord: func(lsn uint64, p []byte) error {
+		if lsn != next {
+			return fmt.Errorf("lsn %d, want %d", lsn, next)
+		}
+		next++
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Options{Dir: dir, SegmentBytes: 512, Policy: SyncNone})
+	const n = 100
+	appendN(t, l, n, 60)
+	if l.Segments() < 2 {
+		t.Fatalf("expected rotation, got %d segments", l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got := replayAll(t, dir)
+	if len(got) != n {
+		t.Fatalf("recovered %d records, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, testPayload(i, 60)) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestAppendContinuesAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Options{Dir: dir, Policy: SyncNone})
+	appendN(t, l, 10, 40)
+	l.Close()
+
+	l2 := openT(t, Options{Dir: dir, Policy: SyncNone})
+	if l2.NextLSN() != 10 {
+		t.Fatalf("NextLSN = %d, want 10", l2.NextLSN())
+	}
+	for i := 10; i < 20; i++ {
+		if _, err := l2.Append(testPayload(i, 40)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l2.Close()
+
+	if got := replayAll(t, dir); len(got) != 20 {
+		t.Fatalf("recovered %d, want 20", len(got))
+	}
+}
+
+// TestTornTailEveryOffset truncates a single-segment log at every byte
+// offset and asserts recovery keeps exactly the records that end at or
+// before the cut, then stays usable for appends.
+func TestTornTailEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	l := openT(t, Options{Dir: src, Policy: SyncNone})
+	const n = 12
+	appendN(t, l, n, 48)
+	l.Close()
+
+	segs, err := listSegments(src)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %d", err, len(segs))
+	}
+	full, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record end offsets within the file.
+	ends := []int64{headerSize}
+	off := int64(headerSize)
+	for i := 0; i < n; i++ {
+		off += frameSize + int64(len(testPayload(i, 48)))
+		ends = append(ends, off)
+	}
+	if off != int64(len(full)) {
+		t.Fatalf("offset math: %d vs %d", off, len(full))
+	}
+
+	name := filepath.Base(segs[0].path)
+	for cut := 0; cut < len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, name), full[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if ends[i+1] <= int64(cut) {
+				want = i + 1
+			}
+		}
+		count := 0
+		l, err := Open(Options{Dir: dir, Policy: SyncNone, OnRecord: func(lsn uint64, p []byte) error {
+			if !bytes.Equal(p, testPayload(int(lsn), 48)) {
+				return fmt.Errorf("record %d corrupt after cut %d", lsn, cut)
+			}
+			count++
+			return nil
+		}})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if count != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, count, want)
+		}
+		if int(l.NextLSN()) != want {
+			t.Fatalf("cut %d: NextLSN %d, want %d", cut, l.NextLSN(), want)
+		}
+		// The log must remain appendable after a torn-tail truncation.
+		if _, err := l.Append([]byte("post-recovery")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		got := replayAll(t, dir)
+		if len(got) != want+1 || !bytes.Equal(got[want], []byte("post-recovery")) {
+			t.Fatalf("cut %d: second recovery got %d records", cut, len(got))
+		}
+	}
+}
+
+// TestCorruptTailByte flips each byte of the final record and asserts
+// recovery drops exactly that record.
+func TestCorruptTailByte(t *testing.T) {
+	src := t.TempDir()
+	l := openT(t, Options{Dir: src, Policy: SyncNone})
+	const n = 8
+	appendN(t, l, n, 32)
+	l.Close()
+
+	segs, _ := listSegments(src)
+	full, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := int64(len(full)) - frameSize - int64(len(testPayload(n-1, 32)))
+	name := filepath.Base(segs[0].path)
+	for off := lastStart; off < int64(len(full)); off++ {
+		dir := t.TempDir()
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0xff
+		if err := os.WriteFile(filepath.Join(dir, name), mut, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		l, err := Open(Options{Dir: dir, Policy: SyncNone, OnRecord: func(uint64, []byte) error { count++; return nil }})
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		// A corrupt length field can absorb the rest of the file into one
+		// unverifiable frame; either way only the last record may be lost.
+		if count != n-1 {
+			t.Fatalf("off %d: recovered %d, want %d", off, count, n-1)
+		}
+		m := l.Metrics()
+		if m.TornTruncations == 0 {
+			t.Fatalf("off %d: no torn truncation counted", off)
+		}
+		l.Close()
+	}
+}
+
+// TestTornDropsLaterSegments verifies a torn record in segment k discards
+// segments k+1.. entirely.
+func TestTornDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Options{Dir: dir, SegmentBytes: 256, Policy: SyncNone})
+	appendN(t, l, 40, 40)
+	if l.Segments() < 3 {
+		t.Fatalf("want >=3 segments, got %d", l.Segments())
+	}
+	l.Close()
+
+	segs, _ := listSegments(dir)
+	// Chop the middle of the first segment's last record.
+	fi, err := os.Stat(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0].path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, dir)
+	if uint64(len(got)) >= segs[1].first {
+		t.Fatalf("recovered %d records, want < %d", len(got), segs[1].first)
+	}
+	left, _ := listSegments(dir)
+	if len(left) != 1 {
+		t.Fatalf("later segments not dropped: %d left", len(left))
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Options{Dir: dir, SegmentBytes: 256, Policy: SyncNone})
+	appendN(t, l, 60, 40)
+	nseg := l.Segments()
+	if nseg < 3 {
+		t.Fatalf("want >=3 segments, got %d", nseg)
+	}
+	if err := l.Prune(l.NextLSN()); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if l.Segments() != 1 {
+		t.Fatalf("after full prune: %d segments, want 1 (active)", l.Segments())
+	}
+	l.Close()
+	// Recovery after pruning starts at the active segment's first LSN.
+	var first uint64 = ^uint64(0)
+	n := 0
+	l2, err := Open(Options{Dir: dir, OnRecord: func(lsn uint64, p []byte) error {
+		if lsn < first {
+			first = lsn
+		}
+		n++
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if n == 0 || first == 0 {
+		t.Fatalf("prune kept wrong records: n=%d first=%d", n, first)
+	}
+	if l2.NextLSN() != 60 {
+		t.Fatalf("NextLSN after prune = %d, want 60", l2.NextLSN())
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		l := openT(t, Options{Dir: t.TempDir(), Policy: SyncAlways})
+		appendN(t, l, 5, 16)
+		if m := l.Metrics(); m.Syncs < 5 {
+			t.Fatalf("SyncAlways: %d syncs for 5 appends", m.Syncs)
+		}
+		l.Close()
+	})
+	t.Run("interval", func(t *testing.T) {
+		l := openT(t, Options{Dir: t.TempDir(), Policy: SyncInterval, Interval: time.Millisecond})
+		appendN(t, l, 5, 16)
+		deadline := time.Now().Add(2 * time.Second)
+		for l.Metrics().Syncs == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if l.Metrics().Syncs == 0 {
+			t.Fatal("group commit never synced")
+		}
+		l.Close()
+	})
+	t.Run("none", func(t *testing.T) {
+		l := openT(t, Options{Dir: t.TempDir(), Policy: SyncNone})
+		appendN(t, l, 5, 16)
+		if m := l.Metrics(); m.Syncs != 0 {
+			t.Fatalf("SyncNone: %d syncs before Close", m.Syncs)
+		}
+		// Explicit barrier still works.
+		if err := l.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+		if m := l.Metrics(); m.Syncs != 1 {
+			t.Fatalf("Sync barrier not counted: %d", m.Syncs)
+		}
+		l.Close()
+	})
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, s := range []string{"always", "interval", "none"} {
+		p, err := ParsePolicy(s)
+		if err != nil || p.String() != s {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted junk")
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	l := openT(t, Options{Dir: t.TempDir(), Policy: SyncNone})
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversize append accepted")
+	}
+}

@@ -87,6 +87,23 @@ type NodeConfig struct {
 	// flushed (one syscall) on its own. It exists so benchmarks can
 	// measure what batching buys; leave it false in real deployments.
 	Unbatched bool
+	// Durable, when non-nil, receives the write-ahead-log callbacks that
+	// make the node's wire state crash-recoverable (see DurableHooks).
+	Durable DurableHooks
+	// Resume, when non-nil, seeds the node with the wire state recovered
+	// from a previous incarnation's WAL: sequence spaces continue where
+	// they left off, the unacked tail is requeued for resend, and
+	// already-delivered frames from each sender are deduplicated.
+	Resume *Resume
+	// HoldInbound binds the listener in NewNode but defers accepting
+	// connections until ReleaseInbound is called. A recovering node
+	// needs this: delivered-but-unconsumed messages from the WAL must be
+	// re-injected before peers can resend their newer unacked frames, or
+	// the new frames (whose sequence numbers are past the restored
+	// watermark) are delivered first and per-pair FIFO order inverts
+	// across the restart. The kernel's listen backlog parks peers that
+	// redial during the hold.
+	HoldInbound bool
 }
 
 // Node is a TCP transport endpoint implementing transport.Transport.
@@ -104,6 +121,7 @@ type Node struct {
 	queue      transport.QueueLimits // normalized per-peer bounds
 	flushDelay time.Duration
 	unbatched  bool
+	dur        DurableHooks // nil = no durability
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight returns to zero
@@ -113,6 +131,7 @@ type Node struct {
 	conns    map[net.Conn]struct{} // every live conn, for Drop/Close
 	ackFlush map[net.Conn]func()   // per-inbound-conn pending-ack flushers
 	closed   bool
+	held     bool // accept loop not yet started (NodeConfig.HoldInbound)
 	inflight int // frames accepted for remote delivery, not yet acked
 
 	counts transport.Counters // delivered messages by kind; 0 = dead letters
@@ -145,14 +164,23 @@ type WireStats struct {
 	Flushes             uint64 // coalesced write flushes (FramesOut/Flushes = batch size)
 	QueuedFrames        uint64 // gauge: frames currently queued across peers
 	QueuedBytes         uint64 // gauge: encoded bytes currently queued across peers
+
+	// Durable reports whether the node runs with a WAL; WAL holds that
+	// log's counters when it does.
+	Durable bool
+	WAL     DurableStats
 }
 
 // String implements fmt.Stringer.
 func (s WireStats) String() string {
-	return fmt.Sprintf("in=%dB/%df out=%dB/%df resends=%d reconnects=%d acks=%d/%d dup=%d dialfail=%d qfull=%d flushes=%d queued=%df/%dB",
+	base := fmt.Sprintf("in=%dB/%df out=%dB/%df resends=%d reconnects=%d acks=%d/%d dup=%d dialfail=%d qfull=%d flushes=%d queued=%df/%dB",
 		s.BytesIn, s.FramesIn, s.BytesOut, s.FramesOut, s.Resends, s.Reconnects,
 		s.AcksSent, s.AcksRecv, s.Duplicates, s.DialFailures, s.QueueFull, s.Flushes,
 		s.QueuedFrames, s.QueuedBytes)
+	if s.Durable {
+		base += " " + s.WAL.String()
+	}
+	return base
 }
 
 // inbound is the receive-side state for one remote sender node. It
@@ -232,6 +260,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		queue:      cfg.Queue.Norm(),
 		flushDelay: cfg.FlushDelay,
 		unbatched:  cfg.Unbatched,
+		dur:        cfg.Durable,
 		handlers:   make(map[ids.PID]transport.Handler),
 		peers:      make(map[int]*peer),
 		inbound:    make(map[int]*inbound),
@@ -239,14 +268,68 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ackFlush:   make(map[net.Conn]func()),
 	}
 	n.idle = sync.NewCond(&n.mu)
+	n.resume(cfg.Resume)
 	for id, addr := range cfg.Peers {
 		if id != cfg.ID {
 			n.SetPeer(id, addr)
 		}
 	}
-	go n.acceptLoop()
-	n.event("wire: node %d listening on %s", n.id, ln.Addr())
+	if cfg.HoldInbound {
+		n.held = true
+		n.event("wire: node %d bound %s, holding inbound for recovery", n.id, ln.Addr())
+	} else {
+		go n.acceptLoop()
+		n.event("wire: node %d listening on %s", n.id, ln.Addr())
+	}
 	return n, nil
+}
+
+// ReleaseInbound starts accepting connections on a node built with
+// HoldInbound, once its owner has finished re-injecting recovered
+// state. Idempotent; a no-op on nodes that never held.
+func (n *Node) ReleaseInbound() {
+	n.mu.Lock()
+	start := n.held && !n.closed
+	n.held = false
+	n.mu.Unlock()
+	if start {
+		go n.acceptLoop()
+		n.event("wire: node %d listening on %s", n.id, n.ln.Addr())
+	}
+}
+
+// resume seeds the node with recovered wire state. Called from NewNode
+// before the accept loop or any dialing starts.
+func (n *Node) resume(r *Resume) {
+	if r == nil {
+		return
+	}
+	for from, seq := range r.Delivered {
+		n.inbound[from] = &inbound{delivered: seq}
+	}
+	total := 0
+	for id, pr := range r.Peers {
+		if id == n.id {
+			continue
+		}
+		p := n.peer(id)
+		p.mu.Lock()
+		p.nextSeq = pr.NextSeq
+		for _, f := range pr.Frames {
+			// Recovered frames wrap their own buffers (not pool-backed);
+			// the pool accepts them back when they retire.
+			p.queue = append(p.queue, outFrame{seq: f.Seq, buf: &encodeBuf{b: f.Frame}})
+			p.queueBytes += len(f.Frame)
+		}
+		p.mu.Unlock()
+		total += len(pr.Frames)
+	}
+	if total > 0 {
+		n.mu.Lock()
+		n.inflight += total
+		n.mu.Unlock()
+		n.event("wire: node %d resumed %d unacked frames from WAL", n.id, total)
+	}
 }
 
 // ID returns this node's index.
@@ -320,6 +403,7 @@ func (n *Node) Send(m *msg.Message) {
 	}
 	if !m.To.Valid() {
 		n.counts.Observe(0)
+		n.consumedDeadLetter(m)
 		return
 	}
 	owner := NodeOf(m.To)
@@ -327,6 +411,7 @@ func (n *Node) Send(m *msg.Message) {
 		// Locally owned PID with no handler: dead letter, like netsim.
 		n.sent.Observe(m.Kind)
 		n.counts.Observe(0)
+		n.consumedDeadLetter(m)
 		return
 	}
 
@@ -374,6 +459,11 @@ func (n *Node) Send(m *msg.Message) {
 	p.nextSeq++
 	p.queue = append(p.queue, outFrame{seq: p.nextSeq, buf: eb})
 	p.queueBytes += len(data)
+	if n.dur != nil {
+		// Record the admitted frame under the peer lock so WAL order
+		// matches seq order; the pump syncs before the socket write.
+		n.dur.FrameQueued(owner, p.nextSeq, data)
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -524,6 +614,10 @@ func (n *Node) WireStats() WireStats {
 		Duplicates: n.duplicates.Load(), DialFailures: n.dialFails.Load(),
 		QueueFull: n.queueFull.Load(), Flushes: n.flushes.Load(),
 	}
+	if n.dur != nil {
+		s.Durable = true
+		s.WAL = n.dur.Stats()
+	}
 	n.mu.Lock()
 	peers := make([]*peer, 0, len(n.peers))
 	for _, p := range n.peers {
@@ -566,10 +660,26 @@ func (n *Node) deliver(m *msg.Message) {
 	n.mu.Unlock()
 	if h == nil {
 		n.counts.Observe(0)
+		n.consumedDeadLetter(m)
 		return
 	}
 	n.counts.Observe(m.Kind)
 	h(m)
+}
+
+// Redeliver re-injects a recovered-but-unconsumed inbound message into
+// the local delivery path. Called once per pending message at boot, after
+// the engine has registered its handlers. The message must carry its
+// original SrcNode/SrcSeq so that a drop (dead letter, denied tag) retires
+// it in the WAL instead of leaving it pending across every restart.
+func (n *Node) Redeliver(m *msg.Message) { n.deliver(m) }
+
+// consumedDeadLetter marks a remote-origin message as consumed in the WAL
+// when it dead-letters, so recovery stops re-delivering it.
+func (n *Node) consumedDeadLetter(m *msg.Message) {
+	if n.dur != nil && m.SrcSeq != 0 {
+		n.dur.Consumed(m.SrcNode, m.SrcSeq)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -734,13 +844,27 @@ func (n *Node) serveConn(c net.Conn) {
 		in.mu.Lock()
 		seq := in.delivered
 		stale := seq == in.acked
-		if !stale {
-			in.acked = seq
-		}
 		in.mu.Unlock()
 		if stale {
 			return
 		}
+		// An ack licenses the sender to forget these frames, so their
+		// Delivered records must hit stable storage first. The barrier is
+		// taken outside in.mu; the ack covers exactly the watermark read
+		// before it (a later frame's record may be unsynced).
+		if n.dur != nil {
+			if err := n.dur.SyncForAck(); err != nil {
+				n.event("wire: node %d ack withheld from node %d: wal sync: %v", n.id, from, err)
+				return
+			}
+		}
+		in.mu.Lock()
+		if seq <= in.acked {
+			in.mu.Unlock()
+			return
+		}
+		in.acked = seq
+		in.mu.Unlock()
 		wmu.Lock()
 		werr := n.writeFrame(c, frameAck, seqPayload(seq))
 		wmu.Unlock()
@@ -816,6 +940,17 @@ func (n *Node) serveConn(c net.Conn) {
 			n.event("wire: node %d seq gap from node %d: got %d after %d", n.id, from, seq, in.delivered)
 			return
 		}
+		if n.dur != nil {
+			// Log the frame before the watermark advances: once delivered
+			// moves, a resend will be deduplicated, so the only durable
+			// copy is ours. An append failure refuses the frame and drops
+			// the connection; the sender keeps it queued and retries.
+			if err := n.dur.Delivered(from, seq, body[nn:]); err != nil {
+				in.mu.Unlock()
+				n.event("wire: node %d refused frame seq=%d from node %d: wal: %v", n.id, seq, from, err)
+				return
+			}
+		}
 		in.delivered = seq
 		pending := in.delivered - in.acked
 		in.mu.Unlock()
@@ -827,7 +962,11 @@ func (n *Node) serveConn(c net.Conn) {
 			// by replaying it.
 			n.decodeErr.Add(1)
 			n.event("wire: node %d undecodable frame seq=%d from node %d: %v", n.id, seq, from, derr)
+			if n.dur != nil {
+				n.dur.Consumed(from, seq)
+			}
 		} else {
+			m.SrcNode, m.SrcSeq = from, seq
 			n.deliver(m)
 		}
 		if pending >= ackEvery {
@@ -951,6 +1090,9 @@ func (p *peer) dial(addr string) (net.Conn, error) {
 	gen := p.gen
 	p.mu.Unlock()
 
+	if retired > 0 && p.n.dur != nil {
+		p.n.dur.AckAdvanced(p.id, acked)
+	}
 	p.n.retire(retired)
 	p.n.reconnects.Add(1)
 	if resend > 0 {
@@ -1009,6 +1151,9 @@ func (p *peer) readAcks(conn net.Conn, gen uint64) {
 		p.mu.Lock()
 		retired := p.pruneLocked(acked)
 		p.mu.Unlock()
+		if retired > 0 && p.n.dur != nil {
+			p.n.dur.AckAdvanced(p.id, acked)
+		}
 		p.n.retire(retired)
 	}
 	conn.Close()
@@ -1049,6 +1194,17 @@ func (p *peer) pump(conn net.Conn) {
 		p.cursor = len(p.queue)
 		p.pinLo, p.pinHi = batch[0].seq, batch[len(batch)-1].seq
 		p.mu.Unlock()
+
+		if p.n.dur != nil {
+			// A written frame's seq is burned: make its FrameQueued record
+			// durable before it can reach the network, or a restart could
+			// reuse the seq for different content and the receiver's dedup
+			// would drop it.
+			if err := p.n.dur.SyncForWrite(); err != nil {
+				p.detach(conn)
+				return
+			}
+		}
 
 		for _, f := range batch {
 			if err := p.n.writeMsgFrame(bw, f.seq, f.buf.b); err != nil {

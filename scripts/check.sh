@@ -12,19 +12,24 @@ go build ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race (core, netsim, wire)'
-go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/
+echo '== go test -race (core, netsim, wire, wal, durable)'
+go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/
 
-echo '== wire fuzz corpus replay'
-# Replays the seed corpus plus any regression inputs under testdata/fuzz
-# without fuzzing (no -fuzz flag): cheap, deterministic, catches codec and
-# frame-reader regressions pinned by past crashes.
-go test -run 'Fuzz' -count=1 ./internal/wire/
+echo '== wire + wal fuzz corpus replay'
+# Replays the seed corpora plus any regression inputs under testdata/fuzz
+# without fuzzing (no -fuzz flag): cheap, deterministic, catches codec,
+# frame-reader, and WAL-record regressions pinned by past crashes.
+go test -run 'Fuzz' -count=1 ./internal/wire/ ./internal/wal/
 
 echo '== hopebench wire smoke'
 # Two-process TCP round trip plus the in-process flood comparison; fails
 # if the child never reaches READY, a page is lost, or the run does not
 # reach quiescence.
 go run ./cmd/hopebench wire --pagesize 100 --reports 8 --flood 5000
+
+echo '== crash-restart smoke'
+# SIGKILLs a durable hoped child mid-workload and restarts it from its
+# WAL; fails if recovery loses, duplicates, or reorders a committed print.
+go test -run 'TestCrashRestartRecovery|TestRestartCleanShutdown' -count=1 ./cmd/hoped/
 
 echo 'check: OK'
