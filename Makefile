@@ -1,4 +1,4 @@
-.PHONY: check build test race bench wire
+.PHONY: check build test race bench wire chaos
 
 # The tier-1 gate: vet, build, full test suite, and the race detector
 # on the concurrency-heavy packages.
@@ -21,3 +21,9 @@ bench:
 wire:
 	go run ./cmd/hopebench wire --pagesize 1000 --reports 64
 	go run ./cmd/hopebench wire --pagesize 3 --reports 64 --drop
+
+# Multi-node chaos storm: durable hoped processes behind fault-injecting
+# proxies, seeded severs/partitions/corruption plus one SIGKILL+restart,
+# checked against the invariant oracle. Replay any failure with --seed.
+chaos:
+	go run ./cmd/hopebench chaos --nodes 3 --seed 42

@@ -3,42 +3,124 @@ package hope_test
 // Chaos soak: randomized programs churn guesses, speculative affirms,
 // denials, tainted messages, and speculative spawns under jittered
 // delivery, across several seeds. The assertions are the system-wide
-// invariants, not specific outcomes:
+// invariants (shared with the multi-node wire harness via
+// internal/oracle), not specific outcomes:
 //
 //  1. the system reaches quiescence once every assumption is decided;
 //  2. every surviving process is definite and its retained guess results
 //     match the assumptions' decided verdicts;
 //  3. processes terminated by rollback are exactly those spawned under
 //     speculation that failed.
+//
+// TestChaosSoak runs over the engine's jittered delivery model;
+// TestChaosSoakFaultNet runs the same workload through a faultwire.Net
+// that drops, duplicates, corrupts, delays, and partitions the traffic
+// on a seed-deterministic schedule.
+//
+// Seeds default to 100..105 and can be overridden for replay or wider
+// sweeps: HOPE_CHAOS_SEEDS="1,2,3" go test -run Chaos .
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
 
 	hope "github.com/hope-dist/hope"
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/faultwire"
+	"github.com/hope-dist/hope/internal/oracle"
 )
+
+// chaosSeeds resolves the seed list: HOPE_CHAOS_SEEDS, or 100..105.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	seeds, err := oracle.ParseSeeds(os.Getenv("HOPE_CHAOS_SEEDS"),
+		[]int64{100, 101, 102, 103, 104, 105})
+	if err != nil {
+		t.Fatalf("HOPE_CHAOS_SEEDS: %v", err)
+	}
+	return seeds
+}
 
 func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
-	for seed := int64(100); seed < 106; seed++ {
+	for _, seed := range chaosSeeds(t) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			chaosRun(t, seed)
+			sys := hope.New(hope.WithJitterLatency(0, 500*time.Microsecond, seed))
+			defer sys.Shutdown()
+			chaosRun(t, seed, sys)
 		})
 	}
 }
 
-type chaosOutcome struct {
-	aid    hope.AID
-	result bool
+// TestChaosSoakFaultNet is the adversarial variant: the same randomized
+// workload, but every message crosses a faultwire.Net configured from
+// the seed — heavy drop/duplicate/corrupt rates, jittered delays, and
+// two partition windows that cut the PID space into three sites
+// mid-run. The invariants must hold unchanged; a failure prints the
+// seed (in the subtest name) and the injected-fault counters for
+// replay.
+func TestChaosSoakFaultNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Short span so the partition windows overlap the workload
+			// (the soak itself settles in tens of milliseconds).
+			const span = 300 * time.Millisecond
+			start := time.Now()
+			fw := faultwire.New(nil, faultwire.Config{
+				Seed:       seed,
+				Drop:       0.15,
+				Dup:        0.10,
+				Corrupt:    0.10,
+				DelayMax:   300 * time.Microsecond,
+				Retransmit: 100 * time.Microsecond,
+				SiteOf:     faultwire.SplitSites(3),
+				Partitions: faultwire.GenWindows(seed, 3, 2, span),
+			})
+			sys := hope.New(hope.WithTransport(fw))
+			defer sys.Shutdown()
+			chaosRun(t, seed, sys)
+			// Let the whole window schedule play out before reading the
+			// counters; a window can open after the workload settles, and
+			// its timers can fire late when the test host is loaded, so
+			// poll rather than sleep a fixed grace period.
+			if rest := span - time.Since(start); rest > 0 {
+				time.Sleep(rest)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				fs := fw.FaultStats()
+				if fs.Partitions == 2 && fs.Heals == 2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("partition schedule did not run to completion: %v", fs)
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			fs := fw.FaultStats()
+			t.Logf("faults: %v", fs)
+			if fs.Dropped == 0 || fs.Corrupted == 0 {
+				t.Errorf("fault net injected nothing: %v", fs)
+			}
+		})
+	}
 }
 
-func chaosRun(t *testing.T, seed int64) {
+// chaosRun drives the randomized workload derived from seed against an
+// already-constructed system and checks the shared invariants.
+func chaosRun(t *testing.T, seed int64, sys *hope.System) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -46,9 +128,6 @@ func chaosRun(t *testing.T, seed int64) {
 		nAIDs    = 8
 		nWorkers = 6
 	)
-
-	sys := hope.New(hope.WithJitterLatency(0, 500*time.Microsecond, seed))
-	defer sys.Shutdown()
 
 	aids := make([]hope.AID, nAIDs)
 	verdict := make(map[hope.AID]bool, nAIDs)
@@ -78,7 +157,7 @@ func chaosRun(t *testing.T, seed int64) {
 	// Workers: random interleavings of guesses, echo round trips, and
 	// speculative child spawns.
 	var mu sync.Mutex
-	outcomes := make(map[int][]chaosOutcome)
+	outcomes := make(map[int][]oracle.Outcome)
 	plans := make([][]int, nWorkers) // op stream per worker: ≥0 = guess aid index, -1 = echo, -2 = spawn
 	for w := range plans {
 		n := 3 + rng.Intn(6)
@@ -101,13 +180,13 @@ func chaosRun(t *testing.T, seed int64) {
 		w := w
 		ops := plans[w]
 		p, err := sys.Spawn(func(ctx *hope.Ctx) error {
-			var got []chaosOutcome
+			var got []oracle.Outcome
 			for i, op := range ops {
 				switch {
 				case op >= 0:
 					x := aids[op]
 					ok := ctx.Guess(x)
-					got = append(got, chaosOutcome{aid: x, result: ok})
+					got = append(got, oracle.Outcome{AID: x, Result: ok})
 				case op == -1:
 					ctx.Send(echo.PID(), fmt.Sprintf("w%d-%d", w, i))
 					if _, _, err := ctx.Recv(); err != nil {
@@ -155,12 +234,9 @@ func chaosRun(t *testing.T, seed int64) {
 	}
 
 	for w, p := range workers {
-		st := p.Snapshot()
-		if !st.Completed {
-			t.Fatalf("worker %d incomplete: %+v", w, st)
-		}
-		if !st.AllDefinite {
-			t.Fatalf("worker %d not definite: %+v", w, st)
+		name := fmt.Sprintf("worker %d", w)
+		if err := oracle.CheckWorker(name, p.Snapshot()); err != nil {
+			t.Fatal(err)
 		}
 		mu.Lock()
 		got := outcomes[w]
@@ -172,22 +248,21 @@ func chaosRun(t *testing.T, seed int64) {
 			}
 		}
 		if len(got) != guessOps {
-			t.Fatalf("worker %d recorded %d outcomes, want %d", w, len(got), guessOps)
+			t.Fatalf("%s recorded %d outcomes, want %d", name, len(got), guessOps)
 		}
-		for i, o := range got {
-			if o.result != verdict[o.aid] {
-				t.Fatalf("worker %d outcome %d: guess(%v)=%v, verdict %v", w, i, o.aid, o.result, verdict[o.aid])
-			}
+		if err := oracle.CheckOutcomes(name, got, verdict); err != nil {
+			t.Fatal(err)
 		}
 	}
 
 	// Terminated processes must all be speculative children (the echo
 	// service, deciders, and workers are definite roots).
+	snaps := make([]core.Status, 0, len(sys.Processes()))
 	for _, p := range sys.Processes() {
-		st := p.Snapshot()
-		if st.Terminated && st.Err == nil {
-			t.Fatalf("terminated process without error: %+v", st)
-		}
+		snaps = append(snaps, p.Snapshot())
+	}
+	if err := oracle.CheckTerminations(snaps); err != nil {
+		t.Fatal(err)
 	}
 
 	if v := sys.Violations(); v != 0 {

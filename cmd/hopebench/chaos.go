@@ -1,0 +1,111 @@
+package main
+
+// The chaos experiment is the wire experiment's adversarial sibling: N
+// hoped print servers in separate OS processes, every TCP link routed
+// through a fault-injecting proxy (internal/faultwire), a randomized
+// fault plan severing, partitioning, and corrupting the links — and by
+// default SIGKILLing one durable node mid-storm and restarting it from
+// its WAL. The run passes only if the invariants in internal/harness
+// hold: quiescence, verdict agreement, byte-stable committed layout on
+// every server, no FIFO inversion at the delivery boundary.
+//
+// Everything derives from the seed. A failing run prints the seed and
+// the full fault plan; re-running with --seed replays it exactly.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hope-dist/hope/internal/faultwire"
+	"github.com/hope-dist/hope/internal/harness"
+	"github.com/hope-dist/hope/internal/oracle"
+)
+
+func chaosExperiment(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 3, "hoped server processes")
+	seed := fs.Int64("seed", 0, "single seed (overrides --seeds)")
+	seeds := fs.String("seeds", "", "comma-separated seeds (default $HOPE_CHAOS_SEEDS, then 1)")
+	span := fs.Duration("span", 2*time.Second, "storm duration")
+	kill := fs.Bool("kill", true, "SIGKILL+restart one durable node mid-storm")
+	fsync := fs.String("fsync", "interval", "WAL fsync policy for durable nodes (always|interval|none)")
+	hopedPath := fs.String("hoped", "", "path to the hoped binary (default: $PATH, then `go build`)")
+	pageSize := fs.Int("pagesize", 3, "page size (smaller ⇒ more mispredictions)")
+	reports := fs.Int("reports", 48, "reports per server workload")
+	planOnly := fs.Bool("plan", false, "print each seed's fault plan and exit (no processes spawned)")
+	verbose := fs.Bool("v", false, "narrate the storm as it runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// --seed wins when given explicitly (0 is a legal seed, so test
+	// set-ness rather than the value).
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	var seedList []int64
+	if seedSet {
+		seedList = []int64{*seed}
+	} else {
+		spec := *seeds
+		if spec == "" {
+			spec = os.Getenv("HOPE_CHAOS_SEEDS")
+		}
+		var err error
+		if seedList, err = oracle.ParseSeeds(spec, []int64{1}); err != nil {
+			return fmt.Errorf("chaos seeds: %w", err)
+		}
+	}
+
+	if *planOnly {
+		for _, s := range seedList {
+			fmt.Print(faultwire.GenPlan(s, *nodes, *span, *kill))
+		}
+		return nil
+	}
+
+	fmt.Println("CHAOS — multi-node fault storm over loopback TCP proxies")
+	fmt.Printf("workload: %d reports × %d servers, pageSize %d, span %v, kill=%v, fsync=%s\n",
+		*reports, *nodes, *pageSize, *span, *kill, *fsync)
+
+	bin, cleanup, err := resolveHoped(*hopedPath)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s %10s\n",
+		"seed", "elapsed", "rollbacks", "reconnects", "resends", "crc-errs", "refused")
+	for _, s := range seedList {
+		cfg := harness.Config{
+			Seed: s, Nodes: *nodes, Span: *span, Kill: *kill, Fsync: *fsync,
+			HopedBin: bin, PageSize: *pageSize, Reports: *reports,
+		}
+		if *verbose {
+			cfg.Log = os.Stderr
+		}
+		res, err := harness.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos seed %d FAILED: %v\nreplay: hopebench chaos --nodes %d --span %v --kill=%v --seed %d\n%s",
+				s, err, *nodes, *span, *kill, s, res.Plan)
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		var refused uint64
+		for _, ps := range res.Proxies {
+			refused += ps.Refused
+		}
+		fmt.Printf("%-12d %10v %10d %10d %10d %10d %10d\n",
+			s, res.Elapsed.Round(time.Millisecond), res.Rollbacks,
+			res.Wire.Reconnects, res.Wire.Resends, res.Wire.CRCErrors, refused)
+		if res.Recovered != "" {
+			fmt.Printf("  %s\n", res.Recovered)
+		}
+	}
+	fmt.Println("all invariants held: quiescence, verdict agreement, sequential layouts, per-pair FIFO")
+	return nil
+}

@@ -7,11 +7,14 @@
 //	hopebench [e1|e3|e5|e6|e7|e8|e9|ablation]...
 //	hopebench wire [--pagesize N] [--reports N] [--drop] [--json FILE]
 //	hopebench wal [--records N] [--size B] [--json FILE]
+//	hopebench chaos [--nodes N] [--seed S|--seeds S,S,…] [--span D] [--kill] [--plan]
 //
 // The wire experiment runs the pagination workload across two real OS
 // processes over loopback TCP (spawning cmd/hoped); the wal experiment
 // prices the durability layer's append and recovery paths per fsync
-// policy. Neither is part of the default sweep.
+// policy; the chaos experiment runs the multi-node fault storm
+// (internal/harness) against live hoped processes behind fault-injecting
+// proxies. None of the three is part of the default sweep.
 package main
 
 import (
@@ -40,6 +43,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "wal" {
 		return walExperiment(args[1:])
+	}
+	if len(args) > 0 && args[0] == "chaos" {
+		return chaosExperiment(args[1:])
 	}
 	all := map[string]func() error{
 		"e1": e1, "e3": e3, "e5": e5, "e6": e6, "e7": e7, "e8": e8, "e9": e9,

@@ -10,24 +10,22 @@ package main
 // --drop severs every connection mid-run.
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/harness"
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/oracle"
 	"github.com/hope-dist/hope/internal/rpc"
 	"github.com/hope-dist/hope/internal/wire"
 )
@@ -184,15 +182,10 @@ func runWireBench(hopedBin string, pageSize, reports int, drop bool) (wireResult
 	}
 	defer node.Close()
 
-	child := exec.Command(hopedBin,
+	child, boot, err := harness.StartHoped(hopedBin, []string{
 		"--node", "1", "--listen", "127.0.0.1:0", "--serve", "printserver",
-		"--peer", "0="+node.Addr())
-	child.Stderr = os.Stderr
-	stdout, err := child.StdoutPipe()
+		"--peer", "0=" + node.Addr()})
 	if err != nil {
-		return res, err
-	}
-	if err := child.Start(); err != nil {
 		return res, err
 	}
 	defer func() {
@@ -200,11 +193,8 @@ func runWireBench(hopedBin string, pageSize, reports int, drop bool) (wireResult
 		child.Wait()
 	}()
 
-	serverAddr, serverPID, err := awaitReady(stdout)
-	if err != nil {
-		return res, err
-	}
-	node.SetPeer(1, serverAddr)
+	serverPID := boot.PID
+	node.SetPeer(1, boot.Addr)
 	if wire.NodeOf(serverPID) != 1 {
 		return res, fmt.Errorf("server PID %v not in node 1's namespace", serverPID)
 	}
@@ -249,8 +239,8 @@ func runWireBench(hopedBin string, pageSize, reports int, drop bool) (wireResult
 
 	// Ground truth: the server's committed line counter must equal a
 	// sequential replay of run 2 (+1 for the probe's own print).
-	want := expectedFinalLine(pageSize, reports) + 1
-	line, err := probeLine(eng, serverPID)
+	want := oracle.ExpectedFinalLine(pageSize, reports) + 1
+	line, err := rpc.Probe(eng, serverPID, rpc.MethodPrint, 30*time.Second)
 	if err != nil {
 		return res, err
 	}
@@ -263,19 +253,6 @@ func runWireBench(hopedBin string, pageSize, reports int, drop bool) (wireResult
 	}
 	res.Wire = node.WireStats()
 	return res, nil
-}
-
-// expectedFinalLine replays the pagination workload sequentially.
-func expectedFinalLine(pageSize, n int) int {
-	line := 0
-	for i := 0; i < n; i++ {
-		line++ // total
-		if line >= pageSize {
-			line = 0 // newpage
-		}
-		line++ // trailer
-	}
-	return line
 }
 
 type workerFn func(server ids.PID, pageSize, n int, done func(rpc.PageReport)) core.Body
@@ -330,40 +307,8 @@ func runWorker(eng *core.Engine, node *wire.Node, mk workerFn, server ids.PID, p
 
 // callOnce issues one synchronous RPC from a throwaway definite process.
 func callOnce(eng *core.Engine, server ids.PID, method string) error {
-	_, err := probeCall(eng, server, method)
+	_, err := rpc.Probe(eng, server, method, 30*time.Second)
 	return err
-}
-
-// probeLine prints one line pessimistically and returns the resulting
-// line number — a full round trip, so it also barriers on the server
-// having consumed everything sent before it.
-func probeLine(eng *core.Engine, server ids.PID) (int, error) {
-	return probeCall(eng, server, rpc.MethodPrint)
-}
-
-func probeCall(eng *core.Engine, server ids.PID, method string) (int, error) {
-	got := make(chan int, 1)
-	errc := make(chan error, 1)
-	_, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
-		line, err := rpc.Call(ctx, server, method, 0, 1<<20)
-		if err != nil {
-			errc <- err
-			return err
-		}
-		got <- line
-		return nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	select {
-	case line := <-got:
-		return line, nil
-	case err := <-errc:
-		return 0, err
-	case <-time.After(30 * time.Second):
-		return 0, fmt.Errorf("probe call to %v timed out", server)
-	}
 }
 
 // runFlood blasts identical control frames one-way between two
@@ -431,48 +376,4 @@ func runFlood(frames int, batched bool, flushDelay time.Duration) (floodResult, 
 		res.FramesPerFlush = float64(frames) / float64(res.Flushes)
 	}
 	return res, nil
-}
-
-// awaitReady parses the child's "HOPED READY node=… addr=… pid=…" line.
-func awaitReady(r io.Reader) (addr string, pid ids.PID, err error) {
-	type ready struct {
-		addr string
-		pid  ids.PID
-		err  error
-	}
-	ch := make(chan ready, 1)
-	go func() {
-		sc := bufio.NewScanner(r)
-		for sc.Scan() {
-			line := sc.Text()
-			if !strings.HasPrefix(line, "HOPED READY") {
-				continue
-			}
-			var r ready
-			for _, f := range strings.Fields(line) {
-				if v, ok := strings.CutPrefix(f, "addr="); ok {
-					r.addr = v
-				}
-				if v, ok := strings.CutPrefix(f, "pid="); ok {
-					n, err := strconv.ParseUint(v, 10, 64)
-					if err != nil {
-						r.err = fmt.Errorf("bad pid in READY line %q: %v", line, err)
-					}
-					r.pid = ids.PID(n)
-				}
-			}
-			if r.addr == "" && r.err == nil {
-				r.err = fmt.Errorf("no addr in READY line %q", line)
-			}
-			ch <- r
-			return
-		}
-		ch <- ready{err: fmt.Errorf("hoped exited before READY: %v", sc.Err())}
-	}()
-	select {
-	case r := <-ch:
-		return r.addr, r.pid, r.err
-	case <-time.After(15 * time.Second):
-		return "", 0, fmt.Errorf("timed out waiting for hoped READY line")
-	}
 }

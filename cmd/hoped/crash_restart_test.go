@@ -1,20 +1,18 @@
 package main
 
 import (
-	"bufio"
 	"fmt"
-	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/harness"
 	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/oracle"
 	"github.com/hope-dist/hope/internal/rpc"
 	"github.com/hope-dist/hope/internal/trace"
 	"github.com/hope-dist/hope/internal/wire"
@@ -47,10 +45,10 @@ func TestCrashRestartRecovery(t *testing.T) {
 		"--peer", "0=" + node.Addr(),
 	}
 	child, boot := startHoped(t, bin, append([]string{"--listen", "127.0.0.1:0"}, args...))
-	if boot.recovered != "" {
-		t.Fatalf("fresh data dir reported recovery: %s", boot.recovered)
+	if boot.Recovered != "" {
+		t.Fatalf("fresh data dir reported recovery: %s", boot.Recovered)
 	}
-	serverAddr, serverPID := boot.addr, boot.pid
+	serverAddr, serverPID := boot.Addr, boot.PID
 	node.SetPeer(1, serverAddr)
 
 	ctrace := trace.NewRecorderCap(4000)
@@ -92,12 +90,12 @@ func TestCrashRestartRecovery(t *testing.T) {
 		child2.Process.Signal(os.Interrupt)
 		child2.Wait()
 	}()
-	if boot2.recovered == "" {
+	if boot2.Recovered == "" {
 		t.Fatal("restarted server printed no HOPED RECOVERED line")
 	}
-	t.Logf("restart: %s", boot2.recovered)
-	if boot2.pid != serverPID {
-		t.Fatalf("server PID changed across restart: %v -> %v", serverPID, boot2.pid)
+	t.Logf("restart: %s", boot2.Recovered)
+	if boot2.PID != serverPID {
+		t.Fatalf("server PID changed across restart: %v -> %v", serverPID, boot2.PID)
 	}
 
 	// The workload must reach distributed quiescence: every report
@@ -132,7 +130,7 @@ func TestCrashRestartRecovery(t *testing.T) {
 	// Ground truth, same as the wire benchmark: the server's committed
 	// line counter must equal a sequential replay (+1 for the probe's own
 	// print). A duplicated delivery overshoots, a lost one undershoots.
-	want := expectedFinalLine(pageSize, reports) + 1
+	want := oracle.ExpectedFinalLine(pageSize, reports) + 1
 	line, err := probeLine(eng, serverPID)
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +166,7 @@ func TestRestartCleanShutdown(t *testing.T) {
 		"--peer", "0=" + node.Addr(),
 	}
 	child, boot := startHoped(t, bin, append([]string{"--listen", "127.0.0.1:0"}, args...))
-	node.SetPeer(1, boot.addr)
+	node.SetPeer(1, boot.Addr)
 
 	eng := core.NewEngine(core.Config{Transport: node, PIDBase: wire.PIDBase(0)})
 	defer eng.Shutdown()
@@ -178,7 +176,7 @@ func TestRestartCleanShutdown(t *testing.T) {
 	// the counter continues from the same place.
 	var last int
 	for i := 0; i < 3; i++ {
-		if last, err = probeLine(eng, boot.pid); err != nil {
+		if last, err = probeLine(eng, boot.PID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -187,15 +185,15 @@ func TestRestartCleanShutdown(t *testing.T) {
 		t.Fatalf("clean shutdown: %v", err)
 	}
 
-	child2, boot2 := startHoped(t, bin, append([]string{"--listen", boot.addr}, args...))
+	child2, boot2 := startHoped(t, bin, append([]string{"--listen", boot.Addr}, args...))
 	defer func() {
 		child2.Process.Signal(os.Interrupt)
 		child2.Wait()
 	}()
-	if boot2.recovered == "" {
+	if boot2.Recovered == "" {
 		t.Fatal("restart after clean shutdown printed no HOPED RECOVERED line")
 	}
-	line, err := probeLine(eng, boot2.pid)
+	line, err := probeLine(eng, boot2.PID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,81 +216,16 @@ func buildHoped(t *testing.T) string {
 	return bin
 }
 
-// bootInfo is what a hoped child reports on stdout before serving.
-type bootInfo struct {
-	addr      string
-	pid       ids.PID
-	recovered string // the RECOVERED line verbatim, "" on a fresh boot
-}
-
-// startHoped launches a hoped child and parses its boot lines. The
-// RECOVERED line, if any, arrives strictly before READY.
-func startHoped(t *testing.T, bin string, args []string) (*exec.Cmd, bootInfo) {
+// startHoped launches a hoped child and parses its boot lines (the
+// RECOVERED line, if any, arrives strictly before READY); the parsing
+// lives in internal/harness, shared with hopebench wire and chaos.
+func startHoped(t *testing.T, bin string, args []string) (*exec.Cmd, harness.BootInfo) {
 	t.Helper()
-	child := exec.Command(bin, args...)
-	child.Stderr = os.Stderr
-	stdout, err := child.StdoutPipe()
+	child, info, err := harness.StartHoped(bin, args)
 	if err != nil {
 		t.Fatal(err)
-	}
-	if err := child.Start(); err != nil {
-		t.Fatal(err)
-	}
-	info, err := awaitBoot(stdout)
-	if err != nil {
-		child.Process.Kill()
-		child.Wait()
-		t.Fatalf("hoped %v: %v", args, err)
 	}
 	return child, info
-}
-
-func awaitBoot(r io.Reader) (bootInfo, error) {
-	type res struct {
-		info bootInfo
-		err  error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		var info bootInfo
-		sc := bufio.NewScanner(r)
-		for sc.Scan() {
-			line := sc.Text()
-			if strings.HasPrefix(line, "HOPED RECOVERED") {
-				info.recovered = line
-				continue
-			}
-			if !strings.HasPrefix(line, "HOPED READY") {
-				continue
-			}
-			for _, f := range strings.Fields(line) {
-				if v, ok := strings.CutPrefix(f, "addr="); ok {
-					info.addr = v
-				}
-				if v, ok := strings.CutPrefix(f, "pid="); ok {
-					n, err := strconv.ParseUint(v, 10, 64)
-					if err != nil {
-						ch <- res{err: fmt.Errorf("bad pid in %q: %v", line, err)}
-						return
-					}
-					info.pid = ids.PID(n)
-				}
-			}
-			if info.addr == "" {
-				ch <- res{err: fmt.Errorf("no addr in READY line %q", line)}
-				return
-			}
-			ch <- res{info: info}
-			return
-		}
-		ch <- res{err: fmt.Errorf("hoped exited before READY: %v", sc.Err())}
-	}()
-	select {
-	case r := <-ch:
-		return r.info, r.err
-	case <-time.After(15 * time.Second):
-		return bootInfo{}, fmt.Errorf("timed out waiting for hoped READY line")
-	}
 }
 
 func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
@@ -306,43 +239,8 @@ func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool)
 	}
 }
 
-// expectedFinalLine replays the pagination workload sequentially — the
-// same ground-truth oracle the wire benchmark uses.
-func expectedFinalLine(pageSize, n int) int {
-	line := 0
-	for i := 0; i < n; i++ {
-		line++ // total
-		if line >= pageSize {
-			line = 0 // newpage
-		}
-		line++ // trailer
-	}
-	return line
-}
-
 // probeLine issues one pessimistic MethodPrint call from a throwaway
 // definite process and returns the printed line number.
 func probeLine(eng *core.Engine, server ids.PID) (int, error) {
-	got := make(chan int, 1)
-	errc := make(chan error, 1)
-	_, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
-		line, err := rpc.Call(ctx, server, rpc.MethodPrint, 0, 1<<20)
-		if err != nil {
-			errc <- err
-			return err
-		}
-		got <- line
-		return nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	select {
-	case line := <-got:
-		return line, nil
-	case err := <-errc:
-		return 0, err
-	case <-time.After(30 * time.Second):
-		return 0, fmt.Errorf("probe call to %v timed out", server)
-	}
+	return rpc.Probe(eng, server, rpc.MethodPrint, 30*time.Second)
 }

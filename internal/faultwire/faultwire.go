@@ -1,0 +1,475 @@
+package faultwire
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/transport"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// Window schedules one partition: Site is isolated from every other site
+// for Dur starting At (measured from Net construction). Messages crossing
+// the cut are held — not lost — and released in order on heal.
+type Window struct {
+	At, Dur time.Duration
+	Site    int
+}
+
+// Config parameterizes a Net. All probabilities are per transmission
+// attempt; a dropped attempt is retried after Retransmit, so Drop: 0.3
+// means a geometric number of retransmissions, not message loss — the
+// wrapper keeps the transport contract (reliable delivery, per-pair
+// FIFO) while the link underneath misbehaves.
+type Config struct {
+	// Seed makes the schedule reproducible. Each (sender, receiver) pair
+	// derives its own PRNG from Seed, so the fault sequence a pair's
+	// message stream experiences is a function of (Seed, stream) alone,
+	// independent of cross-pair goroutine interleaving.
+	Seed int64
+	// Drop is the probability a transmission attempt is lost and must be
+	// retransmitted (after Retransmit).
+	Drop float64
+	// Dup is the probability a delivered frame is duplicated at the link
+	// layer; the duplicate is suppressed by the receive-side dedup, as a
+	// wire.Node suppresses a resent frame below its ack watermark.
+	Dup float64
+	// Corrupt is the probability an attempt is corrupted in flight: the
+	// message is encoded with the real wire codec and one bit is flipped.
+	// The wire frame format carries a CRC32C trailer that detects any
+	// single-bit flip with certainty, so the attempt counts as lost and
+	// is retransmitted; the intact original is re-sent. Flips the message
+	// decoder alone would have accepted — the damage only the CRC layer
+	// catches — are additionally counted in CorruptMissed.
+	Corrupt float64
+	// DelayMin/DelayMax bound the per-delivery latency draw. Distinct
+	// per-pair delays reorder traffic across peers while per-pair FIFO
+	// still holds.
+	DelayMin, DelayMax time.Duration
+	// Retransmit is the delay before a lost attempt is retried
+	// (default 200µs).
+	Retransmit time.Duration
+	// SiteOf maps a PID to the site partitions cut between; nil uses the
+	// PID's wire node (wire.NodeOf). For a single-engine soak, where all
+	// PIDs share a node, use SplitSites to scatter them.
+	SiteOf func(ids.PID) int
+	// Partitions schedules site isolation windows; see GenWindows.
+	Partitions []Window
+	// Tracer receives one trace.Fault event per injected fault
+	// (nil = discard).
+	Tracer trace.Tracer
+}
+
+// SplitSites returns a SiteOf that scatters PIDs across k sites by value,
+// so an in-process engine's processes land on different sides of a cut.
+func SplitSites(k int) func(ids.PID) int {
+	return func(pid ids.PID) int { return int(uint64(pid) % uint64(k)) }
+}
+
+// GenWindows deterministically generates n partition windows across k
+// sites within span, each isolating one site for a span/8..span/4 slice
+// of the first 3/4 of the span — mirroring GenPlan's shape so in-process
+// soaks and wire-level storms exercise comparable outages.
+func GenWindows(seed int64, k, n int, span time.Duration) []Window {
+	rng := rand.New(rand.NewSource(seed))
+	ws := make([]Window, 0, n)
+	storm := span * 3 / 4
+	for i := 0; i < n; i++ {
+		dur := storm/8 + time.Duration(rng.Int63n(int64(storm/8)+1))
+		at := time.Duration(rng.Int63n(int64(storm - dur + 1)))
+		ws = append(ws, Window{At: at, Dur: dur, Site: rng.Intn(k)})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].At < ws[j].At })
+	return ws
+}
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	Dropped       uint64 // attempts lost and retransmitted
+	Duplicated    uint64 // link-level duplicates suppressed by dedup
+	Corrupted     uint64 // flipped frames caught by the frame CRC
+	CorruptMissed uint64 // of those, flips the message decoder alone would have accepted
+	Delayed       uint64 // deliveries that drew a nonzero delay
+	Held          uint64 // messages parked at a partition cut
+	Partitions    uint64 // isolation windows opened
+	Heals         uint64 // isolation windows closed
+}
+
+// String implements fmt.Stringer.
+func (s FaultStats) String() string {
+	return fmt.Sprintf("dropped=%d dup=%d corrupt=%d corrupt-missed=%d delayed=%d held=%d partitions=%d heals=%d",
+		s.Dropped, s.Duplicated, s.Corrupted, s.CorruptMissed, s.Delayed, s.Held, s.Partitions, s.Heals)
+}
+
+// Net is the fault-injecting transport wrapper. It implements
+// transport.Transport by subjecting every accepted message to the
+// configured link faults and then handing it, in per-pair order, to the
+// inner transport for actual delivery. The zero value is not usable;
+// construct with New.
+type Net struct {
+	inner transport.Transport
+	cfg   Config
+	trace trace.Tracer
+	start time.Time
+
+	mu       sync.Mutex
+	idle     *sync.Cond // inflight == 0
+	heal     *sync.Cond // partition state changed
+	lanes    map[pairKey]*lane
+	isolated map[int]int // site → active isolation count
+	closed   bool
+	inflight int
+	done     chan struct{}
+
+	dropped, duplicated   atomic.Uint64
+	corrupted, cmissed    atomic.Uint64
+	delayed, held         atomic.Uint64
+	partitions, healCount atomic.Uint64
+}
+
+var _ transport.Transport = (*Net)(nil)
+
+type pairKey struct{ from, to ids.PID }
+
+// lane serializes one (sender, receiver) pair so injected delays and
+// retransmissions cannot reorder a pair's messages. Each lane owns a
+// PRNG derived from (Seed, pair): the fault schedule a pair experiences
+// is reproducible regardless of cross-pair interleaving.
+type lane struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	pending []*msg.Message
+	running bool
+}
+
+// New wraps inner (nil = a synchronous transport.Local) in a fault
+// injector. Close closes the inner transport too.
+func New(inner transport.Transport, cfg Config) *Net {
+	if inner == nil {
+		inner = transport.NewLocal()
+	}
+	if cfg.Retransmit <= 0 {
+		cfg.Retransmit = 200 * time.Microsecond
+	}
+	if cfg.SiteOf == nil {
+		cfg.SiteOf = func(pid ids.PID) int { return wire.NodeOf(pid) }
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = trace.Nop
+	}
+	n := &Net{
+		inner:    inner,
+		cfg:      cfg,
+		trace:    tr,
+		start:    time.Now(),
+		lanes:    make(map[pairKey]*lane),
+		isolated: make(map[int]int),
+		done:     make(chan struct{}),
+	}
+	n.idle = sync.NewCond(&n.mu)
+	n.heal = sync.NewCond(&n.mu)
+	if len(cfg.Partitions) > 0 {
+		go n.runWindows(cfg.Partitions)
+	}
+	return n
+}
+
+// event emits one fault trace event.
+func (n *Net) event(format string, args ...any) {
+	n.trace.Emit(trace.Event{Kind: trace.Fault, Detail: fmt.Sprintf(format, args...)})
+}
+
+// runWindows executes the partition schedule relative to construction.
+func (n *Net) runWindows(ws []Window) {
+	for _, w := range ws {
+		if !n.sleepUntil(w.At) {
+			return
+		}
+		n.Isolate(w.Site)
+		w := w
+		go func() {
+			if n.sleepUntil(w.At + w.Dur) {
+				n.Heal(w.Site)
+			}
+		}()
+	}
+}
+
+// sleepUntil waits until offset d from start, returning false if the net
+// closed first.
+func (n *Net) sleepUntil(d time.Duration) bool {
+	wait := time.Until(n.start.Add(d))
+	if wait <= 0 {
+		return true
+	}
+	select {
+	case <-n.done:
+		return false
+	case <-time.After(wait):
+		return true
+	}
+}
+
+// Isolate opens a partition around site: messages between site and any
+// other site are held until the matching Heal. Nested isolations stack.
+func (n *Net) Isolate(site int) {
+	n.mu.Lock()
+	n.isolated[site]++
+	n.mu.Unlock()
+	n.partitions.Add(1)
+	n.event("partition: site %d isolated", site)
+}
+
+// Heal closes one isolation of site, releasing held traffic in order.
+func (n *Net) Heal(site int) {
+	n.mu.Lock()
+	if n.isolated[site] > 0 {
+		n.isolated[site]--
+	}
+	n.heal.Broadcast()
+	n.mu.Unlock()
+	n.healCount.Add(1)
+	n.event("heal: site %d reachable", site)
+}
+
+// blockedLocked reports whether traffic between sites a and b is cut.
+// Callers hold n.mu.
+func (n *Net) blockedLocked(a, b int) bool {
+	return a != b && (n.isolated[a] > 0 || n.isolated[b] > 0)
+}
+
+// Register implements transport.Transport.
+func (n *Net) Register(pid ids.PID, h transport.Handler) { n.inner.Register(pid, h) }
+
+// Unregister implements transport.Transport.
+func (n *Net) Unregister(pid ids.PID) { n.inner.Unregister(pid) }
+
+// Send implements transport.Transport: the message is queued on its
+// pair's lane and the fault pipeline runs asynchronously. Send never
+// blocks on the link, the faults, or the receiver.
+func (n *Net) Send(m *msg.Message) {
+	key := pairKey{from: m.From, to: m.To}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.inflight++
+	l := n.lanes[key]
+	if l == nil {
+		seed := n.cfg.Seed ^ int64(uint64(m.From)*0x9e3779b97f4a7c15) ^ int64(uint64(m.To)*0xbf58476d1ce4e5b9)
+		l = &lane{rng: rand.New(rand.NewSource(seed))}
+		n.lanes[key] = l
+	}
+	n.mu.Unlock()
+
+	l.mu.Lock()
+	l.pending = append(l.pending, m)
+	if !l.running {
+		l.running = true
+		go n.drainLane(l)
+	}
+	l.mu.Unlock()
+}
+
+// drainLane runs the fault pipeline over one pair's messages in FIFO
+// order, exiting when the lane empties.
+func (n *Net) drainLane(l *lane) {
+	for {
+		l.mu.Lock()
+		if len(l.pending) == 0 {
+			l.running = false
+			l.mu.Unlock()
+			return
+		}
+		m := l.pending[0]
+		l.pending = l.pending[1:]
+		l.mu.Unlock()
+
+		if n.transmit(l, m) {
+			n.inner.Send(m)
+		}
+		n.retire()
+	}
+}
+
+// transmit subjects one message to the link faults, blocking through
+// partitions and retransmitting losses. It reports false if the net
+// closed before delivery could happen.
+func (n *Net) transmit(l *lane, m *msg.Message) bool {
+	from, to := n.cfg.SiteOf(m.From), n.cfg.SiteOf(m.To)
+
+	// A partition holds the message at the cut; heal releases it.
+	n.mu.Lock()
+	if n.blockedLocked(from, to) {
+		n.held.Add(1)
+		n.event("hold: %s %v->%v at cut %d|%d", m.Kind, m.From, m.To, from, to)
+		for n.blockedLocked(from, to) && !n.closed {
+			n.heal.Wait()
+		}
+	}
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return false
+	}
+
+	for attempt := 0; ; attempt++ {
+		l.mu.Lock()
+		roll := l.rng.Float64()
+		croll := l.rng.Float64()
+		var delay time.Duration
+		if n.cfg.DelayMax > n.cfg.DelayMin {
+			delay = n.cfg.DelayMin + time.Duration(l.rng.Int63n(int64(n.cfg.DelayMax-n.cfg.DelayMin)))
+		} else {
+			delay = n.cfg.DelayMin
+		}
+		flip := l.rng.Int()
+		dup := l.rng.Float64() < n.cfg.Dup
+		l.mu.Unlock()
+
+		switch {
+		case roll < n.cfg.Drop:
+			n.dropped.Add(1)
+			n.event("drop: %s %v->%v attempt=%d", m.Kind, m.From, m.To, attempt)
+			if !n.pause(n.cfg.Retransmit) {
+				return false
+			}
+			continue
+		case croll < n.cfg.Corrupt:
+			if n.corrupt(m, flip) {
+				n.event("corrupt: %s %v->%v attempt=%d (crc rejected, retransmitting)",
+					m.Kind, m.From, m.To, attempt)
+				if !n.pause(n.cfg.Retransmit) {
+					return false
+				}
+				continue
+			}
+		}
+
+		if delay > 0 {
+			n.delayed.Add(1)
+			if !n.pause(delay) {
+				return false
+			}
+		}
+		if dup {
+			// The duplicate reaches the receiver and is discarded by its
+			// dedup, exactly as wire discards a resent frame below the ack
+			// watermark — so it is counted and traced, never delivered.
+			n.duplicated.Add(1)
+			n.event("dup: %s %v->%v suppressed by dedup", m.Kind, m.From, m.To)
+		}
+		return true
+	}
+}
+
+// corrupt encodes m with the wire codec and flips one bit. The real link
+// trails every frame with a CRC32C that detects any single-bit flip with
+// certainty, so detection is unconditional: the attempt counts as lost
+// and is retransmitted (the intact original — the flip never reaches the
+// engine). As a measure of what that trailer buys, the mutated bytes are
+// also offered to the message decoder; a flip it would have accepted is
+// counted in CorruptMissed. Messages the codec cannot encode (e.g.
+// unregistered probe payloads) pass through unharmed.
+func (n *Net) corrupt(m *msg.Message, flip int) bool {
+	data, err := wire.EncodeMessage(m)
+	if err != nil || len(data) == 0 {
+		return false
+	}
+	i := flip % (len(data) * 8)
+	if i < 0 {
+		i = -i
+	}
+	data[i/8] ^= 1 << (i % 8)
+	n.corrupted.Add(1)
+	if _, derr := wire.DecodeMessage(data); derr == nil {
+		n.cmissed.Add(1)
+		n.event("corrupt: %s %v->%v bit flip would survive decode (crc is load-bearing)", m.Kind, m.From, m.To)
+	}
+	return true
+}
+
+// pause sleeps d, returning false if the net closed meanwhile.
+func (n *Net) pause(d time.Duration) bool {
+	select {
+	case <-n.done:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// retire retires one in-flight message, waking Drain when none remain.
+func (n *Net) retire() {
+	n.mu.Lock()
+	n.inflight--
+	if n.inflight == 0 {
+		n.idle.Broadcast()
+	}
+	n.mu.Unlock()
+}
+
+// Inflight implements transport.Transport: messages inside the fault
+// pipeline (including any held at a partition) plus the inner
+// transport's own in-flight count.
+func (n *Net) Inflight() int {
+	n.mu.Lock()
+	mine := n.inflight
+	n.mu.Unlock()
+	return mine + n.inner.Inflight()
+}
+
+// Drain implements transport.Transport. A message can be parked at a
+// partition cut indefinitely, so Drain only returns once every window
+// has healed and the backlog flushed through the inner transport.
+func (n *Net) Drain() {
+	n.mu.Lock()
+	for n.inflight > 0 {
+		n.idle.Wait()
+	}
+	n.mu.Unlock()
+	n.inner.Drain()
+}
+
+// Close implements transport.Transport: pending messages are released
+// (undelivered), the partition schedule stops, and the inner transport
+// is closed.
+func (n *Net) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.done)
+	n.heal.Broadcast()
+	n.mu.Unlock()
+	n.inner.Close()
+}
+
+// Stats implements transport.Transport: delivery counts come from the
+// inner transport (faults never deliver).
+func (n *Net) Stats() transport.Stats { return n.inner.Stats() }
+
+// FaultStats returns a snapshot of the injected-fault counters.
+func (n *Net) FaultStats() FaultStats {
+	return FaultStats{
+		Dropped:       n.dropped.Load(),
+		Duplicated:    n.duplicated.Load(),
+		Corrupted:     n.corrupted.Load(),
+		CorruptMissed: n.cmissed.Load(),
+		Delayed:       n.delayed.Load(),
+		Held:          n.held.Load(),
+		Partitions:    n.partitions.Load(),
+		Heals:         n.healCount.Load(),
+	}
+}

@@ -1,0 +1,355 @@
+package faultwire
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+func TestGenPlanDeterministic(t *testing.T) {
+	a := GenPlan(42, 3, 2*time.Second, true)
+	b := GenPlan(42, 3, 2*time.Second, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%s\n%s", a, b)
+	}
+	c := GenPlan(43, 3, 2*time.Second, true)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestGenPlanShape(t *testing.T) {
+	span := 4 * time.Second
+	p := GenPlan(7, 3, span, true)
+	if p.Victim() == 0 {
+		t.Fatal("kill plan has no victim")
+	}
+
+	// Events are sorted and every outage heals before the span ends.
+	partitions := make(map[int]int) // node → open partitions
+	kills := 0
+	var last time.Duration
+	for i, e := range p.Events {
+		if e.At < last {
+			t.Fatalf("events not sorted at %d: %v", i, p.Events)
+		}
+		last = e.At
+		if e.At > span {
+			t.Fatalf("event past span: %v", e)
+		}
+		switch e.Op {
+		case OpPartition:
+			partitions[e.Node]++
+		case OpHeal:
+			partitions[e.Node]--
+		case OpKill:
+			kills++
+			if e.Node != p.Victim() {
+				t.Fatalf("kill targets %d, victim is %d", e.Node, p.Victim())
+			}
+		case OpCorrupt:
+			// Every corrupt is paired with a later sever of the same node
+			// (a flipped length prefix can stall the reader mid-frame).
+			found := false
+			for _, f := range p.Events[i+1:] {
+				if f.Node == e.Node && f.Op == OpSever {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("corrupt without a follow-up sever: %v", e)
+			}
+		}
+	}
+	if kills != 1 {
+		t.Fatalf("kills = %d, want 1", kills)
+	}
+	for node, open := range partitions {
+		if open != 0 {
+			t.Fatalf("node %d partition never healed", node)
+		}
+	}
+
+	if v := GenPlan(7, 3, span, false).Victim(); v != 0 {
+		t.Fatalf("no-kill plan has victim %d", v)
+	}
+}
+
+func TestGenWindowsDeterministic(t *testing.T) {
+	a := GenWindows(9, 4, 6, time.Second)
+	b := GenWindows(9, 4, 6, time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different windows: %v vs %v", a, b)
+	}
+	storm := time.Second * 3 / 4
+	for i, w := range a {
+		if i > 0 && w.At < a[i-1].At {
+			t.Fatalf("windows not sorted: %v", a)
+		}
+		if w.At+w.Dur > storm {
+			t.Fatalf("window past storm end: %v", w)
+		}
+		if w.Site < 0 || w.Site >= 4 {
+			t.Fatalf("window site out of range: %v", w)
+		}
+	}
+}
+
+func TestSplitSites(t *testing.T) {
+	f := SplitSites(3)
+	seen := map[int]bool{}
+	for pid := ids.PID(1); pid <= 9; pid++ {
+		s := f(pid)
+		if s < 0 || s >= 3 {
+			t.Fatalf("site %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("PIDs 1..9 hit %d sites, want 3", len(seen))
+	}
+}
+
+// recorder collects delivered messages per sender.
+type recorder struct {
+	mu  sync.Mutex
+	got map[ids.PID][]uint32 // sender → IID seqs in delivery order
+}
+
+func (r *recorder) handler(m *msg.Message) {
+	r.mu.Lock()
+	r.got[m.From] = append(r.got[m.From], m.IID.Seq)
+	r.mu.Unlock()
+}
+
+// TestNetDeliversAllInOrder floods a heavily faulted Net and checks the
+// transport contract survived: every message delivered exactly once, and
+// each (sender, receiver) pair's stream in send order.
+func TestNetDeliversAllInOrder(t *testing.T) {
+	rec := trace.NewRecorderCap(1 << 12)
+	n := New(nil, Config{
+		Seed:       1,
+		Drop:       0.3,
+		Dup:        0.2,
+		Corrupt:    0.2,
+		DelayMax:   50 * time.Microsecond,
+		Retransmit: 20 * time.Microsecond,
+		Tracer:     rec,
+	})
+	defer n.Close()
+
+	const senders, perPair = 3, 150
+	receivers := []ids.PID{100, 101}
+	recs := make(map[ids.PID]*recorder)
+	for _, to := range receivers {
+		r := &recorder{got: make(map[ids.PID][]uint32)}
+		recs[to] = r
+		n.Register(to, r.handler)
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		from := ids.PID(1 + s)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint32(1); i <= perPair; i++ {
+				for _, to := range receivers {
+					n.Send(msg.Guess(from, ids.IntervalID{Proc: from, Seq: i, Epoch: 1}, ids.AID(to)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n.Drain()
+
+	for _, to := range receivers {
+		r := recs[to]
+		r.mu.Lock()
+		for s := 0; s < senders; s++ {
+			seqs := r.got[ids.PID(1+s)]
+			if len(seqs) != perPair {
+				t.Fatalf("pair %d->%d delivered %d, want %d", 1+s, to, len(seqs), perPair)
+			}
+			for i, seq := range seqs {
+				if seq != uint32(i+1) {
+					t.Fatalf("pair %d->%d out of order at %d: got seq %d", 1+s, to, i, seq)
+				}
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	fs := n.FaultStats()
+	if fs.Dropped == 0 || fs.Duplicated == 0 || fs.Corrupted == 0 {
+		t.Fatalf("fault schedule too quiet: %v", fs)
+	}
+	if rec.Count(trace.Fault) == 0 {
+		t.Fatal("no fault trace events emitted")
+	}
+}
+
+// TestNetSeedReproducible runs the same single-lane send sequence twice
+// and expects an identical fault schedule: the lane PRNG is a function of
+// (seed, pair) alone.
+func TestNetSeedReproducible(t *testing.T) {
+	run := func(seed int64) FaultStats {
+		n := New(nil, Config{
+			Seed:       seed,
+			Drop:       0.4,
+			Dup:        0.3,
+			Corrupt:    0.3,
+			Retransmit: 10 * time.Microsecond,
+		})
+		defer n.Close()
+		n.Register(2, func(*msg.Message) {})
+		for i := uint32(1); i <= 200; i++ {
+			n.Send(msg.Guess(1, ids.IntervalID{Proc: 1, Seq: i, Epoch: 1}, 2))
+		}
+		n.Drain()
+		return n.FaultStats()
+	}
+	a, b := run(5), run(5)
+	if a != b {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	if c := run(6); a == c {
+		t.Fatalf("different seeds, identical schedules: %v", a)
+	}
+	if a.Dropped == 0 || a.Corrupted == 0 {
+		t.Fatalf("schedule too quiet to compare: %v", a)
+	}
+}
+
+// TestNetPartitionHoldsAndHeals cuts a site, verifies traffic across the
+// cut is held (not lost, still inflight), then heals and watches it
+// arrive in order.
+func TestNetPartitionHoldsAndHeals(t *testing.T) {
+	siteOf := func(pid ids.PID) int { return int(pid) % 2 }
+	n := New(nil, Config{Seed: 3, SiteOf: siteOf})
+	defer n.Close()
+
+	r := &recorder{got: make(map[ids.PID][]uint32)}
+	n.Register(2, r.handler) // site 0
+
+	n.Isolate(1) // cut site 1 (sender pid 1) off
+	for i := uint32(1); i <= 5; i++ {
+		n.Send(msg.Guess(1, ids.IntervalID{Proc: 1, Seq: i, Epoch: 1}, 2))
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for n.FaultStats().Held == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no message was held at the cut")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.mu.Lock()
+	delivered := len(r.got[1])
+	r.mu.Unlock()
+	if delivered != 0 {
+		t.Fatalf("%d messages crossed an open partition", delivered)
+	}
+	if n.Inflight() == 0 {
+		t.Fatal("held messages must count as inflight (Settle depends on it)")
+	}
+
+	n.Heal(1)
+	n.Drain()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seqs := r.got[1]
+	if len(seqs) != 5 {
+		t.Fatalf("delivered %d after heal, want 5", len(seqs))
+	}
+	for i, seq := range seqs {
+		if seq != uint32(i+1) {
+			t.Fatalf("out of order after heal: %v", seqs)
+		}
+	}
+	fs := n.FaultStats()
+	if fs.Partitions != 1 || fs.Heals != 1 {
+		t.Fatalf("partition counters wrong: %v", fs)
+	}
+}
+
+// TestNetWindowsScheduleRuns drives the partition schedule end to end:
+// a window opens, holds traffic, and heals on its own.
+func TestNetWindowsScheduleRuns(t *testing.T) {
+	siteOf := func(pid ids.PID) int { return int(pid) % 2 }
+	n := New(nil, Config{
+		Seed:   4,
+		SiteOf: siteOf,
+		Partitions: []Window{
+			{At: 10 * time.Millisecond, Dur: 60 * time.Millisecond, Site: 1},
+		},
+	})
+	defer n.Close()
+	n.Register(2, func(*msg.Message) {})
+
+	time.Sleep(30 * time.Millisecond) // window is open now
+	n.Send(msg.Guess(1, ids.IntervalID{Proc: 1, Seq: 1, Epoch: 1}, 2))
+	n.Drain() // returns only after the scheduled heal releases the hold
+
+	fs := n.FaultStats()
+	if fs.Partitions != 1 || fs.Heals != 1 || fs.Held == 0 {
+		t.Fatalf("window did not run: %v", fs)
+	}
+	if st := n.Stats(); st.Guess != 1 {
+		t.Fatalf("message lost across the window: %v", st)
+	}
+}
+
+// TestNetCloseReleasesHeldSenders verifies Close unblocks lanes parked at
+// a partition cut instead of leaking their goroutines forever.
+func TestNetCloseReleasesHeldSenders(t *testing.T) {
+	siteOf := func(pid ids.PID) int { return int(pid) % 2 }
+	n := New(nil, Config{Seed: 5, SiteOf: siteOf})
+	n.Register(2, func(*msg.Message) {})
+	n.Isolate(1)
+	n.Send(msg.Guess(1, ids.IntervalID{Proc: 1, Seq: 1, Epoch: 1}, 2))
+
+	deadline := time.Now().Add(2 * time.Second)
+	for n.FaultStats().Held == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("message never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { n.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on a held message")
+	}
+	if st := n.Stats(); st.Guess != 0 {
+		t.Fatalf("message delivered after Close: %v", st)
+	}
+}
+
+// TestNetIsLegalTransport spot-checks the interface contract glue:
+// unregistered destinations become dead letters, Stats proxies the inner
+// transport, Send after Close is a no-op.
+func TestNetIsLegalTransport(t *testing.T) {
+	var _ transport.Transport = (*Net)(nil)
+	n := New(nil, Config{Seed: 8})
+	n.Send(msg.Guess(1, ids.IntervalID{Proc: 1, Seq: 1, Epoch: 1}, 99))
+	n.Drain()
+	if st := n.Stats(); st.Dead != 1 {
+		t.Fatalf("unregistered delivery not counted dead: %v", st)
+	}
+	n.Close()
+	n.Send(msg.Guess(1, ids.IntervalID{Proc: 1, Seq: 2, Epoch: 1}, 99))
+	if st := n.Stats(); st.Dead != 1 {
+		t.Fatalf("send after close delivered: %v", st)
+	}
+	n.Close() // idempotent
+}

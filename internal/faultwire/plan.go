@@ -1,0 +1,193 @@
+// Package faultwire is the adversarial network for HOPE: deterministic,
+// seed-replayable fault injection at the two layers the repo deploys on.
+//
+//   - Net wraps any transport.Transport (the engine-facing interface) and
+//     subjects every message to a simulated lossy link — drops, delays,
+//     duplicates, corruption, partitions — while still discharging the
+//     transport contract's end-to-end obligations (reliable delivery,
+//     per-pair FIFO) exactly the way internal/wire does: retransmission
+//     after loss and receive-side duplicate suppression. The engine above
+//     sees a legal transport; the schedule underneath is an adversary.
+//   - Proxy sits between two live wire.Node TCP endpoints and injures the
+//     byte stream itself: severed connections, refused dials (partition),
+//     added latency, flipped bits. The wire layer's reconnect, resend,
+//     and dedup machinery has to recover for real.
+//
+// Both layers draw every decision from a PRNG seeded explicitly, log
+// every injected fault as a trace.Fault event, and — for the multi-node
+// chaos harness — execute a Plan: a pre-generated timeline of fault
+// events that two runs with the same seed reproduce identically, so any
+// failing run can be replayed exactly from its printed seed.
+//
+// Alistarh et al. ("Are Lock-Free Concurrent Algorithms Practically
+// Wait-Free?") argue progress guarantees must be validated under an
+// explicit adversarial scheduler; this package is that scheduler for the
+// wait-free claims of paper §5 (see DESIGN.md §9).
+package faultwire
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Op enumerates the fault classes a Plan can schedule against a node.
+type Op int
+
+const (
+	// OpSever closes every live connection through the node's proxies
+	// once. The wire layer reconnects with backoff and resends the
+	// unacked tail; racing acks produce duplicate frames the receiver
+	// must suppress.
+	OpSever Op = iota + 1
+	// OpPartition blocks the node's proxies for the event's Dur: live
+	// connections are severed and new dials are refused, so the node is
+	// unreachable both ways until the matching heal.
+	OpPartition
+	// OpHeal unblocks the node's proxies. Every OpPartition and OpKill
+	// the generator emits is paired with a later OpHeal / OpRestart, so
+	// a generated plan always ends with the network whole.
+	OpHeal
+	// OpCorrupt arms the node's proxies to flip one bit in the next
+	// forwarded chunk. The wire frame CRC (or an out-of-range length
+	// prefix) rejects the damage and drops the connection — corruption
+	// degrades to a reconnect, never to accepted garbage. The generator
+	// pairs every corrupt with a follow-up sever: a flipped length
+	// prefix can leave the reader mid-frame awaiting bytes that never
+	// arrive, and the sever bounds that stall.
+	OpCorrupt
+	// OpKill SIGKILLs the node's process mid-storm — no drain, no WAL
+	// close. Only meaningful for durable nodes.
+	OpKill
+	// OpRestart relaunches a killed node on the same address and data
+	// directory; recovery replays its WAL.
+	OpRestart
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpSever:
+		return "sever"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpCorrupt:
+		return "corrupt"
+	case OpKill:
+		return "kill"
+	case OpRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Event is one scheduled fault: at offset At from the start of the storm,
+// apply Op to Node. Dur documents the intended outage span for paired
+// events (partition→heal, kill→restart).
+type Event struct {
+	At   time.Duration
+	Node int
+	Op   Op
+	Dur  time.Duration
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	s := fmt.Sprintf("%8s node=%d at=%v", e.Op, e.Node, e.At)
+	if e.Dur > 0 {
+		s += fmt.Sprintf(" dur=%v", e.Dur)
+	}
+	return s
+}
+
+// Plan is a deterministic fault timeline. Everything about it derives
+// from the seed: GenPlan(seed, …) is a pure function, so printing a
+// failing run's plan (and seed) is a complete reproduction recipe.
+type Plan struct {
+	Seed   int64
+	Nodes  int // server nodes the plan targets, numbered 1..Nodes
+	Span   time.Duration
+	Kill   bool // whether the plan includes a SIGKILL+restart
+	Events []Event
+}
+
+// String renders the timeline, one event per line.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan seed=%d nodes=%d span=%v kill=%v events=%d\n",
+		p.Seed, p.Nodes, p.Span, p.Kill, len(p.Events))
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// Victim returns the node the plan kills, or 0 if it kills none.
+func (p Plan) Victim() int {
+	for _, e := range p.Events {
+		if e.Op == OpKill {
+			return e.Node
+		}
+	}
+	return 0
+}
+
+// GenPlan generates the fault timeline for a chaos storm: a handful of
+// severs and corruption bursts per node, one partition window per node,
+// and (when kill is set) one SIGKILL+restart of a random node placed
+// inside that node's partition window — the hardest recovery case, a
+// crash the network hides until after the reboot. All faults land in the
+// first 3/4 of span so the system has a quiet tail to converge in; every
+// outage heals strictly before span ends.
+func GenPlan(seed int64, nodes int, span time.Duration, kill bool) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Seed: seed, Nodes: nodes, Span: span, Kill: kill}
+	if nodes < 1 || span <= 0 {
+		return p
+	}
+	storm := span * 3 / 4
+	at := func(frac float64) time.Duration { // a jittered point inside the storm
+		return time.Duration(frac * float64(storm) * (0.5 + rng.Float64()/2))
+	}
+	victim := 1 + rng.Intn(nodes)
+	for n := 1; n <= nodes; n++ {
+		for i, k := 0, 2+rng.Intn(3); i < k; i++ {
+			p.Events = append(p.Events, Event{At: at(rng.Float64()), Node: n, Op: OpSever})
+		}
+		for i, k := 0, 1+rng.Intn(2); i < k; i++ {
+			cat := at(rng.Float64())
+			sat := cat + 50*time.Millisecond
+			if sat > span {
+				sat = span
+			}
+			p.Events = append(p.Events,
+				Event{At: cat, Node: n, Op: OpCorrupt},
+				Event{At: sat, Node: n, Op: OpSever})
+		}
+		// One partition window per node, healed within the storm.
+		start := at(0.6)
+		width := storm/8 + time.Duration(rng.Int63n(int64(storm/8)+1))
+		if start+width > storm {
+			start = storm - width
+		}
+		p.Events = append(p.Events,
+			Event{At: start, Node: n, Op: OpPartition, Dur: width},
+			Event{At: start + width, Node: n, Op: OpHeal})
+		if kill && n == victim {
+			// Kill inside the partition window, restart before it heals:
+			// the node reboots while still unreachable, and only the heal
+			// reconnects its recovered state to the world.
+			kat := start + width/4
+			p.Events = append(p.Events,
+				Event{At: kat, Node: n, Op: OpKill, Dur: width / 2},
+				Event{At: kat + width/2, Node: n, Op: OpRestart})
+		}
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}

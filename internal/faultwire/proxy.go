@@ -1,0 +1,311 @@
+package faultwire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+// ProxyConfig parameterizes a Proxy.
+type ProxyConfig struct {
+	// Listen is the TCP address the proxy accepts on ("127.0.0.1:0" for
+	// ephemeral; see Proxy.Addr).
+	Listen string
+	// Target is the real endpoint every accepted connection is forwarded
+	// to.
+	Target string
+	// Seed drives the per-chunk latency jitter PRNG.
+	Seed int64
+	// Jitter, when positive, delays each forwarded chunk by a seeded
+	// uniform draw in [0, Jitter] — enough to shift frame boundaries and
+	// ack timing between runs of the wire protocol above.
+	Jitter time.Duration
+	// Tracer receives one trace.Fault event per injected fault
+	// (nil = discard).
+	Tracer trace.Tracer
+}
+
+// ProxyStats counts proxy activity and injected faults.
+type ProxyStats struct {
+	Accepted  uint64 // connections accepted and forwarded
+	Refused   uint64 // connections refused while blocked (partition)
+	Severed   uint64 // connections force-closed by Sever/Block
+	Corrupted uint64 // bytes flipped in forwarded chunks
+	Bytes     uint64 // payload bytes forwarded (both directions)
+}
+
+// String implements fmt.Stringer.
+func (s ProxyStats) String() string {
+	return fmt.Sprintf("accepted=%d refused=%d severed=%d corrupted=%d bytes=%d",
+		s.Accepted, s.Refused, s.Severed, s.Corrupted, s.Bytes)
+}
+
+// Proxy is a fault-injecting TCP relay: every connection accepted on
+// Listen is forwarded to Target, and the byte stream between them can be
+// severed, blocked (partition), jittered, and bit-flipped on command.
+// The wire protocol crossing it must survive with its reliable-FIFO
+// contract intact — corruption and severance degrade to reconnects and
+// resends, never to lost or reordered messages.
+//
+// A Proxy injures one direction of dialing (connections accepted on its
+// listener); a wire link between two nodes uses one proxy per dialing
+// direction, and the chaos harness blocks or severs both together.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	jitter time.Duration
+	trace  trace.Tracer
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	conns   map[net.Conn]struct{} // accepted sides of live relays
+	blocked bool
+	closed  bool
+
+	corruptArm atomic.Int64 // chunks to corrupt (one bit each)
+
+	accepted, refused  atomic.Uint64
+	severed, corrupted atomic.Uint64
+	bytes              atomic.Uint64
+}
+
+// NewProxy starts a proxy relaying Listen → Target.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("faultwire: proxy listen %s: %w", cfg.Listen, err)
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = trace.Nop
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: cfg.Target,
+		jitter: cfg.Jitter,
+		trace:  tr,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's resolved listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target returns the endpoint the proxy forwards to.
+func (p *Proxy) Target() string { return p.target }
+
+// event emits one fault trace event.
+func (p *Proxy) event(format string, args ...any) {
+	p.trace.Emit(trace.Event{Kind: trace.Fault, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Block partitions the link: live relays are severed and new dials are
+// accepted-then-closed until Unblock. (Closing rather than ignoring the
+// dial keeps the wire layer in its fast retry loop instead of a long
+// dial timeout.)
+func (p *Proxy) Block() {
+	p.mu.Lock()
+	p.blocked = true
+	n := p.severLocked()
+	p.mu.Unlock()
+	p.event("partition: proxy %s -> %s blocked (%d conns severed)", p.Addr(), p.target, n)
+}
+
+// Unblock heals the partition; the wire layer's reconnect backoff
+// re-establishes the link.
+func (p *Proxy) Unblock() {
+	p.mu.Lock()
+	p.blocked = false
+	p.mu.Unlock()
+	p.event("heal: proxy %s -> %s unblocked", p.Addr(), p.target)
+}
+
+// Blocked reports whether the proxy is currently partitioned.
+func (p *Proxy) Blocked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked
+}
+
+// Sever force-closes every live relay once; new connections are still
+// accepted. It returns the number of connections cut.
+func (p *Proxy) Sever() int {
+	p.mu.Lock()
+	n := p.severLocked()
+	p.mu.Unlock()
+	p.event("sever: proxy %s -> %s cut %d conns", p.Addr(), p.target, n)
+	return n
+}
+
+// severLocked closes all live relays. Callers hold p.mu.
+func (p *Proxy) severLocked() int {
+	n := 0
+	for c := range p.conns {
+		c.Close()
+		n++
+	}
+	p.severed.Add(uint64(n))
+	return n
+}
+
+// CorruptNext arms the proxy to flip one bit in each of the next n
+// forwarded chunks. The wire frame reader downstream must reject the
+// damage (bad length, type, seq, or payload) and drop the connection.
+func (p *Proxy) CorruptNext(n int) {
+	p.corruptArm.Add(int64(n))
+	p.event("corrupt: proxy %s -> %s armed for %d chunks", p.Addr(), p.target, n)
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		Accepted:  p.accepted.Load(),
+		Refused:   p.refused.Load(),
+		Severed:   p.severed.Load(),
+		Corrupted: p.corrupted.Load(),
+		Bytes:     p.bytes.Load(),
+	}
+}
+
+// Close stops the listener and severs every relay.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.severLocked()
+	p.mu.Unlock()
+	p.ln.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.blocked {
+			refused := !p.closed
+			p.mu.Unlock()
+			c.Close()
+			if refused {
+				p.refused.Add(1)
+				p.event("partition: proxy %s refused dial from %s", p.Addr(), c.RemoteAddr())
+			}
+			continue
+		}
+		p.mu.Unlock()
+		go p.relay(c)
+	}
+}
+
+// relay connects one accepted conn to the target and pumps both
+// directions until either side dies or the relay is severed.
+func (p *Proxy) relay(a net.Conn) {
+	b, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		a.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.blocked {
+		p.mu.Unlock()
+		a.Close()
+		b.Close()
+		return
+	}
+	p.conns[a] = struct{}{}
+	p.conns[b] = struct{}{}
+	p.mu.Unlock()
+	p.accepted.Add(1)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pump(a, b) }()
+	go func() { defer wg.Done(); p.pump(b, a) }()
+	wg.Wait()
+
+	p.mu.Lock()
+	delete(p.conns, a)
+	delete(p.conns, b)
+	p.mu.Unlock()
+	a.Close()
+	b.Close()
+}
+
+// takeCorrupt claims one armed corruption, if any remain.
+func (p *Proxy) takeCorrupt() bool {
+	for {
+		v := p.corruptArm.Load()
+		if v <= 0 {
+			return false
+		}
+		if p.corruptArm.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// pump copies src → dst chunk by chunk, applying jitter and armed
+// corruption. A one-sided failure closes both directions: TCP has no
+// half-dead connections the wire layer would want to keep.
+func (p *Proxy) pump(src, dst net.Conn) {
+	defer src.Close()
+	defer dst.Close()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.jitter > 0 {
+				p.mu.Lock()
+				d := time.Duration(p.rng.Int63n(int64(p.jitter) + 1))
+				p.mu.Unlock()
+				if d > 0 {
+					time.Sleep(d)
+				}
+			}
+			if p.takeCorrupt() {
+				p.mu.Lock()
+				i := p.rng.Intn(n * 8)
+				p.mu.Unlock()
+				buf[i/8] ^= 1 << (i % 8)
+				p.corrupted.Add(1)
+				p.event("corrupt: proxy %s flipped bit %d in a %dB chunk", p.Addr(), i, n)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			p.bytes.Add(uint64(n))
+		}
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// Severed or reset mid-stream: normal chaos, nothing to do.
+				_ = err
+			}
+			return
+		}
+	}
+}

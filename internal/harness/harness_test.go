@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/faultwire"
+	"github.com/hope-dist/hope/internal/oracle"
+	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// buildHoped compiles cmd/hoped once per test into a temp dir.
+func buildHoped(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hoped")
+	cmd := exec.Command("go", "build", "-o", bin, "../../cmd/hoped")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hoped: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRunStorm drives the full orchestrator end to end at a small scale:
+// two durable hoped nodes, a generated fault plan with severs,
+// partitions, armed corruption, and a SIGKILL+restart, all inside one
+// run. Any invariant violation surfaces as an error carrying the seed
+// and plan.
+func TestRunStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes; skipped in -short")
+	}
+	res, err := Run(Config{
+		Seed:     7,
+		Nodes:    2,
+		Span:     time.Second,
+		Kill:     true,
+		HopedBin: buildHoped(t),
+		Reports:  32,
+		Log:      testWriter{t},
+	})
+	if err != nil {
+		t.Fatalf("storm failed (replay with seed %d):\n%s\nerror: %v", res.Plan.Seed, res.Plan, err)
+	}
+	if res.Recovered == "" {
+		t.Fatal("plan included a kill but no recovery was recorded")
+	}
+	t.Logf("storm ok: elapsed=%v rollbacks=%d wire=%v", res.Elapsed, res.Rollbacks, res.Wire)
+}
+
+// TestKillWhilePartitioned scripts the nastiest single-node scenario by
+// hand instead of drawing it from a plan: the server is partitioned from
+// the client (both proxy directions blocked), SIGKILLed and restarted
+// from its WAL while still unreachable, and only then healed. The
+// workload must finish with the committed layout unchanged — recovery
+// plus the partition must not lose, duplicate, or reorder a single
+// committed print, and the client must never notice more than a stall.
+func TestKillWhilePartitioned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes; skipped in -short")
+	}
+	bin := buildHoped(t)
+	dataDir := t.TempDir()
+
+	client, err := wire.NewNode(wire.NodeConfig{ID: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	tap := oracle.NewFIFOTap(client)
+
+	out, err := faultwire.NewProxy(faultwire.ProxyConfig{Listen: "127.0.0.1:0", Target: client.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	args := []string{
+		"--node", "1", "--serve", "printserver",
+		"--data-dir", dataDir, "--fsync", "always",
+		"--peer", "0=" + out.Addr(),
+	}
+	child, boot, err := StartHoped(bin, append([]string{"--listen", "127.0.0.1:0"}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverAddr, serverPID := boot.Addr, boot.PID
+
+	in, err := faultwire.NewProxy(faultwire.ProxyConfig{Listen: "127.0.0.1:0", Target: serverAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	client.SetPeer(1, in.Addr())
+
+	eng := core.NewEngine(core.Config{Transport: tap, PIDBase: wire.PIDBase(0)})
+	defer eng.Shutdown()
+
+	const pageSize, reports = 3, 48
+	var mu sync.Mutex
+	var rep rpc.PageReport
+	done := 0
+	worker, err := eng.SpawnRoot(rpc.StreamedWorker(serverPID, pageSize, reports, func(r rpc.PageReport) {
+		mu.Lock()
+		rep, done = r, done+1
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let a visible slice of the workload commit, then cut the link in
+	// both directions and SIGKILL the server behind the partition.
+	deadline := time.Now().Add(30 * time.Second)
+	for client.WireStats().FramesIn < 16 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server made no progress: wire=%v", client.WireStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	in.Block()
+	out.Block()
+	if err := child.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	child.Wait()
+
+	// Restart from the WAL while still partitioned: the node must come
+	// back on its own, without reaching the client.
+	child2, boot2, err := StartHoped(bin, append([]string{"--listen", serverAddr}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		child2.Process.Signal(os.Interrupt)
+		child2.Wait()
+	}()
+	if boot2.Recovered == "" {
+		t.Fatal("restart behind the partition printed no HOPED RECOVERED line")
+	}
+	if boot2.PID != serverPID {
+		t.Fatalf("server PID changed across restart: %v -> %v", serverPID, boot2.PID)
+	}
+	t.Logf("recovered while partitioned: %s", boot2.Recovered)
+
+	// Hold the partition long enough for both sides to retry into it,
+	// then heal and let the resend machinery finish the workload.
+	time.Sleep(100 * time.Millisecond)
+	in.Unblock()
+	out.Unblock()
+
+	deadline = time.Now().Add(90 * time.Second)
+	for {
+		st := worker.Snapshot()
+		mu.Lock()
+		completed := done > 0
+		mu.Unlock()
+		if completed && st.Completed && st.AllDefinite && client.Inflight() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no quiescence after heal: worker=%+v inflight=%d wire=%v",
+				st, client.Inflight(), client.WireStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if rep.Totals != reports {
+		t.Fatalf("worker printed %d totals, want %d", rep.Totals, reports)
+	}
+	mu.Unlock()
+
+	// Committed layout unchanged: the server's line counter must equal a
+	// sequential replay, exactly as if the partition and crash never
+	// happened.
+	want := oracle.ExpectedFinalLine(pageSize, reports) + 1
+	line, err := rpc.Probe(eng, serverPID, rpc.MethodPrint, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line != want {
+		t.Fatalf("server final line = %d, want %d: committed layout changed across partitioned crash", line, want)
+	}
+	if v := eng.Violations(); v != 0 {
+		t.Fatalf("%d protocol violations", v)
+	}
+	if bad := tap.Violations(); len(bad) != 0 {
+		t.Fatalf("FIFO inversions at delivery: %v", bad)
+	}
+	if refused := in.Stats().Refused + out.Stats().Refused; refused == 0 {
+		t.Error("partition was never exercised: no refused dials on either proxy")
+	}
+	t.Logf("healed run: restarts=%d wire=%v in=%v out=%v",
+		worker.Snapshot().Restarts, client.WireStats(), in.Stats(), out.Stats())
+}
+
+// testWriter adapts t.Logf so harness narration lands in test output.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

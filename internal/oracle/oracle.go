@@ -1,0 +1,166 @@
+// Package oracle is the shared invariant checker for HOPE's chaos
+// surfaces. Three harnesses drive randomized workloads against the
+// runtime — the in-process soak (chaos_test.go at the repo root), its
+// fault-injected variant over internal/faultwire, and the multi-node
+// wire storm (internal/harness, `hopebench chaos`) — and all three must
+// agree on what "correct" means. The checks live here once:
+//
+//   - a surviving worker is complete, definite, and its retained guess
+//     results match the assumptions' decided verdicts (paper §4: after
+//     quiescence every retained interval is definite);
+//   - a terminated process carries the error that killed it — rollback
+//     never silently discards a process;
+//   - per-pair wire FIFO holds at the delivery boundary: the sequence
+//     numbers a node stamps on messages from one peer are strictly
+//     increasing in delivery order, so a resent or duplicated frame can
+//     never re-enter the stream behind the dedup watermark;
+//   - the committed print-server layout equals a sequential replay
+//     (ExpectedFinalLine), byte-stable across crashes and partitions.
+//
+// Functions return errors rather than calling t.Fatal so the wire
+// harness can use them outside a *testing.T.
+package oracle
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+// Outcome is one retained guess result, recorded by a worker as it ran.
+type Outcome struct {
+	AID    ids.AID
+	Result bool
+}
+
+// CheckWorker verifies a surviving worker's terminal state: it ran to
+// completion and every interval in its retained history is definite.
+func CheckWorker(name string, st core.Status) error {
+	if !st.Completed {
+		return fmt.Errorf("%s incomplete: %+v", name, st)
+	}
+	if !st.AllDefinite {
+		return fmt.Errorf("%s retains speculative intervals after quiescence: %+v", name, st)
+	}
+	return nil
+}
+
+// CheckOutcomes verifies that every retained guess result matches the
+// assumption's decided verdict — the paper's definiteness property made
+// concrete: speculation may be wrong mid-run, never after quiescence.
+func CheckOutcomes(name string, got []Outcome, verdict map[ids.AID]bool) error {
+	for i, o := range got {
+		want, ok := verdict[o.AID]
+		if !ok {
+			return fmt.Errorf("%s outcome %d: guess on unknown AID %v", name, i, o.AID)
+		}
+		if o.Result != want {
+			return fmt.Errorf("%s outcome %d: guess(%v)=%v retained, verdict is %v",
+				name, i, o.AID, o.Result, want)
+		}
+	}
+	return nil
+}
+
+// CheckTerminations verifies rollback accounting across a whole system:
+// every terminated process must carry the error that killed it. A
+// terminated process without an error is a process the runtime lost
+// track of — resurrection of a rolled-back interval shows up here.
+func CheckTerminations(snaps []core.Status) error {
+	for _, st := range snaps {
+		if st.Terminated && st.Err == nil {
+			return fmt.Errorf("terminated process without error: %+v", st)
+		}
+	}
+	return nil
+}
+
+// ExpectedFinalLine replays the print-server pagination workload
+// sequentially: the line counter the server must hold after n reports at
+// the given page size, regardless of speculation, rollbacks, crashes, or
+// partitions along the way. (Both cmd/hopebench's wire experiment and
+// cmd/hoped's crash tests check against this replay.)
+func ExpectedFinalLine(pageSize, n int) int {
+	line := 0
+	for i := 0; i < n; i++ {
+		line++ // total
+		if line >= pageSize {
+			line = 0 // newpage
+		}
+		line++ // trailer
+	}
+	return line
+}
+
+// ParseSeeds parses a comma-separated seed list ("1,2,3"). Empty input
+// returns def. The HOPE_CHAOS_SEEDS environment variable and the chaos
+// harness --seeds flag both feed through here.
+func ParseSeeds(s string, def []int64) ([]int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return def, nil
+	}
+	var seeds []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: bad seed %q in %q: %w", f, s, err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+// FIFOTap wraps a transport and audits per-peer FIFO at the delivery
+// boundary: the wire sequence numbers stamped on messages from one
+// source node (msg.Message.SrcNode/SrcSeq) must be strictly increasing
+// in delivery order. A duplicate that slipped past the receive-side
+// dedup, or a resent frame re-entering the stream behind the watermark,
+// appears as a non-increasing seq and is recorded as a violation.
+//
+// Gaps are legal — frames to unregistered PIDs (dead letters) consume
+// sequence numbers this tap never sees. SrcSeq 0 marks local/simulated
+// delivery and is not audited.
+type FIFOTap struct {
+	transport.Transport
+
+	mu   sync.Mutex
+	last map[int]uint64 // source node → highest wire seq delivered
+	bad  []string
+}
+
+// NewFIFOTap wraps inner; register handlers through the tap.
+func NewFIFOTap(inner transport.Transport) *FIFOTap {
+	return &FIFOTap{Transport: inner, last: make(map[int]uint64)}
+}
+
+// Register interposes the FIFO audit before the real handler.
+func (t *FIFOTap) Register(pid ids.PID, h transport.Handler) {
+	t.Transport.Register(pid, func(m *msg.Message) {
+		if m.SrcSeq != 0 {
+			t.mu.Lock()
+			if last := t.last[m.SrcNode]; m.SrcSeq <= last {
+				t.bad = append(t.bad, fmt.Sprintf(
+					"pid %v: frame seq %d from node %d delivered after seq %d (%s)",
+					pid, m.SrcSeq, m.SrcNode, last, m.Kind))
+			} else {
+				t.last[m.SrcNode] = m.SrcSeq
+			}
+			t.mu.Unlock()
+		}
+		h(m)
+	})
+}
+
+// Violations returns every FIFO inversion observed so far.
+func (t *FIFOTap) Violations() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.bad...)
+}

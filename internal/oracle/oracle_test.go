@@ -1,0 +1,114 @@
+package oracle
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+func TestCheckWorker(t *testing.T) {
+	ok := core.Status{Completed: true, AllDefinite: true}
+	if err := CheckWorker("w", ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWorker("w", core.Status{Completed: false, AllDefinite: true}); err == nil {
+		t.Fatal("incomplete worker passed")
+	}
+	if err := CheckWorker("w", core.Status{Completed: true, AllDefinite: false}); err == nil {
+		t.Fatal("speculative worker passed")
+	}
+}
+
+func TestCheckOutcomes(t *testing.T) {
+	verdict := map[ids.AID]bool{1: true, 2: false}
+	good := []Outcome{{AID: 1, Result: true}, {AID: 2, Result: false}, {AID: 1, Result: true}}
+	if err := CheckOutcomes("w", good, verdict); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckOutcomes("w", []Outcome{{AID: 2, Result: true}}, verdict); err == nil {
+		t.Fatal("retained wrong guess passed")
+	}
+	if err := CheckOutcomes("w", []Outcome{{AID: 9, Result: true}}, verdict); err == nil {
+		t.Fatal("unknown AID passed")
+	}
+}
+
+func TestCheckTerminations(t *testing.T) {
+	boom := errors.New("rolled back")
+	if err := CheckTerminations([]core.Status{
+		{Terminated: false},
+		{Terminated: true, Err: boom},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTerminations([]core.Status{{Terminated: true}}); err == nil {
+		t.Fatal("silent termination passed")
+	}
+}
+
+// TestExpectedFinalLine pins the sequential replay against hand-traced
+// cases: each report prints a total, page-wraps at pageSize, then prints
+// a trailer.
+func TestExpectedFinalLine(t *testing.T) {
+	cases := []struct{ pageSize, n, want int }{
+		{3, 0, 0},
+		{3, 1, 2},  // total(1), trailer(2)
+		{3, 2, 1},  // …then total(3) wraps to 0, trailer(1)
+		{2, 1, 2},  // total(1), trailer(2)
+		{10, 4, 8}, // no wraps: 2 lines per report
+	}
+	for _, c := range cases {
+		if got := ExpectedFinalLine(c.pageSize, c.n); got != c.want {
+			t.Errorf("ExpectedFinalLine(%d, %d) = %d, want %d", c.pageSize, c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	def := []int64{100, 101}
+	got, err := ParseSeeds("", def)
+	if err != nil || !reflect.DeepEqual(got, def) {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+	got, err = ParseSeeds(" 7, 8 ,9 ", def)
+	if err != nil || !reflect.DeepEqual(got, []int64{7, 8, 9}) {
+		t.Fatalf("list input: %v, %v", got, err)
+	}
+	if _, err := ParseSeeds("7,x", def); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}
+
+func TestFIFOTap(t *testing.T) {
+	tap := NewFIFOTap(transport.NewLocal())
+	defer tap.Close()
+	var got int
+	tap.Register(5, func(*msg.Message) { got++ })
+
+	send := func(srcSeq uint64) {
+		tap.Send(&msg.Message{Kind: msg.KindData, From: 1, To: 5, Payload: "x",
+			SrcNode: 1, SrcSeq: srcSeq})
+	}
+	send(1)
+	send(2)
+	send(5) // gap: legal (dead letters consume seqs)
+	send(0) // local delivery: not audited
+	tap.Drain()
+	if v := tap.Violations(); len(v) != 0 {
+		t.Fatalf("clean stream flagged: %v", v)
+	}
+	send(3) // behind the watermark: a duplicate re-entering the stream
+	tap.Drain()
+	v := tap.Violations()
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly one", v)
+	}
+	if got != 5 {
+		t.Fatalf("handler ran %d times, want 5 (tap must still deliver)", got)
+	}
+}

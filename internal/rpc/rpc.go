@@ -16,6 +16,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/ids"
@@ -150,6 +151,36 @@ func call(ctx *core.Ctx, server ids.PID, req Request) (int, error) {
 // optimistic path is measured against.
 func Call(ctx *core.Ctx, server ids.PID, method string, arg, seq int) (int, error) {
 	return call(ctx, server, Request{Method: method, Arg: arg, Seq: seq})
+}
+
+// Probe issues one synchronous call from a throwaway definite process
+// and returns the result. Because the call is a full round trip it also
+// barriers on the server having consumed everything sent before it —
+// the wire benchmark, the crash-restart tests, and the chaos harness
+// all use it to read a server's committed state as ground truth.
+func Probe(eng *core.Engine, server ids.PID, method string, timeout time.Duration) (int, error) {
+	got := make(chan int, 1)
+	errc := make(chan error, 1)
+	_, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		res, err := call(ctx, server, Request{Method: method, Seq: 1 << 20})
+		if err != nil {
+			errc <- err
+			return err
+		}
+		got <- res
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case res := <-got:
+		return res, nil
+	case err := <-errc:
+		return 0, err
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("rpc: probe %s to %v timed out after %v", method, server, timeout)
+	}
 }
 
 // Predictor guesses a call's result before the server answers.

@@ -37,6 +37,11 @@ const (
 	// Transport records transport-level events — connections established
 	// or lost, reconnect attempts, resent frames (internal/wire).
 	Transport
+	// Fault records a deliberately injected failure — a dropped, delayed,
+	// duplicated, or corrupted frame, a partition opening or healing, a
+	// severed connection (internal/faultwire). Chaos runs replay a seed by
+	// comparing these events; they never occur outside fault injection.
+	Fault
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +65,8 @@ func (k Kind) String() string {
 		return "info"
 	case Transport:
 		return "transport"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

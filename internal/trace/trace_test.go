@@ -112,6 +112,8 @@ func TestKindStrings(t *testing.T) {
 		Terminate: "terminate",
 		Violation: "violation",
 		Info:      "info",
+		Transport: "transport",
+		Fault:     "fault",
 	}
 	for k, s := range want {
 		if k.String() != s {

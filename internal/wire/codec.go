@@ -24,8 +24,8 @@ import (
 
 // codecVersion is the first byte of every encoded message; bump it when
 // the layout changes so mixed-version deployments fail loudly instead of
-// misparsing.
-const codecVersion = 1
+// misparsing. Version 2 added the CRC32C frame trailer (see node.go).
+const codecVersion = 2
 
 // Decode hard limits: a malformed or hostile length prefix must not make
 // the decoder allocate unbounded memory.

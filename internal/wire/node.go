@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"net"
@@ -45,6 +46,17 @@ const (
 // maxFrame bounds a frame read so a corrupt length prefix cannot force a
 // huge allocation.
 const maxFrame = 1 << 26
+
+// Every frame body (type byte through payload) is followed by a CRC32C
+// trailer. TCP's checksum only covers a single hop; a byzantine middlebox
+// (or the chaos proxy in internal/faultwire) can flip bits between hops,
+// and without an end-to-end check a flipped ack sequence number would
+// silently advance the sender's prune watermark and lose frames. A
+// mismatch drops the connection without consuming the frame, so the
+// reconnect handshake and resend path turn corruption into a retry.
+const crcLen = 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Reconnect/ack tuning.
 const (
@@ -132,7 +144,7 @@ type Node struct {
 	ackFlush map[net.Conn]func()   // per-inbound-conn pending-ack flushers
 	closed   bool
 	held     bool // accept loop not yet started (NodeConfig.HoldInbound)
-	inflight int // frames accepted for remote delivery, not yet acked
+	inflight int  // frames accepted for remote delivery, not yet acked
 
 	counts transport.Counters // delivered messages by kind; 0 = dead letters
 	sent   transport.Counters // messages accepted for sending by kind
@@ -144,6 +156,7 @@ type Node struct {
 	encodeErr, decodeErr  atomic.Uint64
 	duplicates, dialFails atomic.Uint64
 	queueFull, flushes    atomic.Uint64
+	crcErrors             atomic.Uint64
 }
 
 var _ transport.Transport = (*Node)(nil)
@@ -159,6 +172,7 @@ type WireStats struct {
 	EncodeErrors        uint64
 	DecodeErrors        uint64
 	Duplicates          uint64 // frames discarded by the receiver's dedup
+	CRCErrors           uint64 // frames rejected by the end-to-end checksum
 	DialFailures        uint64
 	QueueFull           uint64 // frames dropped: peer resend queue at its cap
 	Flushes             uint64 // coalesced write flushes (FramesOut/Flushes = batch size)
@@ -173,10 +187,10 @@ type WireStats struct {
 
 // String implements fmt.Stringer.
 func (s WireStats) String() string {
-	base := fmt.Sprintf("in=%dB/%df out=%dB/%df resends=%d reconnects=%d acks=%d/%d dup=%d dialfail=%d qfull=%d flushes=%d queued=%df/%dB",
+	base := fmt.Sprintf("in=%dB/%df out=%dB/%df resends=%d reconnects=%d acks=%d/%d dup=%d crc=%d enc=%d dec=%d dialfail=%d qfull=%d flushes=%d queued=%df/%dB",
 		s.BytesIn, s.FramesIn, s.BytesOut, s.FramesOut, s.Resends, s.Reconnects,
-		s.AcksSent, s.AcksRecv, s.Duplicates, s.DialFailures, s.QueueFull, s.Flushes,
-		s.QueuedFrames, s.QueuedBytes)
+		s.AcksSent, s.AcksRecv, s.Duplicates, s.CRCErrors, s.EncodeErrors, s.DecodeErrors,
+		s.DialFailures, s.QueueFull, s.Flushes, s.QueuedFrames, s.QueuedBytes)
 	if s.Durable {
 		base += " " + s.WAL.String()
 	}
@@ -611,8 +625,9 @@ func (n *Node) WireStats() WireStats {
 		Resends: n.resends.Load(), Reconnects: n.reconnects.Load(),
 		AcksSent: n.acksSent.Load(), AcksRecv: n.acksRecv.Load(),
 		EncodeErrors: n.encodeErr.Load(), DecodeErrors: n.decodeErr.Load(),
-		Duplicates: n.duplicates.Load(), DialFailures: n.dialFails.Load(),
-		QueueFull: n.queueFull.Load(), Flushes: n.flushes.Load(),
+		Duplicates: n.duplicates.Load(), CRCErrors: n.crcErrors.Load(),
+		DialFailures: n.dialFails.Load(),
+		QueueFull:    n.queueFull.Load(), Flushes: n.flushes.Load(),
 	}
 	if n.dur != nil {
 		s.Durable = true
@@ -686,10 +701,10 @@ func (n *Node) consumedDeadLetter(m *msg.Message) {
 // Framing
 
 // writeFrame writes one length-prefixed frame: uint32 length, type byte,
-// payload. It counts bytes out.
+// payload, CRC32C trailer over type+payload. It counts bytes out.
 func (n *Node) writeFrame(w io.Writer, ftype byte, payload []byte) error {
 	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)+crcLen))
 	hdr[4] = ftype
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -699,18 +714,25 @@ func (n *Node) writeFrame(w io.Writer, ftype byte, payload []byte) error {
 			return err
 		}
 	}
-	n.bytesOut.Add(uint64(5 + len(payload)))
+	crc := crc32.Update(0, crcTable, hdr[4:5])
+	crc = crc32.Update(crc, crcTable, payload)
+	var trailer [crcLen]byte
+	binary.BigEndian.PutUint32(trailer[:], crc)
+	if _, err := w.Write(trailer[:]); err != nil {
+		return err
+	}
+	n.bytesOut.Add(uint64(5 + len(payload) + crcLen))
 	return nil
 }
 
 // writeMsgFrame writes one msg frame — length prefix, type byte, seq
-// varint, encoded message — with no intermediate allocation. The writer
-// is the pump's bufio.Writer, so consecutive frames coalesce into one
-// flush.
+// varint, encoded message, CRC32C trailer — with no intermediate
+// allocation. The writer is the pump's bufio.Writer, so consecutive
+// frames coalesce into one flush.
 func (n *Node) writeMsgFrame(w io.Writer, seq uint64, data []byte) error {
 	var hdr [5 + binary.MaxVarintLen64]byte
 	sn := binary.PutUvarint(hdr[5:], seq)
-	binary.BigEndian.PutUint32(hdr[:4], uint32(1+sn+len(data)))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+sn+len(data)+crcLen))
 	hdr[4] = frameMsg
 	if _, err := w.Write(hdr[:5+sn]); err != nil {
 		return err
@@ -718,7 +740,14 @@ func (n *Node) writeMsgFrame(w io.Writer, seq uint64, data []byte) error {
 	if _, err := w.Write(data); err != nil {
 		return err
 	}
-	n.bytesOut.Add(uint64(5 + sn + len(data)))
+	crc := crc32.Update(0, crcTable, hdr[4:5+sn])
+	crc = crc32.Update(crc, crcTable, data)
+	var trailer [crcLen]byte
+	binary.BigEndian.PutUint32(trailer[:], crc)
+	if _, err := w.Write(trailer[:]); err != nil {
+		return err
+	}
+	n.bytesOut.Add(uint64(5 + sn + len(data) + crcLen))
 	return nil
 }
 
@@ -734,7 +763,7 @@ func (n *Node) readFrame(r io.Reader, scratch *[]byte) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
-	if size == 0 || size > maxFrame {
+	if size < 1+crcLen || size > maxFrame {
 		return 0, nil, fmt.Errorf("wire: frame size %d out of range", size)
 	}
 	body := *scratch
@@ -747,7 +776,13 @@ func (n *Node) readFrame(r io.Reader, scratch *[]byte) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	n.bytesIn.Add(uint64(4 + size))
-	return body[0], body[1:], nil
+	content := body[:size-crcLen]
+	want := binary.BigEndian.Uint32(body[size-crcLen:])
+	if got := crc32.Checksum(content, crcTable); got != want {
+		n.crcErrors.Add(1)
+		return 0, nil, fmt.Errorf("wire: frame crc mismatch (got %08x, want %08x)", got, want)
+	}
+	return content[0], content[1:], nil
 }
 
 func seqPayload(seq uint64) []byte {
@@ -953,8 +988,13 @@ func (n *Node) serveConn(c net.Conn) {
 		}
 		in.delivered = seq
 		pending := in.delivered - in.acked
-		in.mu.Unlock()
 
+		// Decode and deliver under in.mu. Two connections from the same
+		// sender can briefly overlap — the dying one draining its buffered
+		// tail while its replacement replays from the handshake snapshot —
+		// and the dedup bar alone only guarantees exactly-once, not order:
+		// delivery outside the lock would let the two goroutines hand
+		// consecutive frames to the handler inverted.
 		m, derr := DecodeMessage(body[nn:])
 		if derr != nil {
 			// The frame is consumed (and will be acked) either way; a
@@ -969,6 +1009,7 @@ func (n *Node) serveConn(c net.Conn) {
 			m.SrcNode, m.SrcSeq = from, seq
 			n.deliver(m)
 		}
+		in.mu.Unlock()
 		if pending >= ackEvery {
 			sendAck()
 		}

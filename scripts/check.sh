@@ -12,8 +12,11 @@ go build ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race (core, netsim, wire, wal, durable)'
-go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/
+echo '== go test -shuffle=on (root package: order-independent chaos/e2e suite)'
+go test -shuffle=on -count=1 .
+
+echo '== go test -race (core, netsim, wire, wal, durable, faultwire, oracle)'
+go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/ ./internal/faultwire/ ./internal/oracle/
 
 echo '== wire + wal fuzz corpus replay'
 # Replays the seed corpora plus any regression inputs under testdata/fuzz
@@ -31,5 +34,12 @@ echo '== crash-restart smoke'
 # SIGKILLs a durable hoped child mid-workload and restarts it from its
 # WAL; fails if recovery loses, duplicates, or reorders a committed print.
 go test -run 'TestCrashRestartRecovery|TestRestartCleanShutdown' -count=1 ./cmd/hoped/
+
+echo '== chaos storm smoke (pinned seed)'
+# Two durable nodes behind fault proxies, a seeded plan with severs,
+# partitions, armed corruption, and one SIGKILL+restart; fails on any
+# oracle violation. The seed pins the fault schedule, so a failure here
+# reproduces with the same command.
+go run ./cmd/hopebench chaos --nodes 2 --seed 7 --span 1s --reports 24
 
 echo 'check: OK'
