@@ -25,5 +25,9 @@ wire:
 # Multi-node chaos storm: durable hoped processes behind fault-injecting
 # proxies, seeded severs/partitions/corruption plus one SIGKILL+restart,
 # checked against the invariant oracle. Replay any failure with --seed.
+# The second storm kills its victim permanently — no restart — and only
+# terminates if the liveness layer (failure detector + speculation
+# leases) resolves everything the dead node stranded.
 chaos:
 	go run ./cmd/hopebench chaos --nodes 3 --seed 42
+	go run ./cmd/hopebench chaos --nodes 2 --seed 10 --span 1s --reports 24 --perm-kill

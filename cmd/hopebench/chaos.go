@@ -30,6 +30,7 @@ func chaosExperiment(args []string) error {
 	seeds := fs.String("seeds", "", "comma-separated seeds (default $HOPE_CHAOS_SEEDS, then 1)")
 	span := fs.Duration("span", 2*time.Second, "storm duration")
 	kill := fs.Bool("kill", true, "SIGKILL+restart one durable node mid-storm")
+	permKill := fs.Bool("perm-kill", false, "SIGKILL one node permanently — no restart; the liveness layer must resolve its orphans (overrides --kill)")
 	fsync := fs.String("fsync", "interval", "WAL fsync policy for durable nodes (always|interval|none)")
 	hopedPath := fs.String("hoped", "", "path to the hoped binary (default: $PATH, then `go build`)")
 	pageSize := fs.Int("pagesize", 3, "page size (smaller ⇒ more mispredictions)")
@@ -64,14 +65,26 @@ func chaosExperiment(args []string) error {
 
 	if *planOnly {
 		for _, s := range seedList {
-			fmt.Print(faultwire.GenPlan(s, *nodes, *span, *kill))
+			if *permKill {
+				fmt.Print(faultwire.GenPlanPerm(s, *nodes, *span))
+			} else {
+				fmt.Print(faultwire.GenPlan(s, *nodes, *span, *kill))
+			}
+		}
+		if *permKill {
+			// The detector and lease timings decide when a permanent death
+			// is diagnosed and its orphaned assumptions auto-denied — print
+			// them alongside the fault schedule so a hanging run can be
+			// judged against the clock it is actually on.
+			suspect, dead, lease := harness.LivenessTimings(*span)
+			fmt.Printf("liveness: suspect-after=%v dead-after=%v lease=%v\n", suspect, dead, lease)
 		}
 		return nil
 	}
 
 	fmt.Println("CHAOS — multi-node fault storm over loopback TCP proxies")
-	fmt.Printf("workload: %d reports × %d servers, pageSize %d, span %v, kill=%v, fsync=%s\n",
-		*reports, *nodes, *pageSize, *span, *kill, *fsync)
+	fmt.Printf("workload: %d reports × %d servers, pageSize %d, span %v, kill=%v, perm-kill=%v, fsync=%s\n",
+		*reports, *nodes, *pageSize, *span, *kill, *permKill, *fsync)
 
 	bin, cleanup, err := resolveHoped(*hopedPath)
 	if err != nil {
@@ -83,7 +96,7 @@ func chaosExperiment(args []string) error {
 		"seed", "elapsed", "rollbacks", "reconnects", "resends", "crc-errs", "refused")
 	for _, s := range seedList {
 		cfg := harness.Config{
-			Seed: s, Nodes: *nodes, Span: *span, Kill: *kill, Fsync: *fsync,
+			Seed: s, Nodes: *nodes, Span: *span, Kill: *kill, PermKill: *permKill, Fsync: *fsync,
 			HopedBin: bin, PageSize: *pageSize, Reports: *reports,
 		}
 		if *verbose {
@@ -91,8 +104,8 @@ func chaosExperiment(args []string) error {
 		}
 		res, err := harness.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "chaos seed %d FAILED: %v\nreplay: hopebench chaos --nodes %d --span %v --kill=%v --seed %d\n%s",
-				s, err, *nodes, *span, *kill, s, res.Plan)
+			fmt.Fprintf(os.Stderr, "chaos seed %d FAILED: %v\nreplay: hopebench chaos --nodes %d --span %v --kill=%v --perm-kill=%v --seed %d\n%s",
+				s, err, *nodes, *span, *kill, *permKill, s, res.Plan)
 			return fmt.Errorf("seed %d: %w", s, err)
 		}
 		var refused uint64
@@ -105,7 +118,15 @@ func chaosExperiment(args []string) error {
 		if res.Recovered != "" {
 			fmt.Printf("  %s\n", res.Recovered)
 		}
+		if res.PermKilled != 0 {
+			fmt.Printf("  node %d permanently dead: %d assumptions auto-denied, wire %v\n",
+				res.PermKilled, res.AutoDenied, res.Wire)
+		}
 	}
-	fmt.Println("all invariants held: quiescence, verdict agreement, sequential layouts, per-pair FIFO")
+	if *permKill {
+		fmt.Println("all invariants held: quiescence, verdict agreement, sequential layouts, per-pair FIFO, liveness (no dead-owned speculation)")
+	} else {
+		fmt.Println("all invariants held: quiescence, verdict agreement, sequential layouts, per-pair FIFO")
+	}
 	return nil
 }

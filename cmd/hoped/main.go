@@ -26,7 +26,18 @@
 // delivered-but-unconsumed messages. A recovering boot prints, before
 // READY:
 //
-//	HOPED RECOVERED node=1 records=412 procs=1 redeliver=3 resend=0 unacked=2 torn=0 in 1.2ms
+//	HOPED RECOVERED node=1 records=412 procs=1 redeliver=3 resend=0 unacked=2 denied=0 torn=0 in 1.2ms
+//
+// With --dead-after the wire failure detector runs: a peer silent past
+// --suspect-after is Suspect (and probed), past --dead-after it is Dead —
+// its resend queue is dropped, redialing stops, and every assumption it
+// owned is auto-denied so local dependents roll back instead of waiting
+// forever. --lease bounds the other direction: any assumption still
+// speculative after the lease (for example one whose confirming reply
+// died with a remote peer) is auto-denied too. Liveness decisions are
+// WAL-durable on a durable node — a restart does not resurrect them.
+// --stats-every prints wire counters and per-peer health to stderr
+// periodically.
 package main
 
 import (
@@ -37,11 +48,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/durable"
+	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/rpc"
 	"github.com/hope-dist/hope/internal/trace"
 	"github.com/hope-dist/hope/internal/transport"
@@ -104,6 +117,10 @@ func run(args []string) error {
 	traceTail := fs.Int("trace-tail", 0, "retain the last N transport trace events and dump them on shutdown (0 = off)")
 	dataDir := fs.String("data-dir", "", "WAL directory; enables crash recovery (empty = volatile node)")
 	fsync := fs.String("fsync", "interval", "WAL sync policy with --data-dir: always|interval|none")
+	suspectAfter := fs.Duration("suspect-after", 0, "mark a silent peer Suspect (and probe it) after this silence (0 = dead-after/4)")
+	deadAfter := fs.Duration("dead-after", 0, "declare a silent peer Dead after this silence: drop its queue, stop dialing, auto-deny what it owned (0 = failure detector off)")
+	lease := fs.Duration("lease", 0, "auto-deny any assumption still speculative after this long (0 = speculation leases off)")
+	statsEvery := fs.Duration("stats-every", 0, "print wire counters and per-peer health to stderr at this interval (0 = off)")
 	peers := peerMap{}
 	fs.Var(peers, "peer", "peer address as N=host:port (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -154,10 +171,29 @@ func run(args []string) error {
 		FlushDelay: *flushDelay,
 		Unbatched:  *unbatched,
 	}
+	// engRef breaks the construction cycle between the detector and the
+	// engine: the node needs its Health config now, the dead-peer callback
+	// needs the engine, and the engine needs the node as its transport.
+	var engRef atomic.Pointer[core.Engine]
+	if *deadAfter > 0 {
+		wcfg.Health = wire.HealthConfig{
+			SuspectAfter: *suspectAfter,
+			DeadAfter:    *deadAfter,
+			OnPeerDead: func(dead int) {
+				if eng := engRef.Load(); eng != nil {
+					eng.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == dead },
+						fmt.Sprintf("node %d declared dead", dead))
+				}
+			},
+		}
+	}
 	ecfg := core.Config{PIDBase: wire.PIDBase(*node), Tracer: tracer}
 	if store != nil {
 		wcfg.Durable, wcfg.Resume = store, recov.Resume
 		ecfg.Persist, ecfg.Restore = store, recov.Restore
+		// Liveness auto-denials from the previous life stay denied; a
+		// restart must not resurrect an orphaned speculation.
+		ecfg.Denied = recov.Denied
 		// Hold inbound delivery until recovery has re-injected the
 		// delivered-but-unconsumed backlog; otherwise a fast-redialing
 		// peer's resent frames (newer sequence numbers) arrive first and
@@ -172,7 +208,21 @@ func run(args []string) error {
 	defer n.Close()
 
 	ecfg.Transport = n
+	if *lease > 0 {
+		ecfg.Liveness = &core.LivenessConfig{
+			Lease: *lease,
+			Owner: func(a ids.AID) core.OwnerStatus {
+				owner := wire.NodeOf(a.PID())
+				if owner == *node {
+					return core.OwnerStatus{} // locally hosted: plain lease
+				}
+				h := n.HealthOf(owner)
+				return core.OwnerStatus{Remote: true, Dead: h.State == wire.PeerDead, LastHeard: h.LastHeard}
+			},
+		}
+	}
 	eng := core.NewEngine(ecfg)
+	engRef.Store(eng)
 	defer eng.Shutdown()
 
 	rootPID := uint64(0)
@@ -208,6 +258,28 @@ func run(args []string) error {
 	// The READY line is the contract with whoever spawned us (see
 	// cmd/hopebench's wire mode): resolved address and service PID.
 	fmt.Printf("HOPED READY node=%d addr=%s pid=%d\n", *node, n.Addr(), rootPID)
+
+	if *statsEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					var b strings.Builder
+					for _, ph := range n.PeerHealth() {
+						fmt.Fprintf(&b, " [%s]", ph)
+					}
+					fmt.Fprintf(os.Stderr, "hoped: node %d stats: %v denied=%d%s\n",
+						*node, n.WireStats(), eng.AutoDenied(), b.String())
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

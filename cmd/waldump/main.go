@@ -2,6 +2,12 @@
 // summary — a debugging aid for crash-recovery investigations.
 //
 //	waldump --dir /var/lib/hoped/node1 [--node 1] [-v]
+//
+// The first pass is forensic and strictly read-only: a corrupt record is
+// reported with its segment file and byte offset and the scan continues
+// past it. The recovery replay (second pass) runs hoped's real boot path,
+// which truncates at the first invalid byte — so it is skipped when the
+// forensic pass found mid-log corruption, keeping the evidence intact.
 package main
 
 import (
@@ -37,18 +43,22 @@ func main() {
 	}
 }
 
+const maxTag = 13
+
 func run(dir string, node int, verbose bool) error {
 	names := map[byte]string{
 		1: "peer-send", 2: "peer-ack", 3: "delivered", 4: "consumed",
 		5: "journal", 6: "interval-open", 7: "interval-state", 8: "finalize",
 		9: "rollback", 10: "dead-aid", 11: "compact", 12: "poison",
+		13: "auto-deny",
 	}
 	counts := map[byte]uint64{}
-	var total uint64
-	log, err := wal.Open(wal.Options{
-		Dir: dir, Policy: wal.SyncNone,
-		OnRecord: func(lsn uint64, payload []byte) error {
+	var total, corrupt uint64
+	var lastLSN uint64
+	err := wal.Scan(dir,
+		func(lsn uint64, payload []byte) error {
 			total++
+			lastLSN = lsn
 			var tag byte
 			if len(payload) > 0 {
 				tag = payload[0]
@@ -59,24 +69,30 @@ func run(dir string, node int, verbose bool) error {
 			}
 			return nil
 		},
-	})
+		func(seg string, off int64, reason string) {
+			corrupt++
+			fmt.Printf("CORRUPT %s @%d: %s\n", seg, off, reason)
+		})
 	if err != nil {
 		return err
 	}
-	m := log.Metrics()
-	fmt.Printf("%s: %d records, %d segments, next LSN %d, torn truncations %d\n",
-		dir, total, log.Segments(), log.NextLSN(), m.TornTruncations)
-	log.Close()
-	for tag := byte(1); tag <= 12; tag++ {
+	fmt.Printf("%s: %d records, last LSN %d, %d corrupt\n", dir, total, lastLSN, corrupt)
+	for tag := byte(1); tag <= maxTag; tag++ {
 		if counts[tag] > 0 {
 			fmt.Printf("  %-14s %8d\n", names[tag], counts[tag])
 		}
 	}
-	if unknown := total - sum(counts, 12); unknown > 0 {
+	if unknown := total - sum(counts, maxTag); unknown > 0 {
 		fmt.Printf("  %-14s %8d\n", "UNKNOWN", unknown)
 	}
+	if corrupt > 0 {
+		fmt.Println("skipping recovery replay: it would truncate at the first corrupt byte")
+		return nil
+	}
 
-	// Second pass: full recovery, as hoped would do it at boot.
+	// Second pass: full recovery, as hoped would do it at boot. (Real
+	// recovery: a torn tail found here is truncated, exactly as a
+	// rebooting node would.)
 	store, rec, err := durable.Open(dir, node, wal.SyncNone, nil)
 	if err != nil {
 		return fmt.Errorf("recovery replay: %w", err)

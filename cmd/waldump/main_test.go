@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/wal"
+)
+
+// runCapture runs run() with stdout captured.
+func runCapture(t *testing.T, dir string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(dir, 1, true)
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("run: %v\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+// TestCorruptRecordReportedAndReplaySkipped: a flipped payload byte
+// mid-log makes waldump print the damaged record's segment and offset,
+// keep counting the records after it, and skip the destructive recovery
+// replay so the evidence survives inspection.
+func TestCorruptRecordReportedAndReplaySkipped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three tagged records: peer-send, auto-deny, journal.
+	payloads := [][]byte{{1, 0xAA, 0xBB}, {13, 0x01}, {5, 0xCC, 0xDD, 0xEE}}
+	for _, p := range payloads {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte of the middle record (lsn 1). Layout: 16B segment
+	// header, then frames of 8B header + payload.
+	segs, err := os.ReadDir(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	seg := dir + "/" + segs[0].Name()
+	off := int64(16 + 8 + len(payloads[0]) + 8) // lsn 1's payload
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := runCapture(t, dir)
+	// The reported offset is the damaged frame's start: 16B header plus
+	// lsn 0's frame (8B + 3B payload) = 27.
+	if !strings.Contains(out, "CORRUPT "+seg+" @27:") || !strings.Contains(out, "crc mismatch on lsn 1") {
+		t.Fatalf("corrupt record not located:\n%s", out)
+	}
+	if !strings.Contains(out, "2 records, last LSN 2, 1 corrupt") {
+		t.Fatalf("records after the damage were lost:\n%s", out)
+	}
+	if !strings.Contains(out, "peer-send") || !strings.Contains(out, "journal") {
+		t.Fatalf("surviving records not classified:\n%s", out)
+	}
+	if !strings.Contains(out, "skipping recovery replay") {
+		t.Fatalf("destructive replay not skipped:\n%s", out)
+	}
+	// Forensic promise: the WAL is byte-for-byte untouched afterwards.
+	if info, err := os.Stat(seg); err != nil || info.Size() != 16+3*8+int64(len(payloads[0])+len(payloads[1])+len(payloads[2])) {
+		t.Fatalf("segment size changed: %v %v", info, err)
+	}
+}

@@ -51,6 +51,13 @@ type Engine struct {
 	// documented premature-commit residual (DESIGN.md §4.9).
 	violations atomic.Int64
 
+	// Speculation leases (see liveness.go). liveness is nil when the
+	// layer is disabled; autoDenied counts liveness-triggered denials.
+	liveness   *LivenessConfig
+	leaseStop  chan struct{}
+	leaseDone  chan struct{}
+	autoDenied atomic.Int64
+
 	mu      sync.Mutex
 	procs   map[ids.PID]*Process
 	aids    map[ids.AID]*vpm.Proc
@@ -85,6 +92,16 @@ type Config struct {
 	// first spawn that draws a mapped PID is rebuilt from it instead of
 	// starting fresh; see Restored for the determinism requirement.
 	Restore map[ids.PID]*Restored
+	// Liveness, when non-nil with a positive Lease, enables speculation
+	// leases: assumptions that stay speculative past their lease (or
+	// whose owning node is declared dead) are auto-denied so dependents
+	// roll back instead of waiting forever. See liveness.go.
+	Liveness *LivenessConfig
+	// Denied seeds the archive with assumptions already auto-denied by a
+	// previous incarnation (recovered from the WAL), so a restart cannot
+	// resurrect an orphaned speculation: re-guesses answer false locally
+	// and replayed dependents are re-rolled-back by the lease sweeper.
+	Denied []ids.AID
 }
 
 // NewEngine constructs an engine over its transport.
@@ -129,6 +146,17 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.epochs.Skip(maxEpoch)
 	e.tracer = violationCounter{inner: tr, count: &e.violations}
+	for _, a := range cfg.Denied {
+		e.archive[a] = false
+	}
+	e.liveness = cfg.Liveness.norm()
+	e.leaseStop = make(chan struct{})
+	e.leaseDone = make(chan struct{})
+	if e.liveness != nil {
+		go e.leaseLoop()
+	} else {
+		close(e.leaseDone)
+	}
 	return e
 }
 
@@ -247,6 +275,10 @@ func (e *Engine) Shutdown() {
 	}
 	e.mu.Unlock()
 
+	// Stop the lease sweeper before the machine: a sweep mid-teardown
+	// would synthesize denials into a transport being closed.
+	close(e.leaseStop)
+	<-e.leaseDone
 	for _, p := range procs {
 		p.shutdown()
 	}

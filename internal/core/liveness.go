@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+// This file implements speculation leases — the liveness half of the
+// failure model. The paper's five-state AID machine (Cold → Hot →
+// Maybe → True/False) resolves every assumption *eventually*, but only
+// if its owner keeps participating: an assumption whose owner dies
+// permanently stays Hot forever, and every interval that guessed on it
+// stays speculative forever. The lease bounds that wait. Every
+// speculative (Hot-from-our-view) assumption carries a deadline; when
+// the owner is declared Dead by the wire failure detector, or the lease
+// expires with no owner traffic, the runtime denies the assumption
+// locally. Auto-deny reuses the protocol's own machinery — a Deny into
+// the AID process when we host it, a synthesized Rollback fan-out when
+// the dead owner hosted it — so dependents roll back through the
+// ordinary path and Theorem 5.1's consistency argument is unchanged: an
+// auto-denied assumption is simply denied, and nothing that committed
+// depended on it (a committed interval has an empty IDO by definition).
+
+// OwnerStatus is what the lease layer knows about an assumption's
+// owning node, supplied by LivenessConfig.Owner (in deployments, backed
+// by wire.Node.HealthOf).
+type OwnerStatus struct {
+	// Remote marks an assumption owned by another node. Local
+	// assumptions have no failure detector — only the lease applies,
+	// and only expiry (not owner death) can fire it.
+	Remote bool
+	// Dead marks a remote owner declared dead by the failure detector.
+	Dead bool
+	// LastHeard is when the owner was last heard from (zero = never).
+	// Owner traffic refreshes the lease: a slow-but-alive owner is not
+	// timed out.
+	LastHeard time.Time
+}
+
+// LivenessConfig parameterizes the engine's speculation leases. Nil (the
+// default Config.Liveness) disables them.
+type LivenessConfig struct {
+	// Lease is how long an assumption may stay speculative without
+	// owner traffic before it is auto-denied. It must comfortably
+	// exceed the wire detector's DeadAfter plus normal resolution
+	// latency: the lease is the backstop, the detector the fast path.
+	Lease time.Duration
+	// CheckEvery is the sweep period. Zero defaults to Lease/8
+	// (clamped to [1ms, 1s]).
+	CheckEvery time.Duration
+	// Owner reports the health of an assumption's owning node. Nil
+	// means no owner information: every assumption gets the plain
+	// lease with no traffic-based refresh.
+	Owner func(ids.AID) OwnerStatus
+}
+
+func (c *LivenessConfig) norm() *LivenessConfig {
+	if c == nil || c.Lease <= 0 {
+		return nil
+	}
+	out := *c
+	if out.CheckEvery <= 0 {
+		out.CheckEvery = out.Lease / 8
+	}
+	if out.CheckEvery < time.Millisecond {
+		out.CheckEvery = time.Millisecond
+	}
+	if out.CheckEvery > time.Second {
+		out.CheckEvery = time.Second
+	}
+	return &out
+}
+
+// AutoDenied returns how many assumptions the liveness layer has
+// auto-denied on this engine.
+func (e *Engine) AutoDenied() int64 { return e.autoDenied.Load() }
+
+// AutoDeny denies assumption a on liveness grounds: the decision is
+// archived (future guesses answer false locally), persisted through the
+// WAL so a restart cannot resurrect the speculation, and propagated so
+// every dependent interval rolls back through the ordinary Rollback
+// path. Reports whether this call performed the denial (false: already
+// archived).
+func (e *Engine) AutoDeny(a ids.AID, reason string) bool {
+	e.mu.Lock()
+	if _, done := e.archive[a]; done {
+		e.mu.Unlock()
+		return false
+	}
+	e.archive[a] = false
+	ap := e.aids[a]
+	e.mu.Unlock()
+
+	if per := e.persist; per != nil {
+		per.AutoDenied(a)
+	}
+	e.autoDenied.Add(1)
+	e.tracer.Emit(trace.Event{
+		Kind: trace.Fault, AID: a,
+		Detail: fmt.Sprintf("liveness: auto-denied %v (%s)", a, reason),
+	})
+
+	if ap != nil {
+		// We host the AID process: a protocol Deny moves it to False and
+		// it fans Rollback out to its whole DOM, local and remote alike.
+		e.machine.Net().Send(msg.Deny(a.PID(), ids.NilInterval, a))
+	} else {
+		// The dead owner hosted it; nobody will fan out for us. Roll back
+		// our own dependents directly.
+		e.fanoutDenied(a)
+	}
+	return true
+}
+
+// DenyOwned auto-denies every assumption currently speculative in some
+// local interval whose owning process satisfies owned. The wire
+// failure-detector callback uses it with "owned by the dead node".
+// Returns how many assumptions were denied.
+func (e *Engine) DenyOwned(owned func(ids.PID) bool, reason string) int {
+	denied := 0
+	for a := range e.speculativeAIDs() {
+		if owned(a.PID()) && e.AutoDeny(a, reason) {
+			denied++
+		}
+	}
+	return denied
+}
+
+// fanoutDenied sends each local process a Rollback targeting its
+// earliest non-definite interval depending on a — the synthesized
+// equivalent of the Rollback the AID process would have sent had it
+// been reachable to deny.
+func (e *Engine) fanoutDenied(a ids.AID) {
+	for _, p := range e.Processes() {
+		if iid, ok := p.earliestDependentOn(a); ok {
+			e.machine.Net().Send(msg.Rollback(a, iid))
+		}
+	}
+}
+
+// speculativeAIDs returns the union of every assumption some local
+// non-definite interval currently depends on (IDO or unconfirmed Cut).
+func (e *Engine) speculativeAIDs() map[ids.AID]struct{} {
+	out := make(map[ids.AID]struct{})
+	for _, p := range e.Processes() {
+		p.appendSpeculativeAIDs(out)
+	}
+	return out
+}
+
+// leaseLoop is the lease sweeper goroutine: started by NewEngine when
+// Config.Liveness is set, stopped by Shutdown.
+func (e *Engine) leaseLoop() {
+	defer close(e.leaseDone)
+	t := time.NewTicker(e.liveness.CheckEvery)
+	defer t.Stop()
+	// firstSeen starts each assumption's lease clock at first sighting;
+	// denied suppresses repeated fan-out while a denial's rollbacks are
+	// still landing. Both are GC'd against the live speculation set.
+	firstSeen := make(map[ids.AID]time.Time)
+	denied := make(map[ids.AID]bool)
+	for {
+		select {
+		case <-e.leaseStop:
+			return
+		case <-t.C:
+		}
+		e.sweepLeases(firstSeen, denied)
+	}
+}
+
+func (e *Engine) sweepLeases(firstSeen map[ids.AID]time.Time, denied map[ids.AID]bool) {
+	cfg := e.liveness
+	now := time.Now()
+	spec := e.speculativeAIDs()
+	for a := range firstSeen {
+		if _, live := spec[a]; !live {
+			delete(firstSeen, a)
+		}
+	}
+	for a := range denied {
+		if _, live := spec[a]; !live {
+			delete(denied, a)
+		}
+	}
+	for a := range spec {
+		if denied[a] {
+			continue
+		}
+		if verdict, archived := e.Archived(a); archived {
+			if !verdict {
+				// An already-denied assumption with a live dependent: a
+				// restart replayed speculation the WAL says is orphaned
+				// (Config.Denied). Re-fan the rollback; the archive
+				// answers any re-guess false.
+				e.fanoutDenied(a)
+				denied[a] = true
+			}
+			continue
+		}
+		first, ok := firstSeen[a]
+		if !ok {
+			firstSeen[a] = now
+			continue
+		}
+		var owner OwnerStatus
+		if cfg.Owner != nil {
+			owner = cfg.Owner(a)
+		}
+		if owner.Remote && owner.Dead {
+			if e.AutoDeny(a, "owner node dead") {
+				denied[a] = true
+			}
+			continue
+		}
+		deadline := first.Add(cfg.Lease)
+		if owner.Remote && !owner.LastHeard.IsZero() {
+			// Owner traffic refreshes the lease.
+			if d := owner.LastHeard.Add(cfg.Lease); d.After(deadline) {
+				deadline = d
+			}
+		}
+		if now.After(deadline) {
+			if e.AutoDeny(a, fmt.Sprintf("lease expired (%v)", cfg.Lease)) {
+				denied[a] = true
+			}
+		}
+	}
+}
+
+// earliestDependentOn returns the oldest non-definite interval whose
+// IDO or unconfirmed Cut contains a, if any.
+func (p *Process) earliestDependentOn(a ids.AID) (ids.IntervalID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return ids.NilInterval, false
+	}
+	for _, r := range p.history.Slice() {
+		if r.Definite {
+			continue
+		}
+		if r.IDO.Contains(a) || r.Cut.Contains(a) {
+			return r.ID, true
+		}
+	}
+	return ids.NilInterval, false
+}
+
+// appendSpeculativeAIDs adds every assumption the process's non-definite
+// intervals depend on (IDO or unconfirmed Cut) to out.
+func (p *Process) appendSpeculativeAIDs(out map[ids.AID]struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return
+	}
+	for _, r := range p.history.Slice() {
+		if r.Definite {
+			continue
+		}
+		for _, a := range r.IDO.Slice() {
+			out[a] = struct{}{}
+		}
+		for _, a := range r.Cut.Slice() {
+			out[a] = struct{}{}
+		}
+	}
+}

@@ -42,6 +42,13 @@ type Persister interface {
 	// base becomes the re-execution snapshot. An error aborts the
 	// compaction (typically: the snapshot is not encodable).
 	Compact(pid ids.PID, iid ids.IntervalID, base any) error
+	// AutoDenied records that the liveness layer denied assumption a —
+	// its owner was declared dead or its lease expired. Engine-level:
+	// there is no owning local process, so unlike the hooks above it is
+	// called without any process lock. Recovery surfaces the set via
+	// durable.Recovered.Denied → Config.Denied, so a restart cannot
+	// resurrect the orphaned speculation.
+	AutoDenied(a ids.AID)
 	// MessageConsumed records that a remote-origin message (SrcSeq != 0)
 	// was discarded without entering any journal — dead letters,
 	// denied-tag drops, purges — so recovery stops re-delivering it.

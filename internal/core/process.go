@@ -587,6 +587,7 @@ func (p *Process) HistorySnapshot() []IntervalInfo {
 			Definite: r.Definite,
 			IDO:      r.IDO.Slice(),
 			UDO:      r.UDO.Slice(),
+			Cut:      r.Cut.Slice(),
 		})
 	}
 	return out
@@ -600,4 +601,5 @@ type IntervalInfo struct {
 	Definite bool
 	IDO      []ids.AID
 	UDO      []ids.AID
+	Cut      []ids.AID // unconfirmed cycle cuts: live dependencies too
 }

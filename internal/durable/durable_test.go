@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/hope-dist/hope/internal/ids"
@@ -333,5 +334,36 @@ func TestSyncNoneSkipsBarriers(t *testing.T) {
 	}
 	if got := s.Stats().Syncs; got != 0 {
 		t.Fatalf("SyncNone issued %d syncs", got)
+	}
+}
+
+// TestAutoDenyRoundTrip: liveness auto-denials survive a restart. The
+// recovered Denied list seeds core.Config.Denied, so a rebooted node
+// answers guesses on an orphaned assumption false instead of
+// resurrecting the dead owner's speculation.
+func TestAutoDenyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openStore(t, dir)
+	if !rec.Empty() {
+		t.Fatalf("fresh dir not empty: %s", rec)
+	}
+	x, y := ids.AID(remotePID(21)), ids.AID(remotePID(22))
+	s.AutoDenied(x)
+	s.AutoDenied(y)
+	s.AutoDenied(x) // detector callback racing the lease sweeper: dup on disk
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	if rec.Empty() {
+		t.Fatal("recovery with auto-denials reported Empty")
+	}
+	if len(rec.Denied) != 2 || rec.Denied[0] != x || rec.Denied[1] != y {
+		t.Fatalf("Denied = %v, want [%v %v] deduplicated in append order", rec.Denied, x, y)
+	}
+	if got := rec.String(); !strings.Contains(got, "denied=2") {
+		t.Fatalf("recovery summary %q does not report denied=2", got)
 	}
 }

@@ -41,6 +41,7 @@ const (
 	recDeadAID       = 10 // pid, aid — assumption learned denied
 	recCompact       = 11 // pid, iid, gob(base) — journal compacted to a snapshot
 	recPoison        = 12 // pid, reason — persistence failed; drop pid from recovery
+	recAutoDeny      = 13 // aid — assumption auto-denied by the liveness layer (engine-level, no pid)
 )
 
 // anyEnv wraps interface values (journal notes, compaction snapshots) so

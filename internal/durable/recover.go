@@ -28,6 +28,10 @@ type Recovered struct {
 	// Resend holds journalled sends whose frames never reached a resend
 	// queue (the crash hit between the journal append and the enqueue).
 	Resend []*msg.Message
+	// Denied lists assumptions the liveness layer auto-denied before the
+	// crash; pass it to core.Config.Denied so a restart cannot resurrect
+	// an orphaned speculation.
+	Denied []ids.AID
 	// Skipped counts recovered inbound frames dropped because they no
 	// longer decode (codec drift across the restart).
 	Skipped int
@@ -41,6 +45,7 @@ type Recovered struct {
 // Empty reports whether the WAL held no state (first boot).
 func (r *Recovered) Empty() bool {
 	return len(r.Restore) == 0 && len(r.Redeliver) == 0 && len(r.Resend) == 0 &&
+		len(r.Denied) == 0 &&
 		(r.Resume == nil || (len(r.Resume.Peers) == 0 && len(r.Resume.Delivered) == 0))
 }
 
@@ -52,9 +57,9 @@ func (r *Recovered) String() string {
 			frames += len(p.Frames)
 		}
 	}
-	return fmt.Sprintf("records=%d procs=%d redeliver=%d resend=%d unacked=%d torn=%d in %v",
+	return fmt.Sprintf("records=%d procs=%d redeliver=%d resend=%d unacked=%d denied=%d torn=%d in %v",
 		r.Records, len(r.Restore), len(r.Redeliver), len(r.Resend), frames,
-		r.Truncations, r.Duration.Round(time.Microsecond))
+		len(r.Denied), r.Truncations, r.Duration.Round(time.Microsecond))
 }
 
 // inKey identifies one delivered inbound frame.
@@ -109,6 +114,9 @@ type recoverState struct {
 	inboxBy map[inKey]*inMsg
 	procs   map[ids.PID]*rProc
 	skipped int
+
+	denied    map[ids.AID]struct{}
+	deniedSeq []ids.AID // insertion order, for deterministic restore
 }
 
 func newRecoverState(self int) *recoverState {
@@ -346,6 +354,19 @@ func (rs *recoverState) apply(lsn uint64, payload []byte) error {
 		}
 		rs.proc(ids.PID(pid)).poisoned = true
 
+	case recAutoDeny:
+		a, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if rs.denied == nil {
+			rs.denied = make(map[ids.AID]struct{})
+		}
+		if _, dup := rs.denied[ids.AID(a)]; !dup {
+			rs.denied[ids.AID(a)] = struct{}{}
+			rs.deniedSeq = append(rs.deniedSeq, ids.AID(a))
+		}
+
 	default:
 		return fmt.Errorf("durable: unknown record type %d", payload[0])
 	}
@@ -438,5 +459,6 @@ func (rs *recoverState) finish() (*Recovered, error) {
 		rec.Redeliver = append(rec.Redeliver, m)
 	}
 	rec.Skipped = rs.skipped
+	rec.Denied = rs.deniedSeq
 	return rec, nil
 }

@@ -278,6 +278,18 @@ func (s *Store) DeadAID(pid ids.PID, a ids.AID) {
 	}
 }
 
+// AutoDenied implements core.Persister: a liveness auto-denial. It is
+// engine-level — there is no owning process to poison, so an append
+// failure surfaces as a store failure instead.
+func (s *Store) AutoDenied(a ids.AID) {
+	err := s.appendTagged(recAutoDeny, func(b []byte) []byte {
+		return appendUv(b, uint64(a))
+	})
+	if err != nil {
+		s.fail("AutoDenied", err)
+	}
+}
+
 // Compact implements core.Persister. The snapshot is gob-encoded before
 // anything is written; an unencodable snapshot aborts the compaction
 // (the engine keeps its journal) instead of corrupting recovery.

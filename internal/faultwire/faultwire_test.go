@@ -82,6 +82,65 @@ func TestGenPlanShape(t *testing.T) {
 	}
 }
 
+// TestGenPlanPermShape: a permanent-kill plan has exactly one OpKillPerm
+// aimed at the victim, never an OpRestart, and is flagged Perm.
+func TestGenPlanPermShape(t *testing.T) {
+	p := GenPlanPerm(7, 3, 4*time.Second)
+	if !p.Perm || !p.Kill {
+		t.Fatalf("plan flags kill=%v perm=%v, want both true", p.Kill, p.Perm)
+	}
+	if p.Victim() == 0 {
+		t.Fatal("perm-kill plan has no victim")
+	}
+	kills := 0
+	for _, e := range p.Events {
+		switch e.Op {
+		case OpKillPerm:
+			kills++
+			if e.Node != p.Victim() {
+				t.Fatalf("kill-perm targets %d, victim is %d", e.Node, p.Victim())
+			}
+		case OpKill, OpRestart:
+			t.Fatalf("perm plan contains %v", e)
+		}
+	}
+	if kills != 1 {
+		t.Fatalf("kill-perms = %d, want 1", kills)
+	}
+}
+
+// TestGenPlanPermSameTimeline: GenPlanPerm draws from the rng in the same
+// order as GenPlan(kill=true), so a seed's sever/corrupt/partition
+// timeline — and the kill instant itself — is identical either way. A
+// replayed seed can therefore be flipped between transient and permanent
+// death without changing anything else about the storm.
+func TestGenPlanPermSameTimeline(t *testing.T) {
+	span := 4 * time.Second
+	transient := GenPlan(7, 3, span, true)
+	perm := GenPlanPerm(7, 3, span)
+
+	strip := func(p Plan) (rest []Event, killAt time.Duration, killNode int) {
+		for _, e := range p.Events {
+			switch e.Op {
+			case OpKill, OpKillPerm:
+				killAt, killNode = e.At, e.Node
+			case OpRestart:
+			default:
+				rest = append(rest, e)
+			}
+		}
+		return rest, killAt, killNode
+	}
+	tRest, tAt, tNode := strip(transient)
+	pRest, pAt, pNode := strip(perm)
+	if !reflect.DeepEqual(tRest, pRest) {
+		t.Fatalf("non-kill timelines differ:\n%s\n%s", transient, perm)
+	}
+	if tAt != pAt || tNode != pNode {
+		t.Fatalf("kill placement differs: transient %v@node%d, perm %v@node%d", tAt, tNode, pAt, pNode)
+	}
+}
+
 func TestGenWindowsDeterministic(t *testing.T) {
 	a := GenWindows(9, 4, 6, time.Second)
 	b := GenWindows(9, 4, 6, time.Second)

@@ -64,6 +64,11 @@ const (
 	// OpRestart relaunches a killed node on the same address and data
 	// directory; recovery replays its WAL.
 	OpRestart
+	// OpKillPerm SIGKILLs the node's process for good — no restart ever
+	// follows. The surviving nodes' failure detectors must declare it
+	// dead and the liveness layer must auto-deny its orphaned
+	// assumptions; without that layer the run hangs.
+	OpKillPerm
 )
 
 // String implements fmt.Stringer.
@@ -81,6 +86,8 @@ func (o Op) String() string {
 		return "kill"
 	case OpRestart:
 		return "restart"
+	case OpKillPerm:
+		return "kill-perm"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -113,24 +120,26 @@ type Plan struct {
 	Nodes  int // server nodes the plan targets, numbered 1..Nodes
 	Span   time.Duration
 	Kill   bool // whether the plan includes a SIGKILL+restart
+	Perm   bool // whether the plan's kill is permanent (no restart)
 	Events []Event
 }
 
 // String renders the timeline, one event per line.
 func (p Plan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan seed=%d nodes=%d span=%v kill=%v events=%d\n",
-		p.Seed, p.Nodes, p.Span, p.Kill, len(p.Events))
+	fmt.Fprintf(&b, "plan seed=%d nodes=%d span=%v kill=%v perm=%v events=%d\n",
+		p.Seed, p.Nodes, p.Span, p.Kill, p.Perm, len(p.Events))
 	for _, e := range p.Events {
 		fmt.Fprintf(&b, "  %s\n", e)
 	}
 	return b.String()
 }
 
-// Victim returns the node the plan kills, or 0 if it kills none.
+// Victim returns the node the plan kills (temporarily or permanently),
+// or 0 if it kills none.
 func (p Plan) Victim() int {
 	for _, e := range p.Events {
-		if e.Op == OpKill {
+		if e.Op == OpKill || e.Op == OpKillPerm {
 			return e.Node
 		}
 	}
@@ -145,8 +154,21 @@ func (p Plan) Victim() int {
 // first 3/4 of span so the system has a quiet tail to converge in; every
 // outage heals strictly before span ends.
 func GenPlan(seed int64, nodes int, span time.Duration, kill bool) Plan {
+	return genPlan(seed, nodes, span, kill, false)
+}
+
+// GenPlanPerm is GenPlan with the kill made permanent: the victim is
+// SIGKILLed at the same point in the schedule but never restarted. The
+// rng draw sequence is identical to GenPlan(seed, nodes, span, true),
+// so a seed's sever/corrupt/partition timeline is the same either way —
+// only the kill's finality differs.
+func GenPlanPerm(seed int64, nodes int, span time.Duration) Plan {
+	return genPlan(seed, nodes, span, true, true)
+}
+
+func genPlan(seed int64, nodes int, span time.Duration, kill, perm bool) Plan {
 	rng := rand.New(rand.NewSource(seed))
-	p := Plan{Seed: seed, Nodes: nodes, Span: span, Kill: kill}
+	p := Plan{Seed: seed, Nodes: nodes, Span: span, Kill: kill, Perm: perm}
 	if nodes < 1 || span <= 0 {
 		return p
 	}
@@ -181,11 +203,17 @@ func GenPlan(seed int64, nodes int, span time.Duration, kill bool) Plan {
 		if kill && n == victim {
 			// Kill inside the partition window, restart before it heals:
 			// the node reboots while still unreachable, and only the heal
-			// reconnects its recovered state to the world.
+			// reconnects its recovered state to the world. A permanent
+			// kill lands at the same instant but nothing ever follows —
+			// the heal reopens the proxies onto a corpse.
 			kat := start + width/4
-			p.Events = append(p.Events,
-				Event{At: kat, Node: n, Op: OpKill, Dur: width / 2},
-				Event{At: kat + width/2, Node: n, Op: OpRestart})
+			if perm {
+				p.Events = append(p.Events, Event{At: kat, Node: n, Op: OpKillPerm})
+			} else {
+				p.Events = append(p.Events,
+					Event{At: kat, Node: n, Op: OpKill, Dur: width / 2},
+					Event{At: kat + width/2, Node: n, Op: OpRestart})
+			}
 		}
 	}
 	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })

@@ -22,6 +22,14 @@
 //     same root PID (no resurrection of rolled-back state: recovery
 //     replays the log, it does not reinvent it).
 //
+// With Config.PermKill the storm instead kills one node permanently: no
+// restart ever follows, the client's wire failure detector must declare
+// the corpse dead, and the engine's liveness layer must auto-deny the
+// orphaned assumptions so dependents roll back instead of waiting
+// forever. The oracle's liveness invariant then replaces completeness
+// for the doomed workload: after quiescence no surviving interval is
+// speculative on anything the dead node owned.
+//
 // Everything about a run derives from Config.Seed: GenPlan is a pure
 // function, so a failing run's printed seed and plan are a complete
 // reproduction recipe.
@@ -37,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hope-dist/hope/internal/core"
@@ -141,6 +150,7 @@ type Config struct {
 	Nodes    int           // hoped server processes (numbered 1..Nodes)
 	Span     time.Duration // storm duration; quiescence is awaited after
 	Kill     bool          // SIGKILL+restart one node mid-storm (requires durable nodes)
+	PermKill bool          // SIGKILL one node permanently — no restart; enables the liveness layer (overrides Kill)
 	Durable  bool          // run children with a WAL (--data-dir); implied by Kill
 	Fsync    string        // hoped --fsync policy for durable nodes ("" = interval)
 	HopedBin string        // path to the hoped binary (required)
@@ -161,6 +171,13 @@ func (c *Config) norm() error {
 	}
 	if c.Span <= 0 {
 		c.Span = 2 * time.Second
+	}
+	if c.PermKill {
+		// A permanent kill supersedes kill+restart: the plan places the
+		// SIGKILL at the same instant but nothing ever follows. Children
+		// stay durable so the victim's on-disk state is a realistic corpse.
+		c.Kill = false
+		c.Durable = true
 	}
 	if c.Kill {
 		c.Durable = true
@@ -188,12 +205,30 @@ func (c *Config) norm() error {
 
 // Result summarizes a completed storm.
 type Result struct {
-	Plan      faultwire.Plan
-	Elapsed   time.Duration
-	Wire      wire.WireStats               // client node counters
-	Proxies   map[int]faultwire.ProxyStats // node → merged in+out proxy stats
-	Rollbacks int                          // worker restarts across all workloads
-	Recovered string                       // the killed node's RECOVERED line
+	Plan       faultwire.Plan
+	Elapsed    time.Duration
+	Wire       wire.WireStats               // client node counters
+	Proxies    map[int]faultwire.ProxyStats // node → merged in+out proxy stats
+	Rollbacks  int                          // worker restarts across all workloads
+	Recovered  string                       // the killed node's RECOVERED line
+	PermKilled int                          // node permanently killed (0 = none)
+	AutoDenied int64                        // assumptions the client's liveness layer auto-denied
+}
+
+// LivenessTimings derives the failure-detector and lease timings a storm
+// of the given span uses, shared by the harness and `hopebench chaos
+// --plan`. Suspicion starts after one span of silence; death needs two
+// spans plus a fixed margin, so no partition the generator schedules
+// (≤ 3/8 span, healed within the storm) can ever be mistaken for a
+// death. The lease outlives the dead threshold by one more span so that
+// owner-death detection — not lease expiry — resolves dead-owned
+// assumptions, and the lease only catches what the detector cannot see:
+// assumptions hosted locally whose resolution depended on the dead node.
+func LivenessTimings(span time.Duration) (suspect, dead, lease time.Duration) {
+	suspect = span
+	dead = 2*span + 6*time.Second
+	lease = dead + span
+	return suspect, dead, lease
 }
 
 // server is one hoped child with its two proxies: in carries client →
@@ -216,8 +251,14 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.norm(); err != nil {
 		return res, err
 	}
-	plan := faultwire.GenPlan(cfg.Seed, cfg.Nodes, cfg.Span, cfg.Kill)
+	var plan faultwire.Plan
+	if cfg.PermKill {
+		plan = faultwire.GenPlanPerm(cfg.Seed, cfg.Nodes, cfg.Span)
+	} else {
+		plan = faultwire.GenPlan(cfg.Seed, cfg.Nodes, cfg.Span, cfg.Kill)
+	}
 	res.Plan = plan
+	suspect, dead, lease := LivenessTimings(cfg.Span)
 	logf := func(format string, args ...any) { fmt.Fprintf(cfg.Log, format+"\n", args...) }
 	start := time.Now()
 
@@ -233,8 +274,27 @@ func Run(cfg Config) (Result, error) {
 
 	// Client node 0 lives in-process; its transport is audited by the
 	// FIFO tap so a duplicate sneaking past the dedup watermark is
-	// caught at the exact boundary it would corrupt.
-	client, err := wire.NewNode(wire.NodeConfig{ID: 0, Listen: "127.0.0.1:0", Tracer: cfg.Tracer})
+	// caught at the exact boundary it would corrupt. When the plan kills
+	// a node for good, the client also runs the liveness layer: the wire
+	// failure detector declares the silent peer dead and the engine
+	// auto-denies whatever the corpse owned. engRef breaks the
+	// construction cycle — the detector callback needs the engine, which
+	// needs the transport, which needs the node.
+	var engRef atomic.Pointer[core.Engine]
+	wcfg := wire.NodeConfig{ID: 0, Listen: "127.0.0.1:0", Tracer: cfg.Tracer}
+	if cfg.PermKill {
+		wcfg.Health = wire.HealthConfig{
+			SuspectAfter: suspect,
+			DeadAfter:    dead,
+			OnPeerDead: func(node int) {
+				if eng := engRef.Load(); eng != nil {
+					eng.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == node },
+						fmt.Sprintf("node %d declared dead", node))
+				}
+			},
+		}
+	}
+	client, err := wire.NewNode(wcfg)
 	if err != nil {
 		return res, err
 	}
@@ -277,6 +337,15 @@ func Run(cfg Config) (Result, error) {
 			s.dataDir = filepath.Join(dataRoot, fmt.Sprintf("node%d", id))
 			args = append(args, "--data-dir", s.dataDir, "--fsync", cfg.Fsync)
 		}
+		if cfg.PermKill {
+			// Servers run the same detector/lease timings as the client;
+			// their only peer is node 0, which never dies, so this mostly
+			// exercises the flag plumbing end to end.
+			args = append(args,
+				"--suspect-after", suspect.String(),
+				"--dead-after", dead.String(),
+				"--lease", lease.String())
+		}
 		child, boot, err := StartHoped(cfg.HopedBin, args)
 		if err != nil {
 			return res, err
@@ -302,7 +371,22 @@ func Run(cfg Config) (Result, error) {
 			id, s.addr, s.pid, s.in.Addr(), s.out.Addr())
 	}
 
-	eng := core.NewEngine(core.Config{Transport: tap, PIDBase: wire.PIDBase(0), Tracer: cfg.Tracer})
+	ecfg := core.Config{Transport: tap, PIDBase: wire.PIDBase(0), Tracer: cfg.Tracer}
+	if cfg.PermKill {
+		ecfg.Liveness = &core.LivenessConfig{
+			Lease: lease,
+			Owner: func(a ids.AID) core.OwnerStatus {
+				node := wire.NodeOf(a.PID())
+				if node == 0 {
+					return core.OwnerStatus{} // client-local: plain lease from first sighting
+				}
+				h := client.HealthOf(node)
+				return core.OwnerStatus{Remote: true, Dead: h.State == wire.PeerDead, LastHeard: h.LastHeard}
+			},
+		}
+	}
+	eng := core.NewEngine(ecfg)
+	engRef.Store(eng)
 	defer eng.Shutdown()
 
 	// One streamed pagination workload per server, all running through
@@ -362,6 +446,16 @@ func Run(cfg Config) (Result, error) {
 			if err != nil {
 				return res, fmt.Errorf("SIGKILL node %d: %w", e.Node, err)
 			}
+		case faultwire.OpKillPerm:
+			s.mu.Lock()
+			err := s.child.Process.Kill()
+			s.child.Wait()
+			s.child = nil // never restarted; teardown must not re-signal it
+			s.mu.Unlock()
+			if err != nil {
+				return res, fmt.Errorf("SIGKILL (permanent) node %d: %w", e.Node, err)
+			}
+			res.PermKilled = e.Node
 		case faultwire.OpRestart:
 			args := []string{
 				"--node", strconv.Itoa(s.id), "--listen", s.addr,
@@ -404,27 +498,58 @@ func Run(cfg Config) (Result, error) {
 
 	deadline := time.Now().Add(90 * time.Second)
 	for _, w := range workloads {
+		doomed := cfg.PermKill && w.server.id == res.PermKilled
 		for {
 			st := w.worker.Snapshot()
 			w.mu.Lock()
 			completed := w.done > 0
 			w.mu.Unlock()
-			if completed && st.Completed && st.AllDefinite && client.Inflight() == 0 {
+			if doomed {
+				// The dead server answers nothing, so the doomed workload
+				// ends one of two ways. If every application-level denial
+				// was already in flight when the node died, the rollback
+				// cascade resolves the whole history and it quiesces fully
+				// definite like any survivor. Otherwise some assumption is
+				// orphaned — unconfirmable forever — and only a liveness
+				// auto-deny (lease expiry) can resolve it; its rollback
+				// re-executes the body into fresh client-local speculation,
+				// so "done" is speculative completion plus proof that the
+				// layer is resolving orphans rather than hanging. Without
+				// the liveness layer the second case never exits this loop.
+				if st.Completed && client.Inflight() == 0 &&
+					(st.AllDefinite || eng.AutoDenied() > 0) {
+					res.Rollbacks += st.Restarts
+					break
+				}
+			} else if completed && st.Completed && st.AllDefinite && client.Inflight() == 0 {
 				res.Rollbacks += st.Restarts
 				break
 			}
 			if time.Now().After(deadline) {
-				return res, fmt.Errorf("no quiescence for node %d workload: worker=%+v inflight=%d wire=%v",
-					w.server.id, st, client.Inflight(), client.WireStats())
+				return res, fmt.Errorf("no quiescence for node %d workload: worker=%+v inflight=%d autodenied=%d wire=%v",
+					w.server.id, st, client.Inflight(), eng.AutoDenied(), client.WireStats())
 			}
 			time.Sleep(time.Millisecond)
 		}
 	}
 
-	// Invariants. Workers first (verdict agreement + definiteness), then
-	// the committed layout per server, then the FIFO audit.
+	// Invariants. The liveness check first (every survivor, dead or
+	// healthy server), then workers (verdict agreement + definiteness),
+	// then the committed layout per surviving server, then the FIFO audit.
+	deadOwned := func(a ids.AID) bool {
+		return res.PermKilled != 0 && wire.NodeOf(a.PID()) == res.PermKilled
+	}
 	for _, w := range workloads {
 		name := fmt.Sprintf("node %d workload", w.server.id)
+		if err := oracle.CheckLiveness(name, w.worker.HistorySnapshot(), deadOwned); err != nil {
+			return res, err
+		}
+		if cfg.PermKill && w.server.id == res.PermKilled {
+			// The doomed workload's residual speculation is client-local by
+			// construction (CheckLiveness above); completeness and totals
+			// are unreachable without its server.
+			continue
+		}
 		if err := oracle.CheckWorker(name, w.worker.Snapshot()); err != nil {
 			return res, err
 		}
@@ -436,6 +561,9 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	for _, s := range servers {
+		if cfg.PermKill && s.id == res.PermKilled {
+			continue // no process left to probe
+		}
 		want := oracle.ExpectedFinalLine(cfg.PageSize, cfg.Reports) + 1
 		line, err := rpc.Probe(eng, s.pid, rpc.MethodPrint, 30*time.Second)
 		if err != nil {
@@ -455,6 +583,10 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Kill && res.Recovered == "" {
 		return res, fmt.Errorf("plan killed node %d but no recovery was recorded", plan.Victim())
 	}
+	if cfg.PermKill && res.PermKilled == 0 {
+		return res, fmt.Errorf("perm-kill storm killed no node")
+	}
+	res.AutoDenied = eng.AutoDenied()
 
 	res.Elapsed = time.Since(start)
 	res.Wire = client.WireStats()

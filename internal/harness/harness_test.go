@@ -53,6 +53,39 @@ func TestRunStorm(t *testing.T) {
 	t.Logf("storm ok: elapsed=%v rollbacks=%d wire=%v", res.Elapsed, res.Rollbacks, res.Wire)
 }
 
+// TestPermKillStorm drives a storm whose victim never comes back. The
+// run can only quiesce if the liveness layer works end to end: the
+// client's failure detector must declare the victim dead, drop its
+// resend queue, and (directly or via the speculation lease) force every
+// assumption stranded by the death to resolve. The oracle then checks
+// that no surviving interval is still speculative on a dead-owned
+// assumption. Without the liveness layer this test hangs, not fails.
+func TestPermKillStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes; skipped in -short")
+	}
+	res, err := Run(Config{
+		Seed:     10,
+		Nodes:    2,
+		Span:     time.Second,
+		PermKill: true,
+		HopedBin: buildHoped(t),
+		Reports:  24,
+		Log:      testWriter{t},
+	})
+	if err != nil {
+		t.Fatalf("perm-kill storm failed (replay with seed %d):\n%s\nerror: %v", res.Plan.Seed, res.Plan, err)
+	}
+	if res.PermKilled == 0 {
+		t.Fatal("plan included a permanent kill but no node died")
+	}
+	if res.Recovered != "" {
+		t.Fatalf("permanently killed node reported a recovery: %s", res.Recovered)
+	}
+	t.Logf("perm-kill storm ok: victim=%d elapsed=%v rollbacks=%d autodenied=%d wire=%v",
+		res.PermKilled, res.Elapsed, res.Rollbacks, res.AutoDenied, res.Wire)
+}
+
 // TestKillWhilePartitioned scripts the nastiest single-node scenario by
 // hand instead of drawing it from a plan: the server is partitioned from
 // the client (both proxy directions blocked), SIGKILLed and restarted

@@ -68,6 +68,33 @@ func CheckOutcomes(name string, got []Outcome, verdict map[ids.AID]bool) error {
 	return nil
 }
 
+// CheckLiveness verifies the liveness invariant after a storm with a
+// permanent death: no surviving interval may still be speculative on an
+// assumption the dead node owned. Every such interval must have been
+// committed (its dependency resolved before the death) or rolled back
+// (the liveness layer auto-denied the orphan). deadOwned reports
+// whether an assumption was owned by a dead node; hist is one worker's
+// HistorySnapshot. Without the liveness layer this check cannot even be
+// reached — the run never quiesces.
+func CheckLiveness(name string, hist []core.IntervalInfo, deadOwned func(ids.AID) bool) error {
+	for _, ii := range hist {
+		if ii.Definite {
+			continue
+		}
+		for _, a := range ii.IDO {
+			if deadOwned(a) {
+				return fmt.Errorf("%s interval %v still speculative on dead-owned %v", name, ii.ID, a)
+			}
+		}
+		for _, a := range ii.Cut {
+			if deadOwned(a) {
+				return fmt.Errorf("%s interval %v holds unconfirmed cut on dead-owned %v", name, ii.ID, a)
+			}
+		}
+	}
+	return nil
+}
+
 // CheckTerminations verifies rollback accounting across a whole system:
 // every terminated process must carry the error that killed it. A
 // terminated process without an error is a process the runtime lost

@@ -112,3 +112,25 @@ func TestFIFOTap(t *testing.T) {
 		t.Fatalf("handler ran %d times, want 5 (tap must still deliver)", got)
 	}
 }
+
+func TestCheckLiveness(t *testing.T) {
+	deadOwned := func(a ids.AID) bool { return a == 7 }
+	iid := ids.IntervalID{Proc: 3, Seq: 1, Epoch: 1}
+
+	// Committed intervals may have depended on the dead node while it
+	// lived; only surviving speculation is a liveness violation.
+	committed := []core.IntervalInfo{{ID: iid, Definite: true, IDO: []ids.AID{7}}}
+	if err := CheckLiveness("w", committed, deadOwned); err != nil {
+		t.Fatalf("committed interval flagged: %v", err)
+	}
+	liveOther := []core.IntervalInfo{{ID: iid, IDO: []ids.AID{8}, Cut: []ids.AID{9}}}
+	if err := CheckLiveness("w", liveOther, deadOwned); err != nil {
+		t.Fatalf("speculation on a live node flagged: %v", err)
+	}
+	if err := CheckLiveness("w", []core.IntervalInfo{{ID: iid, IDO: []ids.AID{7}}}, deadOwned); err == nil {
+		t.Fatal("surviving IDO speculation on a dead-owned assumption passed")
+	}
+	if err := CheckLiveness("w", []core.IntervalInfo{{ID: iid, Cut: []ids.AID{7}}}, deadOwned); err == nil {
+		t.Fatal("unconfirmed cut on a dead-owned assumption passed")
+	}
+}

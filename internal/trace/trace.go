@@ -37,10 +37,14 @@ const (
 	// Transport records transport-level events — connections established
 	// or lost, reconnect attempts, resent frames (internal/wire).
 	Transport
-	// Fault records a deliberately injected failure — a dropped, delayed,
-	// duplicated, or corrupted frame, a partition opening or healing, a
-	// severed connection (internal/faultwire). Chaos runs replay a seed by
-	// comparing these events; they never occur outside fault injection.
+	// Fault records the failure model acting: a deliberately injected
+	// failure — a dropped, delayed, duplicated, or corrupted frame, a
+	// partition opening or healing, a severed connection
+	// (internal/faultwire) — or the runtime's response to a diagnosed
+	// one — a peer declared dead by the wire failure detector, an
+	// assumption auto-denied by the liveness layer. Chaos runs replay a
+	// seed by comparing these events; in a healthy, fault-free run none
+	// of them occur.
 	Fault
 )
 

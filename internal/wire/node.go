@@ -41,6 +41,7 @@ const (
 	frameHelloAck = 2 // acceptor → dialer: highest delivered seq (resume point)
 	frameMsg      = 3 // dialer → acceptor: seq + encoded message
 	frameAck      = 4 // acceptor → dialer: highest delivered seq
+	framePing     = 5 // dialer → acceptor: liveness probe; answered with a forced ack
 )
 
 // maxFrame bounds a frame read so a corrupt length prefix cannot force a
@@ -107,6 +108,13 @@ type NodeConfig struct {
 	// they left off, the unacked tail is requeued for resend, and
 	// already-delivered frames from each sender are deduplicated.
 	Resume *Resume
+	// Health parameterizes the per-peer failure detector: heartbeats
+	// piggyback on the existing frame/ack streams, an idle-timer ping
+	// frame probes quiet links, and a peer silent past DeadAfter is
+	// declared Dead — its resend queue dropped, its dialer stopped, and
+	// OnPeerDead fired. The zero value disables the detector (health is
+	// still tracked passively; see Node.PeerHealth).
+	Health HealthConfig
 	// HoldInbound binds the listener in NewNode but defers accepting
 	// connections until ReleaseInbound is called. A recovering node
 	// needs this: delivered-but-unconsumed messages from the WAL must be
@@ -134,6 +142,7 @@ type Node struct {
 	flushDelay time.Duration
 	unbatched  bool
 	dur        DurableHooks // nil = no durability
+	health     HealthConfig // normalized failure-detector config
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight returns to zero
@@ -141,10 +150,16 @@ type Node struct {
 	peers    map[int]*peer
 	inbound  map[int]*inbound
 	conns    map[net.Conn]struct{} // every live conn, for Drop/Close
+	inConns  map[net.Conn]int      // inbound conn → sender node, for dead-peer teardown
 	ackFlush map[net.Conn]func()   // per-inbound-conn pending-ack flushers
 	closed   bool
 	held     bool // accept loop not yet started (NodeConfig.HoldInbound)
 	inflight int  // frames accepted for remote delivery, not yet acked
+
+	healthMu   sync.Mutex
+	peerHealth map[int]*peerHealth
+	healthStop chan struct{} // closed by Close to stop the monitor
+	healthDone chan struct{} // closed when the monitor has exited
 
 	counts transport.Counters // delivered messages by kind; 0 = dead letters
 	sent   transport.Counters // messages accepted for sending by kind
@@ -157,6 +172,9 @@ type Node struct {
 	duplicates, dialFails atomic.Uint64
 	queueFull, flushes    atomic.Uint64
 	crcErrors             atomic.Uint64
+	probesSent            atomic.Uint64
+	probesRecv            atomic.Uint64
+	deadDrops             atomic.Uint64
 }
 
 var _ transport.Transport = (*Node)(nil)
@@ -178,6 +196,11 @@ type WireStats struct {
 	Flushes             uint64 // coalesced write flushes (FramesOut/Flushes = batch size)
 	QueuedFrames        uint64 // gauge: frames currently queued across peers
 	QueuedBytes         uint64 // gauge: encoded bytes currently queued across peers
+	ProbesSent          uint64 // liveness ping frames written
+	ProbesRecv          uint64 // liveness ping frames received (each forces an ack)
+	DeadDrops           uint64 // frames dropped because their peer was declared dead
+	PeersSuspect        int    // gauge: peers currently in Suspect
+	PeersDead           int    // gauge: peers declared Dead (terminal)
 
 	// Durable reports whether the node runs with a WAL; WAL holds that
 	// log's counters when it does.
@@ -191,6 +214,10 @@ func (s WireStats) String() string {
 		s.BytesIn, s.FramesIn, s.BytesOut, s.FramesOut, s.Resends, s.Reconnects,
 		s.AcksSent, s.AcksRecv, s.Duplicates, s.CRCErrors, s.EncodeErrors, s.DecodeErrors,
 		s.DialFailures, s.QueueFull, s.Flushes, s.QueuedFrames, s.QueuedBytes)
+	if s.ProbesSent != 0 || s.ProbesRecv != 0 || s.PeersSuspect != 0 || s.PeersDead != 0 || s.DeadDrops != 0 {
+		base += fmt.Sprintf(" probes=%d/%d suspect=%d dead=%d deaddrop=%d",
+			s.ProbesSent, s.ProbesRecv, s.PeersSuspect, s.PeersDead, s.DeadDrops)
+	}
 	if s.Durable {
 		base += " " + s.WAL.String()
 	}
@@ -231,7 +258,11 @@ type peer struct {
 	conn       net.Conn
 	gen        uint64 // connection generation, guards stale readers
 	closed     bool
+	dead       bool // peer declared Dead: no dialing, no queueing, ever again
+	probe      bool // monitor requested a ping frame on the live connection
 	full       bool // inside a queue-overflow episode (one trace event each)
+	backoffCur time.Duration // last reconnect backoff used (observable for tests)
+	health     *peerHealth
 
 	// pinLo..pinHi (inclusive, 0 = none) is the seq range the pump is
 	// writing outside the lock. Frames retired while pinned are removed
@@ -275,13 +306,23 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		flushDelay: cfg.FlushDelay,
 		unbatched:  cfg.Unbatched,
 		dur:        cfg.Durable,
+		health:     cfg.Health.norm(),
 		handlers:   make(map[ids.PID]transport.Handler),
 		peers:      make(map[int]*peer),
 		inbound:    make(map[int]*inbound),
 		conns:      make(map[net.Conn]struct{}),
+		inConns:    make(map[net.Conn]int),
 		ackFlush:   make(map[net.Conn]func()),
+		peerHealth: make(map[int]*peerHealth),
+		healthStop: make(chan struct{}),
+		healthDone: make(chan struct{}),
 	}
 	n.idle = sync.NewCond(&n.mu)
+	if n.health.enabled() {
+		go n.monitor()
+	} else {
+		close(n.healthDone)
+	}
 	n.resume(cfg.Resume)
 	for id, addr := range cfg.Peers {
 		if id != cfg.ID {
@@ -369,7 +410,7 @@ func (n *Node) peer(id int) *peer {
 	defer n.mu.Unlock()
 	p := n.peers[id]
 	if p == nil {
-		p = &peer{n: n, id: id}
+		p = &peer{n: n, id: id, health: n.healthOf(id)}
 		p.cond = sync.NewCond(&p.mu)
 		n.peers[id] = p
 		go p.run()
@@ -446,9 +487,13 @@ func (n *Node) Send(m *msg.Message) {
 	n.mu.Unlock()
 
 	p.mu.Lock()
-	if p.closed {
+	if p.closed || p.dead {
+		dead := p.dead
 		p.mu.Unlock()
 		putEncodeBuf(eb)
+		if dead {
+			n.deadDrops.Add(1)
+		}
 		n.retire(1)
 		return
 	}
@@ -560,6 +605,8 @@ func (n *Node) Close() {
 	}
 	n.mu.Unlock()
 
+	close(n.healthStop)
+	<-n.healthDone
 	n.ln.Close()
 	// Graceful-teardown ack flush: tell every sender how far we got
 	// before severing its connection, so delivered frames do not linger
@@ -628,6 +675,16 @@ func (n *Node) WireStats() WireStats {
 		Duplicates: n.duplicates.Load(), CRCErrors: n.crcErrors.Load(),
 		DialFailures: n.dialFails.Load(),
 		QueueFull:    n.queueFull.Load(), Flushes: n.flushes.Load(),
+		ProbesSent: n.probesSent.Load(), ProbesRecv: n.probesRecv.Load(),
+		DeadDrops: n.deadDrops.Load(),
+	}
+	for _, h := range n.healthSnapshot() {
+		switch PeerState(h.state.Load()) {
+		case PeerSuspect:
+			s.PeersSuspect++
+		case PeerDead:
+			s.PeersDead++
+		}
 	}
 	if n.dur != nil {
 		s.Durable = true
@@ -852,13 +909,28 @@ func (n *Node) serveConn(c net.Conn) {
 	from := int(from64)
 	c.SetReadDeadline(time.Time{})
 
+	h := n.healthOf(from)
+	if PeerState(h.state.Load()) == PeerDead {
+		// Dead is terminal: a peer this node has written off may not
+		// re-enter the seq stream (its assumptions are already denied).
+		n.event("wire: node %d rejected connection from dead node %d", n.id, from)
+		return
+	}
+	n.heard(h)
+
 	n.mu.Lock()
 	in := n.inbound[from]
 	if in == nil {
 		in = &inbound{}
 		n.inbound[from] = in
 	}
+	n.inConns[c] = from
 	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inConns, c)
+		n.mu.Unlock()
+	}()
 
 	// Tell the sender where to resume. A write mutex serializes the
 	// helloAck and all later acks against the idle-flush goroutine.
@@ -875,31 +947,38 @@ func (n *Node) serveConn(c net.Conn) {
 	}
 	n.event("wire: node %d accepted node %d from %s (resume seq=%d)", n.id, from, c.RemoteAddr(), resume)
 
-	sendAck := func() {
+	// force makes sendAck write even when nothing new was delivered: a
+	// ping frame must produce an observable response, and a duplicate
+	// cumulative ack is harmless to the sender's prune.
+	sendAck := func(force bool) {
 		in.mu.Lock()
 		seq := in.delivered
 		stale := seq == in.acked
 		in.mu.Unlock()
-		if stale {
+		if stale && !force {
 			return
 		}
-		// An ack licenses the sender to forget these frames, so their
-		// Delivered records must hit stable storage first. The barrier is
-		// taken outside in.mu; the ack covers exactly the watermark read
-		// before it (a later frame's record may be unsynced).
-		if n.dur != nil {
-			if err := n.dur.SyncForAck(); err != nil {
-				n.event("wire: node %d ack withheld from node %d: wal sync: %v", n.id, from, err)
+		if !stale {
+			// An ack licenses the sender to forget these frames, so their
+			// Delivered records must hit stable storage first. The barrier is
+			// taken outside in.mu; the ack covers exactly the watermark read
+			// before it (a later frame's record may be unsynced).
+			if n.dur != nil {
+				if err := n.dur.SyncForAck(); err != nil {
+					n.event("wire: node %d ack withheld from node %d: wal sync: %v", n.id, from, err)
+					return
+				}
+			}
+			in.mu.Lock()
+			if seq > in.acked {
+				in.acked = seq
+			} else if !force {
+				in.mu.Unlock()
 				return
 			}
-		}
-		in.mu.Lock()
-		if seq <= in.acked {
+			seq = in.acked
 			in.mu.Unlock()
-			return
 		}
-		in.acked = seq
-		in.mu.Unlock()
 		wmu.Lock()
 		werr := n.writeFrame(c, frameAck, seqPayload(seq))
 		wmu.Unlock()
@@ -914,9 +993,9 @@ func (n *Node) serveConn(c net.Conn) {
 	// the sender's resend queue to come back as duplicates after the
 	// next handshake. Registering the flusher lets Node.Close run it
 	// while the connection is still writable.
-	defer sendAck()
+	defer sendAck(false)
 	n.mu.Lock()
-	n.ackFlush[c] = sendAck
+	n.ackFlush[c] = func() { sendAck(false) }
 	n.mu.Unlock()
 	defer func() {
 		n.mu.Lock()
@@ -936,7 +1015,7 @@ func (n *Node) serveConn(c net.Conn) {
 			case <-done:
 				return
 			case <-t.C:
-				sendAck()
+				sendAck(false)
 			}
 		}
 	}()
@@ -948,6 +1027,12 @@ func (n *Node) serveConn(c net.Conn) {
 				n.event("wire: node %d lost connection from node %d: %v", n.id, from, err)
 			}
 			return
+		}
+		n.heard(h)
+		if ftype == framePing {
+			n.probesRecv.Add(1)
+			sendAck(true)
+			continue
 		}
 		if ftype != frameMsg {
 			n.event("wire: node %d got unexpected frame type %d from node %d", n.id, ftype, from)
@@ -1011,7 +1096,7 @@ func (n *Node) serveConn(c net.Conn) {
 		}
 		in.mu.Unlock()
 		if pending >= ackEvery {
-			sendAck()
+			sendAck(false)
 		}
 	}
 }
@@ -1029,49 +1114,61 @@ func (p *peer) run() {
 	backoff := backoffInitial
 	for {
 		p.mu.Lock()
-		for p.addr == "" && !p.closed {
+		for p.addr == "" && !p.closed && !p.dead {
 			p.cond.Wait()
 		}
-		if p.closed {
+		if p.closed || p.dead {
 			p.mu.Unlock()
 			return
 		}
 		addr := p.addr
+		p.backoffCur = backoff
 		p.mu.Unlock()
 
 		conn, err := p.dial(addr)
 		if err != nil {
 			p.n.dialFails.Add(1)
+			p.health.dialFails.Add(1)
 			p.n.event("wire: node %d dial node %d (%s) failed: %v (retry in %v)", p.n.id, p.id, addr, err, backoff)
 			if p.sleep(jitter(rng, backoff)) {
 				return
 			}
-			backoff *= 2
-			if backoff > backoffMax {
-				backoff = backoffMax
-			}
+			backoff = nextBackoff(backoff)
 			continue
 		}
 		backoff = backoffInitial
+		p.mu.Lock()
+		p.backoffCur = backoff
+		p.mu.Unlock()
 		p.pump(conn)
 		p.n.untrack(conn)
 		p.mu.Lock()
-		closed := p.closed
+		stop := p.closed || p.dead
 		p.mu.Unlock()
-		if closed {
+		if stop {
 			return
 		}
 	}
 }
 
-// sleep waits d, returning true if the peer closed meanwhile.
+// nextBackoff is the reconnect schedule: doubling from backoffInitial,
+// capped at backoffMax. (The actual sleep is jittered ±50%; see jitter.)
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > backoffMax {
+		d = backoffMax
+	}
+	return d
+}
+
+// sleep waits d, returning true if the peer closed or died meanwhile.
 func (p *peer) sleep(d time.Duration) bool {
 	deadline := time.Now().Add(d)
 	for {
 		p.mu.Lock()
-		closed := p.closed
+		stop := p.closed || p.dead
 		p.mu.Unlock()
-		if closed {
+		if stop {
 			return true
 		}
 		remain := time.Until(deadline)
@@ -1121,8 +1218,14 @@ func (p *peer) dial(addr string) (net.Conn, error) {
 		return nil, err
 	}
 	conn.SetDeadline(time.Time{})
+	p.n.heard(p.health) // a completed handshake is evidence of life
 
 	p.mu.Lock()
+	if p.closed || p.dead {
+		p.mu.Unlock()
+		p.n.untrack(conn)
+		return nil, net.ErrClosed
+	}
 	retired := p.pruneLocked(acked)
 	resend := len(p.queue)
 	p.cursor = 0
@@ -1189,6 +1292,7 @@ func (p *peer) readAcks(conn net.Conn, gen uint64) {
 			break
 		}
 		p.n.acksRecv.Add(1)
+		p.n.heard(p.health)
 		p.mu.Lock()
 		retired := p.pruneLocked(acked)
 		p.mu.Unlock()
@@ -1220,13 +1324,32 @@ func (p *peer) pump(conn net.Conn) {
 	for {
 		p.mu.Lock()
 		p.pinLo, p.pinHi = 0, 0
-		for p.cursor >= len(p.queue) && !p.closed && p.conn == conn {
+		for p.cursor >= len(p.queue) && !p.probe && !p.closed && !p.dead && p.conn == conn {
 			lingered = false
 			p.cond.Wait()
 		}
-		if p.closed || p.conn != conn {
+		if p.closed || p.dead || p.conn != conn {
 			p.mu.Unlock()
 			return
+		}
+		if p.probe {
+			// Pending frames are themselves a heartbeat; a ping frame is
+			// only worth a syscall when the queue has nothing to say.
+			probeOnly := p.cursor >= len(p.queue)
+			p.probe = false
+			if probeOnly {
+				p.mu.Unlock()
+				if err := p.n.writeFrame(bw, framePing, nil); err != nil {
+					p.detach(conn)
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					p.detach(conn)
+					return
+				}
+				p.n.probesSent.Add(1)
+				continue
+			}
 		}
 		// Copy the pending window and pin its seq range: acks may retire
 		// these frames while we write outside the lock, and a retired

@@ -15,8 +15,8 @@ go test ./...
 echo '== go test -shuffle=on (root package: order-independent chaos/e2e suite)'
 go test -shuffle=on -count=1 .
 
-echo '== go test -race (core, netsim, wire, wal, durable, faultwire, oracle)'
-go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/ ./internal/faultwire/ ./internal/oracle/
+echo '== go test -race (core, netsim, wire, wal, durable, faultwire, oracle, harness)'
+go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/ ./internal/faultwire/ ./internal/oracle/ ./internal/harness/
 
 echo '== wire + wal fuzz corpus replay'
 # Replays the seed corpora plus any regression inputs under testdata/fuzz
@@ -41,5 +41,13 @@ echo '== chaos storm smoke (pinned seed)'
 # oracle violation. The seed pins the fault schedule, so a failure here
 # reproduces with the same command.
 go run ./cmd/hopebench chaos --nodes 2 --seed 7 --span 1s --reports 24
+
+echo '== permanent-death chaos smoke (pinned seed)'
+# Same storm shape, but the victim is never restarted: the failure
+# detector must declare it dead, drop its queue, and the speculation
+# leases must auto-deny whatever it stranded. Hangs (then fails on the
+# quiescence deadline), rather than fails fast, if the liveness layer
+# regresses — that hang IS the bug being guarded against.
+go run ./cmd/hopebench chaos --nodes 2 --seed 10 --span 1s --reports 24 --perm-kill
 
 echo 'check: OK'
