@@ -28,6 +28,10 @@ wire:
 # The second storm kills its victim permanently — no restart — and only
 # terminates if the liveness layer (failure detector + speculation
 # leases) resolves everything the dead node stranded.
+# The third storm is membership churn: a dynamic 3-node cluster loses a
+# member to SIGKILL mid-speculation and absorbs a replacement, with the
+# sharded-ownership invariant checked over the survivors' final views.
 chaos:
 	go run ./cmd/hopebench chaos --nodes 3 --seed 42
 	go run ./cmd/hopebench chaos --nodes 2 --seed 10 --span 1s --reports 24 --perm-kill
+	go run ./cmd/hopebench chaos --churn --nodes 3 --seed 3

@@ -13,6 +13,7 @@ package main
 // the full fault plan; re-running with --seed replays it exactly.
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,10 +32,14 @@ func chaosExperiment(args []string) error {
 	span := fs.Duration("span", 2*time.Second, "storm duration")
 	kill := fs.Bool("kill", true, "SIGKILL+restart one durable node mid-storm")
 	permKill := fs.Bool("perm-kill", false, "SIGKILL one node permanently — no restart; the liveness layer must resolve its orphans (overrides --kill)")
+	churn := fs.Bool("churn", false, "membership churn storm instead of a fault storm: a dynamic cluster loses one member to SIGKILL mid-speculation and absorbs a replacement, with sharded-ownership invariants (overrides --kill/--perm-kill)")
 	fsync := fs.String("fsync", "interval", "WAL fsync policy for durable nodes (always|interval|none)")
 	hopedPath := fs.String("hoped", "", "path to the hoped binary (default: $PATH, then `go build`)")
 	pageSize := fs.Int("pagesize", 3, "page size (smaller ⇒ more mispredictions)")
 	reports := fs.Int("reports", 48, "reports per server workload")
+	vnodes := fs.Int("vnodes", 0, "churn: ring virtual nodes per member (0 = cluster default)")
+	deadAfter := fs.Duration("dead-after", 0, "churn: members' failure-detector death threshold (0 = harness default 1s)")
+	jsonOut := fs.String("json", "", "churn: also write the results as JSON to this file")
 	planOnly := fs.Bool("plan", false, "print each seed's fault plan and exit (no processes spawned)")
 	verbose := fs.Bool("v", false, "narrate the storm as it runs")
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +66,11 @@ func chaosExperiment(args []string) error {
 		if seedList, err = oracle.ParseSeeds(spec, []int64{1}); err != nil {
 			return fmt.Errorf("chaos seeds: %w", err)
 		}
+	}
+
+	if *churn {
+		return churnStorms(seedList, *nodes, *vnodes, *deadAfter, *fsync, *hopedPath,
+			*pageSize, *reports, *jsonOut, *verbose)
 	}
 
 	if *planOnly {
@@ -127,6 +137,106 @@ func chaosExperiment(args []string) error {
 		fmt.Println("all invariants held: quiescence, verdict agreement, sequential layouts, per-pair FIFO, liveness (no dead-owned speculation)")
 	} else {
 		fmt.Println("all invariants held: quiescence, verdict agreement, sequential layouts, per-pair FIFO")
+	}
+	return nil
+}
+
+// churnRun is one seed's churn storm, serialized to --json
+// (BENCH_cluster.json).
+type churnRun struct {
+	Seed        int64   `json:"seed"`
+	Nodes       int     `json:"nodes"`
+	Killed      int     `json:"killed"`
+	Joined      int     `json:"joined"`
+	DetectP50NS int64   `json:"handoff_detect_p50_ns"`
+	DetectP99NS int64   `json:"handoff_detect_p99_ns"`
+	ResolveNS   int64   `json:"handoff_resolve_ns"`
+	JoinLagNS   int64   `json:"join_absorb_ns"`
+	JoinShare   float64 `json:"join_ring_share"`
+	Rollbacks   int     `json:"rollbacks"`
+	RollbackPct float64 `json:"rollback_rate_pct"`
+	AutoDenied  int64   `json:"auto_denied"`
+	FinalEpoch  uint64  `json:"final_epoch"`
+	ElapsedNS   int64   `json:"elapsed_ns"`
+}
+
+type churnReport struct {
+	Benchmark string     `json:"benchmark"`
+	Setup     string     `json:"setup"`
+	Command   string     `json:"command"`
+	Date      string     `json:"date"`
+	Runs      []churnRun `json:"runs"`
+}
+
+// churnStorms runs one membership-churn storm per seed: dynamic
+// cluster from one seed node, SIGKILL of a member mid-speculation,
+// replacement join, ownership invariants over the final views.
+func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
+	fsync, hopedPath string, pageSize, reports int, jsonOut string, verbose bool) error {
+	fmt.Println("CHAOS --churn — membership churn over a dynamic hoped cluster")
+	fmt.Printf("workload: %d reports × %d members, pageSize %d, fsync=%s; SIGKILL one member mid-speculation, join a replacement\n",
+		reports, nodes, pageSize, fsync)
+	bin, cleanup, err := resolveHoped(hopedPath)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	report := churnReport{
+		Benchmark: "Cluster churn: ownership handoff latency + rollback cost, cmd/hopebench chaos --churn",
+		Setup: fmt.Sprintf("%d-node dynamic cluster from one seed, %d-report workload per member; "+
+			"one member SIGKILLed mid-speculation, one replacement joined; "+
+			"detect = kill → survivor's dead view, resolve = kill → orphaned speculation denied and quiesced",
+			nodes, reports),
+		Command: "hopebench chaos --churn [--nodes N] [--seed S] --json ...",
+		Date:    time.Now().Format("2006-01-02"),
+	}
+	fmt.Printf("%-12s %10s %12s %12s %12s %10s %10s %8s %8s\n",
+		"seed", "elapsed", "detect-p50", "detect-p99", "resolve", "join-lag", "share", "rollbk", "denied")
+	for _, s := range seedList {
+		cfg := harness.ChurnConfig{
+			Seed: s, Nodes: nodes, HopedBin: bin, Fsync: fsync,
+			PageSize: pageSize, Reports: reports, VNodes: vnodes, DeadAfter: deadAfter,
+		}
+		if verbose {
+			cfg.Log = os.Stderr
+		}
+		res, err := harness.RunChurn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churn seed %d FAILED: %v\nreplay: hopebench chaos --churn --nodes %d --seed %d\n",
+				s, err, nodes, s)
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		// Rollback rate: worker restarts per report across every
+		// workload the storm drove (n workloads × reports each).
+		rate := 100 * float64(res.Rollbacks) / float64(nodes*reports)
+		report.Runs = append(report.Runs, churnRun{
+			Seed: s, Nodes: nodes, Killed: res.Killed, Joined: res.Joined,
+			DetectP50NS: res.DetectP50.Nanoseconds(), DetectP99NS: res.DetectP99.Nanoseconds(),
+			ResolveNS: res.Resolve.Nanoseconds(), JoinLagNS: res.JoinLag.Nanoseconds(),
+			JoinShare: res.JoinShare, Rollbacks: res.Rollbacks, RollbackPct: rate,
+			AutoDenied: res.AutoDenied, FinalEpoch: res.FinalEpoch, ElapsedNS: res.Elapsed.Nanoseconds(),
+		})
+		fmt.Printf("%-12d %10v %12v %12v %12v %10v %9.1f%% %8d %8d\n",
+			s, res.Elapsed.Round(time.Millisecond),
+			res.DetectP50.Round(time.Millisecond), res.DetectP99.Round(time.Millisecond),
+			res.Resolve.Round(time.Millisecond), res.JoinLag.Round(time.Millisecond),
+			100*res.JoinShare, res.Rollbacks, res.AutoDenied)
+		fmt.Printf("  killed node %d, joined node %d, final epoch %d live %v, rollback rate %.1f%%\n",
+			res.Killed, res.Joined, res.FinalEpoch, res.FinalLive, rate)
+	}
+	fmt.Println("all invariants held: view agreement, sharded ownership (agreed ring, live owners),")
+	fmt.Println("liveness (no dead-owned speculation), verdict agreement, sequential layouts, per-pair FIFO")
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
 	}
 	return nil
 }

@@ -38,6 +38,22 @@
 // WAL-durable on a durable node — a restart does not resurrect them.
 // --stats-every prints wire counters and per-peer health to stderr
 // periodically.
+//
+// With --seed-node or --join the node runs dynamic cluster membership
+// instead of a purely static peer set: views are gossiped piggyback on
+// the wire connections, the failure detector's verdicts feed the view,
+// and a consistent-hash ring over the live members shards AID
+// ownership. A fresh cluster starts from one node run with --seed-node;
+// everyone else points --join at any live member and is absorbed. Every
+// view change prints a machine-parseable line:
+//
+//	HOPED VIEW node=2 epoch=5 live=0,1,2 dead=3
+//
+// and a node the cluster has declared dead (a partitioned node gossiped
+// about posthumously) prints HOPED EVICTED and shuts down rather than
+// serve a shard it no longer owns. On a durable node the published view
+// epoch is WAL-logged, so a restart resumes past it and can never
+// gossip a view staler than one it already announced.
 package main
 
 import (
@@ -52,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hope-dist/hope/internal/cluster"
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/durable"
 	"github.com/hope-dist/hope/internal/ids"
@@ -93,7 +110,20 @@ func (p peerMap) Set(v string) error {
 	if n < 0 || n >= wire.MaxNodes {
 		return fmt.Errorf("node id %d out of range [0,%d)", n, wire.MaxNodes)
 	}
+	if prev, dup := p[n]; dup {
+		return fmt.Errorf("duplicate node id %d (already mapped to %s)", n, prev)
+	}
 	p[n] = addr
+	return nil
+}
+
+// checkNotSelf rejects a peer/join entry naming this node itself: a
+// node that dials its own listen address as a peer produces a silent
+// routing loop, so the mistake must die at flag validation.
+func checkNotSelf(flagName string, m peerMap, self int) error {
+	if addr, ok := m[self]; ok {
+		return fmt.Errorf("%s %d=%s names this node itself (--node %d); list only other nodes", flagName, self, addr, self)
+	}
 	return nil
 }
 
@@ -121,13 +151,30 @@ func run(args []string) error {
 	deadAfter := fs.Duration("dead-after", 0, "declare a silent peer Dead after this silence: drop its queue, stop dialing, auto-deny what it owned (0 = failure detector off)")
 	lease := fs.Duration("lease", 0, "auto-deny any assumption still speculative after this long (0 = speculation leases off)")
 	statsEvery := fs.Duration("stats-every", 0, "print wire counters and per-peer health to stderr at this interval (0 = off)")
+	seedNode := fs.Bool("seed-node", false, "bootstrap a fresh cluster as its seed (enables dynamic membership)")
+	gossipEvery := fs.Duration("gossip-every", 0, "membership gossip period (0 = cluster default 150ms)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default; must match cluster-wide)")
 	peers := peerMap{}
 	fs.Var(peers, "peer", "peer address as N=host:port (repeatable)")
+	join := peerMap{}
+	fs.Var(join, "join", "cluster seed contact as N=host:port (repeatable; enables dynamic membership)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *node < 0 || *node >= wire.MaxNodes {
 		return fmt.Errorf("--node %d out of range [0,%d)", *node, wire.MaxNodes)
+	}
+	// Self-references can only be caught after parsing: flag order is
+	// free, so --peer 2=... may well precede --node 2.
+	if err := checkNotSelf("--peer", peers, *node); err != nil {
+		return err
+	}
+	if err := checkNotSelf("--join", join, *node); err != nil {
+		return err
+	}
+	clustered := *seedNode || len(join) > 0
+	if !clustered && (*gossipEvery != 0 || *vnodes != 0) {
+		return fmt.Errorf("--gossip-every/--vnodes need cluster mode (--seed-node or --join)")
 	}
 
 	// A capped recorder keeps the tail of the transport's event stream
@@ -171,10 +218,12 @@ func run(args []string) error {
 		FlushDelay: *flushDelay,
 		Unbatched:  *unbatched,
 	}
-	// engRef breaks the construction cycle between the detector and the
-	// engine: the node needs its Health config now, the dead-peer callback
-	// needs the engine, and the engine needs the node as its transport.
+	// engRef and mgrRef break the construction cycles between the node,
+	// the engine, and the membership manager: the node needs its Health
+	// and Gossip configs now, the callbacks need the engine and manager,
+	// and both of those need the node as their transport.
 	var engRef atomic.Pointer[core.Engine]
+	var mgrRef atomic.Pointer[cluster.Manager]
 	if *deadAfter > 0 {
 		wcfg.Health = wire.HealthConfig{
 			SuspectAfter: *suspectAfter,
@@ -185,6 +234,38 @@ func run(args []string) error {
 						fmt.Sprintf("node %d declared dead", dead))
 				}
 			},
+		}
+	}
+	if clustered {
+		// Gossip piggybacks on the wire connections; payloads arriving
+		// before the manager exists are dropped — anti-entropy repairs.
+		wcfg.Gossip = wire.GossipConfig{
+			OnPayload: func(from int, payload []byte) {
+				if m := mgrRef.Load(); m != nil {
+					m.HandleGossip(from, payload)
+				}
+			},
+			Reply: func(from int) []byte {
+				if m := mgrRef.Load(); m != nil {
+					return m.GossipReply(from)
+				}
+				return nil
+			},
+		}
+		// First-hand failure-detector verdicts feed the membership view.
+		wcfg.Health.OnPeerState = func(peer int, st wire.PeerState) {
+			m := mgrRef.Load()
+			if m == nil {
+				return
+			}
+			switch st {
+			case wire.PeerAlive:
+				m.ObserveState(peer, cluster.StateAlive)
+			case wire.PeerSuspect:
+				m.ObserveState(peer, cluster.StateSuspect)
+			case wire.PeerDead:
+				m.ObserveState(peer, cluster.StateDead)
+			}
 		}
 	}
 	ecfg := core.Config{PIDBase: wire.PIDBase(*node), Tracer: tracer}
@@ -255,6 +336,61 @@ func run(args []string) error {
 		n.ReleaseInbound()
 	}
 
+	// Dynamic membership: the manager folds gossip and detector evidence
+	// into an epoch-numbered view and keeps the ownership ring in sync.
+	// Death in the view is the ownership-handoff trigger — the dead
+	// member's wire state is torn down by fiat and everything it owned is
+	// auto-denied, so dependents roll back instead of waiting forever.
+	var mgr *cluster.Manager
+	evicted := make(chan uint64, 1)
+	if clustered {
+		mcfg := cluster.Config{
+			Self:      *node,
+			Addr:      n.Addr(),
+			Seeds:     join,
+			Interval:  *gossipEvery,
+			VNodes:    *vnodes,
+			Transport: n,
+			Tracer:    tracer,
+			OnChange: func(v cluster.View, _ *cluster.Ring) {
+				fmt.Println(cluster.FormatViewLine(*node, v))
+			},
+			OnDeaths: func(dead []int, v cluster.View, _ *cluster.Ring) {
+				for _, id := range dead {
+					n.DeclarePeerDead(id)
+					if e := engRef.Load(); e != nil {
+						e.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == id },
+							fmt.Sprintf("node %d dead in view e%d", id, v.Epoch))
+					}
+				}
+			},
+			OnEvicted: func(v cluster.View) {
+				// The cluster declared us dead. Serving on would mean a
+				// zombie owner of a shard the survivors re-owned; announce
+				// and shut down instead.
+				fmt.Printf("HOPED EVICTED node=%d epoch=%d\n", *node, v.Epoch)
+				select {
+				case evicted <- v.Epoch:
+				default:
+				}
+			},
+		}
+		if store != nil {
+			mcfg.EpochFloor = recov.ViewEpoch
+			mcfg.Persist = store.ViewChanged
+		}
+		mgr, err = cluster.New(mcfg)
+		if err != nil {
+			return err
+		}
+		defer mgr.Stop()
+		mgrRef.Store(mgr)
+		// Announce the bootstrap view before READY so watchers always see
+		// at least one VIEW line (OnChange only fires on changes).
+		fmt.Println(cluster.FormatViewLine(*node, mgr.View()))
+		mgr.Start()
+	}
+
 	// The READY line is the contract with whoever spawned us (see
 	// cmd/hopebench's wire mode): resolved address and service PID.
 	fmt.Printf("HOPED READY node=%d addr=%s pid=%d\n", *node, n.Addr(), rootPID)
@@ -274,6 +410,9 @@ func run(args []string) error {
 					for _, ph := range n.PeerHealth() {
 						fmt.Fprintf(&b, " [%s]", ph)
 					}
+					if mgr != nil {
+						fmt.Fprintf(&b, " cluster[%v]", mgr.Stats())
+					}
 					fmt.Fprintf(os.Stderr, "hoped: node %d stats: %v denied=%d%s\n",
 						*node, n.WireStats(), eng.AutoDenied(), b.String())
 				}
@@ -283,8 +422,12 @@ func run(args []string) error {
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
-	fmt.Fprintf(os.Stderr, "hoped: node %d caught %v, draining (again to force exit)\n", *node, got)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "hoped: node %d caught %v, draining (again to force exit)\n", *node, got)
+	case epoch := <-evicted:
+		fmt.Fprintf(os.Stderr, "hoped: node %d evicted from the cluster at epoch %d, draining (SIGINT to force exit)\n", *node, epoch)
+	}
 	go func() {
 		s := <-sig
 		fmt.Fprintf(os.Stderr, "hoped: node %d caught %v during shutdown, forcing exit\n", *node, s)
@@ -301,6 +444,9 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "hoped: node %d shutting down; net %v; wire %v\n",
 		*node, n.Stats(), n.WireStats())
+	if mgr != nil {
+		fmt.Fprintf(os.Stderr, "hoped: node %d cluster %v\n", *node, mgr.Stats())
+	}
 	if store != nil {
 		if errs := store.EncodeErrors(); errs > 0 {
 			fmt.Fprintf(os.Stderr, "hoped: node %d had %d WAL encode failures (affected processes restart fresh)\n",

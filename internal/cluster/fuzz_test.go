@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzClusterView fuzzes the gossip view codec: whatever bytes arrive
+// (truncated payloads, epoch-regressing views, corrupt lengths),
+// DecodeView must either reject them or produce a view that (a)
+// satisfies every documented invariant and (b) survives an
+// encode/decode round trip unchanged — so a decoded view can always be
+// re-gossiped, and no malformed payload can smuggle an inconsistent
+// view into Merge.
+func FuzzClusterView(f *testing.F) {
+	// Valid payloads of increasing shape.
+	for _, v := range []View{
+		{Epoch: 0},
+		{Epoch: 1, Members: []Member{{ID: 0, Addr: "127.0.0.1:7000", State: StateAlive, Epoch: 1}}},
+		sampleView(),
+	} {
+		data, err := EncodeView(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Truncations of a valid payload.
+		if len(data) > 2 {
+			f.Add(data[:len(data)/2])
+			f.Add(data[:len(data)-1])
+		}
+	}
+	// An epoch-regressing view (member epoch 5 > view epoch 3).
+	f.Add([]byte{viewVersion, 3, 1, 0, byte(StateAlive), 5, 0})
+	// Wrong version, huge count, huge address length.
+	f.Add([]byte{viewVersion + 1, 1, 0})
+	f.Add([]byte{viewVersion, 1, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{viewVersion, 1, 1, 0, 0, 1, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeView(data)
+		if err != nil {
+			return // rejection is always fine
+		}
+		// Invariants of any accepted view.
+		prev := -1
+		for _, m := range v.Members {
+			if m.ID <= prev || m.ID >= MaxID {
+				t.Fatalf("accepted out-of-order/range member %d (prev %d)", m.ID, prev)
+			}
+			prev = m.ID
+			if m.State > StateDead {
+				t.Fatalf("accepted invalid state %d", m.State)
+			}
+			if m.Epoch > v.Epoch {
+				t.Fatalf("accepted member epoch %d above view epoch %d", m.Epoch, v.Epoch)
+			}
+			if len(m.Addr) > maxViewAddr {
+				t.Fatalf("accepted %d-byte address", len(m.Addr))
+			}
+		}
+		// An accepted view re-encodes, and the round trip is lossless.
+		// (Byte-exactness is not required: Uvarint tolerates non-minimal
+		// varints, so two encodings can name the same view.)
+		re, err := EncodeView(v)
+		if err != nil {
+			t.Fatalf("accepted view does not re-encode: %v", err)
+		}
+		back, err := DecodeView(re)
+		if err != nil {
+			t.Fatalf("re-encoded view does not decode: %v", err)
+		}
+		if back.Epoch != v.Epoch || !reflect.DeepEqual(back.Members, v.Members) {
+			t.Fatalf("round trip mismatch:\n in  %v\n out %v", v, back)
+		}
+		// Merging an accepted view must never corrupt a table.
+		tab := NewTable(0, "self", 0)
+		tab.Merge(v)
+		if _, err := EncodeView(tab.View()); err != nil {
+			t.Fatalf("merge produced an unencodable table view: %v", err)
+		}
+	})
+}

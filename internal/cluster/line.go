@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ViewLinePrefix marks the machine-parseable view-change lines a
+// clustered hoped prints on stdout. The chaos harness tails them to
+// observe each node's membership without any side channel — the same
+// contract style as the HOPED READY line.
+const ViewLinePrefix = "HOPED VIEW"
+
+// FormatViewLine renders one view-change announcement:
+//
+//	HOPED VIEW node=2 epoch=5 live=0,1,2 dead=3
+//
+// live and dead are comma-separated sorted ID lists ("-" when empty,
+// so every field is always present).
+func FormatViewLine(node int, v View) string {
+	return fmt.Sprintf("%s node=%d epoch=%d live=%s dead=%s",
+		ViewLinePrefix, node, v.Epoch, idList(v.Live()), idList(v.Dead()))
+}
+
+func idList(ids []int) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ViewLine is one parsed view announcement.
+type ViewLine struct {
+	Node  int
+	Epoch uint64
+	Live  []int
+	Dead  []int
+}
+
+// ParseViewLine parses a FormatViewLine output. ok is false for lines
+// that are not view announcements; malformed announcements error.
+func ParseViewLine(line string) (ViewLine, bool, error) {
+	var vl ViewLine
+	if !strings.HasPrefix(line, ViewLinePrefix+" ") {
+		return vl, false, nil
+	}
+	seen := 0
+	for _, f := range strings.Fields(line[len(ViewLinePrefix)+1:]) {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return vl, false, fmt.Errorf("cluster: bad view line field %q in %q", f, line)
+		}
+		var err error
+		switch key {
+		case "node":
+			vl.Node, err = strconv.Atoi(val)
+		case "epoch":
+			vl.Epoch, err = strconv.ParseUint(val, 10, 64)
+		case "live":
+			vl.Live, err = parseIDList(val)
+		case "dead":
+			vl.Dead, err = parseIDList(val)
+		default:
+			continue // forward compatibility: ignore unknown fields
+		}
+		if err != nil {
+			return vl, false, fmt.Errorf("cluster: bad view line %q: %w", line, err)
+		}
+		seen++
+	}
+	if seen < 4 {
+		return vl, false, fmt.Errorf("cluster: incomplete view line %q", line)
+	}
+	return vl, true, nil
+}
+
+func parseIDList(s string) ([]int, error) {
+	if s == "-" || s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

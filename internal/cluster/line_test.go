@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestViewLineRoundTrip(t *testing.T) {
+	v := sampleView()
+	line := FormatViewLine(2, v)
+	vl, ok, err := ParseViewLine(line)
+	if err != nil || !ok {
+		t.Fatalf("parse %q: ok=%v err=%v", line, ok, err)
+	}
+	want := ViewLine{Node: 2, Epoch: 9, Live: []int{0, 2}, Dead: []int{5}}
+	if !reflect.DeepEqual(vl, want) {
+		t.Fatalf("parsed %+v, want %+v", vl, want)
+	}
+}
+
+func TestViewLineEmptyLists(t *testing.T) {
+	line := FormatViewLine(0, View{Epoch: 1, Members: []Member{{ID: 0, State: StateAlive, Epoch: 1}}})
+	vl, ok, err := ParseViewLine(line)
+	if err != nil || !ok {
+		t.Fatalf("parse %q: ok=%v err=%v", line, ok, err)
+	}
+	if !reflect.DeepEqual(vl.Live, []int{0}) || vl.Dead != nil {
+		t.Fatalf("parsed %+v", vl)
+	}
+}
+
+func TestParseViewLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"HOPED VIEW node=1 epoch=2 live=0", // missing dead
+		"HOPED VIEW node=x epoch=2 live=0 dead=-",
+		"HOPED VIEW node=1 epoch=2 live=0,b dead=-",
+		"HOPED VIEW garbage",
+	} {
+		if _, ok, err := ParseViewLine(line); err == nil && ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	for _, line := range []string{"HOPED READY node=1", "", "something else"} {
+		if _, ok, err := ParseViewLine(line); ok || err != nil {
+			t.Errorf("non-view line %q: ok=%v err=%v", line, ok, err)
+		}
+	}
+}
+
+func TestParseViewLineForwardCompat(t *testing.T) {
+	vl, ok, err := ParseViewLine("HOPED VIEW node=1 epoch=2 live=1,2 dead=- shard=abc")
+	if err != nil || !ok {
+		t.Fatalf("unknown field broke parsing: ok=%v err=%v", ok, err)
+	}
+	if vl.Node != 1 || vl.Epoch != 2 {
+		t.Fatalf("parsed %+v", vl)
+	}
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNet is an in-memory Transport shared by a set of managers:
+// Gossip delivers synchronously to the target's HandleGossip and feeds
+// the push-pull reply back, exactly as the wire layer does over TCP.
+type fakeNet struct {
+	mu    sync.Mutex
+	nodes map[int]*Manager
+	addrs map[int]map[int]string // per-node learned addresses
+	drop  map[int]bool           // unreachable nodes
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{
+		nodes: make(map[int]*Manager),
+		addrs: make(map[int]map[int]string),
+		drop:  make(map[int]bool),
+	}
+}
+
+// port is one node's endpoint on the fakeNet.
+type port struct {
+	net  *fakeNet
+	self int
+}
+
+func (p *port) SetPeer(id int, addr string) {
+	p.net.mu.Lock()
+	defer p.net.mu.Unlock()
+	m := p.net.addrs[p.self]
+	if m == nil {
+		m = make(map[int]string)
+		p.net.addrs[p.self] = m
+	}
+	m[id] = addr
+}
+
+func (p *port) Gossip(to int, payload []byte) bool {
+	p.net.mu.Lock()
+	target := p.net.nodes[to]
+	dead := p.net.drop[to]
+	p.net.mu.Unlock()
+	if target == nil || dead {
+		return false
+	}
+	target.HandleGossip(p.self, payload)
+	if reply := target.GossipReply(p.self); reply != nil {
+		p.net.mu.Lock()
+		src := p.net.nodes[p.self]
+		p.net.mu.Unlock()
+		if src != nil {
+			src.HandleGossip(to, reply)
+		}
+	}
+	return true
+}
+
+func (n *fakeNet) add(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	cfg.Transport = &port{net: n, self: cfg.Self}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%d): %v", cfg.Self, err)
+	}
+	n.mu.Lock()
+	n.nodes[cfg.Self] = m
+	n.mu.Unlock()
+	return m
+}
+
+// pump runs rounds of gossip by hand (managers are not Started — tests
+// drive time) until every manager converges on the same view or the
+// round budget runs out.
+func (n *fakeNet) pump(t *testing.T, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		n.mu.Lock()
+		ms := make([]*Manager, 0, len(n.nodes))
+		for _, m := range n.nodes {
+			ms = append(ms, m)
+		}
+		n.mu.Unlock()
+		for _, m := range ms {
+			m.gossipRound()
+		}
+		if n.converged() {
+			return
+		}
+	}
+	t.Fatalf("views did not converge in %d rounds", rounds)
+}
+
+func (n *fakeNet) converged() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var want View
+	first := true
+	for _, m := range n.nodes {
+		v := m.View()
+		if first {
+			want, first = v, false
+			continue
+		}
+		if v.Epoch != want.Epoch || !reflect.DeepEqual(v.Members, want.Members) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestManagerBootstrapConvergence(t *testing.T) {
+	net := newFakeNet()
+	seed := net.add(t, Config{Self: 1, Addr: "a1", Fanout: 8})
+	n2 := net.add(t, Config{Self: 2, Addr: "a2", Fanout: 8, Seeds: map[int]string{1: "a1"}})
+	n3 := net.add(t, Config{Self: 3, Addr: "a3", Fanout: 8, Seeds: map[int]string{1: "a1"}})
+
+	net.pump(t, 10)
+
+	for _, m := range []*Manager{seed, n2, n3} {
+		if got := m.View().Live(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+			t.Fatalf("node %d live = %v", m.cfg.Self, got)
+		}
+	}
+	// Nodes 2 and 3 never configured each other, yet both learned the
+	// other's address through the seed — that's the join story.
+	net.mu.Lock()
+	a23 := net.addrs[2][3]
+	a32 := net.addrs[3][2]
+	net.mu.Unlock()
+	if a23 != "a3" || a32 != "a2" {
+		t.Fatalf("address discovery failed: 2 sees 3 at %q, 3 sees 2 at %q", a23, a32)
+	}
+	// All three compute the same owner for every key.
+	for key := uint64(0); key < 512; key++ {
+		o1, _ := seed.Owner(key)
+		o2, _ := n2.Owner(key)
+		o3, _ := n3.Owner(key)
+		if o1 != o2 || o2 != o3 {
+			t.Fatalf("key %d: owners %d/%d/%d disagree", key, o1, o2, o3)
+		}
+	}
+}
+
+func TestManagerDeathHandoff(t *testing.T) {
+	net := newFakeNet()
+	var (
+		mu     sync.Mutex
+		deaths []int
+		views  []uint64
+	)
+	seed := net.add(t, Config{
+		Self: 1, Addr: "a1", Fanout: 8,
+		OnDeaths: func(dead []int, view View, ring *Ring) {
+			mu.Lock()
+			deaths = append(deaths, dead...)
+			mu.Unlock()
+		},
+		Persist: func(epoch uint64, live []int) {
+			mu.Lock()
+			views = append(views, epoch)
+			mu.Unlock()
+		},
+	})
+	n2 := net.add(t, Config{Self: 2, Addr: "a2", Fanout: 8, Seeds: map[int]string{1: "a1"}})
+	n3 := net.add(t, Config{Self: 3, Addr: "a3", Fanout: 8, Seeds: map[int]string{1: "a1"}})
+	net.pump(t, 10)
+
+	// Node 3 crashes; node 2's detector sees it first. The death must
+	// reach the seed by gossip, fire OnDeaths once, and shrink the ring.
+	net.mu.Lock()
+	net.drop[3] = true
+	net.mu.Unlock()
+	n2.ObserveState(3, StateSuspect) // advisory — no handoff yet
+	mu.Lock()
+	nd := len(deaths)
+	mu.Unlock()
+	if nd != 0 {
+		t.Fatalf("suspicion triggered handoff")
+	}
+	n2.ObserveState(3, StateDead)
+	for r := 0; r < 10; r++ {
+		seed.gossipRound()
+		n2.gossipRound()
+	}
+	mu.Lock()
+	gotDeaths := append([]int(nil), deaths...)
+	gotViews := append([]uint64(nil), views...)
+	mu.Unlock()
+	if !reflect.DeepEqual(gotDeaths, []int{3}) {
+		t.Fatalf("seed OnDeaths = %v, want [3] exactly once", gotDeaths)
+	}
+	if len(gotViews) == 0 {
+		t.Fatalf("no view epochs persisted")
+	}
+	if got := seed.Ring().Live(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("seed ring live = %v", got)
+	}
+	for key := uint64(0); key < 512; key++ {
+		if o, ok := seed.Owner(key); !ok || o == 3 {
+			t.Fatalf("key %d still owned by dead member (owner=%d ok=%v)", key, o, ok)
+		}
+	}
+	// n3's own manager, were its process still around, learns of its
+	// eviction on the first merge.
+	var evicted bool
+	n3.cfg.OnEvicted = func(View) { evicted = true }
+	payload, _ := EncodeView(seed.View())
+	n3.HandleGossip(1, payload)
+	if !evicted || !n3.Evicted() {
+		t.Fatalf("node 3 did not learn of its eviction")
+	}
+}
+
+func TestManagerRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Self: -1, Transport: &port{}}); err == nil {
+		t.Fatalf("accepted negative self")
+	}
+	if _, err := New(Config{Self: MaxID, Transport: &port{}}); err == nil {
+		t.Fatalf("accepted out-of-range self")
+	}
+	if _, err := New(Config{Self: 1}); err == nil {
+		t.Fatalf("accepted nil transport")
+	}
+	if _, err := New(Config{Self: 1, Transport: &port{}, Seeds: map[int]string{MaxID: "x"}}); err == nil {
+		t.Fatalf("accepted out-of-range seed")
+	}
+}
+
+func TestManagerBadGossipCounted(t *testing.T) {
+	net := newFakeNet()
+	m := net.add(t, Config{Self: 1, Addr: "a1"})
+	m.HandleGossip(2, []byte{0xff, 0x00})
+	m.HandleGossip(2, nil)
+	if s := m.Stats(); s.BadPayloads != 2 || s.GossipRecv != 0 {
+		t.Fatalf("stats = %v, want bad=2 recv=0", s)
+	}
+	if got := m.View().Live(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("bad gossip mutated the view: %v", got)
+	}
+}
+
+func TestManagerStartStop(t *testing.T) {
+	net := newFakeNet()
+	seed := net.add(t, Config{Self: 1, Addr: "a1", Interval: 5 * time.Millisecond, Fanout: 8})
+	n2 := net.add(t, Config{Self: 2, Addr: "a2", Interval: 5 * time.Millisecond, Fanout: 8,
+		Seeds: map[int]string{1: "a1"}})
+	seed.Start()
+	n2.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for !net.converged() || len(seed.View().Live()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker gossip did not converge: seed=%v n2=%v", seed.View(), n2.View())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	seed.Stop()
+	n2.Stop()
+	seed.Stop() // idempotent
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	a := NewRing([]int{3, 1, 2, 1}, 32) // order and duplicates must not matter
+	b := NewRing([]int{1, 2, 3}, 32)
+	if !reflect.DeepEqual(a.Live(), []int{1, 2, 3}) {
+		t.Fatalf("Live = %v", a.Live())
+	}
+	for key := uint64(0); key < 4096; key++ {
+		oa, oka := a.Owner(key)
+		ob, okb := b.Owner(key)
+		if !oka || !okb || oa != ob {
+			t.Fatalf("key %d: owners disagree (%d,%v) vs (%d,%v)", key, oa, oka, ob, okb)
+		}
+		found := false
+		for _, id := range a.Live() {
+			if id == oa {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %d owned by %d, not a live member", key, oa)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if _, ok := r.Owner(42); ok {
+		t.Fatalf("empty ring owns keys")
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]int{0, 1, 2, 3, 4}, DefaultVNodes)
+	shares := r.Shares()
+	var total float64
+	for id, s := range shares {
+		total += s
+		// With 64 vnodes the max/min spread stays well inside 2x of fair.
+		if s < 0.2/2 || s > 0.2*2 {
+			t.Fatalf("member %d share %.3f outside [0.1, 0.4]", id, s)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %.6f", total)
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing property the
+// handoff story rests on: removing one member re-owns only that
+// member's keys, and every re-owned key lands on a surviving member.
+func TestRingMinimalMovement(t *testing.T) {
+	before := NewRing([]int{0, 1, 2, 3}, DefaultVNodes)
+	after := NewRing([]int{0, 1, 3}, DefaultVNodes) // member 2 died
+	moved, kept := 0, 0
+	for key := uint64(0); key < 8192; key++ {
+		ob, _ := before.Owner(key)
+		oa, ok := after.Owner(key)
+		if !ok {
+			t.Fatalf("key %d unowned after removal", key)
+		}
+		if oa == 2 {
+			t.Fatalf("key %d owned by the removed member", key)
+		}
+		switch {
+		case ob == 2:
+			moved++ // had to move
+		case ob == oa:
+			kept++
+		default:
+			t.Fatalf("key %d moved from surviving member %d to %d", key, ob, oa)
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("member 2 owned nothing before removal — degenerate ring")
+	}
+}
+
+// TestRingJoinTakesShare pins the join direction: a new member takes a
+// nontrivial share and only ever takes keys (no key moves between two
+// pre-existing members).
+func TestRingJoinTakesShare(t *testing.T) {
+	before := NewRing([]int{1, 2, 3}, DefaultVNodes)
+	after := NewRing([]int{1, 2, 3, 4}, DefaultVNodes)
+	taken := 0
+	for key := uint64(0); key < 8192; key++ {
+		ob, _ := before.Owner(key)
+		oa, _ := after.Owner(key)
+		if oa == 4 {
+			taken++
+			continue
+		}
+		if ob != oa {
+			t.Fatalf("key %d moved %d→%d though neither is the joiner", key, ob, oa)
+		}
+	}
+	if taken < 8192/8 {
+		t.Fatalf("joiner took only %d/8192 keys", taken)
+	}
+}

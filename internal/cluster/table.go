@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// Table is one node's membership table: the fold of local evidence
+// (joins it was told about, failure-detector transitions it observed)
+// and remote evidence (views merged from gossip) into a single
+// epoch-numbered View.
+//
+// Epoch discipline — the heart of the anti-resurrection argument:
+//
+//   - the epoch bumps exactly once per local membership change (a join
+//     learned first-hand, a death declared first-hand). Suspicion is
+//     advisory — it never bumps the epoch, so a slow heartbeat cannot
+//     flap the view or reshard the ring.
+//   - merging a remote view raises the local epoch to at least the
+//     remote's but never re-stamps adopted records: a record keeps the
+//     epoch of the change that produced it, so "freshest record wins"
+//     is well-defined across any gossip path.
+//   - death is sticky and overrides epoch order entirely: once a member
+//     is Dead here, no record — not even one with a higher epoch — can
+//     resurrect it. A node that restarts after being declared dead
+//     learns of its own death on the first merge (Delta.SelfEvicted)
+//     and must rejoin under a fresh ID.
+//
+// A Table is safe for concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	self    int
+	epoch   uint64
+	members map[int]*Member
+	evicted bool
+}
+
+// Delta reports what a mutation changed, so the caller can rebuild the
+// ring, dial new peers, and hand off ownership without diffing views.
+type Delta struct {
+	// Changed: the view changed in a way that is worth gossiping and
+	// persisting (membership, state, address, or epoch movement).
+	Changed bool
+	// Epoch: the view epoch after the mutation.
+	Epoch uint64
+	// Resharded: the live set changed — the ownership ring must be
+	// rebuilt (a join or a death, never a suspicion).
+	Resharded bool
+	// Joined holds members newly added to the table (their addresses
+	// want dialing).
+	Joined []Member
+	// Died holds members that transitioned to Dead in this mutation
+	// (their AIDs want handoff).
+	Died []int
+	// SelfEvicted: this mutation revealed that the cluster has declared
+	// us dead. Terminal — the only exit is rejoining under a fresh ID.
+	SelfEvicted bool
+}
+
+// NewTable creates a table whose only member is self, Alive. epochFloor
+// seeds the epoch from a previous incarnation's WAL record so a
+// restarted node re-announces itself with an epoch every peer must take
+// seriously — its pre-crash views can never outrank its current one.
+func NewTable(self int, addr string, epochFloor uint64) *Table {
+	t := &Table{
+		self:    self,
+		epoch:   epochFloor + 1,
+		members: make(map[int]*Member),
+	}
+	t.members[self] = &Member{ID: self, Addr: addr, State: StateAlive, Epoch: t.epoch}
+	return t
+}
+
+// Self returns this node's ID.
+func (t *Table) Self() int { return t.self }
+
+// Epoch returns the current view epoch.
+func (t *Table) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// Evicted reports whether the cluster has declared this node dead.
+func (t *Table) Evicted() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Seed records a bootstrap contact: a member we were configured to talk
+// to but have no membership evidence about. Seeds enter at epoch 0 so
+// any real record — including the seed's own self-announcement — wins
+// the first merge. Seeding is not a view change (no epoch bump).
+func (t *Table) Seed(id int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.members[id]; ok || id == t.self {
+		return
+	}
+	t.members[id] = &Member{ID: id, Addr: addr, State: StateAlive, Epoch: 0}
+}
+
+// Join records a first-hand join: a new member (or a new address for a
+// live one). Dead IDs are refused — death is sticky, a crashed node
+// rejoins under a fresh ID.
+func (t *Table) Join(id int, addr string) Delta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.members[id]
+	switch {
+	case m == nil:
+		t.epoch++
+		nm := &Member{ID: id, Addr: addr, State: StateAlive, Epoch: t.epoch}
+		t.members[id] = nm
+		return Delta{Changed: true, Epoch: t.epoch, Resharded: true, Joined: []Member{*nm}}
+	case m.State == StateDead:
+		return Delta{Epoch: t.epoch}
+	case addr != "" && m.Addr != addr:
+		t.epoch++
+		m.Addr = addr
+		m.Epoch = t.epoch
+		return Delta{Changed: true, Epoch: t.epoch, Joined: []Member{*m}}
+	default:
+		return Delta{Epoch: t.epoch}
+	}
+}
+
+// Observe folds one piece of first-hand failure-detector evidence into
+// the table. Alive and Suspect are advisory (no epoch bump, no
+// reshard); Dead is a view change. Evidence about unknown members is
+// recorded — the detector can outrun gossip. Evidence about self is
+// ignored (a node does not suspect itself; eviction arrives via Merge).
+func (t *Table) Observe(id int, state MemberState) Delta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == t.self {
+		return Delta{Epoch: t.epoch}
+	}
+	m := t.members[id]
+	if m == nil {
+		if state != StateDead {
+			return Delta{Epoch: t.epoch}
+		}
+		t.epoch++
+		t.members[id] = &Member{ID: id, State: StateDead, Epoch: t.epoch}
+		return Delta{Changed: true, Epoch: t.epoch, Resharded: true, Died: []int{id}}
+	}
+	if m.State == StateDead {
+		return Delta{Epoch: t.epoch}
+	}
+	switch state {
+	case StateDead:
+		t.epoch++
+		m.State = StateDead
+		m.Epoch = t.epoch
+		return Delta{Changed: true, Epoch: t.epoch, Resharded: true, Died: []int{id}}
+	case StateAlive, StateSuspect:
+		if m.State == state {
+			return Delta{Epoch: t.epoch}
+		}
+		// First-hand evidence overrides whatever gossip said, without a
+		// view change: suspicion must not flap the epoch or the ring.
+		m.State = state
+		return Delta{Changed: true, Epoch: t.epoch}
+	default:
+		return Delta{Epoch: t.epoch}
+	}
+}
+
+// Merge folds a remote view into the table. Per member, the record with
+// the higher epoch wins; at equal epochs the more pessimistic state
+// wins (Dead > Suspect > Alive) and a known address beats an unknown
+// one. Death is sticky regardless of epochs, in both directions: a
+// locally-dead member ignores any remote record, and a remotely-dead
+// record kills the local one.
+func (t *Table) Merge(v View) Delta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := Delta{Epoch: t.epoch}
+	if v.Epoch > t.epoch {
+		t.epoch = v.Epoch
+		d.Epoch = t.epoch
+		d.Changed = true
+	}
+	for _, rm := range v.Members {
+		if rm.ID < 0 || rm.ID >= MaxID {
+			continue
+		}
+		lm := t.members[rm.ID]
+		switch {
+		case lm == nil:
+			nm := rm
+			t.members[rm.ID] = &nm
+			d.Changed = true
+			d.Resharded = true
+			if rm.State == StateDead {
+				d.Died = append(d.Died, rm.ID)
+			} else {
+				d.Joined = append(d.Joined, rm)
+			}
+		case lm.State == StateDead:
+			// Sticky: nothing resurrects a dead member.
+		case rm.State == StateDead:
+			lm.State = StateDead
+			if rm.Epoch > lm.Epoch {
+				lm.Epoch = rm.Epoch
+			}
+			d.Changed = true
+			d.Resharded = true
+			d.Died = append(d.Died, rm.ID)
+		case rm.Epoch > lm.Epoch:
+			if rm.Addr != "" && rm.Addr != lm.Addr {
+				d.Joined = append(d.Joined, rm) // new address wants dialing
+			}
+			if rm.Addr != "" || lm.Addr == "" {
+				lm.Addr = rm.Addr
+			}
+			lm.State = rm.State
+			lm.Epoch = rm.Epoch
+			d.Changed = true
+		case rm.Epoch == lm.Epoch:
+			if rm.State > lm.State {
+				lm.State = rm.State
+				d.Changed = true
+			}
+			if lm.Addr == "" && rm.Addr != "" {
+				lm.Addr = rm.Addr
+				d.Joined = append(d.Joined, *lm)
+				d.Changed = true
+			}
+		}
+	}
+	if self := t.members[t.self]; self != nil && self.State == StateDead && !t.evicted {
+		t.evicted = true
+		d.SelfEvicted = true
+	}
+	return d
+}
+
+// View snapshots the table as an encodable, mergeable view (members
+// sorted by ID). The snapshot satisfies every invariant DecodeView
+// enforces.
+func (t *Table) View() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := View{Epoch: t.epoch, Members: make([]Member, 0, len(t.members))}
+	for _, m := range t.members {
+		v.Members = append(v.Members, *m)
+	}
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].ID < v.Members[j].ID })
+	return v
+}
+
+// Live returns the current live (non-dead) member IDs, sorted.
+func (t *Table) Live() []int {
+	return t.View().Live()
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDetectorTransitions is the failure-detector → membership
+// contract, table-driven: a sequence of first-hand evidence events
+// (what wire's Alive→Suspect→Dead detector emits) must produce exactly
+// the view changes listed and no others. In particular the canonical
+// Alive→Suspect→Dead progression is exactly one view change (the
+// death), and a late heartbeat that clears a suspicion — even several
+// times over — never flaps the epoch or the ring.
+func TestDetectorTransitions(t *testing.T) {
+	type ev struct {
+		id    int
+		state MemberState
+	}
+	cases := []struct {
+		name       string
+		evidence   []ev
+		wantBumps  int   // epoch increments across the sequence
+		wantLive   []int // live set after the sequence (self=0 always present)
+		wantDead   []int
+		wantStates map[int]MemberState
+	}{
+		{
+			name:      "suspect then dead is one view change",
+			evidence:  []ev{{1, StateSuspect}, {1, StateDead}},
+			wantBumps: 1,
+			wantLive:  []int{0, 2},
+			wantDead:  []int{1},
+		},
+		{
+			name:       "late heartbeat clears suspicion with no flap",
+			evidence:   []ev{{1, StateSuspect}, {1, StateAlive}, {1, StateSuspect}, {1, StateAlive}},
+			wantBumps:  0,
+			wantLive:   []int{0, 1, 2},
+			wantDead:   nil,
+			wantStates: map[int]MemberState{1: StateAlive},
+		},
+		{
+			name:       "suspicion alone does not reshard",
+			evidence:   []ev{{1, StateSuspect}, {2, StateSuspect}},
+			wantBumps:  0,
+			wantLive:   []int{0, 1, 2},
+			wantDead:   nil,
+			wantStates: map[int]MemberState{1: StateSuspect, 2: StateSuspect},
+		},
+		{
+			name:      "death after recovery still one change",
+			evidence:  []ev{{1, StateSuspect}, {1, StateAlive}, {1, StateSuspect}, {1, StateDead}},
+			wantBumps: 1,
+			wantLive:  []int{0, 2},
+			wantDead:  []int{1},
+		},
+		{
+			name:      "dead is sticky against evidence",
+			evidence:  []ev{{1, StateDead}, {1, StateAlive}, {1, StateSuspect}, {1, StateDead}},
+			wantBumps: 1,
+			wantLive:  []int{0, 2},
+			wantDead:  []int{1},
+		},
+		{
+			name:      "two deaths are two view changes",
+			evidence:  []ev{{1, StateSuspect}, {2, StateDead}, {1, StateDead}},
+			wantBumps: 2,
+			wantLive:  []int{0},
+			wantDead:  []int{1, 2},
+		},
+		{
+			name:      "evidence about unknown members is ignored until dead",
+			evidence:  []ev{{9, StateSuspect}, {9, StateAlive}},
+			wantBumps: 0,
+			wantLive:  []int{0, 1, 2},
+		},
+		{
+			name:      "self evidence is ignored",
+			evidence:  []ev{{0, StateSuspect}, {0, StateDead}},
+			wantBumps: 0,
+			wantLive:  []int{0, 1, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := NewTable(0, "addr0", 0)
+			// Two established members, joined the ordinary way.
+			tab.Join(1, "addr1")
+			tab.Join(2, "addr2")
+			base := tab.Epoch()
+
+			bumps := 0
+			resharded := 0
+			for _, e := range tc.evidence {
+				d := tab.Observe(e.id, e.state)
+				if d.Epoch != tab.Epoch() {
+					t.Fatalf("delta epoch %d disagrees with table epoch %d", d.Epoch, tab.Epoch())
+				}
+				if d.Resharded {
+					resharded++
+				}
+			}
+			bumps = int(tab.Epoch() - base)
+			if bumps != tc.wantBumps {
+				t.Fatalf("epoch bumped %d times, want %d (view flapping?)", bumps, tc.wantBumps)
+			}
+			if resharded != tc.wantBumps {
+				t.Fatalf("resharded %d times, want %d — suspicion must not move the ring", resharded, tc.wantBumps)
+			}
+			v := tab.View()
+			if got := v.Live(); !reflect.DeepEqual(got, tc.wantLive) {
+				t.Fatalf("live = %v, want %v", got, tc.wantLive)
+			}
+			if got := v.Dead(); !reflect.DeepEqual(got, tc.wantDead) {
+				t.Fatalf("dead = %v, want %v", got, tc.wantDead)
+			}
+			for id, want := range tc.wantStates {
+				m, ok := v.Member(id)
+				if !ok || m.State != want {
+					t.Fatalf("member %d state = %v (present=%v), want %v", id, m.State, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTableJoinAndSeed(t *testing.T) {
+	tab := NewTable(0, "a0", 0)
+	if e := tab.Epoch(); e != 1 {
+		t.Fatalf("fresh table epoch = %d, want 1 (floor+1)", e)
+	}
+	tab.Seed(7, "a7")
+	if e := tab.Epoch(); e != 1 {
+		t.Fatalf("seeding bumped epoch to %d", e)
+	}
+	m, ok := tab.View().Member(7)
+	if !ok || m.Epoch != 0 || m.State != StateAlive {
+		t.Fatalf("seed record = %+v ok=%v, want alive at epoch 0", m, ok)
+	}
+	d := tab.Join(1, "a1")
+	if !d.Changed || !d.Resharded || len(d.Joined) != 1 {
+		t.Fatalf("join delta = %+v, want changed+resharded+joined", d)
+	}
+	// Re-join same address: no change. New address: a view change.
+	if d := tab.Join(1, "a1"); d.Changed {
+		t.Fatalf("idempotent join changed the view: %+v", d)
+	}
+	if d := tab.Join(1, "a1-moved"); !d.Changed || d.Resharded {
+		t.Fatalf("address change delta = %+v, want changed without reshard", d)
+	}
+	// A dead ID cannot rejoin.
+	tab.Observe(1, StateDead)
+	if d := tab.Join(1, "a1-back"); d.Changed {
+		t.Fatalf("dead member rejoined: %+v", d)
+	}
+}
+
+func TestTableEpochFloor(t *testing.T) {
+	tab := NewTable(3, "a3", 41)
+	if e := tab.Epoch(); e != 42 {
+		t.Fatalf("epoch = %d, want floor+1 = 42", e)
+	}
+	m, _ := tab.View().Member(3)
+	if m.Epoch != 42 {
+		t.Fatalf("self record epoch = %d, want 42", m.Epoch)
+	}
+}
+
+func TestMergeStickyDeathAndEviction(t *testing.T) {
+	tab := NewTable(0, "a0", 0)
+	tab.Join(1, "a1")
+	tab.Observe(1, StateDead)
+	deadEpoch := tab.Epoch()
+
+	// A livelier record for 1 at a much higher epoch must lose.
+	d := tab.Merge(View{Epoch: deadEpoch + 10, Members: []Member{
+		{ID: 1, Addr: "a1", State: StateAlive, Epoch: deadEpoch + 10},
+	}})
+	if !d.Changed { // epoch still advances to the remote's
+		t.Fatalf("epoch advance not reported: %+v", d)
+	}
+	if m, _ := tab.View().Member(1); m.State != StateDead {
+		t.Fatalf("merge resurrected a dead member: %+v", m)
+	}
+
+	// Merging a view that declares us dead evicts us, exactly once.
+	d = tab.Merge(View{Epoch: tab.Epoch() + 1, Members: []Member{
+		{ID: 0, Addr: "a0", State: StateDead, Epoch: tab.Epoch() + 1},
+	}})
+	if !d.SelfEvicted || !tab.Evicted() {
+		t.Fatalf("self-death merge did not evict: %+v", d)
+	}
+	d = tab.Merge(View{Epoch: tab.Epoch() + 1, Members: []Member{
+		{ID: 0, Addr: "a0", State: StateDead, Epoch: tab.Epoch() + 1},
+	}})
+	if d.SelfEvicted {
+		t.Fatalf("eviction fired twice")
+	}
+}
+
+func TestMergeFreshestRecordWins(t *testing.T) {
+	tab := NewTable(0, "a0", 0)
+	tab.Merge(View{Epoch: 5, Members: []Member{
+		{ID: 2, Addr: "old", State: StateAlive, Epoch: 3},
+	}})
+	if m, _ := tab.View().Member(2); m.Addr != "old" {
+		t.Fatalf("merge did not adopt new member: %+v", m)
+	}
+	// Higher member epoch: address moves.
+	tab.Merge(View{Epoch: 7, Members: []Member{
+		{ID: 2, Addr: "new", State: StateAlive, Epoch: 7},
+	}})
+	if m, _ := tab.View().Member(2); m.Addr != "new" || m.Epoch != 7 {
+		t.Fatalf("freshest record lost: %+v", m)
+	}
+	// Stale record: ignored.
+	tab.Merge(View{Epoch: 9, Members: []Member{
+		{ID: 2, Addr: "stale", State: StateSuspect, Epoch: 2},
+	}})
+	if m, _ := tab.View().Member(2); m.Addr != "new" || m.State != StateAlive {
+		t.Fatalf("stale record won a merge: %+v", m)
+	}
+	// Equal epoch: pessimism wins on state.
+	tab.Merge(View{Epoch: 9, Members: []Member{
+		{ID: 2, Addr: "new", State: StateSuspect, Epoch: 7},
+	}})
+	if m, _ := tab.View().Member(2); m.State != StateSuspect {
+		t.Fatalf("equal-epoch pessimism lost: %+v", m)
+	}
+}

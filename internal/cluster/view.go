@@ -1,0 +1,267 @@
+// Package cluster is the dynamic-membership layer: it turns a set of
+// hand-wired hoped processes into an elastic cluster. Three pieces
+// compose:
+//
+//   - an epoch-numbered membership View (this file): each member record
+//     carries the view epoch at which it last changed, so views gossiped
+//     between nodes merge by taking the freshest record per member —
+//     with one override, sticky death: a member seen Dead is Dead on
+//     every node forever, whatever epoch a livelier record claims. A
+//     rejoining or long-partitioned node therefore cannot resurrect a
+//     stale view; its records lose every merge.
+//
+//   - a membership Table (table.go) folding local failure-detector
+//     evidence (wire's Alive → Suspect → Dead) and remote gossip into
+//     one view, bumping the epoch only on real membership changes
+//     (join, death) — suspicion is advisory and must not reshard.
+//
+//   - a consistent-hash Ring (ring.go) over the live view, with virtual
+//     nodes for balance. Every node with the same live set computes the
+//     same ring, so AID/PID ownership needs no coordination: the view
+//     is the authority and the ring is a pure function of it.
+//
+// The Manager (manager.go) glues the table to a wire transport: it
+// gossips the local view on a timer and on every change, merges inbound
+// views, discovers peer addresses, and rebuilds the ring.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxID bounds member IDs, mirroring wire.MaxNodes: the top 16 bits of
+// a PID name its node, so the membership space is the PID namespace's
+// node space. (Mirrored rather than imported to keep this package free
+// of transport dependencies; wire_test pins the two constants equal.)
+const MaxID = 1 << 16
+
+// MemberState is a member's position in the view. Alive and Suspect
+// are both "live" for ownership purposes — a suspected node keeps its
+// ring share, so a slow heartbeat cannot cause ownership flapping —
+// and only Dead (sticky, terminal) removes a member from the ring.
+type MemberState uint8
+
+const (
+	// StateAlive: the member is participating (or assumed to be, for a
+	// freshly seeded contact with no evidence yet).
+	StateAlive MemberState = iota
+	// StateSuspect: some node's failure detector has seen silence past
+	// its suspect threshold. Advisory: the member keeps its ring share.
+	StateSuspect
+	// StateDead: declared dead. Sticky — no later record, whatever its
+	// epoch, may resurrect this member. A crashed node rejoins the
+	// cluster only under a fresh ID.
+	StateDead
+)
+
+// String implements fmt.Stringer.
+func (s MemberState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Member is one node's record in a view.
+type Member struct {
+	ID    int
+	Addr  string // listen address, "" until learned
+	State MemberState
+	Epoch uint64 // view epoch at which this record last changed
+}
+
+// String implements fmt.Stringer.
+func (m Member) String() string {
+	return fmt.Sprintf("%d@%s:%s/e%d", m.ID, m.Addr, m.State, m.Epoch)
+}
+
+// View is an epoch-numbered membership snapshot. Epoch is the issuing
+// node's view epoch — the maximum over all member epochs — and bumps
+// exactly once per membership change (a join or a death; see Table).
+// Members are sorted by ID.
+type View struct {
+	Epoch   uint64
+	Members []Member
+}
+
+// Live returns the IDs of every non-dead member, sorted ascending.
+// This is the set the ownership ring is built over.
+func (v View) Live() []int {
+	out := make([]int, 0, len(v.Members))
+	for _, m := range v.Members {
+		if m.State != StateDead {
+			out = append(out, m.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dead returns the IDs of every dead member, sorted ascending.
+func (v View) Dead() []int {
+	var out []int
+	for _, m := range v.Members {
+		if m.State == StateDead {
+			out = append(out, m.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Member returns the record for id, if present.
+func (v View) Member(id int) (Member, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// String implements fmt.Stringer.
+func (v View) String() string {
+	parts := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		parts[i] = m.String()
+	}
+	return fmt.Sprintf("view{e%d %s}", v.Epoch, strings.Join(parts, " "))
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+//
+// Views travel as opaque gossip payloads on the wire layer, so the
+// encoding is versioned and defensive: DecodeView must reject any
+// byte-level corruption or protocol-level inconsistency (epoch
+// regression inside a view, duplicate members, out-of-range IDs)
+// rather than merge garbage into the membership table. FuzzClusterView
+// pins this.
+
+// viewVersion is the gossip payload format version.
+const viewVersion = 1
+
+// maxViewAddr bounds one member's address string, so a corrupt length
+// cannot force a huge allocation.
+const maxViewAddr = 256
+
+// AppendView encodes v onto buf: version byte, view epoch, member
+// count, then per member its ID, state, epoch, and address. Members
+// must be sorted by ID with no duplicates and no epoch above the view
+// epoch (Table snapshots satisfy this by construction).
+func AppendView(buf []byte, v View) ([]byte, error) {
+	buf = append(buf, viewVersion)
+	buf = binary.AppendUvarint(buf, v.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(v.Members)))
+	prev := -1
+	for _, m := range v.Members {
+		if m.ID <= prev || m.ID >= MaxID {
+			return nil, fmt.Errorf("cluster: member ID %d out of order or range", m.ID)
+		}
+		prev = m.ID
+		if m.State > StateDead {
+			return nil, fmt.Errorf("cluster: member %d has invalid state %d", m.ID, m.State)
+		}
+		if m.Epoch > v.Epoch {
+			return nil, fmt.Errorf("cluster: member %d epoch %d exceeds view epoch %d", m.ID, m.Epoch, v.Epoch)
+		}
+		if len(m.Addr) > maxViewAddr {
+			return nil, fmt.Errorf("cluster: member %d address too long (%d bytes)", m.ID, len(m.Addr))
+		}
+		buf = binary.AppendUvarint(buf, uint64(m.ID))
+		buf = append(buf, byte(m.State))
+		buf = binary.AppendUvarint(buf, m.Epoch)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Addr)))
+		buf = append(buf, m.Addr...)
+	}
+	return buf, nil
+}
+
+// EncodeView is AppendView into a fresh buffer.
+func EncodeView(v View) ([]byte, error) { return AppendView(nil, v) }
+
+// DecodeView decodes one gossip payload, enforcing every invariant
+// AppendView promises: sorted unique member IDs inside [0, MaxID),
+// valid states, member epochs bounded by the view epoch, addresses
+// bounded by maxViewAddr, and no trailing bytes.
+func DecodeView(data []byte) (View, error) {
+	var v View
+	if len(data) == 0 {
+		return v, fmt.Errorf("cluster: empty view payload")
+	}
+	if data[0] != viewVersion {
+		return v, fmt.Errorf("cluster: view version %d, want %d", data[0], viewVersion)
+	}
+	r := data[1:]
+	uv := func() (uint64, error) {
+		x, n := binary.Uvarint(r)
+		if n <= 0 {
+			return 0, fmt.Errorf("cluster: truncated view payload")
+		}
+		r = r[n:]
+		return x, nil
+	}
+	epoch, err := uv()
+	if err != nil {
+		return v, err
+	}
+	count, err := uv()
+	if err != nil {
+		return v, err
+	}
+	// Each member takes at least 4 bytes (id, state, epoch, addr len).
+	if count > uint64(len(r))/4+1 {
+		return v, fmt.Errorf("cluster: member count %d exceeds payload", count)
+	}
+	v.Epoch = epoch
+	v.Members = make([]Member, 0, count)
+	prev := -1
+	for i := uint64(0); i < count; i++ {
+		id, err := uv()
+		if err != nil {
+			return View{}, err
+		}
+		if int(id) <= prev || id >= MaxID {
+			return View{}, fmt.Errorf("cluster: member ID %d out of order or range", id)
+		}
+		prev = int(id)
+		if len(r) == 0 {
+			return View{}, fmt.Errorf("cluster: truncated view payload")
+		}
+		state := MemberState(r[0])
+		r = r[1:]
+		if state > StateDead {
+			return View{}, fmt.Errorf("cluster: member %d has invalid state %d", id, state)
+		}
+		mepoch, err := uv()
+		if err != nil {
+			return View{}, err
+		}
+		if mepoch > epoch {
+			return View{}, fmt.Errorf("cluster: member %d epoch %d exceeds view epoch %d (regressed view)", id, mepoch, epoch)
+		}
+		alen, err := uv()
+		if err != nil {
+			return View{}, err
+		}
+		if alen > maxViewAddr || alen > uint64(len(r)) {
+			return View{}, fmt.Errorf("cluster: member %d address length %d out of range", id, alen)
+		}
+		addr := string(r[:alen])
+		r = r[alen:]
+		v.Members = append(v.Members, Member{ID: int(id), Addr: addr, State: state, Epoch: mepoch})
+	}
+	if len(r) != 0 {
+		return View{}, fmt.Errorf("cluster: %d trailing bytes after view", len(r))
+	}
+	return v, nil
+}

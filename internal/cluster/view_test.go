@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleView() View {
+	return View{Epoch: 9, Members: []Member{
+		{ID: 0, Addr: "127.0.0.1:7000", State: StateAlive, Epoch: 1},
+		{ID: 2, Addr: "127.0.0.1:7002", State: StateSuspect, Epoch: 4},
+		{ID: 5, Addr: "", State: StateDead, Epoch: 9},
+	}}
+}
+
+func TestViewCodecRoundTrip(t *testing.T) {
+	for _, v := range []View{
+		sampleView(),
+		{Epoch: 0, Members: nil},
+		{Epoch: 1, Members: []Member{{ID: 0, State: StateAlive, Epoch: 1}}},
+		{Epoch: 1 << 40, Members: []Member{
+			{ID: MaxID - 1, Addr: strings.Repeat("a", maxViewAddr), State: StateDead, Epoch: 1 << 40},
+		}},
+	} {
+		data, err := EncodeView(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got, err := DecodeView(data)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		want := v
+		if want.Members == nil {
+			want.Members = []Member{}
+		}
+		if got.Epoch != want.Epoch || !reflect.DeepEqual(got.Members, want.Members) {
+			t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, want)
+		}
+	}
+}
+
+func TestViewLiveDead(t *testing.T) {
+	v := sampleView()
+	if got := v.Live(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Live = %v", got)
+	}
+	if got := v.Dead(); !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("Dead = %v", got)
+	}
+	if _, ok := v.Member(3); ok {
+		t.Fatalf("phantom member 3")
+	}
+}
+
+func TestEncodeRejectsInvalidViews(t *testing.T) {
+	cases := []struct {
+		name string
+		v    View
+	}{
+		{"duplicate IDs", View{Epoch: 2, Members: []Member{{ID: 1, Epoch: 1}, {ID: 1, Epoch: 2}}}},
+		{"unsorted IDs", View{Epoch: 2, Members: []Member{{ID: 3, Epoch: 1}, {ID: 1, Epoch: 1}}}},
+		{"ID out of range", View{Epoch: 1, Members: []Member{{ID: MaxID, Epoch: 1}}}},
+		{"negative ID", View{Epoch: 1, Members: []Member{{ID: -1, Epoch: 1}}}},
+		{"invalid state", View{Epoch: 1, Members: []Member{{ID: 0, State: StateDead + 1, Epoch: 1}}}},
+		{"member epoch above view", View{Epoch: 1, Members: []Member{{ID: 0, Epoch: 2}}}},
+		{"oversized address", View{Epoch: 1, Members: []Member{{ID: 0, Addr: strings.Repeat("x", maxViewAddr+1), Epoch: 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := EncodeView(tc.v); err == nil {
+			t.Errorf("%s: encode accepted %v", tc.name, tc.v)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedPayloads(t *testing.T) {
+	good, err := EncodeView(sampleView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad version", append([]byte{viewVersion + 1}, good[1:]...)},
+		{"trailing bytes", append(append([]byte(nil), good...), 0)},
+		{"count exceeds payload", []byte{viewVersion, 1, 200}},
+	}
+	// Every strict truncation must be rejected, at any cut point.
+	for i := 1; i < len(good); i++ {
+		cases = append(cases, struct {
+			name string
+			data []byte
+		}{"truncated", good[:i]})
+	}
+	for _, tc := range cases {
+		if _, err := DecodeView(tc.data); err == nil {
+			t.Errorf("%s: decode accepted %x", tc.name, tc.data)
+		}
+	}
+}
+
+// TestDecodeRejectsEpochRegression pins the anti-resurrection guard at
+// the codec layer: a view whose member records claim epochs beyond the
+// view's own epoch is internally inconsistent (it can only come from a
+// node regressing its view counter) and must not reach Merge.
+func TestDecodeRejectsEpochRegression(t *testing.T) {
+	// Hand-build the payload: view epoch 3, one member at epoch 5.
+	data := []byte{viewVersion, 3, 1, 0, byte(StateAlive), 5, 0}
+	if _, err := DecodeView(data); err == nil {
+		t.Fatalf("decode accepted an epoch-regressed view")
+	}
+	// Same member at epoch 3 is fine.
+	data = []byte{viewVersion, 3, 1, 0, byte(StateAlive), 3, 0}
+	if _, err := DecodeView(data); err != nil {
+		t.Fatalf("decode rejected a consistent view: %v", err)
+	}
+}
+
+func TestTableViewIsEncodable(t *testing.T) {
+	tab := NewTable(0, "a0", 7)
+	tab.Join(3, "a3")
+	tab.Observe(3, StateSuspect)
+	tab.Join(1, "a1")
+	tab.Observe(1, StateDead)
+	v := tab.View()
+	data, err := EncodeView(v)
+	if err != nil {
+		t.Fatalf("table view does not encode: %v (%v)", err, v)
+	}
+	back, err := DecodeView(data)
+	if err != nil {
+		t.Fatalf("table view does not round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(back, v) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", back, v)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/hope-dist/hope/internal/ids"
@@ -149,6 +150,20 @@ func (e *Engine) speculativeAIDs() map[ids.AID]struct{} {
 	for _, p := range e.Processes() {
 		p.appendSpeculativeAIDs(out)
 	}
+	return out
+}
+
+// SpeculativeAIDs returns, sorted, every assumption some local
+// non-definite interval currently depends on. The cluster layer uses
+// it as the key set for ownership checks: these are exactly the
+// assumptions whose adjudication must have a live, agreed-upon owner.
+func (e *Engine) SpeculativeAIDs() []ids.AID {
+	set := e.speculativeAIDs()
+	out := make([]ids.AID, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

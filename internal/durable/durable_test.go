@@ -367,3 +367,31 @@ func TestAutoDenyRoundTrip(t *testing.T) {
 		t.Fatalf("recovery summary %q does not report denied=2", got)
 	}
 }
+
+// TestViewEpochRoundTrip: the highest published membership epoch
+// survives a restart and feeds the cluster manager's epoch floor.
+func TestViewEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openStore(t, dir)
+	if rec.ViewEpoch != 0 {
+		t.Fatalf("fresh dir ViewEpoch = %d", rec.ViewEpoch)
+	}
+	s.ViewChanged(3, []int{0, 1, 2})
+	s.ViewChanged(7, []int{0, 2})
+	s.ViewChanged(5, []int{0, 2, 3}) // stale append (concurrent views): max wins
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	if rec.ViewEpoch != 7 {
+		t.Fatalf("recovered ViewEpoch = %d, want 7", rec.ViewEpoch)
+	}
+	if rec.Empty() {
+		t.Fatal("recovery with a view epoch reported Empty")
+	}
+	if got := rec.String(); !strings.Contains(got, "view=e7") {
+		t.Fatalf("recovery summary %q does not report the view epoch", got)
+	}
+}

@@ -42,6 +42,7 @@ const (
 	recCompact       = 11 // pid, iid, gob(base) — journal compacted to a snapshot
 	recPoison        = 12 // pid, reason — persistence failed; drop pid from recovery
 	recAutoDeny      = 13 // aid — assumption auto-denied by the liveness layer (engine-level, no pid)
+	recViewEpoch     = 14 // epoch, live IDs — cluster membership view published at this epoch
 )
 
 // anyEnv wraps interface values (journal notes, compaction snapshots) so

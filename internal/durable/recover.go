@@ -35,6 +35,11 @@ type Recovered struct {
 	// Skipped counts recovered inbound frames dropped because they no
 	// longer decode (codec drift across the restart).
 	Skipped int
+	// ViewEpoch is the highest membership view epoch this node published
+	// before the crash (0 if it never ran clustered); pass it to
+	// cluster.Config.EpochFloor so the restarted node re-announces itself
+	// above every view it already gossiped.
+	ViewEpoch uint64
 
 	// Records, Truncations, Duration mirror the WAL scan metrics.
 	Records     uint64
@@ -45,7 +50,7 @@ type Recovered struct {
 // Empty reports whether the WAL held no state (first boot).
 func (r *Recovered) Empty() bool {
 	return len(r.Restore) == 0 && len(r.Redeliver) == 0 && len(r.Resend) == 0 &&
-		len(r.Denied) == 0 &&
+		len(r.Denied) == 0 && r.ViewEpoch == 0 &&
 		(r.Resume == nil || (len(r.Resume.Peers) == 0 && len(r.Resume.Delivered) == 0))
 }
 
@@ -57,9 +62,13 @@ func (r *Recovered) String() string {
 			frames += len(p.Frames)
 		}
 	}
-	return fmt.Sprintf("records=%d procs=%d redeliver=%d resend=%d unacked=%d denied=%d torn=%d in %v",
+	out := fmt.Sprintf("records=%d procs=%d redeliver=%d resend=%d unacked=%d denied=%d torn=%d in %v",
 		r.Records, len(r.Restore), len(r.Redeliver), len(r.Resend), frames,
 		len(r.Denied), r.Truncations, r.Duration.Round(time.Microsecond))
+	if r.ViewEpoch > 0 {
+		out += fmt.Sprintf(" view=e%d", r.ViewEpoch)
+	}
+	return out
 }
 
 // inKey identifies one delivered inbound frame.
@@ -117,6 +126,8 @@ type recoverState struct {
 
 	denied    map[ids.AID]struct{}
 	deniedSeq []ids.AID // insertion order, for deterministic restore
+
+	viewEpoch uint64 // highest recViewEpoch seen
 }
 
 func newRecoverState(self int) *recoverState {
@@ -367,6 +378,26 @@ func (rs *recoverState) apply(lsn uint64, payload []byte) error {
 			rs.deniedSeq = append(rs.deniedSeq, ids.AID(a))
 		}
 
+	case recViewEpoch:
+		epoch, err := r.uv()
+		if err != nil {
+			return err
+		}
+		count, err := r.uv()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < count; i++ {
+			// The live set is informational (the view re-forms by gossip);
+			// only the epoch matters for the restart.
+			if _, err := r.uv(); err != nil {
+				return err
+			}
+		}
+		if epoch > rs.viewEpoch {
+			rs.viewEpoch = epoch
+		}
+
 	default:
 		return fmt.Errorf("durable: unknown record type %d", payload[0])
 	}
@@ -417,8 +448,9 @@ func (rs *recoverState) rollback(pid ids.PID, iid ids.IntervalID) {
 // finish converts the folded state into the boot-time resume values.
 func (rs *recoverState) finish() (*Recovered, error) {
 	rec := &Recovered{
-		Resume:  &wire.Resume{Peers: make(map[int]wire.ResumePeer), Delivered: rs.watermk},
-		Restore: make(map[ids.PID]*core.Restored),
+		Resume:    &wire.Resume{Peers: make(map[int]wire.ResumePeer), Delivered: rs.watermk},
+		Restore:   make(map[ids.PID]*core.Restored),
+		ViewEpoch: rs.viewEpoch,
 	}
 	for id, p := range rs.peers {
 		rec.Resume.Peers[id] = wire.ResumePeer{NextSeq: p.lastSeq, Frames: p.frames}

@@ -290,6 +290,25 @@ func (s *Store) AutoDenied(a ids.AID) {
 	}
 }
 
+// ViewChanged records a published membership view: the epoch and the
+// live member set. On recovery the highest epoch seeds the cluster
+// manager's epoch floor, so a restarted node can never gossip a view
+// staler than one it already published — the durable half of the
+// anti-resurrection argument. Engine-level, like AutoDenied.
+func (s *Store) ViewChanged(epoch uint64, live []int) {
+	err := s.appendTagged(recViewEpoch, func(b []byte) []byte {
+		b = appendUv(b, epoch)
+		b = appendUv(b, uint64(len(live)))
+		for _, id := range live {
+			b = appendUv(b, uint64(id))
+		}
+		return b
+	})
+	if err != nil {
+		s.fail("ViewChanged", err)
+	}
+}
+
 // Compact implements core.Persister. The snapshot is gob-encoded before
 // anything is written; an unencodable snapshot aborts the compaction
 // (the engine keeps its journal) instead of corrupting recovery.

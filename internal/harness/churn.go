@@ -1,0 +1,658 @@
+package harness
+
+// The churn storm is the membership layer's end-to-end trial: a cluster
+// of hoped processes bootstrapped from one seed, a client engine
+// driving optimistic workloads against every member, then churn — one
+// member SIGKILLed mid-speculation and a fresh member joined in its
+// place. The run passes only if ownership handoff actually happened:
+// every survivor's view converges on the death, the assumptions the
+// corpse owned are auto-denied (so dependents roll back instead of
+// waiting forever), the late joiner is absorbed and takes a share of
+// the ring, and the shared ownership invariant (oracle.CheckOwnership)
+// holds over the final views — same live set, same ring, every key's
+// owner alive — on every surviving node.
+//
+// Latency is measured at the observable boundary, the HOPED VIEW lines:
+// detection is SIGKILL → a survivor's first view with the victim dead,
+// resolution is SIGKILL → the doomed workload quiescing (every orphaned
+// assumption denied and rolled back). Everything derives from
+// ChurnConfig.Seed, so a failing run's seed reproduces it.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hope-dist/hope/internal/cluster"
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/oracle"
+	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// ChurnConfig parameterizes one membership-churn storm.
+type ChurnConfig struct {
+	Seed     int64
+	Nodes    int    // initial cluster size; node 1 is the seed (default 3)
+	HopedBin string // path to the hoped binary (required)
+	DataRoot string // parent dir for per-node WALs ("" = a fresh temp dir)
+	Fsync    string // hoped --fsync policy (default "interval")
+	PageSize int    // pagination page size (default 3)
+	Reports  int    // reports per member workload (default 48)
+	VNodes   int    // ring virtual nodes per member (default cluster.DefaultVNodes)
+
+	// GossipEvery is the members' gossip period (default 25ms) and
+	// DeadAfter their failure detector's death threshold (default 1s;
+	// suspicion at a quarter of it, hoped's own default). The client's
+	// detector and the speculation lease derive from DeadAfter too.
+	GossipEvery time.Duration
+	DeadAfter   time.Duration
+
+	Tracer trace.Tracer // receives trace.Fault events (nil = discard)
+	Log    io.Writer    // storm narration (nil = discard)
+}
+
+func (c *ChurnConfig) norm() error {
+	if c.HopedBin == "" {
+		return fmt.Errorf("churn: HopedBin is required")
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.Nodes < 2 {
+		return fmt.Errorf("churn: Nodes = %d, want >= 2 (someone must survive the kill)", c.Nodes)
+	}
+	if c.Fsync == "" {
+		c.Fsync = "interval"
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 3
+	}
+	if c.Reports <= 0 {
+		c.Reports = 48
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = cluster.DefaultVNodes
+	}
+	if c.GossipEvery <= 0 {
+		c.GossipEvery = 25 * time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = time.Second
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Nop
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return nil
+}
+
+// ChurnResult summarizes a completed churn storm.
+type ChurnResult struct {
+	Killed     int             // member SIGKILLed mid-speculation
+	Joined     int             // fresh member absorbed after the death
+	JoinShare  float64         // fraction of the final ring the joiner owns
+	Detect     []time.Duration // per survivor: kill → first view with the victim dead
+	DetectP50  time.Duration
+	DetectP99  time.Duration
+	Resolve    time.Duration // kill → doomed workload quiesced (orphans denied, rolled back)
+	JoinLag    time.Duration // join launch → every survivor's view includes the joiner
+	Rollbacks  int           // worker restarts across all workloads
+	AutoDenied int64         // assumptions the client's liveness layer auto-denied
+	FinalEpoch uint64        // agreed view epoch at the end
+	FinalLive  []int         // agreed live set at the end
+	Elapsed    time.Duration
+}
+
+// timedView is one HOPED VIEW announcement with its arrival time.
+type timedView struct {
+	at   time.Time
+	view cluster.ViewLine
+}
+
+// viewWatcher owns one hoped child's stdout for the child's whole life:
+// it parses the boot lines, then keeps tailing, recording every VIEW
+// announcement (timestamped at arrival — the observable instant of a
+// membership decision) and any EVICTED notice. Keeping one reader per
+// child also keeps the pipe drained, so a chatty child never blocks.
+type viewWatcher struct {
+	node int
+
+	mu      sync.Mutex
+	views   []timedView
+	evicted bool
+
+	boot chan bootRes
+}
+
+type bootRes struct {
+	info BootInfo
+	err  error
+}
+
+func (w *viewWatcher) watch(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	var info BootInfo
+	booted := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "HOPED RECOVERED"):
+			info.Recovered = line
+		case strings.HasPrefix(line, "HOPED READY"):
+			if booted {
+				continue
+			}
+			booted = true
+			if err := parseReady(line, &info); err != nil {
+				w.boot <- bootRes{err: err}
+				return
+			}
+			w.boot <- bootRes{info: info}
+		case strings.HasPrefix(line, "HOPED EVICTED"):
+			w.mu.Lock()
+			w.evicted = true
+			w.mu.Unlock()
+		default:
+			if vl, ok, err := cluster.ParseViewLine(line); err == nil && ok {
+				w.mu.Lock()
+				w.views = append(w.views, timedView{at: time.Now(), view: vl})
+				w.mu.Unlock()
+			}
+		}
+	}
+	if !booted {
+		w.boot <- bootRes{err: fmt.Errorf("node %d exited before READY: %v", w.node, sc.Err())}
+	}
+}
+
+// latest returns the newest view announcement, if any.
+func (w *viewWatcher) latest() (cluster.ViewLine, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.views) == 0 {
+		return cluster.ViewLine{}, false
+	}
+	return w.views[len(w.views)-1].view, true
+}
+
+// firstDead returns when this watcher first announced a view with id in
+// its dead list.
+func (w *viewWatcher) firstDead(id int) (time.Time, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, tv := range w.views {
+		for _, d := range tv.view.Dead {
+			if d == id {
+				return tv.at, true
+			}
+		}
+	}
+	return time.Time{}, false
+}
+
+// viewOfLine lifts a parsed VIEW line into a cluster.View (addresses are
+// not announced, and the ownership checks do not need them).
+func viewOfLine(vl cluster.ViewLine) cluster.View {
+	v := cluster.View{Epoch: vl.Epoch}
+	for _, id := range vl.Live {
+		v.Members = append(v.Members, cluster.Member{ID: id, State: cluster.StateAlive, Epoch: vl.Epoch})
+	}
+	for _, id := range vl.Dead {
+		v.Members = append(v.Members, cluster.Member{ID: id, State: cluster.StateDead, Epoch: vl.Epoch})
+	}
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].ID < v.Members[j].ID })
+	return v
+}
+
+// startWatched launches a hoped child whose stdout is owned by a
+// viewWatcher for the child's whole life.
+func startWatched(bin string, node int, args []string) (*exec.Cmd, BootInfo, *viewWatcher, error) {
+	child := exec.Command(bin, args...)
+	child.Stderr = os.Stderr
+	stdout, err := child.StdoutPipe()
+	if err != nil {
+		return nil, BootInfo{}, nil, err
+	}
+	w := &viewWatcher{node: node, boot: make(chan bootRes, 1)}
+	if err := child.Start(); err != nil {
+		return nil, BootInfo{}, nil, err
+	}
+	go w.watch(stdout)
+	select {
+	case r := <-w.boot:
+		if r.err != nil {
+			child.Process.Kill()
+			child.Wait()
+			return nil, BootInfo{}, nil, fmt.Errorf("hoped %v: %w", args, r.err)
+		}
+		return child, r.info, w, nil
+	case <-time.After(15 * time.Second):
+		child.Process.Kill()
+		child.Wait()
+		return nil, BootInfo{}, nil, fmt.Errorf("hoped %v: timed out waiting for READY", args)
+	}
+}
+
+// member is one clustered hoped child.
+type member struct {
+	id      int
+	addr    string
+	pid     ids.PID
+	dataDir string
+	child   *exec.Cmd
+	watch   *viewWatcher
+}
+
+// RunChurn executes one churn storm; see the package comment above for
+// the shape. The returned result is valid even on error.
+func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
+	var res ChurnResult
+	if err := cfg.norm(); err != nil {
+		return res, err
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(cfg.Log, format+"\n", args...) }
+	start := time.Now()
+	suspect, dead := cfg.DeadAfter/4, cfg.DeadAfter
+	lease := 4 * cfg.DeadAfter
+
+	dataRoot := cfg.DataRoot
+	if dataRoot == "" {
+		dir, err := os.MkdirTemp("", "hope-churn-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		dataRoot = dir
+	}
+
+	// Client node 0 lives in-process and is NOT a cluster member: it
+	// drives workloads against every member over static peering, and its
+	// own detector + lease resolve whatever the killed member owned —
+	// the same layering a real external caller would run.
+	var engRef atomic.Pointer[core.Engine]
+	client, err := wire.NewNode(wire.NodeConfig{
+		ID: 0, Listen: "127.0.0.1:0", Tracer: cfg.Tracer,
+		Health: wire.HealthConfig{
+			SuspectAfter: suspect,
+			DeadAfter:    dead,
+			OnPeerDead: func(node int) {
+				if eng := engRef.Load(); eng != nil {
+					eng.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == node },
+						fmt.Sprintf("node %d declared dead", node))
+				}
+			},
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer client.Close()
+	tap := oracle.NewFIFOTap(client)
+
+	members := make(map[int]*member)
+	defer func() {
+		for _, m := range members {
+			if m.child != nil {
+				m.child.Process.Signal(os.Interrupt)
+				m.child.Wait()
+			}
+		}
+	}()
+
+	memberArgs := func(id int, dataDir string, joinAddr string) []string {
+		args := []string{
+			"--node", strconv.Itoa(id), "--listen", "127.0.0.1:0",
+			"--serve", "printserver", "--peer", "0=" + client.Addr(),
+			"--drain-timeout", "2s",
+			"--data-dir", dataDir, "--fsync", cfg.Fsync,
+			"--suspect-after", suspect.String(),
+			"--dead-after", dead.String(),
+			"--lease", lease.String(),
+			"--gossip-every", cfg.GossipEvery.String(),
+			"--vnodes", strconv.Itoa(cfg.VNodes),
+		}
+		if joinAddr == "" {
+			args = append(args, "--seed-node")
+		} else {
+			args = append(args, "--join", joinAddr)
+		}
+		return args
+	}
+	launch := func(id int, joinAddr string) (*member, error) {
+		m := &member{id: id, dataDir: filepath.Join(dataRoot, fmt.Sprintf("node%d", id))}
+		child, boot, w, err := startWatched(cfg.HopedBin, id, memberArgs(id, m.dataDir, joinAddr))
+		if err != nil {
+			return nil, err
+		}
+		m.child, m.addr, m.pid, m.watch = child, boot.Addr, boot.PID, w
+		if wire.NodeOf(m.pid) != id {
+			child.Process.Kill()
+			child.Wait()
+			return nil, fmt.Errorf("node %d root PID %v is outside its namespace", id, m.pid)
+		}
+		client.SetPeer(id, m.addr)
+		members[id] = m
+		logf("node %d up: addr=%s pid=%v join=%q", id, m.addr, m.pid, joinAddr)
+		return m, nil
+	}
+
+	// Bootstrap: node 1 seeds a fresh cluster; everyone else joins
+	// through it and is absorbed by gossip.
+	seedMember, err := launch(1, "")
+	if err != nil {
+		return res, err
+	}
+	for id := 2; id <= cfg.Nodes; id++ {
+		if _, err := launch(id, "1="+seedMember.addr); err != nil {
+			return res, err
+		}
+	}
+
+	// agreed reports whether every listed member's latest view shows
+	// exactly wantLive live (and returns the views when so).
+	agreed := func(watching []*member, wantLive []int) (map[int]cluster.View, bool) {
+		views := make(map[int]cluster.View, len(watching))
+		var epoch uint64
+		for i, m := range watching {
+			vl, ok := m.watch.latest()
+			if !ok || !equalInts(vl.Live, wantLive) {
+				return nil, false
+			}
+			if i == 0 {
+				epoch = vl.Epoch
+			} else if vl.Epoch != epoch {
+				return nil, false
+			}
+			views[m.id] = viewOfLine(vl)
+		}
+		return views, true
+	}
+	awaitAgreement := func(what string, watching []*member, wantLive []int, timeout time.Duration) (map[int]cluster.View, error) {
+		deadline := time.Now().Add(timeout)
+		for {
+			if views, ok := agreed(watching, wantLive); ok {
+				return views, nil
+			}
+			if time.Now().After(deadline) {
+				for _, m := range watching {
+					vl, _ := m.watch.latest()
+					logf("node %d latest view: %+v", m.id, vl)
+				}
+				return nil, fmt.Errorf("churn: no agreement on %s (want live=%v) within %v", what, wantLive, timeout)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	initial := make([]*member, 0, cfg.Nodes)
+	wantLive := make([]int, 0, cfg.Nodes)
+	for id := 1; id <= cfg.Nodes; id++ {
+		initial = append(initial, members[id])
+		wantLive = append(wantLive, id)
+	}
+	if _, err := awaitAgreement("bootstrap", initial, wantLive, 30*time.Second); err != nil {
+		return res, err
+	}
+	logf("%8v cluster of %d converged", time.Since(start).Round(time.Millisecond), cfg.Nodes)
+
+	// One streamed pagination workload per initial member, so the kill
+	// lands mid-speculation with assumptions owned across the ring.
+	eng := core.NewEngine(core.Config{
+		Transport: tap, PIDBase: wire.PIDBase(0), Tracer: cfg.Tracer,
+		Liveness: &core.LivenessConfig{
+			Lease: lease,
+			Owner: func(a ids.AID) core.OwnerStatus {
+				node := wire.NodeOf(a.PID())
+				if node == 0 {
+					return core.OwnerStatus{}
+				}
+				h := client.HealthOf(node)
+				return core.OwnerStatus{Remote: true, Dead: h.State == wire.PeerDead, LastHeard: h.LastHeard}
+			},
+		},
+	})
+	engRef.Store(eng)
+	defer eng.Shutdown()
+
+	type workload struct {
+		member *member
+		worker *core.Process
+		mu     sync.Mutex
+		done   int
+		rep    rpc.PageReport
+	}
+	workloads := make([]*workload, 0, cfg.Nodes)
+	for _, m := range initial {
+		w := &workload{member: m}
+		worker, err := eng.SpawnRoot(rpc.StreamedWorker(m.pid, cfg.PageSize, cfg.Reports, func(r rpc.PageReport) {
+			w.mu.Lock()
+			w.rep, w.done = r, w.done+1
+			w.mu.Unlock()
+		}))
+		if err != nil {
+			return res, fmt.Errorf("spawn workload for node %d: %w", m.id, err)
+		}
+		w.worker = worker
+		workloads = append(workloads, w)
+	}
+
+	// Let speculation build before the kill: enough frames in flight
+	// that the victim owns live assumptions when it dies.
+	progress := time.Now().Add(30 * time.Second)
+	for client.WireStats().FramesIn < uint64(cfg.Nodes*8) {
+		if time.Now().After(progress) {
+			return res, fmt.Errorf("churn: workloads made no progress: wire %v", client.WireStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGKILL one member mid-speculation, seed-chosen. No drain, no WAL
+	// close, no goodbye gossip — the survivors must diagnose the death
+	// themselves and re-own what the corpse held.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	victim := members[1+rng.Intn(cfg.Nodes)]
+	res.Killed = victim.id
+	tKill := time.Now()
+	if err := victim.child.Process.Kill(); err != nil {
+		return res, fmt.Errorf("SIGKILL node %d: %w", victim.id, err)
+	}
+	victim.child.Wait()
+	victim.child = nil
+	delete(members, victim.id)
+	logf("%8v SIGKILL node %d (speculation in flight)", time.Since(start).Round(time.Millisecond), victim.id)
+
+	// Detection: every survivor's view must converge on the death.
+	survivors := make([]*member, 0, len(members))
+	survLive := make([]int, 0, len(members))
+	for id := 1; id <= cfg.Nodes; id++ {
+		if m, ok := members[id]; ok {
+			survivors = append(survivors, m)
+			survLive = append(survLive, id)
+		}
+	}
+	detectDeadline := time.Now().Add(30 * time.Second)
+	for _, m := range survivors {
+		for {
+			if at, ok := m.watch.firstDead(victim.id); ok {
+				lat := at.Sub(tKill)
+				if lat < 0 {
+					lat = 0 // pre-kill suspicion resolved into death evidence
+				}
+				res.Detect = append(res.Detect, lat)
+				logf("%8v node %d saw node %d dead after %v",
+					time.Since(start).Round(time.Millisecond), m.id, victim.id, lat.Round(time.Millisecond))
+				break
+			}
+			if time.Now().After(detectDeadline) {
+				return res, fmt.Errorf("churn: node %d never announced node %d dead", m.id, victim.id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Resolution: the doomed workload must quiesce — every assumption
+	// the victim owned denied (detector or lease) and dependents rolled
+	// back — and the survivors' workloads must complete fully definite.
+	quiesce := time.Now().Add(90 * time.Second)
+	for _, w := range workloads {
+		doomed := w.member.id == victim.id
+		for {
+			st := w.worker.Snapshot()
+			if doomed {
+				if st.Completed && client.Inflight() == 0 &&
+					(st.AllDefinite || eng.AutoDenied() > 0) {
+					res.Rollbacks += st.Restarts
+					res.Resolve = time.Since(tKill)
+					break
+				}
+			} else {
+				w.mu.Lock()
+				completed := w.done > 0
+				w.mu.Unlock()
+				if completed && st.Completed && st.AllDefinite && client.Inflight() == 0 {
+					res.Rollbacks += st.Restarts
+					break
+				}
+			}
+			if time.Now().After(quiesce) {
+				return res, fmt.Errorf("churn: no quiescence for node %d workload: worker=%+v inflight=%d autodenied=%d",
+					w.member.id, st, client.Inflight(), eng.AutoDenied())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	logf("%8v quiesced: resolve=%v rollbacks=%d autodenied=%d",
+		time.Since(start).Round(time.Millisecond), res.Resolve.Round(time.Millisecond), res.Rollbacks, eng.AutoDenied())
+
+	// Late join: a fresh member (fresh ID — the victim's ID is dead
+	// forever, sticky death guarantees it) joins through a survivor and
+	// must be absorbed into every survivor's view with a ring share.
+	joiner := cfg.Nodes + 1
+	res.Joined = joiner
+	tJoin := time.Now()
+	if _, err := launch(joiner, fmt.Sprintf("%d=%s", survivors[0].id, survivors[0].addr)); err != nil {
+		return res, err
+	}
+	finalMembers := append(append([]*member(nil), survivors...), members[joiner])
+	finalLive := append(append([]int(nil), survLive...), joiner)
+	finalViews, err := awaitAgreement("post-join membership", finalMembers, finalLive, 30*time.Second)
+	if err != nil {
+		return res, err
+	}
+	res.JoinLag = time.Since(tJoin)
+	res.FinalEpoch = finalViews[survivors[0].id].Epoch
+	res.FinalLive = finalLive
+
+	// The joiner must actually serve (a member with no working engine
+	// would pass the view checks and still be useless).
+	if line, err := rpc.Probe(eng, members[joiner].pid, rpc.MethodPrint, 30*time.Second); err != nil {
+		return res, fmt.Errorf("probe joiner node %d: %w", joiner, err)
+	} else if line < 1 {
+		return res, fmt.Errorf("joiner node %d printed line %d, want >= 1", joiner, line)
+	}
+
+	// Ownership invariant over the final views: agreed live set, agreed
+	// ring, every checked key owned by a live member. The keys are the
+	// storm's root PIDs (the victim's included — its namespace must
+	// re-own deterministically) plus every assumption the client still
+	// holds speculation on (normally none after quiescence).
+	keys := []uint64{uint64(victim.pid)}
+	for _, m := range finalMembers {
+		keys = append(keys, uint64(m.pid))
+	}
+	for _, a := range eng.SpeculativeAIDs() {
+		keys = append(keys, uint64(a))
+	}
+	if err := oracle.CheckOwnership(finalViews, cfg.VNodes, keys); err != nil {
+		return res, err
+	}
+	ring := cluster.NewRing(finalLive, cfg.VNodes)
+	res.JoinShare = ring.Shares()[joiner]
+	if res.JoinShare <= 0 {
+		return res, fmt.Errorf("churn: joiner node %d owns no share of the ring %v", joiner, ring)
+	}
+
+	// Remaining invariants, as in the fault storm: liveness (no surviving
+	// speculation on anything the victim owned), worker verdict agreement
+	// and completeness for survivors, zero protocol violations, FIFO.
+	deadOwned := func(a ids.AID) bool { return wire.NodeOf(a.PID()) == victim.id }
+	for _, w := range workloads {
+		name := fmt.Sprintf("node %d workload", w.member.id)
+		if err := oracle.CheckLiveness(name, w.worker.HistorySnapshot(), deadOwned); err != nil {
+			return res, err
+		}
+		if w.member.id == victim.id {
+			continue
+		}
+		if err := oracle.CheckWorker(name, w.worker.Snapshot()); err != nil {
+			return res, err
+		}
+		w.mu.Lock()
+		rep := w.rep
+		w.mu.Unlock()
+		if rep.Totals != cfg.Reports {
+			return res, fmt.Errorf("%s printed %d totals, want %d", name, rep.Totals, cfg.Reports)
+		}
+	}
+	for _, m := range finalMembers {
+		m.watch.mu.Lock()
+		ev := m.watch.evicted
+		m.watch.mu.Unlock()
+		if ev {
+			return res, fmt.Errorf("churn: surviving node %d was evicted", m.id)
+		}
+	}
+	if v := eng.Violations(); v != 0 {
+		return res, fmt.Errorf("%d protocol violations", v)
+	}
+	if bad := tap.Violations(); len(bad) != 0 {
+		return res, fmt.Errorf("per-pair FIFO inversions at delivery: %s", strings.Join(bad, "; "))
+	}
+
+	res.AutoDenied = eng.AutoDenied()
+	res.DetectP50 = pctDuration(res.Detect, 50)
+	res.DetectP99 = pctDuration(res.Detect, 99)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// pctDuration returns the p-th percentile of samples (nearest-rank).
+func pctDuration(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := len(s) * p / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

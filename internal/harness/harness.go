@@ -94,21 +94,8 @@ func AwaitBoot(r io.Reader) (BootInfo, error) {
 			if !strings.HasPrefix(line, "HOPED READY") {
 				continue
 			}
-			for _, f := range strings.Fields(line) {
-				if v, ok := strings.CutPrefix(f, "addr="); ok {
-					info.Addr = v
-				}
-				if v, ok := strings.CutPrefix(f, "pid="); ok {
-					n, err := strconv.ParseUint(v, 10, 64)
-					if err != nil {
-						ch <- res{err: fmt.Errorf("bad pid in READY line %q: %v", line, err)}
-						return
-					}
-					info.PID = ids.PID(n)
-				}
-			}
-			if info.Addr == "" {
-				ch <- res{err: fmt.Errorf("no addr in READY line %q", line)}
+			if err := parseReady(line, &info); err != nil {
+				ch <- res{err: err}
 				return
 			}
 			ch <- res{info: info}
@@ -122,6 +109,28 @@ func AwaitBoot(r io.Reader) (BootInfo, error) {
 	case <-time.After(15 * time.Second):
 		return BootInfo{}, fmt.Errorf("timed out waiting for hoped READY line")
 	}
+}
+
+// parseReady fills info's Addr and PID from a HOPED READY line; shared
+// by AwaitBoot and the churn harness's view watcher (which keeps the
+// stdout stream for itself after boot).
+func parseReady(line string, info *BootInfo) error {
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, "addr="); ok {
+			info.Addr = v
+		}
+		if v, ok := strings.CutPrefix(f, "pid="); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad pid in READY line %q: %v", line, err)
+			}
+			info.PID = ids.PID(n)
+		}
+	}
+	if info.Addr == "" {
+		return fmt.Errorf("no addr in READY line %q", line)
+	}
+	return nil
 }
 
 // StartHoped launches a hoped child and waits for its boot report.

@@ -1,0 +1,78 @@
+package oracle
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"github.com/hope-dist/hope/internal/cluster"
+)
+
+// CheckOwnership is the sharded-ownership invariant for clustered
+// storms: after a churn round quiesces, every surviving node's view
+// must agree on the live member set, the consistent-hash ring each
+// node derives from its view must assign every key the same owner,
+// and that owner must be a live member. views maps each surviving
+// node's ID to the view it reported (e.g. parsed from its HOPED VIEW
+// lines); vnodes is the cluster-wide virtual-node count; keys are the
+// 64-bit names to spot-check — typically the storm's root PIDs plus
+// every AID the client still holds speculation on. Ownership is a pure
+// function of (live set, vnodes), so agreement on the views implies
+// agreement on every key; the per-key check exists to catch the rings
+// themselves diverging (a vnode-count mismatch, a hash drift).
+func CheckOwnership(views map[int]cluster.View, vnodes int, keys []uint64) error {
+	if len(views) == 0 {
+		return fmt.Errorf("ownership: no views to check")
+	}
+	nodes := make([]int, 0, len(views))
+	for id := range views {
+		nodes = append(nodes, id)
+	}
+	sort.Ints(nodes)
+
+	ref := nodes[0]
+	refLive := views[ref].Live()
+	if len(refLive) == 0 {
+		return fmt.Errorf("ownership: node %d reports an empty live set", ref)
+	}
+	for _, id := range nodes[1:] {
+		if live := views[id].Live(); !reflect.DeepEqual(live, refLive) {
+			return fmt.Errorf("ownership: live sets diverge: node %d sees %v, node %d sees %v",
+				ref, refLive, id, live)
+		}
+	}
+	// A surviving node must consider itself live, and every reporting
+	// node must be in the agreed live set (an evicted node's report
+	// would mean a zombie still serving its old shard).
+	liveSet := make(map[int]bool, len(refLive))
+	for _, id := range refLive {
+		liveSet[id] = true
+	}
+	for _, id := range nodes {
+		if !liveSet[id] {
+			return fmt.Errorf("ownership: node %d reported a view but is not in the live set %v", id, refLive)
+		}
+	}
+
+	rings := make(map[int]*cluster.Ring, len(nodes))
+	for _, id := range nodes {
+		rings[id] = cluster.NewRing(views[id].Live(), vnodes)
+	}
+	for _, key := range keys {
+		owner, ok := rings[ref].Owner(key)
+		if !ok {
+			return fmt.Errorf("ownership: key %#x unowned on node %d", key, ref)
+		}
+		if !liveSet[owner] {
+			return fmt.Errorf("ownership: key %#x owned by %d, not in live set %v", key, owner, refLive)
+		}
+		for _, id := range nodes[1:] {
+			o, ok := rings[id].Owner(key)
+			if !ok || o != owner {
+				return fmt.Errorf("ownership: key %#x owner diverges: node %d says %d, node %d says %d (ok=%v)",
+					key, ref, owner, id, o, ok)
+			}
+		}
+	}
+	return nil
+}

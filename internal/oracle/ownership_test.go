@@ -1,0 +1,51 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/cluster"
+)
+
+func viewOf(epoch uint64, live, dead []int) cluster.View {
+	var v cluster.View
+	v.Epoch = epoch
+	for _, id := range live {
+		v.Members = append(v.Members, cluster.Member{ID: id, State: cluster.StateAlive, Epoch: epoch})
+	}
+	for _, id := range dead {
+		v.Members = append(v.Members, cluster.Member{ID: id, State: cluster.StateDead, Epoch: epoch})
+	}
+	return v
+}
+
+func TestCheckOwnershipAgreement(t *testing.T) {
+	keys := []uint64{1, 2, 1 << 48, 7<<48 + 9}
+	views := map[int]cluster.View{
+		1: viewOf(4, []int{1, 2}, []int{3}),
+		2: viewOf(4, []int{1, 2}, []int{3}),
+	}
+	if err := CheckOwnership(views, cluster.DefaultVNodes, keys); err != nil {
+		t.Fatalf("agreeing views failed: %v", err)
+	}
+
+	// Diverging live sets.
+	views[2] = viewOf(4, []int{1, 2, 3}, nil)
+	if err := CheckOwnership(views, cluster.DefaultVNodes, keys); err == nil ||
+		!strings.Contains(err.Error(), "live sets diverge") {
+		t.Fatalf("diverging live sets not caught: %v", err)
+	}
+
+	// A reporting node missing from the live set (zombie shard server).
+	views[2] = viewOf(4, []int{1, 3}, []int{2})
+	views[1] = viewOf(4, []int{1, 3}, []int{2})
+	if err := CheckOwnership(views, cluster.DefaultVNodes, keys); err == nil ||
+		!strings.Contains(err.Error(), "not in the live set") {
+		t.Fatalf("zombie reporter not caught: %v", err)
+	}
+
+	// No views at all.
+	if err := CheckOwnership(nil, cluster.DefaultVNodes, keys); err == nil {
+		t.Fatal("empty views accepted")
+	}
+}

@@ -66,6 +66,11 @@ type HealthConfig struct {
 	// per peer the detector declares dead. The engine hooks this to
 	// auto-deny the dead node's orphaned assumptions.
 	OnPeerDead func(node int)
+	// OnPeerState, when non-nil, is called (on its own goroutine) on
+	// every detector transition — Alive→Suspect, Suspect→Alive, and
+	// →Dead. The membership layer folds these into its view; OnPeerDead
+	// still fires separately for Dead, preserving the PR 5 contract.
+	OnPeerState func(node int, state PeerState)
 }
 
 func (h HealthConfig) enabled() bool { return h.DeadAfter > 0 }
@@ -135,6 +140,15 @@ func (n *Node) heard(h *peerHealth) {
 	h.lastHeard.Store(time.Now().UnixNano())
 	if h.state.CompareAndSwap(int32(PeerSuspect), int32(PeerAlive)) {
 		n.event("wire: node %d heard from suspected node %d: alive again", n.id, h.id)
+		n.notifyState(h.id, PeerAlive)
+	}
+}
+
+// notifyState fires the OnPeerState callback on its own goroutine (the
+// caller may hold locks the callback wants).
+func (n *Node) notifyState(id int, state PeerState) {
+	if cb := n.health.OnPeerState; cb != nil {
+		go cb(id, state)
 	}
 }
 
@@ -187,6 +201,7 @@ func (n *Node) monitor() {
 				if h.state.CompareAndSwap(int32(PeerAlive), int32(PeerSuspect)) {
 					n.event("wire: node %d suspects node %d (silent %v)",
 						n.id, h.id, silence.Round(time.Millisecond))
+					n.notifyState(h.id, PeerSuspect)
 				}
 				n.maybeProbe(h, now)
 			case silence >= n.health.ProbeEvery:
@@ -251,6 +266,7 @@ func (n *Node) declareDead(h *peerHealth, silence time.Duration) {
 		p.queue = nil
 		p.queueBytes = 0
 		p.cursor = 0
+		p.gossip = nil
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
@@ -269,6 +285,20 @@ func (n *Node) declareDead(h *peerHealth, silence time.Duration) {
 	if cb := n.health.OnPeerDead; cb != nil {
 		go cb(h.id)
 	}
+	n.notifyState(h.id, PeerDead)
+}
+
+// DeclarePeerDead declares a peer dead by fiat — the entry point for
+// second-hand evidence: when the membership layer learns through gossip
+// that the cluster killed a node, the local wire state must converge on
+// that verdict (stop dialing it, drop its queue, refuse its
+// connections) even if this node's own detector never timed out.
+// Idempotent; fires the same callbacks as a locally detected death.
+func (n *Node) DeclarePeerDead(id int) {
+	if id == n.id {
+		return
+	}
+	n.declareDead(n.healthOf(id), 0)
 }
 
 // PeerHealth returns a health snapshot for every peer this node has

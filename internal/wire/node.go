@@ -42,7 +42,14 @@ const (
 	frameMsg      = 3 // dialer → acceptor: seq + encoded message
 	frameAck      = 4 // acceptor → dialer: highest delivered seq
 	framePing     = 5 // dialer → acceptor: liveness probe; answered with a forced ack
+	frameGossip   = 6 // either direction: opaque membership payload, out of band
 )
+
+// maxPendingGossip bounds each peer's pending gossip payloads. Gossip
+// is anti-entropy — each payload supersedes the last — so when a slow
+// link falls behind, the oldest pending payload is dropped, never the
+// newest.
+const maxPendingGossip = 4
 
 // maxFrame bounds a frame read so a corrupt length prefix cannot force a
 // huge allocation.
@@ -115,6 +122,9 @@ type NodeConfig struct {
 	// OnPeerDead fired. The zero value disables the detector (health is
 	// still tracked passively; see Node.PeerHealth).
 	Health HealthConfig
+	// Gossip, when wired, lets a membership layer piggyback opaque
+	// payloads on the node's connections (see GossipConfig).
+	Gossip GossipConfig
 	// HoldInbound binds the listener in NewNode but defers accepting
 	// connections until ReleaseInbound is called. A recovering node
 	// needs this: delivered-but-unconsumed messages from the WAL must be
@@ -124,6 +134,30 @@ type NodeConfig struct {
 	// across the restart. The kernel's listen backlog parks peers that
 	// redial during the hold.
 	HoldInbound bool
+}
+
+// GossipConfig hooks a membership layer into the transport. Gossip
+// frames are out of band with respect to the message stream: not
+// sequenced, not acked, not resent, not written to the WAL, and not
+// counted in Inflight — losing one costs nothing, because gossip is
+// idempotent anti-entropy and the next round carries the same state.
+// They do count as liveness evidence for the failure detector, exactly
+// like message and ack frames.
+//
+// Flow is push-pull: Node.Gossip pushes a payload out on the dialed
+// connection; the acceptor hands it to OnPayload and answers with its
+// own Reply payload on the same connection, which the dialer hands to
+// its OnPayload. Only the acceptor replies, so one push costs exactly
+// one round trip and loops cannot form.
+type GossipConfig struct {
+	// OnPayload receives each inbound gossip payload (a fresh copy; the
+	// callback may retain it). Called synchronously from the connection's
+	// read loop — keep it quick, and never call back into a blocking
+	// Node method from it.
+	OnPayload func(from int, payload []byte)
+	// Reply, when non-nil, produces the payload the acceptor sends back
+	// for each gossip frame it receives (nil = no reply).
+	Reply func(from int) []byte
 }
 
 // Node is a TCP transport endpoint implementing transport.Transport.
@@ -143,6 +177,7 @@ type Node struct {
 	unbatched  bool
 	dur        DurableHooks // nil = no durability
 	health     HealthConfig // normalized failure-detector config
+	gossip     GossipConfig // membership piggyback hooks (zero = none)
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight returns to zero
@@ -175,6 +210,9 @@ type Node struct {
 	probesSent            atomic.Uint64
 	probesRecv            atomic.Uint64
 	deadDrops             atomic.Uint64
+	gossipSent            atomic.Uint64
+	gossipRecv            atomic.Uint64
+	gossipDrops           atomic.Uint64
 }
 
 var _ transport.Transport = (*Node)(nil)
@@ -199,6 +237,9 @@ type WireStats struct {
 	ProbesSent          uint64 // liveness ping frames written
 	ProbesRecv          uint64 // liveness ping frames received (each forces an ack)
 	DeadDrops           uint64 // frames dropped because their peer was declared dead
+	GossipSent          uint64 // gossip frames written (pushes and replies)
+	GossipRecv          uint64 // gossip frames received
+	GossipDrops         uint64 // pending gossip payloads superseded before the write
 	PeersSuspect        int    // gauge: peers currently in Suspect
 	PeersDead           int    // gauge: peers declared Dead (terminal)
 
@@ -217,6 +258,9 @@ func (s WireStats) String() string {
 	if s.ProbesSent != 0 || s.ProbesRecv != 0 || s.PeersSuspect != 0 || s.PeersDead != 0 || s.DeadDrops != 0 {
 		base += fmt.Sprintf(" probes=%d/%d suspect=%d dead=%d deaddrop=%d",
 			s.ProbesSent, s.ProbesRecv, s.PeersSuspect, s.PeersDead, s.DeadDrops)
+	}
+	if s.GossipSent != 0 || s.GossipRecv != 0 {
+		base += fmt.Sprintf(" gossip=%d/%d gdrop=%d", s.GossipSent, s.GossipRecv, s.GossipDrops)
 	}
 	if s.Durable {
 		base += " " + s.WAL.String()
@@ -258,9 +302,10 @@ type peer struct {
 	conn       net.Conn
 	gen        uint64 // connection generation, guards stale readers
 	closed     bool
-	dead       bool // peer declared Dead: no dialing, no queueing, ever again
-	probe      bool // monitor requested a ping frame on the live connection
-	full       bool // inside a queue-overflow episode (one trace event each)
+	dead       bool          // peer declared Dead: no dialing, no queueing, ever again
+	probe      bool          // monitor requested a ping frame on the live connection
+	gossip     [][]byte      // pending out-of-band gossip payloads (bounded; oldest dropped)
+	full       bool          // inside a queue-overflow episode (one trace event each)
 	backoffCur time.Duration // last reconnect backoff used (observable for tests)
 	health     *peerHealth
 
@@ -307,6 +352,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		unbatched:  cfg.Unbatched,
 		dur:        cfg.Durable,
 		health:     cfg.Health.norm(),
+		gossip:     cfg.Gossip,
 		handlers:   make(map[ids.PID]transport.Handler),
 		peers:      make(map[int]*peer),
 		inbound:    make(map[int]*inbound),
@@ -402,6 +448,37 @@ func (n *Node) SetPeer(id int, addr string) {
 	p.addr = addr
 	p.cond.Broadcast()
 	p.mu.Unlock()
+}
+
+// Gossip queues one opaque membership payload toward a peer,
+// best-effort (see GossipConfig). It reports whether the payload was
+// accepted for writing — false when the peer is dead, the node closed,
+// or the target is self. The payload is copied; the caller keeps the
+// buffer. At most maxPendingGossip payloads wait per peer; beyond
+// that, the oldest pending payload is superseded.
+func (n *Node) Gossip(to int, payload []byte) bool {
+	if to == n.id || len(payload) == 0 {
+		return false
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return false
+	}
+	p := n.peer(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.dead {
+		return false
+	}
+	if len(p.gossip) >= maxPendingGossip {
+		p.gossip = p.gossip[1:]
+		n.gossipDrops.Add(1)
+	}
+	p.gossip = append(p.gossip, append([]byte(nil), payload...))
+	p.cond.Broadcast()
+	return true
 }
 
 // peer returns (creating if needed) the send-side state for node id.
@@ -624,6 +701,7 @@ func (n *Node) Close() {
 		p.queue = nil
 		p.queueBytes = 0
 		p.cursor = 0
+		p.gossip = nil
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
@@ -676,7 +754,9 @@ func (n *Node) WireStats() WireStats {
 		DialFailures: n.dialFails.Load(),
 		QueueFull:    n.queueFull.Load(), Flushes: n.flushes.Load(),
 		ProbesSent: n.probesSent.Load(), ProbesRecv: n.probesRecv.Load(),
-		DeadDrops: n.deadDrops.Load(),
+		DeadDrops:  n.deadDrops.Load(),
+		GossipSent: n.gossipSent.Load(), GossipRecv: n.gossipRecv.Load(),
+		GossipDrops: n.gossipDrops.Load(),
 	}
 	for _, h := range n.healthSnapshot() {
 		switch PeerState(h.state.Load()) {
@@ -1034,6 +1114,27 @@ func (n *Node) serveConn(c net.Conn) {
 			sendAck(true)
 			continue
 		}
+		if ftype == frameGossip {
+			// Out-of-band membership payload: hand it up, answer with our
+			// own view on the same connection (push-pull; only the
+			// acceptor replies, so no loop forms). body aliases the read
+			// scratch buffer — the callback gets a copy.
+			n.gossipRecv.Add(1)
+			if cb := n.gossip.OnPayload; cb != nil {
+				cb(from, append([]byte(nil), body...))
+			}
+			if rp := n.gossip.Reply; rp != nil {
+				if payload := rp(from); len(payload) > 0 {
+					wmu.Lock()
+					werr := n.writeFrame(c, frameGossip, payload)
+					wmu.Unlock()
+					if werr == nil {
+						n.gossipSent.Add(1)
+					}
+				}
+			}
+			continue
+		}
 		if ftype != frameMsg {
 			n.event("wire: node %d got unexpected frame type %d from node %d", n.id, ftype, from)
 			return
@@ -1279,27 +1380,38 @@ func (p *peer) pruneLocked(acked uint64) int {
 func (p *peer) readAcks(conn net.Conn, gen uint64) {
 	br := bufio.NewReader(conn)
 	var scratch []byte // ack frames are tiny; one buffer serves them all
+loop:
 	for {
 		ftype, body, err := p.n.readFrame(br, &scratch)
 		if err != nil {
 			break
 		}
-		if ftype != frameAck {
-			break
+		switch ftype {
+		case frameAck:
+			acked, err := parseSeq(body)
+			if err != nil {
+				break loop
+			}
+			p.n.acksRecv.Add(1)
+			p.n.heard(p.health)
+			p.mu.Lock()
+			retired := p.pruneLocked(acked)
+			p.mu.Unlock()
+			if retired > 0 && p.n.dur != nil {
+				p.n.dur.AckAdvanced(p.id, acked)
+			}
+			p.n.retire(retired)
+		case frameGossip:
+			// The acceptor's push-pull reply to a gossip push we wrote.
+			// The dialer never replies to a reply (loops; see GossipConfig).
+			p.n.gossipRecv.Add(1)
+			p.n.heard(p.health)
+			if cb := p.n.gossip.OnPayload; cb != nil {
+				cb(p.id, append([]byte(nil), body...))
+			}
+		default:
+			break loop
 		}
-		acked, err := parseSeq(body)
-		if err != nil {
-			break
-		}
-		p.n.acksRecv.Add(1)
-		p.n.heard(p.health)
-		p.mu.Lock()
-		retired := p.pruneLocked(acked)
-		p.mu.Unlock()
-		if retired > 0 && p.n.dur != nil {
-			p.n.dur.AckAdvanced(p.id, acked)
-		}
-		p.n.retire(retired)
 	}
 	conn.Close()
 	p.mu.Lock()
@@ -1324,7 +1436,7 @@ func (p *peer) pump(conn net.Conn) {
 	for {
 		p.mu.Lock()
 		p.pinLo, p.pinHi = 0, 0
-		for p.cursor >= len(p.queue) && !p.probe && !p.closed && !p.dead && p.conn == conn {
+		for p.cursor >= len(p.queue) && len(p.gossip) == 0 && !p.probe && !p.closed && !p.dead && p.conn == conn {
 			lingered = false
 			p.cond.Wait()
 		}
@@ -1333,9 +1445,10 @@ func (p *peer) pump(conn net.Conn) {
 			return
 		}
 		if p.probe {
-			// Pending frames are themselves a heartbeat; a ping frame is
-			// only worth a syscall when the queue has nothing to say.
-			probeOnly := p.cursor >= len(p.queue)
+			// Pending frames — gossip included — are themselves a
+			// heartbeat; a ping frame is only worth a syscall when the
+			// queue has nothing to say.
+			probeOnly := p.cursor >= len(p.queue) && len(p.gossip) == 0
 			p.probe = false
 			if probeOnly {
 				p.mu.Unlock()
@@ -1354,12 +1467,32 @@ func (p *peer) pump(conn net.Conn) {
 		// Copy the pending window and pin its seq range: acks may retire
 		// these frames while we write outside the lock, and a retired
 		// buffer must not be recycled mid-write (see releaseLocked).
+		var gossip [][]byte
+		gossip, p.gossip = p.gossip, nil
 		batch = append(batch[:0], p.queue[p.cursor:]...)
 		p.cursor = len(p.queue)
-		p.pinLo, p.pinHi = batch[0].seq, batch[len(batch)-1].seq
+		if len(batch) > 0 {
+			p.pinLo, p.pinHi = batch[0].seq, batch[len(batch)-1].seq
+		}
 		p.mu.Unlock()
 
-		if p.n.dur != nil {
+		// Gossip frames ride the same buffered write as the batch but
+		// skip its durability barrier: they are out of band (GossipConfig).
+		for _, g := range gossip {
+			if err := p.n.writeFrame(bw, frameGossip, g); err != nil {
+				p.detach(conn)
+				return
+			}
+			p.n.gossipSent.Add(1)
+		}
+		if p.n.unbatched && len(gossip) > 0 {
+			if err := bw.Flush(); err != nil {
+				p.detach(conn)
+				return
+			}
+		}
+
+		if len(batch) > 0 && p.n.dur != nil {
 			// A written frame's seq is burned: make its FrameQueued record
 			// durable before it can reach the network, or a restart could
 			// reuse the seq for different content and the receiver's dedup

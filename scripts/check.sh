@@ -15,14 +15,15 @@ go test ./...
 echo '== go test -shuffle=on (root package: order-independent chaos/e2e suite)'
 go test -shuffle=on -count=1 .
 
-echo '== go test -race (core, netsim, wire, wal, durable, faultwire, oracle, harness)'
-go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/ ./internal/faultwire/ ./internal/oracle/ ./internal/harness/
+echo '== go test -race (core, netsim, wire, wal, durable, faultwire, oracle, harness, cluster)'
+go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/ ./internal/faultwire/ ./internal/oracle/ ./internal/harness/ ./internal/cluster/
 
-echo '== wire + wal fuzz corpus replay'
+echo '== wire + wal + cluster fuzz corpus replay'
 # Replays the seed corpora plus any regression inputs under testdata/fuzz
 # without fuzzing (no -fuzz flag): cheap, deterministic, catches codec,
-# frame-reader, and WAL-record regressions pinned by past crashes.
-go test -run 'Fuzz' -count=1 ./internal/wire/ ./internal/wal/
+# frame-reader, WAL-record, and view-codec regressions pinned by past
+# crashes.
+go test -run 'Fuzz' -count=1 ./internal/wire/ ./internal/wal/ ./internal/cluster/
 
 echo '== hopebench wire smoke'
 # Two-process TCP round trip plus the in-process flood comparison; fails
@@ -49,5 +50,13 @@ echo '== permanent-death chaos smoke (pinned seed)'
 # quiescence deadline), rather than fails fast, if the liveness layer
 # regresses — that hang IS the bug being guarded against.
 go run ./cmd/hopebench chaos --nodes 2 --seed 10 --span 1s --reports 24 --perm-kill
+
+echo '== membership churn smoke (pinned seed)'
+# A 3-node dynamic cluster bootstrapped from one seed node loses a
+# member to SIGKILL mid-speculation and absorbs a replacement: the
+# survivors' views must converge on the death, the orphaned assumptions
+# must be auto-denied, and the sharded-ownership invariant must hold
+# over the final views (agreed live set, agreed ring, live owners).
+go run ./cmd/hopebench chaos --churn --nodes 3 --seed 3 --reports 24
 
 echo 'check: OK'
