@@ -1,7 +1,9 @@
 // The wal experiment prices durability: raw append throughput and
 // latency of the segmented write-ahead log (internal/wal) under each
-// fsync policy, plus the recovery-scan rate when the log is reopened —
-// the two numbers that bound what --data-dir costs a hoped node at
+// fsync policy — optionally with concurrent appenders sharing group
+// commits — plus the recovery-scan rate when the log is reopened, and a
+// recovery-age sweep showing how checkpoints bound restart replay. These
+// are the numbers that bound what --data-dir costs a hoped node at
 // runtime and at boot.
 package main
 
@@ -11,14 +13,19 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
+	"github.com/hope-dist/hope/internal/durable"
 	"github.com/hope-dist/hope/internal/wal"
 )
 
 // walResult is one policy's run, serialized to --json (BENCH_wal.json).
 type walResult struct {
 	Policy        string  `json:"policy"`
+	Appenders     int     `json:"appenders"`
 	Records       int     `json:"records"`
 	PayloadBytes  int     `json:"payload_bytes"`
 	ElapsedNS     int64   `json:"elapsed_ns"`
@@ -27,18 +34,32 @@ type walResult struct {
 	P50NS         int64   `json:"p50_append_ns"`
 	P99NS         int64   `json:"p99_append_ns"`
 	Syncs         uint64  `json:"syncs"`
+	Batched       uint64  `json:"batched"`
 	Rotations     uint64  `json:"rotations"`
 	ReplayNS      int64   `json:"replay_ns"`
 	ReplayPerSec  float64 `json:"replay_records_per_sec"`
 	Torn          uint64  `json:"torn_truncations"`
 }
 
+// walRecoveryPoint is one history length in the recovery-age sweep:
+// the same workload replayed with and without checkpointing.
+type walRecoveryPoint struct {
+	History         int    `json:"history_records"`
+	CheckpointEvery int    `json:"checkpoint_every"`
+	FullReplayed    uint64 `json:"full_replayed_records"`
+	FullReplayNS    int64  `json:"full_replay_ns"`
+	CkptReplayed    uint64 `json:"ckpt_replayed_records"`
+	CkptTail        uint64 `json:"ckpt_tail_records"`
+	CkptReplayNS    int64  `json:"ckpt_replay_ns"`
+}
+
 type walReport struct {
-	Benchmark string      `json:"benchmark"`
-	Setup     string      `json:"setup"`
-	Command   string      `json:"command"`
-	Date      string      `json:"date"`
-	Runs      []walResult `json:"runs"`
+	Benchmark string             `json:"benchmark"`
+	Setup     string             `json:"setup"`
+	Command   string             `json:"command"`
+	Date      string             `json:"date"`
+	Runs      []walResult        `json:"runs"`
+	Recovery  []walRecoveryPoint `json:"recovery_sweep,omitempty"`
 }
 
 func walExperiment(args []string) error {
@@ -46,38 +67,66 @@ func walExperiment(args []string) error {
 	records := fs.Int("records", 5000, "records to append per policy")
 	size := fs.Int("size", 256, "payload bytes per record (a typical journalled frame)")
 	segBytes := fs.Int64("segment-bytes", 4<<20, "segment rotation threshold")
+	appenders := fs.Int("appenders", 1, "concurrent appender goroutines (always-policy appenders share group commits)")
+	linger := fs.Duration("linger", 0, "group-commit linger: how long an fsync leader waits for followers")
+	ckptEvery := fs.Int("checkpoint-every", 0, "run the recovery-age sweep with a checkpoint every N records (0 = skip the sweep)")
+	histories := fs.String("histories", "1000,4000,16000", "comma-separated history lengths for the recovery-age sweep")
 	jsonOut := fs.String("json", "", "also write the results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	fmt.Println("WAL — append and recovery cost per fsync policy (internal/wal)")
-	fmt.Printf("workload: %d appends × %dB, %dMiB segments; then reopen and replay\n",
-		*records, *size, *segBytes>>20)
-	fmt.Printf("%-10s %12s %10s %12s %12s %7s %14s\n",
-		"policy", "appends/s", "MB/s", "p50-append", "p99-append", "syncs", "replay-rec/s")
+	fmt.Printf("workload: %d appends × %dB across %d appender(s), %dMiB segments, linger %v; then reopen and replay\n",
+		*records, *size, *appenders, *segBytes>>20, *linger)
+	fmt.Printf("%-10s %12s %10s %12s %12s %7s %8s %14s\n",
+		"policy", "appends/s", "MB/s", "p50-append", "p99-append", "syncs", "batched", "replay-rec/s")
 
 	report := walReport{
 		Benchmark: "WAL append throughput/latency + recovery scan, cmd/hopebench wal",
-		Setup: fmt.Sprintf("%d appends of %dB per policy into a fresh log (%dMiB segments), "+
-			"Sync barrier at the end, then a reopen replay scan", *records, *size, *segBytes>>20),
-		Command: "hopebench wal [--records N] [--size B] --json ...",
+		Setup: fmt.Sprintf("%d appends of %dB per policy from %d concurrent appender(s) into a fresh log "+
+			"(%dMiB segments, linger %v), Sync barrier at the end, then a reopen replay scan",
+			*records, *size, *appenders, *segBytes>>20, *linger),
+		Command: "hopebench wal [--records N] [--size B] [--appenders N] [--linger D] [--checkpoint-every N] --json ...",
 		Date:    time.Now().Format("2006-01-02"),
 	}
 	for _, pol := range []wal.Policy{wal.SyncAlways, wal.SyncInterval, wal.SyncNone} {
-		res, err := runWALBench(pol, *records, *size, *segBytes)
+		res, err := runWALBench(pol, *records, *size, *segBytes, *appenders, *linger)
 		if err != nil {
 			return fmt.Errorf("policy %v: %w", pol, err)
 		}
 		report.Runs = append(report.Runs, res)
-		fmt.Printf("%-10s %12.0f %10.1f %12v %12v %7d %14.0f\n",
+		fmt.Printf("%-10s %12.0f %10.1f %12v %12v %7d %8d %14.0f\n",
 			res.Policy, res.AppendsPerSec, res.MBPerSec,
 			time.Duration(res.P50NS).Round(time.Microsecond),
 			time.Duration(res.P99NS).Round(time.Microsecond),
-			res.Syncs, res.ReplayPerSec)
+			res.Syncs, res.Batched, res.ReplayPerSec)
 	}
-	fmt.Println("always pays one fsync per append; interval amortizes them into group commits;")
-	fmt.Println("none defers all durability to Sync/Close and is unsafe across power loss.")
+	fmt.Println("always group-commits: concurrent appenders share one fsync (batched = rides on")
+	fmt.Println("another appender's sync); interval amortizes on a timer; none defers all")
+	fmt.Println("durability to Sync/Close and is unsafe across power loss.")
+
+	if *ckptEvery > 0 {
+		fmt.Printf("\nrecovery-age sweep — replay cost vs history length (checkpoint every %d records)\n", *ckptEvery)
+		fmt.Printf("%-10s %14s %12s %14s %10s %12s\n",
+			"history", "full-replayed", "full-time", "ckpt-replayed", "ckpt-tail", "ckpt-time")
+		for _, field := range strings.Split(*histories, ",") {
+			h, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				return fmt.Errorf("--histories: %w", err)
+			}
+			pt, err := runRecoveryAge(h, *ckptEvery)
+			if err != nil {
+				return fmt.Errorf("history %d: %w", h, err)
+			}
+			report.Recovery = append(report.Recovery, pt)
+			fmt.Printf("%-10d %14d %12v %14d %10d %12v\n",
+				pt.History, pt.FullReplayed, time.Duration(pt.FullReplayNS).Round(time.Microsecond),
+				pt.CkptReplayed, pt.CkptTail, time.Duration(pt.CkptReplayNS).Round(time.Microsecond))
+		}
+		fmt.Println("full replay grows with history; checkpointed replay is checkpoint+tail and")
+		fmt.Println("stays flat — restart cost is bounded by --checkpoint-every, not by uptime.")
+	}
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -92,18 +141,19 @@ func walExperiment(args []string) error {
 	return nil
 }
 
-// runWALBench appends into a fresh log under one policy, forces a final
-// durability barrier so the policies are comparable (interval and none
-// would otherwise leave a buffered tail), and reopens the directory to
-// time the recovery scan a hoped boot would perform.
-func runWALBench(pol wal.Policy, records, size int, segBytes int64) (walResult, error) {
+// runWALBench appends into a fresh log under one policy — from several
+// goroutines when appenders > 1, so SyncAlways exercises the shared
+// group commit — forces a final durability barrier so the policies are
+// comparable, and reopens the directory to time the recovery scan a
+// hoped boot would perform.
+func runWALBench(pol wal.Policy, records, size int, segBytes int64, appenders int, linger time.Duration) (walResult, error) {
 	dir, err := os.MkdirTemp("", "hopebench-wal-")
 	if err != nil {
 		return walResult{}, err
 	}
 	defer os.RemoveAll(dir)
 
-	log, err := wal.Open(wal.Options{Dir: dir, Policy: pol, SegmentBytes: segBytes})
+	log, err := wal.Open(wal.Options{Dir: dir, Policy: pol, SegmentBytes: segBytes, Linger: linger})
 	if err != nil {
 		return walResult{}, err
 	}
@@ -111,15 +161,37 @@ func runWALBench(pol wal.Policy, records, size int, segBytes int64) (walResult, 
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	lat := make([]time.Duration, records)
+	if appenders < 1 {
+		appenders = 1
+	}
+	per := records / appenders
+	records = per * appenders
+	lats := make([][]time.Duration, appenders)
+	errs := make([]error, appenders)
+	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < records; i++ {
-		t0 := time.Now()
-		if _, err := log.Append(payload); err != nil {
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lat := make([]time.Duration, per)
+			for i := 0; i < per; i++ {
+				t0 := time.Now()
+				if _, err := log.Append(payload); err != nil {
+					errs[g] = err
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+			lats[g] = lat
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			log.Close()
 			return walResult{}, err
 		}
-		lat[i] = time.Since(t0)
 	}
 	if err := log.Sync(); err != nil {
 		log.Close()
@@ -145,21 +217,79 @@ func runWALBench(pol wal.Policy, records, size int, segBytes int64) (walResult, 
 		return walResult{}, fmt.Errorf("replay saw %d records, appended %d", replayed, records)
 	}
 
+	var lat []time.Duration
+	for _, l := range lats {
+		lat = append(lat, l...)
+	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	secs := elapsed.Seconds()
 	return walResult{
 		Policy:        pol.String(),
+		Appenders:     appenders,
 		Records:       records,
 		PayloadBytes:  size,
 		ElapsedNS:     elapsed.Nanoseconds(),
 		AppendsPerSec: float64(records) / secs,
 		MBPerSec:      float64(records*size) / secs / (1 << 20),
-		P50NS:         lat[records/2].Nanoseconds(),
-		P99NS:         lat[records*99/100].Nanoseconds(),
+		P50NS:         lat[len(lat)/2].Nanoseconds(),
+		P99NS:         lat[len(lat)*99/100].Nanoseconds(),
 		Syncs:         m.Syncs,
+		Batched:       m.Batched,
 		Rotations:     m.Rotations,
 		ReplayNS:      rm.RecoveryTime.Nanoseconds(),
 		ReplayPerSec:  float64(rm.RecoveredRecords) / rm.RecoveryTime.Seconds(),
 		Torn:          rm.TornTruncations,
+	}, nil
+}
+
+// runRecoveryAge drives the durable store through `history` ack-advance
+// records twice — once with checkpointing off (full-history replay) and
+// once with a checkpoint every ckptEvery records — and times the restart
+// replay of each. Ack watermarks fold to constant-size state, so the
+// checkpointed replay is a small checkpoint body plus a bounded tail,
+// independent of history length; full replay grows with it.
+func runRecoveryAge(history, ckptEvery int) (walRecoveryPoint, error) {
+	replay := func(every int) (*durable.Recovered, error) {
+		dir, err := os.MkdirTemp("", "hopebench-walrec-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		opts := durable.Options{Dir: dir, NodeID: 1, Policy: wal.SyncNone, CheckpointEvery: every}
+		s, _, err := durable.OpenOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < history; i++ {
+			s.AckAdvanced(1, uint64(i+1))
+		}
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+		s2, rec, err := durable.OpenOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		return rec, s2.Close()
+	}
+	full, err := replay(0)
+	if err != nil {
+		return walRecoveryPoint{}, fmt.Errorf("full replay: %w", err)
+	}
+	ckpt, err := replay(ckptEvery)
+	if err != nil {
+		return walRecoveryPoint{}, fmt.Errorf("checkpointed replay: %w", err)
+	}
+	if !ckpt.Checkpointed {
+		return walRecoveryPoint{}, fmt.Errorf("checkpointed run recovered without a checkpoint: %s", ckpt)
+	}
+	return walRecoveryPoint{
+		History:         history,
+		CheckpointEvery: ckptEvery,
+		FullReplayed:    full.Records,
+		FullReplayNS:    int64(full.Duration),
+		CkptReplayed:    ckpt.Records,
+		CkptTail:        ckpt.TailRecords,
+		CkptReplayNS:    int64(ckpt.Duration),
 	}, nil
 }

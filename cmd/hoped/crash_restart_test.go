@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -25,6 +26,20 @@ import (
 // sequential page layout — no print lost, duplicated, or reordered
 // across the crash.
 func TestCrashRestartRecovery(t *testing.T) {
+	crashRestartRecovery(t)
+}
+
+// TestCrashRestartRecoveryCheckpointed is the same crash, but with
+// --checkpoint-every 4 the server writes a multi-record checkpoint
+// bracket roughly every fourth WAL append, so the SIGKILL has a real
+// chance of landing mid-bracket. A torn bracket must be discarded and
+// recovery fall back to the previous checkpoint (or full replay) with
+// the same byte-identical committed page layout.
+func TestCrashRestartRecoveryCheckpointed(t *testing.T) {
+	crashRestartRecovery(t, "--checkpoint-every", "4")
+}
+
+func crashRestartRecovery(t *testing.T, extraArgs ...string) {
 	if testing.Short() {
 		t.Skip("builds and kills child processes; skipped in -short")
 	}
@@ -44,6 +59,7 @@ func TestCrashRestartRecovery(t *testing.T) {
 		"--data-dir", dataDir, "--fsync", "always",
 		"--peer", "0=" + node.Addr(),
 	}
+	args = append(args, extraArgs...)
 	child, boot := startHoped(t, bin, append([]string{"--listen", "127.0.0.1:0"}, args...))
 	if boot.Recovered != "" {
 		t.Fatalf("fresh data dir reported recovery: %s", boot.Recovered)
@@ -115,6 +131,15 @@ func TestCrashRestartRecovery(t *testing.T) {
 			mu.Unlock()
 			for _, e := range ctrace.Events() {
 				fmt.Fprintln(os.Stderr, "CLIENT", e.String())
+			}
+			// Forensics: SIGQUIT dumps the server's goroutines to stderr
+			// (a wedged server is indistinguishable from a protocol bug
+			// without them), and the WAL is preserved for waldump.
+			child2.Process.Signal(syscall.SIGQUIT)
+			time.Sleep(2 * time.Second)
+			if keep, err := os.MkdirTemp("", "hoped-noquiesce-"); err == nil {
+				exec.Command("cp", "-r", dataDir, keep).Run()
+				t.Logf("WAL preserved under %s", keep)
 			}
 			t.Fatalf("no quiescence after restart: done=%d inflight=%d wire=%v",
 				d, node.Inflight(), node.WireStats())

@@ -43,14 +43,15 @@ func main() {
 	}
 }
 
-const maxTag = 13
+const maxTag = 19
 
 func run(dir string, node int, verbose bool) error {
 	names := map[byte]string{
 		1: "peer-send", 2: "peer-ack", 3: "delivered", 4: "consumed",
 		5: "journal", 6: "interval-open", 7: "interval-state", 8: "finalize",
 		9: "rollback", 10: "dead-aid", 11: "compact", 12: "poison",
-		13: "auto-deny",
+		13: "auto-deny", 14: "view-epoch", 15: "ckpt-begin", 16: "ckpt-end",
+		17: "ckpt-abort", 18: "ckpt-seq", 19: "ckpt-proc",
 	}
 	counts := map[byte]uint64{}
 	var total, corrupt uint64
@@ -84,6 +85,10 @@ func run(dir string, node int, verbose bool) error {
 	}
 	if unknown := total - sum(counts, maxTag); unknown > 0 {
 		fmt.Printf("  %-14s %8d\n", "UNKNOWN", unknown)
+	}
+	if counts[15] > 0 || counts[17] > 0 {
+		fmt.Printf("checkpoints: %d begun, %d completed, %d aborted\n",
+			counts[15], counts[16], counts[17])
 	}
 	if corrupt > 0 {
 		fmt.Println("skipping recovery replay: it would truncate at the first corrupt byte")

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/hope-dist/hope/internal/durable"
+	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/wal"
 )
 
@@ -26,6 +28,44 @@ func runCapture(t *testing.T, dir string) string {
 		t.Fatalf("run: %v\n%s", runErr, out)
 	}
 	return string(out)
+}
+
+// TestCheckpointRecordsClassified: a WAL holding a completed checkpoint
+// bracket dumps with the ckpt-* record names, a checkpoint summary line,
+// and a recovery line that reports the snapshot-bounded replay.
+func TestCheckpointRecordsClassified(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := durable.OpenOptions(durable.Options{
+		Dir: dir, NodeID: 1, Policy: wal.SyncNone, CheckpointEvery: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.AutoDenied(ids.AID(100 + i))
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.AutoDenied(ids.AID(200))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCapture(t, dir)
+	for _, want := range []string{"ckpt-begin", "ckpt-end", "auto-deny"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in dump:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "checkpoints: 1 begun, 1 completed, 0 aborted") {
+		t.Fatalf("checkpoint summary missing:\n%s", out)
+	}
+	// The recovery pass must report a snapshot-bounded replay: one tail
+	// record after the adopted checkpoint.
+	if !strings.Contains(out, "tail=1 ckpt") {
+		t.Fatalf("recovery line not checkpoint-bounded:\n%s", out)
+	}
 }
 
 // TestCorruptRecordReportedAndReplaySkipped: a flipped payload byte

@@ -1,0 +1,273 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// A checkpoint bounds recovery: instead of refolding the whole WAL from
+// LSN 0, a restart folds the newest checkpoint bracket plus the records
+// after it. The bracket is written from the store's shadow recover-state
+// — a live fold of every appended record by the exact code recovery runs
+// — as a run of ordinary records between recCkptBegin and recCkptEnd, so
+// "replay the snapshot" and "replay the history it replaces" are the same
+// operation by construction. The write protocol is:
+//
+//  1. Under s.mu (no record can interleave): rotate to a fresh segment,
+//     so the bracket starts a segment and everything before it is
+//     prunable.
+//  2. Append Begin, the state records, then End — unsynced; one fsync at
+//     the end covers the whole bracket.
+//  3. Sync. Only now is the checkpoint real: a crash before this leaves a
+//     torn bracket that recovery discards (and the next boot voids with
+//     recCkptAbort).
+//  4. Prune every segment before Begin.
+//
+// Crash-consistency: the bracket only becomes load-bearing (step 4
+// removes the history it replaces) after it is fully durable (step 3),
+// and recovery adopts a bracket only on seeing End — so at every crash
+// point either the full history or a complete checkpoint (plus the whole
+// tail, synced by its own policy barriers) is on disk.
+
+// errCheckpointDisabled is returned by Checkpoint when the store was
+// opened with CheckpointEvery == 0 (or the shadow fold failed).
+var errCheckpointDisabled = errors.New("durable: checkpointing disabled")
+
+// Checkpoint forces a durable checkpoint now, regardless of the
+// CheckpointEvery cadence.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shadow == nil {
+		return errCheckpointDisabled
+	}
+	return s.checkpointLocked()
+}
+
+// Checkpoints reports how many checkpoints this store has written.
+func (s *Store) Checkpoints() uint64 { return s.ckpts.Load() }
+
+// LastCheckpointLSN reports the Begin LSN of the newest written
+// checkpoint (0 if none this run).
+func (s *Store) LastCheckpointLSN() uint64 { return s.lastCkpt.Load() }
+
+// checkpointLocked writes one checkpoint. Caller holds s.mu, which
+// serializes it against every record append.
+func (s *Store) checkpointLocked() error {
+	s.sinceCkpt = 0
+	recs, end, err := encodeCheckpoint(s.shadow, s.ckpts.Load()+1)
+	if err != nil {
+		// Nothing was written; the WAL is untouched. Checkpointing for
+		// this state is hopeless until the offending record is rolled
+		// back, but appends and full-replay recovery are unaffected.
+		return fmt.Errorf("durable: encode checkpoint: %w", err)
+	}
+	if err := s.log.Rotate(); err != nil {
+		return fmt.Errorf("durable: checkpoint rotate: %w", err)
+	}
+	begin, err := s.log.AppendNoSync(recs[0])
+	if err != nil {
+		return fmt.Errorf("durable: checkpoint begin: %w", err)
+	}
+	for _, rec := range recs[1:] {
+		if _, err := s.log.AppendNoSync(rec); err != nil {
+			s.abortBracketLocked()
+			return fmt.Errorf("durable: checkpoint body: %w", err)
+		}
+	}
+	if _, err := s.log.AppendNoSync(end); err != nil {
+		s.abortBracketLocked()
+		return fmt.Errorf("durable: checkpoint end: %w", err)
+	}
+	// The bracket must be durable before it authorizes pruning the
+	// history it replaces — even under SyncNone, where losing the
+	// checkpoint AND the pruned history would exceed the policy's bargain.
+	if err := s.log.Sync(); err != nil {
+		return fmt.Errorf("durable: checkpoint sync: %w", err)
+	}
+	s.ckpts.Add(1)
+	s.lastCkpt.Store(begin)
+	s.lastCkptLen = len(recs) + 1 // + the End record; feeds the amortized cadence
+	if err := s.log.Prune(begin); err != nil {
+		// The checkpoint is valid; stale segments just linger until the
+		// next prune succeeds.
+		s.tracer.Emit(trace.Event{Kind: trace.Transport,
+			Detail: fmt.Sprintf("durable: checkpoint prune: %v", err)})
+	}
+	return nil
+}
+
+// abortBracketLocked voids a half-written bracket so recovery cannot
+// mistake later records for its continuation. Best effort: if even this
+// append fails the log is latched and refuses everything anyway.
+func (s *Store) abortBracketLocked() {
+	if _, err := s.log.AppendNoSync([]byte{recCkptAbort}); err == nil {
+		s.log.Sync()
+	}
+}
+
+// encodeCheckpoint flattens rs into the bracket records: recs[0] is the
+// Begin record, recs[1:] the state, and end the End record (returned
+// separately so a mid-encode failure writes nothing). Iteration over maps
+// is key-sorted purely for deterministic output.
+func encodeCheckpoint(rs *recoverState, ordinal uint64) (recs [][]byte, end []byte, err error) {
+	add := func(b []byte) { recs = append(recs, b) }
+
+	add(appendUv([]byte{recCkptBegin}, ordinal))
+
+	if rs.viewEpoch > 0 {
+		b := appendUv([]byte{recViewEpoch}, rs.viewEpoch)
+		add(appendUv(b, 0)) // live set is informational; epoch is what must survive
+	}
+	for _, a := range rs.deniedSeq {
+		add(appendUv([]byte{recAutoDeny}, uint64(a)))
+	}
+
+	// Per-peer wire state: watermarks first (frame replay below can only
+	// raise lastSeq to the highest unacked frame, not past acked ones),
+	// then the unacked frames in order.
+	for _, peer := range sortedPeers(rs) {
+		p := rs.peers[peer]
+		wm, hasWm := rs.watermk[peer]
+		var flags byte
+		if p != nil {
+			flags |= ckptHasPeer
+		}
+		if hasWm {
+			flags |= ckptHasWm
+		}
+		b := appendUv([]byte{recCkptSeq}, uint64(peer))
+		b = append(b, flags)
+		if p != nil {
+			b = appendUv(b, p.lastSeq)
+		}
+		if hasWm {
+			b = appendUv(b, wm)
+		}
+		add(b)
+		if p != nil {
+			for _, f := range p.frames {
+				b := appendUv([]byte{recPeerSend}, uint64(peer))
+				b = appendUv(b, f.Seq)
+				add(append(b, f.Frame...))
+			}
+		}
+	}
+
+	// Inbox, in arrival order, before any journal record (the re-folded
+	// journals re-mark their receives consumed). A consumed entry is
+	// retained only while some journalled receive could still release it
+	// by rolling back; once no journal references it, it is permanently
+	// consumed and simply omitted.
+	releasable := make(map[inKey]bool)
+	for _, p := range rs.procs {
+		for _, e := range p.entries {
+			if e.Msg != nil && e.Msg.SrcSeq != 0 &&
+				(e.Kind == journal.KindRecv || e.Kind == journal.KindTryRecv) {
+				releasable[inKey{from: e.Msg.SrcNode, seq: e.Msg.SrcSeq}] = true
+			}
+		}
+	}
+	for _, im := range rs.inbox {
+		if im.consumed && !releasable[im.inKey] {
+			continue
+		}
+		b := appendUv([]byte{recDelivered}, uint64(im.from))
+		b = appendUv(b, im.seq)
+		add(append(b, im.frame...))
+	}
+
+	// Per-process engine state. The base snapshot goes first (its fold
+	// clears the journal), then intervals with their current sets and
+	// flags, the journal, learned-dead AIDs, and finally the high-waters
+	// and flags no re-emitted record can reproduce.
+	pids := make([]ids.PID, 0, len(rs.procs))
+	for pid := range rs.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	var pendings []*rProc
+	var pendingPIDs []ids.PID
+	for _, pid := range pids {
+		p := rs.procs[pid]
+		if p.hasBase {
+			b := appendUv([]byte{recCompact}, uint64(pid))
+			b = appendIID(b, ids.IntervalID{}) // matches no interval: folds to base-only
+			b, err = appendAny(b, p.base)
+			if err != nil {
+				return nil, nil, err
+			}
+			add(b)
+		}
+		for _, ri := range p.intervals {
+			b := appendUv([]byte{recIntervalOpen}, uint64(pid))
+			add(appendInterval(b, ri))
+		}
+		for _, e := range p.entries {
+			b := appendUv([]byte{recJournal}, uint64(pid))
+			b, err = appendEntry(b, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			add(b)
+		}
+		for _, a := range p.deadOrder {
+			b := appendUv([]byte{recDeadAID}, uint64(pid))
+			add(appendUv(b, uint64(a)))
+		}
+		b := appendUv([]byte{recCkptProc}, uint64(pid))
+		b = appendUv(b, uint64(p.maxSeq))
+		b = appendUv(b, uint64(p.maxEpoch))
+		var flags byte
+		if p.terminated {
+			flags |= ckptTerminated
+		}
+		add(append(b, flags))
+		if p.poisoned {
+			b := appendUv([]byte{recPoison}, uint64(pid))
+			add(append(b, "carried across checkpoint"...))
+		}
+		if p.lastSend != nil && p.lastSendLSN > p.lastFrameLSN && !p.terminated {
+			pendings = append(pendings, p)
+			pendingPIDs = append(pendingPIDs, pid)
+		}
+	}
+
+	// End: the authoritative pending-resend set (see recoverState.adopt).
+	end = appendUv([]byte{recCkptEnd}, uint64(len(pendings)))
+	for i, p := range pendings {
+		end = appendUv(end, uint64(pendingPIDs[i]))
+		mb, err := wire.EncodeMessage(p.lastSend.Msg)
+		if err != nil {
+			return nil, nil, err
+		}
+		end = appendUv(end, uint64(len(mb)))
+		end = append(end, mb...)
+	}
+	return recs, end, nil
+}
+
+func sortedPeers(rs *recoverState) []int {
+	seen := make(map[int]bool, len(rs.peers)+len(rs.watermk))
+	var peers []int
+	for id := range rs.peers {
+		if !seen[id] {
+			seen[id] = true
+			peers = append(peers, id)
+		}
+	}
+	for id := range rs.watermk {
+		if !seen[id] {
+			seen[id] = true
+			peers = append(peers, id)
+		}
+	}
+	sort.Ints(peers)
+	return peers
+}

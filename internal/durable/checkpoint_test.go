@@ -1,0 +1,429 @@
+package durable
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/wal"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// openStoreCkpt opens a store with checkpointing armed but on a cadence
+// far too long to fire on its own; tests call Checkpoint() explicitly.
+func openStoreCkpt(t *testing.T, dir string, every int) (*Store, *Recovered) {
+	t.Helper()
+	s, rec, err := OpenOptions(Options{
+		Dir: dir, NodeID: testSelf, Policy: wal.SyncAlways, CheckpointEvery: every,
+	})
+	if err != nil {
+		t.Fatalf("OpenOptions: %v", err)
+	}
+	return s, rec
+}
+
+// drivePre writes a state that exercises every record type the
+// checkpoint must re-emit: unacked and fully-acked peers, an inbox with
+// permanently consumed, releasably consumed, and unconsumed entries,
+// procs with compaction bases, rollbacks, dead AIDs, a pending
+// (journalled-but-unqueued) send, a terminated proc, auto-denials, and a
+// view epoch.
+func drivePre(t *testing.T, s *Store) {
+	t.Helper()
+	// Peer 1: frames 1..4, acked through 2. Peer 2: all acked (watermark only).
+	for seq := uint64(1); seq <= 4; seq++ {
+		m := msg.Data(localPID(1), remotePID(1), ids.IntervalID{}, nil, int(seq))
+		s.FrameQueued(1, seq, encode(t, m))
+	}
+	s.AckAdvanced(1, 2)
+	s.FrameQueued(2, 7, encode(t, msg.Data(localPID(1), wire.PIDBase(2)+5, ids.IntervalID{}, nil, "x")))
+	s.AckAdvanced(2, 7)
+
+	// Inbound: seq 1 consumed with no journal (permanent), seq 2 consumed
+	// by a journalled receive (releasable), seq 3 unconsumed.
+	for seq := uint64(1); seq <= 3; seq++ {
+		m := msg.Data(remotePID(1), localPID(1), ids.IntervalID{}, nil, int(100+seq))
+		if err := s.Delivered(1, seq, encode(t, m)); err != nil {
+			t.Fatalf("Delivered: %v", err)
+		}
+	}
+	s.Consumed(1, 1)
+
+	// Proc A: root + speculative interval, journal with a receive of
+	// (1,2), a note, a compacted base, a rollback that released an even
+	// earlier receive, dead AIDs.
+	pa := localPID(1)
+	x := ids.AID(remotePID(9))
+	root := interval.NewRecord(ids.IntervalID{Proc: pa, Seq: 0, Epoch: 1}, interval.Root, 0)
+	s.IntervalOpen(pa, root)
+	spec := interval.NewRecord(ids.IntervalID{Proc: pa, Seq: 1, Epoch: 2}, interval.Guessed, 0)
+	spec.GuessAID = x
+	spec.IDO.Add(x)
+	s.IntervalOpen(pa, spec)
+	s.JournalAppend(pa, &journal.Entry{Kind: journal.KindGuess, AID: x, Result: true, Interval: spec.ID})
+	in := msg.Data(remotePID(2), pa, ids.IntervalID{}, nil, "req")
+	in.SrcNode, in.SrcSeq = 1, 2
+	s.JournalAppend(pa, &journal.Entry{Kind: journal.KindRecv, Msg: in})
+	s.JournalAppend(pa, &journal.Entry{Kind: journal.KindNote, Note: int64(41)})
+	spec.IHA.Add(ids.AID(remotePID(10)))
+	s.IntervalState(pa, spec)
+	s.IntervalFinalize(pa, spec.ID)
+	if err := s.Compact(pa, spec.ID, int(42)); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.JournalAppend(pa, &journal.Entry{Kind: journal.KindNote, Note: "post-compact"})
+	s.DeadAID(pa, ids.AID(remotePID(11)))
+
+	// Proc B: a rolled-back speculation (maxSeq outlives the interval)
+	// and a journalled send whose frame never made a queue (pending).
+	pb := localPID(2)
+	rootB := interval.NewRecord(ids.IntervalID{Proc: pb, Seq: 0, Epoch: 1}, interval.Root, 0)
+	s.IntervalOpen(pb, rootB)
+	specB := interval.NewRecord(ids.IntervalID{Proc: pb, Seq: 1, Epoch: 2}, interval.Implicit, 0)
+	s.IntervalOpen(pb, specB)
+	s.Rollback(pb, specB.ID)
+	pend := msg.Data(pb, remotePID(3), rootB.ID, nil, "pending-send")
+	s.JournalAppend(pb, &journal.Entry{Kind: journal.KindSend, Msg: pend, Interval: rootB.ID})
+
+	// Proc C: terminated (root rolled back).
+	pc := localPID(3)
+	rootC := interval.NewRecord(ids.IntervalID{Proc: pc, Seq: 0, Epoch: 1}, interval.Root, 0)
+	s.IntervalOpen(pc, rootC)
+	s.Rollback(pc, rootC.ID)
+
+	s.AutoDenied(ids.AID(remotePID(20)))
+	s.ViewChanged(5, []int{0, 1})
+}
+
+// driveTail appends post-checkpoint records that interact with
+// checkpointed state: an ack that retires a checkpointed frame, a
+// rollback that releases a checkpointed receive, and fresh deliveries.
+func driveTail(t *testing.T, s *Store) {
+	t.Helper()
+	s.AckAdvanced(1, 3)
+	m := msg.Data(remotePID(1), localPID(1), ids.IntervalID{}, nil, 999)
+	if err := s.Delivered(1, 4, encode(t, m)); err != nil {
+		t.Fatalf("Delivered: %v", err)
+	}
+	s.AutoDenied(ids.AID(remotePID(21)))
+	s.JournalAppend(localPID(1), &journal.Entry{Kind: journal.KindNote, Note: "tail"})
+}
+
+// normalize strips the scan metrics that legitimately differ between a
+// full replay and a checkpoint + tail replay of the same history.
+func normalize(r *Recovered) *Recovered {
+	c := *r
+	c.Records, c.Truncations, c.Duration = 0, 0, 0
+	c.Checkpointed, c.FromLSN, c.TailRecords = false, 0, 0
+	return &c
+}
+
+// TestCheckpointRecoveryEquivalence is the core contract: recovering
+// from checkpoint + tail must produce exactly the state recovering from
+// the full history produces.
+func TestCheckpointRecoveryEquivalence(t *testing.T) {
+	plainDir, ckptDir := t.TempDir(), t.TempDir()
+
+	plain, rec := openStore(t, plainDir)
+	if !rec.Empty() {
+		t.Fatalf("fresh dir not empty: %s", rec)
+	}
+	drivePre(t, plain)
+	driveTail(t, plain)
+	if err := plain.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ck, _ := openStoreCkpt(t, ckptDir, 1<<30)
+	drivePre(t, ck)
+	if err := ck.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	driveTail(t, ck)
+	if err := ck.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	p2, recPlain := openStore(t, plainDir)
+	defer p2.Close()
+	c2, recCkpt := openStoreCkpt(t, ckptDir, 1<<30)
+	defer c2.Close()
+
+	if !recCkpt.Checkpointed {
+		t.Fatal("checkpointed store did not recover via its checkpoint")
+	}
+	if len(recCkpt.Resend) != 1 || recCkpt.Resend[0].Payload != "pending-send" {
+		t.Fatalf("Resend across checkpoint = %v, want the pending send", recCkpt.Resend)
+	}
+	if got, want := normalize(recCkpt), normalize(recPlain); !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpoint+tail recovery diverged from full replay:\n ckpt: %+v\nplain: %+v", got, want)
+	}
+}
+
+// TestCheckpointBoundsReplay: after a checkpoint, restart replays only
+// the bracket + tail — the pre-checkpoint history is pruned and the tail
+// record count is independent of it.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreCkpt(t, dir, 1<<30)
+	drivePre(t, s)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	begin := s.LastCheckpointLSN()
+	if begin == 0 {
+		t.Fatal("LastCheckpointLSN = 0 after a checkpoint")
+	}
+	if s.Checkpoints() != 1 {
+		t.Fatalf("Checkpoints = %d, want 1", s.Checkpoints())
+	}
+	driveTail(t, s) // 4 records
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openStoreCkpt(t, dir, 1<<30)
+	defer s2.Close()
+	if !rec.Checkpointed {
+		t.Fatalf("recovery ignored the checkpoint: %s", rec)
+	}
+	if rec.FromLSN != begin {
+		t.Fatalf("FromLSN = %d, want checkpoint begin %d", rec.FromLSN, begin)
+	}
+	if rec.TailRecords != 4 {
+		t.Fatalf("TailRecords = %d, want 4 (the post-checkpoint appends)", rec.TailRecords)
+	}
+	// The history before the checkpoint is gone from disk: the scan
+	// starts at the checkpoint's segment.
+	if m := s2.Log().Metrics(); m.RecoveredFrom != begin {
+		t.Fatalf("WAL scan started at %d, want pruned down to %d", m.RecoveredFrom, begin)
+	}
+}
+
+// TestTornCheckpointDiscarded: a bracket with no End (crash mid-
+// checkpoint) must be ignored — recovery falls back to the full history
+// — and the next boot's Abort record must keep post-crash appends out of
+// the dead bracket.
+func TestTornCheckpointDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreCkpt(t, dir, 1<<30)
+	drivePre(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Baseline: what a clean recovery of this history looks like.
+	sb, base := openStoreCkpt(t, dir, 1<<30)
+	if err := sb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate the torn checkpoint: Begin plus some state records, no
+	// End. The denial inside the bracket must never surface.
+	log, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	if _, err := log.Append(appendUv([]byte{recCkptBegin}, 99)); err != nil {
+		t.Fatalf("append begin: %v", err)
+	}
+	marker := ids.AID(remotePID(77))
+	if _, err := log.Append(appendUv([]byte{recAutoDeny}, uint64(marker))); err != nil {
+		t.Fatalf("append body: %v", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("close wal: %v", err)
+	}
+
+	s2, rec := openStoreCkpt(t, dir, 1<<30)
+	if rec.Checkpointed {
+		t.Fatal("recovery adopted a torn checkpoint")
+	}
+	for _, a := range rec.Denied {
+		if a == marker {
+			t.Fatal("denial from inside the torn bracket leaked into recovery")
+		}
+	}
+	if got, want := normalize(rec), normalize(base); !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn-bracket recovery diverged from clean history:\n got: %+v\nwant: %+v", got, want)
+	}
+	// Post-crash appends land after the boot-time Abort...
+	s2.AutoDenied(ids.AID(remotePID(30)))
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// ...so the next recovery keeps them instead of folding them into the
+	// discarded bracket.
+	s3, rec3 := openStoreCkpt(t, dir, 1<<30)
+	defer s3.Close()
+	found := false
+	for _, a := range rec3.Denied {
+		if a == marker {
+			t.Fatal("torn-bracket denial resurfaced after the abort")
+		}
+		if a == ids.AID(remotePID(30)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("append after a torn bracket was lost (Abort record missing?)")
+	}
+
+	// A later real checkpoint folds everything — including the post-crash
+	// append — and recovery adopts it.
+	if err := s3.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after torn bracket: %v", err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s4, rec4 := openStoreCkpt(t, dir, 1<<30)
+	defer s4.Close()
+	if !rec4.Checkpointed {
+		t.Fatal("post-repair checkpoint not adopted")
+	}
+	if got, want := normalize(rec4), normalize(rec3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-repair checkpoint diverged:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestCheckpointCadence: the every-N trigger fires on its own and prunes
+// as it goes; recovery cost stays bounded as history grows.
+func TestCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenOptions(Options{
+		Dir: dir, NodeID: testSelf, Policy: wal.SyncNone,
+		CheckpointEvery: 50, SegmentBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("OpenOptions: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		s.AutoDenied(ids.AID(remotePID(uint64(1000 + i))))
+	}
+	// The denied set is itself state, so each bracket grows with history
+	// and the amortized cadence (sinceCkpt must also reach the last
+	// bracket's length) spaces checkpoints out as they get heavier —
+	// 4 here, not the naive 500/50 = 10.
+	if got := s.Checkpoints(); got < 3 {
+		t.Fatalf("Checkpoints = %d after 500 appends at every=50", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec, err := OpenOptions(Options{
+		Dir: dir, NodeID: testSelf, Policy: wal.SyncNone, CheckpointEvery: 50,
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if !rec.Checkpointed {
+		t.Fatalf("recovery did not adopt a checkpoint: %s", rec)
+	}
+	if len(rec.Denied) != 500 {
+		t.Fatalf("recovered %d denials, want all 500", len(rec.Denied))
+	}
+	// The whole point: replay cost tracks the tail, not the history.
+	if rec.TailRecords > 100 {
+		t.Fatalf("TailRecords = %d: replay not bounded by checkpoint cadence", rec.TailRecords)
+	}
+}
+
+// TestCheckpointCadenceBoundedState is the positive control for the
+// amortized cadence: when the folded state stays constant-size (ack
+// watermarks), brackets stay tiny and the cadence runs at exactly
+// CheckpointEvery.
+func TestCheckpointCadenceBoundedState(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenOptions(Options{
+		Dir: dir, NodeID: testSelf, Policy: wal.SyncNone, CheckpointEvery: 50,
+	})
+	if err != nil {
+		t.Fatalf("OpenOptions: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 500; i++ {
+		s.AckAdvanced(9, uint64(i+1))
+	}
+	if got := s.Checkpoints(); got != 10 {
+		t.Fatalf("Checkpoints = %d, want 10 (500 constant-state appends at every=50)", got)
+	}
+}
+
+// TestEngineRestoreRoundTripCheckpointed is the engine round-trip test
+// with aggressive checkpointing underneath: replay-from-snapshot must be
+// invisible to the engine.
+func TestEngineRestoreRoundTripCheckpointed(t *testing.T) {
+	dir := t.TempDir()
+	s, rec, err := OpenOptions(Options{
+		Dir: dir, NodeID: testSelf, Policy: wal.SyncAlways, CheckpointEvery: 2,
+	})
+	if err != nil {
+		t.Fatalf("OpenOptions: %v", err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh dir not empty: %s", rec)
+	}
+	eng := core.NewEngine(core.Config{Persist: s})
+	p, err := eng.SpawnRoot(func(ctx *core.Ctx) error {
+		v := ctx.Record(func() any { return int64(7) }).(int64)
+		_ = v
+		_, _ = ctx.GuessNew(ids.NilAID)
+		_, _, err := ctx.Recv()
+		return err
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if !eng.Settle(10 * time.Second) {
+		t.Fatal("no settle")
+	}
+	pid := p.PID()
+	eng.Shutdown()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec2, err := OpenOptions(Options{
+		Dir: dir, NodeID: testSelf, Policy: wal.SyncAlways, CheckpointEvery: 2,
+	})
+	if err != nil {
+		t.Fatalf("OpenOptions: %v", err)
+	}
+	defer s2.Close()
+	if !rec2.Checkpointed {
+		t.Fatalf("no checkpoint adopted at every=2: %s", rec2)
+	}
+	r := rec2.Restore[pid]
+	if r == nil {
+		t.Fatalf("no restored state for %s; restore=%v", pid, rec2.Restore)
+	}
+	eng2 := core.NewEngine(core.Config{Persist: s2, Restore: rec2.Restore})
+	defer eng2.Shutdown()
+	p2, err := eng2.SpawnRoot(func(ctx *core.Ctx) error {
+		v := ctx.Record(func() any { return int64(8) }).(int64)
+		if v != 7 {
+			t.Errorf("replayed Record = %d, want journalled 7", v)
+		}
+		_, _ = ctx.GuessNew(ids.NilAID)
+		_, _, err := ctx.Recv()
+		return err
+	})
+	if err != nil {
+		t.Fatalf("respawn: %v", err)
+	}
+	if p2.PID() != pid {
+		t.Fatalf("respawn drew %s, want %s", p2.PID(), pid)
+	}
+	if !eng2.Settle(10 * time.Second) {
+		t.Fatal("no settle after checkpointed restore")
+	}
+}

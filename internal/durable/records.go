@@ -43,6 +43,30 @@ const (
 	recPoison        = 12 // pid, reason — persistence failed; drop pid from recovery
 	recAutoDeny      = 13 // aid — assumption auto-denied by the liveness layer (engine-level, no pid)
 	recViewEpoch     = 14 // epoch, live IDs — cluster membership view published at this epoch
+
+	// Checkpoint bracket. A checkpoint is an ordinary run of records —
+	// re-emitted from the store's shadow recover-state — delimited by
+	// Begin/End, so the same fold that replays live history replays a
+	// snapshot. Recovery folds the bracket into a nested state and adopts
+	// it (replacing everything before Begin) only when End arrives; a torn
+	// bracket is discarded, and the next boot appends Abort so the records
+	// after the torn bracket are never mistaken for its continuation.
+	recCkptBegin = 15 // ckpt ordinal — start of a checkpoint bracket
+	recCkptEnd   = 16 // pending resends (pid, msg)* — end of bracket; adopt it
+	recCkptAbort = 17 // (empty) — the preceding unclosed bracket is void
+	recCkptSeq   = 18 // peer, flags, [sendSeq], [delivered] — per-peer watermarks a frame replay cannot reproduce
+	recCkptProc  = 19 // pid, maxSeq, maxEpoch, flags — per-proc high-waters (rollback can shrink the interval set below them)
+)
+
+// recCkptSeq flag bits.
+const (
+	ckptHasPeer = 1 << iota // a send-side peer entry exists (sendSeq follows)
+	ckptHasWm               // a delivered watermark exists (delivered follows)
+)
+
+// recCkptProc flag bits.
+const (
+	ckptTerminated = 1 << iota // the process's root rolled back pre-checkpoint
 )
 
 // anyEnv wraps interface values (journal notes, compaction snapshots) so

@@ -45,6 +45,15 @@ type Recovered struct {
 	Records     uint64
 	Truncations uint64
 	Duration    time.Duration
+
+	// Checkpointed reports whether recovery adopted a durable checkpoint;
+	// FromLSN is the LSN replay effectively restarted from (the adopted
+	// checkpoint's Begin record, else the first record on disk) and
+	// TailRecords counts the records folded after that point — the part of
+	// recovery whose cost grows with workload, not with history.
+	Checkpointed bool
+	FromLSN      uint64
+	TailRecords  uint64
 }
 
 // Empty reports whether the WAL held no state (first boot).
@@ -67,6 +76,10 @@ func (r *Recovered) String() string {
 		len(r.Denied), r.Truncations, r.Duration.Round(time.Microsecond))
 	if r.ViewEpoch > 0 {
 		out += fmt.Sprintf(" view=e%d", r.ViewEpoch)
+	}
+	out += fmt.Sprintf(" from=%d tail=%d", r.FromLSN, r.TailRecords)
+	if r.Checkpointed {
+		out += " ckpt"
 	}
 	return out
 }
@@ -128,6 +141,16 @@ type recoverState struct {
 	deniedSeq []ids.AID // insertion order, for deterministic restore
 
 	viewEpoch uint64 // highest recViewEpoch seen
+
+	// Checkpoint bracket state. While ckpt is non-nil the stream is inside
+	// a Begin..End bracket and records fold into the nested state instead;
+	// End adopts it wholesale, Abort (or EOF) discards it.
+	ckpt         *recoverState
+	beginLSN     uint64 // LSN of this state's own recCkptBegin (nested states only)
+	adopted      bool   // a checkpoint was adopted
+	adoptedBegin uint64 // Begin LSN of the newest adopted checkpoint
+	tailRecords  uint64 // records folded outside brackets since the last adoption
+	tornBracket  bool   // the stream ended inside an unclosed bracket (set by finish)
 }
 
 func newRecoverState(self int) *recoverState {
@@ -155,6 +178,27 @@ func (rs *recoverState) apply(lsn uint64, payload []byte) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("durable: empty record")
 	}
+	switch payload[0] {
+	case recCkptBegin:
+		// A Begin while already in a bracket can only follow corruption;
+		// the newer bracket wins either way.
+		c := newRecoverState(rs.self)
+		c.beginLSN = lsn
+		rs.ckpt = c
+		return nil
+	case recCkptEnd:
+		if rs.ckpt == nil {
+			return nil // stray End (its bracket was aborted); ignore
+		}
+		return rs.adopt(lsn, payload[1:])
+	case recCkptAbort:
+		rs.ckpt = nil
+		return nil
+	}
+	if rs.ckpt != nil {
+		return rs.ckpt.apply(lsn, payload)
+	}
+	rs.tailRecords++
 	r := &reader{buf: payload[1:]}
 	switch payload[0] {
 	case recPeerSend:
@@ -398,8 +442,131 @@ func (rs *recoverState) apply(lsn uint64, payload []byte) error {
 			rs.viewEpoch = epoch
 		}
 
+	case recCkptSeq:
+		peer, err := r.uv()
+		if err != nil {
+			return err
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if flags&ckptHasPeer != 0 {
+			seq, err := r.uv()
+			if err != nil {
+				return err
+			}
+			p := rs.peers[int(peer)]
+			if p == nil {
+				p = &rPeer{}
+				rs.peers[int(peer)] = p
+			}
+			if seq > p.lastSeq {
+				p.lastSeq = seq
+			}
+		}
+		if flags&ckptHasWm != 0 {
+			d, err := r.uv()
+			if err != nil {
+				return err
+			}
+			if d > rs.watermk[int(peer)] {
+				rs.watermk[int(peer)] = d
+			}
+		}
+
+	case recCkptProc:
+		pid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		maxSeq, err := r.uv()
+		if err != nil {
+			return err
+		}
+		maxEpoch, err := r.uv()
+		if err != nil {
+			return err
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return err
+		}
+		p := rs.proc(ids.PID(pid))
+		if uint32(maxSeq) > p.maxSeq {
+			p.maxSeq = uint32(maxSeq)
+		}
+		if uint32(maxEpoch) > p.maxEpoch {
+			p.maxEpoch = uint32(maxEpoch)
+		}
+		if flags&ckptTerminated != 0 {
+			p.terminated = true
+		}
+
 	default:
 		return fmt.Errorf("durable: unknown record type %d", payload[0])
+	}
+	return nil
+}
+
+// adopt replaces the folded state with the just-completed checkpoint
+// bracket: the bracket re-emitted everything the pre-checkpoint history
+// folded to, so the tail continues from it exactly as it would from the
+// full history. endLSN is the End record's LSN; payload is its body.
+func (rs *recoverState) adopt(endLSN uint64, payload []byte) error {
+	c := rs.ckpt
+	rs.ckpt = nil
+
+	// The End record carries the authoritative pending-resend set: which
+	// journalled sends had no frame enqueued at checkpoint time. The
+	// re-emitted journal entries alone would pair every send against the
+	// surviving frames and mark long-acked sends (whose frames are rightly
+	// absent) as pending, causing duplicate resends.
+	r := &reader{buf: payload}
+	n, err := r.uv()
+	if err != nil {
+		return fmt.Errorf("durable: checkpoint end: %w", err)
+	}
+	type pending struct {
+		pid ids.PID
+		m   *msg.Message
+	}
+	pends := make([]pending, 0, n)
+	for i := uint64(0); i < n; i++ {
+		pid, err := r.uv()
+		if err != nil {
+			return fmt.Errorf("durable: checkpoint end: %w", err)
+		}
+		mlen, err := r.uv()
+		if err != nil {
+			return fmt.Errorf("durable: checkpoint end: %w", err)
+		}
+		mb, err := r.take(int(mlen))
+		if err != nil {
+			return fmt.Errorf("durable: checkpoint end: %w", err)
+		}
+		m, err := wire.DecodeMessage(mb)
+		if err != nil {
+			return fmt.Errorf("durable: checkpoint pending resend: %w", err)
+		}
+		pends = append(pends, pending{pid: ids.PID(pid), m: m})
+	}
+
+	begin := c.beginLSN
+	*rs = *c
+	rs.beginLSN = 0
+	rs.adopted, rs.adoptedBegin, rs.tailRecords = true, begin, 0
+	for _, p := range rs.procs {
+		// Reset send/frame pairing: the bracket's own LSNs mean nothing.
+		// Pending sends are re-marked below; everything else is retired.
+		p.lastSendLSN, p.lastFrameLSN, p.lastSend = 0, 0, nil
+	}
+	for _, pd := range pends {
+		p := rs.proc(pd.pid)
+		p.lastSend = &journal.Entry{Kind: journal.KindSend, Msg: pd.m}
+		// endLSN > 0: still pending unless a tail frame record (whose LSN
+		// exceeds endLSN) retires it, mirroring the live pairing rule.
+		p.lastSendLSN, p.lastFrameLSN = endLSN, 0
 	}
 	return nil
 }
@@ -447,13 +614,29 @@ func (rs *recoverState) rollback(pid ids.PID, iid ids.IntervalID) {
 
 // finish converts the folded state into the boot-time resume values.
 func (rs *recoverState) finish() (*Recovered, error) {
+	if rs.ckpt != nil {
+		// The stream ended inside an unclosed bracket: the checkpoint was
+		// torn mid-write and never acknowledged, so recovery falls back to
+		// the state folded before it. The store must append recCkptAbort
+		// before any new record, or a later recovery would fold those new
+		// records into the discarded bracket.
+		rs.ckpt = nil
+		rs.tornBracket = true
+	}
 	rec := &Recovered{
+		Checkpointed: rs.adopted,
+		FromLSN:      rs.adoptedBegin,
+		TailRecords:  rs.tailRecords,
 		Resume:    &wire.Resume{Peers: make(map[int]wire.ResumePeer), Delivered: rs.watermk},
 		Restore:   make(map[ids.PID]*core.Restored),
 		ViewEpoch: rs.viewEpoch,
 	}
 	for id, p := range rs.peers {
-		rec.Resume.Peers[id] = wire.ResumePeer{NextSeq: p.lastSeq, Frames: p.frames}
+		frames := p.frames
+		if len(frames) == 0 {
+			frames = nil // acked-empty and never-sent fold to the same resume state
+		}
+		rec.Resume.Peers[id] = wire.ResumePeer{NextSeq: p.lastSeq, Frames: frames}
 	}
 	for pid, p := range rs.procs {
 		if p.poisoned || len(p.intervals) == 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/ids"
@@ -23,27 +24,88 @@ type Store struct {
 	policy wal.Policy
 	tracer trace.Tracer
 
-	mu  sync.Mutex // serializes encode-scratch reuse; leaf lock
+	mu  sync.Mutex // serializes encode-scratch reuse and the shadow fold; leaf lock below wal's
 	buf []byte
+
+	// shadow is a live fold of every appended record by the same code
+	// recovery runs; checkpoints are emitted from it (checkpoint.go). nil
+	// when checkpointing is disabled. Guarded by mu.
+	shadow    *recoverState
+	ckptEvery int
+	sinceCkpt int
+	// lastCkptLen is the record count of the newest bracket. The cadence
+	// also waits for sinceCkpt to reach it, so checkpoint overhead is
+	// amortized to at most ~2× the log volume no matter how large the
+	// state grows — without this, a state bigger than CheckpointEvery
+	// makes every few appends re-encode everything, and under load that
+	// feeds back (slow appends → deeper backlogs → bigger state → slower
+	// appends) into congestion collapse.
+	lastCkptLen int
+
+	ckpts    atomic.Uint64
+	lastCkpt atomic.Uint64
 
 	encodeErrs atomic.Uint64
 	poisoned   sync.Map // ids.PID → struct{}: pids whose persistence failed
 }
 
+// Options configures OpenOptions.
+type Options struct {
+	// Dir is the WAL directory.
+	Dir string
+	// NodeID is this node's wire ID (it distinguishes local from remote
+	// PIDs during send/frame pairing).
+	NodeID int
+	// Policy is the WAL fsync policy.
+	Policy wal.Policy
+	// Linger bounds the SyncAlways group-commit leader's wait for
+	// followers (wal.Options.Linger).
+	Linger time.Duration
+	// SegmentBytes overrides the WAL segment size (0 = wal default).
+	SegmentBytes int64
+	// CheckpointEvery writes a durable checkpoint — and prunes the WAL
+	// behind it — every N appended records, bounding restart replay to
+	// checkpoint + tail. 0 disables checkpointing (restart replays the
+	// full history).
+	CheckpointEvery int
+	// Tracer may be nil.
+	Tracer trace.Tracer
+}
+
 // Open opens (creating if necessary) the node's WAL under dir, replays it,
 // and returns the store ready for appends plus everything the runtime
 // needs to resume: wire state, engine state, and pending redeliveries.
-// nodeID is this node's wire ID (it distinguishes local from remote PIDs
-// during send/frame pairing). tracer may be nil.
+// Checkpointing is disabled; use OpenOptions to enable it.
 func Open(dir string, nodeID int, policy wal.Policy, tracer trace.Tracer) (*Store, *Recovered, error) {
-	if tracer == nil {
-		tracer = trace.Nop
+	return OpenOptions(Options{Dir: dir, NodeID: nodeID, Policy: policy, Tracer: tracer})
+}
+
+// OpenOptions is Open with the full option set.
+func OpenOptions(o Options) (*Store, *Recovered, error) {
+	if o.Tracer == nil {
+		o.Tracer = trace.Nop
 	}
-	rs := newRecoverState(nodeID)
+	rs := newRecoverState(o.NodeID)
+	// The shadow is folded separately from rs during the scan: finish()
+	// hands rs's slices and messages to the engine, which mutates them
+	// live; the shadow must never alias state it will later re-encode.
+	var shadow *recoverState
+	onRecord := rs.apply
+	if o.CheckpointEvery > 0 {
+		shadow = newRecoverState(o.NodeID)
+		onRecord = func(lsn uint64, payload []byte) error {
+			if err := rs.apply(lsn, payload); err != nil {
+				return err
+			}
+			return shadow.apply(lsn, payload)
+		}
+	}
 	log, err := wal.Open(wal.Options{
-		Dir:      dir,
-		Policy:   policy,
-		OnRecord: rs.apply,
+		Dir:          o.Dir,
+		Policy:       o.Policy,
+		Linger:       o.Linger,
+		SegmentBytes: o.SegmentBytes,
+		OnRecord:     onRecord,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -57,7 +119,33 @@ func Open(dir string, nodeID int, policy wal.Policy, tracer trace.Tracer) (*Stor
 	rec.Records = m.RecoveredRecords
 	rec.Truncations = m.TornTruncations
 	rec.Duration = m.RecoveryTime
-	return &Store{log: log, policy: policy, tracer: tracer}, rec, nil
+	if !rec.Checkpointed {
+		rec.FromLSN = m.RecoveredFrom
+	}
+	s := &Store{log: log, policy: o.Policy, tracer: o.Tracer,
+		shadow: shadow, ckptEvery: o.CheckpointEvery}
+	if shadow != nil {
+		shadow.ckpt = nil // torn bracket, if any, is void (see below)
+		s.sinceCkpt = int(shadow.tailRecords)
+		if rec.Checkpointed {
+			// The adopted bracket's length re-seeds the amortized cadence.
+			s.lastCkptLen = int(rec.Records - rec.TailRecords)
+		}
+	}
+	if rs.tornBracket {
+		// The log ends inside an unclosed checkpoint bracket. Void it now,
+		// before any other append: otherwise the next recovery would fold
+		// the records that follow into a bracket it is going to discard.
+		if err := s.appendTagged(recCkptAbort, func(b []byte) []byte { return b[:1] }); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("durable: abort torn checkpoint: %w", err)
+		}
+		if err := log.Sync(); err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+	}
+	return s, rec, nil
 }
 
 // Close flushes and closes the WAL.
@@ -72,17 +160,52 @@ func (s *Store) EncodeErrors() uint64 { return s.encodeErrs.Load() }
 
 // append encodes one record with build and appends it to the WAL. The
 // scratch buffer is reused across calls; build must fully overwrite it.
+// The buffered write (and the shadow fold) happen under s.mu, but the
+// SyncAlways durability wait happens after release, so concurrent callers
+// batch into shared fsyncs instead of serializing through them.
 func (s *Store) append(build func(b []byte) ([]byte, error)) error {
 	s.mu.Lock()
 	b, err := build(append(s.buf[:0], 0)) // placeholder for the type tag set by build
+	var lsn uint64
+	wait := false
 	if err == nil {
 		s.buf = b
-		_, err = s.log.Append(b)
+		lsn, err = s.log.AppendNoSync(b)
+		if err == nil {
+			wait = s.policy == wal.SyncAlways
+			if s.shadow != nil {
+				s.foldShadowLocked(lsn, b)
+			}
+		}
 	} else if b != nil {
 		s.buf = b
 	}
 	s.mu.Unlock()
+	if err == nil && wait {
+		err = s.log.WaitDurable(lsn)
+	}
 	return err
+}
+
+// foldShadowLocked feeds one appended record to the shadow recover-state
+// and writes a checkpoint when the cadence comes due. Caller holds s.mu.
+func (s *Store) foldShadowLocked(lsn uint64, payload []byte) {
+	if err := s.shadow.apply(lsn, payload); err != nil {
+		// The shadow diverged from what recovery would compute; emitting a
+		// checkpoint from it could corrupt recovery. Disable checkpointing
+		// for the rest of this run — full replay stays correct.
+		s.shadow = nil
+		s.tracer.Emit(trace.Event{Kind: trace.Transport,
+			Detail: fmt.Sprintf("durable: shadow fold failed, checkpointing disabled: %v", err)})
+		return
+	}
+	s.sinceCkpt++
+	if s.sinceCkpt >= s.ckptEvery && s.sinceCkpt >= s.lastCkptLen {
+		if err := s.checkpointLocked(); err != nil {
+			s.tracer.Emit(trace.Event{Kind: trace.Transport,
+				Detail: fmt.Sprintf("durable: %v", err)})
+		}
+	}
 }
 
 // appendTagged is append for records whose encoding cannot fail.

@@ -21,12 +21,22 @@
 //
 // # Fsync policies
 //
-//   - SyncAlways:   fsync after every Append. Safest, slowest.
-//   - SyncInterval: group commit — appends buffer in memory and a
-//     background ticker fsyncs every Options.Interval. Callers that need
-//     a durability barrier (e.g. before acking a peer) call Sync, which
-//     always performs a real fsync regardless of policy.
+//   - SyncAlways:   every Append returns only after its record is on
+//     stable storage, but concurrent appenders share fsyncs (group
+//     commit): the first caller to need durability becomes the leader,
+//     optionally lingers Options.Linger to let more appends pile in,
+//     and issues one fsync that acks every record it covers; followers
+//     park until a leader's fsync covers their LSN.
+//   - SyncInterval: group commit on a timer — appends buffer in memory
+//     and a background ticker fsyncs every Options.Interval. Callers
+//     that need a durability barrier (e.g. before acking a peer) call
+//     Sync, which always performs a real fsync regardless of policy.
 //   - SyncNone:     never fsync except on Sync/Close. For benchmarks.
+//
+// A failed fsync is latched permanently (the fsyncgate rule: after a
+// failed fsync the kernel may have dropped the dirty pages, so retrying
+// silently would report success against data that never reached disk).
+// Every subsequent Append and Sync returns the first failure.
 package wal
 
 import (
@@ -38,6 +48,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -109,6 +120,12 @@ type Options struct {
 	Policy Policy
 	// Interval is the group-commit period for SyncInterval. Default 2ms.
 	Interval time.Duration
+	// Linger bounds how long a SyncAlways group-commit leader waits for
+	// followers to append before issuing the shared fsync (the same
+	// latency-for-batch-size trade as the wire pump's FlushDelay).
+	// Default 0: batching still happens — appenders that arrive while a
+	// fsync is in flight join the next one — but no latency is added.
+	Linger time.Duration
 	// OnRecord, when non-nil, is invoked for every valid record found
 	// during Open's recovery scan, in LSN order. An error aborts Open.
 	OnRecord func(lsn uint64, payload []byte) error
@@ -119,12 +136,14 @@ type Metrics struct {
 	Appends     uint64 // records appended this run
 	AppendBytes uint64 // payload bytes appended this run
 	Syncs       uint64 // fsyncs issued
+	Batched     uint64 // SyncAlways appends made durable by a fsync another appender led
 	Rotations   uint64 // segment rotations
 	Prunes      uint64 // segments deleted by Prune
 
 	TornTruncations  uint64        // torn-tail truncations during Open
 	RecoveredRecords uint64        // valid records scanned by Open
 	RecoveredBytes   uint64        // payload bytes scanned by Open
+	RecoveredFrom    uint64        // LSN of the first record Open replayed (pruned history starts here)
 	RecoveryTime     time.Duration // wall time of the Open scan
 }
 
@@ -132,6 +151,11 @@ type segment struct {
 	path  string
 	first uint64 // LSN of the segment's first record
 }
+
+// fsyncFile indirects the record-durability fsync so tests can inject
+// failures (the segment header and directory syncs stay direct: they run
+// once per rotation, not per commit).
+var fsyncFile = func(f *os.File) error { return f.Sync() }
 
 // Log is an open write-ahead log. All methods are safe for concurrent use.
 type Log struct {
@@ -143,8 +167,23 @@ type Log struct {
 	segSize  int64 // bytes written to the active segment (incl. header)
 	segments []segment
 	nextLSN  uint64
-	dirty    bool // unsynced appends present
+	dirty    bool  // unsynced appends present
 	closed   bool
+	syncErr  error      // first fsync/flush failure, latched forever (fsyncgate)
+	syncBusy bool       // a shared fsync of l.f is in flight outside l.mu
+	syncIdle *sync.Cond // on l.mu; broadcast when syncBusy clears
+
+	// durableLSN is the group-commit watermark: every record with
+	// LSN < durableLSN is on stable storage.
+	durableLSN atomic.Uint64
+
+	// gc is the SyncAlways leader/follower commit state. Lock order:
+	// gc.mu may be held while taking l.mu, never the reverse.
+	gc struct {
+		mu      sync.Mutex
+		cond    *sync.Cond
+		leading bool // a leader is lingering or fsyncing right now
+	}
 
 	stop chan struct{}
 	done chan struct{}
@@ -152,12 +191,14 @@ type Log struct {
 	appends     atomic.Uint64
 	appendBytes atomic.Uint64
 	syncs       atomic.Uint64
+	batched     atomic.Uint64
 	rotations   atomic.Uint64
 	prunes      atomic.Uint64
 
 	tornTruncations  uint64
 	recoveredRecords uint64
 	recoveredBytes   uint64
+	recoveredFrom    uint64
 	recoveryTime     time.Duration
 }
 
@@ -180,6 +221,8 @@ func Open(opts Options) (*Log, error) {
 	}
 
 	l := &Log{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	l.syncIdle = sync.NewCond(&l.mu)
+	l.gc.cond = sync.NewCond(&l.gc.mu)
 	start := time.Now()
 	if err := l.scan(); err != nil {
 		return nil, err
@@ -189,6 +232,7 @@ func Open(opts Options) (*Log, error) {
 	if err := l.openActive(); err != nil {
 		return nil, err
 	}
+	l.durableLSN.Store(l.nextLSN)
 	if opts.Policy == SyncInterval {
 		go l.groupCommit()
 	} else {
@@ -230,6 +274,7 @@ func (l *Log) scan() error {
 	if len(segs) > 0 {
 		lsn = segs[0].first
 	}
+	l.recoveredFrom = lsn
 	torn := false
 	for _, seg := range segs {
 		if torn || seg.first != lsn {
@@ -398,23 +443,45 @@ func syncDir(dir string) error {
 
 // Append writes one record and returns its LSN. Durability depends on the
 // policy: with SyncAlways the record is on stable storage when Append
-// returns; otherwise call Sync for a barrier.
+// returns (via a group commit shared with concurrent appenders);
+// otherwise call Sync for a barrier.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	return l.append(payload, l.opts.Policy == SyncAlways)
+}
+
+// AppendNoSync writes one record without ever initiating a policy fsync,
+// even under SyncAlways: the caller promises a Sync barrier later. Bulk
+// writers (the durable layer's checkpoint emission) use it so a batch of
+// records costs one fsync, not one per record.
+func (l *Log) AppendNoSync(payload []byte) (uint64, error) {
+	return l.append(payload, false)
+}
+
+func (l *Log) append(payload []byte, waitDurable bool) (uint64, error) {
 	if len(payload) > MaxRecord {
 		return 0, fmt.Errorf("wal: record %d bytes exceeds max %d", len(payload), MaxRecord)
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, errors.New("wal: closed")
+	}
+	if l.syncErr != nil {
+		err := l.failedLocked()
+		l.mu.Unlock()
+		return 0, err
 	}
 	var frame [frameSize]byte
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
 	if _, err := l.bw.Write(frame[:]); err != nil {
+		l.syncErr = err
+		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	if _, err := l.bw.Write(payload); err != nil {
+		l.syncErr = err
+		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	lsn := l.nextLSN
@@ -424,17 +491,156 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.appends.Add(1)
 	l.appendBytes.Add(uint64(len(payload)))
 
-	if l.opts.Policy == SyncAlways {
-		if err := l.syncLocked(); err != nil {
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
 			return 0, err
 		}
 	}
-	if l.segSize >= l.opts.SegmentBytes {
-		if err := l.rotateLocked(); err != nil {
+	l.mu.Unlock()
+
+	if waitDurable {
+		if err := l.commitShared(lsn); err != nil {
 			return 0, err
 		}
 	}
 	return lsn, nil
+}
+
+// commitShared blocks until the record at lsn is on stable storage,
+// sharing fsyncs with concurrent appenders: the first waiter whose LSN is
+// not yet durable becomes the leader, lingers Options.Linger so more
+// appends can pile in, and issues one fsync covering everything buffered
+// so far; the rest park as followers until a leader's fsync covers them.
+// The fsync itself runs outside l.mu, so followers append (and form the
+// next batch) while it is in flight.
+func (l *Log) commitShared(lsn uint64) error {
+	g := &l.gc
+	follower := false
+	g.mu.Lock()
+	for {
+		if l.durableLSN.Load() > lsn {
+			g.mu.Unlock()
+			if follower {
+				l.batched.Add(1)
+			}
+			return nil
+		}
+		if err := l.failed(); err != nil {
+			g.mu.Unlock()
+			return err
+		}
+		if !g.leading {
+			g.leading = true
+			g.mu.Unlock()
+			l.linger()
+			err := l.fsyncShared()
+			g.mu.Lock()
+			g.leading = false
+			g.cond.Broadcast()
+			if err != nil {
+				g.mu.Unlock()
+				return err
+			}
+			continue
+		}
+		follower = true
+		g.cond.Wait()
+	}
+}
+
+// linger gives concurrently-running appenders a chance to join the
+// leader's fsync. time.Sleep is useless at this scale — kernel timer
+// granularity rounds sub-millisecond sleeps up to ~1ms, several times
+// the fsync being amortized — so the leader instead yields the
+// processor and keeps yielding while new appends are still arriving,
+// bounded by the Linger budget. A yield puts the leader behind every
+// runnable appender in the scheduler queue, so one pass typically
+// collects the whole cohort; the arrival check stops the linger as
+// soon as the pipeline runs dry.
+func (l *Log) linger() {
+	if l.opts.Linger <= 0 {
+		return
+	}
+	deadline := time.Now().Add(l.opts.Linger)
+	last := l.appends.Load()
+	for {
+		runtime.Gosched()
+		now := l.appends.Load()
+		if now == last || !time.Now().Before(deadline) {
+			return
+		}
+		last = now
+	}
+}
+
+// fsyncShared performs one leader round: flush the buffer under l.mu,
+// fsync the captured file handle outside it, then advance the durable
+// watermark. Only the group-commit leader calls it.
+func (l *Log) fsyncShared() error {
+	l.mu.Lock()
+	if l.syncErr != nil {
+		err := l.failedLocked()
+		l.mu.Unlock()
+		return err
+	}
+	if !l.dirty {
+		// A rotation, explicit Sync, or Close got here first and synced
+		// everything buffered; the watermark may lag it, so catch it up.
+		if l.durableLSN.Load() < l.nextLSN {
+			l.durableLSN.Store(l.nextLSN)
+		}
+		l.mu.Unlock()
+		return nil
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wal: closed")
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.syncErr = err
+		l.mu.Unlock()
+		return fmt.Errorf("wal: %w", err)
+	}
+	for l.syncBusy {
+		l.syncIdle.Wait()
+	}
+	end := l.nextLSN
+	f := l.f
+	l.syncBusy = true
+	l.mu.Unlock()
+
+	serr := fsyncFile(f)
+
+	l.mu.Lock()
+	l.syncBusy = false
+	l.syncIdle.Broadcast()
+	if serr != nil {
+		l.syncErr = serr
+		l.mu.Unlock()
+		return fmt.Errorf("wal: %w", serr)
+	}
+	l.syncs.Add(1)
+	if l.durableLSN.Load() < end {
+		l.durableLSN.Store(end)
+	}
+	if l.nextLSN == end {
+		// Nothing was appended while the fsync ran; the buffer is clean.
+		// (Anything newer set dirty again and stays dirty until its own
+		// fsync covers it.)
+		l.dirty = false
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// WaitDurable blocks until the record at lsn is on stable storage,
+// joining (or leading) the shared group commit. Callers that must not
+// hold their own locks across a fsync append with AppendNoSync, release,
+// then wait here — that is how the durable layer keeps concurrent
+// appenders batchable under SyncAlways.
+func (l *Log) WaitDurable(lsn uint64) error {
+	return l.commitShared(lsn)
 }
 
 // Sync flushes buffered appends and fsyncs the active segment. It is a
@@ -448,24 +654,59 @@ func (l *Log) Sync() error {
 	return l.syncLocked()
 }
 
+// failed reports the latched sync failure, if any.
+func (l *Log) failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.syncErr == nil {
+		return nil
+	}
+	return l.failedLocked()
+}
+
+// failedLocked wraps the latched failure. A failed fsync is never
+// retried: the kernel may already have discarded the dirty pages, so a
+// "successful" retry would lie about data that never reached disk.
+func (l *Log) failedLocked() error {
+	return fmt.Errorf("wal: log failed, all writes refused: %w", l.syncErr)
+}
+
 func (l *Log) syncLocked() error {
+	if l.syncErr != nil {
+		return l.failedLocked()
+	}
+	for l.syncBusy {
+		l.syncIdle.Wait()
+	}
 	if !l.dirty {
 		return nil
 	}
 	if err := l.bw.Flush(); err != nil {
+		l.syncErr = err
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := fsyncFile(l.f); err != nil {
+		l.syncErr = err
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.dirty = false
+	if l.durableLSN.Load() < l.nextLSN {
+		l.durableLSN.Store(l.nextLSN)
+	}
 	l.syncs.Add(1)
 	return nil
 }
 
 func (l *Log) rotateLocked() error {
+	cur := l.f
 	if err := l.syncLocked(); err != nil {
 		return err
+	}
+	if l.f != cur {
+		// syncLocked's wait for an in-flight shared fsync releases l.mu;
+		// another appender can rotate in that window. Its rotation already
+		// did our work.
+		return nil
 	}
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -482,13 +723,19 @@ func (l *Log) Prune(keepFrom uint64) error {
 	if l.closed {
 		return errors.New("wal: closed")
 	}
-	kept := l.segments[:0]
+	// Rebuild into a fresh slice: building into l.segments[:0] would let
+	// an os.Remove failure abandon the loop after the aliased append had
+	// already overwritten prefix entries, leaving l.segments shifted.
+	kept := make([]segment, 0, len(l.segments))
 	for i, seg := range l.segments {
 		// A segment is disposable if the NEXT segment starts at or below
 		// keepFrom (then every record here is < keepFrom) and it is not
 		// the active segment.
 		if i+1 < len(l.segments) && l.segments[i+1].first <= keepFrom {
 			if err := os.Remove(seg.path); err != nil {
+				// Keep the undeleted segment and everything after it; only
+				// the successfully removed prefix leaves the slice.
+				l.segments = append(kept, l.segments[i:]...)
 				return fmt.Errorf("wal: prune: %w", err)
 			}
 			l.prunes.Add(1)
@@ -500,7 +747,26 @@ func (l *Log) Prune(keepFrom uint64) error {
 	return nil
 }
 
-// groupCommit is the SyncInterval background fsync loop.
+// Rotate forces the log onto a fresh segment so the next Append is the
+// new segment's first record; a no-op when the active segment is empty.
+// The durable layer rotates before emitting a checkpoint so that Prune
+// can then drop every segment before it.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: closed")
+	}
+	if l.segSize <= headerSize {
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+// groupCommit is the SyncInterval background fsync loop. A sync failure
+// here is latched by syncLocked, so the next Append or Sync — the calls
+// whose durability the failed fsync betrayed — report it; a background
+// fsync error must never stay invisible.
 func (l *Log) groupCommit() {
 	defer close(l.done)
 	t := time.NewTicker(l.opts.Interval)
@@ -511,8 +777,8 @@ func (l *Log) groupCommit() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if !l.closed {
-				l.syncLocked() // best effort; Append/Sync surface errors
+			if !l.closed && l.syncErr == nil {
+				l.syncLocked() // on failure the latch surfaces it from Append/Sync
 			}
 			l.mu.Unlock()
 		}
@@ -554,17 +820,19 @@ func (l *Log) Segments() int {
 // Metrics returns a snapshot of the log's counters.
 func (l *Log) Metrics() Metrics {
 	l.mu.Lock()
-	torn, recs, rbytes, rt := l.tornTruncations, l.recoveredRecords, l.recoveredBytes, l.recoveryTime
+	torn, recs, rbytes, from, rt := l.tornTruncations, l.recoveredRecords, l.recoveredBytes, l.recoveredFrom, l.recoveryTime
 	l.mu.Unlock()
 	return Metrics{
 		Appends:          l.appends.Load(),
 		AppendBytes:      l.appendBytes.Load(),
 		Syncs:            l.syncs.Load(),
+		Batched:          l.batched.Load(),
 		Rotations:        l.rotations.Load(),
 		Prunes:           l.prunes.Load(),
 		TornTruncations:  torn,
 		RecoveredRecords: recs,
 		RecoveredBytes:   rbytes,
+		RecoveredFrom:    from,
 		RecoveryTime:     rt,
 	}
 }

@@ -82,7 +82,15 @@ func distributedPagination(t *testing.T, pageSize, reports int, chaos bool) {
 		chaosWG.Add(1)
 		go func() {
 			defer chaosWG.Done()
-			for i := 0; i < 5; i++ {
+			// Sever until the client has provably reconnected twice: a
+			// fixed drop schedule can collapse into a single reconnect
+			// cycle on a CPU-starved host (every drop landing while the
+			// link is already down), failing the exercised-chaos check
+			// below without testing anything. Bounded so a broken
+			// reconnect path still fails the deadline instead of
+			// spinning forever.
+			deadline := time.Now().Add(30 * time.Second)
+			for nodeClient.WireStats().Reconnects < 2 && time.Now().Before(deadline) {
 				time.Sleep(3 * time.Millisecond)
 				nodeClient.DropConnections()
 				nodeServer.DropConnections()

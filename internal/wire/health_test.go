@@ -121,9 +121,13 @@ func TestHealthPingKeepsIdleLinkAlive(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if st := a.HealthOf(1).State; st != PeerAlive {
-		t.Fatalf("peer state after idle = %v, want alive", st)
-	}
+	// A single instant can catch the peer transiently suspect (one probe
+	// landing late on a starved host); the next probe/ack round must
+	// restore alive. Death is sticky, so a wrongly-declared-dead peer
+	// still fails here — via the timeout.
+	waitFor(t, 2*time.Second, "idle peer back to alive", func() bool {
+		return a.HealthOf(1).State == PeerAlive
+	})
 	if ws := a.WireStats(); ws.ProbesSent == 0 {
 		t.Fatalf("no probes sent across an idle link: %v", ws)
 	}

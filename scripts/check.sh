@@ -31,9 +31,20 @@ echo '== hopebench wire smoke'
 # reach quiescence.
 go run ./cmd/hopebench wire --pagesize 100 --reports 8 --flood 5000
 
+echo '== wal group-commit + checkpoint-recovery smoke'
+# Group commit: 8 concurrent appenders under fsync=always must share
+# fsyncs (the bench fails loudly on append/replay errors). Checkpoint
+# recovery: replayed-record count must come from the newest bracket,
+# not the full history (the bench fails if the reopened store did not
+# recover through a checkpoint).
+go run ./cmd/hopebench wal --records 2000 --appenders 8 --linger 200us \
+    --checkpoint-every 500 --histories 1500
+
 echo '== crash-restart smoke'
 # SIGKILLs a durable hoped child mid-workload and restarts it from its
-# WAL; fails if recovery loses, duplicates, or reorders a committed print.
+# WAL; fails if recovery loses, duplicates, or reorders a committed
+# print. The Checkpointed variant reruns it with a cadence hot enough
+# that the SIGKILL can land mid-bracket.
 go test -run 'TestCrashRestartRecovery|TestRestartCleanShutdown' -count=1 ./cmd/hoped/
 
 echo '== chaos storm smoke (pinned seed)'
