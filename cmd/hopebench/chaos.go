@@ -39,6 +39,7 @@ func chaosExperiment(args []string) error {
 	reports := fs.Int("reports", 48, "reports per server workload")
 	vnodes := fs.Int("vnodes", 0, "churn: ring virtual nodes per member (0 = cluster default)")
 	deadAfter := fs.Duration("dead-after", 0, "churn: members' failure-detector death threshold (0 = harness default 1s)")
+	watermark := fs.Bool("watermark", false, "churn: run every member with the stability watermark (fast rounds) and assert the frontier resumes advancing after the churn")
 	jsonOut := fs.String("json", "", "churn: also write the results as JSON to this file")
 	planOnly := fs.Bool("plan", false, "print each seed's fault plan and exit (no processes spawned)")
 	verbose := fs.Bool("v", false, "narrate the storm as it runs")
@@ -70,7 +71,10 @@ func chaosExperiment(args []string) error {
 
 	if *churn {
 		return churnStorms(seedList, *nodes, *vnodes, *deadAfter, *fsync, *hopedPath,
-			*pageSize, *reports, *jsonOut, *verbose)
+			*pageSize, *reports, *watermark, *jsonOut, *verbose)
+	}
+	if *watermark {
+		return fmt.Errorf("--watermark needs --churn: the fault storm's children are not clustered, so no member would ever lead a stability round")
 	}
 
 	if *planOnly {
@@ -157,6 +161,9 @@ type churnRun struct {
 	RollbackPct float64 `json:"rollback_rate_pct"`
 	AutoDenied  int64   `json:"auto_denied"`
 	FinalEpoch  uint64  `json:"final_epoch"`
+	Watermark   bool    `json:"watermark,omitempty"`
+	StableFront string  `json:"stable_frontier,omitempty"`
+	StableLagNS int64   `json:"stable_resume_ns,omitempty"`
 	ElapsedNS   int64   `json:"elapsed_ns"`
 }
 
@@ -172,7 +179,7 @@ type churnReport struct {
 // cluster from one seed node, SIGKILL of a member mid-speculation,
 // replacement join, ownership invariants over the final views.
 func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
-	fsync, hopedPath string, pageSize, reports int, jsonOut string, verbose bool) error {
+	fsync, hopedPath string, pageSize, reports int, watermark bool, jsonOut string, verbose bool) error {
 	fmt.Println("CHAOS --churn — membership churn over a dynamic hoped cluster")
 	fmt.Printf("workload: %d reports × %d members, pageSize %d, fsync=%s; SIGKILL one member mid-speculation, join a replacement\n",
 		reports, nodes, pageSize, fsync)
@@ -197,6 +204,7 @@ func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
 		cfg := harness.ChurnConfig{
 			Seed: s, Nodes: nodes, HopedBin: bin, Fsync: fsync,
 			PageSize: pageSize, Reports: reports, VNodes: vnodes, DeadAfter: deadAfter,
+			Watermark: watermark,
 		}
 		if verbose {
 			cfg.Log = os.Stderr
@@ -215,7 +223,9 @@ func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
 			DetectP50NS: res.DetectP50.Nanoseconds(), DetectP99NS: res.DetectP99.Nanoseconds(),
 			ResolveNS: res.Resolve.Nanoseconds(), JoinLagNS: res.JoinLag.Nanoseconds(),
 			JoinShare: res.JoinShare, Rollbacks: res.Rollbacks, RollbackPct: rate,
-			AutoDenied: res.AutoDenied, FinalEpoch: res.FinalEpoch, ElapsedNS: res.Elapsed.Nanoseconds(),
+			AutoDenied: res.AutoDenied, FinalEpoch: res.FinalEpoch,
+			Watermark: watermark, StableFront: res.StableFrontier, StableLagNS: res.StableLag.Nanoseconds(),
+			ElapsedNS: res.Elapsed.Nanoseconds(),
 		})
 		fmt.Printf("%-12d %10v %12v %12v %12v %10v %9.1f%% %8d %8d\n",
 			s, res.Elapsed.Round(time.Millisecond),
@@ -224,6 +234,10 @@ func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
 			100*res.JoinShare, res.Rollbacks, res.AutoDenied)
 		fmt.Printf("  killed node %d, joined node %d, final epoch %d live %v, rollback rate %.1f%%\n",
 			res.Killed, res.Joined, res.FinalEpoch, res.FinalLive, rate)
+		if watermark {
+			fmt.Printf("  watermark survived churn: frontier %s at e%d, resumed %v after join agreement\n",
+				res.StableFrontier, res.FinalEpoch, res.StableLag.Round(time.Millisecond))
+		}
 	}
 	fmt.Println("all invariants held: view agreement, sharded ownership (agreed ring, live owners),")
 	fmt.Println("liveness (no dead-owned speculation), verdict agreement, sequential layouts, per-pair FIFO")

@@ -8,13 +8,16 @@
 //	hopebench wire [--pagesize N] [--reports N] [--drop] [--json FILE]
 //	hopebench wal [--records N] [--size B] [--json FILE]
 //	hopebench chaos [--nodes N] [--seed S|--seeds S,S,…] [--span D] [--kill] [--plan]
+//	hopebench stability [--engines N] [--batches N] [--ops N] [--round-every D] [--json FILE]
 //
 // The wire experiment runs the pagination workload across two real OS
 // processes over loopback TCP (spawning cmd/hoped); the wal experiment
 // prices the durability layer's append and recovery paths per fsync
 // policy; the chaos experiment runs the multi-node fault storm
 // (internal/harness) against live hoped processes behind fault-injecting
-// proxies. None of the three is part of the default sweep.
+// proxies; the stability experiment prices the commit watermark
+// (externalization lag plus a throughput A/B against the ungated §4.9
+// behaviour). None of the four is part of the default sweep.
 package main
 
 import (
@@ -46,6 +49,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "chaos" {
 		return chaosExperiment(args[1:])
+	}
+	if len(args) > 0 && args[0] == "stability" {
+		return stabilityExperiment(args[1:])
 	}
 	all := map[string]func() error{
 		"e1": e1, "e3": e3, "e5": e5, "e6": e6, "e7": e7, "e8": e8, "e9": e9,

@@ -1,0 +1,367 @@
+package main
+
+// The stability experiment prices the commit watermark (DESIGN.md §12):
+// the same speculative workload runs twice over a simulated network,
+// once with Externalize released at finalize (the §4.9 exposure,
+// watermark off) and once gated on the agreed stability frontier. The
+// A/B answers the two questions the watermark raises: how long does a
+// locally finalized output wait for global stability (the watermark
+// lag, reported as p50/p99 and a histogram), and what does the gating
+// cost in throughput (the run structure is identical in both modes, so
+// the ratio isolates the protocol's own overhead).
+//
+// The workload is deliberately bursty — batches of speculative ops, then
+// a short idle gap — because that is the only regime in which a
+// quiescent-cut watermark can advance at all: the two-sweep cut needs an
+// instant with no unsettled interval and no protocol message in flight.
+// A saturating workload would simply defer every release to the end,
+// telling us nothing about steady-state lag.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/stability"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+const stabilityPIDBits = 20 // PID space per simulated node
+
+// stabNet gives one engine a private handle on the shared simulated net:
+// each engine's Shutdown closes its transport, and the net must outlive
+// all of them (the run closes it once, at the end).
+type stabNet struct {
+	transport.Transport
+}
+
+func (stabNet) Close() {}
+
+// stabilityModeResult is one mode's raw measurements.
+type stabilityModeResult struct {
+	Ops       int64
+	Elapsed   time.Duration   // first spawn → last batch settled
+	Lags      []time.Duration // Externalize registration → release, per op
+	Advances  int64           // frontier advances observed (on only)
+	FlushTail time.Duration   // last settle → final gated output released (on only)
+}
+
+// stabilityWorker is one batch's workload on one engine: opsPerBatch
+// speculative intervals, each guessing and self-affirming a fresh
+// assumption (guess opens the interval, the conditional affirm resolves
+// the machine to True, the Replace round trip finalizes it) and
+// registering one external output. The worker then parks in Recv rather
+// than terminating: a terminated process discards its still-gated
+// outputs, exactly as a completed request handler would have nothing
+// left to release.
+func stabilityWorker(aids []ids.AID, done *atomic.Int64, lag func(time.Duration)) core.Body {
+	return func(ctx *core.Ctx) error {
+		for _, a := range aids {
+			ctx.Guess(a)
+			ctx.Affirm(a)
+			t0 := ctx.Record(func() any { return time.Now() }).(time.Time)
+			ctx.Externalize(func() { lag(time.Since(t0)) })
+			done.Add(1)
+		}
+		_, _, err := ctx.Recv()
+		return err
+	}
+}
+
+// runStabilityMode executes the batched workload once, with the
+// watermark on or off.
+func runStabilityMode(on bool, nEngines, batches, opsPerBatch int, latency, roundEvery time.Duration) (stabilityModeResult, error) {
+	var res stabilityModeResult
+	net := netsim.New(netsim.Constant(latency))
+	defer net.Close()
+
+	var lagMu sync.Mutex
+	lag := func(d time.Duration) {
+		lagMu.Lock()
+		res.Lags = append(res.Lags, d)
+		lagMu.Unlock()
+	}
+
+	trackers := make(map[int]*stability.Tracker)
+	engines := make([]*core.Engine, nEngines)
+	for i := range engines {
+		cfg := core.Config{
+			Transport: stabNet{net},
+			PIDBase:   ids.PID(i) << stabilityPIDBits,
+		}
+		if on {
+			tr := stability.NewTracker(i)
+			trackers[i] = tr
+			cfg.Stability = tr
+		}
+		engines[i] = core.NewEngine(cfg)
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Shutdown()
+		}
+	}()
+
+	// One stability agent per engine over a direct in-process mesh, the
+	// same wiring hoped runs (node 0 leads; every advance flushes the
+	// releasable outputs). Seqs is nil: the netsim transport has no
+	// sequenced peer streams, so the drain check is vacuous — Quiet plus
+	// the event counters still make the cut sound in-process.
+	var advances atomic.Int64
+	if on {
+		var meshMu sync.Mutex
+		agents := make(map[int]*stability.Agent)
+		send := func(from, to int, payload []byte) bool {
+			meshMu.Lock()
+			a := agents[to]
+			meshMu.Unlock()
+			if a == nil {
+				return false
+			}
+			go a.HandlePayload(from, payload)
+			return true
+		}
+		members := make([]int, nEngines)
+		for i := range members {
+			members[i] = i
+		}
+		for i := range engines {
+			i := i
+			a := stability.NewAgent(stability.Config{
+				Node:     i,
+				Tracker:  trackers[i],
+				Members:  func() (uint64, []int) { return 1, members },
+				Send:     func(to int, b []byte) bool { return send(i, to, b) },
+				Quiet:    engines[i].Quiet,
+				Interval: roundEvery,
+				OnAdvance: func(uint64, map[int]uint32) {
+					advances.Add(1)
+					engines[i].FlushStable()
+				},
+			})
+			meshMu.Lock()
+			agents[i] = a
+			meshMu.Unlock()
+			a.Start()
+			defer a.Stop()
+		}
+	}
+
+	// The idle gap after each batch is the stabilization window; both
+	// modes sleep it identically so the throughput ratio reflects the
+	// protocol's cost, not an asymmetric schedule.
+	idleGap := 3 * roundEvery
+	var done atomic.Int64
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		for _, eng := range engines {
+			aids := make([]ids.AID, opsPerBatch)
+			for k := range aids {
+				a, err := eng.NewAID()
+				if err != nil {
+					return res, err
+				}
+				aids[k] = a
+			}
+			if _, err := eng.SpawnRoot(stabilityWorker(aids, &done, lag)); err != nil {
+				return res, err
+			}
+		}
+		for _, eng := range engines {
+			if !eng.Settle(20 * time.Second) {
+				return res, fmt.Errorf("batch %d did not settle", b)
+			}
+		}
+		time.Sleep(idleGap)
+	}
+	res.Elapsed = time.Since(start)
+	res.Ops = done.Load()
+
+	if on {
+		// Every registered output must be released — after the last
+		// batch the system is idle forever, so rounds keep running until
+		// the frontier covers everything.
+		flushStart := time.Now()
+		deadline := flushStart.Add(30 * time.Second)
+		for {
+			pending := 0
+			for _, eng := range engines {
+				for _, p := range eng.Processes() {
+					pending += p.PendingExterns()
+				}
+			}
+			if pending == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("%d outputs still gated after 30s: the frontier stopped advancing", pending)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		res.FlushTail = time.Since(flushStart)
+		res.Advances = advances.Load()
+	}
+
+	for i, eng := range engines {
+		if v := eng.Violations(); v != 0 {
+			return res, fmt.Errorf("engine %d recorded %d protocol violations", i, v)
+		}
+	}
+	lagMu.Lock()
+	got := int64(len(res.Lags))
+	lagMu.Unlock()
+	if got != res.Ops {
+		return res, fmt.Errorf("released %d outputs for %d ops (lost or duplicated release)", got, res.Ops)
+	}
+	return res, nil
+}
+
+// stabilityHistBucket is one histogram bucket of the watermark lag.
+type stabilityHistBucket struct {
+	LeMS  float64 `json:"le_ms"` // upper bound, milliseconds; 0 = +Inf
+	Count int     `json:"count"`
+}
+
+var stabilityBuckets = []float64{1, 2, 5, 10, 25, 50, 100}
+
+func histLags(lags []time.Duration) []stabilityHistBucket {
+	hist := make([]stabilityHistBucket, len(stabilityBuckets)+1)
+	for i, le := range stabilityBuckets {
+		hist[i].LeMS = le
+	}
+	for _, d := range lags {
+		ms := float64(d) / float64(time.Millisecond)
+		placed := false
+		for i, le := range stabilityBuckets {
+			if ms <= le {
+				hist[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			hist[len(hist)-1].Count++
+		}
+	}
+	return hist
+}
+
+func pctLag(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+type stabilityRunJSON struct {
+	Watermark        bool                  `json:"watermark"`
+	Engines          int                   `json:"engines"`
+	Batches          int                   `json:"batches"`
+	OpsPerBatch      int                   `json:"ops_per_batch"`
+	Ops              int64                 `json:"ops"`
+	ElapsedNS        int64                 `json:"elapsed_ns"`
+	ThroughputOpsSec float64               `json:"throughput_ops_per_sec"`
+	LagP50NS         int64                 `json:"extern_lag_p50_ns"`
+	LagP99NS         int64                 `json:"extern_lag_p99_ns"`
+	LagMaxNS         int64                 `json:"extern_lag_max_ns"`
+	Advances         int64                 `json:"frontier_advances,omitempty"`
+	FlushTailNS      int64                 `json:"flush_tail_ns,omitempty"`
+	Histogram        []stabilityHistBucket `json:"lag_histogram"`
+}
+
+type stabilityReport struct {
+	Benchmark       string             `json:"benchmark"`
+	Setup           string             `json:"setup"`
+	Command         string             `json:"command"`
+	Date            string             `json:"date"`
+	ThroughputRatio float64            `json:"throughput_on_over_off"`
+	Runs            []stabilityRunJSON `json:"runs"`
+}
+
+func stabilityExperiment(args []string) error {
+	fs := flag.NewFlagSet("stability", flag.ContinueOnError)
+	engines := fs.Int("engines", 3, "simulated nodes (one engine + tracker + agent each)")
+	batches := fs.Int("batches", 12, "workload batches (each followed by a stabilization gap)")
+	ops := fs.Int("ops", 16, "speculative ops per engine per batch, one gated output each")
+	latency := fs.Duration("latency", 150*time.Microsecond, "simulated one-way network latency")
+	roundEvery := fs.Duration("round-every", 5*time.Millisecond, "stability round cadence")
+	jsonOut := fs.String("json", "", "also write the results as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Println("STABILITY — commit-watermark lag and throughput A/B (DESIGN.md §12)")
+	fmt.Printf("workload: %d batches × %d ops × %d engines, %v net latency, rounds every %v\n",
+		*batches, *ops, *engines, *latency, *roundEvery)
+
+	report := stabilityReport{
+		Benchmark: "Commit watermark: externalization lag + throughput cost, cmd/hopebench stability",
+		Setup: fmt.Sprintf("%d in-process engines over netsim (%v one-way), %d batches × %d speculative "+
+			"self-affirm ops each with one Externalize; watermark off releases at finalize (§4.9 exposure), "+
+			"watermark on gates on the two-sweep stability frontier (rounds every %v); "+
+			"lag = Externalize registration → release",
+			*engines, *latency, *batches, *ops, *roundEvery),
+		Command: "hopebench stability [--engines N] [--batches N] [--ops N] [--round-every D] --json ...",
+		Date:    time.Now().Format("2006-01-02"),
+	}
+
+	fmt.Printf("%-10s %8s %10s %12s %12s %12s %12s %9s\n",
+		"watermark", "ops", "elapsed", "ops/sec", "lag-p50", "lag-p99", "lag-max", "advances")
+	var thru [2]float64
+	for i, on := range []bool{false, true} {
+		res, err := runStabilityMode(on, *engines, *batches, *ops, *latency, *roundEvery)
+		if err != nil {
+			return fmt.Errorf("watermark=%v: %w", on, err)
+		}
+		sorted := append([]time.Duration(nil), res.Lags...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		p50, p99 := pctLag(sorted, 50), pctLag(sorted, 99)
+		var max time.Duration
+		if len(sorted) > 0 {
+			max = sorted[len(sorted)-1]
+		}
+		thru[i] = float64(res.Ops) / res.Elapsed.Seconds()
+		mode := "off"
+		if on {
+			mode = "on"
+		}
+		fmt.Printf("%-10s %8d %10v %12.0f %12v %12v %12v %9d\n",
+			mode, res.Ops, res.Elapsed.Round(time.Millisecond), thru[i],
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+			max.Round(time.Microsecond), res.Advances)
+		report.Runs = append(report.Runs, stabilityRunJSON{
+			Watermark: on, Engines: *engines, Batches: *batches, OpsPerBatch: *ops,
+			Ops: res.Ops, ElapsedNS: res.Elapsed.Nanoseconds(), ThroughputOpsSec: thru[i],
+			LagP50NS: p50.Nanoseconds(), LagP99NS: p99.Nanoseconds(), LagMaxNS: max.Nanoseconds(),
+			Advances: res.Advances, FlushTailNS: res.FlushTail.Nanoseconds(),
+			Histogram: histLags(res.Lags),
+		})
+	}
+	report.ThroughputRatio = thru[1] / thru[0]
+	fmt.Printf("throughput on/off = %.3f (gating withholds outputs; it does not slow the speculation itself)\n",
+		report.ThroughputRatio)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}

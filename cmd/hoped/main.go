@@ -47,6 +47,21 @@
 // --stats-every prints wire counters and per-peer health to stderr
 // periodically.
 //
+// With --watermark the node gates client-visible outputs on a
+// cluster-wide stability watermark: intervals still finalize locally by
+// the wait-free rule, but prints and RPC replies are held until a
+// GVT-style double-sweep round agrees that every member's speculation
+// below them has settled (closing the premature-commit window of
+// DESIGN.md §4.9). Each agreed advance prints:
+//
+//	HOPED STABLE node=1 epoch=5 frontier=0:41,1:17
+//
+// and on a durable node is WAL-logged, so a restart re-releases
+// already-stable outputs instead of waiting for a fresh round. Every
+// node must run with the same setting: mixing --watermark on and off
+// across a cluster, or across restarts of one durable node, is
+// unsupported.
+//
 // With --seed-node or --join the node runs dynamic cluster membership
 // instead of a purely static peer set: views are gossiped piggyback on
 // the wire connections, the failure detector's verdicts feed the view,
@@ -81,6 +96,7 @@ import (
 	"github.com/hope-dist/hope/internal/durable"
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/stability"
 	"github.com/hope-dist/hope/internal/trace"
 	"github.com/hope-dist/hope/internal/transport"
 	"github.com/hope-dist/hope/internal/wal"
@@ -161,6 +177,8 @@ func run(args []string) error {
 	deadAfter := fs.Duration("dead-after", 0, "declare a silent peer Dead after this silence: drop its queue, stop dialing, auto-deny what it owned (0 = failure detector off)")
 	lease := fs.Duration("lease", 0, "auto-deny any assumption still speculative after this long (0 = speculation leases off)")
 	statsEvery := fs.Duration("stats-every", 0, "print wire counters and per-peer health to stderr at this interval (0 = off)")
+	watermark := fs.Bool("watermark", false, "gate client-visible outputs on the cluster-wide stability watermark (must match on every node; off = finalize externalizes immediately)")
+	watermarkEvery := fs.Duration("watermark-every", 0, "stability round cadence when this node initiates (0 = default 250ms)")
 	seedNode := fs.Bool("seed-node", false, "bootstrap a fresh cluster as its seed (enables dynamic membership)")
 	gossipEvery := fs.Duration("gossip-every", 0, "membership gossip period (0 = cluster default 150ms)")
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default; must match cluster-wide)")
@@ -185,6 +203,9 @@ func run(args []string) error {
 	clustered := *seedNode || len(join) > 0
 	if !clustered && (*gossipEvery != 0 || *vnodes != 0) {
 		return fmt.Errorf("--gossip-every/--vnodes need cluster mode (--seed-node or --join)")
+	}
+	if *watermarkEvery != 0 && !*watermark {
+		return fmt.Errorf("--watermark-every needs --watermark")
 	}
 
 	// A capped recorder keeps the tail of the transport's event stream
@@ -237,6 +258,7 @@ func run(args []string) error {
 	// and both of those need the node as their transport.
 	var engRef atomic.Pointer[core.Engine]
 	var mgrRef atomic.Pointer[cluster.Manager]
+	var agentRef atomic.Pointer[stability.Agent]
 	if *deadAfter > 0 {
 		wcfg.Health = wire.HealthConfig{
 			SuspectAfter: *suspectAfter,
@@ -281,7 +303,32 @@ func run(args []string) error {
 			}
 		}
 	}
+	// The stability watermark: a tracker feeds the engine's revocable
+	// finalize hooks, and round payloads ride the out-of-band stability
+	// wire frame (frames arriving before the agent exists are dropped —
+	// the next round repeats them).
+	var stab *stability.Tracker
+	if *watermark {
+		stab = stability.NewTracker(*node)
+		wcfg.Stability = wire.StabilityConfig{
+			OnPayload: func(from int, payload []byte) {
+				if a := agentRef.Load(); a != nil {
+					a.HandlePayload(from, payload)
+				}
+			},
+		}
+	}
+
 	ecfg := core.Config{PIDBase: wire.PIDBase(*node), Tracer: tracer}
+	if stab != nil {
+		ecfg.Stability = stab
+		if store != nil {
+			// Re-adopt the pre-crash frontier so outputs the watermark had
+			// already released re-emit promptly instead of waiting on a
+			// fresh round.
+			stab.SetFrontier(recov.FrontierView, recov.Frontier)
+		}
+	}
 	if store != nil {
 		wcfg.Durable, wcfg.Resume = store, recov.Resume
 		ecfg.Persist, ecfg.Restore = store, recov.Restore
@@ -402,6 +449,45 @@ func run(args []string) error {
 		// at least one VIEW line (OnChange only fires on changes).
 		fmt.Println(cluster.FormatViewLine(*node, mgr.View()))
 		mgr.Start()
+	}
+
+	// Stability rounds: the agent reports into sweeps, and — while this
+	// node is the lowest-numbered live member — initiates them. Members
+	// come from the cluster view when clustered, else the static peer
+	// set at epoch 0.
+	if stab != nil {
+		static := []int{*node}
+		for id := range peers {
+			static = append(static, id)
+		}
+		sort.Ints(static)
+		agent := stability.NewAgent(stability.Config{
+			Node:    *node,
+			Tracker: stab,
+			Members: func() (uint64, []int) {
+				if m := mgrRef.Load(); m != nil {
+					v := m.View()
+					return v.Epoch, v.Live()
+				}
+				return 0, static
+			},
+			Send:     n.Stability,
+			Quiet:    eng.Quiet,
+			Seqs:     n.MsgSeqs,
+			Interval: *watermarkEvery,
+			OnAdvance: func(view uint64, frontier map[int]uint32) {
+				if store != nil {
+					store.WatermarkAdvanced(view, frontier)
+				}
+				eng.FlushStable()
+				fmt.Printf("HOPED STABLE node=%d epoch=%d frontier=%s\n",
+					*node, view, stability.FormatFrontier(frontier))
+			},
+			Tracer: tracer,
+		})
+		agentRef.Store(agent)
+		agent.Start()
+		defer agent.Stop()
 	}
 
 	// The READY line is the contract with whoever spawned us (see

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/hope-dist/hope/internal/durable"
 	"github.com/hope-dist/hope/internal/rpc"
+	"github.com/hope-dist/hope/internal/stability"
 	"github.com/hope-dist/hope/internal/wal"
 	"github.com/hope-dist/hope/internal/wire"
 )
@@ -43,7 +45,7 @@ func main() {
 	}
 }
 
-const maxTag = 19
+const maxTag = 20
 
 func run(dir string, node int, verbose bool) error {
 	names := map[byte]string{
@@ -51,7 +53,7 @@ func run(dir string, node int, verbose bool) error {
 		5: "journal", 6: "interval-open", 7: "interval-state", 8: "finalize",
 		9: "rollback", 10: "dead-aid", 11: "compact", 12: "poison",
 		13: "auto-deny", 14: "view-epoch", 15: "ckpt-begin", 16: "ckpt-end",
-		17: "ckpt-abort", 18: "ckpt-seq", 19: "ckpt-proc",
+		17: "ckpt-abort", 18: "ckpt-seq", 19: "ckpt-proc", 20: "watermark",
 	}
 	counts := map[byte]uint64{}
 	var total, corrupt uint64
@@ -66,7 +68,11 @@ func run(dir string, node int, verbose bool) error {
 			}
 			counts[tag]++
 			if verbose {
-				fmt.Printf("%8d  %-14s %4dB\n", lsn, names[tag], len(payload))
+				detail := ""
+				if tag == 20 {
+					detail = "  " + watermarkDetail(payload[1:])
+				}
+				fmt.Printf("%8d  %-14s %4dB%s\n", lsn, names[tag], len(payload), detail)
 			}
 			return nil
 		},
@@ -104,11 +110,46 @@ func run(dir string, node int, verbose bool) error {
 	}
 	defer store.Close()
 	fmt.Printf("recovery: %s\n", rec)
+	if len(rec.Frontier) > 0 {
+		fmt.Printf("  watermark: view e%d frontier %s\n",
+			rec.FrontierView, stability.FormatFrontier(rec.Frontier))
+	}
 	for pid, r := range rec.Restore {
 		fmt.Printf("  proc %v: intervals=%d entries=%d dead=%d base=%v nextseq=%d maxepoch=%d terminated=%v\n",
 			pid, len(r.Intervals), len(r.Entries), len(r.Dead), r.HasBase, r.NextSeq, r.MaxEpoch, r.Terminated)
 	}
 	return nil
+}
+
+// watermarkDetail decodes a recWatermark payload (view epoch, then
+// node/epoch pairs) into "e<view> <node>:<epoch>,...". A malformed
+// payload is reported, not fatal — the forensic pass keeps going.
+func watermarkDetail(b []byte) string {
+	view, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "(malformed)"
+	}
+	b = b[n:]
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "(malformed)"
+	}
+	b = b[n:]
+	f := make(map[int]uint32, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		node, n := binary.Uvarint(b)
+		if n <= 0 {
+			return "(malformed)"
+		}
+		b = b[n:]
+		epoch, n := binary.Uvarint(b)
+		if n <= 0 {
+			return "(malformed)"
+		}
+		b = b[n:]
+		f[int(node)] = uint32(epoch)
+	}
+	return fmt.Sprintf("e%d %s", view, stability.FormatFrontier(f))
 }
 
 func sum(counts map[byte]uint64, max byte) uint64 {

@@ -68,6 +68,45 @@ func TestCheckpointRecordsClassified(t *testing.T) {
 	}
 }
 
+// TestWatermarkRecordsDecoded: stability frontier advances append
+// recWatermark records; waldump names them, decodes view epoch and
+// frontier in verbose mode, re-finds the record a checkpoint re-emits,
+// and the recovery pass reports the restored frontier (per-node maxima
+// of everything on disk).
+func TestWatermarkRecordsDecoded(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := durable.OpenOptions(durable.Options{
+		Dir: dir, NodeID: 1, Policy: wal.SyncNone, CheckpointEvery: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WatermarkAdvanced(1, map[int]uint32{0: 12, 1: 9})
+	s.WatermarkAdvanced(2, map[int]uint32{0: 41, 1: 17})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCapture(t, dir)
+	// The checkpoint re-emits the folded frontier inside its bracket; the
+	// pre-checkpoint records were pruned with their segment.
+	for _, want := range []string{
+		"watermark",
+		"e2 0:41,1:17",
+		"  watermark: view e2 frontier 0:41,1:17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in dump:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0:12") {
+		t.Fatalf("pre-checkpoint frontier resurfaced:\n%s", out)
+	}
+}
+
 // TestCorruptRecordReportedAndReplaySkipped: a flipped payload byte
 // mid-log makes waldump print the damaged record's segment and offset,
 // keep counting the records after it, and skip the destructive recovery

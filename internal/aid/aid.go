@@ -68,8 +68,19 @@ type Machine struct {
 	tracer trace.Tracer
 
 	// affirmer is the interval whose speculative affirm produced the
-	// current Maybe state; a Retract only applies if it matches.
+	// current Maybe state; a Retract only applies if it matches. In
+	// revocable mode it is also retained on True: the unconditional
+	// affirm a finalize sends is itself revocable until the commit
+	// watermark covers the finalizing interval.
 	affirmer ids.IntervalID
+
+	// revocable marks the commit-watermark mode (DESIGN.md §12): True is
+	// not terminal until the global stability frontier covers the
+	// affirming interval. The machine keeps DOM entries for dependents
+	// that resolved through True, accepts a Retract of the affirm that
+	// produced True, and treats a Deny of a True assumption as a
+	// revocation (rollback fan-out) rather than a user-error violation.
+	revocable bool
 }
 
 // NewMachine returns a Cold machine for assumption self.
@@ -85,6 +96,11 @@ func NewMachine(self ids.AID, tracer trace.Tracer) *Machine {
 		tracer: tracer,
 	}
 }
+
+// EnableRevocable switches the machine into revocable-commit mode (see
+// the revocable field). Called once at construction time by RunMode;
+// never mid-run.
+func (a *Machine) EnableRevocable() { a.revocable = true }
 
 // Self returns the assumption this machine models.
 func (a *Machine) Self() ids.AID { return a.self }
@@ -156,6 +172,11 @@ func (a *Machine) stepGuess(m *msg.Message) []*msg.Message {
 		a.dom.Add(m.IID)
 		return []*msg.Message{msg.Replace(a.self, m.IID, a.aido.Slice())}
 	case True:
+		if a.revocable {
+			// True is revocable until the watermark covers the affirmer:
+			// keep the dependent reachable by a later retract or deny.
+			a.dom.Add(m.IID)
+		}
 		return []*msg.Message{msg.Replace(a.self, m.IID, nil)}
 	case False:
 		return []*msg.Message{msg.Rollback(a.self, m.IID)}
@@ -175,7 +196,13 @@ func (a *Machine) stepAffirm(m *msg.Message) []*msg.Message {
 			out = append(out, msg.Replace(a.self, b, m.IDO))
 		}
 		if a.aido.Empty() {
-			a.affirmer = ids.NilInterval
+			if a.revocable {
+				// Retain the affirmer: if its interval is revoked (the
+				// premature-commit repair), its Retract must find us.
+				a.affirmer = m.IID
+			} else {
+				a.affirmer = ids.NilInterval
+			}
 			a.setState(True, "definite affirm by "+m.IID.String())
 		} else {
 			a.affirmer = m.IID
@@ -210,6 +237,20 @@ func (a *Machine) stepDeny(m *msg.Message) []*msg.Message {
 		// Redundant deny: ignore.
 		return nil
 	case True:
+		if a.revocable {
+			// Revocable commit: the affirm that produced True may itself
+			// have been premature (an uncovered finalize). The deny wins;
+			// dependents that resolved through True are rolled back, and
+			// the engine repairs uncovered definite intervals among them.
+			out := make([]*msg.Message, 0, a.dom.Len())
+			for _, b := range a.dom.Slice() {
+				out = append(out, msg.Rollback(a.self, b))
+			}
+			a.affirmer = ids.NilInterval
+			a.aido.Clear()
+			a.setState(False, fmt.Sprintf("affirmed assumption revoked by deny from %s (revocable commit)", m.IID))
+			return out
+		}
 		a.violation("deny of affirmed AID (conflicting affirm/deny, paper §3: user error)")
 		return nil
 	}
@@ -220,7 +261,11 @@ func (a *Machine) stepDeny(m *msg.Message) []*msg.Message {
 // (the unnamed Figure 11 rollback message; DESIGN.md §4.2). The AID
 // returns to Hot so re-executed guesses and affirms find it unresolved.
 func (a *Machine) stepRetract(m *msg.Message) []*msg.Message {
-	if a.state != Maybe || a.affirmer != m.IID {
+	// In revocable mode the unconditional affirm behind True can also be
+	// withdrawn: the finalize that sent it was an uncovered (revocable)
+	// commit whose interval has been rolled back.
+	revokedTrue := a.revocable && a.state == True && a.affirmer == m.IID
+	if (a.state != Maybe || a.affirmer != m.IID) && !revokedTrue {
 		return nil
 	}
 	a.aido.Clear()
@@ -247,6 +292,9 @@ func (a *Machine) stepCutProbe(m *msg.Message) []*msg.Message {
 		a.dom.Add(m.IID) // reachable by a later retract/deny
 		return []*msg.Message{msg.CutAck(a.self, m.IID)}
 	case True:
+		if a.revocable {
+			a.dom.Add(m.IID) // True is revocable: stay reachable
+		}
 		return []*msg.Message{msg.CutAck(a.self, m.IID)}
 	case Cold, Hot:
 		a.dom.Add(m.IID)
@@ -288,9 +336,19 @@ func (a *Machine) violation(format string, args ...any) {
 // final); the engine kills them at system shutdown. The assumption's
 // identity is the hosting process's PID.
 func Run(tracer trace.Tracer) vpm.Body {
+	return RunMode(tracer, false)
+}
+
+// RunMode is Run with the revocable-commit switch: revocable machines
+// back an engine running under the global commit watermark (DESIGN.md
+// §12), where True is final only below the stability frontier.
+func RunMode(tracer trace.Tracer, revocable bool) vpm.Body {
 	return func(p *vpm.Proc) {
 		self := ids.AID(p.PID())
 		m := NewMachine(self, tracer)
+		if revocable {
+			m.EnableRevocable()
+		}
 		for {
 			in, err := p.Recv()
 			if err != nil {

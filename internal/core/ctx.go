@@ -539,6 +539,69 @@ func (c *Ctx) Record(f func() any) any {
 	return v
 }
 
+// Externalize runs f, an output action whose effects escape the HOPE
+// system — a client print, an RPC response, a write to an external
+// store — and so cannot be undone by rollback.
+//
+// With the stability watermark off (no Config.Stability) it is exact
+// parity with calling f inline: f runs immediately, nothing is
+// journalled, and a replayed body re-runs it. This is today's §4.9
+// exposure, preserved verbatim for A/B comparison.
+//
+// With the watermark on, the call site is journalled (KindExtern) and f
+// is withheld until the enclosing interval is definite AND the agreed
+// stability frontier covers its epoch; Engine.FlushStable then releases
+// it. Rolling back past the call site discards the withheld f. Release
+// is exactly-once within an engine incarnation; across a crash the
+// journal replays the call site, so an output released just before the
+// crash may run again on recovery — at-least-once, like any external
+// effect in a crash-recovery system (DESIGN.md §12).
+func (c *Ctx) Externalize(f func()) {
+	p := c.p
+	st := p.eng.stability
+	if st == nil {
+		f()
+		return
+	}
+
+	p.mu.Lock()
+	c.checkInterruptLocked()
+
+	var key externKey
+	var epoch uint32
+	if c.replayingLocked() {
+		e := c.expectLocked(journal.KindExtern, "externalize")
+		key = externKey{iid: e.Interval, idx: c.cursor}
+		epoch = e.Interval.Epoch
+		c.cursor++
+		if _, done := p.externsDone[key]; done {
+			p.mu.Unlock()
+			return // already released in this incarnation
+		}
+		p.registerExternLocked(key, epoch, f)
+	} else {
+		cur := p.history.At(p.curIdx)
+		key = externKey{iid: cur.ID, idx: p.jnl.Len()}
+		epoch = cur.ID.Epoch
+		p.appendJournalLocked(&journal.Entry{Kind: journal.KindExtern, Interval: cur.ID})
+		c.cursor = p.jnl.Len()
+		p.registerExternLocked(key, epoch, f)
+		p.eng.tracer.Emit(trace.Event{
+			Kind: trace.Primitive, PID: p.proc.PID(), Interval: cur.ID,
+			Detail: "externalize (gated on watermark)",
+		})
+	}
+	// A replayed call site can already be safe (definite and covered);
+	// release it now rather than waiting for a frontier advance that may
+	// never come in an idle system.
+	rec := p.history.Get(key.iid)
+	ready := rec != nil && rec.Definite && st.Covered(epoch)
+	p.mu.Unlock()
+	if ready {
+		p.flushStable(st)
+	}
+}
+
 // Yield is a rollback preemption point for long computations that make
 // no other Ctx calls. It unwinds immediately if a rollback is pending.
 func (c *Ctx) Yield() {

@@ -58,6 +58,12 @@ type Engine struct {
 	leaseDone  chan struct{}
 	autoDenied atomic.Int64
 
+	// stability, when non-nil, puts the engine in revocable-commit mode:
+	// interval lifecycle events feed the watermark tracker, Externalize
+	// output is gated on frontier coverage, and uncovered definite
+	// intervals can be un-finalized (see stability.go).
+	stability Stability
+
 	mu      sync.Mutex
 	procs   map[ids.PID]*Process
 	aids    map[ids.AID]*vpm.Proc
@@ -102,6 +108,13 @@ type Config struct {
 	// resurrect an orphaned speculation: re-guesses answer false locally
 	// and replayed dependents are re-rolled-back by the lease sweeper.
 	Denied []ids.AID
+	// Stability, when non-nil, enables the global commit watermark
+	// (DESIGN.md §12): local finalize stays wait-free but becomes
+	// revocable until the stability frontier covers the interval, and
+	// Ctx.Externalize output is withheld until coverage. Every engine in
+	// a deployment must agree on whether Stability is set; mixing modes
+	// across nodes (or across restarts over one WAL) is unsupported.
+	Stability Stability
 }
 
 // NewEngine constructs an engine over its transport.
@@ -149,6 +162,7 @@ func NewEngine(cfg Config) *Engine {
 	for _, a := range cfg.Denied {
 		e.archive[a] = false
 	}
+	e.stability = cfg.Stability
 	e.liveness = cfg.Liveness.norm()
 	e.leaseStop = make(chan struct{})
 	e.leaseDone = make(chan struct{})
@@ -201,7 +215,7 @@ func (e *Engine) SpawnRoot(body Body) (*Process, error) {
 // on the engine so that assumptions can be created before the processes
 // that use them (the paper's aid_init).
 func (e *Engine) NewAID() (ids.AID, error) {
-	proc, err := e.machine.Spawn(aid.Run(e.tracer))
+	proc, err := e.machine.Spawn(aid.RunMode(e.tracer, e.stability != nil))
 	if err != nil {
 		return ids.NilAID, fmt.Errorf("spawn aid: %w", err)
 	}

@@ -121,14 +121,56 @@ func (e *Engine) AutoDeny(a ids.AID, reason string) bool {
 // local interval whose owning process satisfies owned. The wire
 // failure-detector callback uses it with "owned by the dead node".
 // Returns how many assumptions were denied.
+//
+// With the stability watermark on, the scan additionally reaches
+// *through* uncovered definite intervals (their guessed assumption and
+// stale-UDO residue): a §4.9 premature commit makes its interval
+// definite while still resting on the dead node's unresolved
+// assumptions, and only this reach-through lets the death repair it —
+// the auto-deny's rollback then un-finalizes the interval (see
+// process.go handleRollback). The lease sweeper deliberately does NOT
+// get this extended view: expiring a lease on an assumption that is
+// only "speculative" through a committed-but-not-yet-covered interval
+// would spuriously roll back healthy commits whenever watermark rounds
+// lag the lease.
 func (e *Engine) DenyOwned(owned func(ids.PID) bool, reason string) int {
+	set := e.speculativeAIDs()
+	if e.stability != nil {
+		for _, p := range e.Processes() {
+			p.appendRevocableAIDs(set)
+		}
+	}
 	denied := 0
-	for a := range e.speculativeAIDs() {
+	for a := range set {
 		if owned(a.PID()) && e.AutoDeny(a, reason) {
 			denied++
 		}
 	}
 	return denied
+}
+
+// appendRevocableAIDs adds the assumptions reachable only through
+// uncovered definite intervals: the guessed assumption that opened each
+// one and any unresolved-dependency residue (UDO) a premature finalize
+// left behind. Covered intervals are irrevocable and skipped.
+func (p *Process) appendRevocableAIDs(out map[ids.AID]struct{}) {
+	st := p.eng.stability
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.term {
+		return
+	}
+	for _, r := range p.history.Slice() {
+		if !r.Definite || st.Covered(r.ID.Epoch) {
+			continue
+		}
+		if r.GuessAID.Valid() {
+			out[r.GuessAID] = struct{}{}
+		}
+		for _, a := range r.UDO.Slice() {
+			out[a] = struct{}{}
+		}
+	}
 }
 
 // fanoutDenied sends each local process a Rollback targeting its
@@ -247,9 +289,15 @@ func (e *Engine) sweepLeases(firstSeen map[ids.AID]time.Time, denied map[ids.AID
 	}
 }
 
-// earliestDependentOn returns the oldest non-definite interval whose
-// IDO or unconfirmed Cut contains a, if any.
+// earliestDependentOn returns the oldest interval whose speculation
+// rests on a, if any: a non-definite interval with a in its IDO or
+// unconfirmed Cut — or, in revocable-commit mode, an uncovered definite
+// interval that guessed a or still carries it as stale-UDO residue (a
+// premature commit the resulting Rollback will un-finalize). This runs
+// only after a denial is final, so the reach-through cannot misfire on
+// healthy speculation.
 func (p *Process) earliestDependentOn(a ids.AID) (ids.IntervalID, bool) {
+	st := p.eng.stability
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.term {
@@ -257,6 +305,10 @@ func (p *Process) earliestDependentOn(a ids.AID) (ids.IntervalID, bool) {
 	}
 	for _, r := range p.history.Slice() {
 		if r.Definite {
+			if st != nil && !st.Covered(r.ID.Epoch) &&
+				(r.GuessAID == a || r.UDO.Contains(a)) {
+				return r.ID, true
+			}
 			continue
 		}
 		if r.IDO.Contains(a) || r.Cut.Contains(a) {

@@ -57,6 +57,13 @@ type Process struct {
 	base    any
 	hasBase bool
 
+	// externs holds outputs registered through Ctx.Externalize and not
+	// yet released by the stability watermark; externsDone remembers the
+	// call sites already released so a replay does not re-register them
+	// (see stability.go). Both stay nil with the watermark off.
+	externs     []externRec
+	externsDone map[externKey]struct{}
+
 	restartCh chan struct{}
 	stopCh    chan struct{}
 	stopOnce  sync.Once
@@ -125,6 +132,13 @@ func (p *Process) newIntervalLocked(kind interval.OpenKind, journalIndex int, ex
 		rec.Definite = true
 	}
 	p.history.Append(rec)
+	if st := p.eng.stability; st != nil {
+		if rec.Definite {
+			st.Issued(id.Epoch)
+		} else {
+			st.Opened(id.Epoch)
+		}
+	}
 	p.persistIntervalOpen(rec)
 	for _, a := range rec.IDO.Slice() {
 		p.send(msg.Guess(p.proc.PID(), rec.ID, a))
@@ -245,6 +259,9 @@ func (p *Process) handleCutAck(m *msg.Message) {
 // affirms become unconditional and its buffered denies fire.
 func (p *Process) finalizeLocked(rec *interval.Record) {
 	rec.Definite = true
+	if st := p.eng.stability; st != nil {
+		st.Settled(rec.ID.Epoch)
+	}
 	p.persistFinalize(rec.ID)
 	p.eng.tracer.Emit(trace.Event{
 		Kind: trace.Finalize, PID: p.proc.PID(), Interval: rec.ID,
@@ -274,6 +291,22 @@ func (p *Process) handleRevive(m *msg.Message) {
 		return // stale target
 	}
 	if rec.Definite {
+		// With the stability watermark on, a definite interval is
+		// revocable until the frontier covers it: the premature commit the
+		// retracted chain exposes is repaired by un-finalizing — rolling
+		// the interval back so re-execution re-resolves the revived
+		// dependency. A covered interval can no longer be wrong here (the
+		// cut drained every in-flight retract), so reaching one is a
+		// genuine violation, as is any definite target with the watermark
+		// off (DESIGN.md §4.9, §12).
+		if st := p.eng.stability; st != nil && !st.Covered(rec.ID.Epoch) {
+			p.eng.tracer.Emit(trace.Event{
+				Kind: trace.Info, PID: p.proc.PID(), Interval: rec.ID, AID: m.AID,
+				Detail: "revoking uncovered definite interval (revive through a retracted chain)",
+			})
+			p.rollbackLocked(rec)
+			return
+		}
 		p.eng.tracer.Emit(trace.Event{
 			Kind: trace.Violation, PID: p.proc.PID(), Interval: rec.ID, AID: m.AID,
 			Detail: "revive of definite interval: premature commit through a retracted chain",
@@ -312,6 +345,21 @@ func (p *Process) handleRollback(m *msg.Message) {
 		return // stale: already rolled back deeper
 	}
 	if rec.Definite {
+		// Revocable-commit mode: an uncovered definite interval is
+		// un-finalized and rolled back like a speculative one — this is
+		// the §4.9 repair path. Covered intervals are irrevocable.
+		if st := p.eng.stability; st != nil && !st.Covered(rec.ID.Epoch) {
+			p.eng.tracer.Emit(trace.Event{
+				Kind: trace.Info, PID: p.proc.PID(), Interval: rec.ID, AID: m.AID,
+				Detail: "revoking uncovered definite interval (rollback from denied dependency)",
+			})
+			if m.AID.Valid() {
+				p.dead.Add(m.AID)
+				p.persistDeadAID(m.AID)
+			}
+			p.rollbackLocked(rec)
+			return
+		}
 		p.eng.tracer.Emit(trace.Event{
 			Kind: trace.Violation, PID: p.proc.PID(), Interval: rec.ID, AID: m.AID,
 			Detail: "rollback of definite interval (conflicting affirm/deny upstream)",
@@ -362,12 +410,23 @@ func (p *Process) rollbackLocked(rec *interval.Record) {
 	removed := p.history.TruncateFrom(pos)
 	for i := len(removed) - 1; i >= 0; i-- {
 		r := removed[i]
+		if st := p.eng.stability; st != nil {
+			// A definite record here was already settled at finalize; its
+			// revocation is an event but not a second settle. Speculative
+			// records settle now, by being discarded.
+			if r.Definite {
+				st.Revoked(r.ID.Epoch)
+			} else {
+				st.Settled(r.ID.Epoch)
+			}
+		}
 		for _, y := range r.IHA.Slice() {
 			p.send(msg.Retract(p.proc.PID(), r.ID, y))
 		}
 	}
 
 	discarded := p.jnl.Truncate(rec.JournalIndex)
+	p.dropExternsLocked(rec.JournalIndex)
 	p.persistRollback(rec.ID)
 
 	// Requeue surviving receives and deny assumptions created in the
@@ -433,6 +492,20 @@ func (p *Process) rollbackLocked(rec *interval.Record) {
 
 // terminateLocked marks the process dead and wakes its body.
 func (p *Process) terminateLocked() {
+	if !p.term {
+		// Settle whatever speculation the dead process leaves behind so
+		// the stability watermark does not wait forever on a corpse, and
+		// drop its gated outputs — a terminated process's existence was
+		// failed speculation.
+		if st := p.eng.stability; st != nil {
+			for _, r := range p.history.Slice() {
+				if !r.Definite {
+					st.Settled(r.ID.Epoch)
+				}
+			}
+		}
+		p.externs = nil
+	}
 	p.term = true
 	p.dataQ.Interrupt()
 	p.stopOnce.Do(func() { close(p.stopCh) })

@@ -47,6 +47,17 @@ func (p *Process) restoreLocked(r *Restored) {
 			rec.IHD.Add(a)
 		}
 		p.history.Append(rec)
+		if st := p.eng.stability; st != nil {
+			// Feed the watermark tracker: a restored definite interval is
+			// already settled (Issued bumps events and the epoch high-water
+			// mark only); a speculative one is live again and must hold the
+			// frontier back until it resolves.
+			if rec.Definite {
+				st.Issued(rec.ID.Epoch)
+			} else {
+				st.Opened(rec.ID.Epoch)
+			}
+		}
 	}
 	for _, e := range r.Entries {
 		p.jnl.Append(e)

@@ -125,6 +125,20 @@ func encodeCheckpoint(rs *recoverState, ordinal uint64) (recs [][]byte, end []by
 		b := appendUv([]byte{recViewEpoch}, rs.viewEpoch)
 		add(appendUv(b, 0)) // live set is informational; epoch is what must survive
 	}
+	if len(rs.frontier) > 0 {
+		nodes := make([]int, 0, len(rs.frontier))
+		for n := range rs.frontier {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		b := appendUv([]byte{recWatermark}, rs.wmView)
+		b = appendUv(b, uint64(len(nodes)))
+		for _, n := range nodes {
+			b = appendUv(b, uint64(n))
+			b = appendUv(b, uint64(rs.frontier[n]))
+		}
+		add(b)
+	}
 	for _, a := range rs.deniedSeq {
 		add(appendUv([]byte{recAutoDeny}, uint64(a)))
 	}

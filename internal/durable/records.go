@@ -56,6 +56,8 @@ const (
 	recCkptAbort = 17 // (empty) — the preceding unclosed bracket is void
 	recCkptSeq   = 18 // peer, flags, [sendSeq], [delivered] — per-peer watermarks a frame replay cannot reproduce
 	recCkptProc  = 19 // pid, maxSeq, maxEpoch, flags — per-proc high-waters (rollback can shrink the interval set below them)
+
+	recWatermark = 20 // viewEpoch, (node, epoch)* — agreed stability frontier advanced
 )
 
 // recCkptSeq flag bits.

@@ -40,6 +40,16 @@ type Recovered struct {
 	// cluster.Config.EpochFloor so the restarted node re-announces itself
 	// above every view it already gossiped.
 	ViewEpoch uint64
+	// Frontier is the per-node stability frontier from the newest
+	// recWatermark records (per-node maxima — the watermark is monotone,
+	// so max-merging across records is exact). Seed the restarted node's
+	// stability.Tracker with it so outputs the pre-crash watermark had
+	// already released are re-emitted promptly instead of waiting on a
+	// fresh round. Nil when the node never ran with the watermark on.
+	Frontier map[int]uint32
+	// FrontierView is the cluster view epoch the newest recovered
+	// watermark advance was decided under.
+	FrontierView uint64
 
 	// Records, Truncations, Duration mirror the WAL scan metrics.
 	Records     uint64
@@ -59,7 +69,7 @@ type Recovered struct {
 // Empty reports whether the WAL held no state (first boot).
 func (r *Recovered) Empty() bool {
 	return len(r.Restore) == 0 && len(r.Redeliver) == 0 && len(r.Resend) == 0 &&
-		len(r.Denied) == 0 && r.ViewEpoch == 0 &&
+		len(r.Denied) == 0 && r.ViewEpoch == 0 && len(r.Frontier) == 0 &&
 		(r.Resume == nil || (len(r.Resume.Peers) == 0 && len(r.Resume.Delivered) == 0))
 }
 
@@ -76,6 +86,9 @@ func (r *Recovered) String() string {
 		len(r.Denied), r.Truncations, r.Duration.Round(time.Microsecond))
 	if r.ViewEpoch > 0 {
 		out += fmt.Sprintf(" view=e%d", r.ViewEpoch)
+	}
+	if len(r.Frontier) > 0 {
+		out += fmt.Sprintf(" wm=%d", len(r.Frontier))
 	}
 	out += fmt.Sprintf(" from=%d tail=%d", r.FromLSN, r.TailRecords)
 	if r.Checkpointed {
@@ -141,6 +154,9 @@ type recoverState struct {
 	deniedSeq []ids.AID // insertion order, for deterministic restore
 
 	viewEpoch uint64 // highest recViewEpoch seen
+
+	wmView   uint64         // view epoch of the newest recWatermark seen
+	frontier map[int]uint32 // per-node maxima across recWatermark records
 
 	// Checkpoint bracket state. While ckpt is non-nil the stream is inside
 	// a Begin..End bracket and records fold into the nested state instead;
@@ -442,6 +458,35 @@ func (rs *recoverState) apply(lsn uint64, payload []byte) error {
 			rs.viewEpoch = epoch
 		}
 
+	case recWatermark:
+		view, err := r.uv()
+		if err != nil {
+			return err
+		}
+		count, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if rs.frontier == nil {
+			rs.frontier = make(map[int]uint32)
+		}
+		for i := uint64(0); i < count; i++ {
+			node, err := r.uv()
+			if err != nil {
+				return err
+			}
+			epoch, err := r.uv()
+			if err != nil {
+				return err
+			}
+			if uint32(epoch) > rs.frontier[int(node)] {
+				rs.frontier[int(node)] = uint32(epoch)
+			}
+		}
+		if view > rs.wmView {
+			rs.wmView = view
+		}
+
 	case recCkptSeq:
 		peer, err := r.uv()
 		if err != nil {
@@ -627,9 +672,11 @@ func (rs *recoverState) finish() (*Recovered, error) {
 		Checkpointed: rs.adopted,
 		FromLSN:      rs.adoptedBegin,
 		TailRecords:  rs.tailRecords,
-		Resume:    &wire.Resume{Peers: make(map[int]wire.ResumePeer), Delivered: rs.watermk},
-		Restore:   make(map[ids.PID]*core.Restored),
-		ViewEpoch: rs.viewEpoch,
+		Resume:       &wire.Resume{Peers: make(map[int]wire.ResumePeer), Delivered: rs.watermk},
+		Restore:      make(map[ids.PID]*core.Restored),
+		ViewEpoch:    rs.viewEpoch,
+		Frontier:     rs.frontier,
+		FrontierView: rs.wmView,
 	}
 	for id, p := range rs.peers {
 		frames := p.frames

@@ -2,6 +2,7 @@ package durable
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -429,6 +430,32 @@ func (s *Store) ViewChanged(epoch uint64, live []int) {
 	})
 	if err != nil {
 		s.fail("ViewChanged", err)
+	}
+}
+
+// WatermarkAdvanced records an agreed stability frontier: the cluster
+// view epoch it was decided under and each member's covered interval
+// epoch. On recovery the per-node maxima seed the restarted node's
+// stability tracker, so an output the watermark had already released
+// can never be re-gated (and an uncovered one never mistaken for
+// covered). Engine-level, like ViewChanged.
+func (s *Store) WatermarkAdvanced(viewEpoch uint64, frontier map[int]uint32) {
+	nodes := make([]int, 0, len(frontier))
+	for n := range frontier {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	err := s.appendTagged(recWatermark, func(b []byte) []byte {
+		b = appendUv(b, viewEpoch)
+		b = appendUv(b, uint64(len(nodes)))
+		for _, n := range nodes {
+			b = appendUv(b, uint64(n))
+			b = appendUv(b, uint64(frontier[n]))
+		}
+		return b
+	})
+	if err != nil {
+		s.fail("WatermarkAdvanced", err)
 	}
 }
 

@@ -60,6 +60,13 @@ type ChurnConfig struct {
 	GossipEvery time.Duration
 	DeadAfter   time.Duration
 
+	// Watermark runs every member with --watermark (fast rounds): the
+	// storm then also asserts the stability protocol survives the churn —
+	// after the join, every final member must announce a HOPED STABLE
+	// frontier agreed at the final view epoch, proving rounds resumed
+	// once the corpse was evicted and the joiner absorbed.
+	Watermark bool
+
 	Tracer trace.Tracer // receives trace.Fault events (nil = discard)
 	Log    io.Writer    // storm narration (nil = discard)
 }
@@ -115,13 +122,50 @@ type ChurnResult struct {
 	AutoDenied int64         // assumptions the client's liveness layer auto-denied
 	FinalEpoch uint64        // agreed view epoch at the end
 	FinalLive  []int         // agreed live set at the end
-	Elapsed    time.Duration
+
+	// Watermark storms only: the agreed stability frontier announced at
+	// the final view epoch, and how long after the join agreement the
+	// last member took to announce it (rounds blocked by the corpse must
+	// resume post-eviction).
+	StableFrontier string
+	StableLag      time.Duration
+
+	Elapsed time.Duration
 }
 
 // timedView is one HOPED VIEW announcement with its arrival time.
 type timedView struct {
 	at   time.Time
 	view cluster.ViewLine
+}
+
+// stableLine is one HOPED STABLE announcement: a stability frontier the
+// node adopted, tagged with the view epoch the round ran under.
+type stableLine struct {
+	at       time.Time
+	epoch    uint64
+	frontier string
+}
+
+// parseStableLine parses "HOPED STABLE node=N epoch=E frontier=F".
+func parseStableLine(line string) (stableLine, bool) {
+	if !strings.HasPrefix(line, "HOPED STABLE") {
+		return stableLine{}, false
+	}
+	var sl stableLine
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, "epoch="); ok {
+			e, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return stableLine{}, false
+			}
+			sl.epoch = e
+		}
+		if v, ok := strings.CutPrefix(f, "frontier="); ok {
+			sl.frontier = v
+		}
+	}
+	return sl, sl.frontier != ""
 }
 
 // viewWatcher owns one hoped child's stdout for the child's whole life:
@@ -134,6 +178,7 @@ type viewWatcher struct {
 
 	mu      sync.Mutex
 	views   []timedView
+	stables []stableLine
 	evicted bool
 
 	boot chan bootRes
@@ -167,6 +212,13 @@ func (w *viewWatcher) watch(r io.Reader) {
 			w.mu.Lock()
 			w.evicted = true
 			w.mu.Unlock()
+		case strings.HasPrefix(line, "HOPED STABLE"):
+			if sl, ok := parseStableLine(line); ok {
+				sl.at = time.Now()
+				w.mu.Lock()
+				w.stables = append(w.stables, sl)
+				w.mu.Unlock()
+			}
 		default:
 			if vl, ok, err := cluster.ParseViewLine(line); err == nil && ok {
 				w.mu.Lock()
@@ -188,6 +240,19 @@ func (w *viewWatcher) latest() (cluster.ViewLine, bool) {
 		return cluster.ViewLine{}, false
 	}
 	return w.views[len(w.views)-1].view, true
+}
+
+// stableAt returns this node's newest STABLE announcement agreed at the
+// given view epoch, if any.
+func (w *viewWatcher) stableAt(epoch uint64) (stableLine, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := len(w.stables) - 1; i >= 0; i-- {
+		if w.stables[i].epoch == epoch {
+			return w.stables[i], true
+		}
+	}
+	return stableLine{}, false
 }
 
 // firstDead returns when this watcher first announced a view with id in
@@ -325,6 +390,11 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			"--lease", lease.String(),
 			"--gossip-every", cfg.GossipEvery.String(),
 			"--vnodes", strconv.Itoa(cfg.VNodes),
+		}
+		if cfg.Watermark {
+			// Fast rounds so the frontier advances within the storm's
+			// post-churn settling windows, not at hoped's default 250ms.
+			args = append(args, "--watermark", "--watermark-every", "50ms")
 		}
 		if joinAddr == "" {
 			args = append(args, "--seed-node")
@@ -555,6 +625,7 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		return res, err
 	}
 	res.JoinLag = time.Since(tJoin)
+	tAgreed := time.Now()
 	res.FinalEpoch = finalViews[survivors[0].id].Epoch
 	res.FinalLive = finalLive
 
@@ -622,6 +693,38 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	}
 	if bad := tap.Violations(); len(bad) != 0 {
 		return res, fmt.Errorf("per-pair FIFO inversions at delivery: %s", strings.Join(bad, "; "))
+	}
+
+	// Watermark storms: stability rounds were blocked while the corpse
+	// sat unevicted (it answers no sweep and its in-flight frames fail
+	// the drain check); after eviction and the join they must resume.
+	// Every final member — the joiner included — has at least one boot
+	// interval, so the joiner's frontier entry appearing is itself an
+	// advance every member must announce at the final view epoch. A
+	// member that never does means the protocol did not survive churn.
+	if cfg.Watermark {
+		stableDeadline := time.Now().Add(30 * time.Second)
+		for _, m := range finalMembers {
+			for {
+				sl, ok := m.watch.stableAt(res.FinalEpoch)
+				if ok {
+					if lag := sl.at.Sub(tAgreed); lag > res.StableLag {
+						res.StableLag = lag
+					}
+					if m.id == survivors[0].id {
+						res.StableFrontier = sl.frontier
+					}
+					logf("%8v node %d stable at e%d: frontier %s",
+						time.Since(start).Round(time.Millisecond), m.id, sl.epoch, sl.frontier)
+					break
+				}
+				if time.Now().After(stableDeadline) {
+					return res, fmt.Errorf("churn: node %d never announced a stability frontier at view epoch %d",
+						m.id, res.FinalEpoch)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
 	}
 
 	res.AutoDenied = eng.AutoDenied()

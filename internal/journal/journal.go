@@ -44,6 +44,12 @@ const (
 	// KindTryRecv records a non-blocking receive attempt: Result reports
 	// whether a message was available, Msg holds it when so.
 	KindTryRecv
+	// KindExtern records an externalization point (Ctx.Externalize): an
+	// output whose release is gated on the stability watermark covering
+	// the enclosing interval. Interval names that interval; the output
+	// closure itself lives in the process's pending-extern registry, not
+	// the journal.
+	KindExtern
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +75,8 @@ func (k Kind) String() string {
 		return "freeof"
 	case KindTryRecv:
 		return "tryrecv"
+	case KindExtern:
+		return "extern"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -124,6 +132,8 @@ func (e *Entry) String() string {
 		return fmt.Sprintf("freeof(%s)=%v", e.AID, e.Result)
 	case KindTryRecv:
 		return fmt.Sprintf("tryrecv hit=%v %s", e.Result, e.Msg)
+	case KindExtern:
+		return fmt.Sprintf("extern %s", e.Interval)
 	default:
 		return e.Kind.String()
 	}

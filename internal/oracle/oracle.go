@@ -15,7 +15,11 @@
 //     increasing in delivery order, so a resent or duplicated frame can
 //     never re-enter the stream behind the dedup watermark;
 //   - the committed print-server layout equals a sequential replay
-//     (ExpectedFinalLine), byte-stable across crashes and partitions.
+//     (ExpectedFinalLine), byte-stable across crashes and partitions;
+//   - with the stability watermark on, every recorded frontier advance
+//     re-validates as a consistent quiescent cut, frontiers never
+//     regress, and no gated output was released above the watermark
+//     (CheckStability).
 //
 // Functions return errors rather than calling t.Fatal so the wire
 // harness can use them outside a *testing.T.
@@ -30,6 +34,7 @@ import (
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/stability"
 	"github.com/hope-dist/hope/internal/transport"
 )
 
@@ -90,6 +95,53 @@ func CheckLiveness(name string, hist []core.IntervalInfo, deadOwned func(ids.AID
 			if deadOwned(a) {
 				return fmt.Errorf("%s interval %v holds unconfirmed cut on dead-owned %v", name, ii.ID, a)
 			}
+		}
+	}
+	return nil
+}
+
+// CheckStability audits a watermark-gated run after the fact. Every
+// recorded frontier advance is re-derived from its own sweep reports:
+// the double collection must still validate as a consistent quiescent
+// cut (stability.ValidCut — this is what catches the churn hazard: a
+// dead member's unacked in-flight frames fail the drain check, so a
+// cut that advanced past them is a protocol bug, not an eviction
+// race), and the advanced frontier must be exactly the cut's per-member
+// maxima. Across advances each node's frontier entry must be monotone.
+// Finally, no gated emission may have been released above the
+// watermark: every emission's interval epoch must be covered by the
+// emitting node's frontier entry in force at release time.
+func CheckStability(audit *stability.Audit) error {
+	high := make(map[int]uint32)
+	for i, adv := range audit.Advances() {
+		if err := stability.ValidCut(adv.ViewEpoch, adv.Members, adv.R1, adv.R2); err != nil {
+			return fmt.Errorf("stability advance %d (view e%d): recorded cut does not validate: %w",
+				i, adv.ViewEpoch, err)
+		}
+		want := stability.CutFrontier(adv.Members, adv.R2)
+		for n, e := range adv.Frontier {
+			if want[n] != e {
+				return fmt.Errorf("stability advance %d: frontier entry %d:%d does not match cut maximum %d",
+					i, n, e, want[n])
+			}
+		}
+		for n, e := range want {
+			if _, ok := adv.Frontier[n]; !ok {
+				return fmt.Errorf("stability advance %d: cut maximum %d:%d missing from frontier", i, n, e)
+			}
+		}
+		for n, e := range adv.Frontier {
+			if e < high[n] {
+				return fmt.Errorf("stability advance %d: frontier for node %d regressed %d -> %d",
+					i, n, high[n], e)
+			}
+			high[n] = e
+		}
+	}
+	for i, em := range audit.Emissions() {
+		if em.Epoch > em.Frontier {
+			return fmt.Errorf("stability emission %d: node %d released epoch %d above its watermark %d",
+				i, em.Node, em.Epoch, em.Frontier)
 		}
 	}
 	return nil

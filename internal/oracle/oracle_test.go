@@ -8,6 +8,7 @@ import (
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/stability"
 	"github.com/hope-dist/hope/internal/transport"
 )
 
@@ -110,6 +111,135 @@ func TestFIFOTap(t *testing.T) {
 	}
 	if got != 5 {
 		t.Fatalf("handler ran %d times, want 5 (tap must still deliver)", got)
+	}
+}
+
+// stabilityCut builds a valid double sweep for members 0 and 1: both
+// quiescent, nothing unsettled, counters frozen across the sweeps, and
+// everything sent by sweep one delivered by sweep two.
+func stabilityCut(view uint64) (r1, r2 map[int]stability.Report) {
+	mk := func(node int, sweep uint8, maxEpoch uint32, sent, delivered map[int]uint64) stability.Report {
+		return stability.Report{
+			Node: node, ViewEpoch: view, Round: 1, Sweep: sweep,
+			Events: uint64(10 + node), MaxEpoch: maxEpoch, Quiet: true,
+			Sent: sent, Delivered: delivered,
+		}
+	}
+	r1 = map[int]stability.Report{
+		0: mk(0, 1, 41, map[int]uint64{1: 5}, map[int]uint64{1: 7}),
+		1: mk(1, 1, 17, map[int]uint64{0: 7}, map[int]uint64{0: 5}),
+	}
+	r2 = map[int]stability.Report{
+		0: mk(0, 2, 41, map[int]uint64{1: 5}, map[int]uint64{1: 7}),
+		1: mk(1, 2, 17, map[int]uint64{0: 7}, map[int]uint64{0: 5}),
+	}
+	return r1, r2
+}
+
+func TestCheckStability(t *testing.T) {
+	members := []int{0, 1}
+
+	// A clean run: one advance derived from a valid cut, emissions at or
+	// below the watermark in force.
+	audit := stability.NewAudit()
+	r1, r2 := stabilityCut(1)
+	audit.Advanced(stability.AdvanceRecord{
+		ViewEpoch: 1, Members: members, R1: r1, R2: r2,
+		Frontier: map[int]uint32{0: 41, 1: 17},
+	})
+	tr := stability.NewTracker(0)
+	tr.SetAudit(audit)
+	tr.SetFrontier(1, map[int]uint32{0: 41, 1: 17})
+	tr.Emitted(41) // at the watermark: legal
+	tr.Emitted(3)  // below it: legal
+	if err := CheckStability(audit); err != nil {
+		t.Fatalf("clean audit flagged: %v", err)
+	}
+
+	// Churn: node 1 died with an unacked in-flight frame (it sent seq 8
+	// toward node 0; node 0 had delivered only 7 by sweep two). A cut
+	// that advanced anyway is a protocol bug — the watermark must wait
+	// for the epoch floor to evict the dead member, not step past its
+	// frames.
+	audit = stability.NewAudit()
+	r1, r2 = stabilityCut(1)
+	in1 := r1[1]
+	in1.Sent = map[int]uint64{0: 8}
+	r1[1] = in1
+	in2 := r2[1]
+	in2.Sent = map[int]uint64{0: 8}
+	r2[1] = in2
+	audit.Advanced(stability.AdvanceRecord{
+		ViewEpoch: 1, Members: members, R1: r1, R2: r2,
+		Frontier: map[int]uint32{0: 41, 1: 17},
+	})
+	if err := CheckStability(audit); err == nil {
+		t.Fatal("advance past a dead member's unacked frames passed")
+	}
+
+	// The legitimate resolution: the view's epoch floor evicted node 1,
+	// so the next advance runs over members {0} alone and validates
+	// without the dead member's reports (its frontier entry frozen).
+	audit = stability.NewAudit()
+	solo1 := map[int]stability.Report{0: {
+		Node: 0, ViewEpoch: 2, Round: 2, Sweep: 1, Events: 30, MaxEpoch: 55,
+		Quiet: true,
+	}}
+	solo2 := map[int]stability.Report{0: {
+		Node: 0, ViewEpoch: 2, Round: 2, Sweep: 2, Events: 30, MaxEpoch: 55,
+		Quiet: true,
+	}}
+	audit.Advanced(stability.AdvanceRecord{
+		ViewEpoch: 2, Members: []int{0}, R1: solo1, R2: solo2,
+		Frontier: map[int]uint32{0: 55},
+	})
+	if err := CheckStability(audit); err != nil {
+		t.Fatalf("post-eviction solo advance flagged: %v", err)
+	}
+
+	// A frontier that does not match the cut's own maxima.
+	audit = stability.NewAudit()
+	r1, r2 = stabilityCut(1)
+	audit.Advanced(stability.AdvanceRecord{
+		ViewEpoch: 1, Members: members, R1: r1, R2: r2,
+		Frontier: map[int]uint32{0: 99, 1: 17},
+	})
+	if err := CheckStability(audit); err == nil {
+		t.Fatal("frontier above the cut maxima passed")
+	}
+
+	// A later advance regressing a node's frontier entry.
+	audit = stability.NewAudit()
+	r1, r2 = stabilityCut(1)
+	audit.Advanced(stability.AdvanceRecord{
+		ViewEpoch: 1, Members: members, R1: r1, R2: r2,
+		Frontier: map[int]uint32{0: 41, 1: 17},
+	})
+	lo1, lo2 := stabilityCut(1)
+	for n, r := range lo1 {
+		r.MaxEpoch = 9
+		lo1[n] = r
+	}
+	for n, r := range lo2 {
+		r.MaxEpoch = 9
+		lo2[n] = r
+	}
+	audit.Advanced(stability.AdvanceRecord{
+		ViewEpoch: 1, Members: members, R1: lo1, R2: lo2,
+		Frontier: map[int]uint32{0: 9, 1: 9},
+	})
+	if err := CheckStability(audit); err == nil {
+		t.Fatal("regressing frontier passed")
+	}
+
+	// An output released above the watermark in force at emission.
+	audit = stability.NewAudit()
+	tr = stability.NewTracker(0)
+	tr.SetAudit(audit)
+	tr.SetFrontier(1, map[int]uint32{0: 41})
+	tr.Emitted(42)
+	if err := CheckStability(audit); err == nil {
+		t.Fatal("emission above the watermark passed")
 	}
 }
 

@@ -85,7 +85,7 @@ func PessimisticWorker(server ids.PID, pageSize, n int, done func(PageReport)) c
 			}
 			seq++
 		}
-		done(rep)
+		ctx.Externalize(func() { done(rep) })
 		return nil
 	}
 }
@@ -145,7 +145,7 @@ func OptimisticWorker(server ids.PID, pageSize, n int, done func(PageReport)) co
 			ctx.Send(server, Request{Method: MethodPrint, Seq: seq})
 			seq++
 		}
-		done(rep)
+		ctx.Externalize(func() { done(rep) })
 		return nil
 	}
 }
@@ -203,7 +203,7 @@ func StreamedWorker(server ids.PID, pageSize, n int, done func(PageReport)) core
 			ctx.Send(server, Request{Method: MethodPrint, Seq: seq})
 			seq++
 		}
-		done(rep)
+		ctx.Externalize(func() { done(rep) })
 		return nil
 	}
 }

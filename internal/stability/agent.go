@@ -1,0 +1,277 @@
+package stability
+
+import (
+	"sync"
+	"time"
+
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+// Config parameterizes a round Agent.
+type Config struct {
+	// Node is this node's ID.
+	Node int
+	// Tracker is the local stability bookkeeping the agent reports from
+	// and applies agreed frontiers to. Required.
+	Tracker *Tracker
+	// Members returns the current cluster view: its epoch and the live
+	// member node IDs (including self). In a static deployment it returns
+	// epoch 0 and the fixed peer list. Required.
+	Members func() (viewEpoch uint64, nodes []int)
+	// Send transmits a stability payload to a peer node, returning false
+	// if the peer is unreachable. Wired to wire.Node.Stability in a real
+	// deployment, or an in-memory mesh in tests. Required.
+	Send func(to int, payload []byte) bool
+	// Quiet reports local engine quiescence: every mailbox drained, every
+	// process parked. Nil means always quiet (tracker-only deployments).
+	Quiet func() bool
+	// Seqs snapshots the per-peer wire sequence state: last sequence sent
+	// toward each peer and highest contiguous sequence delivered from
+	// each. Nil means no wire layer (the drain check is vacuous).
+	Seqs func() (sent, delivered map[int]uint64)
+	// Interval is the round cadence when this node is the initiator
+	// (default 250ms). A new round starts only after the previous one
+	// completed or timed out.
+	Interval time.Duration
+	// Timeout abandons a round whose sweep never completes — a member
+	// died mid-round, or its report is stuck behind a partition (default
+	// 4×Interval).
+	Timeout time.Duration
+	// OnAdvance runs after the local frontier advanced (on the initiator
+	// and on every member receiving the broadcast): persist the frontier,
+	// flush gated outputs, print the HOPED STABLE line. May be nil.
+	OnAdvance func(viewEpoch uint64, frontier map[int]uint32)
+	// Audit, when non-nil, records every advance this agent decides (the
+	// initiator's view of the run) for the stability oracle.
+	Audit *Audit
+	// Tracer receives round lifecycle events (nil = discard).
+	Tracer trace.Tracer
+}
+
+// Agent drives stability rounds for one node. Every node runs an agent;
+// only the initiator of the current view (its lowest-numbered live
+// member) originates sweeps, so leadership moves automatically with
+// membership churn. Rounds ride the out-of-band stability wire frame and
+// never touch the sequenced protocol stream — a round in progress adds
+// no messages a cut would have to drain.
+type Agent struct {
+	cfg Config
+
+	mu      sync.Mutex
+	round   uint64
+	sweep   uint8 // 0 = no round in flight
+	started time.Time
+	members []int
+	view    uint64
+	r1, r2  map[int]Report
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewAgent constructs an agent. Call Start to begin driving rounds;
+// HandlePayload must be wired to the transport's stability frame
+// delivery before Start.
+func NewAgent(cfg Config) *Agent {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 4 * cfg.Interval
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Nop
+	}
+	return &Agent{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start launches the round ticker goroutine.
+func (a *Agent) Start() {
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker. In-flight payload handling remains safe.
+func (a *Agent) Stop() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+		<-a.done
+	}
+}
+
+// localReport snapshots this node's report for the given round/sweep.
+func (a *Agent) localReport(viewEpoch, round uint64, sweep uint8) Report {
+	events, unsettled, maxEpoch := a.cfg.Tracker.Report()
+	r := Report{
+		Node: a.cfg.Node, ViewEpoch: viewEpoch, Round: round, Sweep: sweep,
+		Events: events, Unsettled: unsettled, MaxEpoch: maxEpoch, Quiet: true,
+	}
+	if a.cfg.Quiet != nil {
+		r.Quiet = a.cfg.Quiet()
+	}
+	if a.cfg.Seqs != nil {
+		r.Sent, r.Delivered = a.cfg.Seqs()
+	}
+	return r
+}
+
+// tick drives the initiator state machine: start a round if none is in
+// flight (and we lead the current view), or abandon one that timed out.
+func (a *Agent) tick() {
+	viewEpoch, nodes := a.cfg.Members()
+	if len(nodes) == 0 {
+		return
+	}
+	lead := nodes[0]
+	for _, n := range nodes {
+		if n < lead {
+			lead = n
+		}
+	}
+	a.mu.Lock()
+	if lead != a.cfg.Node {
+		a.sweep = 0 // lost leadership mid-round: abandon
+		a.mu.Unlock()
+		return
+	}
+	if a.sweep != 0 {
+		if time.Since(a.started) < a.cfg.Timeout {
+			a.mu.Unlock()
+			return // round still in flight
+		}
+		a.cfg.Tracer.Emit(trace.Event{Kind: trace.Info,
+			Detail: "stability: round timed out (member unreachable or busy)"})
+	}
+	a.round++
+	a.sweep = 1
+	a.started = time.Now()
+	a.view = viewEpoch
+	a.members = append([]int(nil), nodes...)
+	a.r1 = map[int]Report{}
+	a.r2 = map[int]Report{}
+	round := a.round
+	members := a.members
+	a.mu.Unlock()
+
+	a.collect(a.localReport(viewEpoch, round, 1))
+	for _, n := range members {
+		if n != a.cfg.Node {
+			a.cfg.Send(n, EncodeSweep(viewEpoch, round, 1))
+		}
+	}
+}
+
+// HandlePayload processes one stability frame from a peer. It is safe to
+// call from transport read goroutines.
+func (a *Agent) HandlePayload(from int, b []byte) {
+	p, err := Decode(b)
+	if err != nil {
+		a.cfg.Tracer.Emit(trace.Event{Kind: trace.Info, Detail: "stability: " + err.Error()})
+		return
+	}
+	switch p.Kind {
+	case pkSweep:
+		// Member side: answer with our current report.
+		a.cfg.Send(from, EncodeReport(a.localReport(p.ViewEpoch, p.Round, p.Sweep)))
+	case pkReport:
+		a.collect(p.Report)
+	case pkAdvance:
+		a.apply(p.ViewEpoch, p.Frontier)
+	}
+}
+
+// collect folds a report into the initiator's current round, advancing
+// to sweep two when the first completes and deciding the cut when the
+// second does.
+func (a *Agent) collect(r Report) {
+	a.mu.Lock()
+	if a.sweep == 0 || r.Round != a.round || r.ViewEpoch != a.view {
+		a.mu.Unlock()
+		return // stale: an abandoned round or an older view
+	}
+	switch r.Sweep {
+	case 1:
+		a.r1[r.Node] = r
+	case 2:
+		a.r2[r.Node] = r
+	default:
+		a.mu.Unlock()
+		return
+	}
+	complete := func(m map[int]Report) bool {
+		for _, n := range a.members {
+			if _, ok := m[n]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case a.sweep == 1 && r.Sweep == 1 && complete(a.r1):
+		a.sweep = 2
+		view, round, members := a.view, a.round, a.members
+		a.mu.Unlock()
+		a.collect(a.localReport(view, round, 2))
+		for _, n := range members {
+			if n != a.cfg.Node {
+				a.cfg.Send(n, EncodeSweep(view, round, 2))
+			}
+		}
+		return
+	case a.sweep == 2 && r.Sweep == 2 && complete(a.r2):
+		view, members, r1, r2 := a.view, a.members, a.r1, a.r2
+		a.sweep = 0
+		a.mu.Unlock()
+		a.decide(view, members, r1, r2)
+		return
+	}
+	a.mu.Unlock()
+}
+
+// decide applies ValidCut to a completed double sweep and, when valid,
+// advances and broadcasts the frontier.
+func (a *Agent) decide(view uint64, members []int, r1, r2 map[int]Report) {
+	if err := ValidCut(view, members, r1, r2); err != nil {
+		a.cfg.Tracer.Emit(trace.Event{Kind: trace.Info, Detail: "stability: cut invalid: " + err.Error()})
+		return
+	}
+	frontier := CutFrontier(members, r2)
+	if a.cfg.Audit != nil {
+		a.cfg.Audit.Advanced(AdvanceRecord{
+			ViewEpoch: view, Members: append([]int(nil), members...),
+			R1: r1, R2: r2, Frontier: frontier,
+		})
+	}
+	a.apply(view, frontier)
+	for _, n := range members {
+		if n != a.cfg.Node {
+			a.cfg.Send(n, EncodeAdvance(view, frontier))
+		}
+	}
+}
+
+// apply merges an agreed frontier locally and fires OnAdvance if it
+// moved.
+func (a *Agent) apply(view uint64, frontier map[int]uint32) {
+	if !a.cfg.Tracker.SetFrontier(view, frontier) {
+		return
+	}
+	a.cfg.Tracer.Emit(trace.Event{Kind: trace.Info,
+		Detail: "stability: frontier advanced to " + FormatFrontier(frontier)})
+	if a.cfg.OnAdvance != nil {
+		a.cfg.OnAdvance(view, frontier)
+	}
+}

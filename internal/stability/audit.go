@@ -1,0 +1,65 @@
+package stability
+
+import "sync"
+
+// Audit records the observable stability history of a run — frontier
+// advances with the report sweeps that justified them, and gated
+// emissions with the frontier in force when they were released — so the
+// stability oracle (internal/oracle CheckStability) can re-derive every
+// advance and check that no output escaped above the watermark.
+type Audit struct {
+	mu        sync.Mutex
+	advances  []AdvanceRecord
+	emissions []EmissionRecord
+}
+
+// AdvanceRecord is one frontier advance and its justification.
+type AdvanceRecord struct {
+	ViewEpoch uint64
+	Members   []int
+	R1, R2    map[int]Report
+	Frontier  map[int]uint32
+}
+
+// EmissionRecord is one gated output release: the emitting node, the
+// interval epoch of the output, and the node's own frontier entry at
+// release time.
+type EmissionRecord struct {
+	Node     int
+	Epoch    uint32
+	Frontier uint32
+}
+
+// NewAudit constructs an empty audit log.
+func NewAudit() *Audit { return &Audit{} }
+
+// Advanced records a frontier advance.
+func (a *Audit) Advanced(rec AdvanceRecord) {
+	a.mu.Lock()
+	a.advances = append(a.advances, rec)
+	a.mu.Unlock()
+}
+
+func (a *Audit) emitted(node int, epoch uint32, frontier uint32) {
+	a.mu.Lock()
+	a.emissions = append(a.emissions, EmissionRecord{Node: node, Epoch: epoch, Frontier: frontier})
+	a.mu.Unlock()
+}
+
+// Advances returns a snapshot of the recorded frontier advances.
+func (a *Audit) Advances() []AdvanceRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AdvanceRecord, len(a.advances))
+	copy(out, a.advances)
+	return out
+}
+
+// Emissions returns a snapshot of the recorded output releases.
+func (a *Audit) Emissions() []EmissionRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]EmissionRecord, len(a.emissions))
+	copy(out, a.emissions)
+	return out
+}

@@ -1,0 +1,386 @@
+package stability_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/oracle"
+	"github.com/hope-dist/hope/internal/stability"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+// TestPrematureCommitWindow pins the §4.9 premature-commit window and its
+// closure by the watermark, by constructing the mutual-support ring the
+// paper warns about and then pulling its foundation away:
+//
+//   - node 0 hosts two assumptions, y and bp, plus a sink process;
+//   - E (node 1) guesses y and conditionally affirms bp (basis {y});
+//   - Q (node 3) guesses bp; the machine buck-passes, so Q's interval Iq1
+//     ends up depending on {y} with bp in its UDO set;
+//   - F (node 2) guesses bp and conditionally affirms y (basis {bp}).
+//
+// F's affirm makes machine y speculative on {bp} and fans out
+// Replace(y → ·, {bp}). The test's gated transport holds exactly the two
+// fan-out frames that would expose the ring to E and F — modelling the
+// §4.9 race where those frames are still in flight — so the only replace
+// that lands is the one at Iq1, where bp re-entering the dependency set
+// from UDO triggers a cycle cut and Iq1 *finalizes locally*. Its entire
+// support is the y↔bp conditional ring; no definite affirm exists.
+//
+// Then node 0 is presumed dead. E and F auto-deny their orphans, re-run,
+// and issue real denials: both machines go False, the verdict is
+// y=false, bp=false — and Q retained guess(bp)=true in a definite,
+// externalized interval. With the watermark off that is exactly the
+// divergence: a rollback-of-definite violation, an oracle outcome
+// mismatch, and a premature output that already escaped. With the
+// watermark on, the same schedule is repaired: the finalize was
+// revocable (never covered by any frontier), the liveness sweep's
+// reach-through finds bp behind the definite interval, the rollback
+// un-finalizes Iq1, Q re-runs to the correct outcome, and the gated
+// output is released exactly once — after coverage, with the right
+// value.
+func TestPrematureCommitWindow(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, on := range []bool{false, true} {
+			mode := "off"
+			if on {
+				mode = "on"
+			}
+			t.Run(fmt.Sprintf("watermark=%s/seed=%d", mode, seed), func(t *testing.T) {
+				runWindow(t, on, seed)
+			})
+		}
+	}
+}
+
+// gate holds frames matching installed rules, simulating in-flight
+// messages that have not yet been delivered.
+type gate struct {
+	mu    sync.Mutex
+	rules []func(*msg.Message) bool
+	held  int
+}
+
+func (g *gate) hold(rule func(*msg.Message) bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rules = append(g.rules, rule)
+}
+
+func (g *gate) intercept(m *msg.Message) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.rules {
+		if r(m) {
+			g.held++
+			return true
+		}
+	}
+	return false
+}
+
+// gatedNet gives one engine a private view of the shared simulated net
+// with the gate interposed on sends. Close is a no-op: four engines share
+// one net and each Shutdown closes its transport; the test closes the
+// real net once, after all engines are down.
+type gatedNet struct {
+	transport.Transport
+	g *gate
+}
+
+func (t *gatedNet) Send(m *msg.Message) {
+	if t.g.intercept(m) {
+		return
+	}
+	t.Transport.Send(m)
+}
+
+func (t *gatedNet) Close() {}
+
+const windowPIDBits = 20 // PID space per simulated node
+
+func windowNode(pid ids.PID) int { return int(pid >> windowPIDBits) }
+
+func findGuess(h []core.IntervalInfo, a ids.AID) (core.IntervalInfo, bool) {
+	for _, ii := range h {
+		if ii.GuessAID == a {
+			return ii, true
+		}
+	}
+	return core.IntervalInfo{}, false
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func runWindow(t *testing.T, watermark bool, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func() { time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond) }
+
+	// Background load: two CPU hogs keep the scheduler busy so goroutine
+	// interleavings vary across runs and -count repetitions.
+	stopHogs := make(chan struct{})
+	var hogs sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		hogs.Add(1)
+		go func() {
+			defer hogs.Done()
+			x := uint64(seed) + 1
+			for {
+				select {
+				case <-stopHogs:
+					return
+				default:
+					for j := 0; j < 1024; j++ {
+						x ^= x << 13
+						x ^= x >> 7
+						x ^= x << 17
+					}
+				}
+			}
+		}()
+	}
+	defer func() { close(stopHogs); hogs.Wait() }()
+
+	net := netsim.New(netsim.Constant(150 * time.Microsecond))
+	defer net.Close()
+	g := &gate{}
+
+	trackers := make(map[int]*stability.Tracker)
+	mk := func(node int) *core.Engine {
+		cfg := core.Config{
+			Transport: &gatedNet{Transport: net, g: g},
+			PIDBase:   ids.PID(node) << windowPIDBits,
+		}
+		if watermark {
+			tr := stability.NewTracker(node)
+			trackers[node] = tr
+			cfg.Stability = tr
+		}
+		return core.NewEngine(cfg)
+	}
+	engH := mk(0) // hosts the assumptions and the sink
+	engE := mk(1)
+	engF := mk(2)
+	engQ := mk(3)
+	engines := []*core.Engine{engH, engE, engF, engQ}
+	for _, e := range engines {
+		defer e.Shutdown()
+	}
+
+	y, err := engH.NewAID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := engH.NewAID()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold machine y's affirm fan-out toward E and machine bp's buck-pass
+	// toward F: the two frames whose in-flightness opens the window. Both
+	// gates are installed before any matching traffic exists.
+	g.hold(func(m *msg.Message) bool {
+		return m.Kind == msg.KindReplace && m.AID == y && windowNode(m.To) == 1
+	})
+	g.hold(func(m *msg.Message) bool {
+		return m.Kind == msg.KindReplace && m.AID == bp && windowNode(m.To) == 2
+	})
+
+	// Sink on node 0: a ping barrier. Per-pair FIFO delivery means a ping
+	// counted here proves everything the pinging node sent to node 0
+	// before it has been delivered.
+	var pings atomic.Int64
+	sink, err := engH.SpawnRoot(func(ctx *core.Ctx) error {
+		for {
+			if _, _, err := ctx.Recv(); err != nil {
+				return err
+			}
+			pings.Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkPID := sink.PID()
+
+	// E: guess y, conditionally affirm bp on basis {y}.
+	_, err = engE.SpawnRoot(func(ctx *core.Ctx) error {
+		if ctx.Guess(y) {
+			ctx.Affirm(bp)
+		} else {
+			ctx.Deny(bp)
+		}
+		ctx.Send(sinkPID, "e-done")
+		_, _, err := ctx.Recv()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "E's affirm to reach machine bp", func() bool { return pings.Load() >= 1 })
+	jitter()
+
+	// Q: guess bp, record the outcome, externalize it.
+	var (
+		qMu         sync.Mutex
+		qOutcome    bool
+		externCount atomic.Int32
+		externVal   atomic.Int32
+	)
+	qWorker, err := engQ.SpawnRoot(func(ctx *core.Ctx) error {
+		ok := ctx.Guess(bp)
+		qMu.Lock()
+		qOutcome = ok
+		qMu.Unlock()
+		val := int32(2)
+		if ok {
+			val = 1
+		}
+		ctx.Externalize(func() {
+			externVal.Store(val)
+			externCount.Add(1)
+		})
+		_, _, err := ctx.Recv()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine bp is speculative, so it buck-passes: Q's interval ends up
+	// depending on {y} with bp unsettled in its UDO set.
+	waitFor(t, "buck-pass replace at Q", func() bool {
+		ii, ok := findGuess(qWorker.HistorySnapshot(), bp)
+		return ok && len(ii.IDO) == 1 && ii.IDO[0] == y && len(ii.UDO) == 1 && ii.UDO[0] == bp
+	})
+	// Ping barrier: Q's follow-up Guess(y, Iq1) is ahead of this ping in
+	// the node3→node0 stream, so machine y now has Iq1 in its DOM.
+	if _, err := engQ.SpawnRoot(func(ctx *core.Ctx) error {
+		ctx.Send(sinkPID, "q-probe")
+		_, _, err := ctx.Recv()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "Q's dependency registration at machine y", func() bool { return pings.Load() >= 2 })
+	jitter()
+
+	// F: guess bp, conditionally affirm y on basis {bp} — closing the
+	// ring. The affirm's fan-out replace lands only at Iq1 (the copies to
+	// E and F are gated "in flight"), where bp cycles back from UDO into
+	// the dependency set and is cut: Iq1 finalizes on pure mutual support.
+	_, err = engF.SpawnRoot(func(ctx *core.Ctx) error {
+		if ctx.Guess(bp) {
+			ctx.Affirm(y)
+		} else {
+			ctx.Deny(y)
+		}
+		_, _, err := ctx.Recv()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "premature local finalize of Q's interval", func() bool {
+		ii, ok := findGuess(qWorker.HistorySnapshot(), bp)
+		return ok && ii.Definite
+	})
+
+	if watermark {
+		if n := externCount.Load(); n != 0 {
+			t.Fatalf("watermark on: output escaped before coverage (count=%d)", n)
+		}
+	} else {
+		if n, v := externCount.Load(), externVal.Load(); n != 1 || v != 1 {
+			t.Fatalf("watermark off: expected the premature output (count=1 val=1), got count=%d val=%d", n, v)
+		}
+	}
+
+	// Node 0 is presumed dead. The survivors run the liveness protocol.
+	// Q goes first: with the watermark off its definite interval hides bp
+	// from the sweep entirely; with it on, the uncovered finalize is
+	// revocable and the sweep reaches through to deny bp.
+	deadNode0 := func(pid ids.PID) bool { return windowNode(pid) == 0 }
+	jitter()
+	deniedByQ := engQ.DenyOwned(deadNode0, "node 0 presumed dead")
+	if watermark && deniedByQ == 0 {
+		t.Fatal("watermark on: liveness sweep did not reach through the uncovered definite interval")
+	}
+	if !watermark && deniedByQ != 0 {
+		t.Fatalf("watermark off: liveness sweep saw %d orphans behind a definite interval (expected blindness)", deniedByQ)
+	}
+	jitter()
+	engE.DenyOwned(deadNode0, "node 0 presumed dead")
+	jitter()
+	engF.DenyOwned(deadNode0, "node 0 presumed dead")
+
+	for i, e := range engines {
+		if !e.Settle(30 * time.Second) {
+			t.Fatalf("engine %d did not settle after the death", i)
+		}
+	}
+
+	qMu.Lock()
+	finalOutcome := qOutcome
+	qMu.Unlock()
+	outcomeErr := oracle.CheckOutcomes("q",
+		[]oracle.Outcome{{AID: bp, Result: finalOutcome}},
+		map[ids.AID]bool{y: false, bp: false})
+	var violations int64
+	for _, e := range engines {
+		violations += e.Violations()
+	}
+
+	if !watermark {
+		// The window, realized: the committed interval had to be torn
+		// down (a safety violation), the retained outcome diverges from
+		// the decided verdict, and the wrong output already escaped.
+		if violations == 0 {
+			t.Error("watermark off: no rollback-of-definite violation recorded")
+		}
+		if outcomeErr == nil {
+			t.Error("watermark off: retained outcome matches verdict; expected divergence")
+		}
+		if n, v := externCount.Load(), externVal.Load(); n != 1 || v != 1 {
+			t.Errorf("watermark off: externalized output changed after commit: count=%d val=%d", n, v)
+		}
+		return
+	}
+
+	// Watermark on: the same schedule is repaired, not violated.
+	if violations != 0 {
+		t.Errorf("watermark on: %d violations; the revocable finalize should absorb the rollback", violations)
+	}
+	if st := qWorker.Snapshot(); st.Restarts < 1 {
+		t.Errorf("watermark on: Q was never rolled back (restarts=%d)", st.Restarts)
+	}
+	if outcomeErr != nil {
+		t.Errorf("watermark on: retained outcome diverges after repair: %v", outcomeErr)
+	}
+	if n := externCount.Load(); n != 0 {
+		t.Fatalf("watermark on: output released while uncovered (count=%d)", n)
+	}
+	// Coverage arrives; the corrected output is released exactly once.
+	trackers[3].SetFrontier(1, map[int]uint32{3: math.MaxUint32})
+	engQ.FlushStable()
+	if n, v := externCount.Load(), externVal.Load(); n != 1 || v != 2 {
+		t.Errorf("watermark on: gated release wrong: count=%d val=%d (want 1, 2)", n, v)
+	}
+}

@@ -41,8 +41,9 @@ const (
 	frameHelloAck = 2 // acceptor → dialer: highest delivered seq (resume point)
 	frameMsg      = 3 // dialer → acceptor: seq + encoded message
 	frameAck      = 4 // acceptor → dialer: highest delivered seq
-	framePing     = 5 // dialer → acceptor: liveness probe; answered with a forced ack
-	frameGossip   = 6 // either direction: opaque membership payload, out of band
+	framePing      = 5 // dialer → acceptor: liveness probe; answered with a forced ack
+	frameGossip    = 6 // either direction: opaque membership payload, out of band
+	frameStability = 7 // either direction: opaque stability-round payload, out of band
 )
 
 // maxPendingGossip bounds each peer's pending gossip payloads. Gossip
@@ -50,6 +51,12 @@ const (
 // link falls behind, the oldest pending payload is dropped, never the
 // newest.
 const maxPendingGossip = 4
+
+// maxPendingStability bounds each peer's pending stability payloads.
+// Rounds are periodic and self-correcting — a dropped sweep or report
+// only delays the next frontier advance — so when a slow link falls
+// behind, the oldest pending payload is dropped, never the newest.
+const maxPendingStability = 8
 
 // maxFrame bounds a frame read so a corrupt length prefix cannot force a
 // huge allocation.
@@ -125,6 +132,9 @@ type NodeConfig struct {
 	// Gossip, when wired, lets a membership layer piggyback opaque
 	// payloads on the node's connections (see GossipConfig).
 	Gossip GossipConfig
+	// Stability, when wired, lets the commit-watermark layer piggyback
+	// its round payloads on the node's connections (see StabilityConfig).
+	Stability StabilityConfig
 	// HoldInbound binds the listener in NewNode but defers accepting
 	// connections until ReleaseInbound is called. A recovering node
 	// needs this: delivered-but-unconsumed messages from the WAL must be
@@ -160,6 +170,24 @@ type GossipConfig struct {
 	Reply func(from int) []byte
 }
 
+// StabilityConfig hooks the commit-watermark round agent (see
+// internal/stability) into the transport. Stability frames share the
+// gossip frames' out-of-band discipline: not sequenced, not acked, not
+// resent, not written to the WAL, and not counted in Inflight — which
+// is essential, not merely cheap: a stability round must be able to
+// observe "every sequenced frame is drained" without its own traffic
+// perturbing that very condition. Like gossip, they count as liveness
+// evidence for the failure detector. Unlike gossip there is no built-in
+// reply; the agent's sweep/report/advance exchange is its own protocol
+// on top of one-way payloads (Node.Stability).
+type StabilityConfig struct {
+	// OnPayload receives each inbound stability payload (a fresh copy;
+	// the callback may retain it). Called synchronously from the
+	// connection's read loop — keep it quick, and never call back into a
+	// blocking Node method from it.
+	OnPayload func(from int, payload []byte)
+}
+
 // Node is a TCP transport endpoint implementing transport.Transport.
 // Messages to PIDs registered locally are delivered synchronously;
 // messages to PIDs owned by other nodes are sequenced, framed, and
@@ -175,9 +203,10 @@ type Node struct {
 	queue      transport.QueueLimits // normalized per-peer bounds
 	flushDelay time.Duration
 	unbatched  bool
-	dur        DurableHooks // nil = no durability
-	health     HealthConfig // normalized failure-detector config
-	gossip     GossipConfig // membership piggyback hooks (zero = none)
+	dur        DurableHooks    // nil = no durability
+	health     HealthConfig    // normalized failure-detector config
+	gossip     GossipConfig    // membership piggyback hooks (zero = none)
+	stab       StabilityConfig // commit-watermark piggyback hooks (zero = none)
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight returns to zero
@@ -213,6 +242,9 @@ type Node struct {
 	gossipSent            atomic.Uint64
 	gossipRecv            atomic.Uint64
 	gossipDrops           atomic.Uint64
+	stabSent              atomic.Uint64
+	stabRecv              atomic.Uint64
+	stabDrops             atomic.Uint64
 }
 
 var _ transport.Transport = (*Node)(nil)
@@ -240,6 +272,9 @@ type WireStats struct {
 	GossipSent          uint64 // gossip frames written (pushes and replies)
 	GossipRecv          uint64 // gossip frames received
 	GossipDrops         uint64 // pending gossip payloads superseded before the write
+	StabSent            uint64 // stability frames written
+	StabRecv            uint64 // stability frames received
+	StabDrops           uint64 // pending stability payloads superseded before the write
 	PeersSuspect        int    // gauge: peers currently in Suspect
 	PeersDead           int    // gauge: peers declared Dead (terminal)
 
@@ -261,6 +296,9 @@ func (s WireStats) String() string {
 	}
 	if s.GossipSent != 0 || s.GossipRecv != 0 {
 		base += fmt.Sprintf(" gossip=%d/%d gdrop=%d", s.GossipSent, s.GossipRecv, s.GossipDrops)
+	}
+	if s.StabSent != 0 || s.StabRecv != 0 {
+		base += fmt.Sprintf(" stab=%d/%d sdrop=%d", s.StabSent, s.StabRecv, s.StabDrops)
 	}
 	if s.Durable {
 		base += " " + s.WAL.String()
@@ -305,6 +343,7 @@ type peer struct {
 	dead       bool          // peer declared Dead: no dialing, no queueing, ever again
 	probe      bool          // monitor requested a ping frame on the live connection
 	gossip     [][]byte      // pending out-of-band gossip payloads (bounded; oldest dropped)
+	stability  [][]byte      // pending out-of-band stability payloads (bounded; oldest dropped)
 	full       bool          // inside a queue-overflow episode (one trace event each)
 	backoffCur time.Duration // last reconnect backoff used (observable for tests)
 	health     *peerHealth
@@ -353,6 +392,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		dur:        cfg.Durable,
 		health:     cfg.Health.norm(),
 		gossip:     cfg.Gossip,
+		stab:       cfg.Stability,
 		handlers:   make(map[ids.PID]transport.Handler),
 		peers:      make(map[int]*peer),
 		inbound:    make(map[int]*inbound),
@@ -479,6 +519,71 @@ func (n *Node) Gossip(to int, payload []byte) bool {
 	p.gossip = append(p.gossip, append([]byte(nil), payload...))
 	p.cond.Broadcast()
 	return true
+}
+
+// Stability queues one opaque commit-watermark payload toward a peer,
+// best-effort (see StabilityConfig). It reports whether the payload was
+// accepted for writing — false when the peer is dead, the node closed,
+// or the target is self. The payload is copied; the caller keeps the
+// buffer. At most maxPendingStability payloads wait per peer; beyond
+// that, the oldest pending payload is superseded.
+func (n *Node) Stability(to int, payload []byte) bool {
+	if to == n.id || len(payload) == 0 {
+		return false
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return false
+	}
+	p := n.peer(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.dead {
+		return false
+	}
+	if len(p.stability) >= maxPendingStability {
+		p.stability = p.stability[1:]
+		n.stabDrops.Add(1)
+	}
+	p.stability = append(p.stability, append([]byte(nil), payload...))
+	p.cond.Broadcast()
+	return true
+}
+
+// MsgSeqs snapshots the sequenced message stream's per-peer state: Sent
+// maps each peer to the last sequence number assigned toward it, and
+// Delivered maps each sender to the highest contiguous sequence
+// delivered from it. The stability layer pairs two such snapshots to
+// prove the sequenced stream was drained across a cut — out-of-band
+// frames (gossip, stability, pings, acks) are deliberately invisible
+// here, because they carry no protocol state a cut must wait for.
+func (n *Node) MsgSeqs() (sent, delivered map[int]uint64) {
+	n.mu.Lock()
+	peers := make(map[int]*peer, len(n.peers))
+	for id, p := range n.peers {
+		peers[id] = p
+	}
+	ins := make(map[int]*inbound, len(n.inbound))
+	for id, in := range n.inbound {
+		ins[id] = in
+	}
+	n.mu.Unlock()
+
+	sent = make(map[int]uint64, len(peers))
+	for id, p := range peers {
+		p.mu.Lock()
+		sent[id] = p.nextSeq
+		p.mu.Unlock()
+	}
+	delivered = make(map[int]uint64, len(ins))
+	for id, in := range ins {
+		in.mu.Lock()
+		delivered[id] = in.delivered
+		in.mu.Unlock()
+	}
+	return sent, delivered
 }
 
 // peer returns (creating if needed) the send-side state for node id.
@@ -702,6 +807,7 @@ func (n *Node) Close() {
 		p.queueBytes = 0
 		p.cursor = 0
 		p.gossip = nil
+		p.stability = nil
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
@@ -757,6 +863,9 @@ func (n *Node) WireStats() WireStats {
 		DeadDrops:  n.deadDrops.Load(),
 		GossipSent: n.gossipSent.Load(), GossipRecv: n.gossipRecv.Load(),
 		GossipDrops: n.gossipDrops.Load(),
+		StabSent:    n.stabSent.Load(),
+		StabRecv:    n.stabRecv.Load(),
+		StabDrops:   n.stabDrops.Load(),
 	}
 	for _, h := range n.healthSnapshot() {
 		switch PeerState(h.state.Load()) {
@@ -1135,6 +1244,16 @@ func (n *Node) serveConn(c net.Conn) {
 			}
 			continue
 		}
+		if ftype == frameStability {
+			// Out-of-band commit-watermark payload: hand it up; the agent's
+			// own protocol decides whether and what to send back. body
+			// aliases the read scratch buffer — the callback gets a copy.
+			n.stabRecv.Add(1)
+			if cb := n.stab.OnPayload; cb != nil {
+				cb(from, append([]byte(nil), body...))
+			}
+			continue
+		}
 		if ftype != frameMsg {
 			n.event("wire: node %d got unexpected frame type %d from node %d", n.id, ftype, from)
 			return
@@ -1409,6 +1528,12 @@ loop:
 			if cb := p.n.gossip.OnPayload; cb != nil {
 				cb(p.id, append([]byte(nil), body...))
 			}
+		case frameStability:
+			p.n.stabRecv.Add(1)
+			p.n.heard(p.health)
+			if cb := p.n.stab.OnPayload; cb != nil {
+				cb(p.id, append([]byte(nil), body...))
+			}
 		default:
 			break loop
 		}
@@ -1436,7 +1561,7 @@ func (p *peer) pump(conn net.Conn) {
 	for {
 		p.mu.Lock()
 		p.pinLo, p.pinHi = 0, 0
-		for p.cursor >= len(p.queue) && len(p.gossip) == 0 && !p.probe && !p.closed && !p.dead && p.conn == conn {
+		for p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && !p.probe && !p.closed && !p.dead && p.conn == conn {
 			lingered = false
 			p.cond.Wait()
 		}
@@ -1448,7 +1573,7 @@ func (p *peer) pump(conn net.Conn) {
 			// Pending frames — gossip included — are themselves a
 			// heartbeat; a ping frame is only worth a syscall when the
 			// queue has nothing to say.
-			probeOnly := p.cursor >= len(p.queue) && len(p.gossip) == 0
+			probeOnly := p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0
 			p.probe = false
 			if probeOnly {
 				p.mu.Unlock()
@@ -1467,8 +1592,9 @@ func (p *peer) pump(conn net.Conn) {
 		// Copy the pending window and pin its seq range: acks may retire
 		// these frames while we write outside the lock, and a retired
 		// buffer must not be recycled mid-write (see releaseLocked).
-		var gossip [][]byte
+		var gossip, stab [][]byte
 		gossip, p.gossip = p.gossip, nil
+		stab, p.stability = p.stability, nil
 		batch = append(batch[:0], p.queue[p.cursor:]...)
 		p.cursor = len(p.queue)
 		if len(batch) > 0 {
@@ -1485,7 +1611,16 @@ func (p *peer) pump(conn net.Conn) {
 			}
 			p.n.gossipSent.Add(1)
 		}
-		if p.n.unbatched && len(gossip) > 0 {
+		// Stability frames share gossip's out-of-band ride (no durability
+		// barrier, no seq): see StabilityConfig.
+		for _, s := range stab {
+			if err := p.n.writeFrame(bw, frameStability, s); err != nil {
+				p.detach(conn)
+				return
+			}
+			p.n.stabSent.Add(1)
+		}
+		if p.n.unbatched && len(gossip)+len(stab) > 0 {
 			if err := bw.Flush(); err != nil {
 				p.detach(conn)
 				return

@@ -15,8 +15,14 @@ go test ./...
 echo '== go test -shuffle=on (root package: order-independent chaos/e2e suite)'
 go test -shuffle=on -count=1 .
 
-echo '== go test -race (core, netsim, wire, wal, durable, faultwire, oracle, harness, cluster)'
-go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/ ./internal/faultwire/ ./internal/oracle/ ./internal/harness/ ./internal/cluster/
+echo '== go test -race (core, netsim, wire, wal, durable, faultwire, oracle, harness, cluster, stability)'
+go test -race -count=1 ./internal/core/ ./internal/netsim/ ./internal/wire/ ./internal/wal/ ./internal/durable/ ./internal/faultwire/ ./internal/oracle/ ./internal/harness/ ./internal/cluster/ ./internal/stability/
+
+echo '== premature-commit window regression (pinned seeds, repeated under race)'
+# The §4.9 divergence must stay observable with the watermark off and
+# repaired with it on, across scheduler interleavings: fixed seeds, CPU
+# load, three repetitions under the race detector (DESIGN.md §12).
+go test -race -count=3 -run TestPrematureCommitWindow ./internal/stability/
 
 echo '== wire + wal + cluster fuzz corpus replay'
 # Replays the seed corpora plus any regression inputs under testdata/fuzz
@@ -69,5 +75,19 @@ echo '== membership churn smoke (pinned seed)'
 # must be auto-denied, and the sharded-ownership invariant must hold
 # over the final views (agreed live set, agreed ring, live owners).
 go run ./cmd/hopebench chaos --churn --nodes 3 --seed 3 --reports 24
+
+echo '== watermark churn smoke (pinned seed)'
+# The same churn storm with every member running --watermark: stability
+# rounds are blocked while the corpse sits unevicted (it answers no
+# sweep and its in-flight frames fail the drain check), so the storm
+# additionally asserts every final member — the late joiner included —
+# announces an agreed HOPED STABLE frontier at the final view epoch.
+go run ./cmd/hopebench chaos --churn --nodes 3 --seed 3 --reports 24 --watermark
+
+echo '== stability watermark A/B smoke'
+# In-process lag + throughput A/B for the commit watermark: fails if a
+# gated output is lost or duplicated, if the frontier stops advancing
+# (outputs still gated after the run), or on any protocol violation.
+go run ./cmd/hopebench stability
 
 echo 'check: OK'
