@@ -40,6 +40,7 @@ func chaosExperiment(args []string) error {
 	vnodes := fs.Int("vnodes", 0, "churn: ring virtual nodes per member (0 = cluster default)")
 	deadAfter := fs.Duration("dead-after", 0, "churn: members' failure-detector death threshold (0 = harness default 1s)")
 	watermark := fs.Bool("watermark", false, "churn: run every member with the stability watermark (fast rounds) and assert the frontier resumes advancing after the churn")
+	migrate := fs.Bool("migrate", false, "churn: ownership-routed adjudication with live shard migration — the killed owner's in-flight speculative assumptions must be adopted (not denied) by the ring successors, with the WAL-hosted tables partitioning by the final ring")
 	jsonOut := fs.String("json", "", "churn: also write the results as JSON to this file")
 	planOnly := fs.Bool("plan", false, "print each seed's fault plan and exit (no processes spawned)")
 	verbose := fs.Bool("v", false, "narrate the storm as it runs")
@@ -71,10 +72,13 @@ func chaosExperiment(args []string) error {
 
 	if *churn {
 		return churnStorms(seedList, *nodes, *vnodes, *deadAfter, *fsync, *hopedPath,
-			*pageSize, *reports, *watermark, *jsonOut, *verbose)
+			*pageSize, *reports, *watermark, *migrate, *jsonOut, *verbose)
 	}
 	if *watermark {
 		return fmt.Errorf("--watermark needs --churn: the fault storm's children are not clustered, so no member would ever lead a stability round")
+	}
+	if *migrate {
+		return fmt.Errorf("--migrate needs --churn: shard migration is a membership-churn behavior, and the fault storm's children are not clustered")
 	}
 
 	if *planOnly {
@@ -164,6 +168,9 @@ type churnRun struct {
 	Watermark   bool    `json:"watermark,omitempty"`
 	StableFront string  `json:"stable_frontier,omitempty"`
 	StableLagNS int64   `json:"stable_resume_ns,omitempty"`
+	Migrate     bool    `json:"migrate,omitempty"`
+	Adopted     int     `json:"adopted,omitempty"`
+	AdoptNS     int64   `json:"adopt_latency_ns,omitempty"`
 	ElapsedNS   int64   `json:"elapsed_ns"`
 }
 
@@ -179,7 +186,7 @@ type churnReport struct {
 // cluster from one seed node, SIGKILL of a member mid-speculation,
 // replacement join, ownership invariants over the final views.
 func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
-	fsync, hopedPath string, pageSize, reports int, watermark bool, jsonOut string, verbose bool) error {
+	fsync, hopedPath string, pageSize, reports int, watermark, migrate bool, jsonOut string, verbose bool) error {
 	fmt.Println("CHAOS --churn — membership churn over a dynamic hoped cluster")
 	fmt.Printf("workload: %d reports × %d members, pageSize %d, fsync=%s; SIGKILL one member mid-speculation, join a replacement\n",
 		reports, nodes, pageSize, fsync)
@@ -204,15 +211,15 @@ func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
 		cfg := harness.ChurnConfig{
 			Seed: s, Nodes: nodes, HopedBin: bin, Fsync: fsync,
 			PageSize: pageSize, Reports: reports, VNodes: vnodes, DeadAfter: deadAfter,
-			Watermark: watermark,
+			Watermark: watermark, Migrate: migrate,
 		}
 		if verbose {
 			cfg.Log = os.Stderr
 		}
 		res, err := harness.RunChurn(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "churn seed %d FAILED: %v\nreplay: hopebench chaos --churn --nodes %d --seed %d\n",
-				s, err, nodes, s)
+			fmt.Fprintf(os.Stderr, "churn seed %d FAILED: %v\nreplay: hopebench chaos --churn --nodes %d --seed %d --migrate=%v\n",
+				s, err, nodes, s, migrate)
 			return fmt.Errorf("seed %d: %w", s, err)
 		}
 		// Rollback rate: worker restarts per report across every
@@ -225,6 +232,7 @@ func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
 			JoinShare: res.JoinShare, Rollbacks: res.Rollbacks, RollbackPct: rate,
 			AutoDenied: res.AutoDenied, FinalEpoch: res.FinalEpoch,
 			Watermark: watermark, StableFront: res.StableFrontier, StableLagNS: res.StableLag.Nanoseconds(),
+			Migrate: migrate, Adopted: res.Adopted, AdoptNS: res.AdoptLatency.Nanoseconds(),
 			ElapsedNS: res.Elapsed.Nanoseconds(),
 		})
 		fmt.Printf("%-12d %10v %12v %12v %12v %10v %9.1f%% %8d %8d\n",
@@ -238,9 +246,16 @@ func churnStorms(seedList []int64, nodes, vnodes int, deadAfter time.Duration,
 			fmt.Printf("  watermark survived churn: frontier %s at e%d, resumed %v after join agreement\n",
 				res.StableFrontier, res.FinalEpoch, res.StableLag.Round(time.Millisecond))
 		}
+		if migrate {
+			fmt.Printf("  shard migrated: %d machine(s) adopted from node %d's WAL, adopt latency %v\n",
+				res.Adopted, res.Killed, res.AdoptLatency.Round(time.Millisecond))
+		}
 	}
 	fmt.Println("all invariants held: view agreement, sharded ownership (agreed ring, live owners),")
 	fmt.Println("liveness (no dead-owned speculation), verdict agreement, sequential layouts, per-pair FIFO")
+	if migrate {
+		fmt.Println("migration: every survivor adopted its ring slice, hosted tables partition by the final ring, sequential page layouts held")
+	}
 
 	if jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

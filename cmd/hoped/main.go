@@ -77,6 +77,23 @@
 // serve a shard it no longer owns. On a durable node the published view
 // epoch is WAL-logged, so a restart resumes past it and can never
 // gossip a view staler than one it already announced.
+//
+// With --route (cluster mode only) AID adjudication is ownership-routed
+// (DESIGN.md §13): every guess/affirm/deny goes to the ring-designated
+// owner for the current view epoch, stale-view senders are NACKed and
+// retry, and on a view change the node ships the assumption machines it
+// no longer owns to their new owners over the out-of-band transfer
+// frame. With --migrate (requires --route and --data-root, the parent
+// directory holding every node's WAL as node<N> subdirectories) a dead
+// owner's shard is adopted rather than denied: each survivor replays the
+// corpse's WAL-checkpointed AID table and absorbs the machines its own
+// ring now assigns to it, printing:
+//
+//	HOPED ADOPTED node=2 from=3 count=5
+//
+// A durable routed node also re-adopts its own hosted shard on restart
+// (from= names itself). Every node must run with the same --route
+// setting; mixing is unsupported.
 package main
 
 import (
@@ -84,6 +101,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -182,6 +200,9 @@ func run(args []string) error {
 	seedNode := fs.Bool("seed-node", false, "bootstrap a fresh cluster as its seed (enables dynamic membership)")
 	gossipEvery := fs.Duration("gossip-every", 0, "membership gossip period (0 = cluster default 150ms)")
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default; must match cluster-wide)")
+	route := fs.Bool("route", false, "route AID adjudication to ring owners and migrate shards on view changes (needs cluster mode; must match cluster-wide)")
+	migrate := fs.Bool("migrate", false, "adopt a dead owner's shard from its WAL instead of denying it (needs --route and --data-root)")
+	dataRoot := fs.String("data-root", "", "parent directory holding every node's WAL as node<N> subdirectories (shard adoption reads dead owners' logs here)")
 	peers := peerMap{}
 	fs.Var(peers, "peer", "peer address as N=host:port (repeatable)")
 	join := peerMap{}
@@ -206,6 +227,15 @@ func run(args []string) error {
 	}
 	if *watermarkEvery != 0 && !*watermark {
 		return fmt.Errorf("--watermark-every needs --watermark")
+	}
+	if *route && !clustered {
+		return fmt.Errorf("--route needs cluster mode (--seed-node or --join)")
+	}
+	if *migrate && !*route {
+		return fmt.Errorf("--migrate needs --route")
+	}
+	if *migrate && *dataRoot == "" {
+		return fmt.Errorf("--migrate needs --data-root (where the dead owners' WALs live)")
 	}
 
 	// A capped recorder keeps the tail of the transport's event stream
@@ -287,6 +317,20 @@ func run(args []string) error {
 				return nil
 			},
 		}
+		if *route {
+			// Shard handoff rides the out-of-band transfer frame; a batch
+			// arriving before the engine exists is dropped — the shipper
+			// re-offers it on its next view change.
+			wcfg.Transfer = wire.TransferConfig{
+				OnPayload: func(from int, payload []byte) {
+					if eng := engRef.Load(); eng != nil {
+						if _, err := eng.InstallTransfer(payload); err != nil {
+							fmt.Fprintf(os.Stderr, "hoped: node %d transfer from %d: %v\n", *node, from, err)
+						}
+					}
+				},
+			}
+		}
 		// First-hand failure-detector verdicts feed the membership view.
 		wcfg.Health.OnPeerState = func(peer int, st wire.PeerState) {
 			m := mgrRef.Load()
@@ -349,11 +393,36 @@ func run(args []string) error {
 	defer n.Close()
 
 	ecfg.Transport = n
+	if *route {
+		ecfg.Routing = &core.RoutingConfig{
+			Self:      *node,
+			NodeOf:    wire.NodeOf,
+			RouterPID: wire.RouterPID,
+			Owner: func(a ids.AID) (int, uint64, bool) {
+				m := mgrRef.Load()
+				if m == nil {
+					return 0, 0, false // pre-bootstrap: park and retry
+				}
+				owner, ok := m.Ring().Owner(uint64(a))
+				return owner, m.Epoch(), ok
+			},
+			Ship: func(to int, payload []byte) bool { return n.Transfer(to, payload) },
+		}
+	}
 	if *lease > 0 {
 		ecfg.Liveness = &core.LivenessConfig{
 			Lease: *lease,
 			Owner: func(a ids.AID) core.OwnerStatus {
 				owner := wire.NodeOf(a.PID())
+				if *route {
+					// Ownership-routed: the adjudicator is the ring owner,
+					// not the minting node.
+					if m := mgrRef.Load(); m != nil {
+						if o, ok := m.Ring().Owner(uint64(a)); ok {
+							owner = o
+						}
+					}
+				}
 				if owner == *node {
 					return core.OwnerStatus{} // locally hosted: plain lease
 				}
@@ -393,6 +462,16 @@ func run(args []string) error {
 			}
 			fmt.Printf("HOPED RECOVERED node=%d %s\n", *node, recovLine)
 		}
+		if *route && len(recov.AIDExports) > 0 {
+			// Reclaim the pre-crash hosted shard wholesale; the first view
+			// change ships away whatever the ring moved meanwhile.
+			count, err := eng.InstallExports(recov.AIDExports, false)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hoped: node %d restart shard adoption: %v\n", *node, err)
+			} else {
+				fmt.Printf("HOPED ADOPTED node=%d from=%d count=%d\n", *node, *node, count)
+			}
+		}
 		n.ReleaseInbound()
 	}
 
@@ -414,14 +493,56 @@ func run(args []string) error {
 			Tracer:    tracer,
 			OnChange: func(v cluster.View, _ *cluster.Ring) {
 				fmt.Println(cluster.FormatViewLine(*node, v))
+				if *route {
+					// Re-evaluate the hosted shard against the new ring and
+					// ship what moved to its new owners.
+					if e := engRef.Load(); e != nil {
+						e.OwnershipChanged()
+					}
+				}
 			},
 			OnDeaths: func(dead []int, v cluster.View, _ *cluster.Ring) {
 				for _, id := range dead {
 					n.DeclarePeerDead(id)
-					if e := engRef.Load(); e != nil {
-						e.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == id },
-							fmt.Sprintf("node %d dead in view e%d", id, v.Epoch))
+					e := engRef.Load()
+					if e == nil {
+						continue
 					}
+					dir := filepath.Join(*dataRoot, fmt.Sprintf("node%d", id))
+					if _, serr := os.Stat(dir); *migrate && serr == nil {
+						// Adopt before denying: the dead owner's WAL carries
+						// its checkpointed AID table, and the machines our
+						// ring now assigns to us become ours (survivors each
+						// take only their own slice, so one corpse's shard
+						// partitions without overlap). Adopted assumptions
+						// are then no longer orphans — DenyOwned's
+						// grant-epoch check skips what the ring reassigned.
+						// A dead peer with no WAL here was never a member
+						// with local state (e.g. an external client that
+						// gossip declared dead): nothing to adopt.
+						blobs, err := durable.ReadAIDExports(dir)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "hoped: node %d adopt from dead node %d: %v\n", *node, id, err)
+						} else {
+							count, ierr := e.InstallExports(blobs, true)
+							if ierr != nil {
+								fmt.Fprintf(os.Stderr, "hoped: node %d adopt from dead node %d: %v\n", *node, id, ierr)
+							} else {
+								fmt.Printf("HOPED ADOPTED node=%d from=%d count=%d\n", *node, id, count)
+							}
+						}
+						// The corpse also acked frames it never consumed: their
+						// senders pruned them, so only the WAL copy remains.
+						// Requeue the adjudications among them through our own
+						// ring — the current owner deduplicates replays.
+						if orphans, err := durable.ReadOrphanFrames(dir); err == nil {
+							for _, m := range orphans {
+								e.RequeueRouted(m)
+							}
+						}
+					}
+					e.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == id },
+						fmt.Sprintf("node %d dead in view e%d", id, v.Epoch))
 				}
 			},
 			OnEvicted: func(v cluster.View) {
@@ -543,6 +664,9 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "hoped: node %d shutting down; net %v; wire %v\n",
 		*node, n.Stats(), n.WireStats())
+	if *route {
+		fmt.Fprintf(os.Stderr, "hoped: node %d routing %+v\n", *node, eng.RoutingStats())
+	}
 	if mgr != nil {
 		fmt.Fprintf(os.Stderr, "hoped: node %d cluster %v\n", *node, mgr.Stats())
 	}

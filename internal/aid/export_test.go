@@ -1,0 +1,134 @@
+package aid
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+)
+
+func iid(proc uint64, seq uint32) ids.IntervalID {
+	return ids.IntervalID{Proc: ids.PID(proc), Seq: seq, Epoch: 1}
+}
+
+// TestExportRoundTrip drives a machine into each reachable state, ships
+// it through the batch codec, and checks the reconstruction picks up
+// exactly where the original left off.
+func TestExportRoundTrip(t *testing.T) {
+	a := ids.AID(42)
+	m := NewMachine(a, trace.Nop)
+	m.Step(msg.Guess(ids.PID(7), iid(7, 1), a))
+	m.Step(msg.Guess(ids.PID(8), iid(8, 3), a))
+	m.Step(msg.Affirm(ids.PID(9), iid(9, 2), a, []ids.AID{5, 6}))
+	if m.State() != Maybe {
+		t.Fatalf("setup: state %v, want Maybe", m.State())
+	}
+
+	batch := EncodeBatch([]Export{m.Export()})
+	decoded, err := DecodeBatch(batch)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d exports, want 1", len(decoded))
+	}
+	got := FromExport(decoded[0], trace.Nop)
+	if got.Self() != a || got.State() != Maybe {
+		t.Fatalf("reconstructed self=%v state=%v, want %v Maybe", got.Self(), got.State(), a)
+	}
+	wantDOM := m.DOM()
+	gotDOM := got.DOM()
+	sortIIDs(wantDOM)
+	sortIIDs(gotDOM)
+	if !reflect.DeepEqual(gotDOM, wantDOM) {
+		t.Fatalf("DOM %v, want %v", gotDOM, wantDOM)
+	}
+	wantAIDO, gotAIDO := m.AIDO(), got.AIDO()
+	sortAIDs(wantAIDO)
+	sortAIDs(gotAIDO)
+	if !reflect.DeepEqual(gotAIDO, wantAIDO) {
+		t.Fatalf("AIDO %v, want %v", gotAIDO, wantAIDO)
+	}
+
+	// The affirmer survived the trip: a Retract from the affirming
+	// interval must still flip the reconstruction back to Hot.
+	got.Step(msg.Retract(ids.PID(9), iid(9, 2), a))
+	if got.State() != Hot {
+		t.Fatalf("after retract: state %v, want Hot", got.State())
+	}
+}
+
+// TestExportMerge pins the rank-based merge: the further-progressed
+// state wins and the DOM is unioned either way.
+func TestExportMerge(t *testing.T) {
+	a := ids.AID(42)
+
+	// Cold local machine (the receiver's lazy create) merges a Maybe
+	// snapshot: the snapshot wins outright.
+	cold := NewMachine(a, trace.Nop)
+	snap := Export{
+		AID: a, State: Maybe, Affirmer: iid(9, 2),
+		DOM:  []ids.IntervalID{iid(7, 1)},
+		AIDO: []ids.AID{5},
+	}
+	cold.Merge(snap)
+	if cold.State() != Maybe || len(cold.AIDO()) != 1 {
+		t.Fatalf("cold merge: state %v aido %v, want Maybe [5]", cold.State(), cold.AIDO())
+	}
+
+	// A machine that progressed past the snapshot keeps its state but
+	// still absorbs the snapshot's dependents.
+	final := NewMachine(a, trace.Nop)
+	final.Step(msg.Guess(ids.PID(8), iid(8, 1), a))
+	final.Step(msg.Deny(ids.PID(9), iid(9, 5), a))
+	if final.State() != False {
+		t.Fatalf("setup: state %v, want False", final.State())
+	}
+	final.Merge(snap)
+	if final.State() != False {
+		t.Fatalf("final merge: state %v, want False (rank keeps final)", final.State())
+	}
+	dom := final.DOM()
+	found := false
+	for _, b := range dom {
+		if b == iid(7, 1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("final merge: DOM %v missing migrated dependent %v", dom, iid(7, 1))
+	}
+}
+
+// TestDecodeBatchRejectsGarbage pins the defensive decode paths.
+func TestDecodeBatchRejectsGarbage(t *testing.T) {
+	good := EncodeBatch([]Export{{AID: 1, State: Hot}})
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad version": {99},
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte(nil), good...), 0),
+		"bad state":   {exportVersion, 1, 1, 77},
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func sortIIDs(s []ids.IntervalID) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Proc != s[j].Proc {
+			return s[i].Proc < s[j].Proc
+		}
+		return s[i].Seq < s[j].Seq
+	})
+}
+
+func sortAIDs(s []ids.AID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

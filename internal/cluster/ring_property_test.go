@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingMovement is the property test the migration battery leans on:
+// across random join/leave sequences, ownership movement is minimal —
+// on a leave, only the departed member's keys change owner; on a join,
+// every key that changes owner moves to the joiner — and the ring is
+// deterministic, so every member that knows the live set computes the
+// same owner for every key with no coordination.
+func TestRingMovement(t *testing.T) {
+	const (
+		steps = 60
+		keys  = 4096
+	)
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			live := map[int]bool{1: true, 2: true, 3: true}
+			nextID := 4
+			prev := buildRing(live, DefaultVNodes)
+			for step := 0; step < steps; step++ {
+				join := len(live) < 2 || (rng.Intn(2) == 0 && len(live) < 12)
+				var subject int
+				if join {
+					// Joiners alternate between brand-new IDs and rejoins of
+					// previously-departed members (a restart keeps its ID).
+					if rng.Intn(3) == 0 && nextID > 4 {
+						subject = 1 + rng.Intn(nextID-1)
+						if live[subject] {
+							subject = nextID
+							nextID++
+						}
+					} else {
+						subject = nextID
+						nextID++
+					}
+					live[subject] = true
+				} else {
+					members := sortedLive(live)
+					subject = members[rng.Intn(len(members))]
+					delete(live, subject)
+				}
+				next := buildRing(live, DefaultVNodes)
+				checkMinimalMovement(t, prev, next, subject, join, keys)
+				checkDeterministic(t, rng, live, next, keys)
+				if t.Failed() {
+					t.Fatalf("seed %d failed at step %d (join=%v subject=%d live=%v)",
+						seed, step, join, subject, sortedLive(live))
+				}
+				prev = next
+			}
+		})
+	}
+}
+
+func buildRing(live map[int]bool, v int) *Ring {
+	return NewRing(sortedLive(live), v)
+}
+
+func sortedLive(live map[int]bool) []int {
+	out := make([]int, 0, len(live))
+	for id := range live {
+		out = append(out, id)
+	}
+	// NewRing sorts internally; sorting here only makes failure output and
+	// rng.Intn selection deterministic across map iteration orders.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// checkMinimalMovement asserts the consistent-hashing contract for one
+// membership step: keys either keep their owner or involve the subject
+// (moved off a departed subject, or taken by a joining subject).
+func checkMinimalMovement(t *testing.T, prev, next *Ring, subject int, join bool, keys uint64) {
+	t.Helper()
+	moved := 0
+	for key := uint64(0); key < keys; key++ {
+		op, okp := prev.Owner(key)
+		on, okn := next.Owner(key)
+		if !okn {
+			if next.Size() == 0 {
+				continue
+			}
+			t.Errorf("key %d unowned on nonempty ring", key)
+			return
+		}
+		if !okp {
+			continue // ring was empty before; everything lands on the joiner set
+		}
+		if op == on {
+			continue
+		}
+		moved++
+		if join {
+			if on != subject {
+				t.Errorf("join of %d moved key %d between bystanders %d→%d", subject, key, op, on)
+				return
+			}
+		} else {
+			if op != subject {
+				t.Errorf("leave of %d moved key %d owned by bystander %d→%d", subject, key, op, on)
+				return
+			}
+			if on == subject {
+				t.Errorf("key %d still owned by departed member %d", key, subject)
+				return
+			}
+		}
+	}
+	// A member of a small ring that owns zero of 4096 keys would make the
+	// movement assertions vacuous; the vnode count rules that out.
+	if next.Size() > 0 && next.Size() <= 12 && moved == 0 && prev.Size() > 0 {
+		t.Errorf("membership change of %d moved zero keys — degenerate ring", subject)
+	}
+}
+
+// checkDeterministic rebuilds the ring from a shuffled copy of the live
+// set — as a different member with the same view would — and asserts
+// every ownership decision matches.
+func checkDeterministic(t *testing.T, rng *rand.Rand, live map[int]bool, ring *Ring, keys uint64) {
+	t.Helper()
+	shuffled := sortedLive(live)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	other := NewRing(shuffled, DefaultVNodes)
+	for key := uint64(0); key < keys; key += 7 { // stride: full sweep done by movement check
+		a, oka := ring.Owner(key)
+		b, okb := other.Owner(key)
+		if oka != okb || a != b {
+			t.Errorf("members disagree on key %d: (%d,%v) vs (%d,%v)", key, a, oka, b, okb)
+			return
+		}
+	}
+}

@@ -32,6 +32,11 @@ const probeTimeout = 5 * time.Second
 //
 // It returns the number of assumption processes reclaimed.
 func (e *Engine) Collect() (int, error) {
+	if e.router != nil {
+		// Routed mode hosts machines in the router's table rather than as
+		// processes; final ones are archived without a probe round trip.
+		return e.router.collectHosted(), nil
+	}
 	e.mu.Lock()
 	candidates := make([]ids.AID, 0, len(e.aids))
 	for a := range e.aids {

@@ -64,6 +64,10 @@ type Engine struct {
 	// intervals can be un-finalized (see stability.go).
 	stability Stability
 
+	// router, when non-nil, routes AID adjudication to ring owners and
+	// hosts this node's shard of assumption machines (see route.go).
+	router *router
+
 	mu      sync.Mutex
 	procs   map[ids.PID]*Process
 	aids    map[ids.AID]*vpm.Proc
@@ -115,6 +119,13 @@ type Config struct {
 	// a deployment must agree on whether Stability is set; mixing modes
 	// across nodes (or across restarts over one WAL) is unsupported.
 	Stability Stability
+	// Routing, when non-nil, enables ownership-driven AID routing
+	// (DESIGN.md §13): adjudications go to the ring-designated owner for
+	// the current view epoch, stale-view senders are NACKed and retry,
+	// and hosted machines migrate on view changes instead of being
+	// denied. Every engine in a deployment must agree on whether Routing
+	// is set.
+	Routing *RoutingConfig
 }
 
 // NewEngine constructs an engine over its transport.
@@ -163,6 +174,14 @@ func NewEngine(cfg Config) *Engine {
 		e.archive[a] = false
 	}
 	e.stability = cfg.Stability
+	if rc := cfg.Routing.norm(); rc != nil {
+		e.router = newRouter(e, rc)
+		if err := e.router.start(); err != nil {
+			// The well-known router PID is reserved for us; a collision
+			// means the config is broken, not a runtime condition.
+			panic(err)
+		}
+	}
 	e.liveness = cfg.Liveness.norm()
 	e.leaseStop = make(chan struct{})
 	e.leaseDone = make(chan struct{})
@@ -213,8 +232,14 @@ func (e *Engine) SpawnRoot(body Body) (*Process, error) {
 
 // NewAID spawns a fresh AID process and returns its identifier. Exposed
 // on the engine so that assumptions can be created before the processes
-// that use them (the paper's aid_init).
+// that use them (the paper's aid_init). With ownership routing on, no
+// local process is spawned: the AID is an identity only, and its machine
+// is lazily hosted by whichever node the ring designates when the first
+// adjudication arrives.
 func (e *Engine) NewAID() (ids.AID, error) {
+	if e.router != nil {
+		return ids.AID(e.machine.AllocPID()), nil
+	}
 	proc, err := e.machine.Spawn(aid.RunMode(e.tracer, e.stability != nil))
 	if err != nil {
 		return ids.NilAID, fmt.Errorf("spawn aid: %w", err)
@@ -290,9 +315,13 @@ func (e *Engine) Shutdown() {
 	e.mu.Unlock()
 
 	// Stop the lease sweeper before the machine: a sweep mid-teardown
-	// would synthesize denials into a transport being closed.
+	// would synthesize denials into a transport being closed. The
+	// routing retry pacer stops for the same reason.
 	close(e.leaseStop)
 	<-e.leaseDone
+	if e.router != nil {
+		e.router.shutdown()
+	}
 	for _, p := range procs {
 		p.shutdown()
 	}
@@ -348,6 +377,16 @@ func (e *Engine) quiet() bool {
 	}
 	for _, p := range procs {
 		if !p.parked() {
+			return false
+		}
+	}
+	if rt := e.router; rt != nil {
+		// An undelivered routed adjudication — in the router's mailbox or
+		// parked awaiting a retry — is in-flight protocol traffic.
+		if rp := e.machine.Lookup(rt.cfg.RouterPID(rt.cfg.Self)); rp != nil && rp.Box().Len() > 0 {
+			return false
+		}
+		if rt.pendingRetries() > 0 {
 			return false
 		}
 	}

@@ -105,11 +105,23 @@ func (e *Engine) AutoDeny(a ids.AID, reason string) bool {
 		Detail: fmt.Sprintf("liveness: auto-denied %v (%s)", a, reason),
 	})
 
-	if ap != nil {
+	switch {
+	case e.router != nil:
+		// Routed mode: the ring owner hosts the machine. Route a Deny
+		// there — its fan-out reaches every dependent, local and remote —
+		// falling back to a direct local fan-out when no owner is known
+		// (ring empty: nobody is left to fan out for us).
+		deny := msg.Deny(a.PID(), ids.NilInterval, a)
+		if e.router.redirect(deny) {
+			e.fanoutDenied(a)
+		} else {
+			e.machine.Net().Send(deny)
+		}
+	case ap != nil:
 		// We host the AID process: a protocol Deny moves it to False and
 		// it fans Rollback out to its whole DOM, local and remote alike.
 		e.machine.Net().Send(msg.Deny(a.PID(), ids.NilInterval, a))
-	} else {
+	default:
 		// The dead owner hosted it; nobody will fan out for us. Roll back
 		// our own dependents directly.
 		e.fanoutDenied(a)
@@ -142,7 +154,22 @@ func (e *Engine) DenyOwned(owned func(ids.PID) bool, reason string) int {
 	}
 	denied := 0
 	for a := range set {
-		if owned(a.PID()) && e.AutoDeny(a, reason) {
+		if !owned(a.PID()) {
+			continue
+		}
+		// With ownership routing on, orphanhood is decided against the
+		// view epoch at lease grant, not the current ring: an assumption
+		// the ring has since reassigned to a live owner is a migration in
+		// progress, not an orphan — the successor adjudicates it now, and
+		// denying it here would kill speculation the handoff is saving.
+		if rt := e.router; rt != nil && rt.migrationAdopted(a) {
+			e.tracer.Emit(trace.Event{
+				Kind: trace.Info, AID: a,
+				Detail: "liveness: skipped deny, ring reassigned since lease grant (" + reason + ")",
+			})
+			continue
+		}
+		if e.AutoDeny(a, reason) {
 			denied++
 		}
 	}
@@ -297,9 +324,13 @@ func (e *Engine) sweepLeases(firstSeen map[ids.AID]time.Time, denied map[ids.AID
 // only after a denial is final, so the reach-through cannot misfire on
 // healthy speculation.
 func (p *Process) earliestDependentOn(a ids.AID) (ids.IntervalID, bool) {
-	st := p.eng.stability
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.earliestDependentOnLocked(a)
+}
+
+func (p *Process) earliestDependentOnLocked(a ids.AID) (ids.IntervalID, bool) {
+	st := p.eng.stability
 	if p.term {
 		return ids.NilInterval, false
 	}

@@ -146,8 +146,13 @@ func (p *Process) newIntervalLocked(kind interval.OpenKind, journalIndex int, ex
 	return rec
 }
 
-// send transmits m asynchronously, stamping the sender PID.
+// send transmits m asynchronously, stamping the sender PID. With
+// ownership routing on, AID-bound adjudications are re-addressed to the
+// ring owner's router first (see route.go).
 func (p *Process) send(m *msg.Message) {
+	if rt := p.eng.router; rt != nil && rt.redirect(m) {
+		return
+	}
 	p.proc.Send(m)
 }
 
@@ -219,7 +224,32 @@ func (p *Process) handleReplace(m *msg.Message) {
 	p.persistIntervalState(rec)
 	for _, y := range res.NewDeps {
 		// Complete the DOM addition: register this interval with every
-		// AID that replaced the sender (Figure 10).
+		// AID that replaced the sender (Figure 10). A dependency whose
+		// verdict is already known locally is answered in place — the
+		// network Guess could only echo back what the dead set or the
+		// archive already says, and each such round trip re-registers
+		// this process with y's machine. Under routed adjudication that
+		// echo is what turns one denial into a storm: every rollback's
+		// re-execution re-emits the Replace, re-guesses the dead
+		// dependency, and grows the machine's DOM without bound.
+		if p.dead.Contains(y) {
+			p.rollbackLocked(rec)
+			return
+		}
+		if verdict, ok := p.eng.Archived(y); ok {
+			if !verdict {
+				p.dead.Add(y)
+				p.persistDeadAID(y)
+				p.rollbackLocked(rec)
+				return
+			}
+			// The machine's answer to a guess of an affirmed-and-collected
+			// AID is Replace(y→nil); apply it directly. A nil replacement
+			// set introduces no deps or cuts.
+			interval.ApplyReplace(p.eng.alg, rec, y, nil)
+			p.persistIntervalState(rec)
+			continue
+		}
 		p.send(msg.Guess(p.proc.PID(), rec.ID, y))
 	}
 	for _, y := range res.NewCuts {
@@ -231,7 +261,7 @@ func (p *Process) handleReplace(m *msg.Message) {
 		})
 		p.send(msg.CutProbe(p.proc.PID(), rec.ID, y))
 	}
-	if res.Finalize {
+	if rec.Finalizable() {
 		p.finalizeLocked(rec)
 	}
 }
@@ -340,9 +370,33 @@ func (p *Process) handleRollback(m *msg.Message) {
 	if p.term {
 		return
 	}
+	// Record the verdict before the stale-target guard: every Rollback
+	// sender has the AID in state False, so the denial is true regardless
+	// of whether the target interval still exists. Dropping it when the
+	// interval was already rolled back deeper would let the re-executed
+	// interval guess the same dead AID again (fresh epoch, so nothing
+	// deduplicates it) and chase its own rollbacks indefinitely.
+	if m.AID.Valid() {
+		p.dead.Add(m.AID)
+		p.persistDeadAID(m.AID)
+	}
 	rec := p.history.Get(m.IID)
 	if rec == nil {
-		return // stale: already rolled back deeper
+		// Stale target: the interval was already rolled back deeper. The
+		// denial behind this message still stands, so reach through to
+		// the earliest surviving interval that depends on the denied
+		// AID — a machine fans out its deny exactly once per registered
+		// interval, so a fan-out that races with a deeper rollback would
+		// otherwise be lost for good and leave that dependent stuck
+		// speculative (nothing ever re-sends it).
+		if m.AID.Valid() {
+			if iid, ok := p.earliestDependentOnLocked(m.AID); ok {
+				if dep := p.history.Get(iid); dep != nil {
+					p.rollbackLocked(dep)
+				}
+			}
+		}
+		return
 	}
 	if rec.Definite {
 		// Revocable-commit mode: an uncovered definite interval is
@@ -353,10 +407,6 @@ func (p *Process) handleRollback(m *msg.Message) {
 				Kind: trace.Info, PID: p.proc.PID(), Interval: rec.ID, AID: m.AID,
 				Detail: "revoking uncovered definite interval (rollback from denied dependency)",
 			})
-			if m.AID.Valid() {
-				p.dead.Add(m.AID)
-				p.persistDeadAID(m.AID)
-			}
 			p.rollbackLocked(rec)
 			return
 		}
@@ -365,10 +415,6 @@ func (p *Process) handleRollback(m *msg.Message) {
 			Detail: "rollback of definite interval (conflicting affirm/deny upstream)",
 		})
 		return
-	}
-	if m.AID.Valid() {
-		p.dead.Add(m.AID)
-		p.persistDeadAID(m.AID)
 	}
 	p.rollbackLocked(rec)
 }

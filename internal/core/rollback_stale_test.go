@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+)
+
+// TestStaleRollbackReachesLiveDependent pins the reach-through in
+// handleRollback: an AID machine fans out its denial exactly once per
+// registered interval, so when two denials race, the second Rollback can
+// target an interval the first one already truncated. Dropping it as
+// stale would (a) lose the dead-AID verdict, letting the re-executed
+// body re-guess a denied assumption over the network, and (b) leave the
+// re-executed interval — which re-acquired the dependency under a fresh
+// identifier the machine never fanned out to — stuck speculative
+// forever. The migration churn storm hits exactly this interleaving;
+// this is the deterministic single-engine reduction.
+func TestStaleRollbackReachesLiveDependent(t *testing.T) {
+	eng := newTestEngine(t, Config{})
+	a1, a2 := remoteAID(20), remoteAID(21)
+
+	var mu sync.Mutex
+	var observed [][2]bool
+	p, err := eng.SpawnRoot(func(ctx *Ctx) error {
+		ok1 := ctx.Guess(a1)
+		ok2 := ctx.Guess(a2)
+		mu.Lock()
+		observed = append(observed, [2]bool{ok1, ok2})
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	waitCond(t, 10*time.Second, "speculative completion", func() bool {
+		st := p.Snapshot()
+		return st.Completed && !st.AllDefinite
+	})
+
+	find := func(a ids.AID) (ids.IntervalID, bool) {
+		for _, r := range p.HistorySnapshot() {
+			if r.GuessAID == a {
+				return r.ID, true
+			}
+		}
+		return ids.NilInterval, false
+	}
+	i1, ok := find(a1)
+	if !ok {
+		t.Fatalf("no interval guessed %v in %v", a1, p.HistorySnapshot())
+	}
+	i2, ok := find(a2)
+	if !ok {
+		t.Fatalf("no interval guessed %v in %v", a2, p.HistorySnapshot())
+	}
+
+	// Both assumptions are denied; the fan-outs race and a1's lands
+	// first, truncating i2 along with i1. The body re-executes: a1 now
+	// answers false locally, a2 is re-guessed speculatively under a
+	// fresh interval identifier.
+	p.handleRollback(msg.Rollback(a1, i1))
+	waitCond(t, 10*time.Second, "re-execution after first denial", func() bool {
+		st := p.Snapshot()
+		return st.Completed && !st.AllDefinite && st.Restarts >= 1
+	})
+
+	// a2's fan-out arrives late, still targeting the truncated i2. The
+	// reach-through must record the verdict and roll back the earliest
+	// surviving dependent — nothing will ever re-send this denial.
+	p.handleRollback(msg.Rollback(a2, i2))
+	waitCond(t, 10*time.Second, "re-execution with both denials applied", func() bool {
+		st := p.Snapshot()
+		if !st.Completed || !st.AllDefinite || st.Restarts < 2 {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return observed[len(observed)-1] == [2]bool{false, false}
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if first := observed[0]; first != [2]bool{true, true} {
+		t.Fatalf("first run observed %v, want optimistic true,true (runs: %v)", first, observed)
+	}
+}

@@ -1,0 +1,655 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hope-dist/hope/internal/aid"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/vpm"
+)
+
+// This file implements ownership-driven AID routing (DESIGN.md §13): the
+// adjudicator for an assumption is the node the consistent-hash ring
+// designates, not the node that minted the AID. Every AID-bound
+// adjudication (Guess, Affirm, Deny, Retract, CutProbe, Probe) is
+// rewritten to the ring owner's well-known router process and stamped
+// with the sender's view epoch; a receiver that does not own the AID
+// under its own ring NACKs the frame back, and the sender retries
+// against a fresher ring. On a view change the old owner ships each
+// moved AID's machine snapshot to the new owner (OwnershipChanged); on
+// an owner's death the successor adopts the shard from the corpse's WAL
+// (InstallExports). Both install paths merge rather than overwrite, so
+// a transfer racing the receiver's lazy Cold-create converges.
+
+// RoutingConfig parameterizes ownership routing. Nil (the default
+// Config.Routing) disables it: AIDs are local processes adjudicated by
+// the node that spawned them, exactly the pre-routing behavior.
+type RoutingConfig struct {
+	// Self is this node's cluster ID.
+	Self int
+	// NodeOf maps a PID to its owning node (wire.NodeOf in deployments).
+	NodeOf func(ids.PID) int
+	// RouterPID maps a node to its router process's well-known PID
+	// (wire.RouterPID in deployments). The engine spawns its own router
+	// at RouterPID(Self).
+	RouterPID func(node int) ids.PID
+	// Owner maps an assumption to its ring-designated owner under the
+	// current membership view, with the view's epoch. ok is false while
+	// no view is known (bootstrap); routed sends are then parked on the
+	// retry queue until a view arrives.
+	Owner func(ids.AID) (node int, epoch uint64, ok bool)
+	// Ship transmits one encoded export batch to a node's routing layer
+	// out of band (wire.Node.Transfer in deployments). It reports
+	// whether the payload was accepted; a refused batch is re-exported
+	// on the next view change. Nil disables live handoff (death
+	// adoption through the WAL still works).
+	Ship func(node int, payload []byte) bool
+	// RetryEvery is the pacing of NACK/unknown-owner retries. Zero
+	// defaults to 25ms.
+	RetryEvery time.Duration
+}
+
+func (c *RoutingConfig) norm() *RoutingConfig {
+	if c == nil {
+		return nil
+	}
+	out := *c
+	if out.RetryEvery <= 0 {
+		out.RetryEvery = 25 * time.Millisecond
+	}
+	return &out
+}
+
+// AIDExporter is the optional durable hook for ownership routing: a
+// Persister that also implements it receives each hosted AID's current
+// machine snapshot after every applied adjudication (blob = one-element
+// aid.EncodeBatch) and an empty blob as a tombstone when the AID is
+// shipped away. A dead owner's successor replays these records to adopt
+// the shard (durable.ReadAIDExports).
+type AIDExporter interface {
+	AIDExport(a ids.AID, blob []byte)
+}
+
+// RoutingStats counts the routing layer's work, for tests and the
+// harness's exactly-once assertions.
+type RoutingStats struct {
+	Applied    uint64 // adjudications applied to hosted machines
+	Nacked     uint64 // inbound adjudications rejected for wrong ownership
+	Retries    uint64 // messages re-sent after a NACK or unknown owner
+	Duplicates uint64 // exact duplicates dropped by the applied set
+	Conflicts  uint64 // late conflicting messages dropped at a final state
+	Moved      uint64 // hosted AIDs shipped to a new owner
+	Adopted    uint64 // AIDs absorbed from a transfer or a WAL
+}
+
+// appliedKey identifies one adjudication for exactly-once application.
+// idoHash folds the IDO set in (order-independently): a NACK retry of
+// the same physical message collides, while a legitimate basis-refresh
+// re-Affirm from the same interval (different IDO) does not.
+type appliedKey struct {
+	kind    msg.Kind
+	from    ids.PID
+	iid     ids.IntervalID
+	idoHash uint64
+}
+
+func keyOf(m *msg.Message) appliedKey {
+	var h uint64
+	for _, a := range m.IDO {
+		h ^= uint64(a) * 0x9e3779b97f4a7c15
+	}
+	return appliedKey{kind: m.Kind, from: m.From, iid: m.IID, idoHash: h}
+}
+
+// hostState is one assumption's machine as hosted by the router, plus
+// the bookkeeping that makes application exactly-once.
+type hostState struct {
+	m       *aid.Machine
+	applied map[appliedKey]bool
+	moved   bool // shipped to a new owner; kept as a tombstone
+}
+
+// router is the per-engine ownership-routing state: a single vpm
+// process (at the node's well-known RouterPID) that applies inbound
+// adjudications to the hosted machine table, plus the retry queue for
+// outbound messages whose owner was stale or unknown.
+type router struct {
+	eng *Engine
+	cfg *RoutingConfig
+
+	mu         sync.Mutex
+	hosts      map[ids.AID]*hostState
+	retry      []*msg.Message
+	grantEpoch map[ids.AID]uint64 // view epoch at first routed Guess (lease grant)
+
+	stats struct {
+		applied, nacked, retries, duplicates, conflicts, moved, adopted uint64
+	}
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newRouter(e *Engine, cfg *RoutingConfig) *router {
+	return &router{
+		eng:        e,
+		cfg:        cfg,
+		hosts:      make(map[ids.AID]*hostState),
+		grantEpoch: make(map[ids.AID]uint64),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// start spawns the router process and the retry pacer. Called by
+// NewEngine after the machine exists.
+func (rt *router) start() error {
+	_, err := rt.eng.machine.SpawnAt(rt.cfg.RouterPID(rt.cfg.Self), rt.run)
+	if err != nil {
+		return fmt.Errorf("core: spawn router: %w", err)
+	}
+	go rt.retryLoop()
+	return nil
+}
+
+// run is the router's vpm body: every inbound frame is either a NACK of
+// something we sent (requeue it) or an adjudication to adjudicate or
+// reject under our own ring. Each handled remote frame is marked
+// consumed in the WAL — the application's effect (the export record, or
+// the NACK requeue) is appended first, so a crash between the two only
+// costs an idempotent replay — which keeps the delivered-but-unconsumed
+// fold (ReadOrphanFrames, Recovered.Redeliver) down to the frames a
+// crash genuinely swallowed.
+func (rt *router) run(p *vpm.Proc) {
+	for {
+		m, err := p.Recv()
+		if err != nil {
+			return // mailbox closed: engine shutdown
+		}
+		switch m.Kind {
+		case msg.KindNack:
+			orig, ok := m.Payload.(*msg.Message)
+			if !ok || orig == nil {
+				rt.consumed(m)
+				continue
+			}
+			rt.mu.Lock()
+			rt.stats.nacked++
+			rt.retry = append(rt.retry, orig)
+			rt.mu.Unlock()
+		case msg.KindGuess, msg.KindAffirm, msg.KindDeny, msg.KindRetract,
+			msg.KindCutProbe, msg.KindProbe:
+			rt.handleRouted(p, m)
+		default:
+			rt.eng.tracer.Emit(trace.Event{
+				Kind: trace.Violation, PID: p.PID(),
+				Detail: "router received " + m.Kind.String(),
+			})
+		}
+		rt.consumed(m)
+	}
+}
+
+// consumed retires a remote-origin frame's WAL identity. Local frames
+// (SrcSeq == 0) have none.
+func (rt *router) consumed(m *msg.Message) {
+	if per := rt.eng.persist; per != nil && m.SrcSeq != 0 {
+		per.MessageConsumed(m)
+	}
+}
+
+// handleRouted applies m if this node owns m.AID under its current
+// ring, and NACKs it back to the sender's router otherwise.
+func (rt *router) handleRouted(p *vpm.Proc, m *msg.Message) {
+	owner, myEpoch, ok := rt.cfg.Owner(m.AID)
+	if !ok || owner != rt.cfg.Self {
+		p.Send(msg.Nack(p.PID(), rt.cfg.RouterPID(rt.cfg.NodeOf(m.From)), myEpoch, m))
+		return
+	}
+	for _, out := range rt.apply(m) {
+		p.Send(out)
+	}
+}
+
+// apply steps the hosted machine for m.AID with m, creating it Cold on
+// first contact, deduplicating retries, and dropping late conflicting
+// messages at a final state. It returns the machine's outputs.
+func (rt *router) apply(m *msg.Message) []*msg.Message {
+	rt.mu.Lock()
+	h := rt.hosts[m.AID]
+	if h == nil {
+		h = &hostState{
+			m:       rt.newMachine(m.AID),
+			applied: make(map[appliedKey]bool),
+		}
+		rt.hosts[m.AID] = h
+	}
+	// Ownership came back (a leave was undone, or a transfer bounced):
+	// the tombstone is live state again.
+	h.moved = false
+	key := keyOf(m)
+	if h.applied[key] {
+		rt.stats.duplicates++
+		rt.mu.Unlock()
+		return nil
+	}
+	// A retried or migrated message can legitimately cross finality; a
+	// conflicting one is dropped here rather than fed to the machine,
+	// where it would trace as a protocol violation.
+	st := h.m.State()
+	if (m.Kind == msg.KindAffirm && st == aid.False) ||
+		(m.Kind == msg.KindDeny && st == aid.True && rt.eng.stability == nil) {
+		rt.stats.conflicts++
+		rt.mu.Unlock()
+		rt.eng.tracer.Emit(trace.Event{
+			Kind: trace.Info, AID: m.AID,
+			Detail: fmt.Sprintf("router dropped %s of %s AID", m.Kind, st),
+		})
+		return nil
+	}
+	h.applied[key] = true
+	outs := h.m.Step(m)
+	rt.stats.applied++
+	blob := aid.EncodeBatch([]aid.Export{h.m.Export()})
+	rt.mu.Unlock()
+	if ex, ok := rt.eng.persist.(AIDExporter); ok {
+		ex.AIDExport(m.AID, blob)
+	}
+	return outs
+}
+
+func (rt *router) newMachine(a ids.AID) *aid.Machine {
+	m := aid.NewMachine(a, rt.eng.tracer)
+	if rt.eng.stability != nil {
+		m.EnableRevocable()
+	}
+	return m
+}
+
+// redirect intercepts an outbound message at the engine's send choke
+// points. AID-bound adjudications addressed to the assumption itself
+// are stamped with the current view epoch and re-addressed to the ring
+// owner's router; everything else (Replace, Rollback, Revive, CutAck,
+// Data — all targeting interval processes) passes through untouched.
+// It reports whether the message was consumed (parked on the retry
+// queue because no owner is known yet); false means send m, possibly
+// rewritten, normally.
+func (rt *router) redirect(m *msg.Message) bool {
+	switch m.Kind {
+	case msg.KindGuess, msg.KindAffirm, msg.KindDeny, msg.KindRetract,
+		msg.KindCutProbe, msg.KindProbe:
+	default:
+		return false
+	}
+	if !m.AID.Valid() || m.To != m.AID.PID() {
+		return false
+	}
+	owner, epoch, ok := rt.cfg.Owner(m.AID)
+	if !ok {
+		rt.mu.Lock()
+		rt.retry = append(rt.retry, m)
+		rt.mu.Unlock()
+		return true
+	}
+	if m.Kind == msg.KindGuess {
+		rt.mu.Lock()
+		if _, seen := rt.grantEpoch[m.AID]; !seen {
+			// The lease clock for this assumption starts under this view
+			// epoch; orphan detection compares against it (DenyOwned).
+			rt.grantEpoch[m.AID] = epoch
+		}
+		rt.mu.Unlock()
+	}
+	m.Epoch = epoch
+	m.To = rt.cfg.RouterPID(owner)
+	return false
+}
+
+// retryLoop re-sends parked messages (NACKed or owner-unknown) against
+// the current ring, paced by RetryEvery.
+func (rt *router) retryLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.RetryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		rt.flushRetries()
+	}
+}
+
+// flushRetries re-routes every parked message whose owner is now known.
+func (rt *router) flushRetries() {
+	rt.mu.Lock()
+	pending := rt.retry
+	rt.retry = nil
+	rt.mu.Unlock()
+	for _, m := range pending {
+		owner, epoch, ok := rt.cfg.Owner(m.AID)
+		if !ok {
+			rt.mu.Lock()
+			rt.retry = append(rt.retry, m)
+			rt.mu.Unlock()
+			continue
+		}
+		m.Epoch = epoch
+		m.To = rt.cfg.RouterPID(owner)
+		rt.mu.Lock()
+		rt.stats.retries++
+		rt.mu.Unlock()
+		rt.eng.machine.Net().Send(m)
+	}
+}
+
+// pendingRetries reports how many messages await a retry.
+func (rt *router) pendingRetries() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.retry)
+}
+
+// migrationAdopted reports whether assumption a has been reassigned by
+// the ring since its lease was granted: the current view epoch is past
+// the grant epoch and a live owner exists. Orphan detection (DenyOwned)
+// must then leave a alone — the successor adjudicates it now, and
+// denying it here would kill a migration in progress.
+func (rt *router) migrationAdopted(a ids.AID) bool {
+	_, epoch, ok := rt.cfg.Owner(a)
+	if !ok {
+		return false
+	}
+	rt.mu.Lock()
+	grant, seen := rt.grantEpoch[a]
+	rt.mu.Unlock()
+	return seen && epoch > grant
+}
+
+// shipBatches encodes and ships per-owner export batches; it returns
+// the AIDs in batches that were refused so the caller can unmark them.
+func (rt *router) shipBatches(batches map[int][]aid.Export) (tombstones, failed []ids.AID) {
+	for owner, exports := range batches {
+		payload := aid.EncodeBatch(exports)
+		shipped := rt.cfg.Ship != nil && rt.cfg.Ship(owner, payload)
+		for _, e := range exports {
+			if shipped {
+				tombstones = append(tombstones, e.AID)
+			} else {
+				failed = append(failed, e.AID)
+			}
+		}
+	}
+	return tombstones, failed
+}
+
+// OwnershipChanged re-evaluates every hosted assumption against the
+// current ring and ships the machines this node no longer owns to their
+// new owners over the transfer frame. Call it after each membership
+// view change. A batch the transport refuses stays hosted and is
+// re-offered on the next call; inbound adjudications for a moved AID
+// are NACKed by the ownership check regardless, so the flag only
+// prevents duplicate exports. No-op when routing is off.
+func (e *Engine) OwnershipChanged() {
+	rt := e.router
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	batches := make(map[int][]aid.Export)
+	for a, h := range rt.hosts {
+		if h.moved {
+			continue
+		}
+		owner, _, ok := rt.cfg.Owner(a)
+		if !ok || owner == rt.cfg.Self {
+			continue
+		}
+		batches[owner] = append(batches[owner], h.m.Export())
+		h.moved = true
+	}
+	rt.mu.Unlock()
+	tombstones, failed := rt.shipBatches(batches)
+	rt.mu.Lock()
+	rt.stats.moved += uint64(len(tombstones))
+	for _, a := range failed {
+		if h := rt.hosts[a]; h != nil {
+			h.moved = false
+		}
+	}
+	rt.mu.Unlock()
+	ex, durable := e.persist.(AIDExporter)
+	for _, a := range tombstones {
+		if durable {
+			// The shipped machine is no longer ours: tombstone its WAL
+			// export so a successor adopting our corpse skips it.
+			ex.AIDExport(a, nil)
+		}
+		e.tracer.Emit(trace.Event{
+			Kind: trace.Info, AID: a, Detail: "shipped to new ring owner",
+		})
+	}
+	// A view change is also the retry queue's wake-up call: messages
+	// parked on a stale owner may route cleanly now.
+	rt.flushRetries()
+}
+
+// InstallTransfer absorbs an inbound export batch (the transfer-frame
+// payload). Every export is merged unconditionally: a transfer is an
+// explicit push from the previous owner, who tombstoned its copy the
+// moment the ship was accepted — filtering by our own (possibly lagging)
+// view here would drop the only live copy. If the ring still disagrees
+// once our view catches up, the next OwnershipChanged ships the machine
+// onward. Returns how many AIDs were absorbed. No-op when routing is
+// off.
+func (e *Engine) InstallTransfer(payload []byte) (int, error) {
+	rt := e.router
+	if rt == nil {
+		return 0, nil
+	}
+	exports, err := aid.DecodeBatch(payload)
+	if err != nil {
+		return 0, fmt.Errorf("core: install transfer: %w", err)
+	}
+	return rt.install(exports, false), nil
+}
+
+// InstallExports absorbs WAL-recovered export blobs (one per AID, each
+// a one-element batch): the restart path passes onlyOwned=false to
+// reclaim its own shard wholesale (a later OwnershipChanged ships away
+// what the ring moved meanwhile); the death-adoption path passes
+// onlyOwned=true so concurrent survivors reading one corpse's WAL
+// partition the shard without overlap. It returns how many AIDs were
+// absorbed. No-op when routing is off.
+func (e *Engine) InstallExports(blobs map[ids.AID][]byte, onlyOwned bool) (int, error) {
+	rt := e.router
+	if rt == nil {
+		return 0, nil
+	}
+	var exports []aid.Export
+	for a, blob := range blobs {
+		if len(blob) == 0 {
+			continue // tombstone: shipped away before the crash
+		}
+		decoded, err := aid.DecodeBatch(blob)
+		if err != nil {
+			return 0, fmt.Errorf("core: install exports for %v: %w", a, err)
+		}
+		exports = append(exports, decoded...)
+	}
+	return rt.install(exports, onlyOwned), nil
+}
+
+// install merges exports into the hosted table, optionally filtered to
+// ring-owned AIDs, and persists each absorbed machine. A machine
+// adopted in a final state re-announces its outcome to its DOM: the
+// previous owner may have died with the fan-out still in its outbound
+// queue, and no later Step repeats it (stepAffirm on True is a no-op).
+// Replace and Rollback carry the stale-target guard at intervals, so a
+// fan-out that did survive makes these duplicates, not conflicts.
+func (rt *router) install(exports []aid.Export, onlyOwned bool) int {
+	installed := 0
+	var persistAIDs []ids.AID
+	var persistBlobs [][]byte
+	var announce []*msg.Message
+	rt.mu.Lock()
+	for _, exp := range exports {
+		if onlyOwned {
+			owner, _, ok := rt.cfg.Owner(exp.AID)
+			if !ok || owner != rt.cfg.Self {
+				continue
+			}
+		}
+		h := rt.hosts[exp.AID]
+		if h == nil {
+			h = &hostState{
+				m:       rt.newMachine(exp.AID),
+				applied: make(map[appliedKey]bool),
+			}
+			rt.hosts[exp.AID] = h
+		}
+		h.moved = false
+		h.m.Merge(exp)
+		rt.stats.adopted++
+		installed++
+		persistAIDs = append(persistAIDs, exp.AID)
+		persistBlobs = append(persistBlobs, aid.EncodeBatch([]aid.Export{h.m.Export()}))
+		switch h.m.State() {
+		case aid.True:
+			for _, b := range h.m.DOM() {
+				announce = append(announce, msg.Replace(exp.AID, b, nil))
+			}
+		case aid.False:
+			for _, b := range h.m.DOM() {
+				announce = append(announce, msg.Rollback(exp.AID, b))
+			}
+		}
+	}
+	rt.mu.Unlock()
+	if ex, ok := rt.eng.persist.(AIDExporter); ok {
+		for i, a := range persistAIDs {
+			ex.AIDExport(a, persistBlobs[i])
+		}
+	}
+	for _, m := range announce {
+		rt.eng.machine.Net().Send(m)
+	}
+	return installed
+}
+
+// RequeueRouted re-parks an adjudication on the routing retry queue —
+// the wire layer's hand-back (wire.HealthConfig.OnDeadFrame) for
+// frames abandoned toward a dead owner. The retry pacer re-resolves
+// the ring on each flush, so once the view reassigns the shard the
+// message reaches the successor; if the corpse had in fact applied it
+// before dying, the adopted machine absorbs the replay idempotently.
+// It reports whether the message was queued: false when routing is off
+// or m is not a routed adjudication (NACKs and interval-directed
+// traffic die with the peer, by design).
+func (e *Engine) RequeueRouted(m *msg.Message) bool {
+	rt := e.router
+	if rt == nil || m == nil || !m.AID.Valid() {
+		return false
+	}
+	switch m.Kind {
+	case msg.KindGuess, msg.KindAffirm, msg.KindDeny, msg.KindRetract,
+		msg.KindCutProbe, msg.KindProbe:
+	default:
+		return false
+	}
+	rt.mu.Lock()
+	rt.retry = append(rt.retry, m)
+	rt.mu.Unlock()
+	return true
+}
+
+// RoutingStats snapshots the routing counters (zero value when routing
+// is off).
+func (e *Engine) RoutingStats() RoutingStats {
+	rt := e.router
+	if rt == nil {
+		return RoutingStats{}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return RoutingStats{
+		Applied:    rt.stats.applied,
+		Nacked:     rt.stats.nacked,
+		Retries:    rt.stats.retries,
+		Duplicates: rt.stats.duplicates,
+		Conflicts:  rt.stats.conflicts,
+		Moved:      rt.stats.moved,
+		Adopted:    rt.stats.adopted,
+	}
+}
+
+// HostedExports snapshots every live (non-moved) hosted machine, for
+// the migration oracle and tests. Nil when routing is off.
+func (e *Engine) HostedExports() []aid.Export {
+	rt := e.router
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]aid.Export, 0, len(rt.hosts))
+	for _, h := range rt.hosts {
+		if h.moved {
+			continue
+		}
+		out = append(out, h.m.Export())
+	}
+	return out
+}
+
+// HostedState returns the hosted machine state for a, and whether this
+// node currently hosts it live. Tests use it to assert exactly-one-host.
+func (e *Engine) HostedState(a ids.AID) (aid.State, bool) {
+	rt := e.router
+	if rt == nil {
+		return 0, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h := rt.hosts[a]
+	if h == nil || h.moved {
+		return 0, false
+	}
+	return h.m.State(), true
+}
+
+// collectHosted archives and reclaims final hosted machines — the
+// routed analogue of Collect's probe-and-kill sweep.
+func (rt *router) collectHosted() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	collected := 0
+	for a, h := range rt.hosts {
+		st := h.m.State()
+		if h.moved {
+			delete(rt.hosts, a)
+			continue
+		}
+		if !st.Final() {
+			continue
+		}
+		rt.eng.mu.Lock()
+		rt.eng.archive[a] = st == aid.True
+		rt.eng.mu.Unlock()
+		delete(rt.hosts, a)
+		collected++
+	}
+	return collected
+}
+
+// shutdown stops the retry pacer. The router process itself dies with
+// the machine.
+func (rt *router) shutdown() {
+	close(rt.stop)
+	<-rt.done
+}

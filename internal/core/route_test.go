@@ -1,0 +1,479 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/aid"
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+// The migration battery: fixed-seed gated-transport tests (in the style
+// of TestPrematureCommitWindow) that land a view change in the middle of
+// an adjudication and pin the repair path — stale-epoch NACK, retry
+// against the fresh ring, exactly-once application — plus the DenyOwned
+// grant-epoch regression.
+
+const routePIDBits = 20 // PID space per simulated node
+
+func routeNode(pid ids.PID) int { return int(pid >> routePIDBits) }
+
+func routeRouterPID(node int) ids.PID {
+	return ids.PID(node)<<routePIDBits | 1<<(routePIDBits-1)
+}
+
+// routeView is one node's membership view: a single owner for every key
+// at some epoch — the unit-test stand-in for a consistent-hash ring,
+// flipped by hand exactly where the schedule needs the view change.
+type routeView struct {
+	mu    sync.Mutex
+	epoch uint64
+	owner int
+	known bool
+}
+
+func (v *routeView) get() (int, uint64, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.owner, v.epoch, v.known
+}
+
+func (v *routeView) set(owner int, epoch uint64) {
+	v.mu.Lock()
+	v.owner = owner
+	v.epoch = epoch
+	v.known = true
+	v.mu.Unlock()
+}
+
+// holdGate captures frames matching installed rules — in-flight messages
+// the schedule has not delivered yet — and can release them later, unlike
+// the drop-only gate in the stability window test.
+type holdGate struct {
+	mu    sync.Mutex
+	rules []func(*msg.Message) bool
+	held  []*msg.Message
+}
+
+func (g *holdGate) hold(rule func(*msg.Message) bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rules = append(g.rules, rule)
+}
+
+func (g *holdGate) intercept(m *msg.Message) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.rules {
+		if r(m) {
+			g.held = append(g.held, m)
+			return true
+		}
+	}
+	return false
+}
+
+func (g *holdGate) heldCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.held)
+}
+
+// release drops the rules and re-injects every held frame into net.
+func (g *holdGate) release(net transport.Transport) []*msg.Message {
+	g.mu.Lock()
+	g.rules = nil
+	held := g.held
+	g.held = nil
+	g.mu.Unlock()
+	for _, m := range held {
+		net.Send(m)
+	}
+	return held
+}
+
+type routeGatedNet struct {
+	transport.Transport
+	g *holdGate
+}
+
+func (t *routeGatedNet) Send(m *msg.Message) {
+	if t.g.intercept(m) {
+		return
+	}
+	t.Transport.Send(m)
+}
+
+func (t *routeGatedNet) Close() {}
+
+// routeCluster is a simulated routed cluster: engines sharing one netsim
+// net, each with its own flippable view.
+type routeCluster struct {
+	engines map[int]*core.Engine
+	views   map[int]*routeView
+}
+
+func newRouteCluster(net transport.Transport, g *holdGate, nodes []int) *routeCluster {
+	c := &routeCluster{
+		engines: make(map[int]*core.Engine),
+		views:   make(map[int]*routeView),
+	}
+	for _, node := range nodes {
+		view := &routeView{}
+		c.views[node] = view
+		self := node
+		cfg := core.Config{
+			PIDBase:   ids.PID(node) << routePIDBits,
+			Transport: net,
+			Routing: &core.RoutingConfig{
+				Self:      self,
+				NodeOf:    routeNode,
+				RouterPID: routeRouterPID,
+				Owner: func(ids.AID) (int, uint64, bool) {
+					return view.get()
+				},
+				Ship: func(to int, payload []byte) bool {
+					target := c.engines[to]
+					if target == nil {
+						return false
+					}
+					_, err := target.InstallTransfer(payload)
+					return err == nil
+				},
+				RetryEvery: 2 * time.Millisecond,
+			},
+		}
+		if g != nil {
+			cfg.Transport = &routeGatedNet{Transport: net, g: g}
+		}
+		c.engines[node] = core.NewEngine(cfg)
+	}
+	return c
+}
+
+func (c *routeCluster) shutdown() {
+	for _, e := range c.engines {
+		e.Shutdown()
+	}
+}
+
+func routeWaitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMigrationRaceStaleEpochNack lands a view change mid-adjudication:
+// a definite Affirm is in flight toward the epoch-1 owner when the ring
+// moves the assumption (and its machine, over the transfer path) to a
+// successor. The stale frame must be NACKed by the old owner, retried by
+// the sender against the fresh ring, and applied exactly once at the new
+// owner — and a deliberately replayed duplicate of the same frame must
+// be dropped by the applied set, not double-applied. The outcome must
+// match a no-churn control run of the same workload.
+func TestMigrationRaceStaleEpochNack(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runMigrationRace(t, seed)
+		})
+	}
+}
+
+// migrationWorkload guesses a on node 1 and then issues a definite
+// Affirm of a from a second root; it returns the guess outcome.
+func migrationWorkload(t *testing.T, c *routeCluster, a ids.AID) func() bool {
+	t.Helper()
+	var mu sync.Mutex
+	outcome := false
+	if _, err := c.engines[1].SpawnRoot(func(ctx *core.Ctx) error {
+		ok := ctx.Guess(a)
+		mu.Lock()
+		outcome = ok
+		mu.Unlock()
+		_, _, err := ctx.Recv()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return outcome
+	}
+}
+
+func affirmFrom(t *testing.T, e *core.Engine, a ids.AID) {
+	t.Helper()
+	if _, err := e.SpawnRoot(func(ctx *core.Ctx) error {
+		ctx.Affirm(a)
+		_, _, err := ctx.Recv()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runMigrationRace(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func() { time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond) }
+
+	// Control run: same workload, no view change. Its verdict is the
+	// yardstick the churned run must match.
+	ctrlNet := netsim.New(netsim.Constant(100 * time.Microsecond))
+	defer ctrlNet.Close()
+	ctrl := newRouteCluster(ctrlNet, nil, []int{1, 2, 3})
+	defer ctrl.shutdown()
+	for _, v := range ctrl.views {
+		v.set(2, 1)
+	}
+	ctrlAID, err := ctrl.engines[1].NewAID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlOutcome := migrationWorkload(t, ctrl, ctrlAID)
+	routeWaitFor(t, "control machine Hot at owner", func() bool {
+		st, ok := ctrl.engines[2].HostedState(ctrlAID)
+		return ok && st == aid.Hot
+	})
+	affirmFrom(t, ctrl.engines[1], ctrlAID)
+	routeWaitFor(t, "control machine True", func() bool {
+		st, ok := ctrl.engines[2].HostedState(ctrlAID)
+		return ok && st == aid.True
+	})
+
+	// Churned run: the same schedule, with the Affirm gated in flight
+	// across the view change.
+	net := netsim.New(netsim.Constant(100 * time.Microsecond))
+	defer net.Close()
+	g := &holdGate{}
+	c := newRouteCluster(net, g, []int{1, 2, 3})
+	defer c.shutdown()
+	for _, v := range c.views {
+		v.set(2, 1) // epoch 1: node 2 owns everything
+	}
+
+	a, err := c.engines[1].NewAID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := migrationWorkload(t, c, a)
+	routeWaitFor(t, "machine Hot at epoch-1 owner", func() bool {
+		st, ok := c.engines[2].HostedState(a)
+		return ok && st == aid.Hot
+	})
+	jitter()
+
+	// Gate the Affirm so it hangs in flight toward the epoch-1 owner.
+	g.hold(func(m *msg.Message) bool {
+		return m.Kind == msg.KindAffirm && m.AID == a && m.To == routeRouterPID(2)
+	})
+	affirmFrom(t, c.engines[1], a)
+	routeWaitFor(t, "the Affirm to be caught in flight", func() bool {
+		return g.heldCount() == 1
+	})
+	jitter()
+
+	// The view change lands while the Affirm is in flight: node 2 learns
+	// first and ships the machine to the successor; then the others learn.
+	c.views[2].set(3, 2)
+	c.engines[2].OwnershipChanged()
+	if _, ok := c.engines[2].HostedState(a); ok {
+		t.Fatal("old owner still hosts the machine after shipping it")
+	}
+	routeWaitFor(t, "successor to absorb the transferred machine", func() bool {
+		c.views[3].set(3, 2)
+		st, ok := c.engines[3].HostedState(a)
+		return ok && st == aid.Hot
+	})
+	c.views[1].set(3, 2)
+	jitter()
+
+	// Deliver the stale frame. Node 2 no longer owns a: it must NACK, and
+	// node 1's router must retry against the fresh ring.
+	held := g.release(net)
+	routeWaitFor(t, "stale Affirm to be NACKed, retried, and applied", func() bool {
+		st, ok := c.engines[3].HostedState(a)
+		return ok && st == aid.True
+	})
+	s1 := c.engines[1].RoutingStats()
+	if s1.Nacked == 0 {
+		t.Errorf("sender never saw the stale-epoch NACK: %+v", s1)
+	}
+	if s1.Retries == 0 {
+		t.Errorf("sender never retried the NACKed frame: %+v", s1)
+	}
+
+	// Replay the identical stale frame (a retransmission crossing the
+	// migration): it must bounce through the same NACK path and then be
+	// dropped by the applied set — applied exactly once, not twice.
+	dup := *held[0]
+	net.Send(&dup)
+	routeWaitFor(t, "the duplicate to be dropped by the applied set", func() bool {
+		return c.engines[3].RoutingStats().Duplicates >= 1
+	})
+	if st, ok := c.engines[3].HostedState(a); !ok || st != aid.True {
+		t.Fatalf("machine left True after the duplicate: state=%v hosted=%v", st, ok)
+	}
+
+	// The guesser's interval must finalize on the affirmed verdict.
+	routeWaitFor(t, "the guessing interval to finalize", func() bool {
+		for _, p := range c.engines[1].Processes() {
+			for _, ii := range p.HistorySnapshot() {
+				if ii.GuessAID == a && ii.Definite {
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	for node, e := range c.engines {
+		if !e.Settle(30 * time.Second) {
+			t.Fatalf("engine %d did not settle", node)
+		}
+	}
+
+	// Exactly one applied outcome, matching the no-churn control.
+	if got, want := outcome(), ctrlOutcome(); got != want {
+		t.Errorf("churned outcome %v diverges from control %v", got, want)
+	}
+	stSucc, ok := c.engines[3].HostedState(a)
+	if !ok || stSucc != aid.True {
+		t.Errorf("successor verdict = (%v, %v), want True", stSucc, ok)
+	}
+	stCtrl, _ := ctrl.engines[2].HostedState(ctrlAID)
+	if stSucc != stCtrl {
+		t.Errorf("churned verdict %v diverges from control %v", stSucc, stCtrl)
+	}
+	if s2 := c.engines[2].RoutingStats(); s2.Moved != 1 {
+		t.Errorf("old owner Moved = %d, want 1", s2.Moved)
+	}
+	s3 := c.engines[3].RoutingStats()
+	if s3.Adopted == 0 {
+		t.Errorf("successor adopted nothing: %+v", s3)
+	}
+	var violations int64
+	for _, e := range c.engines {
+		violations += e.Violations()
+	}
+	if violations != 0 {
+		t.Errorf("%d protocol violations during migration", violations)
+	}
+}
+
+// TestMigrationDenyOwnedGrantEpoch is the DenyOwned regression for
+// ownership routing: orphanhood is decided against the view epoch at
+// lease grant, not the current ring. An assumption created by a node
+// that later dies is NOT an orphan if the ring has since reassigned it
+// to a live successor that adopted the machine — denying it would kill
+// the very speculation the migration saved. The control arm checks the
+// inverse: with no reassignment (the view never moved), the dead
+// creator's assumption is still denied.
+func TestMigrationDenyOwnedGrantEpoch(t *testing.T) {
+	for _, reassigned := range []bool{true, false} {
+		t.Run(fmt.Sprintf("reassigned=%v", reassigned), func(t *testing.T) {
+			runDenyOwnedGrantEpoch(t, reassigned)
+		})
+	}
+}
+
+func runDenyOwnedGrantEpoch(t *testing.T, reassigned bool) {
+	net := netsim.New(netsim.Constant(100 * time.Microsecond))
+	defer net.Close()
+	c := newRouteCluster(net, nil, []int{1, 2, 3})
+	defer c.shutdown()
+	for _, v := range c.views {
+		v.set(2, 1) // epoch 1: node 2 owns everything (including itself)
+	}
+
+	// The assumption is minted by node 2 — the node that will die — so
+	// its PID namespace satisfies the death predicate below. grantEpoch
+	// is recorded when node 1 routes its Guess under epoch 1.
+	a, err := c.engines[2].NewAID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := migrationWorkload(t, c, a)
+	routeWaitFor(t, "machine Hot at epoch-1 owner", func() bool {
+		st, ok := c.engines[2].HostedState(a)
+		return ok && st == aid.Hot
+	})
+
+	if reassigned {
+		// Node 2 dies; the ring reassigns to node 3, which adopts the
+		// shard from the corpse's exports (the WAL path, simulated here
+		// by reading the dead engine's hosted table directly).
+		exports := c.engines[2].HostedExports()
+		blobs := make(map[ids.AID][]byte, len(exports))
+		for _, e := range exports {
+			blobs[e.AID] = aid.EncodeBatch([]aid.Export{e})
+		}
+		c.views[1].set(3, 2)
+		c.views[3].set(3, 2)
+		if n, err := c.engines[3].InstallExports(blobs, true); err != nil || n != 1 {
+			t.Fatalf("InstallExports = (%d, %v), want (1, nil)", n, err)
+		}
+	}
+
+	deadNode2 := func(pid ids.PID) bool { return routeNode(pid) == 2 }
+	denied := c.engines[1].DenyOwned(deadNode2, "node 2 presumed dead")
+
+	if reassigned {
+		if denied != 0 {
+			t.Fatalf("DenyOwned denied %d reassigned assumptions; the successor owns them now", denied)
+		}
+		if n := c.engines[1].AutoDenied(); n != 0 {
+			t.Fatalf("AutoDenied = %d after a clean migration", n)
+		}
+		// The adopted machine is live at the successor: an Affirm routed
+		// there must still resolve the guess true.
+		affirmFrom(t, c.engines[1], a)
+		routeWaitFor(t, "adopted machine to be affirmed at the successor", func() bool {
+			st, ok := c.engines[3].HostedState(a)
+			return ok && st == aid.True
+		})
+		routeWaitFor(t, "the guessing interval to finalize", func() bool {
+			for _, p := range c.engines[1].Processes() {
+				for _, ii := range p.HistorySnapshot() {
+					if ii.GuessAID == a && ii.Definite {
+						return true
+					}
+				}
+			}
+			return false
+		})
+		if !outcome() {
+			t.Error("guess outcome flipped to false despite the adoption")
+		}
+	} else {
+		// No view change reached anyone: the assumption really is
+		// orphaned and the grant-epoch check must not suppress the deny.
+		if denied != 1 {
+			t.Fatalf("DenyOwned denied %d, want 1 (no reassignment happened)", denied)
+		}
+		routeWaitFor(t, "the denial to roll the guesser back", func() bool {
+			return !outcome() || c.engines[1].AutoDenied() == 1
+		})
+	}
+
+	for node, e := range c.engines {
+		if node == 2 && !reassigned {
+			continue // the "dead" node still hosts the denied machine's traffic
+		}
+		if !e.Settle(30 * time.Second) {
+			t.Fatalf("engine %d did not settle", node)
+		}
+	}
+}

@@ -142,6 +142,22 @@ func encodeCheckpoint(rs *recoverState, ordinal uint64) (recs [][]byte, end []by
 	for _, a := range rs.deniedSeq {
 		add(appendUv([]byte{recAutoDeny}, uint64(a)))
 	}
+	if len(rs.aidExports) > 0 {
+		// Hosted AID snapshots (ownership routing): last-wins per AID, so
+		// re-emitting the folded map is exact. Tombstoned AIDs are already
+		// absent from it.
+		exports := make([]ids.AID, 0, len(rs.aidExports))
+		for a := range rs.aidExports {
+			exports = append(exports, a)
+		}
+		sort.Slice(exports, func(i, j int) bool { return exports[i] < exports[j] })
+		for _, a := range exports {
+			blob := rs.aidExports[a]
+			b := appendUv([]byte{recAIDExport}, uint64(a))
+			b = appendUv(b, uint64(len(blob)))
+			add(append(b, blob...))
+		}
+	}
 
 	// Per-peer wire state: watermarks first (frame replay below can only
 	// raise lastSeq to the highest unacked frame, not past acked ones),

@@ -1,0 +1,156 @@
+package durable
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/wal"
+	"github.com/hope-dist/hope/internal/wire"
+)
+
+// TestAIDExportRoundTrip pins the recAIDExport fold: last write per AID
+// wins, an empty blob tombstones, and both the restart path (Recovered)
+// and the forensic corpse-read path (ReadAIDExports) see the same map.
+func TestAIDExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openStore(t, dir)
+	if len(rec.AIDExports) != 0 {
+		t.Fatalf("fresh store recovered %d exports", len(rec.AIDExports))
+	}
+	a, b, c := ids.AID(localPID(10)), ids.AID(localPID(11)), ids.AID(remotePID(12))
+	s.AIDExport(a, []byte("a-v1"))
+	s.AIDExport(b, []byte("b-v1"))
+	s.AIDExport(a, []byte("a-v2")) // supersedes a-v1
+	s.AIDExport(c, []byte("c-v1"))
+	s.AIDExport(b, nil) // shipped away: tombstone
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	want := map[ids.AID][]byte{a: []byte("a-v2"), c: []byte("c-v1")}
+	check := func(name string, got map[ids.AID][]byte) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d exports, want %d (%v)", name, len(got), len(want), got)
+		}
+		for aid, blob := range want {
+			if !bytes.Equal(got[aid], blob) {
+				t.Fatalf("%s: export[%v] = %q, want %q", name, aid, got[aid], blob)
+			}
+		}
+	}
+
+	// Forensic path: the successor reads the corpse's WAL without
+	// touching it.
+	exports, err := ReadAIDExports(dir)
+	if err != nil {
+		t.Fatalf("ReadAIDExports: %v", err)
+	}
+	check("ReadAIDExports", exports)
+
+	// Restart path: the node's own recovery folds the same map.
+	s2, rec2 := openStore(t, dir)
+	check("Recovered", rec2.AIDExports)
+	s2.Close()
+
+	// Reading a corpse must not modify it: a second forensic scan and a
+	// third recovery still agree.
+	exports2, err := ReadAIDExports(dir)
+	if err != nil {
+		t.Fatalf("ReadAIDExports (second): %v", err)
+	}
+	check("ReadAIDExports second scan", exports2)
+}
+
+// TestAIDExportSurvivesCheckpoint pins the re-emission: a checkpoint
+// prunes the records that wrote the exports, so the bracket must carry
+// them itself.
+func TestAIDExportSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenOptions(Options{
+		Dir: dir, NodeID: testSelf, Policy: wal.SyncAlways, CheckpointEvery: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("OpenOptions: %v", err)
+	}
+	a, gone := ids.AID(localPID(20)), ids.AID(localPID(21))
+	s.AIDExport(a, []byte("pre-ckpt"))
+	s.AIDExport(gone, []byte("doomed"))
+	s.AIDExport(gone, nil)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	s.AIDExport(a, []byte("post-ckpt")) // tail record after the bracket
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	for _, path := range []string{"forensic", "recover"} {
+		var got map[ids.AID][]byte
+		switch path {
+		case "forensic":
+			m, err := ReadAIDExports(dir)
+			if err != nil {
+				t.Fatalf("ReadAIDExports: %v", err)
+			}
+			got = m
+		case "recover":
+			s2, rec := openStore(t, dir)
+			got = rec.AIDExports
+			s2.Close()
+		}
+		if len(got) != 1 || !bytes.Equal(got[a], []byte("post-ckpt")) {
+			t.Fatalf("%s after checkpoint: %v, want {%v: post-ckpt}", path, got, a)
+		}
+	}
+}
+
+// TestReadOrphanFrames pins the forensic delivered-but-unconsumed fold:
+// frames the corpse acknowledged and retired (Consumed) are elided,
+// the rest come back decoded, in arrival order, SrcNode/SrcSeq stamped.
+func TestReadOrphanFrames(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	frame := func(seq uint32) []byte {
+		b, err := wire.EncodeMessage(&msg.Message{
+			Kind: msg.KindGuess, From: remotePID(1), To: localPID(2),
+			IID: ids.IntervalID{Proc: remotePID(1), Seq: seq, Epoch: 1},
+			AID: ids.AID(remotePID(30 + uint64(seq))),
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return b
+	}
+	if err := s.Delivered(2, 1, frame(1)); err != nil {
+		t.Fatalf("Delivered: %v", err)
+	}
+	if err := s.Delivered(2, 2, frame(2)); err != nil {
+		t.Fatalf("Delivered: %v", err)
+	}
+	if err := s.Delivered(3, 1, frame(3)); err != nil {
+		t.Fatalf("Delivered: %v", err)
+	}
+	s.Consumed(2, 1) // applied and retired before the crash
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	orphans, err := ReadOrphanFrames(dir)
+	if err != nil {
+		t.Fatalf("ReadOrphanFrames: %v", err)
+	}
+	if len(orphans) != 2 {
+		t.Fatalf("%d orphans, want 2: %v", len(orphans), orphans)
+	}
+	if orphans[0].SrcNode != 2 || orphans[0].SrcSeq != 2 || orphans[0].IID.Seq != 2 {
+		t.Fatalf("first orphan = src %d/%d iid seq %d, want 2/2 seq 2",
+			orphans[0].SrcNode, orphans[0].SrcSeq, orphans[0].IID.Seq)
+	}
+	if orphans[1].SrcNode != 3 || orphans[1].SrcSeq != 1 || orphans[1].IID.Seq != 3 {
+		t.Fatalf("second orphan = src %d/%d iid seq %d, want 3/1 seq 3",
+			orphans[1].SrcNode, orphans[1].SrcSeq, orphans[1].IID.Seq)
+	}
+}

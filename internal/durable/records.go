@@ -58,6 +58,8 @@ const (
 	recCkptProc  = 19 // pid, maxSeq, maxEpoch, flags — per-proc high-waters (rollback can shrink the interval set below them)
 
 	recWatermark = 20 // viewEpoch, (node, epoch)* — agreed stability frontier advanced
+
+	recAIDExport = 21 // aid, len, blob — hosted AID machine snapshot (ownership routing); empty blob = shipped away (tombstone)
 )
 
 // recCkptSeq flag bits.

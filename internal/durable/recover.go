@@ -10,6 +10,7 @@ import (
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/journal"
 	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/wal"
 	"github.com/hope-dist/hope/internal/wire"
 )
 
@@ -50,6 +51,12 @@ type Recovered struct {
 	// FrontierView is the cluster view epoch the newest recovered
 	// watermark advance was decided under.
 	FrontierView uint64
+	// AIDExports maps each AID this node hosted under ownership routing
+	// to its newest machine snapshot blob (tombstoned AIDs — shipped
+	// away pre-crash — are absent). Pass it to core's InstallExports so
+	// a restart resumes adjudicating its shard. Nil when the node never
+	// ran routed.
+	AIDExports map[ids.AID][]byte
 
 	// Records, Truncations, Duration mirror the WAL scan metrics.
 	Records     uint64
@@ -157,6 +164,8 @@ type recoverState struct {
 
 	wmView   uint64         // view epoch of the newest recWatermark seen
 	frontier map[int]uint32 // per-node maxima across recWatermark records
+
+	aidExports map[ids.AID][]byte // last snapshot per hosted AID (recAIDExport; tombstones deleted)
 
 	// Checkpoint bracket state. While ckpt is non-nil the stream is inside
 	// a Begin..End bracket and records fold into the nested state instead;
@@ -487,6 +496,30 @@ func (rs *recoverState) apply(lsn uint64, payload []byte) error {
 			rs.wmView = view
 		}
 
+	case recAIDExport:
+		a, err := r.uv()
+		if err != nil {
+			return err
+		}
+		blen, err := r.uv()
+		if err != nil {
+			return err
+		}
+		blob, err := r.take(int(blen))
+		if err != nil {
+			return err
+		}
+		if rs.aidExports == nil {
+			rs.aidExports = make(map[ids.AID][]byte)
+		}
+		// Last record wins: each export is the machine's full snapshot,
+		// and an empty blob tombstones an AID shipped to a new owner.
+		if len(blob) == 0 {
+			delete(rs.aidExports, ids.AID(a))
+		} else {
+			rs.aidExports[ids.AID(a)] = append([]byte(nil), blob...)
+		}
+
 	case recCkptSeq:
 		peer, err := r.uv()
 		if err != nil {
@@ -657,6 +690,64 @@ func (rs *recoverState) rollback(pid ids.PID, iid ids.IntervalID) {
 	}
 }
 
+// ReadAIDExports folds a node's WAL read-only and returns its hosted
+// AID snapshots — the last recAIDExport blob per AID, tombstones
+// elided, honouring checkpoint brackets exactly like a recovery fold.
+// A ring successor calls it on a SIGKILLed owner's data directory to
+// adopt the corpse's shard (core's InstallExports with onlyOwned=true);
+// the corpse's files are never modified, so several survivors can
+// partition one shard concurrently. Damaged frames are skipped, not
+// fatal: adoption wants whatever snapshots survive, and a machine whose
+// snapshot was lost is lazily re-created Cold by the first retried
+// adjudication.
+func ReadAIDExports(dir string) (map[ids.AID][]byte, error) {
+	rs := newRecoverState(0)
+	if err := wal.Scan(dir, rs.apply, nil); err != nil {
+		return nil, fmt.Errorf("durable: read aid exports: %w", err)
+	}
+	if rs.ckpt != nil {
+		// Stream ended inside a torn bracket: fall back to the state
+		// folded before it, exactly like finish.
+		rs.ckpt = nil
+	}
+	return rs.aidExports, nil
+}
+
+// ReadOrphanFrames folds a node's WAL read-only and returns its
+// delivered-but-unconsumed inbound messages, in arrival order — the
+// same fold that feeds Recovered.Redeliver on a restart. These are the
+// frames the corpse acknowledged (their recDelivered records are
+// synced before the wire ack, see Store.SyncForAck) but never handed
+// to a consumer: the sender has already pruned them from its resend
+// queue, so nobody retransmits them. A ring successor feeds the
+// AID-bound ones through its own routing retry queue
+// (Engine.RequeueRouted) so an owner's death cannot swallow an
+// acknowledged adjudication; several survivors replaying the same
+// corpse are deduplicated by the new owner's applied set. Damaged
+// frames are skipped, not fatal, exactly like ReadAIDExports.
+func ReadOrphanFrames(dir string) ([]*msg.Message, error) {
+	rs := newRecoverState(0)
+	if err := wal.Scan(dir, rs.apply, nil); err != nil {
+		return nil, fmt.Errorf("durable: read orphan frames: %w", err)
+	}
+	if rs.ckpt != nil {
+		rs.ckpt = nil // torn bracket: fall back, exactly like finish
+	}
+	var out []*msg.Message
+	for _, im := range rs.inbox {
+		if im.consumed {
+			continue
+		}
+		m, err := wire.DecodeMessage(im.frame)
+		if err != nil {
+			continue
+		}
+		m.SrcNode, m.SrcSeq = im.from, im.seq
+		out = append(out, m)
+	}
+	return out, nil
+}
+
 // finish converts the folded state into the boot-time resume values.
 func (rs *recoverState) finish() (*Recovered, error) {
 	if rs.ckpt != nil {
@@ -677,6 +768,7 @@ func (rs *recoverState) finish() (*Recovered, error) {
 		ViewEpoch:    rs.viewEpoch,
 		Frontier:     rs.frontier,
 		FrontierView: rs.wmView,
+		AIDExports:   rs.aidExports,
 	}
 	for id, p := range rs.peers {
 		frames := p.frames

@@ -414,6 +414,24 @@ func (s *Store) AutoDenied(a ids.AID) {
 	}
 }
 
+// AIDExport records a hosted AID machine snapshot (ownership routing,
+// DESIGN.md §13): the routed engine calls it after every applied
+// adjudication with the machine's current export blob, and with an
+// empty blob as a tombstone when the machine is shipped to a new owner.
+// Recovery keeps the last record per AID, so a dead owner's successor
+// can adopt its shard by replaying this node's WAL (ReadAIDExports).
+// Engine-level, like AutoDenied.
+func (s *Store) AIDExport(a ids.AID, blob []byte) {
+	err := s.appendTagged(recAIDExport, func(b []byte) []byte {
+		b = appendUv(b, uint64(a))
+		b = appendUv(b, uint64(len(blob)))
+		return append(b, blob...)
+	})
+	if err != nil {
+		s.fail("AIDExport", err)
+	}
+}
+
 // ViewChanged records a published membership view: the epoch and the
 // live member set. On recovery the highest epoch seeds the cluster
 // manager's epoch floor, so a restarted node can never gossip a view

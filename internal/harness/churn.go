@@ -35,7 +35,9 @@ import (
 
 	"github.com/hope-dist/hope/internal/cluster"
 	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/durable"
 	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
 	"github.com/hope-dist/hope/internal/oracle"
 	"github.com/hope-dist/hope/internal/rpc"
 	"github.com/hope-dist/hope/internal/trace"
@@ -66,6 +68,19 @@ type ChurnConfig struct {
 	// frontier agreed at the final view epoch, proving rounds resumed
 	// once the corpse was evicted and the joiner absorbed.
 	Watermark bool
+
+	// Migrate runs every member with --route --migrate --data-root
+	// (ownership-routed adjudication plus WAL shard adoption) and routes
+	// the client's own adjudications through the members' announced
+	// views. The storm then also asserts migration semantics: every
+	// survivor adopts its slice of the corpse's shard (HOPED ADOPTED,
+	// with adopt-latency recorded), no surviving workload suffers a
+	// spurious denial (its page layout stays byte-for-byte the
+	// sequential one — a lease denial of a migrated-but-live assumption
+	// would insert an extra page break), and the WAL-visible hosted
+	// tables of the final members partition exactly by the final ring
+	// (oracle.CheckMigration).
+	Migrate bool
 
 	Tracer trace.Tracer // receives trace.Fault events (nil = discard)
 	Log    io.Writer    // storm narration (nil = discard)
@@ -130,6 +145,12 @@ type ChurnResult struct {
 	StableFrontier string
 	StableLag      time.Duration
 
+	// Migrate storms only: machines the survivors absorbed from the
+	// corpse's WAL (summed over survivors — each takes only its ring
+	// slice), and kill → the first survivor's ADOPTED announcement.
+	Adopted      int
+	AdoptLatency time.Duration
+
 	Elapsed time.Duration
 }
 
@@ -168,6 +189,40 @@ func parseStableLine(line string) (stableLine, bool) {
 	return sl, sl.frontier != ""
 }
 
+// adoptLine is one HOPED ADOPTED announcement: a shard slice absorbed
+// from a WAL, tagged with whose corpse (from == the watcher's own node
+// on a restart re-adoption).
+type adoptLine struct {
+	at    time.Time
+	from  int
+	count int
+}
+
+// parseAdoptLine parses "HOPED ADOPTED node=N from=M count=K".
+func parseAdoptLine(line string) (adoptLine, bool) {
+	if !strings.HasPrefix(line, "HOPED ADOPTED") {
+		return adoptLine{}, false
+	}
+	al := adoptLine{from: -1, count: -1}
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, "from="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return adoptLine{}, false
+			}
+			al.from = n
+		}
+		if v, ok := strings.CutPrefix(f, "count="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return adoptLine{}, false
+			}
+			al.count = n
+		}
+	}
+	return al, al.from >= 0 && al.count >= 0
+}
+
 // viewWatcher owns one hoped child's stdout for the child's whole life:
 // it parses the boot lines, then keeps tailing, recording every VIEW
 // announcement (timestamped at arrival — the observable instant of a
@@ -179,6 +234,7 @@ type viewWatcher struct {
 	mu      sync.Mutex
 	views   []timedView
 	stables []stableLine
+	adopts  []adoptLine
 	evicted bool
 
 	boot chan bootRes
@@ -219,6 +275,13 @@ func (w *viewWatcher) watch(r io.Reader) {
 				w.stables = append(w.stables, sl)
 				w.mu.Unlock()
 			}
+		case strings.HasPrefix(line, "HOPED ADOPTED"):
+			if al, ok := parseAdoptLine(line); ok {
+				al.at = time.Now()
+				w.mu.Lock()
+				w.adopts = append(w.adopts, al)
+				w.mu.Unlock()
+			}
 		default:
 			if vl, ok, err := cluster.ParseViewLine(line); err == nil && ok {
 				w.mu.Lock()
@@ -253,6 +316,19 @@ func (w *viewWatcher) stableAt(epoch uint64) (stableLine, bool) {
 		}
 	}
 	return stableLine{}, false
+}
+
+// adoptedFrom returns this node's first adoption announcement naming
+// from, if any.
+func (w *viewWatcher) adoptedFrom(from int) (adoptLine, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, al := range w.adopts {
+		if al.from == from {
+			return al, true
+		}
+	}
+	return adoptLine{}, false
 }
 
 // firstDead returns when this watcher first announced a view with id in
@@ -313,6 +389,49 @@ func startWatched(bin string, node int, args []string) (*exec.Cmd, BootInfo, *vi
 	}
 }
 
+// ownerRing derives the client's routing view from the members' VIEW
+// announcements: the freshest epoch any watched member has announced
+// wins, and its live set builds the ring (cached per epoch — ownership
+// is a pure function of the live set). The client is not a cluster
+// member, so this is exactly the stance of a real external caller:
+// route where the cluster says ownership lives, and let a stale answer
+// be NACKed into a retry.
+type ownerRing struct {
+	vnodes int
+
+	mu       sync.Mutex
+	watchers []*viewWatcher
+	epoch    uint64
+	ring     *cluster.Ring
+}
+
+func (o *ownerRing) add(w *viewWatcher) {
+	o.mu.Lock()
+	o.watchers = append(o.watchers, w)
+	o.mu.Unlock()
+}
+
+func (o *ownerRing) owner(a ids.AID) (int, uint64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var best cluster.ViewLine
+	found := false
+	for _, w := range o.watchers {
+		if vl, ok := w.latest(); ok && (!found || vl.Epoch > best.Epoch) {
+			best, found = vl, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	if o.ring == nil || best.Epoch > o.epoch {
+		o.epoch = best.Epoch
+		o.ring = cluster.NewRing(best.Live, o.vnodes)
+	}
+	node, ok := o.ring.Owner(uint64(a))
+	return node, o.epoch, ok
+}
+
 // member is one clustered hoped child.
 type member struct {
 	id      int
@@ -348,7 +467,10 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	// Client node 0 lives in-process and is NOT a cluster member: it
 	// drives workloads against every member over static peering, and its
 	// own detector + lease resolve whatever the killed member owned —
-	// the same layering a real external caller would run.
+	// the same layering a real external caller would run. In migrate
+	// storms its adjudications additionally route by the ring the
+	// members announce (ownerRing), as a real external caller's would.
+	owners := &ownerRing{vnodes: cfg.VNodes}
 	var engRef atomic.Pointer[core.Engine]
 	client, err := wire.NewNode(wire.NodeConfig{
 		ID: 0, Listen: "127.0.0.1:0", Tracer: cfg.Tracer,
@@ -359,6 +481,15 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 				if eng := engRef.Load(); eng != nil {
 					eng.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == node },
 						fmt.Sprintf("node %d declared dead", node))
+				}
+			},
+			OnDeadFrame: func(_ int, m *msg.Message) {
+				// An adjudication abandoned toward the corpse re-parks on
+				// the routing retry queue and reaches the ring successor
+				// once the views reassign the shard. No-op when routing
+				// is off (non-migrate storms).
+				if eng := engRef.Load(); eng != nil {
+					eng.RequeueRouted(m)
 				}
 			},
 		},
@@ -396,6 +527,11 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			// post-churn settling windows, not at hoped's default 250ms.
 			args = append(args, "--watermark", "--watermark-every", "50ms")
 		}
+		if cfg.Migrate {
+			// --data-root lets each member read its dead peers' WALs to
+			// adopt its ring slice of the corpse's shard.
+			args = append(args, "--route", "--migrate", "--data-root", dataRoot)
+		}
 		if joinAddr == "" {
 			args = append(args, "--seed-node")
 		} else {
@@ -416,6 +552,7 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			return nil, fmt.Errorf("node %d root PID %v is outside its namespace", id, m.pid)
 		}
 		client.SetPeer(id, m.addr)
+		owners.add(m.watch)
 		members[id] = m
 		logf("node %d up: addr=%s pid=%v join=%q", id, m.addr, m.pid, joinAddr)
 		return m, nil
@@ -482,10 +619,20 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 
 	// One streamed pagination workload per initial member, so the kill
 	// lands mid-speculation with assumptions owned across the ring.
-	eng := core.NewEngine(core.Config{
+	// Routed adjudication adds two network hops to every client
+	// assumption, so a lease tuned for local adjudication misfires under
+	// migrate-mode load: spurious denials roll live work back and feed
+	// the rollback rate. Doubling the client's lease in migrate mode
+	// keeps it a liveness backstop (the doomed workload still quiesces)
+	// without second-guessing the longer adjudication path.
+	clientLease := lease
+	if cfg.Migrate {
+		clientLease = 2 * lease
+	}
+	ecfg := core.Config{
 		Transport: tap, PIDBase: wire.PIDBase(0), Tracer: cfg.Tracer,
 		Liveness: &core.LivenessConfig{
-			Lease: lease,
+			Lease: clientLease,
 			Owner: func(a ids.AID) core.OwnerStatus {
 				node := wire.NodeOf(a.PID())
 				if node == 0 {
@@ -495,7 +642,15 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 				return core.OwnerStatus{Remote: true, Dead: h.State == wire.PeerDead, LastHeard: h.LastHeard}
 			},
 		},
-	})
+	}
+	if cfg.Migrate {
+		ecfg.Routing = &core.RoutingConfig{
+			Self: 0, NodeOf: wire.NodeOf, RouterPID: wire.RouterPID,
+			Owner: owners.owner,
+			Ship:  func(to int, payload []byte) bool { return client.Transfer(to, payload) },
+		}
+	}
+	eng := core.NewEngine(ecfg)
 	engRef.Store(eng)
 	defer eng.Shutdown()
 
@@ -536,6 +691,28 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	// themselves and re-own what the corpse held.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	victim := members[1+rng.Intn(cfg.Nodes)]
+	if cfg.Migrate {
+		// Hold the kill until the victim demonstrably hosts part of the
+		// shard: exports are tombstoned only when shipped on a view
+		// change, so once its WAL shows one the adoption count is ≥1 no
+		// matter how fast the workload adjudicates. The client frame
+		// gate above is satisfied by membership gossip alone and says
+		// nothing about routed machines.
+		hostedBy := time.Now().Add(30 * time.Second)
+		for {
+			exports, err := durable.ReadAIDExports(victim.dataDir)
+			if err == nil && len(exports) > 0 {
+				logf("%8v node %d hosts %d machine(s); killing it",
+					time.Since(start).Round(time.Millisecond), victim.id, len(exports))
+				break
+			}
+			if time.Now().After(hostedBy) {
+				return res, fmt.Errorf("churn: node %d never hosted a machine (last read: %d exports, err=%v)",
+					victim.id, len(exports), err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
 	res.Killed = victim.id
 	tKill := time.Now()
 	if err := victim.child.Process.Kill(); err != nil {
@@ -575,6 +752,42 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		}
 	}
 
+	// Migrate storms: every survivor must adopt its ring slice of the
+	// corpse's WAL shard (count may be 0 for a survivor whose slice is
+	// empty, but the announcement itself is mandatory — it proves the
+	// adoption path ran). At least one machine must move in total, or
+	// the kill did not land mid-speculation and the storm proved
+	// nothing. AdoptLatency is kill → the earliest announcement.
+	if cfg.Migrate {
+		adoptDeadline := time.Now().Add(30 * time.Second)
+		var earliest time.Time
+		for _, m := range survivors {
+			for {
+				if al, ok := m.watch.adoptedFrom(victim.id); ok {
+					res.Adopted += al.count
+					if earliest.IsZero() || al.at.Before(earliest) {
+						earliest = al.at
+					}
+					logf("%8v node %d adopted %d machine(s) from node %d",
+						time.Since(start).Round(time.Millisecond), m.id, al.count, victim.id)
+					break
+				}
+				if time.Now().After(adoptDeadline) {
+					return res, fmt.Errorf("churn: node %d never announced adoption from node %d", m.id, victim.id)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if res.Adopted < 1 {
+			return res, fmt.Errorf("churn: survivors adopted 0 machines from node %d — nothing was in flight at the kill", victim.id)
+		}
+		if res.AdoptLatency = earliest.Sub(tKill); res.AdoptLatency < 0 {
+			res.AdoptLatency = 0
+		}
+		logf("%8v adopted %d machine(s) total, latency %v",
+			time.Since(start).Round(time.Millisecond), res.Adopted, res.AdoptLatency.Round(time.Millisecond))
+	}
+
 	// Resolution: the doomed workload must quiesce — every assumption
 	// the victim owned denied (detector or lease) and dependents rolled
 	// back — and the survivors' workloads must complete fully definite.
@@ -600,8 +813,9 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 				}
 			}
 			if time.Now().After(quiesce) {
-				return res, fmt.Errorf("churn: no quiescence for node %d workload: worker=%+v inflight=%d autodenied=%d",
-					w.member.id, st, client.Inflight(), eng.AutoDenied())
+				return res, fmt.Errorf("churn: no quiescence for node %d workload: worker completed=%v definite=%v restarts=%d deadAIDs=%d inflight=%d autodenied=%d routing=%+v",
+					w.member.id, st.Completed, st.AllDefinite, st.Restarts, len(st.DeadAIDs),
+					client.Inflight(), eng.AutoDenied(), eng.RoutingStats())
 			}
 			time.Sleep(time.Millisecond)
 		}
@@ -658,6 +872,51 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		return res, fmt.Errorf("churn: joiner node %d owns no share of the ring %v", joiner, ring)
 	}
 
+	// Migrate storms: the WAL-visible hosted tables of the final members
+	// must partition by the final ring — every live machine hosted by
+	// exactly one node, and that node its ring owner. The members are
+	// still running, so each table is read forensically mid-flight and
+	// polled: a snapshot torn across a transfer (source exported, target
+	// not yet landed) or a checkpoint rewrite heals on the next read.
+	if cfg.Migrate {
+		migrateDeadline := time.Now().Add(30 * time.Second)
+		for {
+			hosted := make(map[int][]uint64, len(finalMembers))
+			readable := true
+			for _, m := range finalMembers {
+				blobs, err := durable.ReadAIDExports(m.dataDir)
+				if err != nil {
+					readable = false
+					break
+				}
+				keys := []uint64{}
+				for a := range blobs {
+					keys = append(keys, uint64(a))
+				}
+				hosted[m.id] = keys
+			}
+			var err error
+			if readable {
+				err = oracle.CheckMigration(finalViews, cfg.VNodes, hosted, nil, nil)
+				if err == nil {
+					total := 0
+					for _, keys := range hosted {
+						total += len(keys)
+					}
+					logf("%8v migration partition holds: %d hosted machine(s) across %d members",
+						time.Since(start).Round(time.Millisecond), total, len(finalMembers))
+					break
+				}
+			} else {
+				err = fmt.Errorf("churn: hosted tables unreadable mid-flight")
+			}
+			if time.Now().After(migrateDeadline) {
+				return res, fmt.Errorf("churn: migration partition never settled: %w", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
 	// Remaining invariants, as in the fault storm: liveness (no surviving
 	// speculation on anything the victim owned), worker verdict agreement
 	// and completeness for survivors, zero protocol violations, FIFO.
@@ -678,6 +937,17 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		w.mu.Unlock()
 		if rep.Totals != cfg.Reports {
 			return res, fmt.Errorf("%s printed %d totals, want %d", name, rep.Totals, cfg.Reports)
+		}
+		if cfg.Migrate {
+			// Adopted, not denied: a spurious denial of a live migrated
+			// assumption would roll the worker back at a non-boundary
+			// report and insert an extra newpage, so the page layout
+			// diverging from the sequential one is the observable symptom
+			// of a lost or mis-adjudicated migration.
+			if want := expectPageBreaks(cfg.PageSize, cfg.Reports); rep.NewPageCalls != want {
+				return res, fmt.Errorf("%s made %d newpage calls, want %d (sequential layout)",
+					name, rep.NewPageCalls, want)
+			}
 		}
 	}
 	for _, m := range finalMembers {
@@ -732,6 +1002,25 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	res.DetectP99 = pctDuration(res.Detect, 99)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// expectPageBreaks simulates the print server's line counter over one
+// sequential run of the pagination workload: each report is a total
+// print and a trailer print, with a newpage forced whenever the total
+// lands at or past the page boundary. The streamed worker's FIFO
+// ordering makes this the unique correct layout, so the count doubles
+// as a no-churn control for migrated runs.
+func expectPageBreaks(pageSize, reports int) int {
+	line, breaks := 0, 0
+	for i := 0; i < reports; i++ {
+		line++ // the total print
+		if line >= pageSize {
+			line = 0 // the worker's newpage lands before the trailer
+			breaks++
+		}
+		line++ // the trailer print
+	}
+	return breaks
 }
 
 // pctDuration returns the p-th percentile of samples (nearest-rank).

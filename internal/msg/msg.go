@@ -58,6 +58,13 @@ const (
 	// interval must depend on the AID directly again. Sent by an AID
 	// process to its DOM when a Retract lands; see DESIGN.md §4.
 	KindRevive
+	// KindNack rejects a ring-routed adjudication delivered to a node
+	// that does not own the subject AID under its current membership
+	// view. Epoch carries the rejecting node's view epoch and Payload
+	// echoes the original message, so the sender's router can retry it
+	// against a fresher ring. Engine-internal, like Probe; see DESIGN.md
+	// §13.
+	KindNack
 )
 
 // Kinds lists every message kind, in wire order. Codec and trace tests
@@ -65,10 +72,11 @@ const (
 var Kinds = []Kind{
 	KindGuess, KindAffirm, KindDeny, KindReplace, KindRollback,
 	KindRetract, KindData, KindProbe, KindCutProbe, KindCutAck, KindRevive,
+	KindNack,
 }
 
 // Valid reports whether k is a defined message kind.
-func (k Kind) Valid() bool { return k >= KindGuess && k <= KindRevive }
+func (k Kind) Valid() bool { return k >= KindGuess && k <= KindNack }
 
 // KindFromString parses the String form of a kind ("Guess", "Affirm",
 // ...). It is the inverse of Kind.String for all valid kinds.
@@ -114,6 +122,8 @@ func (k Kind) String() string {
 		return "CutAck"
 	case KindRevive:
 		return "Revive"
+	case KindNack:
+		return "Nack"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -150,8 +160,15 @@ type Message struct {
 	// Tag is the sender's IDO snapshot on Data messages.
 	Tag []ids.AID
 
-	// Payload is the user content of a Data message.
+	// Payload is the user content of a Data message (or the echoed
+	// original message on a Nack).
 	Payload any
+
+	// Epoch is the sender's membership view epoch when ownership routing
+	// is on: AID-bound adjudications are stamped with the ring epoch they
+	// were routed under, and a Nack carries the rejecting node's epoch.
+	// Zero when routing is off (the field is absent from codec v2 frames).
+	Epoch uint64
 
 	// SrcNode/SrcSeq record receive-side wire provenance: the peer node a
 	// message arrived from and its per-peer wire sequence number. They are
@@ -236,4 +253,12 @@ func CutProbe(from ids.PID, iid ids.IntervalID, x ids.AID) *Message {
 // CutAck constructs a cut confirmation for the target interval.
 func CutAck(x ids.AID, target ids.IntervalID) *Message {
 	return &Message{Kind: KindCutAck, From: x.PID(), To: target.Proc, IID: target, AID: x}
+}
+
+// Nack constructs an ownership rejection of original, addressed to the
+// sending node's router at routerPID. epoch is the rejecting node's view
+// epoch; the original message rides in Payload for the retry.
+func Nack(from, routerPID ids.PID, epoch uint64, original *Message) *Message {
+	return &Message{Kind: KindNack, From: from, To: routerPID, AID: original.AID,
+		Epoch: epoch, Payload: original}
 }

@@ -76,3 +76,68 @@ func CheckOwnership(views map[int]cluster.View, vnodes int, keys []uint64) error
 	}
 	return nil
 }
+
+// CheckMigration is the post-migration invariant for ownership-routed
+// churn: after views converge and shards migrate, every live assumption
+// machine must be hosted by exactly one node, and that node must be the
+// ring-designated owner — an AID hosted nowhere was lost in transfer, an
+// AID hosted twice can double-apply adjudications. hosted maps each
+// surviving node's ID to the AID keys it reports hosting live (moved
+// tombstones excluded). verdicts, when non-nil, are the adjudication
+// outcomes the routed run retained, checked against control — the same
+// workload's outcomes from a no-churn run: a key missing from verdicts
+// lost its adjudication, a differing value diverged. It subsumes
+// CheckOwnership over the hosted key set.
+func CheckMigration(views map[int]cluster.View, vnodes int, hosted map[int][]uint64,
+	verdicts, control map[uint64]bool) error {
+	var keys []uint64
+	hostOf := make(map[uint64][]int)
+	hostNodes := make(map[int]bool, len(hosted))
+	for node, aids := range hosted {
+		hostNodes[node] = true
+		for _, a := range aids {
+			if len(hostOf[a]) == 0 {
+				keys = append(keys, a)
+			}
+			hostOf[a] = append(hostOf[a], node)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if err := CheckOwnership(views, vnodes, keys); err != nil {
+		return fmt.Errorf("migration: %w", err)
+	}
+	for node := range hostNodes {
+		if _, ok := views[node]; !ok {
+			return fmt.Errorf("migration: node %d reports hosted AIDs but no view", node)
+		}
+	}
+	var ref int
+	for id := range views {
+		if _, ok := views[ref]; !ok || id < ref {
+			ref = id
+		}
+	}
+	ring := cluster.NewRing(views[ref].Live(), vnodes)
+	for _, a := range keys {
+		hosts := hostOf[a]
+		if len(hosts) != 1 {
+			sort.Ints(hosts)
+			return fmt.Errorf("migration: AID %#x hosted by %d nodes %v, want exactly one", a, len(hosts), hosts)
+		}
+		owner, ok := ring.Owner(a)
+		if !ok || owner != hosts[0] {
+			return fmt.Errorf("migration: AID %#x hosted by %d but ring designates %d (ok=%v)",
+				a, hosts[0], owner, ok)
+		}
+	}
+	for a, want := range control {
+		got, ok := verdicts[a]
+		if !ok {
+			return fmt.Errorf("migration: adjudication of %#x lost: control decided %v, routed run retained nothing", a, want)
+		}
+		if got != want {
+			return fmt.Errorf("migration: outcome of %#x diverges: routed run %v, no-churn control %v", a, got, want)
+		}
+	}
+	return nil
+}

@@ -49,3 +49,57 @@ func TestCheckOwnershipAgreement(t *testing.T) {
 		t.Fatal("empty views accepted")
 	}
 }
+
+func TestCheckMigration(t *testing.T) {
+	views := map[int]cluster.View{
+		1: viewOf(5, []int{1, 2}, []int{3}),
+		2: viewOf(5, []int{1, 2}, []int{3}),
+	}
+	ring := cluster.NewRing([]int{1, 2}, cluster.DefaultVNodes)
+	// Shard a handful of keys the way a correct migration would.
+	hosted := map[int][]uint64{}
+	keys := []uint64{3, 9, 1<<48 + 4, 2<<48 + 7, 5 << 40}
+	for _, k := range keys {
+		owner, _ := ring.Owner(k)
+		hosted[owner] = append(hosted[owner], k)
+	}
+	verdicts := map[uint64]bool{3: true, 9: false}
+	control := map[uint64]bool{3: true, 9: false}
+	if err := CheckMigration(views, cluster.DefaultVNodes, hosted, verdicts, control); err != nil {
+		t.Fatalf("clean migration failed: %v", err)
+	}
+
+	// Double-hosted AID (both nodes claim it: adjudications can double-apply).
+	err := CheckMigration(views, cluster.DefaultVNodes,
+		map[int][]uint64{1: {keys[0]}, 2: {keys[0]}}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "hosted by 2 nodes") {
+		t.Fatalf("double host not caught: %v", err)
+	}
+
+	// Hosted off-owner (the shard never migrated).
+	wrongHost := map[int][]uint64{}
+	for _, k := range keys[:1] {
+		owner, _ := ring.Owner(k)
+		other := 1
+		if owner == 1 {
+			other = 2
+		}
+		wrongHost[other] = append(wrongHost[other], k)
+	}
+	if err := CheckMigration(views, cluster.DefaultVNodes, wrongHost, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "ring designates") {
+		t.Fatalf("off-owner host not caught: %v", err)
+	}
+
+	// Lost and diverged adjudications against the control run.
+	if err := CheckMigration(views, cluster.DefaultVNodes, hosted,
+		map[uint64]bool{3: true}, control); err == nil ||
+		!strings.Contains(err.Error(), "lost") {
+		t.Fatalf("lost adjudication not caught: %v", err)
+	}
+	if err := CheckMigration(views, cluster.DefaultVNodes, hosted,
+		map[uint64]bool{3: true, 9: true}, control); err == nil ||
+		!strings.Contains(err.Error(), "diverges") {
+		t.Fatalf("diverged outcome not caught: %v", err)
+	}
+}

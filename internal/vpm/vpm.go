@@ -71,13 +71,36 @@ type Proc struct {
 // Spawn creates a process running body and returns its handle. The body
 // goroutine is tracked; Machine.Shutdown waits for it.
 func (m *Machine) Spawn(body Body) (*Proc, error) {
+	return m.spawn(m.alloc.Next(), body)
+}
+
+// SpawnAt creates a process with a caller-chosen PID — used for
+// well-known service processes (wire.RouterPID) that peers must be able
+// to address without discovery. The PID must be outside the allocator's
+// range (the allocator counts up from SkipPIDs' base; router PIDs sit at
+// the top of the node's namespace) and must not already be live.
+func (m *Machine) SpawnAt(pid ids.PID, body Body) (*Proc, error) {
+	return m.spawn(pid, body)
+}
+
+// AllocPID issues a fresh PID from the machine's allocator without
+// spawning a process for it. Ownership routing uses this to mint AID
+// identities whose state machines are hosted on the ring owner rather
+// than as local processes.
+func (m *Machine) AllocPID() ids.PID { return m.alloc.Next() }
+
+func (m *Machine) spawn(pid ids.PID, body Body) (*Proc, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("vpm: spawn on closed machine")
 	}
+	if _, taken := m.procs[pid]; taken {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("vpm: spawn at %s: pid already live", pid)
+	}
 	p := &Proc{
-		pid:     m.alloc.Next(),
+		pid:     pid,
 		box:     mailbox.New(),
 		machine: m,
 		done:    make(chan struct{}),

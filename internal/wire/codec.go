@@ -25,7 +25,14 @@ import (
 // codecVersion is the first byte of every encoded message; bump it when
 // the layout changes so mixed-version deployments fail loudly instead of
 // misparsing. Version 2 added the CRC32C frame trailer (see node.go).
-const codecVersion = 2
+// Version 3 appended the view-epoch uvarint after the aid field for
+// ownership-routed adjudications; the decoder still accepts version 2
+// (epoch 0), so WALs and fuzz corpora written before the bump replay.
+const codecVersion = 3
+
+// codecVersionNoEpoch is the previous layout, identical except that no
+// epoch uvarint follows the aid field.
+const codecVersionNoEpoch = 2
 
 // Decode hard limits: a malformed or hostile length prefix must not make
 // the decoder allocate unbounded memory.
@@ -89,6 +96,8 @@ func init() {
 	RegisterPayload(string(""))
 	RegisterPayload(bool(false))
 	RegisterPayload([]byte(nil))
+	// A Nack echoes the rejected message in its payload.
+	RegisterPayload(&msg.Message{})
 }
 
 // EncodeMessage renders m in the length-free binary wire layout:
@@ -98,6 +107,7 @@ func init() {
 //	from,to  uvarint
 //	iid      proc uvarint, seq uvarint, epoch uvarint
 //	aid      uvarint
+//	epoch    uvarint (routing view epoch; absent in version 2)
 //	ido      count uvarint, then count uvarints
 //	tag      count uvarint, then count uvarints
 //	payload  0x00 (absent) | 0x01 + len uvarint + gob(payloadEnvelope)
@@ -121,6 +131,7 @@ func AppendMessage(buf []byte, m *msg.Message) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(m.IID.Seq))
 	buf = binary.AppendUvarint(buf, uint64(m.IID.Epoch))
 	buf = binary.AppendUvarint(buf, uint64(m.AID))
+	buf = binary.AppendUvarint(buf, m.Epoch)
 	buf, err := appendAIDSet(buf, m.IDO)
 	if err != nil {
 		return nil, err
@@ -167,7 +178,7 @@ func DecodeMessage(data []byte) (*msg.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != codecVersion {
+	if ver != codecVersion && ver != codecVersionNoEpoch {
 		return nil, fmt.Errorf("wire: decode: codec version %d, want %d", ver, codecVersion)
 	}
 	kindB, err := d.byte()
@@ -211,6 +222,11 @@ func DecodeMessage(data []byte) (*msg.Message, error) {
 		return nil, err
 	}
 	m.AID = ids.AID(aidV)
+	if ver >= codecVersion {
+		if m.Epoch, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
 	if m.IDO, err = d.aidSet(); err != nil {
 		return nil, err
 	}

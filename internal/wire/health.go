@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hope-dist/hope/internal/msg"
 	"github.com/hope-dist/hope/internal/trace"
 )
 
@@ -71,6 +72,15 @@ type HealthConfig struct {
 	// →Dead. The membership layer folds these into its view; OnPeerDead
 	// still fires separately for Dead, preserving the PR 5 contract.
 	OnPeerState func(node int, state PeerState)
+	// OnDeadFrame, when non-nil, receives every sequenced message frame
+	// the node abandons because its peer is dead: the unacknowledged
+	// resend queue dropped at declaration, plus any later Send toward
+	// the corpse. The frame is lost at the wire either way — the hook
+	// exists so a routing layer can re-park AID adjudications and retry
+	// them against the successor once the ring reassigns the shard
+	// (Engine.RequeueRouted). Called synchronously from the declaring
+	// goroutine and from Send; keep it non-blocking.
+	OnDeadFrame func(to int, m *msg.Message)
 }
 
 func (h HealthConfig) enabled() bool { return h.DeadAfter > 0 }
@@ -258,10 +268,21 @@ func (n *Node) declareDead(h *peerHealth, silence time.Duration) {
 	n.mu.Unlock()
 
 	dropped := 0
+	var abandoned []*msg.Message
 	if p != nil {
 		p.mu.Lock()
 		p.dead = true
 		dropped = len(p.queue)
+		if n.health.OnDeadFrame != nil {
+			// Decode before releaseLocked recycles the buffers: these are
+			// the frames the corpse never acknowledged, and the routing
+			// layer may want them back.
+			for _, f := range p.queue {
+				if m, err := DecodeMessage(f.buf.b); err == nil {
+					abandoned = append(abandoned, m)
+				}
+			}
+		}
 		p.releaseLocked(p.queue)
 		p.queue = nil
 		p.queueBytes = 0
@@ -279,6 +300,11 @@ func (n *Node) declareDead(h *peerHealth, silence time.Duration) {
 	}
 	n.deadDrops.Add(uint64(dropped))
 	n.retire(dropped)
+	if cb := n.health.OnDeadFrame; cb != nil {
+		for _, m := range abandoned {
+			cb(h.id, m)
+		}
+	}
 	n.tracer.Emit(trace.Event{Kind: trace.Fault, Detail: fmt.Sprintf(
 		"wire: node %d declared node %d dead after %v silence (%d queued frames dropped)",
 		n.id, h.id, silence.Round(time.Millisecond), dropped)})

@@ -33,6 +33,13 @@ func PIDBase(node int) ids.PID { return ids.PID(uint64(node) << nodeShift) }
 // NodeOf returns the ID of the node that owns pid.
 func NodeOf(pid ids.PID) int { return int(uint64(pid) >> nodeShift) }
 
+// RouterPID returns the well-known PID of node's adjudication router —
+// the process that receives ring-routed AID messages when ownership
+// routing is on (core.RoutingConfig). The high bit inside the node's
+// namespace keeps it clear of allocator-issued PIDs, which count up
+// from PIDBase.
+func RouterPID(node int) ids.PID { return PIDBase(node) | ids.PID(uint64(1)<<(nodeShift-1)) }
+
 // Frame types on a wire connection. Connections are unidirectional for
 // message flow: the dialer sends hello + msg frames, the acceptor sends
 // helloAck + ack frames back on the same connection.
@@ -44,6 +51,7 @@ const (
 	framePing      = 5 // dialer → acceptor: liveness probe; answered with a forced ack
 	frameGossip    = 6 // either direction: opaque membership payload, out of band
 	frameStability = 7 // either direction: opaque stability-round payload, out of band
+	frameTransfer  = 8 // either direction: opaque shard-migration payload, out of band
 )
 
 // maxPendingGossip bounds each peer's pending gossip payloads. Gossip
@@ -57,6 +65,14 @@ const maxPendingGossip = 4
 // only delays the next frontier advance — so when a slow link falls
 // behind, the oldest pending payload is dropped, never the newest.
 const maxPendingStability = 8
+
+// maxPendingTransfer bounds each peer's pending shard-transfer
+// payloads. Transfers are repaired end to end — a dropped batch is
+// re-exported on the next view change, the receiver lazily re-creates
+// missing machines Cold, and a dead owner's WAL is the fallback — so
+// when a slow link falls behind, the oldest pending payload is dropped,
+// never the newest.
+const maxPendingTransfer = 16
 
 // maxFrame bounds a frame read so a corrupt length prefix cannot force a
 // huge allocation.
@@ -135,6 +151,9 @@ type NodeConfig struct {
 	// Stability, when wired, lets the commit-watermark layer piggyback
 	// its round payloads on the node's connections (see StabilityConfig).
 	Stability StabilityConfig
+	// Transfer, when wired, lets the ownership-migration layer ship AID
+	// machine exports on the node's connections (see TransferConfig).
+	Transfer TransferConfig
 	// HoldInbound binds the listener in NewNode but defers accepting
 	// connections until ReleaseInbound is called. A recovering node
 	// needs this: delivered-but-unconsumed messages from the WAL must be
@@ -188,6 +207,24 @@ type StabilityConfig struct {
 	OnPayload func(from int, payload []byte)
 }
 
+// TransferConfig hooks the shard-migration layer (core's ownership
+// routing; see DESIGN.md §13) into the transport. Transfer frames share
+// the gossip frames' out-of-band discipline: not sequenced, not acked,
+// not resent, not written to the WAL, and not counted in Inflight. The
+// migration protocol tolerates loss by construction — the new owner
+// lazily re-creates any machine it never received in the Cold state,
+// the old owner re-exports on the next view change, and a dead owner's
+// WAL export records are the durable fallback — so a transfer batch
+// rides best-effort like a gossip round. Like gossip, transfer frames
+// count as liveness evidence for the failure detector.
+type TransferConfig struct {
+	// OnPayload receives each inbound transfer payload (a fresh copy;
+	// the callback may retain it). Called synchronously from the
+	// connection's read loop — keep it quick, and never call back into a
+	// blocking Node method from it.
+	OnPayload func(from int, payload []byte)
+}
+
 // Node is a TCP transport endpoint implementing transport.Transport.
 // Messages to PIDs registered locally are delivered synchronously;
 // messages to PIDs owned by other nodes are sequenced, framed, and
@@ -207,6 +244,7 @@ type Node struct {
 	health     HealthConfig    // normalized failure-detector config
 	gossip     GossipConfig    // membership piggyback hooks (zero = none)
 	stab       StabilityConfig // commit-watermark piggyback hooks (zero = none)
+	xfer       TransferConfig  // shard-migration piggyback hooks (zero = none)
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight returns to zero
@@ -245,6 +283,9 @@ type Node struct {
 	stabSent              atomic.Uint64
 	stabRecv              atomic.Uint64
 	stabDrops             atomic.Uint64
+	xferSent              atomic.Uint64
+	xferRecv              atomic.Uint64
+	xferDrops             atomic.Uint64
 }
 
 var _ transport.Transport = (*Node)(nil)
@@ -275,6 +316,9 @@ type WireStats struct {
 	StabSent            uint64 // stability frames written
 	StabRecv            uint64 // stability frames received
 	StabDrops           uint64 // pending stability payloads superseded before the write
+	XferSent            uint64 // shard-transfer frames written
+	XferRecv            uint64 // shard-transfer frames received
+	XferDrops           uint64 // pending transfer payloads superseded before the write
 	PeersSuspect        int    // gauge: peers currently in Suspect
 	PeersDead           int    // gauge: peers declared Dead (terminal)
 
@@ -299,6 +343,9 @@ func (s WireStats) String() string {
 	}
 	if s.StabSent != 0 || s.StabRecv != 0 {
 		base += fmt.Sprintf(" stab=%d/%d sdrop=%d", s.StabSent, s.StabRecv, s.StabDrops)
+	}
+	if s.XferSent != 0 || s.XferRecv != 0 {
+		base += fmt.Sprintf(" xfer=%d/%d xdrop=%d", s.XferSent, s.XferRecv, s.XferDrops)
 	}
 	if s.Durable {
 		base += " " + s.WAL.String()
@@ -344,6 +391,7 @@ type peer struct {
 	probe      bool          // monitor requested a ping frame on the live connection
 	gossip     [][]byte      // pending out-of-band gossip payloads (bounded; oldest dropped)
 	stability  [][]byte      // pending out-of-band stability payloads (bounded; oldest dropped)
+	transfer   [][]byte      // pending out-of-band shard-transfer payloads (bounded; oldest dropped)
 	full       bool          // inside a queue-overflow episode (one trace event each)
 	backoffCur time.Duration // last reconnect backoff used (observable for tests)
 	health     *peerHealth
@@ -393,6 +441,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		health:     cfg.Health.norm(),
 		gossip:     cfg.Gossip,
 		stab:       cfg.Stability,
+		xfer:       cfg.Transfer,
 		handlers:   make(map[ids.PID]transport.Handler),
 		peers:      make(map[int]*peer),
 		inbound:    make(map[int]*inbound),
@@ -552,6 +601,37 @@ func (n *Node) Stability(to int, payload []byte) bool {
 	return true
 }
 
+// Transfer queues one opaque shard-migration payload toward a peer,
+// best-effort (see TransferConfig). It reports whether the payload was
+// accepted for writing — false when the peer is dead, the node closed,
+// or the target is self. The payload is copied; the caller keeps the
+// buffer. At most maxPendingTransfer payloads wait per peer; beyond
+// that, the oldest pending payload is superseded.
+func (n *Node) Transfer(to int, payload []byte) bool {
+	if to == n.id || len(payload) == 0 {
+		return false
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return false
+	}
+	p := n.peer(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.dead {
+		return false
+	}
+	if len(p.transfer) >= maxPendingTransfer {
+		p.transfer = p.transfer[1:]
+		n.xferDrops.Add(1)
+	}
+	p.transfer = append(p.transfer, append([]byte(nil), payload...))
+	p.cond.Broadcast()
+	return true
+}
+
 // MsgSeqs snapshots the sequenced message stream's per-peer state: Sent
 // maps each peer to the last sequence number assigned toward it, and
 // Delivered maps each sender to the highest contiguous sequence
@@ -675,6 +755,12 @@ func (n *Node) Send(m *msg.Message) {
 		putEncodeBuf(eb)
 		if dead {
 			n.deadDrops.Add(1)
+			if cb := n.health.OnDeadFrame; cb != nil {
+				// The caller's message is ours to hand back: local
+				// deliveries consume it synchronously, so nothing else
+				// aliases it after Send returns.
+				cb(owner, m)
+			}
 		}
 		n.retire(1)
 		return
@@ -808,6 +894,7 @@ func (n *Node) Close() {
 		p.cursor = 0
 		p.gossip = nil
 		p.stability = nil
+		p.transfer = nil
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
@@ -866,6 +953,9 @@ func (n *Node) WireStats() WireStats {
 		StabSent:    n.stabSent.Load(),
 		StabRecv:    n.stabRecv.Load(),
 		StabDrops:   n.stabDrops.Load(),
+		XferSent:    n.xferSent.Load(),
+		XferRecv:    n.xferRecv.Load(),
+		XferDrops:   n.xferDrops.Load(),
 	}
 	for _, h := range n.healthSnapshot() {
 		switch PeerState(h.state.Load()) {
@@ -1254,6 +1344,16 @@ func (n *Node) serveConn(c net.Conn) {
 			}
 			continue
 		}
+		if ftype == frameTransfer {
+			// Out-of-band shard-migration payload: hand it up; the routing
+			// layer installs what it owns and ignores the rest. body
+			// aliases the read scratch buffer — the callback gets a copy.
+			n.xferRecv.Add(1)
+			if cb := n.xfer.OnPayload; cb != nil {
+				cb(from, append([]byte(nil), body...))
+			}
+			continue
+		}
 		if ftype != frameMsg {
 			n.event("wire: node %d got unexpected frame type %d from node %d", n.id, ftype, from)
 			return
@@ -1534,6 +1634,12 @@ loop:
 			if cb := p.n.stab.OnPayload; cb != nil {
 				cb(p.id, append([]byte(nil), body...))
 			}
+		case frameTransfer:
+			p.n.xferRecv.Add(1)
+			p.n.heard(p.health)
+			if cb := p.n.xfer.OnPayload; cb != nil {
+				cb(p.id, append([]byte(nil), body...))
+			}
 		default:
 			break loop
 		}
@@ -1561,7 +1667,7 @@ func (p *peer) pump(conn net.Conn) {
 	for {
 		p.mu.Lock()
 		p.pinLo, p.pinHi = 0, 0
-		for p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && !p.probe && !p.closed && !p.dead && p.conn == conn {
+		for p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && len(p.transfer) == 0 && !p.probe && !p.closed && !p.dead && p.conn == conn {
 			lingered = false
 			p.cond.Wait()
 		}
@@ -1573,7 +1679,7 @@ func (p *peer) pump(conn net.Conn) {
 			// Pending frames — gossip included — are themselves a
 			// heartbeat; a ping frame is only worth a syscall when the
 			// queue has nothing to say.
-			probeOnly := p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0
+			probeOnly := p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && len(p.transfer) == 0
 			p.probe = false
 			if probeOnly {
 				p.mu.Unlock()
@@ -1592,9 +1698,10 @@ func (p *peer) pump(conn net.Conn) {
 		// Copy the pending window and pin its seq range: acks may retire
 		// these frames while we write outside the lock, and a retired
 		// buffer must not be recycled mid-write (see releaseLocked).
-		var gossip, stab [][]byte
+		var gossip, stab, xfer [][]byte
 		gossip, p.gossip = p.gossip, nil
 		stab, p.stability = p.stability, nil
+		xfer, p.transfer = p.transfer, nil
 		batch = append(batch[:0], p.queue[p.cursor:]...)
 		p.cursor = len(p.queue)
 		if len(batch) > 0 {
@@ -1620,7 +1727,16 @@ func (p *peer) pump(conn net.Conn) {
 			}
 			p.n.stabSent.Add(1)
 		}
-		if p.n.unbatched && len(gossip)+len(stab) > 0 {
+		// Transfer frames share the same out-of-band ride (no durability
+		// barrier, no seq): see TransferConfig.
+		for _, x := range xfer {
+			if err := p.n.writeFrame(bw, frameTransfer, x); err != nil {
+				p.detach(conn)
+				return
+			}
+			p.n.xferSent.Add(1)
+		}
+		if p.n.unbatched && len(gossip)+len(stab)+len(xfer) > 0 {
 			if err := bw.Flush(); err != nil {
 				p.detach(conn)
 				return

@@ -84,6 +84,24 @@ echo '== watermark churn smoke (pinned seed)'
 # announces an agreed HOPED STABLE frontier at the final view epoch.
 go run ./cmd/hopebench chaos --churn --nodes 3 --seed 3 --reports 24 --watermark
 
+echo '== migration battery (pinned seeds, repeated under race)'
+# Ownership routing + live shard migration (DESIGN.md §13): the ring
+# movement property, the gated-transport migration race (stale-epoch
+# NACK, retry, adopt), the adopted-not-denied grant-epoch rule, and the
+# stale-rollback reach-through that the migration storm forced. Fixed
+# seeds, three repetitions under the race detector.
+go test -race -count=3 -run 'TestRingMovement|TestMigration|TestStaleRollback' \
+    ./internal/cluster/ ./internal/core/
+
+echo '== shard migration churn smoke (pinned seed)'
+# The churn storm with --route --migrate: adjudication goes through the
+# ring owners, the SIGKILLed owner's hosted machines must be adopted
+# (not denied) by its ring successors from its WAL, the hosted tables
+# must partition by the final ring (oracle.CheckMigration), and every
+# survivor's page layout must match the no-churn control — a lost or
+# double-applied adjudication shows up as a divergent layout.
+go run ./cmd/hopebench chaos --churn --migrate --nodes 3 --seed 1 --reports 24
+
 echo '== stability watermark A/B smoke'
 # In-process lag + throughput A/B for the commit watermark: fails if a
 # gated output is lost or duplicated, if the frontier stops advancing
