@@ -94,6 +94,21 @@
 // A durable routed node also re-adopts its own hosted shard on restart
 // (from= names itself). Every node must run with the same --route
 // setting; mixing is unsupported.
+//
+// With --transplant (requires --route and --data-root) a dead member's
+// user PROCESSES survive too, not just the assumption machines it
+// hosted: each survivor reads the corpse's WAL, takes the ring slice of
+// its processes, and rebirths them by deterministic replay under its
+// own PID namespace (DESIGN.md §13). The definite prefix of each
+// process is trusted; the speculative suffix is rolled back and re-run
+// from the replay frontier. Every survivor announces its slice:
+//
+//	HOPED TRANSPLANTED node=2 from=3 procs=1 map=844424930131970:562949953421314
+//
+// (map is old:new PID pairs, "-" when the slice is empty) and
+// broadcasts the mapping to its peers, so frames still addressed to
+// the dead incarnations are forwarded to the reborn ones. A durable
+// node re-adopts its own transplants on restart (from= names itself).
 package main
 
 import (
@@ -113,6 +128,7 @@ import (
 	"github.com/hope-dist/hope/internal/core"
 	"github.com/hope-dist/hope/internal/durable"
 	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/msg"
 	"github.com/hope-dist/hope/internal/rpc"
 	"github.com/hope-dist/hope/internal/stability"
 	"github.com/hope-dist/hope/internal/trace"
@@ -159,6 +175,19 @@ func (p peerMap) Set(v string) error {
 	return nil
 }
 
+// formatTransplantMap renders old:new PID pairs for the TRANSPLANTED
+// line ("-" when the slice was empty).
+func formatTransplantMap(pairs []core.TransplantPair) string {
+	if len(pairs) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		parts = append(parts, fmt.Sprintf("%d:%d", uint64(p.Old), uint64(p.New)))
+	}
+	return strings.Join(parts, ",")
+}
+
 // checkNotSelf rejects a peer/join entry naming this node itself: a
 // node that dials its own listen address as a peer produces a silent
 // routing loop, so the mistake must die at flag validation.
@@ -202,6 +231,7 @@ func run(args []string) error {
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default; must match cluster-wide)")
 	route := fs.Bool("route", false, "route AID adjudication to ring owners and migrate shards on view changes (needs cluster mode; must match cluster-wide)")
 	migrate := fs.Bool("migrate", false, "adopt a dead owner's shard from its WAL instead of denying it (needs --route and --data-root)")
+	transplant := fs.Bool("transplant", false, "rebirth a dead member's user processes from its WAL by deterministic replay (needs --route and --data-root)")
 	dataRoot := fs.String("data-root", "", "parent directory holding every node's WAL as node<N> subdirectories (shard adoption reads dead owners' logs here)")
 	peers := peerMap{}
 	fs.Var(peers, "peer", "peer address as N=host:port (repeatable)")
@@ -236,6 +266,15 @@ func run(args []string) error {
 	}
 	if *migrate && *dataRoot == "" {
 		return fmt.Errorf("--migrate needs --data-root (where the dead owners' WALs live)")
+	}
+	if *transplant && !*route {
+		return fmt.Errorf("--transplant needs --route (reborn processes re-register assumptions with the ring owners)")
+	}
+	if *transplant && *dataRoot == "" {
+		return fmt.Errorf("--transplant needs --data-root (where the dead members' WALs live)")
+	}
+	if *transplant && *serve != "printserver" {
+		return fmt.Errorf("--transplant needs --serve printserver (rebirth replays the same deterministic body the corpse ran)")
 	}
 
 	// A capped recorder keeps the tail of the transport's event stream
@@ -281,6 +320,14 @@ func run(args []string) error {
 		Queue:      transport.QueueLimits{MaxFrames: *queueFrames, MaxBytes: *queueBytes},
 		FlushDelay: *flushDelay,
 		Unbatched:  *unbatched,
+		// Advertise the watermark mode in the handshake: a cluster mixing
+		// --watermark on and off would gate outputs on some nodes against
+		// a frontier others never advance, so a mismatched peer is refused
+		// at connection time instead of silently accepted.
+		Watermark: wire.WatermarkOff,
+	}
+	if *watermark {
+		wcfg.Watermark = wire.WatermarkOn
 	}
 	// engRef and mgrRef break the construction cycles between the node,
 	// the engine, and the membership manager: the node needs its Health
@@ -295,10 +342,29 @@ func run(args []string) error {
 			DeadAfter:    *deadAfter,
 			OnPeerDead: func(dead int) {
 				if eng := engRef.Load(); eng != nil {
-					eng.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == dead },
-						fmt.Sprintf("node %d declared dead", dead))
+					eng.DenyOwned(func(pid ids.PID) bool {
+						// A transplanted process was adopted, not lost: its
+						// reborn incarnation re-adjudicates what it minted.
+						return wire.NodeOf(pid) == dead && !(*transplant && eng.Transplanted(pid))
+					}, fmt.Sprintf("node %d declared dead", dead))
 				}
 			},
+		}
+		if *route {
+			// Frames stranded toward a dead peer come back here instead of
+			// being dropped: adjudications re-park on the routing retry
+			// queue and reach the ring successor; with --transplant,
+			// everything else (user Data toward the corpse's processes)
+			// parks until an adopter's announcement makes it forwardable.
+			wcfg.Health.OnDeadFrame = func(_ int, m *msg.Message) {
+				eng := engRef.Load()
+				if eng == nil {
+					return
+				}
+				if !eng.RequeueRouted(m) && *transplant {
+					eng.RequeueTransplant(m)
+				}
+			}
 		}
 	}
 	if clustered {
@@ -328,6 +394,26 @@ func run(args []string) error {
 							fmt.Fprintf(os.Stderr, "hoped: node %d transfer from %d: %v\n", *node, from, err)
 						}
 					}
+				},
+			}
+		}
+		if *transplant {
+			// Adoption announcements ride the out-of-band transplant frame:
+			// installing a peer's old→new map lets this node forward frames
+			// still addressed to the dead incarnations. First mapping wins,
+			// so replayed announcements are harmless.
+			wcfg.Transplant = wire.TransplantConfig{
+				OnPayload: func(from int, payload []byte) {
+					eng := engRef.Load()
+					if eng == nil {
+						return
+					}
+					pairs, err := core.DecodeTransplantAnnouncement(payload)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "hoped: node %d transplant announcement from %d: %v\n", *node, from, err)
+						return
+					}
+					eng.InstallTransplantMap(pairs)
 				},
 			}
 		}
@@ -435,6 +521,31 @@ func run(args []string) error {
 	engRef.Store(eng)
 	defer eng.Shutdown()
 
+	// announceTransplants broadcasts freshly installed old→new pairs to
+	// every peer this node can name — the cluster's live members plus the
+	// static peers (external clients ride --peer and need the map too, or
+	// their frames to the dead incarnations park forever). First mapping
+	// wins at every receiver, so duplicate announcements are harmless.
+	announceTransplants := func(pairs []core.TransplantPair) {
+		if len(pairs) == 0 {
+			return
+		}
+		payload := core.EncodeTransplantAnnouncement(pairs)
+		targets := make(map[int]bool, len(peers))
+		for id := range peers {
+			targets[id] = true
+		}
+		if m := mgrRef.Load(); m != nil {
+			for _, id := range m.View().Live() {
+				targets[id] = true
+			}
+		}
+		delete(targets, *node)
+		for id := range targets {
+			n.Transplant(id, payload)
+		}
+	}
+
 	rootPID := uint64(0)
 	switch *serve {
 	case "printserver":
@@ -453,6 +564,29 @@ func run(args []string) error {
 	// frames died with the crash, then re-inject delivered-but-unconsumed
 	// inbound messages in arrival order.
 	if store != nil {
+		if *transplant && len(recov.Transplants) > 0 {
+			// Re-adopt our own recorded transplants: the hand-off records
+			// and forced exports made each adoption durable, so a crashed
+			// adopter rebirths them again (from= names ourselves, like a
+			// restart shard re-adoption) and re-announces the mapping.
+			reborn := make([]ids.PID, 0, len(recov.Transplants))
+			for pid := range recov.Transplants {
+				reborn = append(reborn, pid)
+			}
+			sort.Slice(reborn, func(i, j int) bool { return reborn[i] < reborn[j] })
+			var pairs []core.TransplantPair
+			for _, pid := range reborn {
+				if _, terr := eng.Transplant(pid, rpc.PrintServer(), nil); terr != nil {
+					fmt.Fprintf(os.Stderr, "hoped: node %d transplant respawn %v: %v\n", *node, pid, terr)
+					continue
+				}
+				pairs = append(pairs, core.TransplantPair{Old: recov.Transplants[pid].OldPID, New: pid})
+			}
+			eng.InstallTransplantMap(pairs)
+			announceTransplants(pairs)
+			fmt.Printf("HOPED TRANSPLANTED node=%d from=%d procs=%d map=%s\n",
+				*node, *node, len(pairs), formatTransplantMap(pairs))
+		}
 		if !recovEmpty {
 			for _, m := range recov.Resend {
 				n.Send(m)
@@ -501,7 +635,7 @@ func run(args []string) error {
 					}
 				}
 			},
-			OnDeaths: func(dead []int, v cluster.View, _ *cluster.Ring) {
+			OnDeaths: func(dead []int, v cluster.View, ring *cluster.Ring) {
 				for _, id := range dead {
 					n.DeclarePeerDead(id)
 					e := engRef.Load()
@@ -509,6 +643,35 @@ func run(args []string) error {
 						continue
 					}
 					dir := filepath.Join(*dataRoot, fmt.Sprintf("node%d", id))
+					if _, serr := os.Stat(dir); *transplant && serr == nil {
+						// Rebirth our ring slice of the corpse's user
+						// processes before denying anything it owned: an
+						// adopted process re-adjudicates its own assumptions
+						// (definite prefix re-fired, speculative suffix
+						// rolled back), so denial must skip what the
+						// transplant saved. The announcement is printed even
+						// for an empty slice — it proves the path ran.
+						ex, rerr := durable.ReadProcesses(dir, id)
+						if rerr != nil {
+							fmt.Fprintf(os.Stderr, "hoped: node %d transplant from dead node %d: %v\n", *node, id, rerr)
+						} else {
+							own := func(pid ids.PID) bool { return ring.Owns(*node, uint64(pid)) }
+							pairs, aerr := e.AdoptProcesses(id, ex.Procs, own, rpc.PrintServer())
+							if aerr != nil {
+								fmt.Fprintf(os.Stderr, "hoped: node %d transplant from dead node %d: %v\n", *node, id, aerr)
+							}
+							fmt.Printf("HOPED TRANSPLANTED node=%d from=%d procs=%d map=%s\n",
+								*node, id, len(pairs), formatTransplantMap(pairs))
+							if len(pairs) > 0 {
+								announceTransplants(pairs)
+								// The corpse's swallowed output and the inbox
+								// backlog of the processes we adopted get a
+								// second life too; receivers absorb duplicates
+								// exactly as they absorb rollback re-sends.
+								e.ReinjectCorpseTraffic(append(ex.Resend, ex.Unacked...), ex.Orphans)
+							}
+						}
+					}
 					if _, serr := os.Stat(dir); *migrate && serr == nil {
 						// Adopt before denying: the dead owner's WAL carries
 						// its checkpointed AID table, and the machines our
@@ -541,8 +704,9 @@ func run(args []string) error {
 							}
 						}
 					}
-					e.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == id },
-						fmt.Sprintf("node %d dead in view e%d", id, v.Epoch))
+					e.DenyOwned(func(pid ids.PID) bool {
+						return wire.NodeOf(pid) == id && !(*transplant && e.Transplanted(pid))
+					}, fmt.Sprintf("node %d dead in view e%d", id, v.Epoch))
 				}
 			},
 			OnEvicted: func(v cluster.View) {

@@ -45,7 +45,7 @@ func main() {
 	}
 }
 
-const maxTag = 20
+const maxTag = 23
 
 func run(dir string, node int, verbose bool) error {
 	names := map[byte]string{
@@ -54,6 +54,7 @@ func run(dir string, node int, verbose bool) error {
 		9: "rollback", 10: "dead-aid", 11: "compact", 12: "poison",
 		13: "auto-deny", 14: "view-epoch", 15: "ckpt-begin", 16: "ckpt-end",
 		17: "ckpt-abort", 18: "ckpt-seq", 19: "ckpt-proc", 20: "watermark",
+		21: "aid-export", 22: "proc-index", 23: "transplant",
 	}
 	counts := map[byte]uint64{}
 	var total, corrupt uint64
@@ -69,8 +70,11 @@ func run(dir string, node int, verbose bool) error {
 			counts[tag]++
 			if verbose {
 				detail := ""
-				if tag == 20 {
+				switch tag {
+				case 20:
 					detail = "  " + watermarkDetail(payload[1:])
+				case 23:
+					detail = "  " + transplantDetail(payload[1:])
 				}
 				fmt.Printf("%8d  %-14s %4dB%s\n", lsn, names[tag], len(payload), detail)
 			}
@@ -118,7 +122,30 @@ func run(dir string, node int, verbose bool) error {
 		fmt.Printf("  proc %v: intervals=%d entries=%d dead=%d base=%v nextseq=%d maxepoch=%d terminated=%v\n",
 			pid, len(r.Intervals), len(r.Entries), len(r.Dead), r.HasBase, r.NextSeq, r.MaxEpoch, r.Terminated)
 	}
+	for pid, origin := range rec.Transplants {
+		fmt.Printf("  transplant %v: reborn from %v (node %d's corpse)\n", pid, origin.OldPID, origin.From)
+	}
 	return nil
+}
+
+// transplantDetail decodes a recTransplant payload (corpse node, then
+// the old and reborn PIDs) into "from=N old new".
+func transplantDetail(b []byte) string {
+	from, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "(malformed)"
+	}
+	b = b[n:]
+	oldPID, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "(malformed)"
+	}
+	b = b[n:]
+	newPID, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "(malformed)"
+	}
+	return fmt.Sprintf("from=%d old=pid:%d new=pid:%d", from, oldPID, newPID)
 }
 
 // watermarkDetail decodes a recWatermark payload (view epoch, then

@@ -121,6 +121,29 @@ func (r *Ring) Owner(key uint64) (node int, ok bool) {
 	return int(r.owner[i]), true
 }
 
+// Owns reports whether the ring assigns key to self. The process-
+// transplant layer uses it with PID keys: when a member dies, each
+// survivor adopts exactly the corpse processes whose PIDs the agreed
+// ring hands to it, so one corpse's process set partitions across the
+// survivors with no overlap and no coordination beyond the view.
+func (r *Ring) Owns(self int, key uint64) bool {
+	owner, ok := r.Owner(key)
+	return ok && owner == self
+}
+
+// OwnedSlice filters keys down to the subset the ring assigns to self,
+// preserving input order — a survivor's slice of a dead node's
+// processes (or AIDs). An empty ring owns nothing.
+func (r *Ring) OwnedSlice(self int, keys []uint64) []uint64 {
+	var out []uint64
+	for _, k := range keys {
+		if r.Owns(self, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // Live returns the sorted member set the ring was built from.
 func (r *Ring) Live() []int { return append([]int(nil), r.live...) }
 

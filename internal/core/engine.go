@@ -19,6 +19,7 @@ import (
 	"github.com/hope-dist/hope/internal/aid"
 	"github.com/hope-dist/hope/internal/ids"
 	"github.com/hope-dist/hope/internal/interval"
+	"github.com/hope-dist/hope/internal/msg"
 	"github.com/hope-dist/hope/internal/trace"
 	"github.com/hope-dist/hope/internal/transport"
 	"github.com/hope-dist/hope/internal/vpm"
@@ -67,6 +68,15 @@ type Engine struct {
 	// router, when non-nil, routes AID adjudication to ring owners and
 	// hosts this node's shard of assumption machines (see route.go).
 	router *router
+
+	// Transplant state (see transplant.go): the old→new incarnation map
+	// consulted by the outbound translation chokepoint, frames parked
+	// until an adopter announces, and the fast-path gate that keeps the
+	// chokepoint to one atomic load while no mapping exists.
+	xlateOn     atomic.Bool
+	xmu         sync.RWMutex
+	transplants map[ids.PID]ids.PID
+	xparked     []*msg.Message
 
 	mu      sync.Mutex
 	procs   map[ids.PID]*Process
@@ -143,7 +153,6 @@ func NewEngine(cfg Config) *Engine {
 		net = transport.NewLocal()
 	}
 	e := &Engine{
-		machine: vpm.New(net),
 		alg:     alg,
 		persist: cfg.Persist,
 		restore: cfg.Restore,
@@ -151,6 +160,9 @@ func NewEngine(cfg Config) *Engine {
 		aids:    make(map[ids.AID]*vpm.Proc),
 		archive: make(map[ids.AID]bool),
 	}
+	// Every outbound message passes the transplant-translation chokepoint
+	// (one atomic load until a mapping is installed; see transplant.go).
+	e.machine = vpm.New(&xlateTransport{Transport: net, eng: e})
 	if cfg.PIDBase != 0 {
 		e.machine.SkipPIDs(cfg.PIDBase)
 	}

@@ -58,6 +58,27 @@ type Persister interface {
 	MessageConsumed(m *msg.Message)
 }
 
+// ProcExporter is an optional Persister extension: a per-process export
+// index. The engine periodically (and at transplant time, forcibly)
+// writes a self-contained snapshot of one process's replay state, so a
+// foreign reader extracting that process from this node's WAL
+// (durable.ReadProcesses) folds the newest index record plus the tail
+// instead of the process's whole history. An error means the snapshot
+// did not reach the log; the engine treats a forced (transplant-time)
+// failure as fatal for the hand-off and a cadence failure as skippable.
+type ProcExporter interface {
+	ProcExport(pid ids.PID, snap *Restored) error
+}
+
+// TransplantRecorder is an optional Persister extension recording that
+// this node adopted oldPid off dead node from, reincarnating it as
+// newPid. Written before the reborn process spawns, so a crash
+// mid-transplant recovers the adoption (durable.Recovered.Transplants)
+// instead of losing the process a second time.
+type TransplantRecorder interface {
+	TransplantRecorded(from int, oldPid, newPid ids.PID) error
+}
+
 // Restored is the recovered pre-crash state of one user process, injected
 // through Config.Restore and consumed by the first spawn that draws the
 // matching PID. Spawn order (and therefore PID assignment) must be
@@ -84,6 +105,13 @@ type Restored struct {
 	// Terminated marks a process whose speculative root was rolled back
 	// before the crash; it is restored directly into the dead state.
 	Terminated bool
+	// Transplant marks state extracted from a DEAD FOREIGN node's WAL
+	// (set only by Engine.AdoptProcesses, never by the local-recovery
+	// fold). An ordinary restart trusts its speculative intervals and
+	// re-fires their registrations; a transplant cannot — the corpse may
+	// have executed past the replay frontier without logging, so
+	// restoreLocked rolls the speculative suffix back and re-runs it.
+	Transplant bool
 }
 
 // RestoredInterval is one interval record in flat (set-free) form.
@@ -118,6 +146,7 @@ func (p *Process) appendJournalLocked(e *journal.Entry) {
 	p.jnl.Append(e)
 	if per := p.eng.persist; per != nil {
 		per.JournalAppend(p.proc.PID(), e)
+		p.maybeExportLocked(per)
 	}
 }
 

@@ -84,6 +84,7 @@ type RoutingStats struct {
 	Conflicts  uint64 // late conflicting messages dropped at a final state
 	Moved      uint64 // hosted AIDs shipped to a new owner
 	Adopted    uint64 // AIDs absorbed from a transfer or a WAL
+	Batched    uint64 // retried adjudications that rode a coalesced Batch frame
 }
 
 // appliedKey identifies one adjudication for exactly-once application.
@@ -127,7 +128,7 @@ type router struct {
 	grantEpoch map[ids.AID]uint64 // view epoch at first routed Guess (lease grant)
 
 	stats struct {
-		applied, nacked, retries, duplicates, conflicts, moved, adopted uint64
+		applied, nacked, retries, duplicates, conflicts, moved, adopted, batched uint64
 	}
 
 	stop chan struct{}
@@ -184,6 +185,36 @@ func (rt *router) run(p *vpm.Proc) {
 		case msg.KindGuess, msg.KindAffirm, msg.KindDeny, msg.KindRetract,
 			msg.KindCutProbe, msg.KindProbe:
 			rt.handleRouted(p, m)
+		case msg.KindBatch:
+			// A peer's flushRetries coalesced several adjudications bound
+			// for this owner into one frame. Unpack and adjudicate each:
+			// an inner message we turn out not to own is NACKed
+			// individually, so a batch straddling a view change costs only
+			// the stale members a retry.
+			inner, ok := m.Payload.([]*msg.Message)
+			if !ok {
+				rt.eng.tracer.Emit(trace.Event{
+					Kind: trace.Violation, PID: p.PID(),
+					Detail: fmt.Sprintf("router received Batch with %T payload", m.Payload),
+				})
+				rt.consumed(m)
+				continue
+			}
+			for _, im := range inner {
+				if im == nil {
+					continue
+				}
+				switch im.Kind {
+				case msg.KindGuess, msg.KindAffirm, msg.KindDeny, msg.KindRetract,
+					msg.KindCutProbe, msg.KindProbe:
+					rt.handleRouted(p, im)
+				default:
+					rt.eng.tracer.Emit(trace.Event{
+						Kind: trace.Violation, PID: p.PID(),
+						Detail: "router received batched " + im.Kind.String(),
+					})
+				}
+			}
 		default:
 			rt.eng.tracer.Emit(trace.Event{
 				Kind: trace.Violation, PID: p.PID(),
@@ -326,25 +357,55 @@ func (rt *router) retryLoop() {
 }
 
 // flushRetries re-routes every parked message whose owner is now known.
+// Messages sharing a destination owner are coalesced into one Batch
+// frame per flush — a NACK storm after a view change then costs one
+// frame per (owner, flush) instead of one per message — preserving
+// per-destination order; a singleton goes out plain. Messages whose
+// owner is still unknown are re-parked ahead of anything parked
+// meanwhile, so repeated re-parks never reorder them.
 func (rt *router) flushRetries() {
 	rt.mu.Lock()
 	pending := rt.retry
 	rt.retry = nil
 	rt.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	groups := make(map[int][]*msg.Message)
+	var owners []int // insertion order: deterministic frame emission
+	var unknown []*msg.Message
 	for _, m := range pending {
 		owner, epoch, ok := rt.cfg.Owner(m.AID)
 		if !ok {
-			rt.mu.Lock()
-			rt.retry = append(rt.retry, m)
-			rt.mu.Unlock()
+			unknown = append(unknown, m)
 			continue
 		}
 		m.Epoch = epoch
 		m.To = rt.cfg.RouterPID(owner)
+		if len(groups[owner]) == 0 {
+			owners = append(owners, owner)
+		}
+		groups[owner] = append(groups[owner], m)
+	}
+	if len(unknown) > 0 {
 		rt.mu.Lock()
-		rt.stats.retries++
+		rt.retry = append(unknown, rt.retry...)
 		rt.mu.Unlock()
-		rt.eng.machine.Net().Send(m)
+	}
+	self := rt.cfg.RouterPID(rt.cfg.Self)
+	for _, owner := range owners {
+		grp := groups[owner]
+		rt.mu.Lock()
+		rt.stats.retries += uint64(len(grp))
+		if len(grp) > 1 {
+			rt.stats.batched += uint64(len(grp))
+		}
+		rt.mu.Unlock()
+		if len(grp) == 1 {
+			rt.eng.machine.Net().Send(grp[0])
+			continue
+		}
+		rt.eng.machine.Net().Send(msg.Batch(self, grp[0].To, grp[0].Epoch, grp))
 	}
 }
 
@@ -585,6 +646,7 @@ func (e *Engine) RoutingStats() RoutingStats {
 		Conflicts:  rt.stats.conflicts,
 		Moved:      rt.stats.moved,
 		Adopted:    rt.stats.adopted,
+		Batched:    rt.stats.batched,
 	}
 }
 

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/hope-dist/hope/internal/ids"
+	"github.com/hope-dist/hope/internal/journal"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/trace"
+	"github.com/hope-dist/hope/internal/transport"
+)
+
+// Process transplant (DESIGN.md §13): when a member dies for good, each
+// survivor adopts its ring slice of the corpse's user processes by
+// extracting their replay state from the dead node's WAL
+// (durable.ReadProcesses), deterministically replaying it into a fresh
+// process under the survivor's PID namespace, and resuming from the
+// replay frontier.
+//
+// The adopted state is deliberately NOT rewritten: the reborn process
+// keeps its old interval IDs (Proc = corpse PID) and its journal keeps
+// old From/To/Child PIDs verbatim, so inbound control messages and
+// ring-owner machine state — both of which reference the old identity —
+// match without a translation table threaded through the engine.
+// Translation happens only at the messaging layer: an outbound
+// chokepoint rewrites the destination of anything addressed to a mapped
+// corpse PID, and the wire layer hands frames bound for a dead node back
+// to the engine (RequeueTransplant) to be forwarded or parked until the
+// adopter's announcement arrives. Intervals opened after the transplant
+// use the reborn PID, so the two incarnations' IDs can never collide.
+//
+// At-most-one-incarnation fence: the process ring assigns each corpse
+// PID to exactly one survivor per agreed view, and InstallTransplantMap
+// is first-mapping-wins — a second adoption of the same PID (a view
+// disagreement, a replayed announcement) is refused before it spawns, so
+// no two incarnations of one client process can both externalize.
+
+// exportEvery is the per-process export-index cadence, in journal
+// appends. Each export (durable recProcIndex) replaces the process's
+// folded history in one record, so a foreign reader extracting the
+// process pays for the tail since the last export, not the whole life.
+const exportEvery = 64
+
+// TransplantPair maps a dead incarnation to its reborn one.
+type TransplantPair struct {
+	Old ids.PID // PID on the dead node
+	New ids.PID // adopted incarnation in the survivor's namespace
+}
+
+// xlateTransport is the outbound PID-translation chokepoint: every send
+// from the machine (user processes, the router, liveness denials,
+// reinjected corpse traffic) passes through it, and anything addressed
+// to a mapped corpse PID is rewritten to the adopted incarnation. The
+// gate is a single atomic load until the first mapping is installed.
+type xlateTransport struct {
+	transport.Transport
+	eng *Engine
+}
+
+// Send implements transport.Transport.
+func (t *xlateTransport) Send(m *msg.Message) {
+	if t.eng.xlateOn.Load() {
+		if to, ok := t.eng.lookupTransplant(m.To); ok {
+			m.To = to
+		}
+	}
+	t.Transport.Send(m)
+}
+
+// lookupTransplant resolves pid through the transplant map, chasing
+// chains (the adopter itself died and its adoption was re-adopted).
+func (e *Engine) lookupTransplant(pid ids.PID) (ids.PID, bool) {
+	e.xmu.RLock()
+	defer e.xmu.RUnlock()
+	to, ok := e.transplants[pid]
+	if !ok {
+		return ids.NilPID, false
+	}
+	for range e.transplants { // bounded by map size; guards a mapping cycle
+		next, more := e.transplants[to]
+		if !more {
+			break
+		}
+		to = next
+	}
+	return to, true
+}
+
+// maxTransplantParked bounds the frames parked while waiting for an
+// adopter's announcement; beyond it the oldest parked frame is dropped
+// (counted as a trace event) — the same fail-fast posture as the
+// transport's own queue limits.
+const maxTransplantParked = 1 << 14
+
+// InstallTransplantMap records old→new incarnation mappings, learned
+// either from a local adoption or from a peer's announcement frame.
+// First mapping wins: a pair whose Old is already mapped is ignored,
+// which (with disjoint ring slices under agreed views) fences duplicate
+// deliveries of an announcement and conflicting adoptions — at most one
+// transplant of a process ever takes effect here. Frames parked for a
+// now-mapped corpse PID are forwarded. Returns how many pairs were newly
+// installed.
+func (e *Engine) InstallTransplantMap(pairs []TransplantPair) int {
+	e.xmu.Lock()
+	if e.transplants == nil {
+		e.transplants = make(map[ids.PID]ids.PID, len(pairs))
+	}
+	installed := 0
+	for _, pr := range pairs {
+		if pr.Old == pr.New || pr.Old == ids.NilPID || pr.New == ids.NilPID {
+			continue
+		}
+		if _, dup := e.transplants[pr.Old]; dup {
+			continue
+		}
+		e.transplants[pr.Old] = pr.New
+		installed++
+	}
+	var flush []*msg.Message
+	if installed > 0 {
+		keep := e.xparked[:0]
+		for _, m := range e.xparked {
+			if _, ok := e.transplants[m.To]; ok {
+				flush = append(flush, m)
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		for i := len(keep); i < len(e.xparked); i++ {
+			e.xparked[i] = nil
+		}
+		e.xparked = keep
+	}
+	e.xmu.Unlock()
+	if installed > 0 {
+		e.xlateOn.Store(true)
+	}
+	for _, m := range flush {
+		e.machine.Net().Send(m) // the chokepoint rewrites m.To
+	}
+	return installed
+}
+
+// TransplantMap snapshots the installed mappings, sorted by Old — the
+// payload for (re-)announcements to peers.
+func (e *Engine) TransplantMap() []TransplantPair {
+	e.xmu.RLock()
+	out := make([]TransplantPair, 0, len(e.transplants))
+	for old, reborn := range e.transplants {
+		out = append(out, TransplantPair{Old: old, New: reborn})
+	}
+	e.xmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Old < out[j].Old })
+	return out
+}
+
+// RequeueTransplant accepts a frame the wire layer could not deliver
+// because its destination node is dead. If a mapping for the dead
+// incarnation is installed the frame is forwarded now (the chokepoint
+// rewrites the destination); otherwise it is parked and flushed by the
+// InstallTransplantMap call that makes it routable.
+func (e *Engine) RequeueTransplant(m *msg.Message) {
+	e.xmu.Lock()
+	if _, ok := e.transplants[m.To]; !ok {
+		if len(e.xparked) >= maxTransplantParked {
+			drop := e.xparked[0]
+			e.xparked = append(e.xparked[:0], e.xparked[1:]...)
+			e.tracer.Emit(trace.Event{Kind: trace.Transport,
+				Detail: fmt.Sprintf("transplant: parked-frame cap, dropping %s to %s", drop.Kind, drop.To)})
+		}
+		e.xparked = append(e.xparked, m)
+		e.xmu.Unlock()
+		return
+	}
+	e.xmu.Unlock()
+	e.machine.Net().Send(m)
+}
+
+// Transplanted reports whether pid is a dead incarnation with an
+// installed mapping — used by death handlers to skip auto-denying
+// assumptions whose minting process was adopted rather than lost.
+func (e *Engine) Transplanted(pid ids.PID) bool {
+	_, ok := e.lookupTransplant(pid)
+	return ok
+}
+
+// TransplantParked reports how many dead-node frames are parked awaiting
+// an adopter's announcement.
+func (e *Engine) TransplantParked() int {
+	e.xmu.RLock()
+	defer e.xmu.RUnlock()
+	return len(e.xparked)
+}
+
+// AdoptProcesses transplants this node's ring slice of a dead node's
+// user processes. procs is the corpse extraction (durable.ReadProcesses
+// reshaped to core's Restored); own selects the slice (nil adopts all);
+// body is the deterministic body to replay — the same function the
+// corpse ran, by the determinism contract. For each adopted process the
+// hand-off is made durable first (recTransplant plus a forced export of
+// the full snapshot under the reborn PID), so a crash mid-transplant
+// recovers the adoption instead of losing the process twice.
+//
+// Returns the installed pairs; the caller announces them to peers
+// (EncodeTransplantAnnouncement → wire transplant frames) so everyone
+// can forward traffic addressed to the dead incarnations.
+func (e *Engine) AdoptProcesses(from int, procs map[ids.PID]*Restored, own func(ids.PID) bool, body Body) ([]TransplantPair, error) {
+	olds := make([]ids.PID, 0, len(procs))
+	for pid := range procs {
+		olds = append(olds, pid)
+	}
+	sort.Slice(olds, func(i, j int) bool { return olds[i] < olds[j] })
+
+	var pairs []TransplantPair
+	for _, old := range olds {
+		r := procs[old]
+		if r == nil || r.Terminated || len(r.Intervals) == 0 {
+			continue
+		}
+		if own != nil && !own(old) {
+			continue
+		}
+		if _, dup := e.lookupTransplant(old); dup {
+			// The fence: someone (possibly us, recovering) already adopted
+			// this process; a second incarnation must not spawn.
+			continue
+		}
+		newPid := e.machine.AllocPID()
+		r.Transplant = true
+		if tr, ok := e.persist.(TransplantRecorder); ok {
+			if err := tr.TransplantRecorded(from, old, newPid); err != nil {
+				return pairs, fmt.Errorf("core: record transplant of %s: %w", old, err)
+			}
+		}
+		if px, ok := e.persist.(ProcExporter); ok {
+			if err := px.ProcExport(newPid, r); err != nil {
+				return pairs, fmt.Errorf("core: export transplant of %s: %w", old, err)
+			}
+		}
+		// Epochs issued here must clear everything the corpse ever issued
+		// for this process, so stale corpse-era control messages stay
+		// distinguishable from the reborn incarnation's intervals.
+		maxE := r.MaxEpoch
+		for _, ri := range r.Intervals {
+			if ri.ID.Epoch > maxE {
+				maxE = ri.ID.Epoch
+			}
+		}
+		e.epochs.Skip(maxE)
+		e.InstallTransplantMap([]TransplantPair{{Old: old, New: newPid}})
+		if _, err := e.Transplant(newPid, body, r); err != nil {
+			return pairs, fmt.Errorf("core: respawn transplant %s as %s: %w", old, newPid, err)
+		}
+		pairs = append(pairs, TransplantPair{Old: old, New: newPid})
+		e.tracer.Emit(trace.Event{Kind: trace.Restart, PID: newPid,
+			Detail: fmt.Sprintf("transplanted %s off dead node %d", old, from)})
+	}
+	return pairs, nil
+}
+
+// Transplant spawns body at a caller-chosen PID. With r non-nil (a fresh
+// adoption) the process restores from r; with r nil the PID must already
+// be mapped in the engine's Config.Restore — the path a restarted
+// adopter takes when respawning transplants recorded in its own WAL
+// (durable.Recovered.Transplants).
+func (e *Engine) Transplant(pid ids.PID, body Body, r *Restored) (*Process, error) {
+	e.mu.Lock()
+	if e.closing {
+		e.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if r != nil {
+		if e.restore == nil {
+			e.restore = make(map[ids.PID]*Restored)
+		}
+		e.restore[pid] = r
+	}
+	e.mu.Unlock()
+
+	p := newProcess(e, body, nil)
+	proc, err := e.machine.SpawnAt(pid, p.dispatch)
+	if err != nil {
+		return nil, fmt.Errorf("spawn transplant: %w", err)
+	}
+	p.bind(proc)
+
+	e.mu.Lock()
+	e.procs[p.PID()] = p
+	e.mu.Unlock()
+
+	e.runners.Add(1)
+	go func() {
+		defer e.runners.Done()
+		p.run()
+	}()
+	return p, nil
+}
+
+// ReinjectCorpseTraffic re-sends traffic extracted from the corpse's
+// WAL: out is its swallowed output (the pending resend plus outbound
+// frames never acknowledged — re-sent at-least-once; receivers absorb
+// the duplicates exactly as they absorb rollback-re-executed sends), and
+// orphans are delivered-but-unconsumed inbox frames addressed to corpse
+// processes, re-injected only for processes this node adopted. WAL
+// identities are cleared first so the adopter's durable layer never
+// retires a foreign (node, seq) pair that collides with its own inbox
+// accounting. Returns how many messages were re-sent.
+func (e *Engine) ReinjectCorpseTraffic(out, orphans []*msg.Message) int {
+	n := 0
+	for _, m := range out {
+		if m == nil {
+			continue
+		}
+		m.SrcNode, m.SrcSeq = 0, 0
+		e.machine.Net().Send(m)
+		n++
+	}
+	for _, m := range orphans {
+		if m == nil {
+			continue
+		}
+		if _, ok := e.lookupTransplant(m.To); !ok {
+			continue
+		}
+		m.SrcNode, m.SrcSeq = 0, 0
+		e.machine.Net().Send(m)
+		n++
+	}
+	return n
+}
+
+// EncodeTransplantAnnouncement renders pairs for the wire's transplant
+// side-channel: a count uvarint, then (old, new) uvarint pairs.
+func EncodeTransplantAnnouncement(pairs []TransplantPair) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(pairs)))
+	for _, p := range pairs {
+		b = binary.AppendUvarint(b, uint64(p.Old))
+		b = binary.AppendUvarint(b, uint64(p.New))
+	}
+	return b
+}
+
+// DecodeTransplantAnnouncement parses an announcement payload.
+func DecodeTransplantAnnouncement(b []byte) ([]TransplantPair, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("core: transplant announcement: bad count")
+	}
+	b = b[n:]
+	if count > uint64(len(b)) { // every pair needs ≥2 bytes
+		return nil, fmt.Errorf("core: transplant announcement: count %d exceeds payload", count)
+	}
+	pairs := make([]TransplantPair, 0, count)
+	for i := uint64(0); i < count; i++ {
+		old, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("core: transplant announcement: bad old pid")
+		}
+		b = b[n:]
+		reborn, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("core: transplant announcement: bad new pid")
+		}
+		b = b[n:]
+		pairs = append(pairs, TransplantPair{Old: ids.PID(old), New: ids.PID(reborn)})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: transplant announcement: %d trailing bytes", len(b))
+	}
+	return pairs, nil
+}
+
+// maybeExportLocked writes a per-process export-index record every
+// exportEvery journal appends. A cadence export is an optimization (the
+// WAL tail still folds correctly without it), so a failure is traced and
+// skipped rather than poisoning the process.
+func (p *Process) maybeExportLocked(per Persister) {
+	px, ok := per.(ProcExporter)
+	if !ok {
+		return
+	}
+	p.sinceExport++
+	if p.sinceExport < exportEvery {
+		return
+	}
+	p.sinceExport = 0
+	if err := px.ProcExport(p.proc.PID(), p.restoredSnapshotLocked()); err != nil {
+		p.eng.tracer.Emit(trace.Event{Kind: trace.Transport, PID: p.proc.PID(),
+			Detail: fmt.Sprintf("proc export skipped: %v", err)})
+	}
+}
+
+// restoredSnapshotLocked flattens the process's live replay state into
+// the Restored shape the export-index record carries. Caller holds p.mu.
+// MaxEpoch understates epochs of intervals already rolled back, which is
+// safe: the durable fold merges maxima from the records the export
+// replaces, and the adoption path re-maximizes over what it reads.
+func (p *Process) restoredSnapshotLocked() *Restored {
+	r := &Restored{
+		NextSeq:    p.seq,
+		Base:       p.base,
+		HasBase:    p.hasBase,
+		Terminated: p.term,
+	}
+	for _, rec := range p.history.Slice() {
+		if rec.ID.Epoch > r.MaxEpoch {
+			r.MaxEpoch = rec.ID.Epoch
+		}
+		r.Intervals = append(r.Intervals, RestoredInterval{
+			ID:           rec.ID,
+			Kind:         rec.Kind,
+			JournalIndex: rec.JournalIndex,
+			GuessAID:     rec.GuessAID,
+			Definite:     rec.Definite,
+			IDO:          rec.IDO.Slice(),
+			UDO:          rec.UDO.Slice(),
+			Cut:          rec.Cut.Slice(),
+			IHA:          rec.IHA.Slice(),
+			IHD:          rec.IHD.Slice(),
+		})
+	}
+	r.Entries = make([]*journal.Entry, p.jnl.Len())
+	for i := range r.Entries {
+		r.Entries[i] = p.jnl.At(i)
+	}
+	r.Dead = p.dead.Slice()
+	return r
+}

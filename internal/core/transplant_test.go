@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hope-dist/hope/internal/core"
+	"github.com/hope-dist/hope/internal/durable"
+	"github.com/hope-dist/hope/internal/msg"
+	"github.com/hope-dist/hope/internal/netsim"
+	"github.com/hope-dist/hope/internal/transport"
+	"github.com/hope-dist/hope/internal/wal"
+)
+
+// sharedNet suppresses Close: engine Shutdown closes its transport, and
+// the simulated net here is shared by three engines that die at
+// different times — the first death must not sever the survivors.
+type sharedNet struct {
+	transport.Transport
+}
+
+func (t *sharedNet) Close() {}
+
+// corpseNet stands in for the wire layer's dead-peer hand-back: once the
+// corpse is declared dead, frames addressed into its PID namespace are
+// handed to RequeueTransplant (parked until an adopter's announcement,
+// forwarded after) instead of being sent. The engine's translation
+// chokepoint runs before this wrapper, so frames for a mapped corpse PID
+// arrive here already rewritten to the adopter's namespace and pass
+// through. Close is a no-op: the underlying net is shared.
+type corpseNet struct {
+	transport.Transport
+	eng        atomic.Pointer[core.Engine]
+	corpse     int
+	corpseDead atomic.Bool
+}
+
+func (t *corpseNet) Send(m *msg.Message) {
+	if t.corpseDead.Load() && routeNode(m.To) == t.corpse {
+		if e := t.eng.Load(); e != nil {
+			e.RequeueTransplant(m)
+			return
+		}
+	}
+	t.Transport.Send(m)
+}
+
+func (t *corpseNet) Close() {}
+
+// TestTransplantAdoptReplayContinuation is the end-to-end transplant
+// path in one process: a durable server on node 1 accumulates state from
+// a client on node 3, node 1 dies, node 2 adopts the server from node
+// 1's WAL by deterministic replay, and the client's next request —
+// addressed to the dead incarnation, parked by the wire hand-back, and
+// flushed by the adopter's announcement — is answered with the replayed
+// state preserved. Along the way it pins the first-mapping-wins fence,
+// the announcement codec, and the durability of the hand-off on the
+// adopter's own WAL.
+func TestTransplantAdoptReplayContinuation(t *testing.T) {
+	net := netsim.New(netsim.Constant(100 * time.Microsecond))
+	defer net.Close()
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	storeA, recA, err := durable.Open(dirA, 1, wal.SyncAlways, nil)
+	if err != nil {
+		t.Fatalf("open corpse store: %v", err)
+	}
+	if !recA.Empty() {
+		t.Fatalf("fresh corpse dir not empty: %s", recA)
+	}
+	storeB, _, err := durable.Open(dirB, 2, wal.SyncAlways, nil)
+	if err != nil {
+		t.Fatalf("open adopter store: %v", err)
+	}
+
+	engA := core.NewEngine(core.Config{PIDBase: 1 << routePIDBits, Transport: &sharedNet{Transport: net}, Persist: storeA})
+	engB := core.NewEngine(core.Config{PIDBase: 2 << routePIDBits, Transport: &sharedNet{Transport: net}, Persist: storeB})
+	defer engB.Shutdown()
+	cnet := &corpseNet{Transport: net, corpse: 1}
+	engC := core.NewEngine(core.Config{PIDBase: 3 << routePIDBits, Transport: cnet})
+	defer engC.Shutdown()
+	cnet.eng.Store(engC)
+
+	// A stateful accumulator: the reply value proves whether the reborn
+	// incarnation recomputed from zero or replayed the journalled state.
+	serverBody := func(ctx *core.Ctx) error {
+		sum := 0
+		for {
+			v, from, err := ctx.Recv()
+			if err != nil {
+				return err
+			}
+			if n, ok := v.(int); ok {
+				sum += n
+				ctx.Send(from, sum)
+			}
+		}
+	}
+	srv, err := engA.SpawnRoot(serverBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverPID := srv.PID()
+
+	var mu sync.Mutex
+	var replies []int
+	reply := func(i int) (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(replies) {
+			return 0, false
+		}
+		return replies[i], true
+	}
+	step := make(chan struct{})
+	if _, err := engC.SpawnRoot(func(ctx *core.Ctx) error {
+		ctx.Send(serverPID, 5)
+		v, _, err := ctx.Recv()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		replies = append(replies, v.(int))
+		mu.Unlock()
+		<-step                 // the transplant happens here
+		ctx.Send(serverPID, 7) // still addressed to the dead incarnation
+		v, _, err = ctx.Recv()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		replies = append(replies, v.(int))
+		mu.Unlock()
+		_, _, err = ctx.Recv()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	routeWaitFor(t, "the first reply", func() bool {
+		v, ok := reply(0)
+		return ok && v == 5
+	})
+
+	// Node 1 dies. A clean shutdown of a parked body writes no terminate
+	// record, so the WAL is exactly what a kill-after-quiescence leaves;
+	// closing the store just makes the tail readable without fsync games.
+	engA.Shutdown()
+	if err := storeA.Close(); err != nil {
+		t.Fatalf("close corpse store: %v", err)
+	}
+	cnet.corpseDead.Store(true)
+
+	// The client's next request goes nowhere: parked on the sender.
+	close(step)
+	routeWaitFor(t, "the request to park against the dead node", func() bool {
+		return engC.TransplantParked() == 1
+	})
+
+	// Node 2 adopts the corpse's processes from its WAL.
+	ex, err := durable.ReadProcesses(dirA, 1)
+	if err != nil {
+		t.Fatalf("ReadProcesses: %v", err)
+	}
+	if ex.Procs[serverPID] == nil {
+		t.Fatalf("corpse extraction lost the server: %v", ex.Procs)
+	}
+	pairs, err := engB.AdoptProcesses(1, ex.Procs, nil, serverBody)
+	if err != nil {
+		t.Fatalf("AdoptProcesses: %v", err)
+	}
+	if len(pairs) != 1 || pairs[0].Old != serverPID {
+		t.Fatalf("adopted pairs = %v, want exactly the server %v", pairs, serverPID)
+	}
+	if routeNode(pairs[0].New) != 2 {
+		t.Fatalf("reborn PID %v is not in the adopter's namespace", pairs[0].New)
+	}
+	if !engB.Transplanted(serverPID) {
+		t.Error("adopter does not report the old incarnation transplanted")
+	}
+
+	// The at-most-one-incarnation fence: re-running the adoption (a
+	// replayed announcement, a second view agreement) must spawn nothing.
+	again, err := engB.AdoptProcesses(1, ex.Procs, nil, serverBody)
+	if err != nil {
+		t.Fatalf("second AdoptProcesses: %v", err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second adoption spawned %v — the fence is broken", again)
+	}
+
+	// The announcement reaches the client through the wire codec; the
+	// install flushes the parked request toward the reborn incarnation.
+	decoded, err := core.DecodeTransplantAnnouncement(core.EncodeTransplantAnnouncement(pairs))
+	if err != nil {
+		t.Fatalf("announcement codec: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, pairs) {
+		t.Fatalf("announcement round trip = %v, want %v", decoded, pairs)
+	}
+	if n := engC.InstallTransplantMap(decoded); n != 1 {
+		t.Fatalf("InstallTransplantMap installed %d, want 1", n)
+	}
+	if n := engC.InstallTransplantMap(decoded); n != 0 {
+		t.Fatalf("duplicate announcement installed %d pairs, want 0 (first mapping wins)", n)
+	}
+
+	// The continuation: 5 survived the death by replay, so 5+7=12. A
+	// recomputed-from-zero rebirth would answer 7.
+	routeWaitFor(t, "the continuation reply from the reborn server", func() bool {
+		v, ok := reply(1)
+		return ok && v == 12
+	})
+	if v, _ := reply(1); v != 12 {
+		t.Fatalf("continuation reply = %d, want 12 (replayed state lost)", v)
+	}
+	if n := engC.TransplantParked(); n != 0 {
+		t.Errorf("%d frames still parked after the flush", n)
+	}
+	if !engC.Transplanted(serverPID) {
+		t.Error("client does not report the old incarnation transplanted")
+	}
+	if got := engC.TransplantMap(); !reflect.DeepEqual(got, pairs) {
+		t.Errorf("client transplant map = %v, want %v", got, pairs)
+	}
+	if v := engB.Violations() + engC.Violations(); v != 0 {
+		t.Errorf("%d protocol violations across adopter and client", v)
+	}
+
+	// The hand-off is durable on the adopter: its own restart sees the
+	// mapping and a respawnable snapshot under the reborn PID.
+	engB.Shutdown()
+	if err := storeB.Close(); err != nil {
+		t.Fatalf("close adopter store: %v", err)
+	}
+	storeB2, recB, err := durable.Open(dirB, 2, wal.SyncAlways, nil)
+	if err != nil {
+		t.Fatalf("reopen adopter store: %v", err)
+	}
+	defer storeB2.Close()
+	origin, ok := recB.Transplants[pairs[0].New]
+	if !ok || origin.From != 1 || origin.OldPID != serverPID {
+		t.Fatalf("recovered transplant origin = %+v (ok=%v), want from node 1, old %v", origin, ok, serverPID)
+	}
+	r := recB.Restore[pairs[0].New]
+	if r == nil || len(r.Intervals) == 0 {
+		t.Fatalf("no respawnable snapshot recovered for the reborn PID: %v", r)
+	}
+}

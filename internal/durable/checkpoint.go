@@ -159,6 +159,22 @@ func encodeCheckpoint(rs *recoverState, ordinal uint64) (recs [][]byte, end []by
 		}
 	}
 
+	if len(rs.transplants) > 0 {
+		// Adoption hand-offs: the restart must keep respawning and
+		// re-announcing every incarnation this node has ever adopted.
+		reborn := make([]ids.PID, 0, len(rs.transplants))
+		for pid := range rs.transplants {
+			reborn = append(reborn, pid)
+		}
+		sort.Slice(reborn, func(i, j int) bool { return reborn[i] < reborn[j] })
+		for _, pid := range reborn {
+			o := rs.transplants[pid]
+			b := appendUv([]byte{recTransplant}, uint64(o.From))
+			b = appendUv(b, uint64(o.OldPID))
+			add(appendUv(b, uint64(pid)))
+		}
+	}
+
 	// Per-peer wire state: watermarks first (frame replay below can only
 	// raise lastSeq to the highest unacked frame, not past acked ones),
 	// then the unacked frames in order.

@@ -60,6 +60,19 @@ const (
 	recWatermark = 20 // viewEpoch, (node, epoch)* — agreed stability frontier advanced
 
 	recAIDExport = 21 // aid, len, blob — hosted AID machine snapshot (ownership routing); empty blob = shipped away (tombstone)
+
+	// Process transplant (DESIGN.md §13). recProcIndex is a full flattened
+	// snapshot of one user process — the per-process export index: a
+	// foreign reader (durable.ReadProcesses) folds the newest index record
+	// plus the tail after it instead of the process's whole history, and a
+	// transplant adopter force-writes one under the reborn PID so its own
+	// restart can rebuild the adopted process. recTransplant is the
+	// adopter's hand-off record: "newPid is the reborn incarnation of
+	// from's oldPid", written before the spawn so a crashed transplant is
+	// itself recoverable (the restart re-announces the mapping and
+	// respawns the incarnation from its recProcIndex).
+	recProcIndex  = 22 // pid, flags, maxSeq, maxEpoch, intervals, entries, dead, [base] — per-process export index
+	recTransplant = 23 // fromNode, oldPid, newPid — process adopted off a dead node
 )
 
 // recCkptSeq flag bits.
@@ -71,6 +84,12 @@ const (
 // recCkptProc flag bits.
 const (
 	ckptTerminated = 1 << iota // the process's root rolled back pre-checkpoint
+)
+
+// recProcIndex flag bits.
+const (
+	pixTerminated = 1 << iota // the process's root rolled back pre-snapshot
+	pixHasBase                // a compaction snapshot follows (gob, last field)
 )
 
 // anyEnv wraps interface values (journal notes, compaction snapshots) so
@@ -153,6 +172,47 @@ func appendAny(b []byte, v any) ([]byte, error) {
 		return b, fmt.Errorf("durable: encode snapshot %T: %w", v, err)
 	}
 	return append(b, nb.Bytes()...), nil
+}
+
+// appendProcIndex encodes one process's full flattened snapshot (the
+// recProcIndex body, after the tag byte). Entries are individually
+// length-prefixed — an entry's trailing note is gob-encoded "to the end
+// of the record", so each entry must be decoded inside its own
+// sub-buffer. The compaction base, when present, is the record's own
+// final gob field.
+func appendProcIndex(b []byte, pid ids.PID, r *core.Restored) ([]byte, error) {
+	b = appendUv(b, uint64(pid))
+	var flags byte
+	if r.Terminated {
+		flags |= pixTerminated
+	}
+	if r.HasBase {
+		flags |= pixHasBase
+	}
+	b = append(b, flags)
+	b = appendUv(b, uint64(r.NextSeq))
+	b = appendUv(b, uint64(r.MaxEpoch))
+	b = appendUv(b, uint64(len(r.Intervals)))
+	for _, ri := range r.Intervals {
+		b = appendInterval(b, ri)
+	}
+	b = appendUv(b, uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		eb, err := appendEntry(nil, e)
+		if err != nil {
+			return b, err
+		}
+		b = appendUv(b, uint64(len(eb)))
+		b = append(b, eb...)
+	}
+	b = appendAIDs(b, r.Dead)
+	if r.HasBase {
+		var err error
+		if b, err = appendAny(b, r.Base); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
 }
 
 // appendInterval encodes an interval record in flat form.
@@ -348,4 +408,77 @@ func (r *reader) interval() (core.RestoredInterval, error) {
 		return ri, err
 	}
 	return ri, nil
+}
+
+// procIndex decodes a recProcIndex body (appendProcIndex's inverse).
+func (r *reader) procIndex() (ids.PID, *core.Restored, error) {
+	pid, err := r.uv()
+	if err != nil {
+		return 0, nil, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return 0, nil, err
+	}
+	nextSeq, err := r.uv()
+	if err != nil {
+		return 0, nil, err
+	}
+	maxEpoch, err := r.uv()
+	if err != nil {
+		return 0, nil, err
+	}
+	snap := &core.Restored{
+		NextSeq:    uint32(nextSeq),
+		MaxEpoch:   uint32(maxEpoch),
+		Terminated: flags&pixTerminated != 0,
+	}
+	nInt, err := r.uv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if nInt > uint64(len(r.buf)) {
+		return 0, nil, fmt.Errorf("durable: interval set of %d exceeds record size", nInt)
+	}
+	for i := uint64(0); i < nInt; i++ {
+		ri, err := r.interval()
+		if err != nil {
+			return 0, nil, err
+		}
+		snap.Intervals = append(snap.Intervals, ri)
+	}
+	nEnt, err := r.uv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if nEnt > uint64(len(r.buf)) {
+		return 0, nil, fmt.Errorf("durable: entry set of %d exceeds record size", nEnt)
+	}
+	for i := uint64(0); i < nEnt; i++ {
+		elen, err := r.uv()
+		if err != nil {
+			return 0, nil, err
+		}
+		eb, err := r.take(int(elen))
+		if err != nil {
+			return 0, nil, err
+		}
+		e, err := (&reader{buf: eb}).entry()
+		if err != nil {
+			return 0, nil, err
+		}
+		snap.Entries = append(snap.Entries, e)
+	}
+	if snap.Dead, err = r.aids(); err != nil {
+		return 0, nil, err
+	}
+	if flags&pixHasBase != 0 {
+		var env anyEnv
+		if err := gob.NewDecoder(bytes.NewReader(r.buf)).Decode(&env); err != nil {
+			return 0, nil, fmt.Errorf("durable: proc index base: %w", err)
+		}
+		r.buf = nil
+		snap.Base, snap.HasBase = env.V, true
+	}
+	return ids.PID(pid), snap, nil
 }

@@ -57,6 +57,13 @@ type Recovered struct {
 	// a restart resumes adjudicating its shard. Nil when the node never
 	// ran routed.
 	AIDExports map[ids.AID][]byte
+	// Transplants maps each reborn PID this node adopted off a dead
+	// node to its origin (recTransplant records). The restart must
+	// respawn these incarnations explicitly (core's Engine.Transplant —
+	// their PIDs sit above the deterministic root range, so no root
+	// spawn ever draws them) and re-announce the old→new mapping. Nil
+	// when the node never adopted a process.
+	Transplants map[ids.PID]TransplantOrigin
 
 	// Records, Truncations, Duration mirror the WAL scan metrics.
 	Records     uint64
@@ -102,6 +109,13 @@ func (r *Recovered) String() string {
 		out += " ckpt"
 	}
 	return out
+}
+
+// TransplantOrigin identifies the pre-death incarnation of an adopted
+// process: the node it died on and the PID it had there.
+type TransplantOrigin struct {
+	From   int
+	OldPID ids.PID
 }
 
 // inKey identifies one delivered inbound frame.
@@ -166,6 +180,8 @@ type recoverState struct {
 	frontier map[int]uint32 // per-node maxima across recWatermark records
 
 	aidExports map[ids.AID][]byte // last snapshot per hosted AID (recAIDExport; tombstones deleted)
+
+	transplants map[ids.PID]TransplantOrigin // adopted incarnations by reborn PID (recTransplant)
 
 	// Checkpoint bracket state. While ckpt is non-nil the stream is inside
 	// a Begin..End bracket and records fold into the nested state instead;
@@ -520,6 +536,63 @@ func (rs *recoverState) apply(lsn uint64, payload []byte) error {
 			rs.aidExports[ids.AID(a)] = append([]byte(nil), blob...)
 		}
 
+	case recProcIndex:
+		pid, snap, err := r.procIndex()
+		if err != nil {
+			return err
+		}
+		// The snapshot replaces the process's folded state wholesale —
+		// everything it carries was folded from records before it in this
+		// same stream. The send/frame pairing LSNs are kept: they point at
+		// records that are still earlier in the stream, and the snapshot's
+		// journal still ends with the send they track.
+		p := rs.proc(ids.PID(pid))
+		p.intervals = snap.Intervals
+		p.entries = snap.Entries
+		p.dead = make(map[ids.AID]struct{}, len(snap.Dead))
+		p.deadOrder = snap.Dead
+		for _, a := range snap.Dead {
+			p.dead[a] = struct{}{}
+		}
+		p.base, p.hasBase = snap.Base, snap.HasBase
+		if snap.NextSeq > 0 && snap.NextSeq-1 > p.maxSeq {
+			p.maxSeq = snap.NextSeq - 1
+		}
+		if snap.MaxEpoch > p.maxEpoch {
+			p.maxEpoch = snap.MaxEpoch
+		}
+		for _, ri := range snap.Intervals {
+			if ri.ID.Seq > p.maxSeq {
+				p.maxSeq = ri.ID.Seq
+			}
+			if ri.ID.Epoch > p.maxEpoch {
+				p.maxEpoch = ri.ID.Epoch
+			}
+		}
+		if snap.Terminated {
+			p.terminated = true
+		}
+
+	case recTransplant:
+		from, err := r.uv()
+		if err != nil {
+			return err
+		}
+		oldPid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		newPid, err := r.uv()
+		if err != nil {
+			return err
+		}
+		if rs.transplants == nil {
+			rs.transplants = make(map[ids.PID]TransplantOrigin)
+		}
+		rs.transplants[ids.PID(newPid)] = TransplantOrigin{
+			From: int(from), OldPID: ids.PID(oldPid),
+		}
+
 	case recCkptSeq:
 		peer, err := r.uv()
 		if err != nil {
@@ -748,6 +821,99 @@ func ReadOrphanFrames(dir string) ([]*msg.Message, error) {
 	return out, nil
 }
 
+// ProcExtract is a dead node's user-process state as read from its WAL
+// by a survivor (ReadProcesses): everything a transplant needs to rebirth
+// the corpse's processes by deterministic replay.
+type ProcExtract struct {
+	// Procs maps each of the corpse's user processes (by its old PID) to
+	// its replayable state — the same fold that feeds Recovered.Restore
+	// on a self-restart. Terminated processes are included (flagged);
+	// adopters skip them.
+	Procs map[ids.PID]*core.Restored
+	// Resend holds journalled sends whose frames never reached the
+	// corpse's resend queue — replay treats the send as performed, so the
+	// adopter must re-send them.
+	Resend []*msg.Message
+	// Unacked holds the corpse's outbound Data messages still sitting
+	// unacknowledged in its resend queues. The corpse's wire identity
+	// died with it, so nobody retransmits them; the adopter re-sends them
+	// as fresh messages. Delivery is at-least-once: a frame that did land
+	// just before the death arrives twice, absorbed the same way
+	// rollback-re-executed sends are (idempotent consumers, rpc CallID
+	// dedup).
+	Unacked []*msg.Message
+	// Orphans holds Data messages delivered to the corpse but never
+	// consumed by any journal, in arrival order, addressed to the
+	// corpse's own processes — the adopter re-injects the ones bound for
+	// processes it adopts. (AID-bound orphans are the migration layer's
+	// job: ReadOrphanFrames + Engine.RequeueRouted.)
+	Orphans []*msg.Message
+}
+
+// ReadProcesses folds a dead node's WAL read-only and extracts its user
+// processes' replayable state for transplant (DESIGN.md §13). corpse is
+// the dead node's wire ID — the fold needs it for send/frame pairing
+// (which of the corpse's journalled sends still lack frames) exactly as
+// a self-recovery would. The corpse's files are never modified, so
+// several survivors can partition one corpse's processes concurrently;
+// each adopter filters Procs by its own ring slice. Poisoned processes
+// are skipped — their durable state is incomplete and rebirth from it
+// would diverge.
+func ReadProcesses(dir string, corpse int) (*ProcExtract, error) {
+	rs := newRecoverState(corpse)
+	if err := wal.Scan(dir, rs.apply, nil); err != nil {
+		return nil, fmt.Errorf("durable: read processes: %w", err)
+	}
+	if rs.ckpt != nil {
+		rs.ckpt = nil // torn bracket: fall back, exactly like finish
+	}
+	ex := &ProcExtract{Procs: make(map[ids.PID]*core.Restored)}
+	for pid, p := range rs.procs {
+		if p.poisoned || len(p.intervals) == 0 {
+			continue
+		}
+		ex.Procs[pid] = &core.Restored{
+			Intervals:  p.intervals,
+			Entries:    p.entries,
+			Dead:       p.deadOrder,
+			Base:       p.base,
+			HasBase:    p.hasBase,
+			NextSeq:    p.maxSeq + 1,
+			MaxEpoch:   p.maxEpoch,
+			Terminated: p.terminated,
+		}
+		if p.lastSend != nil && p.lastSendLSN > p.lastFrameLSN && !p.terminated {
+			ex.Resend = append(ex.Resend, p.lastSend.Msg)
+		}
+	}
+	for _, p := range rs.peers {
+		for _, f := range p.frames {
+			m, err := wire.DecodeMessage(f.Frame)
+			if err != nil || m.Kind != msg.KindData {
+				continue // non-Data loss is repaired by protocol re-fires
+			}
+			if wire.NodeOf(m.From) != corpse {
+				continue
+			}
+			ex.Unacked = append(ex.Unacked, m)
+		}
+	}
+	for _, im := range rs.inbox {
+		if im.consumed {
+			continue
+		}
+		m, err := wire.DecodeMessage(im.frame)
+		if err != nil || m.Kind != msg.KindData {
+			continue
+		}
+		if wire.NodeOf(m.To) != corpse {
+			continue
+		}
+		ex.Orphans = append(ex.Orphans, m)
+	}
+	return ex, nil
+}
+
 // finish converts the folded state into the boot-time resume values.
 func (rs *recoverState) finish() (*Recovered, error) {
 	if rs.ckpt != nil {
@@ -769,6 +935,7 @@ func (rs *recoverState) finish() (*Recovered, error) {
 		Frontier:     rs.frontier,
 		FrontierView: rs.wmView,
 		AIDExports:   rs.aidExports,
+		Transplants:  rs.transplants,
 	}
 	for id, p := range rs.peers {
 		frames := p.frames

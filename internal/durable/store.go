@@ -432,6 +432,35 @@ func (s *Store) AIDExport(a ids.AID, blob []byte) {
 	}
 }
 
+// ProcExport records one process's full flattened snapshot as a
+// recProcIndex record — the per-process export index (core.ProcExporter).
+// The engine calls it on an amortized cadence so a foreign reader
+// (ReadProcesses) folds snapshot+tail instead of the process's whole
+// history, and a transplant adopter force-writes one under the reborn
+// PID so its own restart can rebuild the adopted process. The error
+// propagates: a transplant whose hand-off snapshot cannot be made
+// durable must not proceed.
+func (s *Store) ProcExport(pid ids.PID, snap *core.Restored) error {
+	return s.append(func(b []byte) ([]byte, error) {
+		b[0] = recProcIndex
+		return appendProcIndex(b, pid, snap)
+	})
+}
+
+// TransplantRecorded records a process adoption hand-off: newPid is the
+// reborn incarnation of the dead node from's oldPid (core's transplant
+// layer, DESIGN.md §13). Written before the reborn process spawns, so a
+// crashed transplant is recoverable: the restart re-announces the
+// mapping and respawns the incarnation from its recProcIndex snapshot.
+// Engine-level, like AIDExport.
+func (s *Store) TransplantRecorded(from int, oldPid, newPid ids.PID) error {
+	return s.appendTagged(recTransplant, func(b []byte) []byte {
+		b = appendUv(b, uint64(from))
+		b = appendUv(b, uint64(oldPid))
+		return appendUv(b, uint64(newPid))
+	})
+}
+
 // ViewChanged records a published membership view: the epoch and the
 // live member set. On recovery the highest epoch seeds the cluster
 // manager's epoch floor, so a restarted node can never gossip a view

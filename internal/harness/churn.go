@@ -82,6 +82,20 @@ type ChurnConfig struct {
 	// (oracle.CheckMigration).
 	Migrate bool
 
+	// Transplant runs every member with --transplant as well (implies
+	// Migrate): the SIGKILLed member's user processes — not just the
+	// assumption machines it hosted — must be reborn by deterministic
+	// replay on the ring-designated survivors (HOPED TRANSPLANTED, with
+	// adopt latency recorded). The storm then also asserts transplant
+	// semantics: every survivor announces its slice of the corpse's
+	// processes, the union of announcements rebirths each process
+	// exactly once at its ring owner (oracle.CheckTransplant — the
+	// at-most-one-incarnation fence), and the doomed workload COMPLETES
+	// against the reborn server instead of merely quiescing by denial:
+	// every client process reaches exactly one final outcome despite
+	// the host death.
+	Transplant bool
+
 	Tracer trace.Tracer // receives trace.Fault events (nil = discard)
 	Log    io.Writer    // storm narration (nil = discard)
 }
@@ -89,6 +103,12 @@ type ChurnConfig struct {
 func (c *ChurnConfig) norm() error {
 	if c.HopedBin == "" {
 		return fmt.Errorf("churn: HopedBin is required")
+	}
+	if c.Transplant {
+		// Reborn processes re-register their assumptions through the ring
+		// owners, and the AID machines the corpse hosted must survive too
+		// or the replayed speculation would be denied on arrival.
+		c.Migrate = true
 	}
 	if c.Nodes == 0 {
 		c.Nodes = 3
@@ -150,6 +170,19 @@ type ChurnResult struct {
 	// slice), and kill → the first survivor's ADOPTED announcement.
 	Adopted      int
 	AdoptLatency time.Duration
+
+	// Transplant storms only: user processes reborn off the corpse
+	// (summed over survivors), and kill → the first survivor's
+	// TRANSPLANTED announcement — the process-adopt latency.
+	// TransplantOutcomes is the distinct definite outcomes the doomed
+	// workload reached: 1 once it quiesced definite-complete. Speculative
+	// completions re-fired by rollback are §4.9 exposure (the client runs
+	// without the watermark), not extra outcomes; twin externalization is
+	// fenced separately by pair uniqueness, duplicate counts, and verdict
+	// agreement.
+	Transplanted       int
+	TransplantLatency  time.Duration
+	TransplantOutcomes int
 
 	Elapsed time.Duration
 }
@@ -223,6 +256,58 @@ func parseAdoptLine(line string) (adoptLine, bool) {
 	return al, al.from >= 0 && al.count >= 0
 }
 
+// transplantLine is one HOPED TRANSPLANTED announcement: user processes
+// reborn from a corpse's WAL by deterministic replay, with the old→new
+// incarnation map (from == the watcher's own node on a restart
+// re-adoption).
+type transplantLine struct {
+	at    time.Time
+	from  int
+	procs int
+	pairs []core.TransplantPair
+}
+
+// parseTransplantLine parses
+// "HOPED TRANSPLANTED node=N from=M procs=K map=old:new,..." (map is
+// "-" when the announcer's slice was empty).
+func parseTransplantLine(line string) (transplantLine, bool) {
+	if !strings.HasPrefix(line, "HOPED TRANSPLANTED") {
+		return transplantLine{}, false
+	}
+	tl := transplantLine{from: -1, procs: -1}
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, "from="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return transplantLine{}, false
+			}
+			tl.from = n
+		}
+		if v, ok := strings.CutPrefix(f, "procs="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return transplantLine{}, false
+			}
+			tl.procs = n
+		}
+		if v, ok := strings.CutPrefix(f, "map="); ok && v != "-" {
+			for _, pair := range strings.Split(v, ",") {
+				o, nw, found := strings.Cut(pair, ":")
+				if !found {
+					return transplantLine{}, false
+				}
+				oldPID, err1 := strconv.ParseUint(o, 10, 64)
+				newPID, err2 := strconv.ParseUint(nw, 10, 64)
+				if err1 != nil || err2 != nil {
+					return transplantLine{}, false
+				}
+				tl.pairs = append(tl.pairs, core.TransplantPair{Old: ids.PID(oldPID), New: ids.PID(newPID)})
+			}
+		}
+	}
+	return tl, tl.from >= 0 && tl.procs >= 0 && len(tl.pairs) == tl.procs
+}
+
 // viewWatcher owns one hoped child's stdout for the child's whole life:
 // it parses the boot lines, then keeps tailing, recording every VIEW
 // announcement (timestamped at arrival — the observable instant of a
@@ -235,6 +320,7 @@ type viewWatcher struct {
 	views   []timedView
 	stables []stableLine
 	adopts  []adoptLine
+	tpls    []transplantLine
 	evicted bool
 
 	boot chan bootRes
@@ -280,6 +366,13 @@ func (w *viewWatcher) watch(r io.Reader) {
 				al.at = time.Now()
 				w.mu.Lock()
 				w.adopts = append(w.adopts, al)
+				w.mu.Unlock()
+			}
+		case strings.HasPrefix(line, "HOPED TRANSPLANTED"):
+			if tl, ok := parseTransplantLine(line); ok {
+				tl.at = time.Now()
+				w.mu.Lock()
+				w.tpls = append(w.tpls, tl)
 				w.mu.Unlock()
 			}
 		default:
@@ -329,6 +422,19 @@ func (w *viewWatcher) adoptedFrom(from int) (adoptLine, bool) {
 		}
 	}
 	return adoptLine{}, false
+}
+
+// transplantedFrom returns this node's first transplant announcement
+// naming from, if any.
+func (w *viewWatcher) transplantedFrom(from int) (transplantLine, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, tl := range w.tpls {
+		if tl.from == from {
+			return tl, true
+		}
+	}
+	return transplantLine{}, false
 }
 
 // firstDead returns when this watcher first announced a view with id in
@@ -479,17 +585,39 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			DeadAfter:    dead,
 			OnPeerDead: func(node int) {
 				if eng := engRef.Load(); eng != nil {
-					eng.DenyOwned(func(pid ids.PID) bool { return wire.NodeOf(pid) == node },
-						fmt.Sprintf("node %d declared dead", node))
+					eng.DenyOwned(func(pid ids.PID) bool {
+						// A transplanted process is not orphaned — its reborn
+						// incarnation answers for its assumptions, so denying
+						// them would race the adoption this deny backstops.
+						return wire.NodeOf(pid) == node && !(cfg.Transplant && eng.Transplanted(pid))
+					}, fmt.Sprintf("node %d declared dead", node))
 				}
 			},
 			OnDeadFrame: func(_ int, m *msg.Message) {
 				// An adjudication abandoned toward the corpse re-parks on
 				// the routing retry queue and reaches the ring successor
-				// once the views reassign the shard. No-op when routing
-				// is off (non-migrate storms).
+				// once the views reassign the shard; in transplant storms
+				// everything else (user traffic to the dead incarnation)
+				// parks on the transplant queue until a survivor's
+				// announcement installs the old→new mapping. No-op when
+				// routing is off (non-migrate storms).
 				if eng := engRef.Load(); eng != nil {
-					eng.RequeueRouted(m)
+					if !eng.RequeueRouted(m) && cfg.Transplant {
+						eng.RequeueTransplant(m)
+					}
+				}
+			},
+		},
+		Transplant: wire.TransplantConfig{
+			OnPayload: func(from int, payload []byte) {
+				// A survivor announced adoptions: install the old→new map so
+				// parked and future frames reach the reborn incarnations.
+				pairs, err := core.DecodeTransplantAnnouncement(payload)
+				if err != nil {
+					return
+				}
+				if eng := engRef.Load(); eng != nil {
+					eng.InstallTransplantMap(pairs)
 				}
 			},
 		},
@@ -531,6 +659,9 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			// --data-root lets each member read its dead peers' WALs to
 			// adopt its ring slice of the corpse's shard.
 			args = append(args, "--route", "--migrate", "--data-root", dataRoot)
+		}
+		if cfg.Transplant {
+			args = append(args, "--transplant")
 		}
 		if joinAddr == "" {
 			args = append(args, "--seed-node")
@@ -639,7 +770,22 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 					return core.OwnerStatus{}
 				}
 				h := client.HealthOf(node)
-				return core.OwnerStatus{Remote: true, Dead: h.State == wire.PeerDead, LastHeard: h.LastHeard}
+				st := core.OwnerStatus{Remote: true, Dead: h.State == wire.PeerDead, LastHeard: h.LastHeard}
+				if st.Dead && cfg.Transplant {
+					// A machine whose owning process was transplanted moved
+					// with it; the adopter's health is the authoritative one,
+					// so the lease backstop does not misfire on the corpse.
+					if eng := engRef.Load(); eng != nil && eng.Transplanted(a.PID()) {
+						for _, pr := range eng.TransplantMap() {
+							if pr.Old == a.PID() {
+								ah := client.HealthOf(wire.NodeOf(pr.New))
+								st = core.OwnerStatus{Remote: true, Dead: ah.State == wire.PeerDead, LastHeard: ah.LastHeard}
+								break
+							}
+						}
+					}
+				}
+				return st
 			},
 		},
 	}
@@ -701,7 +847,15 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		hostedBy := time.Now().Add(30 * time.Second)
 		for {
 			exports, err := durable.ReadAIDExports(victim.dataDir)
-			if err == nil && len(exports) > 0 {
+			ready := err == nil && len(exports) > 0
+			if ready && cfg.Transplant {
+				// The transplant fence is only exercised if the corpse's WAL
+				// can rebirth its root server: hold the kill until the
+				// journal extract includes it.
+				ex, perr := durable.ReadProcesses(victim.dataDir, victim.id)
+				ready = perr == nil && ex.Procs[victim.pid] != nil
+			}
+			if ready {
 				logf("%8v node %d hosts %d machine(s); killing it",
 					time.Since(start).Round(time.Millisecond), victim.id, len(exports))
 				break
@@ -788,6 +942,44 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			time.Since(start).Round(time.Millisecond), res.Adopted, res.AdoptLatency.Round(time.Millisecond))
 	}
 
+	// Transplant storms: every survivor must also announce its ring slice
+	// of the corpse's user processes (procs may be 0 for a survivor whose
+	// slice is empty, but the announcement is mandatory — it proves the
+	// transplant path ran), and the union must rebirth at least the
+	// victim's root server. TransplantLatency is kill → the earliest
+	// announcement: how long the corpse's processes were dark.
+	announced := make(map[int][]core.TransplantPair)
+	if cfg.Transplant {
+		tplDeadline := time.Now().Add(30 * time.Second)
+		var earliest time.Time
+		for _, m := range survivors {
+			for {
+				if tl, ok := m.watch.transplantedFrom(victim.id); ok {
+					res.Transplanted += tl.procs
+					announced[m.id] = tl.pairs
+					if earliest.IsZero() || tl.at.Before(earliest) {
+						earliest = tl.at
+					}
+					logf("%8v node %d transplanted %d process(es) from node %d",
+						time.Since(start).Round(time.Millisecond), m.id, tl.procs, victim.id)
+					break
+				}
+				if time.Now().After(tplDeadline) {
+					return res, fmt.Errorf("churn: node %d never announced a transplant from node %d", m.id, victim.id)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if res.Transplanted < 1 {
+			return res, fmt.Errorf("churn: survivors transplanted 0 processes from node %d — its WAL held none", victim.id)
+		}
+		if res.TransplantLatency = earliest.Sub(tKill); res.TransplantLatency < 0 {
+			res.TransplantLatency = 0
+		}
+		logf("%8v transplanted %d process(es) total, latency %v",
+			time.Since(start).Round(time.Millisecond), res.Transplanted, res.TransplantLatency.Round(time.Millisecond))
+	}
+
 	// Resolution: the doomed workload must quiesce — every assumption
 	// the victim owned denied (detector or lease) and dependents rolled
 	// back — and the survivors' workloads must complete fully definite.
@@ -797,7 +989,21 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		for {
 			st := w.worker.Snapshot()
 			if doomed {
-				if st.Completed && client.Inflight() == 0 &&
+				if cfg.Transplant {
+					// The tentpole's claim: the doomed workload COMPLETES
+					// against the reborn server — fully definite, every
+					// report delivered — instead of merely quiescing by
+					// denial. That retained history is its one final outcome.
+					w.mu.Lock()
+					completed := w.done > 0
+					w.mu.Unlock()
+					if completed && st.Completed && st.AllDefinite && client.Inflight() == 0 {
+						res.Rollbacks += st.Restarts
+						res.Resolve = time.Since(tKill)
+						res.TransplantOutcomes = 1
+						break
+					}
+				} else if st.Completed && client.Inflight() == 0 &&
 					(st.AllDefinite || eng.AutoDenied() > 0) {
 					res.Rollbacks += st.Restarts
 					res.Resolve = time.Since(tKill)
@@ -822,6 +1028,24 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	}
 	logf("%8v quiesced: resolve=%v rollbacks=%d autodenied=%d",
 		time.Since(start).Round(time.Millisecond), res.Resolve.Round(time.Millisecond), res.Rollbacks, eng.AutoDenied())
+
+	// Transplant fence: the survivors' agreed post-death views must
+	// designate the announced adoptions — every corpse process reborn
+	// exactly once, at its ring owner — and the doomed workload must have
+	// reached exactly one final outcome. Checked before the join: adoption
+	// happened at death time, under the post-death ring.
+	if cfg.Transplant {
+		postDeath, err := awaitAgreement("post-death membership", survivors, survLive, 30*time.Second)
+		if err != nil {
+			return res, err
+		}
+		if err := oracle.CheckTransplant(victim.id, wire.NodeOf, postDeath, cfg.VNodes,
+			announced, map[ids.PID]int{victim.pid: res.TransplantOutcomes}); err != nil {
+			return res, err
+		}
+		logf("%8v transplant fence holds: %d rebirth(s), %d final outcome(s) for the doomed workload",
+			time.Since(start).Round(time.Millisecond), res.Transplanted, res.TransplantOutcomes)
+	}
 
 	// Late join: a fresh member (fresh ID — the victim's ID is dead
 	// forever, sticky death guarantees it) joins through a survivor and
@@ -927,6 +1151,22 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			return res, err
 		}
 		if w.member.id == victim.id {
+			if !cfg.Transplant {
+				continue
+			}
+			// The doomed workload completed against the reborn server: its
+			// verdicts must agree like any survivor's and every report must
+			// have landed. Its page layout is exempt — rollbacks across the
+			// death legitimately insert extra page breaks.
+			if err := oracle.CheckWorker(name, w.worker.Snapshot()); err != nil {
+				return res, err
+			}
+			w.mu.Lock()
+			rep := w.rep
+			w.mu.Unlock()
+			if rep.Totals != cfg.Reports {
+				return res, fmt.Errorf("%s printed %d totals, want %d", name, rep.Totals, cfg.Reports)
+			}
 			continue
 		}
 		if err := oracle.CheckWorker(name, w.worker.Snapshot()); err != nil {

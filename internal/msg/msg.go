@@ -65,6 +65,12 @@ const (
 	// against a fresher ring. Engine-internal, like Probe; see DESIGN.md
 	// §13.
 	KindNack
+	// KindBatch coalesces several ring-routed adjudications bound for the
+	// same owner into one frame: Payload carries the inner []*Message and
+	// the receiving router unpacks and adjudicates each as if it had
+	// arrived alone (wrong-owner inners are NACKed individually). Epoch is
+	// the sender's view epoch at flush time. Engine-internal, like Nack.
+	KindBatch
 )
 
 // Kinds lists every message kind, in wire order. Codec and trace tests
@@ -72,11 +78,11 @@ const (
 var Kinds = []Kind{
 	KindGuess, KindAffirm, KindDeny, KindReplace, KindRollback,
 	KindRetract, KindData, KindProbe, KindCutProbe, KindCutAck, KindRevive,
-	KindNack,
+	KindNack, KindBatch,
 }
 
 // Valid reports whether k is a defined message kind.
-func (k Kind) Valid() bool { return k >= KindGuess && k <= KindNack }
+func (k Kind) Valid() bool { return k >= KindGuess && k <= KindBatch }
 
 // KindFromString parses the String form of a kind ("Guess", "Affirm",
 // ...). It is the inverse of Kind.String for all valid kinds.
@@ -124,6 +130,8 @@ func (k Kind) String() string {
 		return "Revive"
 	case KindNack:
 		return "Nack"
+	case KindBatch:
+		return "Batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -261,4 +269,10 @@ func CutAck(x ids.AID, target ids.IntervalID) *Message {
 func Nack(from, routerPID ids.PID, epoch uint64, original *Message) *Message {
 	return &Message{Kind: KindNack, From: from, To: routerPID, AID: original.AID,
 		Epoch: epoch, Payload: original}
+}
+
+// Batch coalesces inner adjudications bound for the router at routerPID
+// into one frame. epoch is the sender's view epoch at flush time.
+func Batch(from, routerPID ids.PID, epoch uint64, inner []*Message) *Message {
+	return &Message{Kind: KindBatch, From: from, To: routerPID, Epoch: epoch, Payload: inner}
 }

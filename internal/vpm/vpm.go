@@ -35,6 +35,7 @@ type Machine struct {
 
 	mu     sync.Mutex
 	procs  map[ids.PID]*Proc
+	taken  map[ids.PID]bool // every PID ever spawned; AllocPID skips these
 	closed bool
 
 	wg sync.WaitGroup
@@ -48,6 +49,7 @@ func New(net transport.Transport) *Machine {
 	return &Machine{
 		net:   net,
 		procs: make(map[ids.PID]*Proc),
+		taken: make(map[ids.PID]bool),
 	}
 }
 
@@ -71,7 +73,7 @@ type Proc struct {
 // Spawn creates a process running body and returns its handle. The body
 // goroutine is tracked; Machine.Shutdown waits for it.
 func (m *Machine) Spawn(body Body) (*Proc, error) {
-	return m.spawn(m.alloc.Next(), body)
+	return m.spawn(m.AllocPID(), body)
 }
 
 // SpawnAt creates a process with a caller-chosen PID — used for
@@ -86,8 +88,20 @@ func (m *Machine) SpawnAt(pid ids.PID, body Body) (*Proc, error) {
 // AllocPID issues a fresh PID from the machine's allocator without
 // spawning a process for it. Ownership routing uses this to mint AID
 // identities whose state machines are hosted on the ring owner rather
-// than as local processes.
-func (m *Machine) AllocPID() ids.PID { return m.alloc.Next() }
+// than as local processes. PIDs already spawned (including SpawnAt
+// targets such as adopted transplants, whose PIDs sit mid-range) are
+// skipped, so the allocator never re-issues a live or once-live PID.
+func (m *Machine) AllocPID() ids.PID {
+	for {
+		pid := m.alloc.Next()
+		m.mu.Lock()
+		used := m.taken[pid]
+		m.mu.Unlock()
+		if !used {
+			return pid
+		}
+	}
+}
 
 func (m *Machine) spawn(pid ids.PID, body Body) (*Proc, error) {
 	m.mu.Lock()
@@ -99,6 +113,7 @@ func (m *Machine) spawn(pid ids.PID, body Body) (*Proc, error) {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("vpm: spawn at %s: pid already live", pid)
 	}
+	m.taken[pid] = true
 	p := &Proc{
 		pid:     pid,
 		box:     mailbox.New(),

@@ -96,8 +96,10 @@ func init() {
 	RegisterPayload(string(""))
 	RegisterPayload(bool(false))
 	RegisterPayload([]byte(nil))
-	// A Nack echoes the rejected message in its payload.
+	// A Nack echoes the rejected message in its payload; a Batch carries
+	// the coalesced adjudications in its payload.
 	RegisterPayload(&msg.Message{})
+	RegisterPayload([]*msg.Message(nil))
 }
 
 // EncodeMessage renders m in the length-free binary wire layout:

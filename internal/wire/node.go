@@ -44,14 +44,15 @@ func RouterPID(node int) ids.PID { return PIDBase(node) | ids.PID(uint64(1)<<(no
 // message flow: the dialer sends hello + msg frames, the acceptor sends
 // helloAck + ack frames back on the same connection.
 const (
-	frameHello    = 1 // dialer → acceptor: version, sender node ID
-	frameHelloAck = 2 // acceptor → dialer: highest delivered seq (resume point)
-	frameMsg      = 3 // dialer → acceptor: seq + encoded message
-	frameAck      = 4 // acceptor → dialer: highest delivered seq
-	framePing      = 5 // dialer → acceptor: liveness probe; answered with a forced ack
-	frameGossip    = 6 // either direction: opaque membership payload, out of band
-	frameStability = 7 // either direction: opaque stability-round payload, out of band
-	frameTransfer  = 8 // either direction: opaque shard-migration payload, out of band
+	frameHello      = 1 // dialer → acceptor: version, sender node ID
+	frameHelloAck   = 2 // acceptor → dialer: highest delivered seq (resume point)
+	frameMsg        = 3 // dialer → acceptor: seq + encoded message
+	frameAck        = 4 // acceptor → dialer: highest delivered seq
+	framePing       = 5 // dialer → acceptor: liveness probe; answered with a forced ack
+	frameGossip     = 6 // either direction: opaque membership payload, out of band
+	frameStability  = 7 // either direction: opaque stability-round payload, out of band
+	frameTransfer   = 8 // either direction: opaque shard-migration payload, out of band
+	frameTransplant = 9 // either direction: opaque transplant-announcement payload, out of band
 )
 
 // maxPendingGossip bounds each peer's pending gossip payloads. Gossip
@@ -73,6 +74,14 @@ const maxPendingStability = 8
 // when a slow link falls behind, the oldest pending payload is dropped,
 // never the newest.
 const maxPendingTransfer = 16
+
+// maxPendingTransplant bounds each peer's pending transplant
+// announcements. Announcements are repaired end to end — the adopter
+// re-announces its full mapping on demand, and frames bound for a dead
+// incarnation park on the would-be sender until a mapping arrives — so
+// when a slow link falls behind, the oldest pending payload is dropped,
+// never the newest.
+const maxPendingTransplant = 16
 
 // maxFrame bounds a frame read so a corrupt length prefix cannot force a
 // huge allocation.
@@ -154,6 +163,19 @@ type NodeConfig struct {
 	// Transfer, when wired, lets the ownership-migration layer ship AID
 	// machine exports on the node's connections (see TransferConfig).
 	Transfer TransferConfig
+	// Transplant, when wired, lets the process-transplant layer broadcast
+	// old→new incarnation mappings on the node's connections (see
+	// TransplantConfig).
+	Transplant TransplantConfig
+	// Watermark advertises this node's commit-watermark mode in the
+	// connection handshake. A definite mismatch (both sides advertise,
+	// differently) is refused at connection time with a clear error
+	// event on both ends — mixing watermark modes across a deployment
+	// corrupts the commit protocol far more confusingly downstream.
+	// WatermarkUnknown (the zero value) advertises nothing and accepts
+	// everyone, preserving compatibility with peers that predate the
+	// handshake field.
+	Watermark WatermarkMode
 	// HoldInbound binds the listener in NewNode but defers accepting
 	// connections until ReleaseInbound is called. A recovering node
 	// needs this: delivered-but-unconsumed messages from the WAL must be
@@ -225,6 +247,50 @@ type TransferConfig struct {
 	OnPayload func(from int, payload []byte)
 }
 
+// WatermarkMode is a node's commit-watermark stance, advertised in the
+// wire handshake so mismatched deployments fail at connection time
+// instead of corrupting the commit protocol.
+type WatermarkMode uint8
+
+const (
+	// WatermarkUnknown advertises nothing and matches everything (the
+	// pre-handshake-field behavior).
+	WatermarkUnknown WatermarkMode = iota
+	// WatermarkOff: the node runs without the commit watermark.
+	WatermarkOff
+	// WatermarkOn: the node runs in revocable-commit watermark mode.
+	WatermarkOn
+)
+
+// String implements fmt.Stringer.
+func (m WatermarkMode) String() string {
+	switch m {
+	case WatermarkOff:
+		return "off"
+	case WatermarkOn:
+		return "on"
+	default:
+		return "unknown"
+	}
+}
+
+// TransplantConfig hooks the process-transplant layer (core's adoption
+// of a dead node's user processes; see DESIGN.md §13) into the
+// transport. Transplant frames share the gossip frames' out-of-band
+// discipline: not sequenced, not acked, not resent, not written to the
+// WAL, and not counted in Inflight. Loss is tolerated by construction —
+// the adopter's mapping is durable in its own WAL and re-announced on
+// restart, and frames addressed to a dead incarnation park on the
+// sender until some announcement lands. Like gossip, transplant frames
+// count as liveness evidence for the failure detector.
+type TransplantConfig struct {
+	// OnPayload receives each inbound transplant announcement (a fresh
+	// copy; the callback may retain it). Called synchronously from the
+	// connection's read loop — keep it quick, and never call back into a
+	// blocking Node method from it.
+	OnPayload func(from int, payload []byte)
+}
+
 // Node is a TCP transport endpoint implementing transport.Transport.
 // Messages to PIDs registered locally are delivered synchronously;
 // messages to PIDs owned by other nodes are sequenced, framed, and
@@ -240,11 +306,13 @@ type Node struct {
 	queue      transport.QueueLimits // normalized per-peer bounds
 	flushDelay time.Duration
 	unbatched  bool
-	dur        DurableHooks    // nil = no durability
-	health     HealthConfig    // normalized failure-detector config
-	gossip     GossipConfig    // membership piggyback hooks (zero = none)
-	stab       StabilityConfig // commit-watermark piggyback hooks (zero = none)
-	xfer       TransferConfig  // shard-migration piggyback hooks (zero = none)
+	dur        DurableHooks     // nil = no durability
+	health     HealthConfig     // normalized failure-detector config
+	gossip     GossipConfig     // membership piggyback hooks (zero = none)
+	stab       StabilityConfig  // commit-watermark piggyback hooks (zero = none)
+	xfer       TransferConfig   // shard-migration piggyback hooks (zero = none)
+	tpl        TransplantConfig // process-transplant piggyback hooks (zero = none)
+	wmMode     WatermarkMode    // advertised in the handshake; mismatches are refused
 
 	mu       sync.Mutex
 	idle     *sync.Cond // signalled when inflight returns to zero
@@ -286,6 +354,10 @@ type Node struct {
 	xferSent              atomic.Uint64
 	xferRecv              atomic.Uint64
 	xferDrops             atomic.Uint64
+	tplSent               atomic.Uint64
+	tplRecv               atomic.Uint64
+	tplDrops              atomic.Uint64
+	modeRejects           atomic.Uint64
 }
 
 var _ transport.Transport = (*Node)(nil)
@@ -319,6 +391,10 @@ type WireStats struct {
 	XferSent            uint64 // shard-transfer frames written
 	XferRecv            uint64 // shard-transfer frames received
 	XferDrops           uint64 // pending transfer payloads superseded before the write
+	TplSent             uint64 // transplant-announcement frames written
+	TplRecv             uint64 // transplant-announcement frames received
+	TplDrops            uint64 // pending transplant payloads superseded before the write
+	ModeRejects         uint64 // connections refused for a watermark-mode mismatch
 	PeersSuspect        int    // gauge: peers currently in Suspect
 	PeersDead           int    // gauge: peers declared Dead (terminal)
 
@@ -346,6 +422,12 @@ func (s WireStats) String() string {
 	}
 	if s.XferSent != 0 || s.XferRecv != 0 {
 		base += fmt.Sprintf(" xfer=%d/%d xdrop=%d", s.XferSent, s.XferRecv, s.XferDrops)
+	}
+	if s.TplSent != 0 || s.TplRecv != 0 {
+		base += fmt.Sprintf(" tpl=%d/%d tdrop=%d", s.TplSent, s.TplRecv, s.TplDrops)
+	}
+	if s.ModeRejects != 0 {
+		base += fmt.Sprintf(" moderej=%d", s.ModeRejects)
 	}
 	if s.Durable {
 		base += " " + s.WAL.String()
@@ -392,6 +474,7 @@ type peer struct {
 	gossip     [][]byte      // pending out-of-band gossip payloads (bounded; oldest dropped)
 	stability  [][]byte      // pending out-of-band stability payloads (bounded; oldest dropped)
 	transfer   [][]byte      // pending out-of-band shard-transfer payloads (bounded; oldest dropped)
+	transplant [][]byte      // pending out-of-band transplant announcements (bounded; oldest dropped)
 	full       bool          // inside a queue-overflow episode (one trace event each)
 	backoffCur time.Duration // last reconnect backoff used (observable for tests)
 	health     *peerHealth
@@ -442,6 +525,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		gossip:     cfg.Gossip,
 		stab:       cfg.Stability,
 		xfer:       cfg.Transfer,
+		tpl:        cfg.Transplant,
+		wmMode:     cfg.Watermark,
 		handlers:   make(map[ids.PID]transport.Handler),
 		peers:      make(map[int]*peer),
 		inbound:    make(map[int]*inbound),
@@ -628,6 +713,37 @@ func (n *Node) Transfer(to int, payload []byte) bool {
 		n.xferDrops.Add(1)
 	}
 	p.transfer = append(p.transfer, append([]byte(nil), payload...))
+	p.cond.Broadcast()
+	return true
+}
+
+// Transplant queues one opaque transplant-announcement payload toward a
+// peer, best-effort (see TransplantConfig). It reports whether the
+// payload was accepted for writing — false when the peer is dead, the
+// node closed, or the target is self. The payload is copied; the caller
+// keeps the buffer. At most maxPendingTransplant payloads wait per
+// peer; beyond that, the oldest pending payload is superseded.
+func (n *Node) Transplant(to int, payload []byte) bool {
+	if to == n.id || len(payload) == 0 {
+		return false
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return false
+	}
+	p := n.peer(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.dead {
+		return false
+	}
+	if len(p.transplant) >= maxPendingTransplant {
+		p.transplant = p.transplant[1:]
+		n.tplDrops.Add(1)
+	}
+	p.transplant = append(p.transplant, append([]byte(nil), payload...))
 	p.cond.Broadcast()
 	return true
 }
@@ -895,6 +1011,7 @@ func (n *Node) Close() {
 		p.gossip = nil
 		p.stability = nil
 		p.transfer = nil
+		p.transplant = nil
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
@@ -956,6 +1073,10 @@ func (n *Node) WireStats() WireStats {
 		XferSent:    n.xferSent.Load(),
 		XferRecv:    n.xferRecv.Load(),
 		XferDrops:   n.xferDrops.Load(),
+		TplSent:     n.tplSent.Load(),
+		TplRecv:     n.tplRecv.Load(),
+		TplDrops:    n.tplDrops.Load(),
+		ModeRejects: n.modeRejects.Load(),
 	}
 	for _, h := range n.healthSnapshot() {
 		switch PeerState(h.state.Load()) {
@@ -1180,12 +1301,26 @@ func (n *Node) serveConn(c net.Conn) {
 		n.event("wire: node %d rejected connection from %s: bad hello (%v)", n.id, c.RemoteAddr(), err)
 		return
 	}
-	from64, err := parseSeq(body[1:])
-	if err != nil || from64 >= MaxNodes {
+	from64, used := binary.Uvarint(body[1:])
+	if used <= 0 || from64 >= MaxNodes {
 		n.event("wire: node %d rejected connection from %s: bad node id", n.id, c.RemoteAddr())
 		return
 	}
 	from := int(from64)
+	// The hello may carry the peer's commit-watermark mode after the node
+	// id (absent on peers that predate the field, which parse as
+	// Unknown). A definite mismatch is refused here, with a clear error,
+	// rather than letting mixed modes corrupt the commit protocol.
+	peerMode := WatermarkUnknown
+	if len(body) > 1+used {
+		peerMode = WatermarkMode(body[1+used])
+	}
+	if n.wmMode != WatermarkUnknown && peerMode != WatermarkUnknown && peerMode != n.wmMode {
+		n.modeRejects.Add(1)
+		n.event("wire: node %d refused node %d: commit-watermark mode mismatch (ours %s, theirs %s) — all nodes must agree on --watermark",
+			n.id, from, n.wmMode, peerMode)
+		return
+	}
 	c.SetReadDeadline(time.Time{})
 
 	h := n.healthOf(from)
@@ -1219,7 +1354,7 @@ func (n *Node) serveConn(c net.Conn) {
 	in.acked = resume
 	in.mu.Unlock()
 	wmu.Lock()
-	err = n.writeFrame(c, frameHelloAck, seqPayload(resume))
+	err = n.writeFrame(c, frameHelloAck, append(seqPayload(resume), byte(n.wmMode)))
 	wmu.Unlock()
 	if err != nil {
 		return
@@ -1350,6 +1485,16 @@ func (n *Node) serveConn(c net.Conn) {
 			// aliases the read scratch buffer — the callback gets a copy.
 			n.xferRecv.Add(1)
 			if cb := n.xfer.OnPayload; cb != nil {
+				cb(from, append([]byte(nil), body...))
+			}
+			continue
+		}
+		if ftype == frameTransplant {
+			// Out-of-band transplant announcement: hand it up; the engine
+			// installs the mappings first-wins and forwards parked frames.
+			// body aliases the read scratch buffer — the callback gets a copy.
+			n.tplRecv.Add(1)
+			if cb := n.tpl.OnPayload; cb != nil {
 				cb(from, append([]byte(nil), body...))
 			}
 			continue
@@ -1521,6 +1666,7 @@ func (p *peer) dial(addr string) (net.Conn, error) {
 		tc.SetNoDelay(true)
 	}
 	hello := append([]byte{codecVersion}, seqPayload(uint64(p.n.id))...)
+	hello = append(hello, byte(p.n.wmMode)) // commit-watermark mode (see NodeConfig.Watermark)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	if err := p.n.writeFrame(conn, frameHello, hello); err != nil {
 		p.n.untrack(conn)
@@ -1536,6 +1682,21 @@ func (p *peer) dial(addr string) (net.Conn, error) {
 	if err != nil {
 		p.n.untrack(conn)
 		return nil, err
+	}
+	// The helloAck may carry the acceptor's commit-watermark mode after
+	// the resume seq (absent on peers that predate the field). Refuse a
+	// definite mismatch from this side too: the acceptor cannot see our
+	// mode if it predates the hello field, and a refused dial names the
+	// misconfiguration instead of half-connecting.
+	if _, used := binary.Uvarint(body); used > 0 && len(body) > used {
+		peerMode := WatermarkMode(body[used])
+		if p.n.wmMode != WatermarkUnknown && peerMode != WatermarkUnknown && peerMode != p.n.wmMode {
+			p.n.modeRejects.Add(1)
+			p.n.untrack(conn)
+			p.n.event("wire: node %d refused node %d: commit-watermark mode mismatch (ours %s, theirs %s) — all nodes must agree on --watermark",
+				p.n.id, p.id, p.n.wmMode, peerMode)
+			return nil, fmt.Errorf("wire: watermark mode mismatch with node %d (ours %s, theirs %s)", p.id, p.n.wmMode, peerMode)
+		}
 	}
 	conn.SetDeadline(time.Time{})
 	p.n.heard(p.health) // a completed handshake is evidence of life
@@ -1640,6 +1801,12 @@ loop:
 			if cb := p.n.xfer.OnPayload; cb != nil {
 				cb(p.id, append([]byte(nil), body...))
 			}
+		case frameTransplant:
+			p.n.tplRecv.Add(1)
+			p.n.heard(p.health)
+			if cb := p.n.tpl.OnPayload; cb != nil {
+				cb(p.id, append([]byte(nil), body...))
+			}
 		default:
 			break loop
 		}
@@ -1667,7 +1834,7 @@ func (p *peer) pump(conn net.Conn) {
 	for {
 		p.mu.Lock()
 		p.pinLo, p.pinHi = 0, 0
-		for p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && len(p.transfer) == 0 && !p.probe && !p.closed && !p.dead && p.conn == conn {
+		for p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && len(p.transfer) == 0 && len(p.transplant) == 0 && !p.probe && !p.closed && !p.dead && p.conn == conn {
 			lingered = false
 			p.cond.Wait()
 		}
@@ -1679,7 +1846,7 @@ func (p *peer) pump(conn net.Conn) {
 			// Pending frames — gossip included — are themselves a
 			// heartbeat; a ping frame is only worth a syscall when the
 			// queue has nothing to say.
-			probeOnly := p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && len(p.transfer) == 0
+			probeOnly := p.cursor >= len(p.queue) && len(p.gossip) == 0 && len(p.stability) == 0 && len(p.transfer) == 0 && len(p.transplant) == 0
 			p.probe = false
 			if probeOnly {
 				p.mu.Unlock()
@@ -1698,10 +1865,11 @@ func (p *peer) pump(conn net.Conn) {
 		// Copy the pending window and pin its seq range: acks may retire
 		// these frames while we write outside the lock, and a retired
 		// buffer must not be recycled mid-write (see releaseLocked).
-		var gossip, stab, xfer [][]byte
+		var gossip, stab, xfer, tpl [][]byte
 		gossip, p.gossip = p.gossip, nil
 		stab, p.stability = p.stability, nil
 		xfer, p.transfer = p.transfer, nil
+		tpl, p.transplant = p.transplant, nil
 		batch = append(batch[:0], p.queue[p.cursor:]...)
 		p.cursor = len(p.queue)
 		if len(batch) > 0 {
@@ -1736,7 +1904,16 @@ func (p *peer) pump(conn net.Conn) {
 			}
 			p.n.xferSent.Add(1)
 		}
-		if p.n.unbatched && len(gossip)+len(stab)+len(xfer) > 0 {
+		// Transplant announcements share the same out-of-band ride (no
+		// durability barrier, no seq): see TransplantConfig.
+		for _, t := range tpl {
+			if err := p.n.writeFrame(bw, frameTransplant, t); err != nil {
+				p.detach(conn)
+				return
+			}
+			p.n.tplSent.Add(1)
+		}
+		if p.n.unbatched && len(gossip)+len(stab)+len(xfer)+len(tpl) > 0 {
 			if err := bw.Flush(); err != nil {
 				p.detach(conn)
 				return

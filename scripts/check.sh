@@ -102,6 +102,24 @@ echo '== shard migration churn smoke (pinned seed)'
 # double-applied adjudication shows up as a divergent layout.
 go run ./cmd/hopebench chaos --churn --migrate --nodes 3 --seed 1 --reports 24
 
+echo '== transplant battery (pinned seeds, repeated under race)'
+# Process transplant (DESIGN.md §13): deterministic replay of a dead
+# node's user processes from its WAL, the per-process export index fold,
+# the first-mapping-wins twin fence, parked-frame translation, and the
+# wire handshake's watermark-mode rejection. Three repetitions under the
+# race detector.
+go test -race -count=3 -run 'TestTransplant|TestProcExtract|TestWatermarkMode|TestRetryQueue' \
+    ./internal/core/ ./internal/durable/ ./internal/wire/
+
+echo '== process transplant churn smoke (pinned seed)'
+# The churn storm with --transplant on top of --migrate: the SIGKILLed
+# member's user processes must be reborn by deterministic replay on the
+# ring-designated survivors (oracle.CheckTransplant — every corpse
+# process adopted exactly once, at its ring owner), and the doomed
+# workload must COMPLETE against the reborn server with exactly one
+# final outcome instead of quiescing by denial.
+go run ./cmd/hopebench chaos --churn --migrate --transplant --nodes 3 --seed 1 --reports 24
+
 echo '== stability watermark A/B smoke'
 # In-process lag + throughput A/B for the commit watermark: fails if a
 # gated output is lost or duplicated, if the frontier stops advancing
